@@ -1,0 +1,100 @@
+//! Criterion benches: one group per paper table/figure.
+//!
+//! Each group times the code path that regenerates the corresponding
+//! artifact (at `tiny` scale so a bench run stays in seconds; the `repro`
+//! binary runs the full `paper` scale). `cargo bench -p laperm-bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use laperm_bench::{figure4, table1, table2};
+use sim_metrics::footprint::FootprintAnalysis;
+use sim_metrics::harness::{run_once, SchedulerKind};
+use workloads::apps::amr::Amr;
+use workloads::apps::bfs::Bfs;
+use workloads::graph::GraphKind;
+use workloads::{Scale, Workload};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/config", |b| b.iter(table1));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/inventory", |b| b.iter(|| table2(Scale::Tiny)));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    let bfs = Bfs::new(GraphKind::Citation, Scale::Tiny);
+    g.bench_function("footprint/bfs-citation", |b| {
+        b.iter(|| FootprintAnalysis::analyze(&bfs))
+    });
+    let amr = Amr::new(Scale::Tiny);
+    g.bench_function("footprint/amr", |b| b.iter(|| FootprintAnalysis::analyze(&amr)));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("toy-placements", |b| b.iter(figure4));
+    g.finish();
+}
+
+fn matrix_cell(c: &mut Criterion, figure: &str, model: LaunchModelKind) {
+    let mut g = c.benchmark_group(figure);
+    g.sample_size(10);
+    let w: Arc<dyn Workload> = Arc::new(Bfs::new(GraphKind::Citation, Scale::Tiny));
+    let cfg = GpuConfig::kepler_k20c();
+    for sched in SchedulerKind::all() {
+        g.bench_function(format!("bfs-citation/{model}/{sched}"), |b| {
+            b.iter(|| run_once(&w, model, sched, &cfg).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    // Figure 7 (L2 hit rates) is one projection of the run matrix; the
+    // bench times the underlying CDP simulations.
+    matrix_cell(c, "fig7", LaunchModelKind::Cdp);
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    // Figure 8 (L1 hit rates): DTBL simulations.
+    matrix_cell(c, "fig8", LaunchModelKind::Dtbl);
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // Figure 9 (normalized IPC): time the full four-scheduler sweep.
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let w: Arc<dyn Workload> = Arc::new(Bfs::new(GraphKind::Cage15, Scale::Tiny));
+    let cfg = GpuConfig::kepler_k20c();
+    g.bench_function("bfs-cage15/dtbl/all-schedulers", |b| {
+        b.iter(|| {
+            SchedulerKind::all()
+                .iter()
+                .map(|&s| {
+                    run_once(&w, LaunchModelKind::Dtbl, s, &cfg).expect("run").ipc
+                })
+                .collect::<Vec<f64>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_table2,
+    bench_fig2,
+    bench_fig4,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9
+);
+criterion_main!(figures);

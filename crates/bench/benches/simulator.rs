@@ -1,0 +1,120 @@
+//! Criterion benches of the simulator substrate itself: cache probes,
+//! coalescing, DRAM queueing, program generation, and whole-sim
+//! throughput. These guard the reproduction's own performance (a slow
+//! simulator caps the experiment scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gpu_sim::cache::{AccessClass, Cache};
+use gpu_sim::coalesce::coalesce;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::dram::Dram;
+use gpu_sim::program::ProgramSource;
+use gpu_sim::types::BatchId;
+use laperm::PriorityQueues;
+use workloads::apps::bfs::Bfs;
+use workloads::apps::common::{CHILD, PARENT};
+use workloads::graph::GraphKind;
+use workloads::{Scale, Workload};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/cache");
+    g.bench_function("l1-probe-hot", |b| {
+        let mut cache = Cache::new(32 * 1024, 4, 128);
+        for line in 0..64 {
+            cache.access(line, true, AccessClass::Parent);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            cache.access(i, true, AccessClass::Parent)
+        })
+    });
+    g.bench_function("l2-probe-streaming", |b| {
+        let mut cache = Cache::new(1536 * 1024, 16, 128);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            cache.access(line, true, AccessClass::Child)
+        })
+    });
+    g.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/coalesce");
+    let coalesced: Vec<u64> = (0..32u64).map(|t| 4096 + t * 4).collect();
+    let scattered: Vec<u64> = (0..32u64).map(|t| t * 128 * 17).collect();
+    g.bench_function("fully-coalesced", |b| b.iter(|| coalesce(&coalesced, 7)));
+    g.bench_function("fully-scattered", |b| b.iter(|| coalesce(&scattered, 7)));
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("substrate/dram-access", |b| {
+        let cfg = GpuConfig::kepler_k20c();
+        let mut dram = Dram::new(cfg.dram_channels, cfg.dram_latency, cfg.dram_service_cycles);
+        let mut line = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            line += 1;
+            now += 2;
+            dram.access(line, now)
+        })
+    });
+}
+
+fn bench_program_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/programs");
+    let bfs = Bfs::new(GraphKind::Citation, Scale::Tiny);
+    g.bench_function("bfs-parent-tb", |b| {
+        let mut tb = 0u32;
+        let total = bfs.host_kernels()[0].num_tbs;
+        b.iter(|| {
+            tb = (tb + 1) % total;
+            bfs.tb_program(PARENT, 0, tb)
+        })
+    });
+    let heavy = (0..bfs.app().graph().num_vertices())
+        .find(|&v| bfs.app().graph().degree(v) >= bfs.app().heavy_threshold())
+        .expect("heavy vertex exists");
+    g.bench_function("bfs-child-tb", |b| {
+        b.iter(|| bfs.tb_program(CHILD, u64::from(heavy), 0))
+    });
+    g.finish();
+}
+
+fn bench_priority_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/laperm-queues");
+    g.bench_function("push", |b| {
+        let mut q = PriorityQueues::new(13, 4, 128);
+        let mut i = 0u32;
+        b.iter(|| {
+            q.push((i % 13) as usize, (i % 4) as u8 + 1, BatchId(i));
+            i += 1;
+        })
+    });
+    g.bench_function("highest-with-pruning", |b| {
+        let mut q = PriorityQueues::new(13, 4, 128);
+        for i in 0..128u32 {
+            q.push((i % 13) as usize, (i % 4) as u8 + 1, BatchId(i));
+        }
+        let mut tick = 0u32;
+        b.iter(|| {
+            tick = tick.wrapping_add(1);
+            // Half the entries look exhausted, exercising the prune path.
+            q.highest((tick % 13) as usize, |b| b.0 % 2 == tick % 2)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_cache,
+    bench_coalesce,
+    bench_dram,
+    bench_program_generation,
+    bench_priority_queues
+);
+criterion_main!(simulator);

@@ -1,0 +1,175 @@
+//! Single-run simulator CLI: pick a workload, launch model, scheduler,
+//! and hardware knobs, and get a full run report.
+//!
+//! ```text
+//! laperm-sim [options]
+//!   --workload <name>      suite workload (default bfs-citation); "list" to enumerate
+//!   --scheduler <name>     rr | tb-pri | smx-bind | adaptive-bind | random (default adaptive-bind)
+//!   --model <name>         cdp | dtbl (default dtbl)
+//!   --scale <name>         tiny | small | paper (default small)
+//!   --seed <n>             input seed (default 0)
+//!   --smxs <n>             override SMX count
+//!   --l1-kb <n>            override L1 size per SMX
+//!   --l2-kb <n>            override total L2 size
+//!   --launch-latency <n>   override base launch latency in cycles
+//!   --trace                print the first scheduling events
+//! ```
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::tb_sched::{RandomScheduler, RoundRobinScheduler, TbScheduler};
+use gpu_sim::trace::{render, VecSink};
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use workloads::{suite_seeded, Scale, SharedSource};
+
+struct Options {
+    workload: String,
+    scheduler: String,
+    model: LaunchModelKind,
+    scale: Scale,
+    seed: u64,
+    smxs: Option<u16>,
+    l1_kb: Option<u32>,
+    l2_kb: Option<u32>,
+    launch_latency: Option<u32>,
+    trace: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let parse_num = |flag: &str| -> Option<u64> {
+        value(flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    Options {
+        workload: value("--workload").unwrap_or_else(|| "bfs-citation".into()),
+        scheduler: value("--scheduler").unwrap_or_else(|| "adaptive-bind".into()),
+        model: match value("--model").as_deref() {
+            Some("cdp") => LaunchModelKind::Cdp,
+            Some("dtbl") | None => LaunchModelKind::Dtbl,
+            Some(other) => {
+                eprintln!("unknown launch model {other}");
+                std::process::exit(2);
+            }
+        },
+        scale: match value("--scale").as_deref() {
+            Some("tiny") => Scale::Tiny,
+            Some("small") | None => Scale::Small,
+            Some("paper") => Scale::Paper,
+            Some(other) => {
+                eprintln!("unknown scale {other}");
+                std::process::exit(2);
+            }
+        },
+        seed: parse_num("--seed").unwrap_or(0),
+        smxs: parse_num("--smxs").map(|n| n as u16),
+        l1_kb: parse_num("--l1-kb").map(|n| n as u32),
+        l2_kb: parse_num("--l2-kb").map(|n| n as u32),
+        launch_latency: parse_num("--launch-latency").map(|n| n as u32),
+        trace: args.iter().any(|a| a == "--trace"),
+    }
+}
+
+fn build_scheduler(name: &str, cfg: &GpuConfig) -> Box<dyn TbScheduler> {
+    let laperm_cfg = LaPermConfig::for_gpu(cfg);
+    match name {
+        "rr" => Box::new(RoundRobinScheduler::new()),
+        "random" => Box::new(RandomScheduler::new(1)),
+        "tb-pri" => Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg)),
+        "smx-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg)),
+        "adaptive-bind" => {
+            Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg))
+        }
+        other => {
+            eprintln!("unknown scheduler {other} (rr, tb-pri, smx-bind, adaptive-bind, random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = suite_seeded(opts.scale, opts.seed);
+    if opts.workload == "list" {
+        for w in &all {
+            println!("{}", w.full_name());
+        }
+        return;
+    }
+    let Some(workload) = all.iter().find(|w| w.full_name() == opts.workload) else {
+        eprintln!("unknown workload {}; try --workload list", opts.workload);
+        std::process::exit(2);
+    };
+
+    let mut cfg = GpuConfig::kepler_k20c();
+    if let Some(n) = opts.smxs {
+        cfg.num_smxs = n;
+    }
+    if let Some(kb) = opts.l1_kb {
+        cfg.l1_bytes = kb * 1024;
+    }
+    if let Some(kb) = opts.l2_kb {
+        cfg.l2_bytes = kb * 1024;
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
+    let latency = match opts.launch_latency {
+        Some(base) => LaunchLatency::uniform(base),
+        None => LaunchLatency::default_for(opts.model),
+    };
+    let sink = VecSink::new();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
+        .with_scheduler(build_scheduler(&opts.scheduler, &cfg))
+        .with_launch_model(opts.model.build(latency));
+    if opts.trace {
+        sim = sim.with_trace(Box::new(sink.clone()));
+    }
+    for hk in workload.host_kernels() {
+        if let Err(e) = sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req) {
+            eprintln!("launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let stats = match sim.run_to_completion() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{} | {} | {} | {} SMXs | seed {}",
+        workload.full_name(),
+        opts.model,
+        stats.scheduler,
+        cfg.num_smxs,
+        opts.seed
+    );
+    print!("{}", stats.summary());
+    println!("\nper-kernel-kind breakdown:");
+    for (kind, count, mean_resident) in stats.per_kind_summary() {
+        println!(
+            "  {:<16} {:>6} TBs, mean resident {:.0} cycles",
+            workload.kind_name(kind),
+            count,
+            mean_resident
+        );
+    }
+    if opts.trace {
+        let records = sink.records();
+        println!("\nfirst scheduling events:");
+        print!("{}", render(&records[..records.len().min(30)]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Regenerates the LaPerm paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|paper]
+//!
+//! experiments:
+//!   table1    GPU configuration (Table I)
+//!   table2    benchmark inventory (Table II)
+//!   fig2      shared footprint ratios (Figure 2)
+//!   fig4      scheduling walk-through placements (Figure 4)
+//!   fig7      L2 hit rates (Figure 7)     — runs the full matrix
+//!   fig8      L1 hit rates (Figure 8)     — runs the full matrix
+//!   fig9      normalized IPC (Figure 9)   — runs the full matrix
+//!   latency   launch-latency sensitivity (Section IV-D)
+//!   timeline  windowed IPC/L1 over one run, RR vs Adaptive-Bind
+//!   variance  headline gain over several input seeds (mean ± std)
+//!   csv       full run matrix as CSV on stdout (for plotting)
+//!   cache     L1/L2 capacity sensitivity (paper's future work)
+//!   generality Kepler vs Maxwell-like architecture
+//!   overhead  queue hardware overheads (Section IV-E)
+//!   ablate    design-choice ablations
+//!   all       everything above
+//! ```
+
+use laperm_bench::{
+    ablate, fig2, fig7, fig8, fig9, figure4, generality, latency_sweep, overhead, run_matrix,
+    sweep_cache, table1, table2, timeline, variance,
+};
+use workloads::Scale;
+
+fn parse_scale(args: &[String]) -> Scale {
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("paper") | None => Scale::Paper,
+        Some(other) => {
+            eprintln!("unknown scale {other}; using paper");
+            Scale::Paper
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = args.first().map(String::as_str).unwrap_or("all");
+    let scale = parse_scale(&args);
+
+    let needs_matrix = matches!(experiment, "fig7" | "fig8" | "fig9" | "all");
+    let matrix = needs_matrix.then(|| run_matrix(scale));
+
+    match experiment {
+        "table1" => println!("{}", table1()),
+        "table2" => println!("{}", table2(scale)),
+        "fig2" => println!("{}", fig2(scale)),
+        "fig4" => println!("{}", figure4()),
+        "fig7" => println!("{}", fig7(matrix.as_ref().unwrap())),
+        "fig8" => println!("{}", fig8(matrix.as_ref().unwrap())),
+        "fig9" => println!("{}", fig9(matrix.as_ref().unwrap())),
+        "latency" => println!("{}", latency_sweep(scale)),
+        "timeline" => println!("{}", timeline(scale)),
+        "variance" => println!("{}", variance(scale)),
+        "csv" => {
+            let m = run_matrix(scale);
+            print!("{}", sim_metrics::export::runs_to_csv(m.records()));
+        }
+        "cache" => println!("{}", sweep_cache(scale)),
+        "generality" => println!("{}", generality(scale)),
+        "overhead" => println!("{}", overhead(scale)),
+        "ablate" => println!("{}", ablate(scale)),
+        "all" => {
+            let m = matrix.as_ref().unwrap();
+            println!("{}\n", table1());
+            println!("{}\n", table2(scale));
+            println!("{}\n", fig2(scale));
+            println!("{}\n", figure4());
+            println!("{}\n", fig7(m));
+            println!("{}\n", fig8(m));
+            println!("{}\n", fig9(m));
+            println!("{}\n", latency_sweep(scale));
+            println!("{}\n", timeline(scale));
+            println!("{}\n", variance(scale));
+            println!("{}\n", sweep_cache(scale));
+            println!("{}\n", generality(scale));
+            println!("{}\n", overhead(scale));
+            println!("{}\n", ablate(scale));
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            eprintln!("choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 latency timeline variance cache generality overhead ablate all");
+            std::process::exit(2);
+        }
+    }
+}

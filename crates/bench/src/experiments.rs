@@ -1,0 +1,672 @@
+//! Table and figure regeneration (see the experiment index in DESIGN.md).
+
+use std::sync::Arc;
+
+use dynpar::{DtblModel, LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use sim_metrics::footprint::FootprintSummary;
+use sim_metrics::harness::{run_once, run_with_latency, RunRecord, SchedulerKind};
+use sim_metrics::report::{mean, pct, ratio, Table};
+use workloads::{suite, Scale, Workload};
+
+/// All runs of the main evaluation matrix: every workload under both
+/// launch models and all four schedulers.
+#[derive(Debug, Clone)]
+pub struct MatrixRecords {
+    records: Vec<RunRecord>,
+}
+
+impl MatrixRecords {
+    /// The raw records.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Looks up one run.
+    pub fn get(&self, workload: &str, model: &str, scheduler: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| {
+            r.workload == workload && r.launch_model == model && r.scheduler == scheduler
+        })
+    }
+
+    /// Workload names in run order (deduplicated).
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for r in &self.records {
+            if !names.contains(&r.workload) {
+                names.push(r.workload.clone());
+            }
+        }
+        names
+    }
+
+    /// IPC of a run normalized to the round-robin baseline of the same
+    /// workload and launch model.
+    pub fn normalized_ipc(&self, r: &RunRecord) -> f64 {
+        let base = self
+            .get(&r.workload, &r.launch_model, SchedulerKind::RoundRobin.name())
+            .map(|b| b.ipc)
+            .unwrap_or(r.ipc);
+        if base == 0.0 {
+            0.0
+        } else {
+            r.ipc / base
+        }
+    }
+}
+
+/// Runs the full evaluation matrix at a scale, printing progress to
+/// stderr. Independent simulations run on all available cores; the
+/// result order (and every number) is deterministic regardless of
+/// thread scheduling.
+///
+/// # Panics
+///
+/// Panics if any simulation fails (the suite is validated by tests).
+pub fn run_matrix(scale: Scale) -> MatrixRecords {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let mut cells: Vec<(Arc<dyn Workload>, LaunchModelKind, SchedulerKind)> = Vec::new();
+    for w in &all {
+        for model in LaunchModelKind::all() {
+            for sched in SchedulerKind::all() {
+                cells.push((w.clone(), model, sched));
+            }
+        }
+    }
+    let total = cells.len();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunRecord>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(total) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let (w, model, sched) = &cells[i];
+                let rec = run_once(w, *model, *sched, &cfg).unwrap_or_else(|e| {
+                    panic!("{} under {model}/{sched} failed: {e}", w.full_name())
+                });
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{n}/{total}] {} {model} {sched}: {} cycles, IPC {:.1}",
+                    w.full_name(),
+                    rec.cycles,
+                    rec.ipc
+                );
+                *results[i].lock().expect("result slot") = Some(rec);
+            });
+        }
+    });
+
+    MatrixRecords {
+        records: results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot").expect("cell ran"))
+            .collect(),
+    }
+}
+
+/// Table I: the simulated GPU configuration.
+pub fn table1() -> String {
+    let cfg = GpuConfig::kepler_k20c();
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["SMXs".to_string(), cfg.num_smxs.to_string()]);
+    t.row(vec!["threads / SMX".to_string(), cfg.max_threads_per_smx.to_string()]);
+    t.row(vec!["TBs / SMX".to_string(), cfg.max_tbs_per_smx.to_string()]);
+    t.row(vec!["registers / SMX".to_string(), cfg.max_regs_per_smx.to_string()]);
+    t.row(vec![
+        "shared memory / SMX".to_string(),
+        format!("{} KB", cfg.max_smem_per_smx / 1024),
+    ]);
+    t.row(vec!["L1 cache / SMX".to_string(), format!("{} KB", cfg.l1_bytes / 1024)]);
+    t.row(vec!["L2 cache".to_string(), format!("{} KB", cfg.l2_bytes / 1024)]);
+    t.row(vec!["cache line".to_string(), format!("{} bytes", cfg.line_bytes)]);
+    t.row(vec![
+        "max concurrent kernels".to_string(),
+        cfg.max_concurrent_kernels.to_string(),
+    ]);
+    t.row(vec!["warp scheduler".to_string(), "greedy-then-oldest".to_string()]);
+    format!("Table I: GPGPU configuration (Kepler K20c)\n{}", t.render())
+}
+
+/// Table II: the benchmark suite.
+pub fn table2(scale: Scale) -> String {
+    let mut t = Table::new(vec!["application", "input", "parent TBs", "device launches"]);
+    for w in suite(scale) {
+        let hk = w.host_kernels();
+        let parent_tbs: u32 = hk.iter().map(|k| k.num_tbs).sum();
+        let launches: usize = hk
+            .iter()
+            .flat_map(|k| (0..k.num_tbs).map(move |tb| (k.kind, k.param, tb)))
+            .map(|(kind, param, tb)| w.tb_program(kind, param, tb).launches().count())
+            .sum();
+        t.row(vec![
+            w.name().to_string(),
+            w.input(),
+            parent_tbs.to_string(),
+            launches.to_string(),
+        ]);
+    }
+    format!("Table II: benchmarks ({scale} scale)\n{}", t.render())
+}
+
+/// Figure 2: shared footprint ratios for parent-child and child-sibling
+/// TBs (plus the parent-parent baseline quoted in the text).
+pub fn fig2(scale: Scale) -> String {
+    let all = suite(scale);
+    let summary = FootprintSummary::analyze_suite(&all);
+    let mut t = Table::new(vec![
+        "workload",
+        "parent-child",
+        "child-sibling",
+        "parent-parent",
+        "launching TBs",
+        "child TBs",
+    ]);
+    for r in &summary.rows {
+        t.row(vec![
+            r.workload.clone(),
+            pct(r.parent_child),
+            pct(r.child_sibling),
+            pct(r.parent_parent),
+            r.launching_tbs.to_string(),
+            r.child_tbs.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".to_string(),
+        pct(summary.mean_parent_child()),
+        pct(summary.mean_child_sibling()),
+        pct(summary.mean_parent_parent()),
+        String::new(),
+        String::new(),
+    ]);
+    format!(
+        "Figure 2: shared footprint ratios ({scale} scale)\n\
+         (paper: parent-child avg 38.4%, child-sibling avg 30.5%, parent-parent 9.3%)\n{}",
+        t.render()
+    )
+}
+
+fn hit_rate_figure(
+    m: &MatrixRecords,
+    title: &str,
+    paper_note: &str,
+    value: impl Fn(&RunRecord) -> f64,
+) -> String {
+    let mut out = format!("{title}\n{paper_note}\n");
+    for model in LaunchModelKind::all() {
+        let mut t = Table::new(vec!["workload", "rr", "tb-pri", "smx-bind", "adaptive-bind"]);
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for w in m.workloads() {
+            let mut row = vec![w.clone()];
+            for (i, sched) in SchedulerKind::all().iter().enumerate() {
+                let v = m
+                    .get(&w, model.name(), sched.name())
+                    .map(&value)
+                    .unwrap_or(0.0);
+                columns[i].push(v);
+                row.push(pct(v));
+            }
+            t.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_string()];
+        for col in &columns {
+            avg.push(pct(mean(col)));
+        }
+        t.row(avg);
+        out.push_str(&format!("\nlaunch model: {model}\n{}", t.render()));
+    }
+    out
+}
+
+/// Figure 7: L2 cache hit rate per scheduler, CDP and DTBL.
+pub fn fig7(m: &MatrixRecords) -> String {
+    hit_rate_figure(
+        m,
+        "Figure 7: L2 cache hit rate",
+        "(paper: TB-Pri +6.7% CDP / +8.7% DTBL over RR; binding policies trade \
+         some L2 hits for L1 hits)",
+        |r| r.l2_hit_rate,
+    )
+}
+
+/// Figure 8: L1 cache hit rate per scheduler, CDP and DTBL.
+pub fn fig8(m: &MatrixRecords) -> String {
+    hit_rate_figure(
+        m,
+        "Figure 8: L1 cache hit rate",
+        "(paper: TB-Pri +1.1% CDP / +2.1% DTBL; SMX binding gives the large L1 gains)",
+        |r| r.l1_hit_rate,
+    )
+}
+
+/// Figure 9: IPC normalized to the round-robin baseline, CDP (a) and
+/// DTBL (b).
+pub fn fig9(m: &MatrixRecords) -> String {
+    let mut out = String::from(
+        "Figure 9: IPC normalized to RR\n(paper: TB-Pri +4% CDP / +13% DTBL; \
+         Adaptive-Bind best overall, ~27% average)\n",
+    );
+    for (label, model) in [("(a) CDP", LaunchModelKind::Cdp), ("(b) DTBL", LaunchModelKind::Dtbl)]
+    {
+        let mut t = Table::new(vec!["workload", "rr", "tb-pri", "smx-bind", "adaptive-bind"]);
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for w in m.workloads() {
+            let mut row = vec![w.clone()];
+            for (i, sched) in SchedulerKind::all().iter().enumerate() {
+                let v = m
+                    .get(&w, model.name(), sched.name())
+                    .map(|r| m.normalized_ipc(r))
+                    .unwrap_or(0.0);
+                columns[i].push(v);
+                row.push(ratio(v));
+            }
+            t.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_string()];
+        for col in &columns {
+            avg.push(ratio(mean(col)));
+        }
+        t.row(avg);
+        out.push_str(&format!("\nFigure 9{label}\n{}", t.render()));
+    }
+    out
+}
+
+/// Launch-latency sensitivity (Section IV-D): how the Adaptive-Bind gain
+/// decays as the device-launch latency grows.
+pub fn latency_sweep(scale: Scale) -> String {
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let w: &Arc<dyn Workload> = all
+        .iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let mut t = Table::new(vec![
+        "launch latency",
+        "rr IPC",
+        "adaptive IPC",
+        "gain",
+        "child wait (rr)",
+    ]);
+    for base in [0u32, 500, 1000, 2000, 4000, 8000, 16000] {
+        let latency = LaunchLatency::uniform(base);
+        let rr = run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::RoundRobin, &cfg)
+            .expect("rr run");
+        let ad = run_with_latency(
+            w,
+            LaunchModelKind::Dtbl,
+            latency,
+            SchedulerKind::AdaptiveBind,
+            &cfg,
+        )
+        .expect("adaptive run");
+        t.row(vec![
+            base.to_string(),
+            format!("{:.1}", rr.ipc),
+            format!("{:.1}", ad.ipc),
+            ratio(ad.ipc / rr.ipc),
+            format!("{:.0}", rr.mean_child_wait),
+        ]);
+    }
+    format!(
+        "Launch-latency sensitivity on bfs-citation, DTBL delivery ({scale} scale)\n\
+         (Section IV-D: long launch latency erodes the exploitable locality)\n{}",
+        t.render()
+    )
+}
+
+/// Overhead analysis (Section IV-E): queue hardware budget and observed
+/// dynamic overheads.
+pub fn overhead(scale: Scale) -> String {
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let mut out = String::from(
+        "Overhead analysis (Section IV-E)\n\
+         Hardware budget: 3 KB SRAM per SMX = 128 entries x 24 B (~1% of \
+         register file + shared memory area); shared queue 0: 768 B (32 x 24 B).\n\n",
+    );
+    let mut t = Table::new(vec![
+        "workload",
+        "queue pushes",
+        "onchip overflows",
+        "max depth",
+        "search cycles",
+        "steals",
+    ]);
+    for name in ["bfs-citation", "amr", "join-gaussian", "regx-strings"] {
+        let Some(w) = all.iter().find(|w| w.full_name() == name) else {
+            continue;
+        };
+        let rec = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("overhead run");
+        t.row(vec![
+            rec.workload.clone(),
+            rec.queue_pushes.to_string(),
+            rec.queue_overflows.to_string(),
+            rec.max_queue_depth.to_string(),
+            rec.queue_search_cycles.to_string(),
+            rec.steals.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Input-seed variance: the headline gain measured over several
+/// independently generated input instances (mean ± sample std), showing
+/// the result is a property of the input *structure*, not of one lucky
+/// instance.
+pub fn variance(scale: Scale) -> String {
+    use sim_metrics::report::mean_std;
+    use workloads::suite_seeded;
+
+    let cfg = GpuConfig::kepler_k20c();
+    let seeds: [u64; 5] = [0, 11, 2025, 424242, 7_777_777];
+    let mut out = format!(
+        "Input-seed variance over {} instances, DTBL ({scale} scale)\n\n",
+        seeds.len()
+    );
+    let mut t = Table::new(vec!["workload", "adaptive gain over rr (mean ± std)"]);
+    for name in ["bfs-citation", "bfs-graph500", "join-gaussian", "regx-strings"] {
+        let mut gains = Vec::new();
+        for &seed in &seeds {
+            let all = suite_seeded(scale, seed);
+            let w = all.iter().find(|w| w.full_name() == name).expect("workload");
+            let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+                .expect("rr run");
+            let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+                .expect("adaptive run");
+            gains.push(ad.ipc / rr.ipc);
+        }
+        let (m, s) = mean_std(&gains);
+        t.row(vec![name.to_string(), format!("{m:.2}x ± {s:.2}")]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Cache-size sensitivity: how the LaPerm gain depends on L1 and L2
+/// capacity (the hardware-parameter study the paper's Section IV-F
+/// explicitly leaves to future work).
+pub fn sweep_cache(scale: Scale) -> String {
+    let all = suite(scale);
+    let w = all
+        .iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let mut out = format!(
+        "Cache-size sensitivity on bfs-citation, DTBL ({scale} scale)\n\
+         (Section IV-F: the paper leaves cache-size effects to future work)\n\n"
+    );
+
+    let mut t = Table::new(vec!["L1 per SMX", "rr IPC", "adaptive IPC", "gain"]);
+    for kb in [16u32, 32, 48, 64] {
+        let mut cfg = GpuConfig::kepler_k20c();
+        cfg.l1_bytes = kb * 1024;
+        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+            .expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("adaptive run");
+        t.row(vec![
+            format!("{kb} KB"),
+            format!("{:.1}", rr.ipc),
+            format!("{:.1}", ad.ipc),
+            ratio(ad.ipc / rr.ipc),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let mut t = Table::new(vec!["L2 total", "rr IPC", "adaptive IPC", "gain"]);
+    for kb in [768u32, 1536, 3072, 6144] {
+        let mut cfg = GpuConfig::kepler_k20c();
+        cfg.l2_bytes = kb * 1024;
+        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+            .expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("adaptive run");
+        t.row(vec![
+            format!("{kb} KB"),
+            format!("{:.1}", rr.ipc),
+            format!("{:.1}", ad.ipc),
+            ratio(ad.ipc / rr.ipc),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}
+
+/// Architecture generality: the Kepler config of Table I vs a
+/// Maxwell-like machine (more, narrower SMs; bigger L2).
+pub fn generality(scale: Scale) -> String {
+    use sim_metrics::report::bar_chart;
+    let all = suite(scale);
+    let w = all
+        .iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let mut out = format!("Architecture generality on bfs-citation, DTBL ({scale} scale)\n\n");
+    let mut bars = Vec::new();
+    for (name, cfg) in [
+        ("kepler-k20c", GpuConfig::kepler_k20c()),
+        ("maxwell-like", GpuConfig::maxwell_like()),
+    ] {
+        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+            .expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("adaptive run");
+        bars.push((format!("{name} rr"), rr.ipc));
+        bars.push((format!("{name} adaptive"), ad.ipc));
+    }
+    out.push_str(&bar_chart(&bars, 40));
+    out.push_str("\nThe LaPerm gain survives the architecture change (Section II).\n");
+    out
+}
+
+/// Timeline: windowed IPC and L1 hit rate over the run, RR vs
+/// Adaptive-Bind, showing *when* the locality benefit materializes (the
+/// parent/child overlap phase).
+pub fn timeline(scale: Scale) -> String {
+    use sim_metrics::timeline::{downsample, run_timeline};
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let w = all
+        .iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let mut out = format!(
+        "Timeline: windowed IPC / L1 hit rate on bfs-citation, DTBL ({scale} scale)\n\n"
+    );
+    for sched in [SchedulerKind::RoundRobin, SchedulerKind::AdaptiveBind] {
+        let points = run_timeline(w, LaunchModelKind::Dtbl, sched, &cfg, 2000)
+            .expect("timeline run");
+        let mut t = Table::new(vec!["cycle", "IPC", "L1 hit", "L2 hit", "resident", "queued"]);
+        for p in downsample(&points, 16) {
+            t.row(vec![
+                p.cycle.to_string(),
+                format!("{:.1}", p.ipc),
+                pct(p.l1_hit_rate),
+                pct(p.l2_hit_rate),
+                p.resident_tbs.to_string(),
+                p.undispatched_tbs.to_string(),
+            ]);
+        }
+        out.push_str(&format!("{sched}\n{}\n", t.render()));
+    }
+    out
+}
+
+/// Design-choice ablations: nesting clamp `L`, SMX cluster size, steal
+/// hysteresis, and the DTBL on-chip table capacity.
+pub fn ablate(scale: Scale) -> String {
+    use gpu_sim::engine::Simulator;
+    use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+    use workloads::SharedSource;
+
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let w = all
+        .iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+
+    let run = |laperm_cfg: LaPermConfig, policy: LaPermPolicy, table_cap: Option<usize>| -> f64 {
+        let launch = match table_cap {
+            Some(cap) => Box::new(DtblModel::with_table(
+                LaunchLatency::default_for(LaunchModelKind::Dtbl),
+                cap,
+                DtblModel::DEFAULT_OVERFLOW_PENALTY,
+            )) as Box<dyn gpu_sim::launch::DynamicLaunchModel>,
+            None => LaunchModelKind::Dtbl.build_default(),
+        };
+        let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+            .with_scheduler(Box::new(LaPermScheduler::new(policy, laperm_cfg)))
+            .with_launch_model(launch);
+        for hk in w.host_kernels() {
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
+                .expect("launch");
+        }
+        sim.run_to_completion().expect("ablation run").ipc()
+    };
+
+    let base_cfg = LaPermConfig::for_gpu(&cfg);
+    let mut out = format!("Design-choice ablations, DTBL ({scale} scale)\n\n");
+
+    // The nesting clamp only matters on a workload that actually nests:
+    // AMR refines recursively (depth 2).
+    let amr = all.iter().find(|w| w.full_name() == "amr").expect("amr in suite");
+    let run_on = |w: &Arc<dyn Workload>, laperm_cfg: LaPermConfig| -> f64 {
+        let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+            .with_scheduler(Box::new(LaPermScheduler::new(
+                LaPermPolicy::AdaptiveBind,
+                laperm_cfg,
+            )))
+            .with_launch_model(LaunchModelKind::Dtbl.build_default());
+        for hk in w.host_kernels() {
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
+                .expect("launch");
+        }
+        sim.run_to_completion().expect("ablation run").ipc()
+    };
+    let mut t = Table::new(vec!["max nesting level L (amr)", "adaptive-bind IPC"]);
+    for level in [1u8, 2, 4, 8] {
+        let ipc = run_on(amr, base_cfg.with_max_level(level));
+        t.row(vec![level.to_string(), format!("{ipc:.1}")]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nbfs-citation sweeps:\n");
+
+    let mut t = Table::new(vec!["SMX cluster size", "smx-bind IPC"]);
+    for cluster in [1u16, 2, 4] {
+        let ipc = run(base_cfg.with_cluster_size(cluster), LaPermPolicy::SmxBind, None);
+        t.row(vec![cluster.to_string(), format!("{ipc:.1}")]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    let mut t = Table::new(vec!["steal min free slots", "adaptive-bind IPC"]);
+    for slots in [0u32, 4, 8, 16] {
+        let ipc = run(
+            base_cfg.with_steal_min_free_slots(slots),
+            LaPermPolicy::AdaptiveBind,
+            None,
+        );
+        t.row(vec![slots.to_string(), format!("{ipc:.1}")]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    let mut t = Table::new(vec!["DTBL on-chip table entries", "adaptive-bind IPC"]);
+    for cap in [8usize, 32, 128, 512] {
+        let ipc = run(base_cfg, LaPermPolicy::AdaptiveBind, Some(cap));
+        t.row(vec![cap.to_string(), format!("{ipc:.1}")]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    // Mechanism decomposition: how much of the gain is *when* children
+    // run (prioritization) vs *where* they run (binding)?
+    {
+        use laperm::BindOnlyScheduler;
+        let run_custom = |sched: Box<dyn gpu_sim::tb_sched::TbScheduler>| -> f64 {
+            let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+                .with_scheduler(sched)
+                .with_launch_model(LaunchModelKind::Dtbl.build_default());
+            for hk in w.host_kernels() {
+                sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
+                    .expect("launch");
+            }
+            sim.run_to_completion().expect("decomposition run").ipc()
+        };
+        let mut t = Table::new(vec!["mechanisms", "IPC"]);
+        t.row(vec![
+            "neither (rr)".to_string(),
+            format!("{:.1}", run_custom(Box::new(gpu_sim::tb_sched::RoundRobinScheduler::new()))),
+        ]);
+        t.row(vec![
+            "priority only (tb-pri)".to_string(),
+            format!("{:.1}", run(base_cfg, LaPermPolicy::TbPri, None)),
+        ]);
+        t.row(vec![
+            "binding only".to_string(),
+            format!("{:.1}", run_custom(Box::new(BindOnlyScheduler::new()))),
+        ]);
+        t.row(vec![
+            "both (smx-bind)".to_string(),
+            format!("{:.1}", run(base_cfg, LaPermPolicy::SmxBind, None)),
+        ]);
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+
+    // Contention-aware TB throttling (Section IV-F's suggested
+    // combination with prior work): cap resident TBs per SMX.
+    let mut t = Table::new(vec!["TB throttle / SMX", "adaptive-bind IPC"]);
+    for throttle in [4u32, 8, 12, 16] {
+        let ipc = run(
+            base_cfg.with_throttle_tbs(throttle),
+            LaPermPolicy::AdaptiveBind,
+            None,
+        );
+        let label = if throttle >= cfg.max_tbs_per_smx {
+            format!("{throttle} (= hw limit)")
+        } else {
+            throttle.to_string()
+        };
+        t.row(vec![label, format!("{ipc:.1}")]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    // Orthogonality to the warp scheduler (paper Section IV-F): the
+    // LaPerm gain should survive swapping GTO for loose round-robin.
+    let mut t = Table::new(vec!["warp scheduler", "rr IPC", "adaptive IPC", "gain"]);
+    for policy in [gpu_sim::config::WarpSchedPolicy::Gto, gpu_sim::config::WarpSchedPolicy::Lrr] {
+        let mut warp_cfg = cfg.clone();
+        warp_cfg.warp_scheduler = policy;
+        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &warp_cfg)
+            .expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &warp_cfg)
+            .expect("adaptive run");
+        t.row(vec![
+            policy.to_string(),
+            format!("{:.1}", rr.ipc),
+            format!("{:.1}", ad.ipc),
+            ratio(ad.ipc / rr.ipc),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}

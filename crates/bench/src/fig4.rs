@@ -1,0 +1,137 @@
+//! Figure 4: the scheduling walk-through example.
+//!
+//! Reproduces the paper's toy machine — four SMXs holding one TB each —
+//! running a parent kernel of eight TBs where P2 launches two children
+//! (C0, C1) and P4 launches four (C2-C5), and prints where each policy
+//! places every TB.
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
+use gpu_sim::stats::SimStats;
+use gpu_sim::tb_sched::RoundRobinScheduler;
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use sim_metrics::report::Table;
+
+const PARENT: KernelKindId = KernelKindId(0);
+const CHILD: KernelKindId = KernelKindId(1);
+
+/// The Figure 4(a) launch structure as a program source.
+#[derive(Debug)]
+pub struct Figure4Source;
+
+impl ProgramSource for Figure4Source {
+    fn tb_program(&self, kind: KernelKindId, _param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => {
+                let mut ops = vec![TbOp::Compute(20)];
+                let children = match tb_index {
+                    2 => 2,
+                    4 => 4,
+                    _ => 0,
+                };
+                if children > 0 {
+                    ops.push(TbOp::Launch(LaunchSpec {
+                        kind: CHILD,
+                        param: u64::from(tb_index),
+                        num_tbs: children,
+                        req: ResourceReq::new(32, 8, 0),
+                    }));
+                }
+                ops.push(TbOp::Compute(20));
+                TbProgram::new(ops)
+            }
+            _ => TbProgram::new(vec![TbOp::Compute(20)]),
+        }
+    }
+}
+
+fn run_policy(policy: Option<LaPermPolicy>) -> SimStats {
+    let cfg = GpuConfig::figure4_toy();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(Figure4Source));
+    sim = match policy {
+        Some(p) => sim.with_scheduler(Box::new(LaPermScheduler::new(
+            p,
+            LaPermConfig::for_gpu(&cfg),
+        ))),
+        None => sim.with_scheduler(Box::new(RoundRobinScheduler::new())),
+    };
+    sim = sim.with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
+    sim.launch_host_kernel(PARENT, 0, 8, ResourceReq::new(32, 8, 0))
+        .expect("toy kernel launches");
+    sim.run_to_completion().expect("toy run completes")
+}
+
+fn label(stats: &SimStats, i: usize) -> String {
+    let r = &stats.tb_records[i];
+    if r.is_dynamic {
+        // Children are numbered C0.. in dispatch order per parent, as in
+        // the paper: C0-C1 from P2, C2-C5 from P4.
+        let (_, parent_tb, _) = r.parent.expect("dynamic TB has a parent");
+        let earlier = stats.tb_records[..i]
+            .iter()
+            .filter(|x| x.is_dynamic)
+            .count();
+        let _ = parent_tb;
+        format!("C{earlier}")
+    } else {
+        format!("P{}", r.tb.index)
+    }
+}
+
+/// Renders the Figure 4 placement table for all four policies.
+pub fn figure4() -> String {
+    let mut out = String::from(
+        "Figure 4: TB placements on a 4-SMX toy GPU (one TB per SMX)\n\
+         Parent kernel P0-P7; P2 launches C0-C1, P4 launches C2-C5.\n\
+         Each column lists the TBs an SMX executed, in order.\n",
+    );
+    let policies = [
+        ("(b) round-robin", None),
+        ("(c) TB-Pri", Some(LaPermPolicy::TbPri)),
+        ("(d) SMX-Bind", Some(LaPermPolicy::SmxBind)),
+        ("(e) Adaptive-Bind", Some(LaPermPolicy::AdaptiveBind)),
+    ];
+    for (name, policy) in policies {
+        let stats = run_policy(policy);
+        let mut per_smx: Vec<Vec<String>> = vec![Vec::new(); 4];
+        for i in 0..stats.tb_records.len() {
+            let r = &stats.tb_records[i];
+            per_smx[r.smx.index()].push(label(&stats, i));
+        }
+        let mut t = Table::new(vec!["SMX0", "SMX1", "SMX2", "SMX3"]);
+        let depth = per_smx.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..depth {
+            t.row(per_smx
+                .iter()
+                .map(|col| col.get(round).cloned().unwrap_or_default())
+                .collect::<Vec<String>>());
+        }
+        out.push_str(&format!("\n{name}\n{}", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_mentions_all_tbs() {
+        let s = figure4();
+        for tb in ["P0", "P7", "C0", "C5"] {
+            assert!(s.contains(tb), "missing {tb} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn smx_bind_section_places_children_with_parents() {
+        let stats = run_policy(Some(LaPermPolicy::SmxBind));
+        for r in stats.tb_records.iter().filter(|r| r.is_dynamic) {
+            let (_, _, parent_smx) = r.parent.unwrap();
+            assert_eq!(r.smx, parent_smx);
+        }
+    }
+}

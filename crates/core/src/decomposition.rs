@@ -1,0 +1,158 @@
+//! Mechanism decomposition: binding *without* prioritization.
+//!
+//! LaPerm couples two mechanisms — dispatch **prioritization** (children
+//! before remaining parents) and SMX **binding** (children on their
+//! parent's SMX). [`LaPermPolicy::TbPri`](crate::LaPermPolicy::TbPri) is
+//! prioritization alone; [`BindOnlyScheduler`] is the missing corner of
+//! the 2×2: children keep the baseline's FCFS dispatch order but are
+//! placed on their direct parent's SMX. Comparing
+//! `rr / tb-pri / bind-only / smx-bind` separates how much of LaPerm's
+//! gain comes from *when* children run vs *where* they run.
+//!
+//! Not part of the paper; used by the `repro ablate` decomposition
+//! table.
+
+use std::collections::VecDeque;
+
+use gpu_sim::kernel::Batch;
+use gpu_sim::tb_sched::{DispatchDecision, DispatchView, TbScheduler};
+use gpu_sim::types::{BatchId, Cycle, SmxId};
+
+/// FCFS dispatch order with parent-SMX placement for children.
+#[derive(Debug, Default)]
+pub struct BindOnlyScheduler {
+    /// Batches in arrival order, with the bound SMX for dynamic ones.
+    fifo: VecDeque<(BatchId, Option<SmxId>)>,
+    /// Round-robin cursor for host-kernel placement.
+    cursor: usize,
+    bound_dispatches: u64,
+}
+
+impl BindOnlyScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dispatches that were placed on the parent's SMX.
+    pub fn bound_dispatches(&self) -> u64 {
+        self.bound_dispatches
+    }
+}
+
+impl TbScheduler for BindOnlyScheduler {
+    fn name(&self) -> &'static str {
+        "bind-only"
+    }
+
+    fn on_batch_schedulable(&mut self, batch: &Batch, _cycle: Cycle) {
+        let bound = batch.origin.as_ref().map(|o| o.parent_smx);
+        self.fifo.push_back((batch.id, bound));
+    }
+
+    fn pick(&mut self, view: &DispatchView<'_>) -> Option<DispatchDecision> {
+        // Drop exhausted batches from the front (FCFS consumption).
+        while let Some(&(front, _)) = self.fifo.front() {
+            if view.batch(front).has_undispatched_tbs() {
+                break;
+            }
+            self.fifo.pop_front();
+        }
+        let &(batch, bound) = self.fifo.front()?;
+        let req = view.batch(batch).req;
+        match bound {
+            Some(smx) => {
+                // A child goes to its parent's SMX or waits.
+                if view.fits(smx, &req) {
+                    self.bound_dispatches += 1;
+                    Some(DispatchDecision { batch, smx })
+                } else {
+                    None
+                }
+            }
+            None => {
+                let smx = view.first_fit_from(self.cursor, &req)?;
+                self.cursor = (smx.index() + 1) % view.num_smxs();
+                Some(DispatchDecision { batch, smx })
+            }
+        }
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("bound_dispatches", self.bound_dispatches)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynpar::{LaunchLatency, LaunchModelKind};
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::engine::Simulator;
+    use gpu_sim::kernel::ResourceReq;
+    use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
+
+    struct Spawner;
+
+    impl ProgramSource for Spawner {
+        fn tb_program(&self, kind: KernelKindId, _p: u64, tb: u32) -> TbProgram {
+            if kind.0 == 0 {
+                let mut ops = vec![TbOp::Compute(10)];
+                if tb % 2 == 0 {
+                    ops.push(TbOp::Launch(LaunchSpec {
+                        kind: KernelKindId(1),
+                        param: u64::from(tb),
+                        num_tbs: 2,
+                        req: ResourceReq::new(32, 8, 0),
+                    }));
+                }
+                ops.push(TbOp::Compute(200));
+                TbProgram::new(ops)
+            } else {
+                TbProgram::new(vec![TbOp::Compute(10)])
+            }
+        }
+    }
+
+    fn run() -> gpu_sim::SimStats {
+        let cfg = GpuConfig::small_test();
+        let mut sim = Simulator::new(cfg, Box::new(Spawner))
+            .with_scheduler(Box::new(BindOnlyScheduler::new()))
+            .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::uniform(20)));
+        sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+        sim.run_to_completion().unwrap()
+    }
+
+    #[test]
+    fn children_land_on_their_parents_smx() {
+        let stats = run();
+        assert!(stats.dynamic_tbs() > 0);
+        assert_eq!(stats.parent_smx_affinity(), 1.0);
+    }
+
+    #[test]
+    fn dispatch_order_stays_fcfs() {
+        let stats = run();
+        // Children arrive after every parent TB is queued (8 parents fit
+        // the toy machine), so FCFS puts all parents first — unlike
+        // TB-Pri, which would jump children ahead.
+        let first_child = stats.tb_records.iter().position(|r| r.is_dynamic).unwrap();
+        let parents_before = stats.tb_records[..first_child]
+            .iter()
+            .filter(|r| !r.is_dynamic)
+            .count();
+        assert_eq!(parents_before, 8);
+    }
+
+    #[test]
+    fn counters_report_bound_dispatches() {
+        let stats = run();
+        let bound = stats
+            .scheduler_counters
+            .iter()
+            .find(|(k, _)| *k == "bound_dispatches")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(bound as usize, stats.dynamic_tbs());
+    }
+}

@@ -1,0 +1,62 @@
+//! LaPerm: locality-aware thread-block scheduling for dynamic parallelism
+//! on GPUs (Wang, Rubin, Sidelnik, Yalamanchili — ISCA 2016).
+//!
+//! Dynamic parallelism (CDP device kernels, DTBL TB groups) creates
+//! *parent-child* and *child-sibling* reference locality that the
+//! baseline round-robin TB scheduler cannot exploit: child TBs start long
+//! after their direct parents and land on arbitrary SMXs. LaPerm is a
+//! family of three TB scheduling decisions, each subsuming the previous:
+//!
+//! 1. [`TB-Pri`](LaPermPolicy::TbPri) — child TBs get priority
+//!    `parent + 1` (clamped to a maximum nesting level `L`) and dispatch
+//!    before the remaining parent TBs: temporal locality, mostly an L2
+//!    benefit.
+//! 2. [`SMX-Bind`](LaPermPolicy::SmxBind) — child TBs are additionally
+//!    *bound* to the SMX (or SMX cluster) of their direct parent through
+//!    per-SMX priority queues: spatial locality, an L1 benefit, at the
+//!    risk of load imbalance.
+//! 3. [`Adaptive-Bind`](LaPermPolicy::AdaptiveBind) — SMX-Bind plus a
+//!    third dispatch stage in which an SMX whose own queues (and the
+//!    global parent queue) are empty adopts a *backup* SMX's queues and
+//!    drains them: trades a little locality back for balance.
+//!
+//! [`LaPermScheduler`] implements the `gpu-sim` crate's
+//! [`TbScheduler`](gpu_sim::tb_sched::TbScheduler) interface, so it drops
+//! into a [`Simulator`](gpu_sim::engine::Simulator) in place of the
+//! baseline:
+//!
+//! ```
+//! use gpu_sim::config::GpuConfig;
+//! use gpu_sim::engine::Simulator;
+//! use gpu_sim::program::{ProgramSource, TbProgram, TbOp, KernelKindId};
+//! use gpu_sim::kernel::ResourceReq;
+//! use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+//!
+//! struct Trivial;
+//! impl ProgramSource for Trivial {
+//!     fn tb_program(&self, _: KernelKindId, _: u64, _: u32) -> TbProgram {
+//!         TbProgram::new(vec![TbOp::Compute(4)])
+//!     }
+//! }
+//!
+//! let cfg = GpuConfig::small_test();
+//! let sched = LaPermScheduler::new(
+//!     LaPermPolicy::AdaptiveBind,
+//!     LaPermConfig::for_gpu(&cfg),
+//! );
+//! let mut sim = Simulator::new(cfg, Box::new(Trivial)).with_scheduler(Box::new(sched));
+//! sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(64, 16, 0)).unwrap();
+//! let stats = sim.run_to_completion().unwrap();
+//! assert_eq!(stats.scheduler, "laperm-adaptive-bind");
+//! ```
+
+pub mod decomposition;
+pub mod paper;
+pub mod policy;
+pub mod queues;
+pub mod scheduler;
+
+pub use policy::LaPermPolicy;
+pub use queues::{PriorityQueues, QueueStats};
+pub use decomposition::BindOnlyScheduler;
+pub use scheduler::{LaPermConfig, LaPermScheduler};

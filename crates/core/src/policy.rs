@@ -1,0 +1,88 @@
+//! The three LaPerm scheduling decisions.
+
+use std::fmt;
+
+/// Which of the paper's three scheduling decisions to apply (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaPermPolicy {
+    /// TB Prioritizing: dynamic TBs dispatch before lower-priority TBs,
+    /// on any SMX (round-robin placement). Exploits temporal locality;
+    /// mostly an L2 benefit (Section IV-A).
+    TbPri,
+    /// Prioritized SMX Binding: TB-Pri plus binding child TBs to the SMX
+    /// of their direct parent via per-SMX priority queues. Exploits L1
+    /// locality but can idle SMXs (Section IV-B).
+    SmxBind,
+    /// Adaptive Prioritized SMX Binding: SMX-Bind plus a third dispatch
+    /// stage that lets an idle SMX adopt a backup SMX's queues,
+    /// rebalancing work (Section IV-C).
+    AdaptiveBind,
+}
+
+impl LaPermPolicy {
+    /// All policies, in the paper's order of increasing sophistication.
+    pub fn all() -> [LaPermPolicy; 3] {
+        [LaPermPolicy::TbPri, LaPermPolicy::SmxBind, LaPermPolicy::AdaptiveBind]
+    }
+
+    /// Short display name used in reports ("tb-pri", "smx-bind",
+    /// "adaptive-bind").
+    pub fn name(self) -> &'static str {
+        match self {
+            LaPermPolicy::TbPri => "tb-pri",
+            LaPermPolicy::SmxBind => "smx-bind",
+            LaPermPolicy::AdaptiveBind => "adaptive-bind",
+        }
+    }
+
+    /// `true` if the policy binds children to their parent's SMX.
+    pub fn binds_to_smx(self) -> bool {
+        !matches!(self, LaPermPolicy::TbPri)
+    }
+
+    /// `true` if the policy allows cross-SMX work stealing.
+    pub fn steals(self) -> bool {
+        matches!(self, LaPermPolicy::AdaptiveBind)
+    }
+}
+
+impl fmt::Display for LaPermPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_three_in_order() {
+        assert_eq!(
+            LaPermPolicy::all(),
+            [LaPermPolicy::TbPri, LaPermPolicy::SmxBind, LaPermPolicy::AdaptiveBind]
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = LaPermPolicy::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["tb-pri", "smx-bind", "adaptive-bind"]);
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(!LaPermPolicy::TbPri.binds_to_smx());
+        assert!(LaPermPolicy::SmxBind.binds_to_smx());
+        assert!(LaPermPolicy::AdaptiveBind.binds_to_smx());
+        assert!(!LaPermPolicy::SmxBind.steals());
+        assert!(LaPermPolicy::AdaptiveBind.steals());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for p in LaPermPolicy::all() {
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+}

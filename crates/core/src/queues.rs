@@ -1,0 +1,248 @@
+//! The LaPerm priority-queue hardware model (paper Figure 5).
+//!
+//! LaPerm manages dynamic TBs through multi-level priority queues:
+//!
+//! * **Queue 0** is shared by all SMXs and reserved for top-level
+//!   (host-launched) parent kernels.
+//! * **Queues 1..=L** hold dynamic batches at their (clamped) nesting
+//!   level. Under TB-Pri there is one shared set; under the binding
+//!   policies there is one set per SMX (or SMX cluster), fed by the SMX
+//!   of the launching parent.
+//!
+//! The hardware stores up to 128 entries (24 bytes each, ~3 KB SRAM) per
+//! SMX on chip; additional entries overflow to a global-memory buffer.
+//! The model keeps all entries addressable but counts overflow events and
+//! models the entry-search work, which the paper's overhead analysis
+//! (Section IV-E) reasons about.
+
+use std::collections::VecDeque;
+
+use gpu_sim::types::BatchId;
+
+/// Occupancy and overhead counters for the queue hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Entries ever pushed (dynamic batches).
+    pub pushes: u64,
+    /// Pushes that exceeded the on-chip SRAM capacity of their set.
+    pub onchip_overflows: u64,
+    /// Largest entry count observed in any single set.
+    pub max_depth: usize,
+    /// Accumulated modeled entry-search work (cycles).
+    pub search_cycles: u64,
+}
+
+/// The multi-level priority queues of the LaPerm scheduler.
+#[derive(Debug, Clone)]
+pub struct PriorityQueues {
+    sets: Vec<Vec<VecDeque<BatchId>>>,
+    global: VecDeque<BatchId>,
+    levels: u8,
+    onchip_capacity: usize,
+    stats: QueueStats,
+}
+
+impl PriorityQueues {
+    /// On-chip SRAM entries per SMX queue set (paper Section IV-E).
+    pub const ONCHIP_ENTRIES: usize = 128;
+
+    /// Creates `num_sets` queue sets with levels `1..=levels` plus the
+    /// shared level-0 queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets == 0` or `levels == 0`.
+    pub fn new(num_sets: usize, levels: u8, onchip_capacity: usize) -> Self {
+        assert!(num_sets > 0, "need at least one queue set");
+        assert!(levels > 0, "need at least one priority level");
+        PriorityQueues {
+            sets: (0..num_sets)
+                .map(|_| (0..levels).map(|_| VecDeque::new()).collect())
+                .collect(),
+            global: VecDeque::new(),
+            levels,
+            onchip_capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Number of queue sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Maximum dynamic priority level `L`.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Enqueues a top-level parent kernel on the shared queue 0.
+    pub fn push_global(&mut self, batch: BatchId) {
+        self.global.push_back(batch);
+    }
+
+    /// Enqueues a dynamic batch at `level` (clamped to `1..=L`) in `set`.
+    pub fn push(&mut self, set: usize, level: u8, batch: BatchId) {
+        let level = level.clamp(1, self.levels);
+        let occupancy = self.occupancy(set);
+        // Inserting searches the set's entries for the position matching
+        // the batch's priority (worst case the whole on-chip queue).
+        self.stats.search_cycles += occupancy.min(Self::ONCHIP_ENTRIES) as u64;
+        if occupancy >= self.onchip_capacity {
+            self.stats.onchip_overflows += 1;
+        }
+        self.sets[set][usize::from(level) - 1].push_back(batch);
+        self.stats.pushes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(occupancy + 1);
+    }
+
+    /// Total entries currently in a set.
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.sets[set].iter().map(VecDeque::len).sum()
+    }
+
+    /// Entries in the shared level-0 queue.
+    pub fn global_occupancy(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Front batch of the highest non-empty priority queue of `set`,
+    /// pruning entries for which `is_live` is false (exhausted batches).
+    pub fn highest(&mut self, set: usize, mut is_live: impl FnMut(BatchId) -> bool) -> Option<BatchId> {
+        for level in (0..usize::from(self.levels)).rev() {
+            let q = &mut self.sets[set][level];
+            while let Some(&front) = q.front() {
+                if is_live(front) {
+                    return Some(front);
+                }
+                q.pop_front();
+            }
+        }
+        None
+    }
+
+    /// Front live batch of the shared level-0 queue.
+    pub fn global_front(&mut self, mut is_live: impl FnMut(BatchId) -> bool) -> Option<BatchId> {
+        while let Some(&front) = self.global.front() {
+            if is_live(front) {
+                return Some(front);
+            }
+            self.global.pop_front();
+        }
+        None
+    }
+
+    /// The next set after `start` (wrapping, excluding `exclude`) whose
+    /// queues hold a live batch, for backup-queue selection.
+    pub fn find_nonempty_set(
+        &mut self,
+        start: usize,
+        exclude: usize,
+        mut is_live: impl FnMut(BatchId) -> bool,
+    ) -> Option<usize> {
+        let n = self.sets.len();
+        for offset in 0..n {
+            let set = (start + offset) % n;
+            if set == exclude {
+                continue;
+            }
+            if self.highest(set, &mut is_live).is_some() {
+                return Some(set);
+            }
+        }
+        None
+    }
+
+    /// Hardware counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(_: BatchId) -> bool {
+        true
+    }
+
+    #[test]
+    fn higher_level_served_first() {
+        let mut q = PriorityQueues::new(1, 3, 128);
+        q.push(0, 1, BatchId(10));
+        q.push(0, 3, BatchId(30));
+        q.push(0, 2, BatchId(20));
+        assert_eq!(q.highest(0, live), Some(BatchId(30)));
+    }
+
+    #[test]
+    fn fcfs_within_level() {
+        let mut q = PriorityQueues::new(1, 2, 128);
+        q.push(0, 1, BatchId(1));
+        q.push(0, 1, BatchId(2));
+        assert_eq!(q.highest(0, live), Some(BatchId(1)));
+    }
+
+    #[test]
+    fn exhausted_entries_are_pruned() {
+        let mut q = PriorityQueues::new(1, 2, 128);
+        q.push(0, 2, BatchId(1));
+        q.push(0, 2, BatchId(2));
+        assert_eq!(q.highest(0, |b| b != BatchId(1)), Some(BatchId(2)));
+        // BatchId(1) was removed; occupancy reflects the prune.
+        assert_eq!(q.occupancy(0), 1);
+    }
+
+    #[test]
+    fn level_clamps_to_max() {
+        let mut q = PriorityQueues::new(1, 2, 128);
+        q.push(0, 200, BatchId(5));
+        assert_eq!(q.highest(0, live), Some(BatchId(5)));
+    }
+
+    #[test]
+    fn global_queue_is_separate() {
+        let mut q = PriorityQueues::new(2, 2, 128);
+        q.push_global(BatchId(0));
+        q.push(1, 1, BatchId(1));
+        assert_eq!(q.global_front(live), Some(BatchId(0)));
+        assert_eq!(q.highest(0, live), None);
+        assert_eq!(q.highest(1, live), Some(BatchId(1)));
+        assert_eq!(q.global_occupancy(), 1);
+    }
+
+    #[test]
+    fn overflow_counted_past_capacity() {
+        let mut q = PriorityQueues::new(1, 1, 2);
+        q.push(0, 1, BatchId(0));
+        q.push(0, 1, BatchId(1));
+        assert_eq!(q.stats().onchip_overflows, 0);
+        q.push(0, 1, BatchId(2));
+        assert_eq!(q.stats().onchip_overflows, 1);
+        assert_eq!(q.stats().pushes, 3);
+        assert_eq!(q.stats().max_depth, 3);
+    }
+
+    #[test]
+    fn find_nonempty_skips_excluded_and_empty() {
+        let mut q = PriorityQueues::new(4, 1, 128);
+        q.push(2, 1, BatchId(9));
+        assert_eq!(q.find_nonempty_set(0, 0, live), Some(2));
+        // The only non-empty set is excluded: nothing to adopt.
+        assert_eq!(q.find_nonempty_set(2, 2, live), None);
+    }
+
+    #[test]
+    fn find_nonempty_wraps() {
+        let mut q = PriorityQueues::new(3, 1, 128);
+        q.push(0, 1, BatchId(1));
+        assert_eq!(q.find_nonempty_set(2, 1, live), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue set")]
+    fn zero_sets_panics() {
+        let _ = PriorityQueues::new(0, 1, 128);
+    }
+}

@@ -1,0 +1,165 @@
+//! The CUDA Dynamic Parallelism (CDP) launch model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gpu_sim::launch::{Delivery, DynamicLaunchModel, LaunchRequest};
+use gpu_sim::types::Cycle;
+
+use crate::latency::LaunchLatency;
+
+#[derive(Debug)]
+struct Pending {
+    ready_at: Cycle,
+    seq: u64,
+    req: LaunchRequest,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready_at, self.seq) == (other.ready_at, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready_at, self.seq).cmp(&(other.ready_at, other.seq))
+    }
+}
+
+/// Device-side *kernel* launches (CDP).
+///
+/// Every launch matures after [`LaunchLatency`] cycles and is delivered
+/// as a [`Delivery::DeviceKernel`]: it goes through the KMU and occupies
+/// its own KDU entry, subject to the concurrent-kernel limit.
+#[derive(Debug)]
+pub struct CdpModel {
+    latency: LaunchLatency,
+    pending: BinaryHeap<Reverse<Pending>>,
+    next_seq: u64,
+    submitted: u64,
+}
+
+impl CdpModel {
+    /// Creates a CDP launch model.
+    pub fn new(latency: LaunchLatency) -> Self {
+        CdpModel {
+            latency,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Total launches ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// The latency parameters in use.
+    pub fn latency(&self) -> LaunchLatency {
+        self.latency
+    }
+}
+
+impl DynamicLaunchModel for CdpModel {
+    fn submit(&mut self, req: LaunchRequest) {
+        let delay = self.latency.cycles(req.num_tbs, self.pending.len());
+        self.pending.push(Reverse(Pending {
+            ready_at: req.issued_at + delay,
+            seq: self.next_seq,
+            req,
+        }));
+        self.next_seq += 1;
+        self.submitted += 1;
+    }
+
+    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.ready_at > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            out.push(Delivery::DeviceKernel(p.req));
+        }
+        out
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "cdp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::{Origin, ResourceReq};
+    use gpu_sim::program::KernelKindId;
+    use gpu_sim::types::{BatchId, Priority, SmxId};
+
+    fn req(param: u64, issued_at: Cycle, num_tbs: u32) -> LaunchRequest {
+        LaunchRequest {
+            kind: KernelKindId(1),
+            param,
+            num_tbs,
+            req: ResourceReq::new(32, 8, 0),
+            origin: Origin {
+                parent_batch: BatchId(0),
+                parent_tb: 0,
+                parent_smx: SmxId(0),
+                parent_priority: Priority::HOST,
+            },
+            issued_at,
+        }
+    }
+
+    #[test]
+    fn launch_matures_after_latency() {
+        let mut m = CdpModel::new(LaunchLatency::uniform(100));
+        m.submit(req(1, 10, 1));
+        assert!(m.drain_ready(109).is_empty());
+        let out = m.drain_ready(110);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Delivery::DeviceKernel(_)));
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn maturation_preserves_issue_order_for_equal_latency() {
+        let mut m = CdpModel::new(LaunchLatency::zero());
+        m.submit(req(1, 5, 1));
+        m.submit(req(2, 5, 1));
+        let out = m.drain_ready(5);
+        let params: Vec<u64> = out.iter().map(|d| d.request().param).collect();
+        assert_eq!(params, vec![1, 2]);
+    }
+
+    #[test]
+    fn congestion_delays_later_launches() {
+        let mut m = CdpModel::new(LaunchLatency::new(100, 0, 50));
+        m.submit(req(1, 0, 1)); // matures at 100
+        m.submit(req(2, 0, 1)); // matures at 150
+        assert_eq!(m.drain_ready(100).len(), 1);
+        assert!(m.drain_ready(149).is_empty());
+        assert_eq!(m.drain_ready(150).len(), 1);
+    }
+
+    #[test]
+    fn per_tb_cost_scales_with_grid() {
+        let mut m = CdpModel::new(LaunchLatency::new(0, 10, 0));
+        m.submit(req(1, 0, 8));
+        assert!(m.drain_ready(79).is_empty());
+        assert_eq!(m.drain_ready(80).len(), 1);
+        assert_eq!(m.submitted(), 1);
+    }
+}

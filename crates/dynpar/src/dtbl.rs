@@ -1,0 +1,198 @@
+//! The Dynamic Thread Block Launch (DTBL) model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gpu_sim::launch::{Delivery, DynamicLaunchModel, LaunchRequest};
+use gpu_sim::types::Cycle;
+
+use crate::latency::LaunchLatency;
+
+#[derive(Debug)]
+struct Pending {
+    ready_at: Cycle,
+    seq: u64,
+    req: LaunchRequest,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready_at, self.seq) == (other.ready_at, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready_at, self.seq).cmp(&(other.ready_at, other.seq))
+    }
+}
+
+/// Device-side *TB group* launches (DTBL).
+///
+/// Launches mature quickly and are delivered as [`Delivery::TbGroup`]s
+/// coalesced onto the parent kernel's KDU entry, so dynamic TBs are
+/// always visible to the SMX scheduler (no 32-kernel limit).
+///
+/// The DTBL hardware stores TB-group descriptors in a per-SMX on-chip
+/// SRAM table with a global-memory overflow buffer (the same structure
+/// LaPerm later reuses for its priority queues). The model charges
+/// `overflow_penalty` extra cycles to launches submitted while more than
+/// `onchip_capacity` are in flight, and counts those overflows.
+#[derive(Debug)]
+pub struct DtblModel {
+    latency: LaunchLatency,
+    pending: BinaryHeap<Reverse<Pending>>,
+    next_seq: u64,
+    submitted: u64,
+    onchip_capacity: usize,
+    overflow_penalty: u32,
+    overflows: u64,
+}
+
+impl DtblModel {
+    /// Default on-chip TB-group table capacity (128 entries/SMX in the
+    /// paper; a shared pool is modeled).
+    pub const DEFAULT_ONCHIP_CAPACITY: usize = 128;
+
+    /// Default extra cycles for an overflowed (global-memory) group.
+    pub const DEFAULT_OVERFLOW_PENALTY: u32 = 300;
+
+    /// Creates a DTBL launch model with default table parameters.
+    pub fn new(latency: LaunchLatency) -> Self {
+        Self::with_table(
+            latency,
+            Self::DEFAULT_ONCHIP_CAPACITY,
+            Self::DEFAULT_OVERFLOW_PENALTY,
+        )
+    }
+
+    /// Creates a DTBL launch model with an explicit on-chip table size and
+    /// overflow penalty.
+    pub fn with_table(
+        latency: LaunchLatency,
+        onchip_capacity: usize,
+        overflow_penalty: u32,
+    ) -> Self {
+        DtblModel {
+            latency,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+            submitted: 0,
+            onchip_capacity,
+            overflow_penalty,
+            overflows: 0,
+        }
+    }
+
+    /// Total launches ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Launches that overflowed the on-chip table.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// The latency parameters in use.
+    pub fn latency(&self) -> LaunchLatency {
+        self.latency
+    }
+}
+
+impl DynamicLaunchModel for DtblModel {
+    fn submit(&mut self, req: LaunchRequest) {
+        let mut delay = self.latency.cycles(req.num_tbs, self.pending.len());
+        if self.pending.len() >= self.onchip_capacity {
+            delay += u64::from(self.overflow_penalty);
+            self.overflows += 1;
+        }
+        self.pending.push(Reverse(Pending {
+            ready_at: req.issued_at + delay,
+            seq: self.next_seq,
+            req,
+        }));
+        self.next_seq += 1;
+        self.submitted += 1;
+    }
+
+    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.ready_at > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            out.push(Delivery::TbGroup(p.req));
+        }
+        out
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "dtbl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::kernel::{Origin, ResourceReq};
+    use gpu_sim::program::KernelKindId;
+    use gpu_sim::types::{BatchId, Priority, SmxId};
+
+    fn req(param: u64, issued_at: Cycle) -> LaunchRequest {
+        LaunchRequest {
+            kind: KernelKindId(1),
+            param,
+            num_tbs: 1,
+            req: ResourceReq::new(32, 8, 0),
+            origin: Origin {
+                parent_batch: BatchId(0),
+                parent_tb: 0,
+                parent_smx: SmxId(0),
+                parent_priority: Priority::HOST,
+            },
+            issued_at,
+        }
+    }
+
+    #[test]
+    fn delivers_tb_groups() {
+        let mut m = DtblModel::new(LaunchLatency::uniform(10));
+        m.submit(req(1, 0));
+        let out = m.drain_ready(10);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Delivery::TbGroup(_)));
+    }
+
+    #[test]
+    fn overflow_charges_penalty() {
+        let mut m = DtblModel::with_table(LaunchLatency::uniform(10), 1, 1000);
+        m.submit(req(1, 0)); // on-chip, ready at 10
+        m.submit(req(2, 0)); // overflow, ready at 1010
+        assert_eq!(m.overflows(), 1);
+        assert_eq!(m.drain_ready(10).len(), 1);
+        assert!(m.drain_ready(1009).is_empty());
+        assert_eq!(m.drain_ready(1010).len(), 1);
+    }
+
+    #[test]
+    fn no_overflow_under_capacity() {
+        let mut m = DtblModel::new(LaunchLatency::zero());
+        for i in 0..10 {
+            m.submit(req(i, 0));
+        }
+        assert_eq!(m.overflows(), 0);
+        assert_eq!(m.drain_ready(0).len(), 10);
+        assert_eq!(m.submitted(), 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Launch-path latency model.
+//!
+//! Section IV-D of the paper identifies launch latency as the factor that
+//! can "kill any potential parent-child locality": a child that matures
+//! long after its parent finds the caches cold no matter how cleverly it
+//! is scheduled. The model here charges each launch a base cost, a
+//! per-TB cost (parameter-buffer setup), and a congestion cost
+//! proportional to the number of launches already in flight (the
+//! software launch path serializes).
+
+use gpu_sim::types::Cycle;
+
+use crate::LaunchModelKind;
+
+/// Latency parameters for the device-side launch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchLatency {
+    /// Fixed cycles per launch.
+    pub base: u32,
+    /// Additional cycles per child TB.
+    pub per_tb: u32,
+    /// Additional cycles per launch already in flight (congestion).
+    pub per_inflight: u32,
+}
+
+impl LaunchLatency {
+    /// Creates a latency model.
+    pub fn new(base: u32, per_tb: u32, per_inflight: u32) -> Self {
+        LaunchLatency { base, per_tb, per_inflight }
+    }
+
+    /// A zero-latency model (launches mature instantly).
+    pub fn zero() -> Self {
+        LaunchLatency::new(0, 0, 0)
+    }
+
+    /// The default calibration for a mechanism.
+    ///
+    /// CDP device-kernel launches cost several microseconds on Kepler
+    /// (thousands of SMX cycles); DTBL's hardware TB-group path is roughly
+    /// an order of magnitude cheaper (per the DTBL paper this reproduction
+    /// follows).
+    pub fn default_for(kind: LaunchModelKind) -> Self {
+        match kind {
+            LaunchModelKind::Cdp => LaunchLatency::new(2500, 8, 4),
+            LaunchModelKind::Dtbl => LaunchLatency::new(350, 4, 1),
+        }
+    }
+
+    /// A uniform latency with no per-TB or congestion terms, for
+    /// sensitivity sweeps.
+    pub fn uniform(base: u32) -> Self {
+        LaunchLatency::new(base, 0, 0)
+    }
+
+    /// Cycles until a launch of `num_tbs` TBs matures, given `in_flight`
+    /// launches already pending.
+    pub fn cycles(&self, num_tbs: u32, in_flight: usize) -> Cycle {
+        u64::from(self.base)
+            + u64::from(self.per_tb) * u64::from(num_tbs)
+            + u64::from(self.per_inflight) * in_flight as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_is_zero() {
+        assert_eq!(LaunchLatency::zero().cycles(100, 100), 0);
+    }
+
+    #[test]
+    fn cycles_compose_terms() {
+        let l = LaunchLatency::new(100, 2, 5);
+        assert_eq!(l.cycles(10, 3), 100 + 20 + 15);
+    }
+
+    #[test]
+    fn cdp_default_is_much_slower_than_dtbl() {
+        let cdp = LaunchLatency::default_for(LaunchModelKind::Cdp);
+        let dtbl = LaunchLatency::default_for(LaunchModelKind::Dtbl);
+        assert!(cdp.cycles(4, 0) > 5 * dtbl.cycles(4, 0));
+    }
+
+    #[test]
+    fn uniform_has_no_scaling_terms() {
+        let l = LaunchLatency::uniform(500);
+        assert_eq!(l.cycles(1, 0), 500);
+        assert_eq!(l.cycles(1000, 1000), 500);
+    }
+}

@@ -1,0 +1,381 @@
+//! Set-associative cache model with LRU replacement.
+//!
+//! Used for both the per-SMX L1 data caches and the shared L2. The model
+//! is a *tag store only*: probes hit or miss and fills happen atomically
+//! at probe time. That simplification preserves what the LaPerm study
+//! needs — reuse distances and eviction behavior — while keeping the
+//! simulator fast and deterministic.
+
+use crate::types::LineAddr;
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent (and allocated, if the probe allocates).
+    Miss,
+}
+
+/// Which class of thread block issued an access (for split statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// A TB of a host-launched (parent) kernel.
+    Parent,
+    /// A TB of a device-launched kernel or TB group.
+    Child,
+}
+
+/// Hit/miss counters, overall and split by [`AccessClass`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Hits by parent-kernel TBs.
+    pub parent_hits: u64,
+    /// Misses by parent-kernel TBs.
+    pub parent_misses: u64,
+    /// Hits by child (dynamic) TBs.
+    pub child_hits: u64,
+    /// Misses by child (dynamic) TBs.
+    pub child_misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of child-TB accesses only.
+    pub fn child_hit_rate(&self) -> f64 {
+        let total = self.child_hits + self.child_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.child_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.parent_hits += other.parent_hits;
+        self.parent_misses += other.parent_misses;
+        self.child_hits += other.child_hits;
+        self.child_misses += other.child_misses;
+    }
+
+    fn record(&mut self, class: AccessClass, hit: bool) {
+        if hit {
+            self.hits += 1;
+            match class {
+                AccessClass::Parent => self.parent_hits += 1,
+                AccessClass::Child => self.child_hits += 1,
+            }
+        } else {
+            self.misses += 1;
+            match class {
+                AccessClass::Parent => self.parent_misses += 1,
+                AccessClass::Child => self.child_misses += 1,
+            }
+        }
+    }
+}
+
+/// A line evicted by an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// `true` if the line had been written (needs write-back under a
+    /// write-back policy).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    last_use: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A set-associative, LRU, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    ways: Vec<Way>,
+    num_sets: usize,
+    assoc: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache of `bytes` capacity with `assoc` ways and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (zero sizes or associativity not
+    /// dividing the line count). Validate configurations with
+    /// [`GpuConfig::validate`] first.
+    ///
+    /// [`GpuConfig::validate`]: crate::config::GpuConfig::validate
+    pub fn new(bytes: u32, assoc: u32, line_bytes: u32) -> Self {
+        let lines = (bytes / line_bytes) as usize;
+        let assoc = assoc as usize;
+        assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "invalid cache geometry");
+        let num_sets = lines / assoc;
+        Cache {
+            ways: vec![Way { tag: 0, last_use: 0, valid: false, dirty: false }; lines],
+            num_sets,
+            assoc,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Probes the cache for `line`. On a miss, allocates the line (LRU
+    /// victim) when `allocate` is true. Statistics are recorded under
+    /// `class`.
+    pub fn access(&mut self, line: LineAddr, allocate: bool, class: AccessClass) -> ProbeResult {
+        self.access_full(line, allocate, class, false).0
+    }
+
+    /// Like [`access`](Self::access), additionally marking the line dirty
+    /// (for stores under a write-back policy) and reporting any valid
+    /// line the allocation evicted.
+    pub fn access_full(
+        &mut self,
+        line: LineAddr,
+        allocate: bool,
+        class: AccessClass,
+        mark_dirty: bool,
+    ) -> (ProbeResult, Option<EvictedLine>) {
+        self.tick += 1;
+        let set = (line % self.num_sets as u64) as usize;
+        let tag = line / self.num_sets as u64;
+        let num_sets = self.num_sets as u64;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+
+        for way in ways.iter_mut() {
+            if way.valid && way.tag == tag {
+                way.last_use = self.tick;
+                way.dirty |= mark_dirty;
+                self.stats.record(class, true);
+                return (ProbeResult::Hit, None);
+            }
+        }
+        self.stats.record(class, false);
+        let mut evicted = None;
+        if allocate {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+                .expect("assoc > 0");
+            if victim.valid {
+                evicted = Some(EvictedLine {
+                    line: victim.tag * num_sets + set as u64,
+                    dirty: victim.dirty,
+                });
+            }
+            victim.tag = tag;
+            victim.valid = true;
+            victim.dirty = mark_dirty;
+            victim.last_use = self.tick;
+        }
+        (ProbeResult::Miss, evicted)
+    }
+
+    /// `true` if `line` is currently resident (no statistics recorded,
+    /// no LRU update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = (line % self.num_sets as u64) as usize;
+        let tag = line / self.num_sets as u64;
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 128B lines = 1 KiB.
+        Cache::new(1024, 2, 128)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.assoc(), 2);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(42, true, AccessClass::Parent), ProbeResult::Miss);
+        assert_eq!(c.access(42, true, AccessClass::Parent), ProbeResult::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn no_allocate_probe_does_not_fill() {
+        let mut c = tiny();
+        assert_eq!(c.access(7, false, AccessClass::Child), ProbeResult::Miss);
+        assert_eq!(c.access(7, false, AccessClass::Child), ProbeResult::Miss);
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.access(0, true, AccessClass::Parent);
+        c.access(4, true, AccessClass::Parent);
+        c.access(0, true, AccessClass::Parent); // 0 is now MRU
+        c.access(8, true, AccessClass::Parent); // evicts 4
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn class_split_stats() {
+        let mut c = tiny();
+        c.access(1, true, AccessClass::Parent);
+        c.access(1, true, AccessClass::Child);
+        assert_eq!(c.stats().parent_misses, 1);
+        assert_eq!(c.stats().child_hits, 1);
+        assert!((c.stats().child_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        for i in 0..100 {
+            c.access(i % 3, true, AccessClass::Parent);
+        }
+        let r = c.stats().hit_rate();
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny();
+        c.access(5, true, AccessClass::Parent);
+        c.reset();
+        assert!(!c.contains(5));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { hits: 1, misses: 2, ..Default::default() };
+        let b = CacheStats { hits: 3, misses: 4, child_hits: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.child_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(1024, 3, 128);
+    }
+
+    #[test]
+    fn eviction_reports_victim_line() {
+        let mut c = tiny();
+        // Set 0 ways: fill with lines 0 and 4; line 8 evicts line 0.
+        c.access(0, true, AccessClass::Parent);
+        c.access(4, true, AccessClass::Parent);
+        let (res, evicted) = c.access_full(8, true, AccessClass::Parent, false);
+        assert_eq!(res, ProbeResult::Miss);
+        assert_eq!(evicted, Some(EvictedLine { line: 0, dirty: false }));
+    }
+
+    #[test]
+    fn dirty_bit_tracks_stores() {
+        let mut c = tiny();
+        c.access_full(0, true, AccessClass::Parent, true); // dirty fill
+        c.access(4, true, AccessClass::Parent);
+        let (_, evicted) = c.access_full(8, true, AccessClass::Parent, false);
+        assert_eq!(evicted, Some(EvictedLine { line: 0, dirty: true }));
+    }
+
+    #[test]
+    fn hit_can_set_dirty_later() {
+        let mut c = tiny();
+        c.access(0, true, AccessClass::Parent); // clean fill
+        c.access_full(0, true, AccessClass::Parent, true); // store hit
+        c.access(4, true, AccessClass::Parent);
+        c.access(4, true, AccessClass::Parent); // make 4 MRU
+        let (_, evicted) = c.access_full(8, true, AccessClass::Parent, false);
+        assert_eq!(evicted, Some(EvictedLine { line: 0, dirty: true }));
+    }
+
+    #[test]
+    fn no_eviction_reported_for_invalid_victim() {
+        let mut c = tiny();
+        let (_, evicted) = c.access_full(0, true, AccessClass::Parent, false);
+        assert_eq!(evicted, None);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.access(line, true, AccessClass::Parent);
+        }
+        for line in 0..4 {
+            assert!(c.contains(line), "line {line} should still be resident");
+        }
+    }
+}

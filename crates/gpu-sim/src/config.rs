@@ -1,0 +1,333 @@
+//! GPU hardware configuration.
+//!
+//! The default configuration reproduces Table I of the LaPerm paper: an
+//! NVIDIA Kepler K20c (GK110) as modeled in GPGPU-Sim.
+
+/// Which warp scheduling policy the SMXs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WarpSchedPolicy {
+    /// Greedy-Then-Oldest (the paper's Table I baseline).
+    #[default]
+    Gto,
+    /// Loose round-robin.
+    Lrr,
+}
+
+impl WarpSchedPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarpSchedPolicy::Gto => "gto",
+            WarpSchedPolicy::Lrr => "lrr",
+        }
+    }
+}
+
+impl std::fmt::Display for WarpSchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Complete hardware configuration for a simulated GPU.
+///
+/// Construct with [`GpuConfig::kepler_k20c`] (the paper's Table I
+/// configuration) or [`GpuConfig::small_test`] (a tiny configuration for
+/// fast unit tests), then adjust fields as needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of stream multiprocessors.
+    pub num_smxs: u16,
+    /// Maximum resident threads per SMX.
+    pub max_threads_per_smx: u32,
+    /// Maximum resident thread blocks per SMX.
+    pub max_tbs_per_smx: u32,
+    /// Register file size per SMX (number of 32-bit registers).
+    pub max_regs_per_smx: u32,
+    /// Shared memory per SMX in bytes.
+    pub max_smem_per_smx: u32,
+    /// Warp width (threads per warp).
+    pub warp_size: u32,
+    /// Warp instructions issued per SMX per cycle.
+    pub issue_width: u32,
+    /// Warp scheduling policy.
+    pub warp_scheduler: WarpSchedPolicy,
+
+    /// L1 data cache size per SMX in bytes.
+    pub l1_bytes: u32,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// Shared L2 cache size in bytes.
+    pub l2_bytes: u32,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u32,
+
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u32,
+    /// Additional latency for an L2 hit (beyond L1 probe).
+    pub l2_hit_latency: u32,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u32,
+    /// Cycles a DRAM channel is busy serving one 128-byte transaction
+    /// (bandwidth model).
+    pub dram_service_cycles: u32,
+    /// Number of independent DRAM channels.
+    pub dram_channels: u32,
+    /// Latency of a shared-memory access in cycles.
+    pub smem_latency: u32,
+    /// Extra cycles of serialization per additional coalesced transaction
+    /// in one warp memory instruction.
+    pub transaction_issue_cycles: u32,
+
+    /// Maximum concurrently resident kernels (KDU entries).
+    pub max_concurrent_kernels: u32,
+    /// Kernels the KMU may move into the KDU per cycle.
+    pub kmu_dispatch_per_cycle: u32,
+    /// Pipeline latency of a compute instruction in cycles.
+    pub alu_latency: u32,
+    /// Cycles charged to the launching warp for issuing a device-side
+    /// launch (driver-side setup is modeled by the launch model instead).
+    pub launch_issue_cycles: u32,
+
+    /// Safety valve: abort [`run_to_completion`] after this many cycles.
+    ///
+    /// [`run_to_completion`]: crate::engine::Simulator::run_to_completion
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's Table I configuration (Kepler K20c, GK110).
+    ///
+    /// 13 SMXs; per SMX: 2048 threads, 16 TBs, 65536 registers, 32 KB
+    /// shared memory, 32 KB L1; shared 1536 KB L2; 128-byte lines; at most
+    /// 32 concurrent kernels; GTO warp scheduler (see
+    /// [`warp_sched`](crate::warp_sched)).
+    pub fn kepler_k20c() -> Self {
+        GpuConfig {
+            num_smxs: 13,
+            max_threads_per_smx: 2048,
+            max_tbs_per_smx: 16,
+            max_regs_per_smx: 65_536,
+            max_smem_per_smx: 32 * 1024,
+            warp_size: 32,
+            issue_width: 4,
+            warp_scheduler: WarpSchedPolicy::Gto,
+            l1_bytes: 32 * 1024,
+            l1_assoc: 4,
+            l2_bytes: 1536 * 1024,
+            l2_assoc: 16,
+            line_bytes: 128,
+            l1_hit_latency: 28,
+            l2_hit_latency: 120,
+            dram_latency: 220,
+            dram_service_cycles: 4,
+            dram_channels: 8,
+            smem_latency: 24,
+            transaction_issue_cycles: 2,
+            max_concurrent_kernels: 32,
+            kmu_dispatch_per_cycle: 1,
+            alu_latency: 6,
+            launch_issue_cycles: 8,
+            max_cycles: 500_000_000,
+        }
+    }
+
+    /// A small configuration for fast, deterministic unit tests: 4 SMXs,
+    /// tiny caches, one TB per SMX by default resource pressure.
+    pub fn small_test() -> Self {
+        GpuConfig {
+            num_smxs: 4,
+            max_threads_per_smx: 256,
+            max_tbs_per_smx: 4,
+            max_regs_per_smx: 16_384,
+            max_smem_per_smx: 16 * 1024,
+            warp_size: 32,
+            issue_width: 2,
+            warp_scheduler: WarpSchedPolicy::Gto,
+            l1_bytes: 4 * 1024,
+            l1_assoc: 4,
+            l2_bytes: 64 * 1024,
+            l2_assoc: 8,
+            line_bytes: 128,
+            l1_hit_latency: 4,
+            l2_hit_latency: 20,
+            dram_latency: 60,
+            dram_service_cycles: 4,
+            dram_channels: 2,
+            smem_latency: 4,
+            transaction_issue_cycles: 1,
+            max_concurrent_kernels: 8,
+            kmu_dispatch_per_cycle: 1,
+            alu_latency: 4,
+            launch_issue_cycles: 2,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// A Maxwell-generation-like configuration: more, narrower SMs with a
+    /// larger shared L2. The paper claims its ideas "apply to other
+    /// general purpose GPU architectures"; this config backs the
+    /// generality experiment.
+    pub fn maxwell_like() -> Self {
+        let mut cfg = Self::kepler_k20c();
+        cfg.num_smxs = 16;
+        cfg.max_tbs_per_smx = 32;
+        cfg.issue_width = 2;
+        cfg.l1_bytes = 24 * 1024;
+        cfg.l1_assoc = 6;
+        cfg.l2_bytes = 2048 * 1024;
+        cfg.l2_hit_latency = 130;
+        cfg
+    }
+
+    /// The 4-SMX, one-TB-per-SMX toy machine used for the paper's Figure 4
+    /// walk-through example.
+    pub fn figure4_toy() -> Self {
+        let mut cfg = Self::small_test();
+        cfg.num_smxs = 4;
+        cfg.max_tbs_per_smx = 1;
+        cfg.max_threads_per_smx = 64;
+        cfg
+    }
+
+    /// Number of warps in a TB of `threads` threads (rounded up).
+    pub fn warps_per_tb(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+
+    /// log2 of the line size, for address-to-line conversion.
+    pub fn line_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (zero sizes, non-power-of-two line size, associativity
+    /// not dividing the cache, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_smxs == 0 {
+            return Err("num_smxs must be nonzero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes {} must be a power of two", self.line_bytes));
+        }
+        if self.warp_size == 0 || self.issue_width == 0 {
+            return Err("warp_size and issue_width must be nonzero".into());
+        }
+        for (name, bytes, assoc) in [
+            ("L1", self.l1_bytes, self.l1_assoc),
+            ("L2", self.l2_bytes, self.l2_assoc),
+        ] {
+            let lines = bytes / self.line_bytes;
+            if lines == 0 || assoc == 0 || lines % assoc != 0 {
+                return Err(format!(
+                    "{name} geometry invalid: {bytes} bytes, {assoc}-way, {} lines",
+                    lines
+                ));
+            }
+        }
+        if self.dram_channels == 0 {
+            return Err("dram_channels must be nonzero".into());
+        }
+        if self.max_concurrent_kernels == 0 {
+            return Err("max_concurrent_kernels must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::kepler_k20c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_config_is_valid() {
+        GpuConfig::kepler_k20c().validate().unwrap();
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        GpuConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn maxwell_like_is_valid_and_differs() {
+        let m = GpuConfig::maxwell_like();
+        m.validate().unwrap();
+        assert_eq!(m.num_smxs, 16);
+        assert!(m.l2_bytes > GpuConfig::kepler_k20c().l2_bytes);
+    }
+
+    #[test]
+    fn figure4_toy_holds_one_tb_per_smx() {
+        let cfg = GpuConfig::figure4_toy();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_smxs, 4);
+        assert_eq!(cfg.max_tbs_per_smx, 1);
+    }
+
+    #[test]
+    fn kepler_matches_table1() {
+        let cfg = GpuConfig::kepler_k20c();
+        assert_eq!(cfg.num_smxs, 13);
+        assert_eq!(cfg.max_threads_per_smx, 2048);
+        assert_eq!(cfg.max_tbs_per_smx, 16);
+        assert_eq!(cfg.max_regs_per_smx, 65_536);
+        assert_eq!(cfg.l1_bytes, 32 * 1024);
+        assert_eq!(cfg.l2_bytes, 1536 * 1024);
+        assert_eq!(cfg.line_bytes, 128);
+        assert_eq!(cfg.max_concurrent_kernels, 32);
+    }
+
+    #[test]
+    fn warps_per_tb_rounds_up() {
+        let cfg = GpuConfig::kepler_k20c();
+        assert_eq!(cfg.warps_per_tb(32), 1);
+        assert_eq!(cfg.warps_per_tb(33), 2);
+        assert_eq!(cfg.warps_per_tb(256), 8);
+        assert_eq!(cfg.warps_per_tb(1), 1);
+    }
+
+    #[test]
+    fn line_bits_matches_line_size() {
+        let cfg = GpuConfig::kepler_k20c();
+        assert_eq!(cfg.line_bits(), 7);
+    }
+
+    #[test]
+    fn invalid_line_size_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.line_bytes = 100;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_cache_geometry_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.l1_assoc = 3;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_smxs_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.num_smxs = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_kepler() {
+        assert_eq!(GpuConfig::default(), GpuConfig::kepler_k20c());
+    }
+}

@@ -1,0 +1,183 @@
+//! DRAM latency, bandwidth, and row-buffer model.
+//!
+//! Each 128-byte transaction that misses in L2 is serviced by one of
+//! `channels` DRAM channels (selected by line address). A channel serves
+//! one transaction every `service_cycles` — requests that arrive while
+//! the channel is busy queue behind it — and keeps one *row* open:
+//! consecutive accesses to the same 2 KB row are row-buffer hits, while a
+//! row switch adds a precharge/activate penalty. The returned latency is
+//! `queueing + row penalty + dram_latency`, giving both a bandwidth
+//! constraint and the row-locality sensitivity that coalesced,
+//! spatially-local access streams exploit.
+
+use crate::types::{Cycle, LineAddr};
+
+/// Lines per DRAM row (2 KB rows of 128-byte lines).
+const LINES_PER_ROW: u64 = 16;
+
+/// Extra service cycles for a row-buffer miss (precharge + activate).
+const ROW_MISS_PENALTY: u32 = 12;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Channel {
+    free_at: Cycle,
+    open_row: Option<u64>,
+}
+
+/// The DRAM model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    channels: Vec<Channel>,
+    latency: u32,
+    service_cycles: u32,
+    accesses: u64,
+    total_queueing: u64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model with the given channel count, access latency,
+    /// and per-transaction service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: u32, latency: u32, service_cycles: u32) -> Self {
+        assert!(channels > 0, "DRAM needs at least one channel");
+        Dram {
+            channels: vec![Channel::default(); channels as usize],
+            latency,
+            service_cycles,
+            accesses: 0,
+            total_queueing: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Services one line transaction issued at `now`; returns its total
+    /// latency in cycles (queueing and row penalty included).
+    pub fn access(&mut self, line: LineAddr, now: Cycle) -> u64 {
+        let chan_index = (line % self.channels.len() as u64) as usize;
+        let row = line / LINES_PER_ROW;
+        let chan = &mut self.channels[chan_index];
+
+        let row_penalty = if chan.open_row == Some(row) {
+            self.row_hits += 1;
+            0
+        } else {
+            self.row_misses += 1;
+            chan.open_row = Some(row);
+            u64::from(ROW_MISS_PENALTY)
+        };
+
+        let start = chan.free_at.max(now);
+        chan.free_at = start + u64::from(self.service_cycles) + row_penalty;
+        let queueing = start - now;
+        self.accesses += 1;
+        self.total_queueing += queueing;
+        queueing + row_penalty + u64::from(self.latency)
+    }
+
+    /// Total transactions serviced.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Mean queueing delay per transaction (cycles).
+    pub fn mean_queueing(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_queueing as f64 / self.accesses as f64
+        }
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_first_access_pays_row_miss() {
+        let mut d = Dram::new(2, 100, 4);
+        assert_eq!(d.access(0, 50), 100 + u64::from(ROW_MISS_PENALTY));
+    }
+
+    #[test]
+    fn same_row_access_is_cheaper() {
+        let mut d = Dram::new(1, 100, 4);
+        let first = d.access(0, 0);
+        let second = d.access(1, 1000); // same 16-line row, channel idle
+        assert_eq!(second, 100);
+        assert!(second < first);
+        assert!((d.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_switch_pays_penalty_again() {
+        let mut d = Dram::new(1, 100, 4);
+        d.access(0, 0);
+        let other_row = d.access(LINES_PER_ROW, 1000);
+        assert_eq!(other_row, 100 + u64::from(ROW_MISS_PENALTY));
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut d = Dram::new(1, 100, 4);
+        d.access(0, 0); // row miss: busy until 4 + 12 = 16
+        let lat = d.access(1, 0); // row hit but queued behind the first
+        assert_eq!(lat, 16 + 100);
+    }
+
+    #[test]
+    fn different_channels_do_not_queue() {
+        let mut d = Dram::new(2, 100, 4);
+        let a = d.access(0, 0);
+        let b = d.access(1, 0); // odd line → channel 1
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn channel_frees_over_time() {
+        let mut d = Dram::new(1, 100, 4);
+        d.access(0, 0);
+        assert_eq!(d.access(2, 10_000), 100); // row still open
+    }
+
+    #[test]
+    fn stats_track_accesses_and_queueing() {
+        let mut d = Dram::new(1, 100, 10);
+        d.access(0, 0);
+        d.access(0, 0);
+        assert_eq!(d.accesses(), 2);
+        assert!(d.mean_queueing() > 0.0);
+    }
+
+    #[test]
+    fn each_channel_has_its_own_open_row() {
+        let mut d = Dram::new(2, 100, 4);
+        d.access(0, 0); // channel 0, row 0
+        d.access(1, 0); // channel 1, row 0
+        // Both channels re-hit their rows.
+        assert_eq!(d.access(2, 1000), 100);
+        assert_eq!(d.access(3, 1000), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = Dram::new(0, 100, 4);
+    }
+}

@@ -1,0 +1,726 @@
+//! The simulation engine: owns the SMXs, memory system, KMU/KDU, launch
+//! model, and TB scheduler, and advances them cycle by cycle.
+
+use std::collections::HashMap;
+
+use crate::cache::AccessClass;
+use crate::config::GpuConfig;
+use crate::error::SimError;
+use crate::kdu::Kdu;
+use crate::kernel::{Batch, BatchKind, BatchState, Origin, ResourceReq};
+use crate::kmu::Kmu;
+use crate::launch::{Delivery, DynamicLaunchModel, ImmediateLaunchModel, LaunchRequest};
+use crate::mem::MemorySystem;
+use crate::program::{KernelKindId, ProgramSource};
+use crate::smx::{Smx, SmxResources, TbCompletion};
+use crate::stats::{SimStats, TbRecord};
+use crate::tb_sched::{DispatchDecision, DispatchView, RoundRobinScheduler, TbScheduler};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
+use crate::warp_sched::{GreedyThenOldest, LooseRoundRobin, WarpScheduler};
+
+/// A complete GPU simulation.
+///
+/// Build one with [`Simulator::new`], optionally swap in a TB scheduler
+/// ([`with_scheduler`](Self::with_scheduler)) and launch model
+/// ([`with_launch_model`](Self::with_launch_model)), launch host kernels,
+/// then [`run_to_completion`](Self::run_to_completion).
+pub struct Simulator {
+    cfg: GpuConfig,
+    cycle: Cycle,
+    smxs: Vec<Smx>,
+    mem: MemorySystem,
+    kmu: Kmu,
+    kdu: Kdu,
+    batches: Vec<Batch>,
+    scheduler: Box<dyn TbScheduler>,
+    launch_model: Box<dyn DynamicLaunchModel>,
+    source: Box<dyn ProgramSource>,
+    // KDU-FCFS-ordered list of schedulable batches; `sched_head` is a
+    // lazily advanced cursor past exhausted prefix entries.
+    sched_list: Vec<BatchId>,
+    sched_seq: Vec<u64>,
+    sched_head: usize,
+    undispatched: u64,
+    dispatch_seq: u64,
+    tb_records: Vec<TbRecord>,
+    record_index: HashMap<TbRef, usize>,
+    dispatches_since_prune: u64,
+    trace: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("scheduler", &self.scheduler.name())
+            .field("launch_model", &self.launch_model.name())
+            .field("batches", &self.batches.len())
+            .field("undispatched", &self.undispatched)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the baseline round-robin TB scheduler and
+    /// a zero-latency CDP-style launch model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GpuConfig::validate`].
+    pub fn new(cfg: GpuConfig, source: Box<dyn ProgramSource>) -> Self {
+        cfg.validate().expect("invalid GpuConfig");
+        let make_warp_sched = || -> Box<dyn WarpScheduler> {
+            match cfg.warp_scheduler {
+                crate::config::WarpSchedPolicy::Gto => Box::new(GreedyThenOldest::new()),
+                crate::config::WarpSchedPolicy::Lrr => Box::new(LooseRoundRobin::new()),
+            }
+        };
+        let smxs = (0..cfg.num_smxs)
+            .map(|i| Smx::new(SmxId(i), &cfg, make_warp_sched()))
+            .collect();
+        let mem = MemorySystem::new(&cfg);
+        let kdu = Kdu::new(cfg.max_concurrent_kernels);
+        Simulator {
+            cycle: 0,
+            smxs,
+            mem,
+            kmu: Kmu::new(),
+            kdu,
+            batches: Vec::new(),
+            scheduler: Box::new(RoundRobinScheduler::new()),
+            launch_model: Box::new(ImmediateLaunchModel::new()),
+            source,
+            sched_list: Vec::new(),
+            sched_seq: Vec::new(),
+            sched_head: 0,
+            undispatched: 0,
+            dispatch_seq: 0,
+            tb_records: Vec::new(),
+            record_index: HashMap::new(),
+            dispatches_since_prune: 0,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Replaces the TB scheduler (call before launching kernels).
+    pub fn with_scheduler(mut self, scheduler: Box<dyn TbScheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the dynamic launch model (call before launching kernels).
+    pub fn with_launch_model(mut self, model: Box<dyn DynamicLaunchModel>) -> Self {
+        self.launch_model = model;
+        self
+    }
+
+    /// Attaches a scheduling-event trace sink (see [`crate::trace`]).
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    fn emit(&mut self, cycle: Cycle, event: TraceEvent) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(cycle, event);
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// All batches created so far.
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// Thread blocks currently resident across all SMXs.
+    pub fn resident_tbs(&self) -> usize {
+        self.smxs.iter().map(Smx::resident_tbs).sum()
+    }
+
+    /// Occupied KDU entries (concurrently resident kernels).
+    pub fn kdu_occupancy(&self) -> usize {
+        self.kdu.occupied()
+    }
+
+    /// Kernels waiting in the KMU for a free KDU entry.
+    pub fn kmu_pending(&self) -> usize {
+        self.kmu.len()
+    }
+
+    /// A cheap counter snapshot for windowed time-series analysis (see
+    /// [`MachineSample`](crate::stats::MachineSample)).
+    pub fn sample(&self) -> crate::stats::MachineSample {
+        let l1 = self.mem.l1_stats_total();
+        let l2 = self.mem.l2_stats();
+        crate::stats::MachineSample {
+            cycle: self.cycle,
+            thread_instructions: self.smxs.iter().map(|s| s.thread_instructions).sum(),
+            l1_hits: l1.hits,
+            l1_misses: l1.misses,
+            l2_hits: l2.hits,
+            l2_misses: l2.misses,
+            resident_tbs: self.resident_tbs(),
+            undispatched_tbs: self.undispatched,
+        }
+    }
+
+    /// Launches a kernel from the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::KernelTooLarge`] if a single TB of the kernel
+    /// can never fit on an SMX, or if the grid is empty.
+    pub fn launch_host_kernel(
+        &mut self,
+        kind: KernelKindId,
+        param: u64,
+        num_tbs: u32,
+        req: ResourceReq,
+    ) -> Result<BatchId, SimError> {
+        let id = self.create_batch(BatchKind::HostKernel, kind, param, num_tbs, req, None)?;
+        self.kmu.push(id);
+        self.emit(self.cycle, TraceEvent::KernelQueued { batch: id });
+        Ok(id)
+    }
+
+    fn create_batch(
+        &mut self,
+        batch_kind: BatchKind,
+        kind: KernelKindId,
+        param: u64,
+        num_tbs: u32,
+        req: ResourceReq,
+        origin: Option<Origin>,
+    ) -> Result<BatchId, SimError> {
+        let id = BatchId(self.batches.len() as u32);
+        let reason = if num_tbs == 0 {
+            Some("grid has zero TBs".to_string())
+        } else if req.threads == 0 {
+            Some("TB has zero threads".to_string())
+        } else if req.threads > self.cfg.max_threads_per_smx {
+            Some(format!("{} threads exceed SMX limit", req.threads))
+        } else if req.regs_per_tb() > self.cfg.max_regs_per_smx {
+            Some(format!("{} registers exceed SMX limit", req.regs_per_tb()))
+        } else if req.smem_bytes > self.cfg.max_smem_per_smx {
+            Some(format!("{} bytes shared memory exceed SMX limit", req.smem_bytes))
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Err(SimError::KernelTooLarge { batch: id, reason });
+        }
+        let priority = match &origin {
+            Some(o) => o.parent_priority.child(),
+            None => Priority::HOST,
+        };
+        self.batches.push(Batch {
+            id,
+            batch_kind,
+            kind,
+            param,
+            num_tbs,
+            req,
+            origin,
+            priority,
+            created_at: self.cycle,
+            schedulable_at: None,
+            state: BatchState::Pending,
+            next_tb: 0,
+            finished_tbs: 0,
+            kdu_entry: None,
+        });
+        Ok(id)
+    }
+
+    /// `true` when no work remains anywhere in the machine.
+    pub fn is_done(&self) -> bool {
+        self.kmu.is_empty()
+            && self.launch_model.in_flight() == 0
+            && self.undispatched == 0
+            && self.smxs.iter().all(|s| s.resident_tbs() == 0)
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler misbehavior ([`SimError::BadDispatch`]) and
+    /// invalid device launches ([`SimError::KernelTooLarge`]).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+
+        // 1. Matured device-side launches enter the scheduling hardware.
+        for delivery in self.launch_model.drain_ready(now) {
+            self.deliver_launch(delivery, now)?;
+        }
+
+        // 2. KMU moves pending kernels into free KDU entries.
+        for _ in 0..self.cfg.kmu_dispatch_per_cycle {
+            if self.kmu.is_empty() || !self.kdu.has_free_entry() {
+                break;
+            }
+            let pending_ids: Vec<BatchId> = self.kmu.pending().collect();
+            let pending_refs: Vec<&Batch> =
+                pending_ids.iter().map(|id| &self.batches[id.index()]).collect();
+            let idx = self.scheduler.kmu_pick(&pending_refs).min(pending_ids.len() - 1);
+            let id = self.kmu.take(idx);
+            let entry = self.kdu.insert(id).expect("KDU entry checked free");
+            self.emit(now, TraceEvent::KernelToKdu { batch: id, entry });
+            self.make_schedulable(id, entry, now);
+        }
+
+        // 3. The SMX scheduler dispatches at most one TB.
+        if self.undispatched > 0 {
+            self.prune_sched_list();
+            let smx_free: Vec<SmxResources> = self.smxs.iter().map(|s| s.free()).collect();
+            let decision = self.scheduler.pick(&DispatchView {
+                cycle: now,
+                schedulable: &self.sched_list[self.sched_head..],
+                batches: &self.batches,
+                smx_free: &smx_free,
+            });
+            if let Some(d) = decision {
+                self.place(d, now)?;
+            }
+        }
+
+        // 4. SMXs execute.
+        for i in 0..self.smxs.len() {
+            let events = self.smxs[i].step(now, &mut self.mem, &self.cfg);
+            for launch in events.launches {
+                let parent_batch = launch.by.batch;
+                let parent_priority = self.batches[parent_batch.index()].priority;
+                // Validate the child's shape before it enters the launch
+                // path, so misbehaving workloads fail loudly.
+                if launch.spec.num_tbs == 0 || launch.spec.req.threads == 0 {
+                    return Err(SimError::KernelTooLarge {
+                        batch: BatchId(self.batches.len() as u32),
+                        reason: "device launch with empty grid or zero-thread TBs".into(),
+                    });
+                }
+                self.emit(
+                    now,
+                    TraceEvent::LaunchIssued { by: launch.by, num_tbs: launch.spec.num_tbs },
+                );
+                self.launch_model.submit(LaunchRequest {
+                    kind: launch.spec.kind,
+                    param: launch.spec.param,
+                    num_tbs: launch.spec.num_tbs,
+                    req: launch.spec.req,
+                    origin: Origin {
+                        parent_batch,
+                        parent_tb: launch.by.index,
+                        parent_smx: launch.smx,
+                        parent_priority,
+                    },
+                    issued_at: now,
+                });
+            }
+            for completion in events.completions {
+                self.finish_tb(completion, now);
+            }
+        }
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs until [`is_done`](Self::is_done) or the cycle limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimitExceeded`] past `cfg.max_cycles`, or
+    /// any error from [`step`](Self::step).
+    pub fn run_to_completion(&mut self) -> Result<SimStats, SimError> {
+        while !self.is_done() {
+            self.step()?;
+            if self.cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// A snapshot of the statistics so far.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.cycle,
+            warp_instructions: self.smxs.iter().map(|s| s.warp_instructions).sum(),
+            instruction_mix: {
+                let mut mix = crate::stats::InstructionMix::default();
+                for s in &self.smxs {
+                    mix.merge(&s.instruction_mix);
+                }
+                mix
+            },
+            thread_instructions: self.smxs.iter().map(|s| s.thread_instructions).sum(),
+            l1: self.mem.l1_stats_total(),
+            l2: *self.mem.l2_stats(),
+            dram_accesses: self.mem.dram_accesses(),
+            dram_mean_queueing: self.mem.dram_mean_queueing(),
+            dram_row_hit_rate: self.mem.dram_row_hit_rate(),
+            mshr_merges: self.mem.mshr_merges(),
+            l2_writebacks: self.mem.l2_writebacks(),
+            smx_busy_cycles: self.smxs.iter().map(|s| s.busy_cycles).collect(),
+            smx_tbs: self.smxs.iter().map(|s| s.tbs_executed).collect(),
+            tb_records: self.tb_records.clone(),
+            scheduler_counters: self.scheduler.counters(),
+            scheduler: self.scheduler.name().to_string(),
+            launch_model: self.launch_model.name().to_string(),
+        }
+    }
+
+    fn deliver_launch(&mut self, delivery: Delivery, now: Cycle) -> Result<(), SimError> {
+        match delivery {
+            Delivery::DeviceKernel(req) => {
+                let id = self.create_batch(
+                    BatchKind::DeviceKernel,
+                    req.kind,
+                    req.param,
+                    req.num_tbs,
+                    req.req,
+                    Some(req.origin),
+                )?;
+                self.batches[id.index()].created_at = req.issued_at;
+                self.kmu.push(id);
+                self.emit(now, TraceEvent::KernelQueued { batch: id });
+            }
+            Delivery::TbGroup(req) => {
+                let parent_entry = self.batches[req.origin.parent_batch.index()]
+                    .kdu_entry
+                    .filter(|&e| self.kdu.entry(e).is_some());
+                let id = self.create_batch(
+                    BatchKind::TbGroup,
+                    req.kind,
+                    req.param,
+                    req.num_tbs,
+                    req.req,
+                    Some(req.origin),
+                )?;
+                self.batches[id.index()].created_at = req.issued_at;
+                match parent_entry {
+                    Some(entry) => {
+                        self.kdu.attach_group(entry, id);
+                        self.emit(now, TraceEvent::GroupCoalesced { batch: id, entry });
+                        self.make_schedulable(id, entry, now);
+                    }
+                    None => {
+                        // The parent kernel's entry is gone; fall back to a
+                        // device-kernel launch through the KMU.
+                        self.batches[id.index()].batch_kind = BatchKind::DeviceKernel;
+                        self.kmu.push(id);
+                        self.emit(now, TraceEvent::KernelQueued { batch: id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn make_schedulable(&mut self, id: BatchId, entry: usize, now: Cycle) {
+        let seq = self.kdu.entry(entry).expect("entry occupied").seq;
+        {
+            let b = &mut self.batches[id.index()];
+            b.state = BatchState::Schedulable;
+            b.schedulable_at = Some(now);
+            b.kdu_entry = Some(entry);
+            self.undispatched += u64::from(b.num_tbs);
+        }
+        // Insert in KDU-FCFS order: after the last batch whose entry seq
+        // is <= this one (groups go behind their base kernel and earlier
+        // siblings).
+        let mut pos = self.sched_seq.len();
+        while pos > 0 && self.sched_seq[pos - 1] > seq {
+            pos -= 1;
+        }
+        let pos = pos.max(self.sched_head);
+        self.sched_list.insert(pos, id);
+        self.sched_seq.insert(pos, seq);
+        self.scheduler.on_batch_schedulable(&self.batches[id.index()], now);
+    }
+
+    fn prune_sched_list(&mut self) {
+        while self.sched_head < self.sched_list.len() {
+            let b = &self.batches[self.sched_list[self.sched_head].index()];
+            if b.has_undispatched_tbs() {
+                break;
+            }
+            self.sched_head += 1;
+        }
+        if self.sched_head > 4096 {
+            self.sched_list.drain(..self.sched_head);
+            self.sched_seq.drain(..self.sched_head);
+            self.sched_head = 0;
+        }
+    }
+
+    fn place(&mut self, d: DispatchDecision, now: Cycle) -> Result<(), SimError> {
+        let Some(batch) = self.batches.get(d.batch.index()) else {
+            return Err(SimError::BadDispatch {
+                batch: d.batch,
+                smx: d.smx,
+                reason: "unknown batch".into(),
+            });
+        };
+        if batch.state != BatchState::Schedulable || !batch.has_undispatched_tbs() {
+            return Err(SimError::BadDispatch {
+                batch: d.batch,
+                smx: d.smx,
+                reason: "batch not schedulable or exhausted".into(),
+            });
+        }
+        if d.smx.index() >= self.smxs.len() || !self.smxs[d.smx.index()].fits(&batch.req) {
+            return Err(SimError::BadDispatch {
+                batch: d.batch,
+                smx: d.smx,
+                reason: "insufficient SMX resources".into(),
+            });
+        }
+
+        let (tb_index, kind, param, req, origin, priority, created_at) = {
+            let b = &mut self.batches[d.batch.index()];
+            let tb_index = b.next_tb;
+            b.next_tb += 1;
+            (tb_index, b.kind, b.param, b.req, b.origin, b.priority, b.created_at)
+        };
+        self.undispatched -= 1;
+        self.dispatches_since_prune += 1;
+
+        let tb = TbRef { batch: d.batch, index: tb_index };
+        let program = self.source.tb_program(kind, param, tb_index);
+        let class = if origin.is_some() { AccessClass::Child } else { AccessClass::Parent };
+        self.dispatch_seq += 1;
+        self.smxs[d.smx.index()].place(
+            tb,
+            class,
+            program,
+            req,
+            self.dispatch_seq,
+            now,
+            self.cfg.warp_size,
+        );
+
+        self.emit(now, TraceEvent::TbDispatched { tb, smx: d.smx });
+        self.record_index.insert(tb, self.tb_records.len());
+        self.tb_records.push(TbRecord {
+            tb,
+            kind,
+            smx: d.smx,
+            priority,
+            is_dynamic: origin.is_some(),
+            parent: origin.map(|o| (o.parent_batch, o.parent_tb, o.parent_smx)),
+            created_at,
+            dispatched_at: now,
+            finished_at: 0,
+        });
+        Ok(())
+    }
+
+    fn finish_tb(&mut self, c: TbCompletion, now: Cycle) {
+        self.emit(now, TraceEvent::TbCompleted { tb: c.tb, smx: c.smx });
+        if let Some(&i) = self.record_index.get(&c.tb) {
+            self.tb_records[i].finished_at = c.finished_at;
+        }
+        let (complete, entry) = {
+            let b = &mut self.batches[c.tb.batch.index()];
+            b.finished_tbs += 1;
+            let complete = b.is_complete();
+            if complete {
+                b.state = BatchState::Complete;
+            }
+            (complete, b.kdu_entry)
+        };
+        self.scheduler.on_tb_finished(c.tb, c.smx, now);
+
+        if complete {
+            if let Some(e) = entry {
+                let all_done = self.kdu.entry(e).is_some_and(|entry| {
+                    let done = |id: BatchId| {
+                        self.batches[id.index()].state == BatchState::Complete
+                    };
+                    done(entry.base) && entry.groups.iter().all(|&g| done(g))
+                });
+                if all_done {
+                    let removed = self.kdu.remove(e);
+                    self.batches[removed.base.index()].kdu_entry = None;
+                    for g in removed.groups {
+                        self.batches[g.index()].kdu_entry = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AddrPattern, LaunchSpec, MemOp, TbOp, TbProgram};
+
+    /// Each parent TB does some compute; TB index `launcher` launches
+    /// `children` child TBs that load the same lines the parent touched.
+    struct NestedSource {
+        launcher: u32,
+        children: u32,
+    }
+
+    impl ProgramSource for NestedSource {
+        fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+            match kind.0 {
+                0 => {
+                    let mut ops = vec![
+                        TbOp::Mem(MemOp::load(AddrPattern::Strided {
+                            base: u64::from(tb_index) * 4096,
+                            stride: 4,
+                        })),
+                        TbOp::Compute(8),
+                    ];
+                    if tb_index == self.launcher {
+                        ops.push(TbOp::Launch(LaunchSpec {
+                            kind: KernelKindId(1),
+                            param: u64::from(tb_index),
+                            num_tbs: self.children,
+                            req: ResourceReq::new(32, 8, 0),
+                        }));
+                    }
+                    TbProgram::new(ops)
+                }
+                _ => TbProgram::new(vec![
+                    TbOp::Mem(MemOp::load(AddrPattern::Strided {
+                        base: param * 4096,
+                        stride: 4,
+                    })),
+                    TbOp::Compute(4),
+                ]),
+            }
+        }
+    }
+
+    fn simple_sim() -> Simulator {
+        Simulator::new(
+            GpuConfig::small_test(),
+            Box::new(NestedSource { launcher: 1, children: 3 }),
+        )
+    }
+
+    #[test]
+    fn host_kernel_runs_to_completion() {
+        let mut sim = simple_sim();
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        assert!(sim.is_done());
+        // 6 parents + 3 children.
+        assert_eq!(stats.tb_records.len(), 9);
+        assert_eq!(stats.dynamic_tbs(), 3);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn every_tb_retires() {
+        let mut sim = simple_sim();
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        for r in &stats.tb_records {
+            assert!(r.finished_at >= r.dispatched_at, "TB {} never retired", r.tb);
+        }
+    }
+
+    #[test]
+    fn child_records_carry_parent_info() {
+        let mut sim = simple_sim();
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        let children: Vec<_> = stats.tb_records.iter().filter(|r| r.is_dynamic).collect();
+        assert_eq!(children.len(), 3);
+        for c in children {
+            let (pb, ptb, _psmx) = c.parent.unwrap();
+            assert_eq!(pb, BatchId(0));
+            assert_eq!(ptb, 1);
+            assert_eq!(c.priority, Priority(1));
+        }
+    }
+
+    #[test]
+    fn zero_tb_host_kernel_rejected() {
+        let mut sim = simple_sim();
+        let err = sim
+            .launch_host_kernel(KernelKindId(0), 0, 0, ResourceReq::new(64, 8, 0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::KernelTooLarge { .. }));
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        let mut sim = simple_sim();
+        let cfg_threads = sim.config().max_threads_per_smx;
+        let err = sim
+            .launch_host_kernel(KernelKindId(0), 0, 1, ResourceReq::new(cfg_threads + 1, 8, 0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::KernelTooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_machine_is_done() {
+        let sim = simple_sim();
+        assert!(sim.is_done());
+    }
+
+    #[test]
+    fn round_robin_spreads_parent_tbs() {
+        let mut sim = simple_sim();
+        sim.launch_host_kernel(KernelKindId(0), 0, 4, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        let parents: Vec<_> =
+            stats.tb_records.iter().filter(|r| !r.is_dynamic).map(|r| r.smx.0).collect();
+        // 4 parents on a 4-SMX machine, dispatched round-robin.
+        assert_eq!(parents, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_host_kernels_fcfs() {
+        let mut sim = Simulator::new(
+            GpuConfig::small_test(),
+            Box::new(NestedSource { launcher: u32::MAX, children: 0 }),
+        );
+        sim.launch_host_kernel(KernelKindId(0), 0, 2, ResourceReq::new(64, 8, 0)).unwrap();
+        sim.launch_host_kernel(KernelKindId(0), 1, 2, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        assert_eq!(stats.tb_records.len(), 4);
+        // First kernel's TBs dispatch before the second kernel's.
+        let order: Vec<u32> = stats.tb_records.iter().map(|r| r.tb.batch.0).collect();
+        assert_eq!(order, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn stats_cache_totals_consistent() {
+        let mut sim = simple_sim();
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        assert_eq!(stats.l1.accesses(), stats.l1.hits + stats.l1.misses);
+        // Every L2 access stems from an L1 miss or store.
+        assert!(stats.l2.accesses() <= stats.l1.accesses());
+        assert!(stats.dram_accesses <= stats.l2.accesses());
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.max_cycles = 10;
+        let mut sim = Simulator::new(cfg, Box::new(NestedSource { launcher: 0, children: 8 }));
+        sim.launch_host_kernel(KernelKindId(0), 0, 64, ResourceReq::new(64, 8, 0)).unwrap();
+        let err = sim.run_to_completion().unwrap_err();
+        assert_eq!(err, SimError::CycleLimitExceeded { limit: 10 });
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{BatchId, SmxId};
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The hardware configuration failed validation.
+    InvalidConfig(String),
+    /// A kernel's per-TB resource requirement can never fit on an SMX.
+    KernelTooLarge {
+        /// The offending batch.
+        batch: BatchId,
+        /// Description of the violated limit.
+        reason: String,
+    },
+    /// A scheduler returned a dispatch decision that does not fit.
+    BadDispatch {
+        /// The batch the scheduler tried to dispatch from.
+        batch: BatchId,
+        /// The SMX it targeted.
+        smx: SmxId,
+        /// Why the decision was rejected.
+        reason: String,
+    },
+    /// The simulation exceeded the configured cycle budget.
+    CycleLimitExceeded {
+        /// The cycle budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::KernelTooLarge { batch, reason } => {
+                write!(f, "kernel {batch} can never be placed: {reason}")
+            }
+            SimError::BadDispatch { batch, smx, reason } => {
+                write!(f, "bad dispatch of {batch} to {smx}: {reason}")
+            }
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            SimError::InvalidConfig("bad".into()),
+            SimError::KernelTooLarge { batch: BatchId(1), reason: "too many threads".into() },
+            SimError::BadDispatch {
+                batch: BatchId(2),
+                smx: SmxId(0),
+                reason: "no resources".into(),
+            },
+            SimError::CycleLimitExceeded { limit: 100 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

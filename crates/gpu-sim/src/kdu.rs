@@ -1,0 +1,167 @@
+//! Kernel Distributor Unit (KDU).
+//!
+//! The KDU holds the kernels currently visible to the SMX scheduler — at
+//! most `max_concurrent_kernels` (32 on Kepler). Host and CDP device
+//! kernels each occupy one entry; DTBL TB groups are *coalesced* onto the
+//! entry of the kernel whose TB launched them and never consume an entry
+//! of their own (Section IV-C of the paper).
+
+use crate::types::BatchId;
+
+/// One occupied KDU entry: a base kernel plus any TB groups coalesced
+/// onto it.
+#[derive(Debug, Clone)]
+pub struct KduEntry {
+    /// The kernel that owns the entry.
+    pub base: BatchId,
+    /// DTBL TB groups attached to this entry, in arrival order.
+    pub groups: Vec<BatchId>,
+    /// Monotone insertion sequence, for FCFS ordering.
+    pub seq: u64,
+}
+
+/// The kernel distributor.
+#[derive(Debug)]
+pub struct Kdu {
+    entries: Vec<Option<KduEntry>>,
+    occupied: usize,
+    next_seq: u64,
+}
+
+impl Kdu {
+    /// Creates a KDU with `capacity` entries.
+    pub fn new(capacity: u32) -> Self {
+        Kdu {
+            entries: (0..capacity).map(|_| None).collect(),
+            occupied: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// `true` if a new kernel can be inserted.
+    pub fn has_free_entry(&self) -> bool {
+        self.occupied < self.entries.len()
+    }
+
+    /// Number of occupied entries.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts a kernel, returning its entry index, or `None` when full.
+    pub fn insert(&mut self, base: BatchId) -> Option<usize> {
+        let slot = self.entries.iter().position(|e| e.is_none())?;
+        self.entries[slot] = Some(KduEntry { base, groups: Vec::new(), seq: self.next_seq });
+        self.next_seq += 1;
+        self.occupied += 1;
+        Some(slot)
+    }
+
+    /// Attaches a TB group to an existing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is vacant.
+    pub fn attach_group(&mut self, entry: usize, group: BatchId) {
+        self.entries[entry]
+            .as_mut()
+            .expect("attach_group on vacant KDU entry")
+            .groups
+            .push(group);
+    }
+
+    /// Frees an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is already vacant.
+    pub fn remove(&mut self, entry: usize) -> KduEntry {
+        let e = self.entries[entry].take().expect("remove on vacant KDU entry");
+        self.occupied -= 1;
+        e
+    }
+
+    /// The entry at `index`, if occupied.
+    pub fn entry(&self, index: usize) -> Option<&KduEntry> {
+        self.entries.get(index).and_then(|e| e.as_ref())
+    }
+
+    /// All batches visible to the SMX scheduler, in FCFS order: entries by
+    /// insertion sequence; within an entry, the base kernel then its
+    /// groups in arrival order (dynamic TBs are appended to the end of the
+    /// kernel's TB pool, per Section II-C).
+    pub fn schedulable_batches(&self) -> Vec<BatchId> {
+        let mut entries: Vec<&KduEntry> = self.entries.iter().flatten().collect();
+        entries.sort_by_key(|e| e.seq);
+        let mut out = Vec::new();
+        for e in entries {
+            out.push(e.base);
+            out.extend(e.groups.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_until_full() {
+        let mut kdu = Kdu::new(2);
+        assert!(kdu.has_free_entry());
+        assert!(kdu.insert(BatchId(0)).is_some());
+        assert!(kdu.insert(BatchId(1)).is_some());
+        assert!(!kdu.has_free_entry());
+        assert!(kdu.insert(BatchId(2)).is_none());
+        assert_eq!(kdu.occupied(), 2);
+        assert_eq!(kdu.capacity(), 2);
+    }
+
+    #[test]
+    fn remove_frees_entry() {
+        let mut kdu = Kdu::new(1);
+        let e = kdu.insert(BatchId(7)).unwrap();
+        let removed = kdu.remove(e);
+        assert_eq!(removed.base, BatchId(7));
+        assert!(kdu.has_free_entry());
+        assert!(kdu.entry(e).is_none());
+    }
+
+    #[test]
+    fn schedulable_order_is_fcfs_with_groups_after_base() {
+        let mut kdu = Kdu::new(4);
+        let a = kdu.insert(BatchId(0)).unwrap();
+        let b = kdu.insert(BatchId(1)).unwrap();
+        kdu.attach_group(a, BatchId(2));
+        kdu.attach_group(b, BatchId(3));
+        kdu.attach_group(a, BatchId(4));
+        assert_eq!(
+            kdu.schedulable_batches(),
+            vec![BatchId(0), BatchId(2), BatchId(4), BatchId(1), BatchId(3)]
+        );
+    }
+
+    #[test]
+    fn reused_slot_keeps_fcfs_order() {
+        let mut kdu = Kdu::new(2);
+        let a = kdu.insert(BatchId(0)).unwrap();
+        kdu.insert(BatchId(1)).unwrap();
+        kdu.remove(a);
+        kdu.insert(BatchId(2)).unwrap();
+        // BatchId(2) reuses slot 0 but must sort after BatchId(1).
+        assert_eq!(kdu.schedulable_batches(), vec![BatchId(1), BatchId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn attach_to_vacant_panics() {
+        let mut kdu = Kdu::new(1);
+        kdu.attach_group(0, BatchId(0));
+    }
+}

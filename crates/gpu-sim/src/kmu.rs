@@ -1,0 +1,86 @@
+//! Kernel Management Unit (KMU).
+//!
+//! The KMU holds kernels that are not yet in the KDU: host launches and
+//! matured CDP device launches. The baseline dispatches them FCFS; the
+//! LaPerm extension asks the TB scheduler which pending kernel to move
+//! into the KDU next (highest priority first, Section IV-C).
+
+use std::collections::VecDeque;
+
+use crate::types::BatchId;
+
+/// The pending-kernel queue in front of the KDU.
+#[derive(Debug, Default)]
+pub struct Kmu {
+    pending: VecDeque<BatchId>,
+}
+
+impl Kmu {
+    /// Creates an empty KMU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a kernel (host launch or matured device launch).
+    pub fn push(&mut self, batch: BatchId) {
+        self.pending.push_back(batch);
+    }
+
+    /// Pending kernels, FCFS order.
+    pub fn pending(&self) -> impl Iterator<Item = BatchId> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Number of pending kernels.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes and returns the pending kernel at `index` (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn take(&mut self, index: usize) -> BatchId {
+        self.pending.remove(index).expect("KMU take index out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_ordering() {
+        let mut kmu = Kmu::new();
+        kmu.push(BatchId(3));
+        kmu.push(BatchId(1));
+        let order: Vec<_> = kmu.pending().collect();
+        assert_eq!(order, vec![BatchId(3), BatchId(1)]);
+    }
+
+    #[test]
+    fn take_by_index() {
+        let mut kmu = Kmu::new();
+        kmu.push(BatchId(0));
+        kmu.push(BatchId(1));
+        kmu.push(BatchId(2));
+        assert_eq!(kmu.take(1), BatchId(1));
+        assert_eq!(kmu.len(), 2);
+        assert_eq!(kmu.take(0), BatchId(0));
+        assert_eq!(kmu.take(0), BatchId(2));
+        assert!(kmu.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn take_out_of_range_panics() {
+        let mut kmu = Kmu::new();
+        kmu.take(0);
+    }
+}

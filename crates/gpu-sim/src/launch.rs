@@ -1,0 +1,148 @@
+//! The device-side launch path.
+//!
+//! When a warp executes a [`TbOp::Launch`](crate::program::TbOp::Launch),
+//! the engine hands a [`LaunchRequest`] to the simulation's
+//! [`DynamicLaunchModel`]. The model decides *when* the launch matures
+//! (launch latency) and *how* it is delivered: as a CDP device kernel
+//! (through the KMU, consuming a KDU entry) or as a DTBL TB group
+//! (coalesced onto the parent kernel's KDU entry). Concrete models live
+//! in the `dynpar` crate; [`ImmediateLaunchModel`] here is a zero-latency
+//! CDP-style model for tests.
+
+use std::collections::VecDeque;
+
+use crate::kernel::{Origin, ResourceReq};
+use crate::program::KernelKindId;
+use crate::types::Cycle;
+
+/// A device-side launch in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchRequest {
+    /// Kernel kind of the child.
+    pub kind: KernelKindId,
+    /// Opaque workload parameter.
+    pub param: u64,
+    /// Number of child TBs.
+    pub num_tbs: u32,
+    /// Per-TB resource requirement of the child.
+    pub req: ResourceReq,
+    /// Who launched it.
+    pub origin: Origin,
+    /// Cycle the launching warp issued the request.
+    pub issued_at: Cycle,
+}
+
+/// How a matured launch enters the scheduling hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// A CDP device kernel: enqueued at the KMU, occupies a KDU entry once
+    /// dispatched, counted against the concurrent-kernel limit.
+    DeviceKernel(LaunchRequest),
+    /// A DTBL TB group: coalesced onto the parent kernel's KDU entry,
+    /// immediately visible to the SMX scheduler.
+    TbGroup(LaunchRequest),
+}
+
+impl Delivery {
+    /// The underlying request.
+    pub fn request(&self) -> &LaunchRequest {
+        match self {
+            Delivery::DeviceKernel(r) | Delivery::TbGroup(r) => r,
+        }
+    }
+}
+
+/// Models the latency and routing of device-side launches.
+pub trait DynamicLaunchModel: Send {
+    /// Accepts a launch issued by a running TB.
+    fn submit(&mut self, req: LaunchRequest);
+
+    /// Returns every launch that has matured by cycle `now`.
+    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery>;
+
+    /// Number of launches still in flight.
+    fn in_flight(&self) -> usize;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for Box<dyn DynamicLaunchModel> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DynamicLaunchModel({})", self.name())
+    }
+}
+
+/// A zero-latency CDP-style launch model, mainly for tests: every launch
+/// matures on the next [`drain_ready`](DynamicLaunchModel::drain_ready)
+/// call as a device kernel.
+#[derive(Debug, Default)]
+pub struct ImmediateLaunchModel {
+    queue: VecDeque<LaunchRequest>,
+}
+
+impl ImmediateLaunchModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DynamicLaunchModel for ImmediateLaunchModel {
+    fn submit(&mut self, req: LaunchRequest) {
+        self.queue.push_back(req);
+    }
+
+    fn drain_ready(&mut self, _now: Cycle) -> Vec<Delivery> {
+        self.queue.drain(..).map(Delivery::DeviceKernel).collect()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "immediate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BatchId, Priority, SmxId};
+
+    fn request(param: u64) -> LaunchRequest {
+        LaunchRequest {
+            kind: KernelKindId(1),
+            param,
+            num_tbs: 2,
+            req: ResourceReq::new(32, 8, 0),
+            origin: Origin {
+                parent_batch: BatchId(0),
+                parent_tb: 0,
+                parent_smx: SmxId(0),
+                parent_priority: Priority::HOST,
+            },
+            issued_at: 10,
+        }
+    }
+
+    #[test]
+    fn immediate_model_delivers_all() {
+        let mut m = ImmediateLaunchModel::new();
+        m.submit(request(1));
+        m.submit(request(2));
+        assert_eq!(m.in_flight(), 2);
+        let out = m.drain_ready(10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.in_flight(), 0);
+        assert!(matches!(out[0], Delivery::DeviceKernel(_)));
+        assert_eq!(out[1].request().param, 2);
+    }
+
+    #[test]
+    fn delivery_request_accessor() {
+        let d = Delivery::TbGroup(request(9));
+        assert_eq!(d.request().param, 9);
+    }
+}

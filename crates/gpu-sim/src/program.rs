@@ -1,0 +1,293 @@
+//! Thread-block programs: the instruction streams executed by warps.
+//!
+//! A kernel's behavior is described per thread block by a [`TbProgram`] —
+//! a sequence of [`TbOp`]s that every warp of the TB executes in order
+//! (memory operations carry concrete per-thread addresses). Programs are
+//! produced on demand by a [`ProgramSource`], typically a workload
+//! generator, so that the simulator never needs the application's real
+//! code — only its compute/memory/launch shape.
+
+use std::sync::Arc;
+
+use crate::kernel::ResourceReq;
+use crate::types::Addr;
+
+/// Identifies a kernel *kind* — one of the distinct kernel functions a
+/// workload defines (e.g. "BFS parent sweep" vs "BFS child expand").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KernelKindId(pub u16);
+
+/// The memory space targeted by a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Off-chip global memory, cached in L1/L2.
+    Global,
+    /// On-chip per-TB shared memory (scratchpad): fixed latency, no cache
+    /// traffic.
+    Shared,
+}
+
+/// How a warp memory instruction generates its 32 per-thread addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Thread `t` of the TB accesses `base + t * stride` bytes.
+    ///
+    /// With `stride` equal to the element size this is a fully coalesced
+    /// access; larger strides fan out over more lines.
+    Strided {
+        /// Byte address accessed by thread 0.
+        base: Addr,
+        /// Byte distance between consecutive threads' addresses.
+        stride: u32,
+    },
+    /// Every thread accesses one explicit address; entry `t` is the
+    /// address for thread `t` of the TB. If shorter than the TB, the
+    /// remaining threads are inactive for this instruction.
+    Gather(Arc<[Addr]>),
+    /// All threads read the same address (e.g. a shared pointer or size).
+    Broadcast(Addr),
+}
+
+impl AddrPattern {
+    /// Returns the addresses touched by warp `warp` (threads
+    /// `warp*warp_size ..` up to `threads` total), in thread order.
+    pub fn warp_addrs(&self, warp: u32, warp_size: u32, threads: u32) -> Vec<Addr> {
+        let first = warp * warp_size;
+        if first >= threads {
+            return Vec::new();
+        }
+        let count = warp_size.min(threads - first);
+        match self {
+            AddrPattern::Strided { base, stride } => (0..count)
+                .map(|l| base + u64::from(first + l) * u64::from(*stride))
+                .collect(),
+            AddrPattern::Gather(addrs) => {
+                let lo = first as usize;
+                let hi = (first + count) as usize;
+                if lo >= addrs.len() {
+                    Vec::new()
+                } else {
+                    addrs[lo..hi.min(addrs.len())].to_vec()
+                }
+            }
+            AddrPattern::Broadcast(a) => vec![*a; count as usize],
+        }
+    }
+
+    /// Iterates over every address the whole TB touches (all threads).
+    pub fn tb_addrs(&self, threads: u32) -> Vec<Addr> {
+        match self {
+            AddrPattern::Strided { base, stride } => (0..threads)
+                .map(|t| base + u64::from(t) * u64::from(*stride))
+                .collect(),
+            AddrPattern::Gather(addrs) => {
+                addrs.iter().copied().take(threads as usize).collect()
+            }
+            AddrPattern::Broadcast(a) => vec![*a; threads.min(1) as usize],
+        }
+    }
+}
+
+/// A warp-level memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemOp {
+    /// Target memory space.
+    pub space: MemSpace,
+    /// Per-thread address generator.
+    pub pattern: AddrPattern,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+impl MemOp {
+    /// A global-memory load.
+    pub fn load(pattern: AddrPattern) -> Self {
+        MemOp { space: MemSpace::Global, pattern, is_store: false }
+    }
+
+    /// A global-memory store.
+    pub fn store(pattern: AddrPattern) -> Self {
+        MemOp { space: MemSpace::Global, pattern, is_store: true }
+    }
+
+    /// A shared-memory access (load/store are timed identically).
+    pub fn shared(pattern: AddrPattern) -> Self {
+        MemOp { space: MemSpace::Shared, pattern, is_store: false }
+    }
+}
+
+/// A device-side launch issued by a TB (CDP kernel or DTBL TB group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSpec {
+    /// Kernel kind of the child.
+    pub kind: KernelKindId,
+    /// Opaque workload parameter forwarded to [`ProgramSource::tb_program`]
+    /// for the child's TBs (e.g. an encoded vertex id).
+    pub param: u64,
+    /// Number of child TBs to launch.
+    pub num_tbs: u32,
+    /// Per-TB resource requirement of the child.
+    pub req: ResourceReq,
+}
+
+/// One operation in a TB program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TbOp {
+    /// Every warp is busy for the given number of cycles (ALU work).
+    Compute(u32),
+    /// Divergent ALU work: the warp issues and is busy for `cycles`, but
+    /// only `active` threads per warp do useful work (a branchy region
+    /// where most lanes are masked off). Costs the same issue slots and
+    /// latency as [`Compute`](Self::Compute) while contributing fewer
+    /// thread instructions — the IPC cost of control divergence.
+    ComputeMasked {
+        /// Busy cycles, as for `Compute`.
+        cycles: u32,
+        /// Active threads per warp (clamped to the warp width).
+        active: u32,
+    },
+    /// Every warp issues this memory instruction (with its own lanes).
+    Mem(MemOp),
+    /// Warp 0 issues a device-side launch; other warps skip the op.
+    Launch(LaunchSpec),
+    /// TB-wide barrier: warps wait until all warps of the TB arrive.
+    Sync,
+}
+
+/// The complete instruction stream of one thread block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TbProgram {
+    ops: Vec<TbOp>,
+}
+
+impl TbProgram {
+    /// Creates a program from an operation list.
+    pub fn new(ops: Vec<TbOp>) -> Self {
+        TbProgram { ops }
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[TbOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the program has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All launches the program will issue, in order.
+    pub fn launches(&self) -> impl Iterator<Item = &LaunchSpec> {
+        self.ops.iter().filter_map(|op| match op {
+            TbOp::Launch(spec) => Some(spec),
+            _ => None,
+        })
+    }
+
+    /// All global-memory operations in the program.
+    pub fn global_mem_ops(&self) -> impl Iterator<Item = &MemOp> {
+        self.ops.iter().filter_map(|op| match op {
+            TbOp::Mem(m) if m.space == MemSpace::Global => Some(m),
+            _ => None,
+        })
+    }
+}
+
+/// Produces TB programs on demand.
+///
+/// Implemented by workload generators. The simulator calls
+/// [`tb_program`](Self::tb_program) once per dispatched TB; the result is
+/// a pure function of `(kind, param, tb_index)` so footprint analysis and
+/// timing simulation see identical address streams.
+pub trait ProgramSource: Send + Sync {
+    /// Returns the program for TB `tb_index` of a batch with the given
+    /// kind and parameter.
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram;
+
+    /// Human-readable name of a kernel kind (for traces and reports).
+    fn kind_name(&self, _kind: KernelKindId) -> String {
+        "kernel".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_warp_addrs_are_consecutive() {
+        let p = AddrPattern::Strided { base: 1000, stride: 4 };
+        let addrs = p.warp_addrs(1, 32, 128);
+        assert_eq!(addrs.len(), 32);
+        assert_eq!(addrs[0], 1000 + 32 * 4);
+        assert_eq!(addrs[31], 1000 + 63 * 4);
+    }
+
+    #[test]
+    fn strided_partial_last_warp() {
+        let p = AddrPattern::Strided { base: 0, stride: 4 };
+        let addrs = p.warp_addrs(1, 32, 40);
+        assert_eq!(addrs.len(), 8);
+    }
+
+    #[test]
+    fn warp_beyond_tb_is_empty() {
+        let p = AddrPattern::Strided { base: 0, stride: 4 };
+        assert!(p.warp_addrs(2, 32, 64).is_empty());
+    }
+
+    #[test]
+    fn gather_respects_length() {
+        let p = AddrPattern::Gather(vec![10, 20, 30].into());
+        let addrs = p.warp_addrs(0, 32, 64);
+        assert_eq!(addrs, vec![10, 20, 30]);
+        assert!(p.warp_addrs(1, 32, 64).is_empty());
+    }
+
+    #[test]
+    fn broadcast_replicates_for_active_lanes() {
+        let p = AddrPattern::Broadcast(99);
+        assert_eq!(p.warp_addrs(0, 32, 16), vec![99; 16]);
+    }
+
+    #[test]
+    fn tb_addrs_covers_all_threads() {
+        let p = AddrPattern::Strided { base: 0, stride: 8 };
+        let addrs = p.tb_addrs(100);
+        assert_eq!(addrs.len(), 100);
+        assert_eq!(addrs[99], 99 * 8);
+    }
+
+    #[test]
+    fn program_launch_iterator_finds_launches() {
+        let spec = LaunchSpec {
+            kind: KernelKindId(1),
+            param: 42,
+            num_tbs: 2,
+            req: ResourceReq::new(32, 16, 0),
+        };
+        let prog = TbProgram::new(vec![
+            TbOp::Compute(4),
+            TbOp::Launch(spec.clone()),
+            TbOp::Sync,
+        ]);
+        let launches: Vec<_> = prog.launches().collect();
+        assert_eq!(launches, vec![&spec]);
+        assert_eq!(prog.len(), 3);
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn global_mem_ops_excludes_shared() {
+        let prog = TbProgram::new(vec![
+            TbOp::Mem(MemOp::load(AddrPattern::Broadcast(0))),
+            TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))),
+        ]);
+        assert_eq!(prog.global_mem_ops().count(), 1);
+    }
+}

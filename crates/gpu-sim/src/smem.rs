@@ -1,0 +1,110 @@
+//! Shared-memory bank-conflict model.
+//!
+//! GPU shared memory is organized as 32 four-byte banks; a warp access
+//! completes in one pass only if no two active threads hit different
+//! words in the same bank (same-word accesses broadcast for free). Each
+//! extra conflicting word adds a serialization pass.
+
+use crate::types::Addr;
+
+/// Number of shared-memory banks (Kepler and newer).
+pub const NUM_BANKS: u64 = 32;
+
+/// Bytes per bank word.
+pub const BANK_WIDTH: u64 = 4;
+
+/// Number of serialized passes a warp shared-memory access needs: the
+/// maximum, over banks, of distinct words addressed in that bank.
+/// Broadcasts (all lanes on one word) take a single pass.
+pub fn conflict_passes(addrs: &[Addr]) -> u32 {
+    if addrs.is_empty() {
+        return 1;
+    }
+    // words_per_bank[b] holds the distinct words seen in bank b; warp
+    // accesses are at most 32 lanes so linear scans beat hashing.
+    let mut words_per_bank: [smallvec::SmallVec; NUM_BANKS as usize] =
+        std::array::from_fn(|_| smallvec::SmallVec::new());
+    for &a in addrs {
+        let word = a / BANK_WIDTH;
+        let bank = (word % NUM_BANKS) as usize;
+        if !words_per_bank[bank].contains(word) {
+            words_per_bank[bank].push(word);
+        }
+    }
+    words_per_bank.iter().map(smallvec::SmallVec::len).max().unwrap_or(1).max(1) as u32
+}
+
+/// A tiny fixed-capacity vector (≤ 32 lanes can hit one bank), avoiding
+/// allocation in the per-access hot path.
+mod smallvec {
+    #[derive(Debug, Clone)]
+    pub struct SmallVec {
+        items: [u64; 32],
+        len: usize,
+    }
+
+    impl SmallVec {
+        pub fn new() -> Self {
+            SmallVec { items: [0; 32], len: 0 }
+        }
+
+        pub fn push(&mut self, value: u64) {
+            debug_assert!(self.len < 32);
+            self.items[self.len] = value;
+            self.len += 1;
+        }
+
+        pub fn contains(&self, value: u64) -> bool {
+            self.items[..self.len].contains(&value)
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_one_word_is_conflict_free() {
+        let addrs: Vec<Addr> = (0..32).map(|t| t * 4).collect();
+        assert_eq!(conflict_passes(&addrs), 1);
+    }
+
+    #[test]
+    fn broadcast_is_one_pass() {
+        let addrs = vec![128u64; 32];
+        assert_eq!(conflict_passes(&addrs), 1);
+    }
+
+    #[test]
+    fn stride_two_words_gives_two_way_conflicts() {
+        // Stride 8 bytes = 2 words: lanes 0 and 16 share bank 0, etc.
+        let addrs: Vec<Addr> = (0..32).map(|t| t * 8).collect();
+        assert_eq!(conflict_passes(&addrs), 2);
+    }
+
+    #[test]
+    fn same_bank_all_lanes_is_fully_serialized() {
+        // Stride of 128 bytes = 32 words: every lane hits bank 0 with a
+        // different word.
+        let addrs: Vec<Addr> = (0..32).map(|t| t * 128).collect();
+        assert_eq!(conflict_passes(&addrs), 32);
+    }
+
+    #[test]
+    fn empty_access_is_one_pass() {
+        assert_eq!(conflict_passes(&[]), 1);
+    }
+
+    #[test]
+    fn mixed_broadcast_and_conflict() {
+        // 31 lanes broadcast word 0; one lane hits word 32 (same bank 0).
+        let mut addrs = vec![0u64; 31];
+        addrs.push(32 * 4);
+        assert_eq!(conflict_passes(&addrs), 2);
+    }
+}

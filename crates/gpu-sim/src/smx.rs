@@ -1,0 +1,604 @@
+//! Stream multiprocessor (SMX) model.
+//!
+//! An SMX holds resident thread blocks subject to resource limits
+//! (threads, registers, shared memory, TB slots), and each cycle issues up
+//! to `issue_width` warp instructions chosen by its warp scheduler.
+//! Memory instructions are coalesced and sent to the memory system; the
+//! issuing warp blocks until the data returns.
+
+use crate::cache::AccessClass;
+use crate::coalesce::coalesce;
+use crate::config::GpuConfig;
+use crate::kernel::ResourceReq;
+use crate::mem::MemorySystem;
+use crate::program::{MemSpace, TbOp, TbProgram};
+use crate::smem::conflict_passes;
+use crate::types::{Cycle, SmxId, TbRef};
+use crate::warp::Warp;
+use crate::warp_sched::{WarpCandidate, WarpScheduler};
+
+/// Free resource pool of one SMX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmxResources {
+    /// Free thread contexts.
+    pub threads: u32,
+    /// Free registers.
+    pub regs: u32,
+    /// Free shared memory in bytes.
+    pub smem: u32,
+    /// Free TB slots.
+    pub tb_slots: u32,
+}
+
+impl SmxResources {
+    /// The full pool for a configuration.
+    pub fn full(cfg: &GpuConfig) -> Self {
+        SmxResources {
+            threads: cfg.max_threads_per_smx,
+            regs: cfg.max_regs_per_smx,
+            smem: cfg.max_smem_per_smx,
+            tb_slots: cfg.max_tbs_per_smx,
+        }
+    }
+
+    /// `true` if one TB with requirement `req` fits in the free pool.
+    pub fn fits(&self, req: &ResourceReq) -> bool {
+        self.tb_slots >= 1
+            && self.threads >= req.threads
+            && self.regs >= req.regs_per_tb()
+            && self.smem >= req.smem_bytes
+    }
+
+    fn take(&mut self, req: &ResourceReq) {
+        debug_assert!(self.fits(req));
+        self.threads -= req.threads;
+        self.regs -= req.regs_per_tb();
+        self.smem -= req.smem_bytes;
+        self.tb_slots -= 1;
+    }
+
+    fn release(&mut self, req: &ResourceReq) {
+        self.threads += req.threads;
+        self.regs += req.regs_per_tb();
+        self.smem += req.smem_bytes;
+        self.tb_slots += 1;
+    }
+}
+
+/// A thread block resident on an SMX.
+#[derive(Debug)]
+pub struct ResidentTb {
+    /// Identity of the TB.
+    pub tb: TbRef,
+    /// Statistics class (parent vs child).
+    pub class: AccessClass,
+    /// The TB's program.
+    pub program: TbProgram,
+    /// Warp execution contexts.
+    pub warps: Vec<Warp>,
+    /// Threads in the TB.
+    pub threads: u32,
+    /// Resources held.
+    pub req: ResourceReq,
+    /// Monotone dispatch sequence number (for warp-scheduler age).
+    pub dispatch_seq: u64,
+    /// Cycle the TB started executing.
+    pub started_at: Cycle,
+}
+
+/// A retired thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbCompletion {
+    /// Identity of the TB.
+    pub tb: TbRef,
+    /// SMX it ran on.
+    pub smx: SmxId,
+    /// Cycle it started.
+    pub started_at: Cycle,
+    /// Cycle it retired.
+    pub finished_at: Cycle,
+}
+
+/// A device-side launch issued by a running TB.
+#[derive(Debug, Clone)]
+pub struct IssuedLaunch {
+    /// The launch parameters from the program.
+    pub spec: crate::program::LaunchSpec,
+    /// The launching (direct parent) TB.
+    pub by: TbRef,
+    /// The SMX the parent is running on.
+    pub smx: SmxId,
+}
+
+/// Events produced by one SMX cycle.
+#[derive(Debug, Default)]
+pub struct SmxEvents {
+    /// TBs that retired this cycle.
+    pub completions: Vec<TbCompletion>,
+    /// Launches issued this cycle.
+    pub launches: Vec<IssuedLaunch>,
+}
+
+/// One stream multiprocessor.
+#[derive(Debug)]
+pub struct Smx {
+    id: SmxId,
+    free: SmxResources,
+    resident: Vec<ResidentTb>,
+    warp_sched: Box<dyn WarpScheduler>,
+    next_event: Cycle,
+    /// Cycles in which at least one warp instruction issued.
+    pub busy_cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Thread instructions issued (warp instructions × active threads).
+    pub thread_instructions: u64,
+    /// Issued warp instructions by kind.
+    pub instruction_mix: crate::stats::InstructionMix,
+    /// TBs dispatched to this SMX over the whole run.
+    pub tbs_executed: u64,
+}
+
+impl std::fmt::Debug for Box<dyn WarpScheduler> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WarpScheduler({})", self.name())
+    }
+}
+
+impl Smx {
+    /// Creates an idle SMX.
+    pub fn new(id: SmxId, cfg: &GpuConfig, warp_sched: Box<dyn WarpScheduler>) -> Self {
+        Smx {
+            id,
+            free: SmxResources::full(cfg),
+            resident: Vec::new(),
+            warp_sched,
+            next_event: 0,
+            busy_cycles: 0,
+            warp_instructions: 0,
+            thread_instructions: 0,
+            instruction_mix: crate::stats::InstructionMix::default(),
+            tbs_executed: 0,
+        }
+    }
+
+    /// This SMX's id.
+    pub fn id(&self) -> SmxId {
+        self.id
+    }
+
+    /// Current free resources.
+    pub fn free(&self) -> SmxResources {
+        self.free
+    }
+
+    /// Number of resident TBs.
+    pub fn resident_tbs(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// `true` if a TB with requirement `req` can be placed now.
+    pub fn fits(&self, req: &ResourceReq) -> bool {
+        self.free.fits(req)
+    }
+
+    /// Places a TB onto this SMX.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the TB does not fit; the engine
+    /// validates dispatch decisions before placing.
+    pub fn place(
+        &mut self,
+        tb: TbRef,
+        class: AccessClass,
+        program: TbProgram,
+        req: ResourceReq,
+        dispatch_seq: u64,
+        now: Cycle,
+        warp_size: u32,
+    ) {
+        self.free.take(&req);
+        let num_warps = req.threads.div_ceil(warp_size).max(1);
+        let mut warps: Vec<Warp> = (0..num_warps).map(|w| Warp::new(w, now)).collect();
+        if program.is_empty() {
+            // Nothing to issue: mark all warps done so the TB retires on
+            // the next step.
+            for w in &mut warps {
+                w.done = true;
+            }
+        }
+        self.resident.push(ResidentTb {
+            tb,
+            class,
+            program,
+            warps,
+            threads: req.threads,
+            req,
+            dispatch_seq,
+            started_at: now,
+        });
+        self.tbs_executed += 1;
+        self.next_event = self.next_event.min(now);
+    }
+
+    /// Advances the SMX by one cycle.
+    pub fn step(&mut self, now: Cycle, mem: &mut MemorySystem, cfg: &GpuConfig) -> SmxEvents {
+        let mut events = SmxEvents::default();
+        if self.resident.is_empty() || now < self.next_event {
+            return events;
+        }
+
+        let mut issued_any = false;
+        for _slot in 0..cfg.issue_width {
+            let mut candidates = Vec::new();
+            let mut locations = Vec::new();
+            for (ti, tb) in self.resident.iter().enumerate() {
+                for (wi, warp) in tb.warps.iter().enumerate() {
+                    if warp.is_ready(now) && warp.pc < tb.program.len() {
+                        candidates.push(WarpCandidate {
+                            tb: tb.tb,
+                            warp: warp.index,
+                            tb_dispatch_seq: tb.dispatch_seq,
+                        });
+                        locations.push((ti, wi));
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            let Some(choice) = self.warp_sched.select(&candidates) else {
+                break;
+            };
+            let (ti, wi) = locations[choice];
+            self.execute_warp_op(ti, wi, now, mem, cfg, &mut events);
+            issued_any = true;
+        }
+
+        self.finalize_done_warps(now);
+        self.release_barriers(now);
+        self.retire_done_tbs(now, &mut events);
+        self.recompute_next_event(now);
+
+        if issued_any {
+            self.busy_cycles += 1;
+        }
+        events
+    }
+
+    fn execute_warp_op(
+        &mut self,
+        ti: usize,
+        wi: usize,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        cfg: &GpuConfig,
+        events: &mut SmxEvents,
+    ) {
+        let tb = &mut self.resident[ti];
+        let op = tb.program.ops()[tb.warps[wi].pc].clone();
+        let warp_index = tb.warps[wi].index;
+        let active_threads =
+            cfg.warp_size.min(tb.threads.saturating_sub(warp_index * cfg.warp_size));
+
+        let mut counted_threads = active_threads;
+        match op {
+            TbOp::Compute(c) => {
+                self.instruction_mix.compute += 1;
+                let cost = u64::from(c.max(1)) + u64::from(cfg.alu_latency);
+                tb.warps[wi].ready_at = now + cost;
+                tb.warps[wi].pc += 1;
+            }
+            TbOp::ComputeMasked { cycles, active } => {
+                self.instruction_mix.compute += 1;
+                counted_threads = active.min(active_threads);
+                let cost = u64::from(cycles.max(1)) + u64::from(cfg.alu_latency);
+                tb.warps[wi].ready_at = now + cost;
+                tb.warps[wi].pc += 1;
+            }
+            TbOp::Mem(m) => {
+                match m.space {
+                    MemSpace::Shared => self.instruction_mix.shared += 1,
+                    MemSpace::Global if m.is_store => self.instruction_mix.stores += 1,
+                    MemSpace::Global => self.instruction_mix.loads += 1,
+                }
+                let latency = match m.space {
+                    MemSpace::Shared => {
+                        let addrs = m.pattern.warp_addrs(warp_index, cfg.warp_size, tb.threads);
+                        u64::from(cfg.smem_latency) * u64::from(conflict_passes(&addrs))
+                    }
+                    MemSpace::Global => {
+                        let addrs = m.pattern.warp_addrs(warp_index, cfg.warp_size, tb.threads);
+                        if addrs.is_empty() {
+                            1
+                        } else {
+                            let lines = coalesce(&addrs, cfg.line_bits());
+                            mem.warp_access(self.id, &lines, m.is_store, tb.class, now).max(1)
+                        }
+                    }
+                };
+                tb.warps[wi].ready_at = now + latency;
+                tb.warps[wi].pc += 1;
+            }
+            TbOp::Launch(spec) => {
+                self.instruction_mix.launches += 1;
+                if warp_index == 0 {
+                    events.launches.push(IssuedLaunch { spec, by: tb.tb, smx: self.id });
+                    tb.warps[wi].ready_at = now + u64::from(cfg.launch_issue_cycles);
+                } else {
+                    tb.warps[wi].ready_at = now + 1;
+                }
+                tb.warps[wi].pc += 1;
+            }
+            TbOp::Sync => {
+                self.instruction_mix.barriers += 1;
+                tb.warps[wi].at_barrier = true;
+                // pc advances when the barrier releases.
+            }
+        }
+
+        self.warp_instructions += 1;
+        self.thread_instructions += u64::from(counted_threads);
+    }
+
+    /// A warp is *done* once it has executed every op and its final op's
+    /// latency has elapsed.
+    fn finalize_done_warps(&mut self, now: Cycle) {
+        for tb in &mut self.resident {
+            let len = tb.program.len();
+            for w in &mut tb.warps {
+                if !w.done && !w.at_barrier && w.pc >= len && w.ready_at <= now {
+                    w.done = true;
+                }
+            }
+        }
+    }
+
+    fn release_barriers(&mut self, now: Cycle) {
+        for tb in &mut self.resident {
+            let all_arrived =
+                !tb.warps.is_empty() && tb.warps.iter().all(|w| w.at_barrier || w.done);
+            let any_waiting = tb.warps.iter().any(|w| w.at_barrier);
+            if all_arrived && any_waiting {
+                for w in &mut tb.warps {
+                    if w.at_barrier {
+                        w.at_barrier = false;
+                        w.pc += 1;
+                        w.ready_at = now + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire_done_tbs(&mut self, now: Cycle, events: &mut SmxEvents) {
+        let mut i = 0;
+        while i < self.resident.len() {
+            let done = self.resident[i].warps.iter().all(|w| w.done)
+                || self.resident[i].program.is_empty();
+            if done {
+                let tb = self.resident.remove(i);
+                self.free.release(&tb.req);
+                events.completions.push(TbCompletion {
+                    tb: tb.tb,
+                    smx: self.id,
+                    started_at: tb.started_at,
+                    finished_at: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn recompute_next_event(&mut self, now: Cycle) {
+        let mut next = Cycle::MAX;
+        for tb in &self.resident {
+            for w in &tb.warps {
+                if !w.done && !w.at_barrier {
+                    next = next.min(w.ready_at);
+                }
+            }
+        }
+        // A TB whose warps are all at a barrier is released within the same
+        // step, so `next` only stays MAX when nothing is resident.
+        self.next_event = if next == Cycle::MAX { now + 1 } else { next.max(now + 1) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AddrPattern, MemOp};
+    use crate::types::BatchId;
+    use crate::warp_sched::GreedyThenOldest;
+
+    fn smx(cfg: &GpuConfig) -> Smx {
+        Smx::new(SmxId(0), cfg, Box::new(GreedyThenOldest::new()))
+    }
+
+    fn tb_ref(i: u32) -> TbRef {
+        TbRef { batch: BatchId(0), index: i }
+    }
+
+    fn run_until_empty(s: &mut Smx, mem: &mut MemorySystem, cfg: &GpuConfig) -> Vec<TbCompletion> {
+        let mut completions = Vec::new();
+        for now in 0..100_000 {
+            let ev = s.step(now, mem, cfg);
+            completions.extend(ev.completions);
+            if s.resident_tbs() == 0 {
+                break;
+            }
+        }
+        completions
+    }
+
+    #[test]
+    fn resources_take_and_release_roundtrip() {
+        let cfg = GpuConfig::small_test();
+        let mut r = SmxResources::full(&cfg);
+        let req = ResourceReq::new(64, 16, 512);
+        assert!(r.fits(&req));
+        r.take(&req);
+        assert_eq!(r.threads, cfg.max_threads_per_smx - 64);
+        r.release(&req);
+        assert_eq!(r, SmxResources::full(&cfg));
+    }
+
+    #[test]
+    fn fits_rejects_oversized() {
+        let cfg = GpuConfig::small_test();
+        let r = SmxResources::full(&cfg);
+        assert!(!r.fits(&ResourceReq::new(cfg.max_threads_per_smx + 1, 1, 0)));
+        assert!(!r.fits(&ResourceReq::new(1, cfg.max_regs_per_smx + 1, 0)));
+        assert!(!r.fits(&ResourceReq::new(1, 1, cfg.max_smem_per_smx + 1)));
+    }
+
+    #[test]
+    fn compute_only_tb_retires() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        let prog = TbProgram::new(vec![TbOp::Compute(3), TbOp::Compute(3)]);
+        s.place(tb_ref(0), AccessClass::Parent, prog, ResourceReq::new(32, 8, 0), 0, 0, 32);
+        let completions = run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].tb, tb_ref(0));
+        assert!(completions[0].finished_at > 0);
+        assert_eq!(s.free(), SmxResources::full(&cfg));
+    }
+
+    #[test]
+    fn memory_op_blocks_warp_for_latency() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        let prog = TbProgram::new(vec![TbOp::Mem(MemOp::load(AddrPattern::Broadcast(0)))]);
+        s.place(tb_ref(0), AccessClass::Parent, prog, ResourceReq::new(32, 8, 0), 0, 0, 32);
+        let completions = run_until_empty(&mut s, &mut mem, &cfg);
+        let total = u64::from(cfg.l1_hit_latency + cfg.l2_hit_latency + cfg.dram_latency);
+        assert!(completions[0].finished_at >= total);
+    }
+
+    #[test]
+    fn barrier_waits_for_all_warps() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        // Two warps; barrier between two compute phases.
+        let prog = TbProgram::new(vec![TbOp::Compute(2), TbOp::Sync, TbOp::Compute(2)]);
+        s.place(tb_ref(0), AccessClass::Parent, prog, ResourceReq::new(64, 8, 0), 0, 0, 32);
+        let completions = run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(completions.len(), 1);
+    }
+
+    #[test]
+    fn launch_emitted_once_by_warp_zero() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        let spec = crate::program::LaunchSpec {
+            kind: crate::program::KernelKindId(1),
+            param: 7,
+            num_tbs: 2,
+            req: ResourceReq::new(32, 8, 0),
+        };
+        // Two warps but only warp 0 should emit the launch.
+        let prog = TbProgram::new(vec![TbOp::Launch(spec.clone())]);
+        s.place(tb_ref(0), AccessClass::Parent, prog, ResourceReq::new(64, 8, 0), 0, 0, 32);
+        let mut launches = Vec::new();
+        for now in 0..1000 {
+            let ev = s.step(now, &mut mem, &cfg);
+            launches.extend(ev.launches);
+            if s.resident_tbs() == 0 {
+                break;
+            }
+        }
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].spec, spec);
+        assert_eq!(launches[0].by, tb_ref(0));
+    }
+
+    #[test]
+    fn empty_program_retires_immediately() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        s.place(
+            tb_ref(0),
+            AccessClass::Parent,
+            TbProgram::default(),
+            ResourceReq::new(32, 8, 0),
+            0,
+            0,
+            32,
+        );
+        let completions = run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(completions.len(), 1);
+    }
+
+    #[test]
+    fn two_tbs_share_smx_and_both_finish() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        for i in 0..2 {
+            s.place(
+                tb_ref(i),
+                AccessClass::Parent,
+                TbProgram::new(vec![TbOp::Compute(4)]),
+                ResourceReq::new(32, 8, 0),
+                u64::from(i),
+                0,
+                32,
+            );
+        }
+        let completions = run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(completions.len(), 2);
+    }
+
+    #[test]
+    fn masked_compute_counts_only_active_lanes() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        s.place(
+            tb_ref(0),
+            AccessClass::Parent,
+            TbProgram::new(vec![
+                TbOp::Compute(1),
+                TbOp::ComputeMasked { cycles: 1, active: 5 },
+            ]),
+            ResourceReq::new(32, 8, 0),
+            0,
+            0,
+            32,
+        );
+        run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(s.warp_instructions, 2);
+        assert_eq!(s.thread_instructions, 32 + 5);
+        assert_eq!(s.instruction_mix.compute, 2);
+    }
+
+    #[test]
+    fn instruction_counters_advance() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        s.place(
+            tb_ref(0),
+            AccessClass::Parent,
+            TbProgram::new(vec![TbOp::Compute(1), TbOp::Compute(1)]),
+            ResourceReq::new(32, 8, 0),
+            0,
+            0,
+            32,
+        );
+        run_until_empty(&mut s, &mut mem, &cfg);
+        assert_eq!(s.warp_instructions, 2);
+        assert_eq!(s.thread_instructions, 64);
+        assert!(s.busy_cycles >= 2);
+        assert_eq!(s.tbs_executed, 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! Simulation statistics.
+
+use crate::cache::CacheStats;
+use crate::program::KernelKindId;
+use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
+
+/// Per-thread-block execution record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbRecord {
+    /// TB identity.
+    pub tb: TbRef,
+    /// Kernel kind of the TB's batch (workload-defined function id).
+    pub kind: KernelKindId,
+    /// SMX it ran on.
+    pub smx: SmxId,
+    /// Batch nesting priority (0 = host kernel).
+    pub priority: Priority,
+    /// `true` for device-launched TBs.
+    pub is_dynamic: bool,
+    /// Direct parent (batch, TB index, SMX), for dynamic TBs.
+    pub parent: Option<(BatchId, u32, SmxId)>,
+    /// Cycle the batch's launch was issued.
+    pub created_at: Cycle,
+    /// Cycle the TB was dispatched to its SMX.
+    pub dispatched_at: Cycle,
+    /// Cycle the TB retired (0 until completion).
+    pub finished_at: Cycle,
+}
+
+/// A cheap point-in-time sample of the machine's cumulative counters,
+/// for windowed time-series analysis (unlike
+/// [`SimStats`], taking one does not clone per-TB records).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineSample {
+    /// Cycle the sample was taken.
+    pub cycle: Cycle,
+    /// Cumulative thread instructions.
+    pub thread_instructions: u64,
+    /// Cumulative L1 hits (all SMXs).
+    pub l1_hits: u64,
+    /// Cumulative L1 misses.
+    pub l1_misses: u64,
+    /// Cumulative L2 hits.
+    pub l2_hits: u64,
+    /// Cumulative L2 misses.
+    pub l2_misses: u64,
+    /// TBs resident across the SMXs right now.
+    pub resident_tbs: usize,
+    /// TBs visible but not yet dispatched right now.
+    pub undispatched_tbs: u64,
+}
+
+impl MachineSample {
+    /// Windowed IPC between `earlier` and `self`.
+    pub fn ipc_since(&self, earlier: &MachineSample) -> f64 {
+        let cycles = self.cycle.saturating_sub(earlier.cycle);
+        if cycles == 0 {
+            0.0
+        } else {
+            (self.thread_instructions - earlier.thread_instructions) as f64 / cycles as f64
+        }
+    }
+
+    /// Windowed L1 hit rate between `earlier` and `self`.
+    pub fn l1_rate_since(&self, earlier: &MachineSample) -> f64 {
+        let hits = self.l1_hits - earlier.l1_hits;
+        let misses = self.l1_misses - earlier.l1_misses;
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Windowed L2 hit rate between `earlier` and `self`.
+    pub fn l2_rate_since(&self, earlier: &MachineSample) -> f64 {
+        let hits = self.l2_hits - earlier.l2_hits;
+        let misses = self.l2_misses - earlier.l2_misses;
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// Issued warp-instruction counts by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// ALU/compute warp instructions.
+    pub compute: u64,
+    /// Global-memory loads.
+    pub loads: u64,
+    /// Global-memory stores.
+    pub stores: u64,
+    /// Shared-memory accesses.
+    pub shared: u64,
+    /// Device-launch issues (once per warp reaching the op).
+    pub launches: u64,
+    /// Barrier arrivals.
+    pub barriers: u64,
+}
+
+impl InstructionMix {
+    /// Total warp instructions.
+    pub fn total(&self) -> u64 {
+        self.compute + self.loads + self.stores + self.shared + self.launches + self.barriers
+    }
+
+    /// Fraction of instructions touching global memory.
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another mix into this one.
+    pub fn merge(&mut self, other: &InstructionMix) {
+        self.compute += other.compute;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.shared += other.shared;
+        self.launches += other.launches;
+        self.barriers += other.barriers;
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Issued warp instructions by kind.
+    pub instruction_mix: InstructionMix,
+    /// Thread instructions issued.
+    pub thread_instructions: u64,
+    /// Aggregated L1 statistics (all SMXs).
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// DRAM transactions.
+    pub dram_accesses: u64,
+    /// Mean DRAM queueing delay per transaction.
+    pub dram_mean_queueing: f64,
+    /// DRAM row-buffer hit rate.
+    pub dram_row_hit_rate: f64,
+    /// L2 misses merged with in-flight fills (MSHR merges).
+    pub mshr_merges: u64,
+    /// Dirty L2 evictions written back to DRAM.
+    pub l2_writebacks: u64,
+    /// Busy cycles per SMX.
+    pub smx_busy_cycles: Vec<u64>,
+    /// TBs executed per SMX.
+    pub smx_tbs: Vec<u64>,
+    /// Per-TB records, in dispatch order.
+    pub tb_records: Vec<TbRecord>,
+    /// Scheduler-specific counters.
+    pub scheduler_counters: Vec<(&'static str, u64)>,
+    /// TB scheduler name.
+    pub scheduler: String,
+    /// Launch model name.
+    pub launch_model: String,
+}
+
+impl SimStats {
+    /// Instructions per cycle (thread instructions).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean SMX utilization: busy cycles / total cycles, averaged over
+    /// SMXs.
+    pub fn smx_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.smx_busy_cycles.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.smx_busy_cycles.iter().sum();
+        total as f64 / (self.cycles as f64 * self.smx_busy_cycles.len() as f64)
+    }
+
+    /// Load imbalance across SMXs: max busy cycles / mean busy cycles
+    /// (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.smx_busy_cycles.is_empty() {
+            return 1.0;
+        }
+        let max = *self.smx_busy_cycles.iter().max().unwrap() as f64;
+        let mean = self.smx_busy_cycles.iter().sum::<u64>() as f64
+            / self.smx_busy_cycles.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Dynamic (child) TB count.
+    pub fn dynamic_tbs(&self) -> usize {
+        self.tb_records.iter().filter(|r| r.is_dynamic).count()
+    }
+
+    /// Mean cycles a dynamic TB waited between its launch being issued
+    /// and its dispatch to an SMX.
+    pub fn mean_child_wait(&self) -> f64 {
+        let waits: Vec<u64> = self
+            .tb_records
+            .iter()
+            .filter(|r| r.is_dynamic)
+            .map(|r| r.dispatched_at.saturating_sub(r.created_at))
+            .collect();
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        }
+    }
+
+    /// Per-kernel-kind execution summary: TB count and mean resident
+    /// time (dispatch to retire), sorted by kind id. Useful to see how
+    /// much of a run is spent in parent sweeps vs child expansions.
+    pub fn per_kind_summary(&self) -> Vec<(KernelKindId, usize, f64)> {
+        let mut acc: std::collections::BTreeMap<u16, (usize, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &self.tb_records {
+            let e = acc.entry(r.kind.0).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.finished_at.saturating_sub(r.dispatched_at);
+        }
+        acc.into_iter()
+            .map(|(kind, (count, total))| {
+                (KernelKindId(kind), count, total as f64 / count.max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// A multi-line human-readable summary of the run (one metric per
+    /// line, aligned), for CLIs and examples.
+    pub fn summary(&self) -> String {
+        let mix = self.instruction_mix;
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<20}{v}\n"));
+        };
+        line("scheduler", self.scheduler.clone());
+        line("launch model", self.launch_model.clone());
+        line("cycles", self.cycles.to_string());
+        line("IPC", format!("{:.2}", self.ipc()));
+        line("L1 hit rate", format!("{:.1}%", self.l1.hit_rate() * 100.0));
+        line("L2 hit rate", format!("{:.1}%", self.l2.hit_rate() * 100.0));
+        line("DRAM accesses", self.dram_accesses.to_string());
+        line("DRAM row hits", format!("{:.1}%", self.dram_row_hit_rate * 100.0));
+        line("MSHR merges", self.mshr_merges.to_string());
+        line("L2 write-backs", self.l2_writebacks.to_string());
+        line(
+            "TBs (total/child)",
+            format!("{}/{}", self.tb_records.len(), self.dynamic_tbs()),
+        );
+        line("mean child wait", format!("{:.0} cycles", self.mean_child_wait()));
+        line(
+            "parent-SMX affinity",
+            format!("{:.1}%", self.parent_smx_affinity() * 100.0),
+        );
+        line("SMX utilization", format!("{:.1}%", self.smx_utilization() * 100.0));
+        line("load imbalance", format!("{:.2}", self.load_imbalance()));
+        line(
+            "instruction mix",
+            format!(
+                "{} compute / {} load / {} store / {} shared / {} launch / {} barrier",
+                mix.compute, mix.loads, mix.stores, mix.shared, mix.launches, mix.barriers
+            ),
+        );
+        for (name, v) in &self.scheduler_counters {
+            line(name, v.to_string());
+        }
+        out
+    }
+
+    /// Fraction of dynamic TBs that ran on the same SMX as their direct
+    /// parent TB.
+    pub fn parent_smx_affinity(&self) -> f64 {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for r in &self.tb_records {
+            if let Some((_, _, parent_smx)) = r.parent {
+                total += 1;
+                if parent_smx == r.smx {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dynamic: bool, smx: u16, parent_smx: Option<u16>) -> TbRecord {
+        TbRecord {
+            tb: TbRef { batch: BatchId(0), index: 0 },
+            kind: KernelKindId(u16::from(dynamic)),
+            smx: SmxId(smx),
+            priority: Priority(u8::from(dynamic)),
+            is_dynamic: dynamic,
+            parent: parent_smx.map(|s| (BatchId(0), 0, SmxId(s))),
+            created_at: 10,
+            dispatched_at: 30,
+            finished_at: 100,
+        }
+    }
+
+    #[test]
+    fn ipc_divides_instructions_by_cycles() {
+        let stats = SimStats { cycles: 100, thread_instructions: 250, ..Default::default() };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_zero_cycles_is_zero() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_imbalance() {
+        let stats = SimStats {
+            cycles: 100,
+            smx_busy_cycles: vec![100, 50, 50],
+            ..Default::default()
+        };
+        assert!((stats.smx_utilization() - (200.0 / 300.0)).abs() < 1e-12);
+        assert!((stats.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_idle_machine_is_one() {
+        let stats = SimStats { smx_busy_cycles: vec![0, 0], ..Default::default() };
+        assert_eq!(stats.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn child_wait_counts_dynamic_only() {
+        let stats = SimStats {
+            tb_records: vec![record(true, 0, Some(1)), record(false, 1, None)],
+            ..Default::default()
+        };
+        assert!((stats.mean_child_wait() - 20.0).abs() < 1e-12);
+        assert_eq!(stats.dynamic_tbs(), 1);
+    }
+
+    #[test]
+    fn instruction_mix_totals_and_fractions() {
+        let mut mix = InstructionMix {
+            compute: 4,
+            loads: 3,
+            stores: 1,
+            shared: 1,
+            launches: 1,
+            barriers: 2,
+        };
+        assert_eq!(mix.total(), 12);
+        assert!((mix.memory_fraction() - 4.0 / 12.0).abs() < 1e-12);
+        mix.merge(&InstructionMix { compute: 1, ..Default::default() });
+        assert_eq!(mix.total(), 13);
+        assert_eq!(InstructionMix::default().memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_every_headline_metric() {
+        let stats = SimStats {
+            cycles: 100,
+            thread_instructions: 250,
+            scheduler: "rr".to_string(),
+            launch_model: "dtbl".to_string(),
+            scheduler_counters: vec![("stage3_steals", 7)],
+            ..Default::default()
+        };
+        let s = stats.summary();
+        for needle in ["cycles", "IPC", "L1 hit rate", "stage3_steals", "2.50", "rr", "dtbl"] {
+            assert!(s.contains(needle), "summary missing {needle}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn per_kind_summary_groups_and_averages() {
+        let mut a = record(false, 0, None);
+        a.finished_at = 130; // 100 resident
+        let mut b = record(false, 1, None);
+        b.finished_at = 50; // 20 resident
+        let c = record(true, 2, Some(0)); // kind 1, 70 resident
+        let stats = SimStats { tb_records: vec![a, b, c], ..Default::default() };
+        let summary = stats.per_kind_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, KernelKindId(0));
+        assert_eq!(summary[0].1, 2);
+        assert!((summary[0].2 - 60.0).abs() < 1e-12);
+        assert_eq!(summary[1].1, 1);
+        assert!((summary[1].2 - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affinity_fraction() {
+        let stats = SimStats {
+            tb_records: vec![
+                record(true, 0, Some(0)),
+                record(true, 1, Some(0)),
+                record(false, 2, None),
+            ],
+            ..Default::default()
+        };
+        assert!((stats.parent_smx_affinity() - 0.5).abs() < 1e-12);
+    }
+}

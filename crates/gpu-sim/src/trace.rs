@@ -1,0 +1,187 @@
+//! Scheduling event traces.
+//!
+//! When a [`TraceSink`] is attached to the engine
+//! ([`Simulator::with_trace`](crate::engine::Simulator::with_trace)),
+//! every scheduling-relevant event is reported as it happens: kernels
+//! entering the KMU/KDU, TB dispatches and completions, device launches
+//! issued and matured. [`VecSink`] collects events for programmatic
+//! inspection; [`render`] formats an event stream as text.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::types::{BatchId, Cycle, SmxId, TbRef};
+
+/// One scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A kernel was queued at the KMU (host launch or matured CDP child).
+    KernelQueued {
+        /// The kernel's batch.
+        batch: BatchId,
+    },
+    /// A kernel moved from the KMU into a KDU entry.
+    KernelToKdu {
+        /// The kernel's batch.
+        batch: BatchId,
+        /// The KDU entry index it occupies.
+        entry: usize,
+    },
+    /// A DTBL TB group was coalesced onto an existing KDU entry.
+    GroupCoalesced {
+        /// The group's batch.
+        batch: BatchId,
+        /// The entry it attached to.
+        entry: usize,
+    },
+    /// A TB was dispatched to an SMX.
+    TbDispatched {
+        /// The TB.
+        tb: TbRef,
+        /// Destination SMX.
+        smx: SmxId,
+    },
+    /// A TB retired.
+    TbCompleted {
+        /// The TB.
+        tb: TbRef,
+        /// The SMX it ran on.
+        smx: SmxId,
+    },
+    /// A running TB issued a device-side launch.
+    LaunchIssued {
+        /// The launching TB.
+        by: TbRef,
+        /// Number of child TBs requested.
+        num_tbs: u32,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle the event occurred.
+    pub cycle: Cycle,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Receives engine events as they happen.
+pub trait TraceSink: Send {
+    /// Called once per event, in simulation order.
+    fn record(&mut self, cycle: Cycle, event: TraceEvent);
+}
+
+impl fmt::Debug for Box<dyn TraceSink> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+/// Collects events into a shared vector (clone the handle before passing
+/// the sink to the engine, then read after the run).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("trace sink poisoned").len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, cycle: Cycle, event: TraceEvent) {
+        self.records
+            .lock()
+            .expect("trace sink poisoned")
+            .push(TraceRecord { cycle, event });
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::KernelQueued { batch } => write!(f, "kernel {batch} queued at KMU"),
+            TraceEvent::KernelToKdu { batch, entry } => {
+                write!(f, "kernel {batch} -> KDU entry {entry}")
+            }
+            TraceEvent::GroupCoalesced { batch, entry } => {
+                write!(f, "group {batch} coalesced onto KDU entry {entry}")
+            }
+            TraceEvent::TbDispatched { tb, smx } => write!(f, "{tb} dispatched to {smx}"),
+            TraceEvent::TbCompleted { tb, smx } => write!(f, "{tb} completed on {smx}"),
+            TraceEvent::LaunchIssued { by, num_tbs } => {
+                write!(f, "{by} launched {num_tbs} child TBs")
+            }
+        }
+    }
+}
+
+/// Renders an event stream as one line per event.
+pub fn render(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!("{:>10}  {}\n", r.cycle, r.event));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let sink = VecSink::new();
+        let mut handle = sink.clone();
+        handle.record(5, TraceEvent::KernelQueued { batch: BatchId(0) });
+        handle.record(9, TraceEvent::KernelToKdu { batch: BatchId(0), entry: 3 });
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].cycle, 5);
+        assert_eq!(records[1].cycle, 9);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn render_formats_every_event_kind() {
+        let tb = TbRef { batch: BatchId(1), index: 2 };
+        let events = [
+            TraceEvent::KernelQueued { batch: BatchId(0) },
+            TraceEvent::KernelToKdu { batch: BatchId(0), entry: 0 },
+            TraceEvent::GroupCoalesced { batch: BatchId(2), entry: 0 },
+            TraceEvent::TbDispatched { tb, smx: SmxId(3) },
+            TraceEvent::TbCompleted { tb, smx: SmxId(3) },
+            TraceEvent::LaunchIssued { by: tb, num_tbs: 4 },
+        ];
+        let records: Vec<TraceRecord> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| TraceRecord { cycle: i as u64, event })
+            .collect();
+        let text = render(&records);
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("queued at KMU"));
+        assert!(text.contains("coalesced"));
+        assert!(text.contains("dispatched to SMX3"));
+        assert!(text.contains("launched 4 child TBs"));
+    }
+}

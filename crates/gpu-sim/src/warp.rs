@@ -1,0 +1,57 @@
+//! Warp execution state.
+
+use crate::types::Cycle;
+
+/// Execution state of one warp within a resident thread block.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Warp index within its TB (warp 0 holds thread 0).
+    pub index: u32,
+    /// Program counter: index into the TB program's op list.
+    pub pc: usize,
+    /// Cycle at which the warp may issue its next op.
+    pub ready_at: Cycle,
+    /// The warp has arrived at a `Sync` op and waits for its TB.
+    pub at_barrier: bool,
+    /// The warp has executed every op of the program.
+    pub done: bool,
+}
+
+impl Warp {
+    /// Creates a warp ready to issue at `start`.
+    pub fn new(index: u32, start: Cycle) -> Self {
+        Warp { index, pc: 0, ready_at: start, at_barrier: false, done: false }
+    }
+
+    /// `true` if the warp can issue an op at `now`.
+    pub fn is_ready(&self, now: Cycle) -> bool {
+        !self.done && !self.at_barrier && self.ready_at <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_warp_is_ready_at_start() {
+        let w = Warp::new(0, 5);
+        assert!(!w.is_ready(4));
+        assert!(w.is_ready(5));
+        assert!(w.is_ready(6));
+    }
+
+    #[test]
+    fn barrier_blocks_readiness() {
+        let mut w = Warp::new(0, 0);
+        w.at_barrier = true;
+        assert!(!w.is_ready(100));
+    }
+
+    #[test]
+    fn done_warp_never_ready() {
+        let mut w = Warp::new(0, 0);
+        w.done = true;
+        assert!(!w.is_ready(u64::MAX));
+    }
+}

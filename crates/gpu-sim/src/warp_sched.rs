@@ -1,0 +1,162 @@
+//! Warp scheduling policies.
+//!
+//! These choose which ready warp an SMX issues next. The paper's baseline
+//! (Table I) uses Greedy-Then-Oldest ([`GreedyThenOldest`]); a loose
+//! round-robin ([`LooseRoundRobin`]) is provided for comparison. LaPerm
+//! is deliberately orthogonal to the warp scheduler (Section IV-F), which
+//! these abstractions make explicit.
+
+use crate::types::TbRef;
+
+/// One issuable warp, as presented to a [`WarpScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpCandidate {
+    /// Identity of the warp's thread block.
+    pub tb: TbRef,
+    /// Warp index within the TB.
+    pub warp: u32,
+    /// Monotone sequence number of the TB's dispatch (smaller = older).
+    pub tb_dispatch_seq: u64,
+}
+
+/// A policy for picking the next warp to issue from the ready set.
+pub trait WarpScheduler: Send {
+    /// Returns the index (into `candidates`) of the warp to issue, or
+    /// `None` to stall. `candidates` is non-empty.
+    fn select(&mut self, candidates: &[WarpCandidate]) -> Option<usize>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Greedy-Then-Oldest: keep issuing from the last warp while it is ready;
+/// otherwise fall back to the oldest warp (oldest TB, then lowest warp
+/// index).
+#[derive(Debug, Default)]
+pub struct GreedyThenOldest {
+    last: Option<(TbRef, u32)>,
+}
+
+impl GreedyThenOldest {
+    /// Creates a GTO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn oldest(candidates: &[WarpCandidate]) -> usize {
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let b = &candidates[best];
+            if (c.tb_dispatch_seq, c.warp) < (b.tb_dispatch_seq, b.warp) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl WarpScheduler for GreedyThenOldest {
+    fn select(&mut self, candidates: &[WarpCandidate]) -> Option<usize> {
+        if let Some(last) = self.last {
+            if let Some(i) = candidates.iter().position(|c| (c.tb, c.warp) == last) {
+                return Some(i);
+            }
+        }
+        let i = Self::oldest(candidates);
+        self.last = Some((candidates[i].tb, candidates[i].warp));
+        Some(i)
+    }
+
+    fn name(&self) -> &'static str {
+        "gto"
+    }
+}
+
+/// Loose round-robin: rotates over the ready set.
+#[derive(Debug, Default)]
+pub struct LooseRoundRobin {
+    counter: usize,
+}
+
+impl LooseRoundRobin {
+    /// Creates a loose round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpScheduler for LooseRoundRobin {
+    fn select(&mut self, candidates: &[WarpCandidate]) -> Option<usize> {
+        let i = self.counter % candidates.len();
+        self.counter = self.counter.wrapping_add(1);
+        Some(i)
+    }
+
+    fn name(&self) -> &'static str {
+        "lrr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BatchId;
+
+    fn cand(batch: u32, index: u32, warp: u32, seq: u64) -> WarpCandidate {
+        WarpCandidate {
+            tb: TbRef { batch: BatchId(batch), index },
+            warp,
+            tb_dispatch_seq: seq,
+        }
+    }
+
+    #[test]
+    fn gto_prefers_oldest_tb_first() {
+        let mut gto = GreedyThenOldest::new();
+        let cands = [cand(0, 1, 0, 5), cand(0, 0, 0, 2), cand(0, 2, 1, 9)];
+        assert_eq!(gto.select(&cands), Some(1));
+    }
+
+    #[test]
+    fn gto_is_greedy_on_same_warp() {
+        let mut gto = GreedyThenOldest::new();
+        let cands = [cand(0, 0, 0, 1), cand(0, 1, 0, 2)];
+        assert_eq!(gto.select(&cands), Some(0));
+        // Re-order the list: the same warp should still be chosen.
+        let cands2 = [cand(0, 1, 0, 2), cand(0, 0, 0, 1)];
+        assert_eq!(gto.select(&cands2), Some(1));
+    }
+
+    #[test]
+    fn gto_falls_back_when_greedy_warp_absent() {
+        let mut gto = GreedyThenOldest::new();
+        let cands = [cand(0, 0, 0, 1)];
+        assert_eq!(gto.select(&cands), Some(0));
+        let cands2 = [cand(0, 1, 3, 7), cand(0, 1, 1, 7)];
+        // Greedy warp gone: oldest is TB seq 7, warp 1.
+        assert_eq!(gto.select(&cands2), Some(1));
+    }
+
+    #[test]
+    fn gto_breaks_ties_by_warp_index() {
+        let mut gto = GreedyThenOldest::new();
+        let cands = [cand(0, 0, 2, 1), cand(0, 0, 1, 1)];
+        assert_eq!(gto.select(&cands), Some(1));
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut lrr = LooseRoundRobin::new();
+        let cands = [cand(0, 0, 0, 0), cand(0, 1, 0, 1), cand(0, 2, 0, 2)];
+        assert_eq!(lrr.select(&cands), Some(0));
+        assert_eq!(lrr.select(&cands), Some(1));
+        assert_eq!(lrr.select(&cands), Some(2));
+        assert_eq!(lrr.select(&cands), Some(0));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(GreedyThenOldest::new().name(), "gto");
+        assert_eq!(LooseRoundRobin::new().name(), "lrr");
+    }
+}

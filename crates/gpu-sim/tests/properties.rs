@@ -1,0 +1,150 @@
+//! Property-based tests of the simulator substrate.
+
+use proptest::prelude::*;
+
+use gpu_sim::cache::{AccessClass, Cache, ProbeResult};
+use gpu_sim::coalesce::{coalesce, transaction_count};
+use gpu_sim::dram::Dram;
+use gpu_sim::program::AddrPattern;
+
+/// A reference LRU model: a vector of (set, tag) in recency order.
+struct ReferenceLru {
+    num_sets: u64,
+    assoc: usize,
+    sets: Vec<Vec<u64>>, // per set: tags, most recent last
+}
+
+impl ReferenceLru {
+    fn new(num_sets: u64, assoc: usize) -> Self {
+        ReferenceLru {
+            num_sets,
+            assoc,
+            sets: vec![Vec::new(); num_sets as usize],
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let set = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == tag) {
+            entries.remove(pos);
+            entries.push(tag);
+            true
+        } else {
+            if entries.len() == self.assoc {
+                entries.remove(0);
+            }
+            entries.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The cache model agrees with a straightforward reference LRU.
+    #[test]
+    fn cache_matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..300)) {
+        // 4 sets x 2 ways.
+        let mut cache = Cache::new(1024, 2, 128);
+        let mut reference = ReferenceLru::new(4, 2);
+        for &line in &lines {
+            let expected = reference.access(line);
+            let got = cache.access(line, true, AccessClass::Parent) == ProbeResult::Hit;
+            prop_assert_eq!(got, expected, "divergence on line {}", line);
+        }
+        prop_assert_eq!(cache.stats().accesses(), lines.len() as u64);
+    }
+
+    /// Hits + misses always equals accesses, and the hit rate is a valid
+    /// probability.
+    #[test]
+    fn cache_stats_are_consistent(lines in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut cache = Cache::new(4096, 4, 128);
+        for &line in &lines {
+            cache.access(line, true, AccessClass::Child);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+        prop_assert_eq!(s.child_hits + s.child_misses, lines.len() as u64);
+    }
+
+    /// Coalescing produces between 1 and N transactions for N addresses,
+    /// deduplicated and order-stable.
+    #[test]
+    fn coalescer_bounds(addrs in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let lines = coalesce(&addrs, 7);
+        prop_assert!(!lines.is_empty());
+        prop_assert!(lines.len() <= addrs.len());
+        // No duplicates.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len());
+        // Every address maps to some returned line.
+        for &a in &addrs {
+            prop_assert!(lines.contains(&(a >> 7)));
+        }
+        prop_assert_eq!(transaction_count(&addrs, 7), lines.len());
+    }
+
+    /// Consecutive addresses within one line always coalesce to a single
+    /// transaction.
+    #[test]
+    fn coalescer_merges_within_line(base in 0u64..1_000_000, count in 1usize..32) {
+        let line_base = base & !127;
+        let addrs: Vec<u64> = (0..count as u64).map(|i| line_base + i * 4).collect();
+        prop_assert_eq!(transaction_count(&addrs, 7), 1);
+    }
+
+    /// DRAM latency is never below the base latency, and an idle channel
+    /// always gives exactly the base latency.
+    #[test]
+    fn dram_latency_bounds(
+        requests in prop::collection::vec((0u64..64, 0u64..10_000), 1..100),
+    ) {
+        let mut dram = Dram::new(4, 200, 8);
+        let mut sorted = requests.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        for &(line, now) in &sorted {
+            let lat = dram.access(line, now);
+            prop_assert!(lat >= 200, "latency {} below DRAM minimum", lat);
+        }
+        prop_assert_eq!(dram.accesses(), sorted.len() as u64);
+        prop_assert!(dram.mean_queueing() >= 0.0);
+    }
+
+    /// Strided warp address generation covers exactly the active lanes.
+    #[test]
+    fn strided_pattern_lane_math(
+        base in 0u64..1_000_000,
+        stride in 1u32..64,
+        threads in 1u32..256,
+        warp in 0u32..8,
+    ) {
+        let p = AddrPattern::Strided { base, stride };
+        let addrs = p.warp_addrs(warp, 32, threads);
+        let first = warp * 32;
+        let expected = if first >= threads { 0 } else { 32.min(threads - first) };
+        prop_assert_eq!(addrs.len() as u32, expected);
+        for (i, &a) in addrs.iter().enumerate() {
+            prop_assert_eq!(a, base + u64::from(first + i as u32) * u64::from(stride));
+        }
+    }
+
+    /// The union of all warps' addresses equals the TB's addresses.
+    #[test]
+    fn warp_addrs_partition_tb_addrs(
+        base in 0u64..1_000_000,
+        stride in 1u32..16,
+        threads in 1u32..128,
+    ) {
+        let p = AddrPattern::Strided { base, stride };
+        let mut from_warps = Vec::new();
+        for warp in 0..threads.div_ceil(32) {
+            from_warps.extend(p.warp_addrs(warp, 32, threads));
+        }
+        prop_assert_eq!(from_warps, p.tb_addrs(threads));
+    }
+}

@@ -1,0 +1,123 @@
+//! CSV export of experiment results, for external plotting tools.
+
+use crate::harness::RunRecord;
+use crate::timeline::TimelinePoint;
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders run records as CSV with a header row.
+pub fn runs_to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::from(
+        "workload,launch_model,scheduler,cycles,ipc,l1_hit_rate,l2_hit_rate,\
+         child_l1_hit_rate,mean_child_wait,parent_smx_affinity,smx_utilization,\
+         load_imbalance,dynamic_tbs,total_tbs,steals,queue_overflows\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.6},{:.6},{:.6},{},{},{},{}\n",
+            field(&r.workload),
+            field(&r.launch_model),
+            field(&r.scheduler),
+            r.cycles,
+            r.ipc,
+            r.l1_hit_rate,
+            r.l2_hit_rate,
+            r.child_l1_hit_rate,
+            r.mean_child_wait,
+            r.parent_smx_affinity,
+            r.smx_utilization,
+            r.load_imbalance,
+            r.dynamic_tbs,
+            r.total_tbs,
+            r.steals,
+            r.queue_overflows,
+        ));
+    }
+    out
+}
+
+/// Renders a timeline as CSV with a header row.
+pub fn timeline_to_csv(points: &[TimelinePoint]) -> String {
+    let mut out = String::from(
+        "cycle,ipc,l1_hit_rate,l2_hit_rate,resident_tbs,undispatched_tbs\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{},{}\n",
+            p.cycle, p.ipc, p.l1_hit_rate, p.l2_hit_rate, p.resident_tbs, p.undispatched_tbs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            workload: "bfs,weird\"name".to_string(),
+            launch_model: "dtbl".to_string(),
+            scheduler: "rr".to_string(),
+            cycles: 100,
+            ipc: 1.5,
+            l1_hit_rate: 0.5,
+            l2_hit_rate: 0.75,
+            child_l1_hit_rate: 0.25,
+            mean_child_wait: 12.0,
+            parent_smx_affinity: 0.1,
+            smx_utilization: 0.9,
+            load_imbalance: 1.1,
+            dynamic_tbs: 3,
+            total_tbs: 7,
+            steals: 2,
+            queue_overflows: 0,
+            queue_pushes: 3,
+            max_queue_depth: 2,
+            queue_search_cycles: 9,
+        }
+    }
+
+    #[test]
+    fn runs_csv_has_header_and_rows() {
+        let csv = runs_to_csv(&[record()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("workload,launch_model,scheduler,cycles"));
+        assert!(lines[1].contains(",dtbl,rr,100,1.5"));
+    }
+
+    #[test]
+    fn fields_with_separators_are_quoted() {
+        let csv = runs_to_csv(&[record()]);
+        assert!(csv.contains("\"bfs,weird\"\"name\""));
+    }
+
+    #[test]
+    fn timeline_csv_roundtrips_values() {
+        let p = TimelinePoint {
+            cycle: 42,
+            ipc: 3.25,
+            l1_hit_rate: 0.5,
+            l2_hit_rate: 0.25,
+            resident_tbs: 7,
+            undispatched_tbs: 9,
+        };
+        let csv = timeline_to_csv(&[p]);
+        assert!(csv.contains("42,3.250000,0.500000,0.250000,7,9"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_give_header_only() {
+        assert_eq!(runs_to_csv(&[]).lines().count(), 1);
+        assert_eq!(timeline_to_csv(&[]).lines().count(), 1);
+    }
+}

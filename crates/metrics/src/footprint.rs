@@ -1,0 +1,284 @@
+//! Shared-footprint analysis (paper Section III-A, Figure 2).
+//!
+//! The analysis expands a workload's complete TB tree *statically* — no
+//! timing simulation — by walking host-kernel TB programs, collecting
+//! every global-memory line each TB touches, and recursing into
+//! device-side launches. From the tree it computes the paper's three
+//! shared-footprint ratios:
+//!
+//! * **parent-child** `pc/c`: lines shared between a direct parent TB and
+//!   the union of its children's lines, over the children's union size.
+//! * **child-sibling** `cos/cs`: lines shared between one child TB and
+//!   the union of its siblings' lines, over the siblings' union size
+//!   (averaged over children).
+//! * **parent-parent**: lines shared between adjacent parent TBs, over
+//!   the other's size (the paper reports ~9%, far below parent-child).
+
+use std::collections::HashSet;
+
+use gpu_sim::program::KernelKindId;
+use gpu_sim::types::LineAddr;
+use workloads::Workload;
+
+const LINE_BITS: u32 = 7; // 128-byte lines, as in the paper's analysis
+
+/// Safety cap on recursive launch depth.
+const MAX_DEPTH: u32 = 8;
+
+#[derive(Debug)]
+struct TbNode {
+    lines: HashSet<LineAddr>,
+    /// Children grouped per launch (each launch spawns `num_tbs` TBs).
+    children: Vec<TbNode>,
+}
+
+/// Results of the footprint analysis of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintAnalysis {
+    /// Workload display name.
+    pub workload: String,
+    /// Mean parent-child shared footprint ratio over launching TBs.
+    pub parent_child: f64,
+    /// Mean child-sibling shared footprint ratio over child TBs with at
+    /// least one sibling.
+    pub child_sibling: f64,
+    /// Mean adjacent parent-parent shared footprint ratio.
+    pub parent_parent: f64,
+    /// Number of direct-parent (launching) TBs analyzed.
+    pub launching_tbs: usize,
+    /// Total child TBs analyzed.
+    pub child_tbs: usize,
+}
+
+impl FootprintAnalysis {
+    /// Runs the analysis on a workload.
+    pub fn analyze(workload: &dyn Workload) -> Self {
+        let mut parents: Vec<TbNode> = Vec::new();
+        for hk in workload.host_kernels() {
+            for tb in 0..hk.num_tbs {
+                parents.push(expand(workload, hk.kind, hk.param, tb, hk.req.threads, 0));
+            }
+        }
+
+        // Parent-child and child-sibling ratios over every launching TB
+        // in the tree (host parents and nested launchers alike).
+        let mut pc_ratios = Vec::new();
+        let mut cs_ratios = Vec::new();
+        let mut launching = 0usize;
+        let mut child_count = 0usize;
+        let mut stack: Vec<&TbNode> = parents.iter().collect();
+        while let Some(node) = stack.pop() {
+            if !node.children.is_empty() {
+                launching += 1;
+                child_count += node.children.len();
+                let child_union: HashSet<LineAddr> = node
+                    .children
+                    .iter()
+                    .flat_map(|c| c.lines.iter().copied())
+                    .collect();
+                if !child_union.is_empty() {
+                    let shared = child_union.intersection(&node.lines).count();
+                    pc_ratios.push(shared as f64 / child_union.len() as f64);
+                }
+                if node.children.len() >= 2 {
+                    for (i, child) in node.children.iter().enumerate() {
+                        let sibling_union: HashSet<LineAddr> = node
+                            .children
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .flat_map(|(_, s)| s.lines.iter().copied())
+                            .collect();
+                        if !sibling_union.is_empty() {
+                            let shared =
+                                sibling_union.intersection(&child.lines).count();
+                            cs_ratios.push(shared as f64 / sibling_union.len() as f64);
+                        }
+                    }
+                }
+            }
+            stack.extend(node.children.iter());
+        }
+
+        // Adjacent parent-parent sharing.
+        let mut pp_ratios = Vec::new();
+        for pair in parents.windows(2) {
+            if !pair[1].lines.is_empty() {
+                let shared = pair[0].lines.intersection(&pair[1].lines).count();
+                pp_ratios.push(shared as f64 / pair[1].lines.len() as f64);
+            }
+        }
+
+        FootprintAnalysis {
+            workload: workload.full_name(),
+            parent_child: mean(&pc_ratios),
+            child_sibling: mean(&cs_ratios),
+            parent_parent: mean(&pp_ratios),
+            launching_tbs: launching,
+            child_tbs: child_count,
+        }
+    }
+}
+
+fn expand(
+    workload: &dyn Workload,
+    kind: KernelKindId,
+    param: u64,
+    tb_index: u32,
+    threads: u32,
+    depth: u32,
+) -> TbNode {
+    let program = workload.tb_program(kind, param, tb_index);
+    let lines: HashSet<LineAddr> = program
+        .global_mem_ops()
+        .flat_map(|m| m.pattern.tb_addrs(threads))
+        .map(|a| a >> LINE_BITS)
+        .collect();
+    let mut children = Vec::new();
+    if depth < MAX_DEPTH {
+        for launch in program.launches() {
+            for child_tb in 0..launch.num_tbs {
+                children.push(expand(
+                    workload,
+                    launch.kind,
+                    launch.param,
+                    child_tb,
+                    launch.req.threads,
+                    depth + 1,
+                ));
+            }
+        }
+    }
+    TbNode { lines, children }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Figure 2 for a whole suite: one row per workload plus the averages the
+/// paper quotes in the text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintSummary {
+    /// Per-workload analyses, in suite order.
+    pub rows: Vec<FootprintAnalysis>,
+}
+
+impl FootprintSummary {
+    /// Analyzes every workload in a suite.
+    pub fn analyze_suite(suite: &[std::sync::Arc<dyn Workload>]) -> Self {
+        FootprintSummary {
+            rows: suite.iter().map(|w| FootprintAnalysis::analyze(w.as_ref())).collect(),
+        }
+    }
+
+    /// Mean parent-child ratio over the suite (paper: ~38%).
+    pub fn mean_parent_child(&self) -> f64 {
+        mean(&self.rows.iter().map(|r| r.parent_child).collect::<Vec<_>>())
+    }
+
+    /// Mean child-sibling ratio over the suite (paper: ~30%).
+    pub fn mean_child_sibling(&self) -> f64 {
+        mean(&self.rows.iter().map(|r| r.child_sibling).collect::<Vec<_>>())
+    }
+
+    /// Mean parent-parent ratio over the suite (paper: ~9%).
+    pub fn mean_parent_parent(&self) -> f64 {
+        mean(&self.rows.iter().map(|r| r.parent_parent).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::apps::bfs::Bfs;
+    use workloads::apps::join::{Join, JoinInput};
+    use workloads::apps::amr::Amr;
+    use workloads::graph::GraphKind;
+    use workloads::Scale;
+
+    #[test]
+    fn ratios_are_in_unit_interval() {
+        let a = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Citation, Scale::Tiny));
+        for r in [a.parent_child, a.child_sibling, a.parent_parent] {
+            assert!((0.0..=1.0).contains(&r), "ratio {r} out of range");
+        }
+        assert!(a.launching_tbs > 0);
+        assert!(a.child_tbs > 0);
+    }
+
+    #[test]
+    fn parent_child_exceeds_parent_parent() {
+        let a = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Citation, Scale::Tiny));
+        assert!(
+            a.parent_child > a.parent_parent,
+            "parent-child {} should exceed parent-parent {}",
+            a.parent_child,
+            a.parent_parent
+        );
+    }
+
+    #[test]
+    fn clustered_graph_has_more_sibling_sharing_than_random() {
+        let cite = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Citation, Scale::Tiny));
+        let rmat = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Graph500, Scale::Tiny));
+        assert!(
+            cite.child_sibling > rmat.child_sibling,
+            "citation sibling {} should exceed graph500 sibling {}",
+            cite.child_sibling,
+            rmat.child_sibling
+        );
+    }
+
+    #[test]
+    fn amr_and_join_have_low_sibling_sharing() {
+        let amr = FootprintAnalysis::analyze(&Amr::new(Scale::Tiny));
+        let join = FootprintAnalysis::analyze(&Join::new(JoinInput::Uniform, Scale::Tiny));
+        let bfs = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Citation, Scale::Tiny));
+        assert!(amr.child_sibling < 0.1, "amr sibling {}", amr.child_sibling);
+        assert!(join.child_sibling < bfs.child_sibling);
+    }
+
+    #[test]
+    fn amr_counts_nested_launchers() {
+        let a = FootprintAnalysis::analyze(&Amr::new(Scale::Tiny));
+        // First-level children that deep-refine are launching TBs too.
+        let amr = Amr::new(Scale::Tiny);
+        assert!(a.launching_tbs > amr.host_kernels()[0].num_tbs as usize / 4);
+    }
+
+    #[test]
+    fn regx_siblings_share_the_transition_table() {
+        use workloads::apps::regx::{Regx, RegxInput};
+        let regx = FootprintAnalysis::analyze(&Regx::new(RegxInput::Strings, Scale::Tiny));
+        let bfs = FootprintAnalysis::analyze(&Bfs::new(GraphKind::Citation, Scale::Tiny));
+        assert!(
+            regx.child_sibling > bfs.child_sibling,
+            "regx sibling {} should top bfs {} (shared NFA table)",
+            regx.child_sibling,
+            bfs.child_sibling
+        );
+    }
+
+    #[test]
+    fn suite_summary_matches_paper_structure() {
+        let all = workloads::suite(Scale::Tiny);
+        let summary = FootprintSummary::analyze_suite(&all);
+        assert_eq!(summary.rows.len(), all.len());
+        // The headline structure: parent-child sharing is substantial and
+        // exceeds parent-parent sharing on average.
+        assert!(summary.mean_parent_child() > 0.2);
+        assert!(summary.mean_parent_child() > summary.mean_parent_parent());
+        assert!(summary.mean_child_sibling() > 0.0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let w = Bfs::new(GraphKind::Cage15, Scale::Tiny);
+        assert_eq!(FootprintAnalysis::analyze(&w), FootprintAnalysis::analyze(&w));
+    }
+}

@@ -1,0 +1,269 @@
+//! One-shot experiment runner: workload × launch model × TB scheduler.
+
+use std::sync::Arc;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::error::SimError;
+use gpu_sim::stats::SimStats;
+use gpu_sim::tb_sched::{RoundRobinScheduler, TbScheduler};
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use workloads::{SharedSource, Workload};
+
+/// Which TB scheduler a run uses: the baseline or one of the three
+/// LaPerm policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Baseline round-robin (Section II-B).
+    RoundRobin,
+    /// LaPerm TB-Pri.
+    TbPri,
+    /// LaPerm SMX-Bind.
+    SmxBind,
+    /// LaPerm Adaptive-Bind.
+    AdaptiveBind,
+}
+
+impl SchedulerKind {
+    /// All four schedulers, in the paper's figure order.
+    pub fn all() -> [SchedulerKind; 4] {
+        [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::TbPri,
+            SchedulerKind::SmxBind,
+            SchedulerKind::AdaptiveBind,
+        ]
+    }
+
+    /// Display name used in figures ("rr", "tb-pri", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "rr",
+            SchedulerKind::TbPri => "tb-pri",
+            SchedulerKind::SmxBind => "smx-bind",
+            SchedulerKind::AdaptiveBind => "adaptive-bind",
+        }
+    }
+
+    /// Builds the scheduler for a GPU configuration.
+    pub fn build(self, cfg: &GpuConfig) -> Box<dyn TbScheduler> {
+        let laperm_cfg = LaPermConfig::for_gpu(cfg);
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::TbPri => {
+                Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg))
+            }
+            SchedulerKind::SmxBind => {
+                Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg))
+            }
+            SchedulerKind::AdaptiveBind => {
+                Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The measurements of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Workload display name.
+    pub workload: String,
+    /// "cdp" or "dtbl".
+    pub launch_model: String,
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Overall L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// Overall L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// L1 hit rate of child-TB accesses only.
+    pub child_l1_hit_rate: f64,
+    /// Mean cycles between a child launch and its first TB dispatch.
+    pub mean_child_wait: f64,
+    /// Fraction of child TBs that ran on their direct parent's SMX.
+    pub parent_smx_affinity: f64,
+    /// Mean SMX busy fraction.
+    pub smx_utilization: f64,
+    /// Max/mean SMX busy cycles.
+    pub load_imbalance: f64,
+    /// Dynamic (child) TB count.
+    pub dynamic_tbs: usize,
+    /// Total TB count.
+    pub total_tbs: usize,
+    /// Work-stealing dispatches (Adaptive-Bind stage 3).
+    pub steals: u64,
+    /// On-chip priority-queue overflows.
+    pub queue_overflows: u64,
+    /// Dynamic batches pushed into the priority queues.
+    pub queue_pushes: u64,
+    /// Largest priority-queue occupancy observed in any set.
+    pub max_queue_depth: u64,
+    /// Modeled queue entry-search work in cycles.
+    pub queue_search_cycles: u64,
+}
+
+impl RunRecord {
+    fn from_stats(workload: &str, stats: &SimStats) -> Self {
+        let counter = |name: &str| {
+            stats
+                .scheduler_counters
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        RunRecord {
+            workload: workload.to_string(),
+            launch_model: stats.launch_model.clone(),
+            scheduler: stats.scheduler.clone(),
+            cycles: stats.cycles,
+            ipc: stats.ipc(),
+            l1_hit_rate: stats.l1.hit_rate(),
+            l2_hit_rate: stats.l2.hit_rate(),
+            child_l1_hit_rate: stats.l1.child_hit_rate(),
+            mean_child_wait: stats.mean_child_wait(),
+            parent_smx_affinity: stats.parent_smx_affinity(),
+            smx_utilization: stats.smx_utilization(),
+            load_imbalance: stats.load_imbalance(),
+            dynamic_tbs: stats.dynamic_tbs(),
+            total_tbs: stats.tb_records.len(),
+            steals: counter("stage3_steals"),
+            queue_overflows: counter("onchip_overflows"),
+            queue_pushes: counter("queue_pushes"),
+            max_queue_depth: counter("max_queue_depth"),
+            queue_search_cycles: counter("queue_search_cycles"),
+        }
+    }
+}
+
+/// Runs one workload to completion under the given launch model and
+/// scheduler, with the model's default launch latency.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the engine (invalid kernels, cycle
+/// limit, scheduler misbehavior).
+pub fn run_once(
+    workload: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    scheduler: SchedulerKind,
+    cfg: &GpuConfig,
+) -> Result<RunRecord, SimError> {
+    run_with_latency(workload, model, LaunchLatency::default_for(model), scheduler, cfg)
+}
+
+/// [`run_once`] with an explicit launch latency (for sensitivity sweeps).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the engine.
+pub fn run_with_latency(
+    workload: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    latency: LaunchLatency,
+    scheduler: SchedulerKind,
+    cfg: &GpuConfig,
+) -> Result<RunRecord, SimError> {
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
+        .with_scheduler(scheduler.build(cfg))
+        .with_launch_model(model.build(latency));
+    for hk in workload.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)?;
+    }
+    let stats = sim.run_to_completion()?;
+    let mut record = RunRecord::from_stats(&workload.full_name(), &stats);
+    // Use the harness's short scheduler labels in figures ("tb-pri"
+    // rather than the engine's "laperm-tb-pri").
+    record.scheduler = scheduler.name().to_string();
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::apps::bfs::Bfs;
+    use workloads::graph::GraphKind;
+    use workloads::Scale;
+
+    fn workload() -> Arc<dyn Workload> {
+        Arc::new(Bfs::new(GraphKind::Citation, Scale::Tiny))
+    }
+
+    #[test]
+    fn run_once_completes_and_reports() {
+        let rec = run_once(
+            &workload(),
+            LaunchModelKind::Dtbl,
+            SchedulerKind::RoundRobin,
+            &GpuConfig::small_test(),
+        )
+        .unwrap();
+        assert!(rec.cycles > 0);
+        assert!(rec.ipc > 0.0);
+        assert!((0.0..=1.0).contains(&rec.l1_hit_rate));
+        assert!((0.0..=1.0).contains(&rec.l2_hit_rate));
+        assert!(rec.dynamic_tbs > 0);
+        assert!(rec.total_tbs > rec.dynamic_tbs);
+        assert_eq!(rec.launch_model, "dtbl");
+        assert_eq!(rec.scheduler, "rr");
+        assert_eq!(rec.workload, "bfs-citation");
+    }
+
+    #[test]
+    fn all_scheduler_kinds_run() {
+        let w = workload();
+        let cfg = GpuConfig::small_test();
+        for s in SchedulerKind::all() {
+            let rec = run_once(&w, LaunchModelKind::Dtbl, s, &cfg).unwrap();
+            assert_eq!(rec.scheduler, s.name());
+            assert!(rec.cycles > 0, "{s} produced no cycles");
+        }
+    }
+
+    #[test]
+    fn smx_bind_has_full_affinity() {
+        let rec = run_once(
+            &workload(),
+            LaunchModelKind::Dtbl,
+            SchedulerKind::SmxBind,
+            &GpuConfig::small_test(),
+        )
+        .unwrap();
+        assert_eq!(rec.parent_smx_affinity, 1.0);
+        assert_eq!(rec.steals, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = workload();
+        let cfg = GpuConfig::small_test();
+        let a = run_once(&w, LaunchModelKind::Cdp, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+        let b = run_once(&w, LaunchModelKind::Cdp, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdp_children_wait_longer_than_dtbl() {
+        let w = workload();
+        let cfg = GpuConfig::small_test();
+        let cdp = run_once(&w, LaunchModelKind::Cdp, SchedulerKind::RoundRobin, &cfg).unwrap();
+        let dtbl = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).unwrap();
+        assert!(
+            cdp.mean_child_wait > dtbl.mean_child_wait,
+            "cdp wait {} should exceed dtbl wait {}",
+            cdp.mean_child_wait,
+            dtbl.mean_child_wait
+        );
+    }
+}

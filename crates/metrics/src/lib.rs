@@ -1,0 +1,23 @@
+//! Locality analysis and experiment harness for the LaPerm reproduction.
+//!
+//! * [`footprint`] — static shared-footprint analysis of a workload's TB
+//!   tree (regenerates the paper's Figure 2).
+//! * [`harness`] — runs one (workload × launch model × scheduler)
+//!   simulation and collects a [`harness::RunRecord`]; the building block
+//!   for Figures 7, 8, and 9.
+//! * [`report`] — mean/geomean aggregation and fixed-width table
+//!   rendering for the `repro` binary and EXPERIMENTS.md.
+//! * [`timeline`] — windowed time-series sampling of a running
+//!   simulation (when does the locality benefit materialize?).
+//! * [`export`] — CSV rendering of run records and timelines for
+//!   external plotting.
+
+pub mod export;
+pub mod footprint;
+pub mod harness;
+pub mod report;
+pub mod timeline;
+
+pub use footprint::{FootprintAnalysis, FootprintSummary};
+pub use harness::{run_once, RunRecord, SchedulerKind};
+pub use timeline::{run_timeline, TimelinePoint};

@@ -1,0 +1,215 @@
+//! Aggregation and table rendering for experiment reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is negative.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x >= 0.0), "geomean of negative value");
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// A fixed-width text table (the `repro` binary's output format).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mean and sample standard deviation; (0, 0) for an empty slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (m, var.sqrt())
+}
+
+/// Renders labeled values as a horizontal ASCII bar chart, scaled so the
+/// largest value spans `width` characters.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bars = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_width$}  {:<width$}  {value:.2}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal ("38.4%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a normalized value with two decimals ("1.27x").
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_handles_zero() {
+        assert!(geomean(&[0.0, 1.0]) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn geomean_rejects_negative() {
+        geomean(&[-1.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer-name"));
+        // The value column starts at the same offset in all data rows.
+        let col = lines[3].find('2').unwrap();
+        assert_eq!(lines[2].as_bytes()[col], b'1');
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.384), "38.4%");
+        assert_eq!(ratio(1.266), "1.27x");
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let chart = bar_chart(&rows, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('#').count(), 5);
+        assert_eq!(lines[1].matches('#').count(), 10);
+        assert!(lines[1].starts_with("bb"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_max() {
+        let rows = vec![("x".to_string(), 0.0)];
+        assert!(bar_chart(&rows, 10).contains("0.00"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Adaptive Mesh Refinement (AMR), combustion-simulation-like.
+//!
+//! A coarse mesh is swept by the parent kernel; cells whose error
+//! estimate exceeds a threshold are *refined*: a child TB group computes
+//! on the cell's fine sub-mesh, and may recursively refine again (the
+//! nested launches that exercise LaPerm's priority-level clamp `L`).
+//!
+//! Each child works on its own private refined region, so sibling TBs
+//! share almost nothing — the paper's Figure 2 shows AMR with the lowest
+//! child-sibling footprint ratio, and this program structure reproduces
+//! that.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+
+use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, CHILD2, PARENT};
+use crate::layout::{Layout, Region};
+use crate::rng::SplitMix64;
+use crate::{HostKernel, Scale, Workload};
+
+const SEED: u64 = 0xA3_0001;
+
+/// Adaptive mesh refinement benchmark.
+#[derive(Debug)]
+pub struct Amr {
+    num_cells: u32,
+    chunk: u32,
+    refine: Vec<bool>,
+    deep_refine: Vec<bool>,
+    /// One 128-byte record per coarse cell (a full line, so sibling
+    /// children touch disjoint lines).
+    coarse: Region,
+    /// Per-cell refined sub-mesh: `REFINE_ELEMS` elements each.
+    refined: Region,
+    /// Second-level refinement storage.
+    refined2: Region,
+}
+
+impl Amr {
+    /// Cells per parent TB (= parent thread count).
+    pub const CHUNK: u32 = 32;
+    /// Threads per refinement child TB.
+    pub const CHILD_THREADS: u32 = 64;
+    /// Fine elements per refined cell.
+    pub const REFINE_ELEMS: u64 = 128;
+    /// Fraction of cells refined (first level).
+    pub const REFINE_RATE: f64 = 0.22;
+    /// Fraction of refined cells refined again.
+    pub const DEEP_RATE: f64 = 0.25;
+
+    /// Builds the AMR benchmark at a scale, with the default input seed.
+    pub fn new(scale: Scale) -> Self {
+        Self::new_seeded(scale, 0)
+    }
+
+    /// Builds with an explicit input seed (for multi-sample experiments).
+    pub fn new_seeded(scale: Scale, seed: u64) -> Self {
+        let seed = SEED ^ seed;
+        let num_cells = scale.items() * 4;
+        let mut layout = Layout::new();
+        let coarse = layout.alloc(u64::from(num_cells), 128);
+        let refined = layout.alloc(u64::from(num_cells) * Self::REFINE_ELEMS, 4);
+        let refined2 = layout.alloc(u64::from(num_cells) * Self::REFINE_ELEMS, 4);
+        let refine: Vec<bool> = (0..num_cells)
+            .map(|c| SplitMix64::stream(seed, u64::from(c)).unit_f64() < Self::REFINE_RATE)
+            .collect();
+        let deep_refine: Vec<bool> = (0..num_cells)
+            .map(|c| {
+                refine[c as usize]
+                    && SplitMix64::stream(seed ^ 0xDEEF, u64::from(c)).unit_f64()
+                        < Self::DEEP_RATE
+            })
+            .collect();
+        Amr { num_cells, chunk: Self::CHUNK, refine, deep_refine, coarse, refined, refined2 }
+    }
+
+    /// Number of coarse cells.
+    pub fn num_cells(&self) -> u32 {
+        self.num_cells
+    }
+
+    /// Cells flagged for refinement.
+    pub fn refined_cells(&self) -> usize {
+        self.refine.iter().filter(|&&r| r).count()
+    }
+
+    fn child_req() -> ResourceReq {
+        ResourceReq::new(Self::CHILD_THREADS, 24, 512)
+    }
+
+    fn parent_program(&self, tb_index: u32) -> TbProgram {
+        let (a, cnt) = chunk_range(self.num_cells, self.chunk, tb_index);
+        let mut b = OpBuilder::new(self.chunk);
+        if cnt == 0 {
+            return b.compute(1).build();
+        }
+        // Load the chunk's coarse cell records (one line per cell — the
+        // strided access fans out over `cnt` lines, modeling AoS cells).
+        b.load_slice(self.coarse, u64::from(a), u64::from(cnt));
+        b.compute(10); // error estimation stencil
+        b.store_slice(self.coarse, u64::from(a), u64::from(cnt));
+        // Refine flagged cells now, then keep integrating the coarse
+        // cells while the children build the fine meshes.
+        for c in a..a + cnt {
+            if self.refine[c as usize] {
+                b.launch(CHILD, u64::from(c), 1, Self::child_req());
+            }
+        }
+        b.shared();
+        b.load_slice(self.coarse, u64::from(a), u64::from(cnt));
+        b.compute(12); // coarse time-step update
+        b.store_slice(self.coarse, u64::from(a), u64::from(cnt));
+        b.build()
+    }
+
+    fn refine_program(&self, cell: u64, level2: bool) -> TbProgram {
+        let mut b = OpBuilder::new(Self::CHILD_THREADS);
+        let region = if level2 { self.refined2 } else { self.refined };
+        let base = cell * Self::REFINE_ELEMS;
+
+        // Re-read the parent's cell record: the parent-child shared data.
+        b.load_bcast(self.coarse, cell);
+        // Two stencil rounds over this cell's private fine mesh.
+        b.load_slice(region, base, Self::REFINE_ELEMS);
+        b.compute(12);
+        b.store_slice(region, base, Self::REFINE_ELEMS);
+        b.sync();
+        b.load_slice(region, base, Self::REFINE_ELEMS);
+        b.compute(12);
+        b.store_slice(region, base, Self::REFINE_ELEMS);
+
+        if !level2 && self.deep_refine[cell as usize] {
+            b.launch(CHILD2, cell, 1, Self::child_req());
+        }
+        b.build()
+    }
+}
+
+impl ProgramSource for Amr {
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => self.parent_program(tb_index),
+            CHILD2 => self.refine_program(param, true),
+            _ => self.refine_program(param, false),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        match kind {
+            PARENT => "amr-sweep".to_string(),
+            CHILD2 => "amr-refine2".to_string(),
+            _ => "amr-refine".to_string(),
+        }
+    }
+}
+
+impl Workload for Amr {
+    fn name(&self) -> &'static str {
+        "amr"
+    }
+
+    fn input(&self) -> String {
+        String::new()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        vec![HostKernel {
+            kind: PARENT,
+            param: 0,
+            num_tbs: num_chunks(self.num_cells, self.chunk),
+            req: ResourceReq::new(self.chunk, 28, 1024),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_rate_is_plausible() {
+        let a = Amr::new(Scale::Small);
+        let rate = a.refined_cells() as f64 / f64::from(a.num_cells());
+        assert!((0.15..0.30).contains(&rate), "refine rate {rate}");
+    }
+
+    #[test]
+    fn parent_launches_one_child_per_refined_cell() {
+        let a = Amr::new(Scale::Tiny);
+        let mut launched = 0usize;
+        for tb in 0..a.host_kernels()[0].num_tbs {
+            launched += a.tb_program(PARENT, 0, tb).launches().count();
+        }
+        assert_eq!(launched, a.refined_cells());
+    }
+
+    #[test]
+    fn some_cells_refine_twice() {
+        let a = Amr::new(Scale::Small);
+        let deep = (0..a.num_cells())
+            .filter(|&c| {
+                a.tb_program(CHILD, u64::from(c), 0).launches().count() > 0
+            })
+            .count();
+        assert!(deep > 0, "no second-level refinement");
+        assert!(deep < a.refined_cells());
+    }
+
+    #[test]
+    fn level2_children_do_not_recurse() {
+        let a = Amr::new(Scale::Tiny);
+        for c in 0..a.num_cells() {
+            assert_eq!(a.tb_program(CHILD2, u64::from(c), 0).launches().count(), 0);
+        }
+    }
+
+    #[test]
+    fn sibling_children_touch_disjoint_fine_regions() {
+        let a = Amr::new(Scale::Tiny);
+        let cells: Vec<u32> = (0..a.num_cells()).filter(|&c| a.refine[c as usize]).collect();
+        let lines = |c: u32| -> std::collections::HashSet<u64> {
+            a.tb_program(CHILD, u64::from(c), 0)
+                .global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(Amr::CHILD_THREADS))
+                .map(|addr| addr >> 7)
+                .collect()
+        };
+        let l0 = lines(cells[0]);
+        let l1 = lines(cells[1]);
+        assert!(l0.is_disjoint(&l1), "AMR siblings must not share lines");
+    }
+
+    #[test]
+    fn full_name_has_no_input_suffix() {
+        assert_eq!(Amr::new(Scale::Tiny).full_name(), "amr");
+    }
+}

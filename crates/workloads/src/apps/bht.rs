@@ -1,0 +1,279 @@
+//! Barnes-Hut Tree build (BHT) over random data points.
+//!
+//! The parent kernel inserts chunks of points through the top tree
+//! levels (the root-path nodes are shared by *everything* — high
+//! locality); chunks that concentrate many points in one quadrant launch
+//! a child TB group to build that subtree. A child re-reads its parent's
+//! point block (parent-child locality) and works on a quadrant-private
+//! node region (moderate sibling locality through the shared root path).
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+use gpu_sim::types::Addr;
+
+use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::layout::{Layout, Region};
+use crate::rng::SplitMix64;
+use crate::{HostKernel, Scale, Workload};
+
+const SEED: u64 = 0xB47_0002;
+/// Number of quadrants at the subdivision level children work on.
+const QUADRANTS: u32 = 4;
+
+/// Barnes-Hut tree-build benchmark.
+#[derive(Debug)]
+pub struct Bht {
+    num_points: u32,
+    chunk: u32,
+    /// Quadrant of each point at the subdivision level.
+    quadrant: Vec<u8>,
+    /// Point coordinates (8 bytes each).
+    points: Region,
+    /// Top-level (root path) nodes, shared by all TBs.
+    root_nodes: Region,
+    /// Per-(chunk, quadrant) subtree node storage.
+    subtrees: Region,
+}
+
+impl Bht {
+    /// Points per parent TB.
+    pub const CHUNK: u32 = 32;
+    /// Threads per child TB.
+    pub const CHILD_THREADS: u32 = 32;
+    /// Points in one quadrant of a chunk above which a child is launched.
+    pub const SPLIT_THRESHOLD: u32 = 10;
+    /// Nodes per subtree region.
+    const SUBTREE_NODES: u64 = 64;
+
+    /// Builds the BHT benchmark at a scale, with the default input seed.
+    pub fn new(scale: Scale) -> Self {
+        Self::new_seeded(scale, 0)
+    }
+
+    /// Builds with an explicit input seed (for multi-sample experiments).
+    pub fn new_seeded(scale: Scale, seed: u64) -> Self {
+        let seed = SEED ^ seed;
+        let num_points = scale.items() * 4;
+        let mut layout = Layout::new();
+        let points = layout.alloc(u64::from(num_points), 8);
+        let root_nodes = layout.alloc(64, 16);
+        let chunks = num_chunks(num_points, Self::CHUNK);
+        let subtrees = layout.alloc(
+            u64::from(chunks) * u64::from(QUADRANTS) * Self::SUBTREE_NODES,
+            16,
+        );
+        // Skew the quadrant distribution so some quadrants of some chunks
+        // are heavy: Gaussian clustering of the underlying points.
+        let quadrant: Vec<u8> = (0..num_points)
+            .map(|p| {
+                let mut rng = SplitMix64::stream(seed, u64::from(p));
+                let r = rng.unit_f64();
+                if r < 0.45 {
+                    0
+                } else if r < 0.75 {
+                    1
+                } else if r < 0.92 {
+                    2
+                } else {
+                    3
+                }
+            })
+            .collect();
+        Bht { num_points, chunk: Self::CHUNK, quadrant, points, root_nodes, subtrees }
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> u32 {
+        self.num_points
+    }
+
+    fn child_req() -> ResourceReq {
+        ResourceReq::new(Self::CHILD_THREADS, 24, 256)
+    }
+
+    /// Points of chunk `tb` that fall into `quadrant`.
+    fn members(&self, tb: u32, quadrant: u32) -> Vec<u32> {
+        let (a, cnt) = chunk_range(self.num_points, self.chunk, tb);
+        (a..a + cnt)
+            .filter(|&p| u32::from(self.quadrant[p as usize]) == quadrant)
+            .collect()
+    }
+
+    fn parent_program(&self, tb: u32) -> TbProgram {
+        let (a, cnt) = chunk_range(self.num_points, self.chunk, tb);
+        let mut b = OpBuilder::new(self.chunk);
+        if cnt == 0 {
+            return b.compute(1).build();
+        }
+        // Load this chunk's points (coalesced, 8B elements).
+        b.load_slice(self.points, u64::from(a), u64::from(cnt));
+        // Walk the root path: every TB touches the same few node lines.
+        for level in 0..3u64 {
+            b.load_bcast(self.root_nodes, level * 8);
+            b.compute(4);
+        }
+        b.shared();
+        b.compute(8);
+        // Update root-level counters and split heavy quadrants early;
+        // the parent then finishes inserting its light quadrants' points
+        // while the children build subtrees.
+        b.store_bcast(self.root_nodes, 0);
+        for q in 0..QUADRANTS {
+            let members = self.members(tb, q);
+            if members.len() as u32 >= Self::SPLIT_THRESHOLD {
+                b.launch(CHILD, encode(tb, q), 1, Self::child_req());
+            }
+        }
+        b.load_slice(self.points, u64::from(a), u64::from(cnt));
+        b.compute(10);
+        for level in 0..3u64 {
+            b.load_bcast(self.root_nodes, level * 8 + 1);
+            b.compute(4);
+        }
+        b.store_bcast(self.root_nodes, 1);
+        b.build()
+    }
+
+    fn child_program(&self, param: u64) -> TbProgram {
+        let (tb, q) = decode(param);
+        let members = self.members(tb, q);
+        let mut b = OpBuilder::new(Self::CHILD_THREADS);
+        if members.is_empty() {
+            return b.compute(1).build();
+        }
+        // Re-read the parent's points that fall in this quadrant.
+        let addrs: Vec<Addr> = members
+            .iter()
+            .map(|&p| self.points.addr(u64::from(p)))
+            .collect();
+        b.gather(addrs);
+        // Root path again (globally shared).
+        b.load_bcast(self.root_nodes, 0);
+        // Build the quadrant-private subtree: two insert rounds.
+        let base = (u64::from(tb) * u64::from(QUADRANTS) + u64::from(q)) * Self::SUBTREE_NODES;
+        b.load_slice(self.subtrees, base, Self::SUBTREE_NODES);
+        b.compute(10);
+        b.store_slice(self.subtrees, base, Self::SUBTREE_NODES);
+        b.sync();
+        b.load_slice(self.subtrees, base, Self::SUBTREE_NODES);
+        b.compute(10);
+        b.store_slice(self.subtrees, base, Self::SUBTREE_NODES);
+        b.build()
+    }
+}
+
+fn encode(tb: u32, quadrant: u32) -> u64 {
+    u64::from(tb) << 8 | u64::from(quadrant)
+}
+
+fn decode(param: u64) -> (u32, u32) {
+    ((param >> 8) as u32, (param & 0xFF) as u32)
+}
+
+impl ProgramSource for Bht {
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => self.parent_program(tb_index),
+            _ => self.child_program(param),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        match kind {
+            PARENT => "bht-insert".to_string(),
+            _ => "bht-subtree".to_string(),
+        }
+    }
+}
+
+impl Workload for Bht {
+    fn name(&self) -> &'static str {
+        "bht"
+    }
+
+    fn input(&self) -> String {
+        String::new()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        vec![HostKernel {
+            kind: PARENT,
+            param: 0,
+            num_tbs: num_chunks(self.num_points, self.chunk),
+            req: ResourceReq::new(self.chunk, 26, 512),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(decode(encode(123, 3)), (123, 3));
+        assert_eq!(decode(encode(0, 0)), (0, 0));
+    }
+
+    #[test]
+    fn heavy_quadrants_spawn_children() {
+        let b = Bht::new(Scale::Tiny);
+        let mut launches = 0usize;
+        for tb in 0..b.host_kernels()[0].num_tbs {
+            launches += b.tb_program(PARENT, 0, tb).launches().count();
+        }
+        // Quadrant 0 holds ~45% of 32 points per chunk ≈ 14 ≥ threshold,
+        // so nearly every chunk launches at least one child.
+        assert!(launches >= b.host_kernels()[0].num_tbs as usize / 2);
+    }
+
+    #[test]
+    fn child_rereads_parent_points() {
+        let b = Bht::new(Scale::Tiny);
+        let tb = 0;
+        let lines = |prog: &TbProgram, threads: u32| -> std::collections::HashSet<u64> {
+            prog.global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(threads))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let parent = b.tb_program(PARENT, 0, tb);
+        let launch = parent.launches().next().expect("chunk 0 launches").clone();
+        let child = b.tb_program(CHILD, launch.param, 0);
+        let shared: Vec<u64> = lines(&child, Bht::CHILD_THREADS)
+            .intersection(&lines(&parent, Bht::CHUNK))
+            .copied()
+            .collect();
+        assert!(shared.len() >= 2, "child shares {} lines with parent", shared.len());
+    }
+
+    #[test]
+    fn sibling_subtrees_are_private() {
+        let b = Bht::new(Scale::Tiny);
+        let parent = b.tb_program(PARENT, 0, 0);
+        let launches: Vec<_> = parent.launches().cloned().collect();
+        if launches.len() < 2 {
+            return; // chunk 0 happened to have one heavy quadrant only
+        }
+        let subtree_lines = |param: u64| -> std::collections::HashSet<u64> {
+            b.tb_program(CHILD, param, 0)
+                .global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(Bht::CHILD_THREADS))
+                .filter(|&a| b.subtrees.contains(a))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let l0 = subtree_lines(launches[0].param);
+        let l1 = subtree_lines(launches[1].param);
+        assert!(l0.is_disjoint(&l1));
+    }
+
+    #[test]
+    fn quadrant_distribution_is_skewed() {
+        let b = Bht::new(Scale::Small);
+        let counts = (0..4)
+            .map(|q| b.quadrant.iter().filter(|&&x| u32::from(x) == q).count())
+            .collect::<Vec<_>>();
+        assert!(counts[0] > counts[3] * 2, "distribution {counts:?} not skewed");
+    }
+}

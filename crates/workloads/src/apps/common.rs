@@ -1,0 +1,243 @@
+//! Shared helpers for building TB programs.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{
+    AddrPattern, KernelKindId, LaunchSpec, MemOp, TbOp, TbProgram,
+};
+use gpu_sim::types::Addr;
+
+use crate::layout::Region;
+
+/// Kernel kind of the host-launched parent sweep (workload-local).
+pub const PARENT: KernelKindId = KernelKindId(0);
+/// Kernel kind of first-level device-launched children.
+pub const CHILD: KernelKindId = KernelKindId(1);
+/// Kernel kind of nested (second-level) children.
+pub const CHILD2: KernelKindId = KernelKindId(2);
+
+/// Builds a [`TbProgram`] op by op for a TB of a known thread count,
+/// taking care of partial (tail) accesses so generated addresses never
+/// leave their region.
+#[derive(Debug)]
+pub struct OpBuilder {
+    threads: u32,
+    ops: Vec<TbOp>,
+}
+
+impl OpBuilder {
+    /// Starts a program for a TB with `threads` threads.
+    pub fn new(threads: u32) -> Self {
+        OpBuilder { threads, ops: Vec::new() }
+    }
+
+    /// Finishes the program, leaving the builder empty for reuse.
+    pub fn build(&mut self) -> TbProgram {
+        TbProgram::new(std::mem::take(&mut self.ops))
+    }
+
+    /// ALU work for every warp.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.ops.push(TbOp::Compute(cycles));
+        self
+    }
+
+    /// Divergent ALU work: only `active` lanes per warp are live (models
+    /// the issue-slot cost of control divergence).
+    pub fn compute_masked(&mut self, cycles: u32, active: u32) -> &mut Self {
+        self.ops.push(TbOp::ComputeMasked { cycles, active });
+        self
+    }
+
+    /// TB-wide barrier.
+    pub fn sync(&mut self) -> &mut Self {
+        self.ops.push(TbOp::Sync);
+        self
+    }
+
+    fn slice_pattern(&self, region: Region, start: u64, count: u64) -> Option<AddrPattern> {
+        let avail = region.len().saturating_sub(start);
+        let n = count.min(avail);
+        if n == 0 {
+            return None;
+        }
+        if n >= u64::from(self.threads) {
+            Some(AddrPattern::Strided {
+                base: region.addr(start),
+                stride: region.elem_bytes(),
+            })
+        } else {
+            Some(AddrPattern::Gather(
+                (0..n).map(|i| region.addr(start + i)).collect::<Vec<Addr>>().into(),
+            ))
+        }
+    }
+
+    /// Coalesced load of elements `start..start+count` of `region`
+    /// (clamped to the region; skipped when empty).
+    pub fn load_slice(&mut self, region: Region, start: u64, count: u64) -> &mut Self {
+        if let Some(p) = self.slice_pattern(region, start, count) {
+            self.ops.push(TbOp::Mem(MemOp::load(p)));
+        }
+        self
+    }
+
+    /// Coalesced store of elements `start..start+count` of `region`.
+    pub fn store_slice(&mut self, region: Region, start: u64, count: u64) -> &mut Self {
+        if let Some(p) = self.slice_pattern(region, start, count) {
+            self.ops.push(TbOp::Mem(MemOp::store(p)));
+        }
+        self
+    }
+
+    /// All threads read element `index` of `region`.
+    pub fn load_bcast(&mut self, region: Region, index: u64) -> &mut Self {
+        self.ops.push(TbOp::Mem(MemOp::load(AddrPattern::Broadcast(region.addr(index)))));
+        self
+    }
+
+    /// All threads write element `index` of `region`.
+    pub fn store_bcast(&mut self, region: Region, index: u64) -> &mut Self {
+        self.ops.push(TbOp::Mem(MemOp::store(AddrPattern::Broadcast(region.addr(index)))));
+        self
+    }
+
+    /// Irregular per-thread load of explicit addresses (skipped when
+    /// empty).
+    pub fn gather(&mut self, addrs: Vec<Addr>) -> &mut Self {
+        if !addrs.is_empty() {
+            self.ops.push(TbOp::Mem(MemOp::load(AddrPattern::Gather(addrs.into()))));
+        }
+        self
+    }
+
+    /// Irregular per-thread store of explicit addresses.
+    pub fn scatter(&mut self, addrs: Vec<Addr>) -> &mut Self {
+        if !addrs.is_empty() {
+            self.ops.push(TbOp::Mem(MemOp::store(AddrPattern::Gather(addrs.into()))));
+        }
+        self
+    }
+
+    /// Shared-memory staging access.
+    pub fn shared(&mut self) -> &mut Self {
+        self.ops.push(TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))));
+        self
+    }
+
+    /// Device-side launch (issued once, by warp 0).
+    pub fn launch(
+        &mut self,
+        kind: KernelKindId,
+        param: u64,
+        num_tbs: u32,
+        req: ResourceReq,
+    ) -> &mut Self {
+        self.ops.push(TbOp::Launch(LaunchSpec { kind, param, num_tbs, req }));
+        self
+    }
+}
+
+/// Splits `total` items into chunks of `chunk`, returning the number of
+/// chunks (= TBs).
+pub fn num_chunks(total: u32, chunk: u32) -> u32 {
+    total.div_ceil(chunk).max(1)
+}
+
+/// The `(start, count)` item range of chunk `index`.
+pub fn chunk_range(total: u32, chunk: u32, index: u32) -> (u32, u32) {
+    let start = index * chunk;
+    let count = chunk.min(total.saturating_sub(start));
+    (start, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use gpu_sim::program::MemSpace;
+
+    fn region(len: u64) -> Region {
+        Layout::new().alloc(len, 4)
+    }
+
+    #[test]
+    fn full_slice_uses_strided() {
+        let r = region(100);
+        let mut b = OpBuilder::new(32);
+        b.load_slice(r, 0, 32);
+        let prog = b.build();
+        match prog.ops() {
+            [TbOp::Mem(m)] => assert!(matches!(m.pattern, AddrPattern::Strided { .. })),
+            other => panic!("unexpected ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_slice_uses_gather() {
+        let r = region(100);
+        let mut b = OpBuilder::new(32);
+        b.load_slice(r, 90, 32); // only 10 available
+        let prog = b.build();
+        match prog.ops() {
+            [TbOp::Mem(m)] => match &m.pattern {
+                AddrPattern::Gather(a) => assert_eq!(a.len(), 10),
+                p => panic!("expected gather, got {p:?}"),
+            },
+            other => panic!("unexpected ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_skipped() {
+        let r = region(10);
+        let mut b = OpBuilder::new(32);
+        b.load_slice(r, 10, 5).store_slice(r, 100, 5).gather(Vec::new());
+        assert!(b.build().is_empty());
+    }
+
+    #[test]
+    fn slice_addresses_stay_in_region() {
+        let r = region(50);
+        let mut b = OpBuilder::new(64);
+        b.load_slice(r, 20, 64);
+        let prog = b.build();
+        let TbOp::Mem(m) = &prog.ops()[0] else { panic!() };
+        for a in m.pattern.tb_addrs(64) {
+            assert!(r.contains(a), "address {a} escapes region");
+        }
+    }
+
+    #[test]
+    fn builder_chains_all_op_kinds() {
+        let r = region(64);
+        let mut b = OpBuilder::new(32);
+        b.compute(4)
+            .load_slice(r, 0, 32)
+            .store_slice(r, 0, 32)
+            .load_bcast(r, 5)
+            .store_bcast(r, 5)
+            .gather(vec![r.addr(1)])
+            .scatter(vec![r.addr(2)])
+            .shared()
+            .sync()
+            .launch(CHILD, 7, 2, ResourceReq::new(32, 8, 0));
+        let prog = b.build();
+        assert_eq!(prog.len(), 10);
+        assert_eq!(prog.launches().count(), 1);
+        let shared_ops = prog
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, TbOp::Mem(m) if m.space == MemSpace::Shared))
+            .count();
+        assert_eq!(shared_ops, 1);
+    }
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(num_chunks(100, 32), 4);
+        assert_eq!(num_chunks(0, 32), 1);
+        assert_eq!(chunk_range(100, 32, 0), (0, 32));
+        assert_eq!(chunk_range(100, 32, 3), (96, 4));
+        assert_eq!(chunk_range(100, 32, 4), (128, 0));
+    }
+}

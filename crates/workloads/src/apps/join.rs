@@ -1,0 +1,350 @@
+//! Relational join (JOIN) with dynamic parallelism.
+//!
+//! The parent kernel scans a chunk of relation R, hashes its keys into a
+//! per-chunk set of partition buckets, and launches one child TB group
+//! per touched partition to probe the matching segment of relation S.
+//! Every child works on its own bucket slice and its own S segment, so
+//! sibling TBs share essentially nothing — the paper's Figure 2 shows
+//! JOIN with near-zero child-sibling locality.
+//!
+//! The two inputs differ in key distribution: `uniform` keys give evenly
+//! sized partitions; `gaussian` keys concentrate probes in a few hot
+//! partitions, producing the skewed child-TB counts that stress
+//! SMX-Bind's load balance.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+
+use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::layout::{Layout, Region};
+use crate::rng::SplitMix64;
+use crate::{HostKernel, Scale, Workload};
+
+const SEED: u64 = 0x701_0005;
+/// Number of hash partitions of relation S.
+const PARTITIONS: u32 = 16;
+
+/// The two JOIN key distributions of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinInput {
+    /// Uniformly distributed keys.
+    Uniform,
+    /// Gaussian-distributed keys (hot partitions).
+    Gaussian,
+}
+
+impl JoinInput {
+    /// Both inputs, in Table II order.
+    pub fn all() -> [JoinInput; 2] {
+        [JoinInput::Uniform, JoinInput::Gaussian]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinInput::Uniform => "uniform",
+            JoinInput::Gaussian => "gaussian",
+        }
+    }
+}
+
+/// Relational-join benchmark.
+#[derive(Debug)]
+pub struct Join {
+    input: JoinInput,
+    r_size: u32,
+    chunk: u32,
+    /// Partition of each R tuple.
+    partition_of: Vec<u16>,
+    /// S partition boundaries (elements), length `PARTITIONS + 1`.
+    s_bounds: Vec<u32>,
+    r_keys: Region,
+    s_tuples: Region,
+    buckets: Region,
+    output: Region,
+}
+
+impl Join {
+    /// R tuples per parent TB.
+    pub const CHUNK: u32 = 32;
+    /// Threads per probe child TB.
+    pub const CHILD_THREADS: u32 = 32;
+    /// Bucket elements per (chunk, partition) pair.
+    const BUCKET_ELEMS: u64 = 32;
+    /// Probe elements one child TB covers.
+    const PROBE_ELEMS: u32 = 128;
+    /// S elements scanned per R tuple.
+    const SCAN_PER_TUPLE: u32 = 32;
+
+    /// Builds the JOIN benchmark for a key distribution at a scale, with
+    /// the default input seed.
+    pub fn new(input: JoinInput, scale: Scale) -> Self {
+        Self::new_seeded(input, scale, 0)
+    }
+
+    /// Builds with an explicit input seed (for multi-sample experiments).
+    pub fn new_seeded(input: JoinInput, scale: Scale, seed: u64) -> Self {
+        let r_size = scale.items() * 2;
+        let s_size = scale.items() * 16;
+        let mut rng = SplitMix64::new(SEED ^ seed ^ input.name().len() as u64);
+        let draw = |rng: &mut SplitMix64| -> u32 {
+            match input {
+                JoinInput::Uniform => rng.below(u64::from(PARTITIONS)) as u32,
+                JoinInput::Gaussian => {
+                    let x = rng.normal(f64::from(PARTITIONS) / 2.0, f64::from(PARTITIONS) / 10.0);
+                    (x.clamp(0.0, f64::from(PARTITIONS - 1))) as u32
+                }
+            }
+        };
+        let partition_of: Vec<u16> = (0..r_size).map(|_| draw(&mut rng) as u16).collect();
+        // Partition S with the same distribution.
+        let mut s_counts = vec![0u32; PARTITIONS as usize];
+        for _ in 0..s_size {
+            s_counts[draw(&mut rng) as usize] += 1;
+        }
+        // Line-align partition boundaries (16 8-byte elements per 128-byte
+        // line) so distinct partitions never share a cache line.
+        let mut s_bounds = Vec::with_capacity(PARTITIONS as usize + 1);
+        s_bounds.push(0u32);
+        for c in &s_counts {
+            let next = (s_bounds.last().unwrap() + (*c).max(1)).div_ceil(16) * 16;
+            s_bounds.push(next);
+        }
+
+        let chunks = num_chunks(r_size, Self::CHUNK);
+        let mut layout = Layout::new();
+        let r_keys = layout.alloc(u64::from(r_size), 8);
+        let s_tuples = layout.alloc(u64::from(*s_bounds.last().unwrap()).max(1), 8);
+        let buckets = layout.alloc(
+            u64::from(chunks) * u64::from(PARTITIONS) * Self::BUCKET_ELEMS,
+            4,
+        );
+        let output = layout.alloc(u64::from(r_size), 8);
+        Join {
+            input,
+            r_size,
+            chunk: Self::CHUNK,
+            partition_of,
+            s_bounds,
+            r_keys,
+            s_tuples,
+            buckets,
+            output,
+        }
+    }
+
+    /// Size of relation R.
+    pub fn r_size(&self) -> u32 {
+        self.r_size
+    }
+
+    /// Partitions this chunk's tuples hash into, with tuple counts,
+    /// ascending by partition.
+    fn chunk_partitions(&self, tb: u32) -> Vec<(u32, u32)> {
+        let (a, cnt) = chunk_range(self.r_size, self.chunk, tb);
+        let mut parts: Vec<u32> = (a..a + cnt)
+            .map(|t| u32::from(self.partition_of[t as usize]))
+            .collect();
+        parts.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for p in parts {
+            match out.last_mut() {
+                Some((last, count)) if *last == p => *count += 1,
+                _ => out.push((p, 1)),
+            }
+        }
+        out
+    }
+
+    fn partition_len(&self, p: u32) -> u32 {
+        self.s_bounds[p as usize + 1] - self.s_bounds[p as usize]
+    }
+
+    fn child_req() -> ResourceReq {
+        ResourceReq::new(Self::CHILD_THREADS, 24, 256)
+    }
+
+    fn bucket_base(&self, tb: u32, partition: u32) -> u64 {
+        (u64::from(tb) * u64::from(PARTITIONS) + u64::from(partition)) * Self::BUCKET_ELEMS
+    }
+
+    fn parent_program(&self, tb: u32) -> TbProgram {
+        let (a, cnt) = chunk_range(self.r_size, self.chunk, tb);
+        let mut b = OpBuilder::new(self.chunk);
+        if cnt == 0 {
+            return b.compute(1).build();
+        }
+        b.load_slice(self.r_keys, u64::from(a), u64::from(cnt));
+        b.compute(8); // hashing
+        b.shared();
+        // Write each touched partition's bucket for this chunk.
+        let parts = self.chunk_partitions(tb);
+        for &(p, _) in &parts {
+            b.store_slice(self.buckets, self.bucket_base(tb, p), Self::BUCKET_ELEMS);
+        }
+        b.compute(4);
+        // One probe child group per touched partition; each tuple scans
+        // `SCAN_PER_TUPLE` S elements, so hot partitions (gaussian keys)
+        // get proportionally larger child grids.
+        for &(p, count) in &parts {
+            let probes = (count * Self::SCAN_PER_TUPLE).div_ceil(Self::PROBE_ELEMS).max(1);
+            b.launch(CHILD, encode(tb, p), probes, Self::child_req());
+        }
+        // The parent continues building the next radix pass while the
+        // probes run.
+        b.load_slice(self.r_keys, u64::from(a), u64::from(cnt));
+        b.compute(10);
+        b.store_slice(self.output, u64::from(a), u64::from(cnt));
+        b.build()
+    }
+
+    fn child_program(&self, param: u64, tb_index: u32) -> TbProgram {
+        let (parent_tb, p) = decode(param);
+        let mut b = OpBuilder::new(Self::CHILD_THREADS);
+        let part_start = u64::from(self.s_bounds[p as usize]);
+        let part_len = u64::from(self.partition_len(p));
+        if part_len == 0 {
+            return b.compute(1).build();
+        }
+        // Each child TB probes its own window of the partition; the
+        // parent's hash offsets the windows so different chunks probing
+        // the same partition touch different (but partition-local) lines.
+        let window = u64::from(Self::PROBE_ELEMS).min(part_len);
+        let probe_start =
+            (u64::from(parent_tb) * 131 + u64::from(tb_index) * window) % part_len;
+        let probe_len = window.min(part_len - probe_start);
+
+        // Re-read the parent's bucket for this partition.
+        b.load_slice(self.buckets, self.bucket_base(parent_tb, p), Self::BUCKET_ELEMS);
+        // Probe this TB's private slice of the S partition.
+        let mut offset = 0;
+        while offset < probe_len {
+            let step = u64::from(Self::CHILD_THREADS).min(probe_len - offset);
+            b.load_slice(self.s_tuples, part_start + probe_start + offset, step);
+            b.compute(6);
+            offset += step;
+        }
+        // Emit join results for the parent's tuples.
+        let (a, cnt) = chunk_range(self.r_size, self.chunk, parent_tb);
+        b.store_slice(self.output, u64::from(a), u64::from(cnt.min(Self::CHILD_THREADS)));
+        b.build()
+    }
+}
+
+fn encode(tb: u32, partition: u32) -> u64 {
+    u64::from(tb) << 16 | u64::from(partition)
+}
+
+fn decode(param: u64) -> (u32, u32) {
+    ((param >> 16) as u32, (param & 0xFFFF) as u32)
+}
+
+impl ProgramSource for Join {
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => self.parent_program(tb_index),
+            _ => self.child_program(param, tb_index),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        match kind {
+            PARENT => "join-build".to_string(),
+            _ => "join-probe".to_string(),
+        }
+    }
+}
+
+impl Workload for Join {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn input(&self) -> String {
+        self.input.name().to_string()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        vec![HostKernel {
+            kind: PARENT,
+            param: 0,
+            num_tbs: num_chunks(self.r_size, self.chunk),
+            req: ResourceReq::new(self.chunk, 24, 512),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        assert_eq!(decode(encode(500, 63)), (500, 63));
+    }
+
+    #[test]
+    fn gaussian_partitions_are_skewed() {
+        let g = Join::new(JoinInput::Gaussian, Scale::Small);
+        let u = Join::new(JoinInput::Uniform, Scale::Small);
+        let max_part = |j: &Join| (0..PARTITIONS).map(|p| j.partition_len(p)).max().unwrap();
+        assert!(
+            max_part(&g) > 2 * max_part(&u),
+            "gaussian max partition {} should dwarf uniform {}",
+            max_part(&g),
+            max_part(&u)
+        );
+    }
+
+    #[test]
+    fn children_probe_disjoint_s_segments_across_partitions() {
+        let j = Join::new(JoinInput::Uniform, Scale::Tiny);
+        let parent = j.tb_program(PARENT, 0, 0);
+        let launches: Vec<_> = parent.launches().cloned().collect();
+        assert!(launches.len() >= 2);
+        let s_lines = |param: u64| -> std::collections::HashSet<u64> {
+            j.tb_program(CHILD, param, 0)
+                .global_mem_ops()
+                .filter(|m| !m.is_store)
+                .flat_map(|m| m.pattern.tb_addrs(Join::CHILD_THREADS))
+                .filter(|&a| j.s_tuples.contains(a))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let l0 = s_lines(launches[0].param);
+        let l1 = s_lines(launches[1].param);
+        assert!(l0.is_disjoint(&l1), "probe segments must not overlap");
+    }
+
+    #[test]
+    fn child_rereads_parent_bucket() {
+        let j = Join::new(JoinInput::Uniform, Scale::Tiny);
+        let parent = j.tb_program(PARENT, 0, 0);
+        let launch = parent.launches().next().unwrap().clone();
+        let bucket_lines = |prog: &TbProgram, threads: u32| -> std::collections::HashSet<u64> {
+            prog.global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(threads))
+                .filter(|&a| j.buckets.contains(a))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let shared = bucket_lines(&j.tb_program(CHILD, launch.param, 0), Join::CHILD_THREADS)
+            .intersection(&bucket_lines(&parent, Join::CHUNK))
+            .count();
+        assert!(shared > 0);
+    }
+
+    #[test]
+    fn probe_grid_scales_with_partition_size() {
+        let j = Join::new(JoinInput::Gaussian, Scale::Tiny);
+        let mut grids = Vec::new();
+        for tb in 0..j.host_kernels()[0].num_tbs {
+            for l in j.tb_program(PARENT, 0, tb).launches() {
+                grids.push(l.num_tbs);
+            }
+        }
+        let max = *grids.iter().max().unwrap();
+        let min = *grids.iter().min().unwrap();
+        assert!(max > min, "gaussian probes should have skewed grids");
+    }
+}

@@ -1,0 +1,12 @@
+//! The benchmark applications.
+
+pub mod amr;
+pub mod bfs;
+pub mod bht;
+pub mod clr;
+pub mod common;
+pub mod graph_common;
+pub mod join;
+pub mod pre;
+pub mod regx;
+pub mod sssp;

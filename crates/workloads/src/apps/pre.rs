@@ -1,0 +1,305 @@
+//! Product recommendation (PRE) over MovieLens-like ratings.
+//!
+//! The parent kernel sweeps users; active users (many ratings) launch a
+//! child TB group that computes similarities against the rated items'
+//! feature vectors. Item popularity follows a heavy-tailed (Zipf-like)
+//! distribution, so sibling children keep hitting the same popular-item
+//! feature lines — high child-sibling locality, as the paper observes
+//! for PRE.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+use gpu_sim::types::Addr;
+
+use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::layout::{Layout, Region};
+use crate::rng::SplitMix64;
+use crate::{HostKernel, Scale, Workload};
+
+const SEED: u64 = 0x93E_0004;
+
+/// Product-recommendation benchmark.
+#[derive(Debug)]
+pub struct Pre {
+    num_users: u32,
+    num_items: u32,
+    chunk: u32,
+    /// Ratings per user: offsets into `rated_items`.
+    offsets: Vec<u32>,
+    rated: Vec<u32>,
+    user_offsets: Region,
+    rated_items: Region,
+    /// Item feature vectors: 64 bytes each.
+    features: Region,
+    output: Region,
+    workbuf: Region,
+}
+
+impl Pre {
+    /// Users per parent TB.
+    pub const CHUNK: u32 = 32;
+    /// Threads per child TB.
+    pub const CHILD_THREADS: u32 = 32;
+    /// Ratings count above which a user gets a child group.
+    pub const ACTIVE_THRESHOLD: u32 = 16;
+
+    /// Builds the PRE benchmark at a scale, with the default input seed.
+    pub fn new(scale: Scale) -> Self {
+        Self::new_seeded(scale, 0)
+    }
+
+    /// Builds with an explicit input seed (for multi-sample experiments).
+    pub fn new_seeded(scale: Scale, seed: u64) -> Self {
+        let seed = SEED ^ seed;
+        let num_users = scale.items() * 3;
+        let num_items = scale.items();
+        let mut offsets = Vec::with_capacity(num_users as usize + 1);
+        let mut rated = Vec::new();
+        offsets.push(0);
+        for u in 0..num_users {
+            let mut rng = SplitMix64::stream(seed, u64::from(u));
+            // Heavy-tailed activity: most users rate a few items, some
+            // rate dozens.
+            let count = if rng.unit_f64() < 0.75 {
+                2 + rng.below(8) as u32
+            } else {
+                Self::ACTIVE_THRESHOLD + rng.below(48) as u32
+            };
+            for _ in 0..count {
+                // Zipf-ish popularity: quadratic skew toward low item ids.
+                let x = rng.unit_f64();
+                let item = ((x * x) * f64::from(num_items)) as u32;
+                rated.push(item.min(num_items - 1));
+            }
+            offsets.push(rated.len() as u32);
+        }
+        let mut layout = Layout::new();
+        let user_offsets = layout.alloc(u64::from(num_users) + 1, 4);
+        let rated_items = layout.alloc(rated.len().max(1) as u64, 4);
+        let features = layout.alloc(u64::from(num_items), 64);
+        let output = layout.alloc(u64::from(num_users), 4);
+        let workbuf = layout.alloc(u64::from(num_users), 4);
+        Pre {
+            num_users,
+            num_items,
+            chunk: Self::CHUNK,
+            offsets,
+            rated,
+            user_offsets,
+            rated_items,
+            features,
+            output,
+            workbuf,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    fn ratings_of(&self, user: u32) -> &[u32] {
+        let lo = self.offsets[user as usize] as usize;
+        let hi = self.offsets[user as usize + 1] as usize;
+        &self.rated[lo..hi]
+    }
+
+    fn child_req() -> ResourceReq {
+        ResourceReq::new(Self::CHILD_THREADS, 26, 512)
+    }
+
+    fn parent_program(&self, tb: u32) -> TbProgram {
+        let (a, cnt) = chunk_range(self.num_users, self.chunk, tb);
+        let mut b = OpBuilder::new(self.chunk);
+        if cnt == 0 {
+            return b.compute(1).build();
+        }
+        b.load_slice(self.user_offsets, u64::from(a), u64::from(cnt) + 1);
+        // Peek each user's first rated item id and its feature line.
+        let first_items: Vec<Addr> = (a..a + cnt)
+            .filter(|&u| !self.ratings_of(u).is_empty())
+            .map(|u| self.rated_items.addr(u64::from(self.offsets[u as usize])))
+            .collect();
+        b.gather(first_items);
+        let first_features: Vec<Addr> = (a..a + cnt)
+            .filter(|&u| !self.ratings_of(u).is_empty())
+            .map(|u| self.features.addr(u64::from(self.ratings_of(u)[0])))
+            .collect();
+        b.gather(first_features);
+        b.compute(10);
+        b.store_slice(self.workbuf, u64::from(a), u64::from(cnt));
+        // Launch the active users' similarity children, then handle the
+        // casual users inline while the children run.
+        for u in a..a + cnt {
+            let count = self.ratings_of(u).len() as u32;
+            if count >= Self::ACTIVE_THRESHOLD {
+                b.launch(
+                    CHILD,
+                    u64::from(u),
+                    count.div_ceil(Self::CHILD_THREADS),
+                    Self::child_req(),
+                );
+            }
+        }
+        for round in 1..3usize {
+            let addrs: Vec<Addr> = (a..a + cnt)
+                .filter(|&u| {
+                    let r = self.ratings_of(u);
+                    (r.len() as u32) < Self::ACTIVE_THRESHOLD && r.len() > round
+                })
+                .map(|u| self.features.addr(u64::from(self.ratings_of(u)[round])))
+                .collect();
+            b.gather(addrs);
+            b.compute(8);
+        }
+        b.store_slice(self.output, u64::from(a), u64::from(cnt));
+        b.build()
+    }
+
+    fn child_program(&self, user: u64, tb_index: u32) -> TbProgram {
+        let u = user as u32;
+        let ratings = self.ratings_of(u);
+        let start = (tb_index * Self::CHILD_THREADS) as usize;
+        let mut b = OpBuilder::new(Self::CHILD_THREADS);
+        if start >= ratings.len() {
+            return b.compute(1).build();
+        }
+        let slice = &ratings[start..(start + Self::CHILD_THREADS as usize).min(ratings.len())];
+
+        // Re-read the user header and the parent's work buffer.
+        b.load_bcast(self.user_offsets, u64::from(u));
+        let parent_chunk = u64::from((u / self.chunk) * self.chunk);
+        b.load_slice(self.workbuf, parent_chunk, u64::from(Self::CHILD_THREADS));
+
+        // Load this TB's slice of rated item ids (coalesced).
+        b.load_slice(
+            self.rated_items,
+            u64::from(self.offsets[u as usize]) + start as u64,
+            slice.len() as u64,
+        );
+        // Fetch the feature vectors: popular items repeat across
+        // siblings. Two halves of the 64-byte vector.
+        for half in 0..2u64 {
+            let addrs: Vec<Addr> = slice
+                .iter()
+                .map(|&item| self.features.addr(u64::from(item)) + half * 32)
+                .collect();
+            b.gather(addrs);
+            b.compute(8); // dot-product accumulation
+        }
+        b.shared();
+        b.compute(10);
+        b.store_bcast(self.output, u64::from(u));
+        b.build()
+    }
+}
+
+impl ProgramSource for Pre {
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => self.parent_program(tb_index),
+            _ => self.child_program(param, tb_index),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        match kind {
+            PARENT => "pre-sweep".to_string(),
+            _ => "pre-similarity".to_string(),
+        }
+    }
+}
+
+impl Workload for Pre {
+    fn name(&self) -> &'static str {
+        "pre"
+    }
+
+    fn input(&self) -> String {
+        String::new()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        vec![HostKernel {
+            kind: PARENT,
+            param: 0,
+            num_tbs: num_chunks(self.num_users, self.chunk),
+            req: ResourceReq::new(self.chunk, 26, 512),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_users_launch_children() {
+        let p = Pre::new(Scale::Tiny);
+        let mut launches = 0usize;
+        for tb in 0..p.host_kernels()[0].num_tbs {
+            for l in p.tb_program(PARENT, 0, tb).launches() {
+                let u = l.param as u32;
+                assert!(p.ratings_of(u).len() as u32 >= Pre::ACTIVE_THRESHOLD);
+                launches += 1;
+            }
+        }
+        assert!(launches > 0);
+    }
+
+    #[test]
+    fn popularity_is_skewed_to_low_ids() {
+        let p = Pre::new(Scale::Small);
+        let below_quarter = p
+            .rated
+            .iter()
+            .filter(|&&i| i < p.num_items / 4)
+            .count();
+        let rate = below_quarter as f64 / p.rated.len() as f64;
+        assert!(rate > 0.4, "only {rate} of ratings hit the popular quarter");
+    }
+
+    #[test]
+    fn sibling_children_share_feature_lines() {
+        let p = Pre::new(Scale::Tiny);
+        // Find a parent TB that launches two children.
+        let mut params = Vec::new();
+        for tb in 0..p.host_kernels()[0].num_tbs {
+            let prog = p.tb_program(PARENT, 0, tb);
+            let l: Vec<_> = prog.launches().cloned().collect();
+            if l.len() >= 2 {
+                params = vec![l[0].param, l[1].param];
+                break;
+            }
+        }
+        assert!(!params.is_empty(), "no chunk with two active users");
+        let feature_lines = |param: u64| -> std::collections::HashSet<u64> {
+            p.tb_program(CHILD, param, 0)
+                .global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(Pre::CHILD_THREADS))
+                .filter(|&a| p.features.contains(a))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let shared = feature_lines(params[0])
+            .intersection(&feature_lines(params[1]))
+            .count();
+        assert!(shared > 0, "siblings share no feature lines");
+    }
+
+    #[test]
+    fn child_grid_covers_all_ratings() {
+        let p = Pre::new(Scale::Tiny);
+        for tb in 0..p.host_kernels()[0].num_tbs {
+            for l in p.tb_program(PARENT, 0, tb).launches() {
+                let count = p.ratings_of(l.param as u32).len() as u32;
+                assert_eq!(l.num_tbs, count.div_ceil(Pre::CHILD_THREADS));
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Regular-expression matching (REGX) over packet payloads.
+//!
+//! The parent kernel scans packet headers; packets whose header matches
+//! the filter launch a child TB that runs the NFA over the payload. All
+//! children consult the same transition table, so child-sibling locality
+//! is high regardless of which packets matched — while payloads are
+//! private. The two inputs differ in match rate and payload length,
+//! mirroring the DARPA network packets vs random string collection of
+//! Table II.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+use gpu_sim::types::Addr;
+
+use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::layout::{Layout, Region};
+use crate::rng::SplitMix64;
+use crate::{HostKernel, Scale, Workload};
+
+const SEED: u64 = 0x8E68_0003;
+
+/// The two REGX inputs of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegxInput {
+    /// DARPA-like network packets: lower match rate, longer payloads,
+    /// matches clustered in bursts (attack traces).
+    Darpa,
+    /// Random string collection: higher match rate, shorter strings,
+    /// matches spread uniformly.
+    Strings,
+}
+
+impl RegxInput {
+    /// Both inputs, in Table II order.
+    pub fn all() -> [RegxInput; 2] {
+        [RegxInput::Darpa, RegxInput::Strings]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegxInput::Darpa => "darpa",
+            RegxInput::Strings => "strings",
+        }
+    }
+
+    fn match_rate(self) -> f64 {
+        match self {
+            RegxInput::Darpa => 0.18,
+            RegxInput::Strings => 0.30,
+        }
+    }
+
+    fn payload_rounds(self) -> u32 {
+        match self {
+            RegxInput::Darpa => 4,
+            RegxInput::Strings => 2,
+        }
+    }
+}
+
+/// Regular-expression matching benchmark.
+#[derive(Debug)]
+pub struct Regx {
+    input: RegxInput,
+    num_packets: u32,
+    chunk: u32,
+    /// Matched packet ids, grouped by parent TB (precomputed filter
+    /// results).
+    matches_by_tb: Vec<Vec<u32>>,
+    headers: Region,
+    payloads: Region,
+    nfa_table: Region,
+    results: Region,
+}
+
+impl Regx {
+    /// Packets per parent TB.
+    pub const CHUNK: u32 = 32;
+    /// Threads per child TB (one TB matches one packet).
+    pub const CHILD_THREADS: u32 = 32;
+    /// Payload elements (4B) per packet.
+    const PAYLOAD_ELEMS: u64 = 64;
+    /// NFA transition-table entries.
+    const TABLE_ENTRIES: u64 = 1024;
+
+    /// Builds the REGX benchmark for an input at a scale, with the
+    /// default input seed.
+    pub fn new(input: RegxInput, scale: Scale) -> Self {
+        Self::new_seeded(input, scale, 0)
+    }
+
+    /// Builds with an explicit input seed (for multi-sample experiments).
+    pub fn new_seeded(input: RegxInput, scale: Scale, seed: u64) -> Self {
+        let seed = SEED ^ seed;
+        let num_packets = scale.items() * 4;
+        let chunks = num_chunks(num_packets, Self::CHUNK);
+        let mut layout = Layout::new();
+        let headers = layout.alloc(u64::from(num_packets), 16);
+        let payloads = layout.alloc(u64::from(num_packets) * Self::PAYLOAD_ELEMS, 4);
+        let nfa_table = layout.alloc(Self::TABLE_ENTRIES, 8);
+        let results = layout.alloc(u64::from(num_packets), 4);
+
+        let mut matches_by_tb = vec![Vec::new(); chunks as usize];
+        for p in 0..num_packets {
+            let mut rng = SplitMix64::stream(seed ^ input.name().len() as u64, u64::from(p));
+            let matched = match input {
+                // Bursty: whole 16-packet windows match together.
+                RegxInput::Darpa => {
+                    let window = p / 16;
+                    SplitMix64::stream(seed ^ 0xDA, u64::from(window)).unit_f64()
+                        < input.match_rate()
+                }
+                RegxInput::Strings => rng.unit_f64() < input.match_rate(),
+            };
+            if matched {
+                matches_by_tb[(p / Self::CHUNK) as usize].push(p);
+            }
+        }
+        Regx {
+            input,
+            num_packets,
+            chunk: Self::CHUNK,
+            matches_by_tb,
+            headers,
+            payloads,
+            nfa_table,
+            results,
+        }
+    }
+
+    /// Number of packets.
+    pub fn num_packets(&self) -> u32 {
+        self.num_packets
+    }
+
+    /// Total matched packets.
+    pub fn total_matches(&self) -> usize {
+        self.matches_by_tb.iter().map(Vec::len).sum()
+    }
+
+    fn child_req() -> ResourceReq {
+        ResourceReq::new(Self::CHILD_THREADS, 22, 256)
+    }
+
+    fn parent_program(&self, tb: u32) -> TbProgram {
+        let (a, cnt) = chunk_range(self.num_packets, self.chunk, tb);
+        let mut b = OpBuilder::new(self.chunk);
+        if cnt == 0 {
+            return b.compute(1).build();
+        }
+        // Scan headers (16B records → strided over several lines).
+        b.load_slice(self.headers, u64::from(a), u64::from(cnt));
+        b.compute(8); // header filter
+        b.store_slice(self.results, u64::from(a), u64::from(cnt));
+        // One child TB group covers all of this chunk's matched packets;
+        // the parent keeps prefiltering the unmatched payload heads.
+        let matched = &self.matches_by_tb[tb as usize];
+        if !matched.is_empty() {
+            b.launch(CHILD, u64::from(tb), matched.len() as u32, Self::child_req());
+        }
+        let peek: Vec<gpu_sim::types::Addr> = (a..a + cnt)
+            .map(|p| self.payloads.addr(u64::from(p) * Self::PAYLOAD_ELEMS))
+            .collect();
+        b.gather(peek);
+        b.compute(10);
+        b.store_slice(self.results, u64::from(a), u64::from(cnt));
+        b.build()
+    }
+
+    fn child_program(&self, parent_tb: u64, tb_index: u32) -> TbProgram {
+        let matched = &self.matches_by_tb[parent_tb as usize];
+        let mut b = OpBuilder::new(Self::CHILD_THREADS);
+        let Some(&packet) = matched.get(tb_index as usize) else {
+            return b.compute(1).build();
+        };
+        // Re-read the header the parent just touched.
+        b.load_bcast(self.headers, u64::from(packet));
+        // Run the NFA over the payload: per round, a payload slice plus
+        // transition-table lookups (shared by every child in the run).
+        let mut rng = SplitMix64::stream(SEED ^ 0x7AB1E, u64::from(packet));
+        let payload_base = u64::from(packet) * Self::PAYLOAD_ELEMS;
+        let rounds = self.input.payload_rounds();
+        for round in 0..u64::from(rounds) {
+            let slice = Self::PAYLOAD_ELEMS / u64::from(rounds);
+            b.load_slice(self.payloads, payload_base + round * slice, slice);
+            let table_addrs: Vec<Addr> = (0..Self::CHILD_THREADS)
+                .map(|_| self.nfa_table.addr(rng.below(Self::TABLE_ENTRIES)))
+                .collect();
+            b.gather(table_addrs);
+            // Lanes whose candidate match failed drop out round by round
+            // — NFA matching is divergent by nature.
+            let active = (Self::CHILD_THREADS >> round.min(4) as u32).max(4);
+            b.compute_masked(6, active);
+        }
+        b.store_bcast(self.results, u64::from(packet));
+        b.build()
+    }
+}
+
+impl ProgramSource for Regx {
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => self.parent_program(tb_index),
+            _ => self.child_program(param, tb_index),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        match kind {
+            PARENT => "regx-filter".to_string(),
+            _ => "regx-nfa".to_string(),
+        }
+    }
+}
+
+impl Workload for Regx {
+    fn name(&self) -> &'static str {
+        "regx"
+    }
+
+    fn input(&self) -> String {
+        self.input.name().to_string()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        vec![HostKernel {
+            kind: PARENT,
+            param: 0,
+            num_tbs: num_chunks(self.num_packets, self.chunk),
+            req: ResourceReq::new(self.chunk, 24, 256),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_rates_differ_by_input() {
+        let d = Regx::new(RegxInput::Darpa, Scale::Small);
+        let s = Regx::new(RegxInput::Strings, Scale::Small);
+        let dr = d.total_matches() as f64 / f64::from(d.num_packets());
+        let sr = s.total_matches() as f64 / f64::from(s.num_packets());
+        assert!(dr < sr, "darpa rate {dr} should be below strings rate {sr}");
+        assert!(dr > 0.05 && sr < 0.5);
+    }
+
+    #[test]
+    fn child_grid_matches_filter_results() {
+        let r = Regx::new(RegxInput::Strings, Scale::Tiny);
+        for tb in 0..r.host_kernels()[0].num_tbs {
+            let prog = r.tb_program(PARENT, 0, tb);
+            let expected = r.matches_by_tb[tb as usize].len() as u32;
+            let first = prog.launches().next().cloned();
+            match first {
+                Some(l) => assert_eq!(l.num_tbs, expected),
+                None => assert_eq!(expected, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn darpa_children_run_longer_nfa() {
+        let d = Regx::new(RegxInput::Darpa, Scale::Tiny);
+        let s = Regx::new(RegxInput::Strings, Scale::Tiny);
+        let first_match = |r: &Regx| {
+            (0..r.matches_by_tb.len())
+                .find(|&tb| !r.matches_by_tb[tb].is_empty())
+                .unwrap() as u64
+        };
+        let dp = d.tb_program(CHILD, first_match(&d), 0);
+        let sp = s.tb_program(CHILD, first_match(&s), 0);
+        assert!(dp.len() > sp.len());
+    }
+
+    #[test]
+    fn siblings_share_the_nfa_table() {
+        let r = Regx::new(RegxInput::Strings, Scale::Tiny);
+        let tb = (0..r.matches_by_tb.len())
+            .find(|&tb| r.matches_by_tb[tb].len() >= 2)
+            .expect("a chunk with two matches") as u64;
+        let table_lines = |child: u32| -> std::collections::HashSet<u64> {
+            r.tb_program(CHILD, tb, child)
+                .global_mem_ops()
+                .flat_map(|m| m.pattern.tb_addrs(Regx::CHILD_THREADS))
+                .filter(|&a| r.nfa_table.contains(a))
+                .map(|a| a >> 7)
+                .collect()
+        };
+        let shared = table_lines(0).intersection(&table_lines(1)).count();
+        assert!(shared > 0, "siblings must share transition-table lines");
+    }
+
+    #[test]
+    fn out_of_range_child_is_trivial() {
+        let r = Regx::new(RegxInput::Darpa, Scale::Tiny);
+        assert_eq!(r.tb_program(CHILD, 0, 10_000).len(), 1);
+    }
+}

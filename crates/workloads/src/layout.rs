@@ -1,0 +1,155 @@
+//! Simulated global-memory layout.
+//!
+//! Each workload places its arrays in disjoint address regions of the
+//! simulated 64-bit global address space. [`Layout`] is a simple bump
+//! allocator over that space; [`Region`] provides typed element
+//! addressing so program generators cannot produce overlapping arrays by
+//! accident.
+
+use gpu_sim::types::Addr;
+
+/// Alignment of every region (one 128-byte cache line).
+pub const REGION_ALIGN: u64 = 128;
+
+/// A contiguous array in simulated global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: Addr,
+    elem_bytes: u32,
+    len: u64,
+}
+
+impl Region {
+    /// Base byte address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if the region has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i` is out of bounds.
+    pub fn addr(&self, i: u64) -> Addr {
+        debug_assert!(i < self.len, "element {i} out of bounds ({} elements)", self.len);
+        self.base + i * u64::from(self.elem_bytes)
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * u64::from(self.elem_bytes)
+    }
+
+    /// `true` if `addr` falls inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.base + self.bytes()
+    }
+}
+
+/// A bump allocator over the simulated global address space.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: Addr,
+}
+
+impl Layout {
+    /// Creates a layout starting at a nonzero base (address 0 is kept
+    /// unmapped to make accidental null-ish addresses visible).
+    pub fn new() -> Self {
+        Layout { next: REGION_ALIGN }
+    }
+
+    /// Allocates a region of `len` elements of `elem_bytes` each,
+    /// line-aligned.
+    pub fn alloc(&mut self, len: u64, elem_bytes: u32) -> Region {
+        let base = self.next;
+        let bytes = len * u64::from(elem_bytes);
+        self.next = (base + bytes).div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN;
+        Region { base, elem_bytes, len }
+    }
+
+    /// Total bytes spanned so far.
+    pub fn footprint(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let mut l = Layout::new();
+        let a = l.alloc(100, 4);
+        let b = l.alloc(50, 8);
+        assert!(a.base() + a.bytes() <= b.base());
+        assert!(!b.contains(a.addr(99)));
+        assert!(!a.contains(b.addr(0)));
+    }
+
+    #[test]
+    fn regions_are_line_aligned() {
+        let mut l = Layout::new();
+        let a = l.alloc(3, 4);
+        let b = l.alloc(3, 4);
+        assert_eq!(a.base() % REGION_ALIGN, 0);
+        assert_eq!(b.base() % REGION_ALIGN, 0);
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut l = Layout::new();
+        let r = l.alloc(10, 4);
+        assert_eq!(r.addr(0), r.base());
+        assert_eq!(r.addr(9), r.base() + 36);
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert_eq!(r.elem_bytes(), 4);
+    }
+
+    #[test]
+    fn zero_is_unmapped() {
+        let mut l = Layout::new();
+        let r = l.alloc(1, 4);
+        assert!(r.base() > 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_addr_panics() {
+        let mut l = Layout::new();
+        let r = l.alloc(1, 4);
+        let _ = r.addr(1);
+    }
+
+    #[test]
+    fn footprint_grows() {
+        let mut l = Layout::new();
+        let before = l.footprint();
+        l.alloc(1000, 4);
+        assert!(l.footprint() > before);
+    }
+}

@@ -1,0 +1,129 @@
+//! A tiny deterministic PRNG for workload generation.
+//!
+//! The reproduction needs bit-identical inputs across runs, platforms and
+//! dependency upgrades (the timing simulator and the footprint analyzer
+//! must see the same address streams), so workloads use this SplitMix64
+//! implementation instead of an external crate.
+
+/// SplitMix64: fast, well-distributed, 64 bits of state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift reduction; bias is negligible for the bounds
+        // used here (≤ 2^32).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Approximately normal value with the given mean and standard
+    /// deviation (sum of uniform variates — Irwin-Hall with 12 terms).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.unit_f64()).sum();
+        mean + (sum - 6.0) * std_dev
+    }
+
+    /// Derives an independent stream for item `tag` (stable hashing), so
+    /// per-item randomness does not depend on generation order.
+    pub fn stream(seed: u64, tag: u64) -> Self {
+        let mut mixer = SplitMix64::new(seed ^ tag.wrapping_mul(0xA24B_AED4_963E_E407));
+        let s = mixer.next_u64();
+        SplitMix64::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_is_roughly_centered() {
+        let mut r = SplitMix64::new(11);
+        let mean: f64 = (0..10_000).map(|_| r.normal(5.0, 2.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 5.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn streams_are_independent_of_order() {
+        let a1 = SplitMix64::stream(99, 1).next_u64();
+        let _ = SplitMix64::stream(99, 2).next_u64();
+        let a2 = SplitMix64::stream(99, 1).next_u64();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Problem-size presets.
+
+/// How large the workload inputs are.
+///
+/// The paper runs full-size inputs on GPGPU-Sim for hours; this
+/// reproduction exposes three presets so unit tests stay fast while the
+/// benchmark harness exercises realistic pressure on the caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Minimal inputs for unit tests (hundreds of TBs).
+    Tiny,
+    /// Medium inputs for integration tests and quick runs.
+    Small,
+    /// Full-size inputs for the figure-regeneration harness.
+    Paper,
+}
+
+impl Scale {
+    /// A characteristic item count: workloads size their inputs as
+    /// multiples of this.
+    pub fn items(self) -> u32 {
+        match self {
+            Scale::Tiny => 256,
+            Scale::Small => 4096,
+            Scale::Paper => 8192,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        assert!(Scale::Tiny.items() < Scale::Small.items());
+        assert!(Scale::Small.items() < Scale::Paper.items());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Scale::Tiny.to_string(), "tiny");
+        assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+}

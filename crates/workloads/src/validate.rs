@@ -1,0 +1,215 @@
+//! Validation for [`Workload`] implementations.
+//!
+//! Run [`validate_workload`] on a new workload before simulating it: it
+//! expands the complete TB tree (host kernels and every nested launch)
+//! and checks the structural invariants the engine and the analysis
+//! tooling rely on. The suite's own workloads are validated in tests.
+
+use std::collections::HashSet;
+
+use gpu_sim::program::KernelKindId;
+
+use crate::Workload;
+
+/// Hard cap on recursive launch depth during validation.
+const MAX_DEPTH: u32 = 16;
+
+/// Hard cap on distinct TBs expanded (guards against runaway recursion).
+const MAX_TBS: usize = 2_000_000;
+
+/// A violation found by [`validate_workload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Which check failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn err(message: impl Into<String>) -> ValidationError {
+    ValidationError { message: message.into() }
+}
+
+/// Checks a workload's structural invariants.
+///
+/// Verified properties:
+///
+/// * at least one host kernel, each with a non-empty grid and non-zero
+///   per-TB threads;
+/// * program generation is deterministic (same TB twice → same program);
+/// * every launch names a non-empty grid with non-zero threads;
+/// * the launch tree terminates within a sane depth and size;
+/// * at least one TB performs global-memory work (a workload with no
+///   memory traffic cannot exercise a locality scheduler);
+/// * at least one TB launches children (otherwise there is no dynamic
+///   parallelism to study).
+///
+/// # Errors
+///
+/// Returns the first violated invariant, described for a human.
+pub fn validate_workload(workload: &dyn Workload) -> Result<(), ValidationError> {
+    let kernels = workload.host_kernels();
+    if kernels.is_empty() {
+        return Err(err(format!("{}: no host kernels", workload.full_name())));
+    }
+
+    let mut stack: Vec<(KernelKindId, u64, u32, u32)> = Vec::new();
+    for hk in &kernels {
+        if hk.num_tbs == 0 {
+            return Err(err(format!("{}: host kernel with empty grid", workload.full_name())));
+        }
+        if hk.req.threads == 0 {
+            return Err(err(format!("{}: host kernel with zero threads", workload.full_name())));
+        }
+        for tb in 0..hk.num_tbs {
+            stack.push((hk.kind, hk.param, tb, 0));
+        }
+    }
+
+    let mut visited: HashSet<(u16, u64, u32)> = HashSet::new();
+    let mut any_memory = false;
+    let mut any_launch = false;
+    while let Some((kind, param, tb, depth)) = stack.pop() {
+        if depth > MAX_DEPTH {
+            return Err(err(format!(
+                "{}: launch recursion deeper than {MAX_DEPTH}",
+                workload.full_name()
+            )));
+        }
+        if !visited.insert((kind.0, param, tb)) {
+            continue;
+        }
+        if visited.len() > MAX_TBS {
+            return Err(err(format!(
+                "{}: more than {MAX_TBS} distinct TBs; runaway launch tree?",
+                workload.full_name()
+            )));
+        }
+        let program = workload.tb_program(kind, param, tb);
+        if program != workload.tb_program(kind, param, tb) {
+            return Err(err(format!(
+                "{}: tb_program({kind:?}, {param}, {tb}) is not deterministic",
+                workload.full_name()
+            )));
+        }
+        if program.global_mem_ops().next().is_some() {
+            any_memory = true;
+        }
+        for launch in program.launches() {
+            any_launch = true;
+            if launch.num_tbs == 0 {
+                return Err(err(format!(
+                    "{}: launch with empty grid from ({kind:?}, {param}, {tb})",
+                    workload.full_name()
+                )));
+            }
+            if launch.req.threads == 0 {
+                return Err(err(format!(
+                    "{}: launch with zero threads from ({kind:?}, {param}, {tb})",
+                    workload.full_name()
+                )));
+            }
+            for child in 0..launch.num_tbs {
+                stack.push((launch.kind, launch.param, child, depth + 1));
+            }
+        }
+    }
+
+    if !any_memory {
+        return Err(err(format!("{}: no TB touches global memory", workload.full_name())));
+    }
+    if !any_launch {
+        return Err(err(format!("{}: no TB launches children", workload.full_name())));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{suite, HostKernel, Scale};
+    use gpu_sim::kernel::ResourceReq;
+    use gpu_sim::program::{LaunchSpec, ProgramSource, TbOp, TbProgram};
+
+    #[test]
+    fn the_whole_suite_validates() {
+        for w in suite(Scale::Tiny) {
+            validate_workload(w.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed validation: {e}", w.full_name()));
+        }
+    }
+
+    struct Broken {
+        kind: u8,
+    }
+
+    impl ProgramSource for Broken {
+        fn tb_program(&self, kind: KernelKindId, p: u64, _tb: u32) -> TbProgram {
+            match (self.kind, kind.0) {
+                // Infinite recursion: every TB launches a fresh child.
+                (0, _) => TbProgram::new(vec![TbOp::Launch(LaunchSpec {
+                    kind: KernelKindId(1),
+                    param: p + 1,
+                    num_tbs: 1,
+                    req: ResourceReq::new(32, 8, 0),
+                })]),
+                // Empty child grid.
+                (1, 0) => TbProgram::new(vec![TbOp::Launch(LaunchSpec {
+                    kind: KernelKindId(1),
+                    param: 0,
+                    num_tbs: 0,
+                    req: ResourceReq::new(32, 8, 0),
+                })]),
+                // No memory, no launches.
+                (2, _) => TbProgram::new(vec![TbOp::Compute(4)]),
+                _ => TbProgram::new(vec![TbOp::Compute(4)]),
+            }
+        }
+    }
+
+    impl crate::Workload for Broken {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+
+        fn input(&self) -> String {
+            String::new()
+        }
+
+        fn host_kernels(&self) -> Vec<HostKernel> {
+            vec![HostKernel {
+                kind: KernelKindId(0),
+                param: 0,
+                num_tbs: 1,
+                req: ResourceReq::new(32, 8, 0),
+            }]
+        }
+    }
+
+    #[test]
+    fn runaway_recursion_is_caught() {
+        let e = validate_workload(&Broken { kind: 0 }).unwrap_err();
+        assert!(e.message.contains("recursion") || e.message.contains("runaway"), "{e}");
+    }
+
+    #[test]
+    fn empty_child_grid_is_caught() {
+        let e = validate_workload(&Broken { kind: 1 }).unwrap_err();
+        assert!(e.message.contains("empty grid"), "{e}");
+    }
+
+    #[test]
+    fn launchless_workload_is_caught() {
+        let e = validate_workload(&Broken { kind: 2 }).unwrap_err();
+        assert!(
+            e.message.contains("memory") || e.message.contains("launches"),
+            "{e}"
+        );
+    }
+}

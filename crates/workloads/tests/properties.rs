@@ -1,0 +1,123 @@
+//! Property-based tests of workload generation: all generated address
+//! streams stay inside their regions, graphs are well-formed, and
+//! generation is a pure function of its inputs.
+
+use proptest::prelude::*;
+
+use workloads::graph::{banded, citation, rmat, GraphKind};
+use workloads::layout::Layout;
+use workloads::rng::SplitMix64;
+
+proptest! {
+    /// Graph generators produce edges strictly inside the vertex range
+    /// and monotone CSR offsets, for any size/seed.
+    #[test]
+    fn graphs_are_well_formed(
+        n in 2u32..400,
+        deg in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        for g in [citation(n, deg, seed), rmat(n, deg, seed), banded(n, deg, seed)] {
+            prop_assert_eq!(g.num_vertices(), n);
+            let mut total = 0u32;
+            for v in 0..n {
+                prop_assert_eq!(g.row_start(v) , total);
+                total += g.degree(v);
+                for &t in g.neighbors(v) {
+                    prop_assert!(t < n);
+                }
+            }
+            prop_assert_eq!(g.num_edges(), total);
+        }
+    }
+
+    /// Generation is deterministic in (kind, n, deg, seed).
+    #[test]
+    fn graph_generation_is_pure(n in 2u32..200, seed in any::<u64>()) {
+        for kind in GraphKind::all() {
+            prop_assert_eq!(kind.generate(n, 4, seed), kind.generate(n, 4, seed));
+        }
+    }
+
+    /// Layout regions never overlap, regardless of allocation sizes.
+    #[test]
+    fn layout_regions_are_disjoint(
+        sizes in prop::collection::vec((1u64..5000, prop::sample::select(vec![1u32, 4, 8, 16, 64, 128])), 1..20),
+    ) {
+        let mut layout = Layout::new();
+        let regions: Vec<_> = sizes.iter().map(|&(len, elem)| layout.alloc(len, elem)).collect();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                let a_end = a.base() + a.bytes();
+                prop_assert!(a_end <= b.base(), "regions overlap: {:?} vs {:?}", a, b);
+                // They also never share a 128-byte cache line.
+                prop_assert!((a_end - 1) >> 7 < b.base() >> 7 || a.bytes() == 0);
+            }
+        }
+    }
+
+    /// SplitMix64 streams keyed by tag are independent of generation
+    /// order and `below` stays in bounds.
+    #[test]
+    fn rng_streams_and_bounds(seed in any::<u64>(), tag in any::<u64>(), bound in 1u64..1_000_000) {
+        let a = SplitMix64::stream(seed, tag).next_u64();
+        let b = SplitMix64::stream(seed, tag).next_u64();
+        prop_assert_eq!(a, b);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}
+
+mod program_bounds {
+    use std::collections::HashMap;
+    use workloads::{suite, Scale, Workload};
+
+    /// Every address any TB of a workload generates must fall inside the
+    /// workload's allocated footprint. Checked exhaustively per workload
+    /// (deterministic, so a plain test rather than proptest).
+    #[test]
+    fn all_generated_addresses_are_in_bounds() {
+        for w in suite(Scale::Tiny) {
+            check_workload(w.as_ref());
+        }
+    }
+
+    fn check_workload(w: &dyn Workload) {
+        // Recursively expand every TB, collecting (kind, param, tb).
+        let mut stack: Vec<(gpu_sim::program::KernelKindId, u64, u32, u32)> = Vec::new();
+        for hk in w.host_kernels() {
+            for tb in 0..hk.num_tbs {
+                stack.push((hk.kind, hk.param, tb, hk.req.threads));
+            }
+        }
+        let mut seen = 0usize;
+        let mut max_addr = 0u64;
+        let mut visited: HashMap<(u16, u64, u32), ()> = HashMap::new();
+        while let Some((kind, param, tb, threads)) = stack.pop() {
+            if visited.insert((kind.0, param, tb), ()).is_some() {
+                continue;
+            }
+            seen += 1;
+            let prog = w.tb_program(kind, param, tb);
+            for m in prog.global_mem_ops() {
+                for a in m.pattern.tb_addrs(threads) {
+                    max_addr = max_addr.max(a);
+                    assert!(
+                        a < 1 << 40,
+                        "{}: absurd address {a:#x} from kind {kind:?}",
+                        w.full_name()
+                    );
+                }
+            }
+            for l in prog.launches() {
+                for child in 0..l.num_tbs {
+                    stack.push((l.kind, l.param, child, l.req.threads));
+                }
+            }
+        }
+        assert!(seen > 0, "{}: no TBs expanded", w.full_name());
+        assert!(max_addr > 0, "{}: no memory traffic", w.full_name());
+    }
+}

@@ -1,0 +1,49 @@
+//! Adaptive mesh refinement with nested device launches.
+//!
+//! AMR is the suite's stress test for *nesting*: refined cells can refine
+//! again, exercising LaPerm's priority-level clamp `L`. It is also the
+//! workload with the least child-sibling locality (each child owns its
+//! private fine mesh), so most of LaPerm's benefit comes from
+//! parent-child reuse and from starting children early.
+//!
+//! Usage: `cargo run --release --example adaptive_mesh`
+
+use std::sync::Arc;
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use sim_metrics::footprint::FootprintAnalysis;
+use sim_metrics::harness::{run_once, SchedulerKind};
+use sim_metrics::report::{pct, Table};
+use workloads::apps::amr::Amr;
+use workloads::{Scale, Workload};
+
+fn main() {
+    let amr = Amr::new(Scale::Small);
+    println!(
+        "AMR: {} coarse cells, {} flagged for refinement",
+        amr.num_cells(),
+        amr.refined_cells()
+    );
+    let fp = FootprintAnalysis::analyze(&amr);
+    println!(
+        "footprints: parent-child {}, child-sibling {} (siblings own private fine meshes)\n",
+        pct(fp.parent_child),
+        pct(fp.child_sibling)
+    );
+
+    let w: Arc<dyn Workload> = Arc::new(amr);
+    let cfg = GpuConfig::kepler_k20c();
+    let mut t = Table::new(vec!["scheduler", "cycles", "IPC", "L1 hit", "child wait"]);
+    for sched in SchedulerKind::all() {
+        let rec = run_once(&w, LaunchModelKind::Dtbl, sched, &cfg).expect("simulation");
+        t.row(vec![
+            rec.scheduler.clone(),
+            rec.cycles.to_string(),
+            format!("{:.1}", rec.ipc),
+            pct(rec.l1_hit_rate),
+            format!("{:.0}", rec.mean_child_wait),
+        ]);
+    }
+    println!("DTBL, small scale\n{}", t.render());
+}

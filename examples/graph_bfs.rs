@@ -1,0 +1,50 @@
+//! Dynamic-parallelism BFS across the three graph inputs.
+//!
+//! Shows how input clustering drives child-sibling locality (Figure 2 of
+//! the paper) and how much of it each scheduler converts into cache hits.
+//!
+//! Usage: `cargo run --release --example graph_bfs`
+
+use std::sync::Arc;
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use sim_metrics::footprint::FootprintAnalysis;
+use sim_metrics::harness::{run_once, SchedulerKind};
+use sim_metrics::report::{pct, Table};
+use workloads::apps::bfs::Bfs;
+use workloads::graph::GraphKind;
+use workloads::{Scale, Workload};
+
+fn main() {
+    let cfg = GpuConfig::kepler_k20c();
+    let mut t = Table::new(vec![
+        "input",
+        "parent-child",
+        "child-sibling",
+        "rr L1",
+        "adaptive L1",
+        "IPC gain",
+    ]);
+    for kind in GraphKind::all() {
+        let w: Arc<dyn Workload> = Arc::new(Bfs::new(kind, Scale::Small));
+        let fp = FootprintAnalysis::analyze(w.as_ref());
+        let rr = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+            .expect("rr run");
+        let ad = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("adaptive run");
+        t.row(vec![
+            kind.name().to_string(),
+            pct(fp.parent_child),
+            pct(fp.child_sibling),
+            pct(rr.l1_hit_rate),
+            pct(ad.l1_hit_rate),
+            format!("{:.2}x", ad.ipc / rr.ipc),
+        ]);
+    }
+    println!("BFS with device-side launches, DTBL, small scale\n{}", t.render());
+    println!(
+        "Clustered inputs (citation, cage15) give sibling TBs overlapping\n\
+         neighbor data; LaPerm's SMX binding turns that into L1 hits."
+    );
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the LaPerm reproduction.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use a single dependency. Library users should
+//! depend on the individual crates ([`gpu_sim`], [`dynpar`], [`laperm`],
+//! [`workloads`], [`sim_metrics`]) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use laperm_repro::prelude::*;
+//!
+//! let config = GpuConfig::small_test();
+//! assert!(config.num_smxs >= 1);
+//! ```
+
+pub use dynpar;
+pub use gpu_sim;
+pub use laperm;
+pub use sim_metrics;
+pub use workloads;
+
+/// Commonly used items across the reproduction.
+pub mod prelude {
+    pub use dynpar::{LaunchLatency, LaunchModelKind};
+    pub use gpu_sim::config::GpuConfig;
+    pub use gpu_sim::engine::Simulator;
+    pub use gpu_sim::tb_sched::RoundRobinScheduler;
+    pub use laperm::{LaPermPolicy, LaPermScheduler};
+    pub use sim_metrics::footprint::FootprintAnalysis;
+    pub use workloads::{suite, Workload};
+}

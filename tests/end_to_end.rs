@@ -1,0 +1,123 @@
+//! End-to-end integration: every suite workload runs to completion under
+//! every scheduler and both launch models, and the engine's global
+//! invariants hold.
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use sim_metrics::harness::{run_once, SchedulerKind};
+use workloads::{suite, Scale};
+
+fn small_gpu() -> GpuConfig {
+    // A reduced machine keeps debug-mode runtimes low while preserving
+    // multi-SMX scheduling behavior.
+    let mut cfg = GpuConfig::kepler_k20c();
+    cfg.num_smxs = 4;
+    cfg
+}
+
+#[test]
+fn every_workload_completes_under_every_scheduler_dtbl() {
+    let cfg = small_gpu();
+    for w in suite(Scale::Tiny) {
+        for sched in SchedulerKind::all() {
+            let rec = run_once(&w, LaunchModelKind::Dtbl, sched, &cfg)
+                .unwrap_or_else(|e| panic!("{} under {sched}: {e}", w.full_name()));
+            assert!(rec.cycles > 0, "{} {sched}", w.full_name());
+            assert!(rec.dynamic_tbs > 0, "{} {sched} launched nothing", w.full_name());
+        }
+    }
+}
+
+#[test]
+fn every_workload_completes_under_cdp() {
+    let cfg = small_gpu();
+    for w in suite(Scale::Tiny) {
+        let rec = run_once(&w, LaunchModelKind::Cdp, SchedulerKind::AdaptiveBind, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.full_name()));
+        assert!(rec.total_tbs > rec.dynamic_tbs);
+    }
+}
+
+#[test]
+fn cache_rates_are_sane_everywhere() {
+    let cfg = small_gpu();
+    for w in suite(Scale::Tiny) {
+        let rec = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
+            .expect("run");
+        for (name, v) in [
+            ("l1", rec.l1_hit_rate),
+            ("l2", rec.l2_hit_rate),
+            ("child-l1", rec.child_l1_hit_rate),
+            ("affinity", rec.parent_smx_affinity),
+            ("utilization", rec.smx_utilization),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{} {name} = {v} out of range",
+                w.full_name()
+            );
+        }
+        assert!(rec.load_imbalance >= 1.0, "{}", w.full_name());
+    }
+}
+
+#[test]
+fn smx_bind_keeps_every_child_on_its_parents_smx() {
+    let cfg = small_gpu();
+    for w in suite(Scale::Tiny) {
+        let rec = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, &cfg)
+            .expect("run");
+        assert_eq!(
+            rec.parent_smx_affinity, 1.0,
+            "{} violated SMX binding",
+            w.full_name()
+        );
+        assert_eq!(rec.steals, 0, "{}", w.full_name());
+    }
+}
+
+#[test]
+fn instruction_mix_accounts_for_all_warp_instructions() {
+    use dynpar::{LaunchLatency, LaunchModelKind};
+    use gpu_sim::engine::Simulator;
+    use workloads::SharedSource;
+
+    let cfg = small_gpu();
+    let all = suite(Scale::Tiny);
+    let w = &all[2]; // bfs-citation
+    let mut sim = Simulator::new(cfg, Box::new(SharedSource(w.clone())))
+        .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).unwrap();
+    }
+    let stats = sim.run_to_completion().unwrap();
+    assert_eq!(stats.instruction_mix.total(), stats.warp_instructions);
+    assert!(stats.instruction_mix.loads > 0);
+    assert!(stats.instruction_mix.stores > 0);
+    assert!(stats.instruction_mix.launches > 0);
+    assert!(stats.instruction_mix.memory_fraction() > 0.3);
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let cfg = small_gpu();
+    let all = suite(Scale::Tiny);
+    let w = &all[2]; // bfs-citation
+    let a = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+    let b = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn launch_models_agree_on_work_but_not_on_timing() {
+    let cfg = small_gpu();
+    let all = suite(Scale::Tiny);
+    let w = &all[2]; // bfs-citation
+    let cdp = run_once(w, LaunchModelKind::Cdp, SchedulerKind::RoundRobin, &cfg).unwrap();
+    let dtbl = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).unwrap();
+    // Same application → same TB population…
+    assert_eq!(cdp.total_tbs, dtbl.total_tbs);
+    assert_eq!(cdp.dynamic_tbs, dtbl.dynamic_tbs);
+    // …but the slow CDP launch path delays children.
+    assert!(cdp.mean_child_wait > dtbl.mean_child_wait);
+}

@@ -1,0 +1,149 @@
+//! Property-based fuzzing of the whole engine: random program shapes,
+//! random launch structures, every scheduler — the machine must always
+//! drain completely, retire every TB exactly once, and leave no residue.
+
+use proptest::prelude::*;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{
+    AddrPattern, KernelKindId, LaunchSpec, MemOp, ProgramSource, TbOp, TbProgram,
+};
+use sim_metrics::harness::SchedulerKind;
+
+const PARENT: KernelKindId = KernelKindId(0);
+const CHILD: KernelKindId = KernelKindId(1);
+
+/// One randomly generated op.
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Compute(u32),
+    Load(u64),
+    Store(u64),
+    Shared,
+    Sync,
+}
+
+impl OpSpec {
+    fn to_op(&self) -> TbOp {
+        match *self {
+            OpSpec::Compute(c) => TbOp::Compute(c),
+            OpSpec::Load(base) => {
+                TbOp::Mem(MemOp::load(AddrPattern::Strided { base, stride: 4 }))
+            }
+            OpSpec::Store(base) => {
+                TbOp::Mem(MemOp::store(AddrPattern::Strided { base, stride: 4 }))
+            }
+            OpSpec::Shared => TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))),
+            OpSpec::Sync => TbOp::Sync,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FuzzSpec {
+    parent_ops: Vec<OpSpec>,
+    child_ops: Vec<OpSpec>,
+    parents: u32,
+    /// (parent TB that launches, child TB count).
+    launches: Vec<(u32, u32)>,
+}
+
+#[derive(Debug)]
+struct FuzzSource {
+    spec: FuzzSpec,
+}
+
+impl ProgramSource for FuzzSource {
+    fn tb_program(&self, kind: KernelKindId, _param: u64, tb_index: u32) -> TbProgram {
+        match kind {
+            PARENT => {
+                let mut ops: Vec<TbOp> =
+                    self.spec.parent_ops.iter().map(OpSpec::to_op).collect();
+                for &(launcher, num_tbs) in &self.spec.launches {
+                    if launcher == tb_index {
+                        ops.push(TbOp::Launch(LaunchSpec {
+                            kind: CHILD,
+                            param: u64::from(tb_index),
+                            num_tbs,
+                            req: ResourceReq::new(32, 8, 0),
+                        }));
+                    }
+                }
+                TbProgram::new(ops)
+            }
+            _ => TbProgram::new(self.spec.child_ops.iter().map(OpSpec::to_op).collect()),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (1u32..32).prop_map(OpSpec::Compute),
+        (0u64..100_000).prop_map(|a| OpSpec::Load(a & !3)),
+        (0u64..100_000).prop_map(|a| OpSpec::Store(a & !3)),
+        Just(OpSpec::Shared),
+        Just(OpSpec::Sync),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = FuzzSpec> {
+    (
+        prop::collection::vec(op_strategy(), 0..12),
+        prop::collection::vec(op_strategy(), 0..8),
+        1u32..12,
+        prop::collection::vec((0u32..12, 1u32..4), 0..6),
+    )
+        .prop_map(|(parent_ops, child_ops, parents, mut launches)| {
+            for l in &mut launches {
+                l.0 %= parents;
+            }
+            FuzzSpec { parent_ops, child_ops, parents, launches }
+        })
+}
+
+fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop::sample::select(SchedulerKind::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_always_drains(
+        spec in spec_strategy(),
+        sched in scheduler_strategy(),
+        dtbl in any::<bool>(),
+        latency in 0u32..2000,
+    ) {
+        let mut cfg = GpuConfig::small_test();
+        cfg.max_cycles = 5_000_000;
+        let parents = spec.parents;
+        let expected_children: u32 = spec.launches.iter().map(|&(_, n)| n).sum();
+        let model = if dtbl { LaunchModelKind::Dtbl } else { LaunchModelKind::Cdp };
+        let mut sim = Simulator::new(cfg.clone(), Box::new(FuzzSource { spec }))
+            .with_scheduler(sched.build(&cfg))
+            .with_launch_model(model.build(LaunchLatency::uniform(latency)));
+        sim.launch_host_kernel(PARENT, 0, parents, ResourceReq::new(32, 8, 0))
+            .expect("host kernel valid");
+        let stats = sim.run_to_completion().expect("simulation drains");
+
+        prop_assert!(sim.is_done());
+        prop_assert_eq!(sim.resident_tbs(), 0);
+        prop_assert_eq!(
+            stats.tb_records.len() as u32,
+            parents + expected_children,
+            "TB conservation violated"
+        );
+        for r in &stats.tb_records {
+            prop_assert!(r.finished_at >= r.dispatched_at);
+            prop_assert!(r.dispatched_at >= r.created_at);
+        }
+        // Batches fully accounted.
+        for b in sim.batches() {
+            prop_assert_eq!(b.finished_tbs, b.num_tbs);
+        }
+    }
+}

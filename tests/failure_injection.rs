@@ -1,0 +1,147 @@
+//! Failure injection: the engine must reject misbehaving schedulers,
+//! malformed device launches, and absurd configurations with typed
+//! errors — never by corrupting the simulation.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::error::SimError;
+use gpu_sim::kernel::{Batch, ResourceReq};
+use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
+use gpu_sim::tb_sched::{DispatchDecision, DispatchView, TbScheduler};
+use gpu_sim::types::{BatchId, Cycle, SmxId};
+
+struct Compute;
+
+impl ProgramSource for Compute {
+    fn tb_program(&self, _k: KernelKindId, _p: u64, _tb: u32) -> TbProgram {
+        TbProgram::new(vec![TbOp::Compute(4)])
+    }
+}
+
+/// Launches children with an empty grid — a workload bug.
+struct EmptyLauncher;
+
+impl ProgramSource for EmptyLauncher {
+    fn tb_program(&self, kind: KernelKindId, _p: u64, _tb: u32) -> TbProgram {
+        if kind.0 == 0 {
+            TbProgram::new(vec![TbOp::Launch(LaunchSpec {
+                kind: KernelKindId(1),
+                param: 0,
+                num_tbs: 0,
+                req: ResourceReq::new(32, 8, 0),
+            })])
+        } else {
+            TbProgram::new(vec![TbOp::Compute(1)])
+        }
+    }
+}
+
+/// A scheduler that dispatches to an SMX that does not exist.
+struct BadSmxScheduler;
+
+impl TbScheduler for BadSmxScheduler {
+    fn name(&self) -> &'static str {
+        "bad-smx"
+    }
+
+    fn pick(&mut self, view: &DispatchView<'_>) -> Option<DispatchDecision> {
+        view.schedulable
+            .iter()
+            .copied()
+            .find(|&b| view.batch(b).has_undispatched_tbs())
+            .map(|batch| DispatchDecision { batch, smx: SmxId(250) })
+    }
+}
+
+/// A scheduler that dispatches a batch that was never made schedulable.
+struct PhantomBatchScheduler;
+
+impl TbScheduler for PhantomBatchScheduler {
+    fn name(&self) -> &'static str {
+        "phantom"
+    }
+
+    fn on_batch_schedulable(&mut self, _b: &Batch, _c: Cycle) {}
+
+    fn pick(&mut self, _view: &DispatchView<'_>) -> Option<DispatchDecision> {
+        Some(DispatchDecision { batch: BatchId(999), smx: SmxId(0) })
+    }
+}
+
+/// A scheduler that keeps re-dispatching the same batch past exhaustion.
+struct OverDispatchScheduler {
+    target: Option<BatchId>,
+}
+
+impl TbScheduler for OverDispatchScheduler {
+    fn name(&self) -> &'static str {
+        "over-dispatch"
+    }
+
+    fn on_batch_schedulable(&mut self, b: &Batch, _c: Cycle) {
+        self.target.get_or_insert(b.id);
+    }
+
+    fn pick(&mut self, _view: &DispatchView<'_>) -> Option<DispatchDecision> {
+        self.target.map(|batch| DispatchDecision { batch, smx: SmxId(0) })
+    }
+}
+
+fn run_with(scheduler: Box<dyn TbScheduler>) -> Result<(), SimError> {
+    let mut sim = Simulator::new(GpuConfig::small_test(), Box::new(Compute))
+        .with_scheduler(scheduler);
+    sim.launch_host_kernel(KernelKindId(0), 0, 1, ResourceReq::new(32, 8, 0))?;
+    sim.run_to_completion().map(|_| ())
+}
+
+#[test]
+fn nonexistent_smx_is_rejected() {
+    let err = run_with(Box::new(BadSmxScheduler)).unwrap_err();
+    assert!(matches!(err, SimError::BadDispatch { smx: SmxId(250), .. }), "{err}");
+}
+
+#[test]
+fn phantom_batch_is_rejected() {
+    let err = run_with(Box::new(PhantomBatchScheduler)).unwrap_err();
+    assert!(matches!(err, SimError::BadDispatch { batch: BatchId(999), .. }), "{err}");
+}
+
+#[test]
+fn over_dispatch_is_rejected() {
+    // Two one-TB kernels; the scheduler keeps naming the first batch, so
+    // its second decision targets an exhausted batch (the engine only
+    // asks while *some* batch has undispatched TBs).
+    let mut sim = Simulator::new(GpuConfig::small_test(), Box::new(Compute))
+        .with_scheduler(Box::new(OverDispatchScheduler { target: None }));
+    sim.launch_host_kernel(KernelKindId(0), 0, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    sim.launch_host_kernel(KernelKindId(0), 1, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    let err = sim.run_to_completion().unwrap_err();
+    let SimError::BadDispatch { reason, .. } = &err else {
+        panic!("expected BadDispatch, got {err}");
+    };
+    assert!(reason.contains("exhausted"), "{reason}");
+}
+
+#[test]
+fn empty_device_launch_fails_loudly() {
+    let mut sim = Simulator::new(GpuConfig::small_test(), Box::new(EmptyLauncher));
+    sim.launch_host_kernel(KernelKindId(0), 0, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    let err = sim.run_to_completion().unwrap_err();
+    assert!(matches!(err, SimError::KernelTooLarge { .. }), "{err}");
+}
+
+#[test]
+fn error_messages_name_the_culprits() {
+    let err = run_with(Box::new(BadSmxScheduler)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("SMX250"), "{msg}");
+    assert!(msg.contains("B0"), "{msg}");
+}
+
+#[test]
+#[should_panic(expected = "invalid GpuConfig")]
+fn invalid_config_panics_at_construction() {
+    let mut cfg = GpuConfig::small_test();
+    cfg.l1_assoc = 7; // does not divide the line count
+    let _ = Simulator::new(cfg, Box::new(Compute));
+}

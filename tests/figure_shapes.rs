@@ -1,0 +1,119 @@
+//! Regression tests for the paper's headline result *shapes* (not
+//! absolute numbers): scheduler orderings on cache hit rates and IPC,
+//! and the Figure 2 locality structure.
+//!
+//! These use the `small` scale, which is large enough to create the
+//! dispatch backlog the paper's effects depend on; they take a few
+//! seconds each in debug builds.
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use sim_metrics::footprint::FootprintAnalysis;
+use sim_metrics::harness::{run_once, RunRecord, SchedulerKind};
+use workloads::{suite, Scale, Workload};
+
+fn bfs_citation() -> std::sync::Arc<dyn Workload> {
+    suite(Scale::Small)
+        .into_iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite")
+}
+
+fn run(sched: SchedulerKind) -> RunRecord {
+    run_once(&bfs_citation(), LaunchModelKind::Dtbl, sched, &GpuConfig::kepler_k20c())
+        .expect("run completes")
+}
+
+#[test]
+fn laperm_improves_ipc_over_baseline_dtbl() {
+    let rr = run(SchedulerKind::RoundRobin);
+    let adaptive = run(SchedulerKind::AdaptiveBind);
+    assert!(
+        adaptive.ipc > rr.ipc * 1.10,
+        "Adaptive-Bind IPC {} should clearly beat RR {}",
+        adaptive.ipc,
+        rr.ipc
+    );
+}
+
+#[test]
+fn tb_pri_improves_l2_and_child_wait() {
+    let rr = run(SchedulerKind::RoundRobin);
+    let pri = run(SchedulerKind::TbPri);
+    assert!(
+        pri.l2_hit_rate > rr.l2_hit_rate,
+        "TB-Pri L2 {} should beat RR {}",
+        pri.l2_hit_rate,
+        rr.l2_hit_rate
+    );
+    assert!(pri.mean_child_wait < rr.mean_child_wait / 2.0);
+}
+
+#[test]
+fn smx_bind_improves_l1_over_tb_pri() {
+    let pri = run(SchedulerKind::TbPri);
+    let bind = run(SchedulerKind::SmxBind);
+    assert!(
+        bind.l1_hit_rate > pri.l1_hit_rate + 0.02,
+        "SMX-Bind L1 {} should clearly beat TB-Pri {}",
+        bind.l1_hit_rate,
+        pri.l1_hit_rate
+    );
+    assert_eq!(bind.parent_smx_affinity, 1.0);
+}
+
+#[test]
+fn adaptive_bind_balances_better_than_smx_bind() {
+    let bind = run(SchedulerKind::SmxBind);
+    let adaptive = run(SchedulerKind::AdaptiveBind);
+    assert!(
+        adaptive.load_imbalance <= bind.load_imbalance + 1e-9,
+        "Adaptive imbalance {} should not exceed SMX-Bind {}",
+        adaptive.load_imbalance,
+        bind.load_imbalance
+    );
+    assert!(adaptive.ipc >= bind.ipc * 0.98);
+    assert!(adaptive.steals > 0);
+}
+
+#[test]
+fn figure2_structure_holds() {
+    let tiny = suite(Scale::Tiny);
+    let by_name = |name: &str| {
+        let w = tiny.iter().find(|w| w.full_name() == name).expect("workload");
+        FootprintAnalysis::analyze(w.as_ref())
+    };
+    let bfs_cit = by_name("bfs-citation");
+    let bfs_500 = by_name("bfs-graph500");
+    let amr = by_name("amr");
+    let join = by_name("join-uniform");
+
+    // Parent-child sharing is substantial everywhere and far above
+    // parent-parent sharing.
+    for a in [&bfs_cit, &bfs_500, &amr, &join] {
+        assert!(a.parent_child > 0.10, "{}: pc {}", a.workload, a.parent_child);
+        assert!(a.parent_child > a.parent_parent, "{}", a.workload);
+    }
+    // Clustered graphs beat random ones on sibling sharing; amr and join
+    // sit at the bottom (paper Figure 2).
+    assert!(bfs_cit.child_sibling > bfs_500.child_sibling);
+    assert!(amr.child_sibling < 0.1);
+    assert!(join.child_sibling < bfs_cit.child_sibling);
+}
+
+#[test]
+fn join_gaussian_punishes_strict_binding() {
+    // The skewed join is the paper's example of SMX-Bind losing to RR on
+    // load balance while Adaptive-Bind recovers.
+    let w = suite(Scale::Small)
+        .into_iter()
+        .find(|w| w.full_name() == "join-gaussian")
+        .expect("join-gaussian");
+    let cfg = GpuConfig::kepler_k20c();
+    let rr = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).unwrap();
+    let bind = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, &cfg).unwrap();
+    let adaptive =
+        run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+    assert!(bind.ipc < rr.ipc, "binding should lose on the skewed join");
+    assert!(adaptive.ipc > bind.ipc, "stealing should recover the loss");
+}

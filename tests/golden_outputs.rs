@@ -1,0 +1,18 @@
+//! Golden-file regression tests: deterministic artifacts must not drift.
+//!
+//! If a deliberate model change alters these outputs, regenerate with
+//! `cargo run --release -p laperm-bench --bin repro -- fig4 > tests/golden/fig4.txt`
+//! and review the diff like any other code change.
+
+use laperm_bench::figure4;
+
+#[test]
+fn figure4_matches_golden() {
+    let golden = include_str!("golden/fig4.txt");
+    let current = figure4();
+    assert_eq!(
+        current.trim(),
+        golden.trim(),
+        "Figure 4 placements drifted from the golden file"
+    );
+}

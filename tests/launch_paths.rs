@@ -1,0 +1,182 @@
+//! Integration tests of the launch paths: KDU saturation, the CDP
+//! concurrent-kernel limit, the DTBL fallback when a parent's KDU entry
+//! retires before a group matures, and deep nesting.
+
+use dynpar::{DtblModel, LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::kernel::{BatchKind, ResourceReq};
+use gpu_sim::program::{
+    KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram,
+};
+use gpu_sim::types::Priority;
+
+const ROOT: KernelKindId = KernelKindId(0);
+const SPAWN: KernelKindId = KernelKindId(1);
+
+/// Every TB of kind SPAWN launches one child of kind SPAWN with
+/// `param - 1`, until param reaches zero — a nesting chain.
+struct ChainSource;
+
+impl ProgramSource for ChainSource {
+    fn tb_program(&self, kind: KernelKindId, param: u64, _tb: u32) -> TbProgram {
+        let mut ops = vec![TbOp::Compute(4)];
+        if (kind == ROOT || kind == SPAWN) && param > 0 {
+            ops.push(TbOp::Launch(LaunchSpec {
+                kind: SPAWN,
+                param: param - 1,
+                num_tbs: 1,
+                req: ResourceReq::new(32, 8, 0),
+            }));
+        }
+        ops.push(TbOp::Compute(4));
+        TbProgram::new(ops)
+    }
+}
+
+/// Plain compute kernels, no launches.
+struct LeafSource;
+
+impl ProgramSource for LeafSource {
+    fn tb_program(&self, _kind: KernelKindId, _param: u64, _tb: u32) -> TbProgram {
+        TbProgram::new(vec![TbOp::Compute(50)])
+    }
+}
+
+fn cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::small_test();
+    cfg.max_concurrent_kernels = 8;
+    cfg
+}
+
+#[test]
+fn kdu_saturation_with_many_host_kernels() {
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(LeafSource));
+    for i in 0..40 {
+        sim.launch_host_kernel(ROOT, i, 2, ResourceReq::new(32, 8, 0)).unwrap();
+    }
+    // Step manually and watch the KDU never exceed capacity.
+    let mut max_occupancy = 0;
+    let mut max_pending = 0;
+    while !sim.is_done() {
+        sim.step().unwrap();
+        max_occupancy = max_occupancy.max(sim.kdu_occupancy());
+        max_pending = max_pending.max(sim.kmu_pending());
+        assert!(sim.cycle() < 1_000_000, "stuck");
+    }
+    assert!(max_occupancy <= 8);
+    assert!(max_pending >= 30, "KMU should have queued the overflow");
+    let stats = sim.stats();
+    assert_eq!(stats.tb_records.len(), 80);
+}
+
+#[test]
+fn deep_nesting_chain_saturates_priority() {
+    let cfg = cfg();
+    let depth = 300u64; // deeper than u8::MAX priorities
+    let mut sim = Simulator::new(cfg, Box::new(ChainSource))
+        .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
+    sim.launch_host_kernel(ROOT, depth, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    let stats = sim.run_to_completion().unwrap();
+    assert_eq!(stats.tb_records.len() as u64, depth + 1);
+    let max_priority = sim.batches().iter().map(|b| b.priority).max().unwrap();
+    assert_eq!(max_priority, Priority(u8::MAX), "priority must saturate, not wrap");
+}
+
+#[test]
+fn dtbl_falls_back_to_kernel_path_when_parent_entry_is_gone() {
+    // One short-lived parent TB launches one group with a huge latency;
+    // by the time the group matures, the parent kernel's KDU entry has
+    // retired and the group must take the device-kernel path instead.
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg, Box::new(ChainSource))
+        .with_launch_model(Box::new(DtblModel::new(LaunchLatency::uniform(50_000))));
+    sim.launch_host_kernel(ROOT, 1, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    let stats = sim.run_to_completion().unwrap();
+    assert_eq!(stats.tb_records.len(), 2);
+    let child = &sim.batches()[1];
+    assert_eq!(
+        child.batch_kind,
+        BatchKind::DeviceKernel,
+        "matured group should have fallen back to a kernel launch"
+    );
+    assert!(child.origin.is_some(), "fallback keeps parent information");
+}
+
+#[test]
+fn dtbl_uses_group_path_when_parent_kernel_is_alive() {
+    // Many sibling parent TBs keep the kernel's entry alive long enough
+    // for a fast group to coalesce onto it.
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg, Box::new(ChainSource))
+        .with_launch_model(Box::new(DtblModel::new(LaunchLatency::uniform(10))));
+    sim.launch_host_kernel(ROOT, 1, 16, ResourceReq::new(32, 8, 0)).unwrap();
+    sim.run_to_completion().unwrap();
+    let groups = sim
+        .batches()
+        .iter()
+        .filter(|b| b.batch_kind == BatchKind::TbGroup)
+        .count();
+    assert!(groups > 0, "fast groups should coalesce onto the live kernel");
+}
+
+#[test]
+fn cdp_chain_survives_kdu_pressure() {
+    // A nesting chain under CDP: each level occupies a KDU entry; with
+    // capacity 8 the chain must still complete by draining level by
+    // level.
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg, Box::new(ChainSource))
+        .with_launch_model(LaunchModelKind::Cdp.build(LaunchLatency::uniform(20)));
+    sim.launch_host_kernel(ROOT, 50, 1, ResourceReq::new(32, 8, 0)).unwrap();
+    let stats = sim.run_to_completion().unwrap();
+    assert_eq!(stats.tb_records.len(), 51);
+}
+
+#[test]
+fn phased_execution_reuses_the_machine() {
+    // Iterative algorithms (BFS waves, AMR timesteps) launch a kernel,
+    // synchronize, and launch the next. The engine supports this by
+    // reusing the simulator across run_to_completion calls — caches stay
+    // warm between phases.
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg, Box::new(LeafSource));
+    sim.launch_host_kernel(ROOT, 0, 4, ResourceReq::new(32, 8, 0)).unwrap();
+    let phase1 = sim.run_to_completion().unwrap();
+    assert!(sim.is_done());
+
+    sim.launch_host_kernel(ROOT, 1, 4, ResourceReq::new(32, 8, 0)).unwrap();
+    assert!(!sim.is_done());
+    let phase2 = sim.run_to_completion().unwrap();
+
+    assert_eq!(phase1.tb_records.len(), 4);
+    assert_eq!(phase2.tb_records.len(), 8, "stats accumulate across phases");
+    assert!(phase2.cycles > phase1.cycles);
+    assert_eq!(sim.resident_tbs(), 0);
+}
+
+#[test]
+fn public_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+    assert_send::<gpu_sim::stats::SimStats>();
+    assert_send::<gpu_sim::config::GpuConfig>();
+    assert_send::<laperm::LaPermScheduler>();
+    assert_send::<dynpar::CdpModel>();
+    assert_send::<dynpar::DtblModel>();
+}
+
+#[test]
+fn mixed_host_and_device_kernels_complete() {
+    let cfg = cfg();
+    let mut sim = Simulator::new(cfg, Box::new(ChainSource))
+        .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::uniform(10)));
+    for i in 0..4 {
+        sim.launch_host_kernel(ROOT, 3, 4, ResourceReq::new(32, 8, 0)).unwrap();
+        let _ = i;
+    }
+    let stats = sim.run_to_completion().unwrap();
+    // 4 kernels x 4 TBs, each TB spawning a chain of 3 children.
+    assert_eq!(stats.tb_records.len(), 4 * 4 * 4);
+}

@@ -1,0 +1,128 @@
+//! Cross-crate invariants of the scheduling machinery, checked on raw
+//! engine statistics rather than harness summaries.
+
+use dynpar::{FamilyTree, LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::stats::SimStats;
+use gpu_sim::types::Priority;
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use workloads::{suite, Scale, SharedSource, Workload};
+
+fn run(
+    w: &std::sync::Arc<dyn Workload>,
+    policy: Option<LaPermPolicy>,
+    model: LaunchModelKind,
+) -> (SimStats, Vec<gpu_sim::kernel::Batch>) {
+    let mut cfg = GpuConfig::kepler_k20c();
+    cfg.num_smxs = 4;
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())));
+    if let Some(p) = policy {
+        sim = sim.with_scheduler(Box::new(LaPermScheduler::new(p, LaPermConfig::for_gpu(&cfg))));
+    }
+    sim = sim.with_launch_model(model.build(LaunchLatency::default_for(model)));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).unwrap();
+    }
+    let stats = sim.run_to_completion().unwrap();
+    (stats, sim.batches().to_vec())
+}
+
+fn amr() -> std::sync::Arc<dyn Workload> {
+    suite(Scale::Tiny).remove(0)
+}
+
+fn bfs_citation() -> std::sync::Arc<dyn Workload> {
+    suite(Scale::Tiny).remove(2)
+}
+
+#[test]
+fn every_launched_batch_retires_completely() {
+    let (stats, batches) = run(&bfs_citation(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
+    let expected: u32 = batches.iter().map(|b| b.num_tbs).sum();
+    assert_eq!(stats.tb_records.len() as u32, expected);
+    for b in &batches {
+        assert_eq!(b.finished_tbs, b.num_tbs, "batch {} incomplete", b.id);
+        assert_eq!(b.next_tb, b.num_tbs, "batch {} not fully dispatched", b.id);
+    }
+}
+
+#[test]
+fn no_tb_starts_before_its_batch_was_launched() {
+    let (stats, _) = run(&bfs_citation(), Some(LaPermPolicy::TbPri), LaunchModelKind::Dtbl);
+    for r in &stats.tb_records {
+        assert!(
+            r.dispatched_at >= r.created_at,
+            "TB {} dispatched at {} before launch at {}",
+            r.tb,
+            r.dispatched_at,
+            r.created_at
+        );
+        assert!(r.finished_at >= r.dispatched_at, "TB {}", r.tb);
+    }
+}
+
+#[test]
+fn child_priority_is_parent_plus_one() {
+    let (_, batches) = run(&amr(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
+    for b in &batches {
+        match &b.origin {
+            None => assert_eq!(b.priority, Priority::HOST),
+            Some(origin) => {
+                let parent = &batches[origin.parent_batch.index()];
+                assert_eq!(b.priority, parent.priority.child());
+            }
+        }
+    }
+}
+
+#[test]
+fn amr_nests_at_least_two_levels() {
+    let (_, batches) = run(&amr(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
+    let tree = FamilyTree::from_batches(&batches);
+    let max_depth = batches
+        .iter()
+        .map(|b| tree.depth(b.id, &batches))
+        .max()
+        .unwrap_or(0);
+    assert!(max_depth >= 2, "AMR should refine recursively, got depth {max_depth}");
+}
+
+#[test]
+fn family_tree_matches_engine_records() {
+    let (stats, batches) =
+        run(&bfs_citation(), Some(LaPermPolicy::SmxBind), LaunchModelKind::Dtbl);
+    let tree = FamilyTree::from_batches(&batches);
+    for r in stats.tb_records.iter().filter(|r| r.is_dynamic) {
+        let parent = tree.direct_parent(r.tb.batch).expect("dynamic TB has parent");
+        let (pb, ptb, _) = r.parent.expect("record carries parent");
+        assert_eq!((parent.batch, parent.index), (pb, ptb));
+    }
+}
+
+#[test]
+fn cdp_respects_concurrent_kernel_limit_via_waits() {
+    // Under CDP, children behind the 32-entry KDU wait much longer than
+    // the raw launch latency; under DTBL they do not.
+    let (cdp, _) = run(&bfs_citation(), None, LaunchModelKind::Cdp);
+    let latency = LaunchLatency::default_for(LaunchModelKind::Cdp);
+    assert!(cdp.mean_child_wait() > f64::from(latency.base));
+}
+
+#[test]
+fn dtbl_children_share_parents_kdu_entry() {
+    let (_, batches) = run(&bfs_citation(), None, LaunchModelKind::Dtbl);
+    use gpu_sim::kernel::BatchKind;
+    let groups = batches
+        .iter()
+        .filter(|b| b.batch_kind == BatchKind::TbGroup)
+        .count();
+    assert!(groups > 0, "DTBL should coalesce most children as TB groups");
+    // Under DTBL at most a handful fall back to the device-kernel path
+    // (parent entry already retired).
+    let kernels = batches
+        .iter()
+        .filter(|b| b.batch_kind == BatchKind::DeviceKernel)
+        .count();
+    assert!(kernels <= groups, "fallbacks ({kernels}) dominate groups ({groups})");
+}

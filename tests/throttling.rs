@@ -1,0 +1,79 @@
+//! The contention-aware throttling option (paper §IV-F): the resident-TB
+//! cap is honored exactly, verified by replaying the dispatch/completion
+//! event trace.
+
+use std::collections::HashMap;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::trace::{TraceEvent, VecSink};
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use workloads::{suite, Scale, SharedSource};
+
+fn max_resident_per_smx(throttle: Option<u32>) -> (usize, usize) {
+    let all = suite(Scale::Tiny);
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").unwrap();
+    let mut cfg = GpuConfig::kepler_k20c();
+    cfg.num_smxs = 4;
+    let mut laperm_cfg = LaPermConfig::for_gpu(&cfg);
+    if let Some(t) = throttle {
+        laperm_cfg = laperm_cfg.with_throttle_tbs(t);
+    }
+    let sink = VecSink::new();
+    let handle = sink.clone();
+    let mut sim = Simulator::new(cfg, Box::new(SharedSource(w.clone())))
+        .with_scheduler(Box::new(LaPermScheduler::new(
+            LaPermPolicy::AdaptiveBind,
+            laperm_cfg,
+        )))
+        .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::uniform(100)))
+        .with_trace(Box::new(sink));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).unwrap();
+    }
+    sim.run_to_completion().unwrap();
+
+    // Replay the trace: track per-SMX residency.
+    let mut resident: HashMap<u16, i64> = HashMap::new();
+    let mut max_resident = 0i64;
+    let mut total = 0usize;
+    for r in handle.records() {
+        match r.event {
+            TraceEvent::TbDispatched { smx, .. } => {
+                let e = resident.entry(smx.0).or_insert(0);
+                *e += 1;
+                max_resident = max_resident.max(*e);
+                total += 1;
+            }
+            TraceEvent::TbCompleted { smx, .. } => {
+                *resident.entry(smx.0).or_insert(0) -= 1;
+            }
+            _ => {}
+        }
+    }
+    (max_resident as usize, total)
+}
+
+#[test]
+fn throttle_caps_resident_tbs() {
+    let (max_resident, total) = max_resident_per_smx(Some(4));
+    assert!(max_resident <= 4, "throttle violated: {max_resident} resident");
+    assert!(total > 0);
+}
+
+#[test]
+fn unthrottled_run_exceeds_the_cap() {
+    let (max_resident, _) = max_resident_per_smx(None);
+    assert!(
+        max_resident > 4,
+        "baseline should pack more than 4 TBs per SMX, got {max_resident}"
+    );
+}
+
+#[test]
+fn throttled_and_unthrottled_complete_the_same_work() {
+    let (_, throttled_total) = max_resident_per_smx(Some(2));
+    let (_, free_total) = max_resident_per_smx(None);
+    assert_eq!(throttled_total, free_total);
+}
