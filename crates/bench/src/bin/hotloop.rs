@@ -1,0 +1,39 @@
+//! Hot-loop throughput benchmark; writes `BENCH_hotloop.json`.
+//!
+//! ```text
+//! cargo run --release -p laperm-bench --bin hotloop -- [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! `--baseline FILE` reads a previous `BENCH_hotloop.json` and records
+//! per-case `baseline_cycles_per_sec` and `speedup` fields in the output.
+
+use laperm_bench::hotloop::{parse_baseline, render_json, run_hotloop};
+
+fn main() {
+    let mut out_path = String::from("BENCH_hotloop.json");
+    let mut baseline: Vec<(String, f64)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => {
+                let path = args.next().expect("--baseline needs a path");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+                baseline = parse_baseline(&text);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let results = run_hotloop();
+    for r in &results {
+        eprintln!(
+            "{:28} {:>14.0} cycles/sec  ({} cycles in {:.3}s over {} iters)",
+            r.name, r.cycles_per_sec, r.cycles, r.wall_secs, r.iters
+        );
+    }
+    let json = render_json(&results, &baseline);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -85,9 +85,7 @@ fn build_scheduler(name: &str, cfg: &GpuConfig) -> Box<dyn TbScheduler> {
         "random" => Box::new(RandomScheduler::new(1)),
         "tb-pri" => Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg)),
         "smx-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg)),
-        "adaptive-bind" => {
-            Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg))
-        }
+        "adaptive-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg)),
         other => {
             eprintln!("unknown scheduler {other} (rr, tb-pri, smx-bind, adaptive-bind, random)");
             std::process::exit(2);

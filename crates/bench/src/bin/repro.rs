@@ -29,11 +29,7 @@ use laperm_bench::{
 use workloads::Scale;
 
 fn parse_scale(args: &[String]) -> Scale {
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)
     {
         Some("tiny") => Scale::Tiny,
         Some("small") => Scale::Small,

@@ -24,9 +24,9 @@ impl MatrixRecords {
 
     /// Looks up one run.
     pub fn get(&self, workload: &str, model: &str, scheduler: &str) -> Option<&RunRecord> {
-        self.records.iter().find(|r| {
-            r.workload == workload && r.launch_model == model && r.scheduler == scheduler
-        })
+        self.records
+            .iter()
+            .find(|r| r.workload == workload && r.launch_model == model && r.scheduler == scheduler)
     }
 
     /// Workload names in run order (deduplicated).
@@ -42,15 +42,16 @@ impl MatrixRecords {
 
     /// IPC of a run normalized to the round-robin baseline of the same
     /// workload and launch model.
-    pub fn normalized_ipc(&self, r: &RunRecord) -> f64 {
-        let base = self
-            .get(&r.workload, &r.launch_model, SchedulerKind::RoundRobin.name())
-            .map(|b| b.ipc)
-            .unwrap_or(r.ipc);
+    ///
+    /// Returns `None` when the matrix holds no round-robin record for
+    /// that workload/model (an incomplete matrix); silently normalizing
+    /// to the run itself would fabricate a 1.0x "gain".
+    pub fn normalized_ipc(&self, r: &RunRecord) -> Option<f64> {
+        let base = self.get(&r.workload, &r.launch_model, SchedulerKind::RoundRobin.name())?.ipc;
         if base == 0.0 {
-            0.0
+            Some(0.0)
         } else {
-            r.ipc / base
+            Some(r.ipc / base)
         }
     }
 }
@@ -79,8 +80,7 @@ pub fn run_matrix(scale: Scale) -> MatrixRecords {
     }
     let total = cells.len();
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<RunRecord>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let done = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
 
@@ -123,17 +123,11 @@ pub fn table1() -> String {
     t.row(vec!["threads / SMX".to_string(), cfg.max_threads_per_smx.to_string()]);
     t.row(vec!["TBs / SMX".to_string(), cfg.max_tbs_per_smx.to_string()]);
     t.row(vec!["registers / SMX".to_string(), cfg.max_regs_per_smx.to_string()]);
-    t.row(vec![
-        "shared memory / SMX".to_string(),
-        format!("{} KB", cfg.max_smem_per_smx / 1024),
-    ]);
+    t.row(vec!["shared memory / SMX".to_string(), format!("{} KB", cfg.max_smem_per_smx / 1024)]);
     t.row(vec!["L1 cache / SMX".to_string(), format!("{} KB", cfg.l1_bytes / 1024)]);
     t.row(vec!["L2 cache".to_string(), format!("{} KB", cfg.l2_bytes / 1024)]);
     t.row(vec!["cache line".to_string(), format!("{} bytes", cfg.line_bytes)]);
-    t.row(vec![
-        "max concurrent kernels".to_string(),
-        cfg.max_concurrent_kernels.to_string(),
-    ]);
+    t.row(vec!["max concurrent kernels".to_string(), cfg.max_concurrent_kernels.to_string()]);
     t.row(vec!["warp scheduler".to_string(), "greedy-then-oldest".to_string()]);
     format!("Table I: GPGPU configuration (Kepler K20c)\n{}", t.render())
 }
@@ -149,12 +143,7 @@ pub fn table2(scale: Scale) -> String {
             .flat_map(|k| (0..k.num_tbs).map(move |tb| (k.kind, k.param, tb)))
             .map(|(kind, param, tb)| w.tb_program(kind, param, tb).launches().count())
             .sum();
-        t.row(vec![
-            w.name().to_string(),
-            w.input(),
-            parent_tbs.to_string(),
-            launches.to_string(),
-        ]);
+        t.row(vec![w.name().to_string(), w.input(), parent_tbs.to_string(), launches.to_string()]);
     }
     format!("Table II: benchmarks ({scale} scale)\n{}", t.render())
 }
@@ -210,10 +199,7 @@ fn hit_rate_figure(
         for w in m.workloads() {
             let mut row = vec![w.clone()];
             for (i, sched) in SchedulerKind::all().iter().enumerate() {
-                let v = m
-                    .get(&w, model.name(), sched.name())
-                    .map(&value)
-                    .unwrap_or(0.0);
+                let v = m.get(&w, model.name(), sched.name()).map(&value).unwrap_or(0.0);
                 columns[i].push(v);
                 row.push(pct(v));
             }
@@ -257,8 +243,7 @@ pub fn fig9(m: &MatrixRecords) -> String {
         "Figure 9: IPC normalized to RR\n(paper: TB-Pri +4% CDP / +13% DTBL; \
          Adaptive-Bind best overall, ~27% average)\n",
     );
-    for (label, model) in [("(a) CDP", LaunchModelKind::Cdp), ("(b) DTBL", LaunchModelKind::Dtbl)]
-    {
+    for (label, model) in [("(a) CDP", LaunchModelKind::Cdp), ("(b) DTBL", LaunchModelKind::Dtbl)] {
         let mut t = Table::new(vec!["workload", "rr", "tb-pri", "smx-bind", "adaptive-bind"]);
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for w in m.workloads() {
@@ -266,7 +251,19 @@ pub fn fig9(m: &MatrixRecords) -> String {
             for (i, sched) in SchedulerKind::all().iter().enumerate() {
                 let v = m
                     .get(&w, model.name(), sched.name())
-                    .map(|r| m.normalized_ipc(r))
+                    .and_then(|r| {
+                        let norm = m.normalized_ipc(r);
+                        if norm.is_none() {
+                            eprintln!(
+                                "WARNING: no {} baseline for {w}/{} — omitting \
+                                 normalized IPC for {}",
+                                SchedulerKind::RoundRobin.name(),
+                                model.name(),
+                                sched.name()
+                            );
+                        }
+                        norm
+                    })
                     .unwrap_or(0.0);
                 columns[i].push(v);
                 row.push(ratio(v));
@@ -288,29 +285,18 @@ pub fn fig9(m: &MatrixRecords) -> String {
 pub fn latency_sweep(scale: Scale) -> String {
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
-    let w: &Arc<dyn Workload> = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
-    let mut t = Table::new(vec![
-        "launch latency",
-        "rr IPC",
-        "adaptive IPC",
-        "gain",
-        "child wait (rr)",
-    ]);
+    let w: &Arc<dyn Workload> =
+        all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
+    let mut t =
+        Table::new(vec!["launch latency", "rr IPC", "adaptive IPC", "gain", "child wait (rr)"]);
     for base in [0u32, 500, 1000, 2000, 4000, 8000, 16000] {
         let latency = LaunchLatency::uniform(base);
-        let rr = run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::RoundRobin, &cfg)
-            .expect("rr run");
-        let ad = run_with_latency(
-            w,
-            LaunchModelKind::Dtbl,
-            latency,
-            SchedulerKind::AdaptiveBind,
-            &cfg,
-        )
-        .expect("adaptive run");
+        let rr =
+            run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::RoundRobin, &cfg)
+                .expect("rr run");
+        let ad =
+            run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::AdaptiveBind, &cfg)
+                .expect("adaptive run");
         t.row(vec![
             base.to_string(),
             format!("{:.1}", rr.ipc),
@@ -373,10 +359,8 @@ pub fn variance(scale: Scale) -> String {
 
     let cfg = GpuConfig::kepler_k20c();
     let seeds: [u64; 5] = [0, 11, 2025, 424242, 7_777_777];
-    let mut out = format!(
-        "Input-seed variance over {} instances, DTBL ({scale} scale)\n\n",
-        seeds.len()
-    );
+    let mut out =
+        format!("Input-seed variance over {} instances, DTBL ({scale} scale)\n\n", seeds.len());
     let mut t = Table::new(vec!["workload", "adaptive gain over rr (mean ± std)"]);
     for name in ["bfs-citation", "bfs-graph500", "join-gaussian", "regx-strings"] {
         let mut gains = Vec::new();
@@ -401,10 +385,7 @@ pub fn variance(scale: Scale) -> String {
 /// explicitly leaves to future work).
 pub fn sweep_cache(scale: Scale) -> String {
     let all = suite(scale);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut out = format!(
         "Cache-size sensitivity on bfs-citation, DTBL ({scale} scale)\n\
          (Section IV-F: the paper leaves cache-size effects to future work)\n\n"
@@ -414,8 +395,8 @@ pub fn sweep_cache(scale: Scale) -> String {
     for kb in [16u32, 32, 48, 64] {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.l1_bytes = kb * 1024;
-        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-            .expect("rr run");
+        let rr =
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
         let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
             .expect("adaptive run");
         t.row(vec![
@@ -431,8 +412,8 @@ pub fn sweep_cache(scale: Scale) -> String {
     for kb in [768u32, 1536, 3072, 6144] {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.l2_bytes = kb * 1024;
-        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-            .expect("rr run");
+        let rr =
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
         let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
             .expect("adaptive run");
         t.row(vec![
@@ -452,18 +433,14 @@ pub fn sweep_cache(scale: Scale) -> String {
 pub fn generality(scale: Scale) -> String {
     use sim_metrics::report::bar_chart;
     let all = suite(scale);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut out = format!("Architecture generality on bfs-citation, DTBL ({scale} scale)\n\n");
     let mut bars = Vec::new();
-    for (name, cfg) in [
-        ("kepler-k20c", GpuConfig::kepler_k20c()),
-        ("maxwell-like", GpuConfig::maxwell_like()),
-    ] {
-        let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-            .expect("rr run");
+    for (name, cfg) in
+        [("kepler-k20c", GpuConfig::kepler_k20c()), ("maxwell-like", GpuConfig::maxwell_like())]
+    {
+        let rr =
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
         let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
             .expect("adaptive run");
         bars.push((format!("{name} rr"), rr.ipc));
@@ -481,16 +458,12 @@ pub fn timeline(scale: Scale) -> String {
     use sim_metrics::timeline::{downsample, run_timeline};
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
-    let mut out = format!(
-        "Timeline: windowed IPC / L1 hit rate on bfs-citation, DTBL ({scale} scale)\n\n"
-    );
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
+    let mut out =
+        format!("Timeline: windowed IPC / L1 hit rate on bfs-citation, DTBL ({scale} scale)\n\n");
     for sched in [SchedulerKind::RoundRobin, SchedulerKind::AdaptiveBind] {
-        let points = run_timeline(w, LaunchModelKind::Dtbl, sched, &cfg, 2000)
-            .expect("timeline run");
+        let points =
+            run_timeline(w, LaunchModelKind::Dtbl, sched, &cfg, 2000).expect("timeline run");
         let mut t = Table::new(vec!["cycle", "IPC", "L1 hit", "L2 hit", "resident", "queued"]);
         for p in downsample(&points, 16) {
             t.row(vec![
@@ -516,10 +489,7 @@ pub fn ablate(scale: Scale) -> String {
 
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
 
     let run = |laperm_cfg: LaPermConfig, policy: LaPermPolicy, table_cap: Option<usize>| -> f64 {
         let launch = match table_cap {
@@ -534,8 +504,7 @@ pub fn ablate(scale: Scale) -> String {
             .with_scheduler(Box::new(LaPermScheduler::new(policy, laperm_cfg)))
             .with_launch_model(launch);
         for hk in w.host_kernels() {
-            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
-                .expect("launch");
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
         }
         sim.run_to_completion().expect("ablation run").ipc()
     };
@@ -548,14 +517,10 @@ pub fn ablate(scale: Scale) -> String {
     let amr = all.iter().find(|w| w.full_name() == "amr").expect("amr in suite");
     let run_on = |w: &Arc<dyn Workload>, laperm_cfg: LaPermConfig| -> f64 {
         let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
-            .with_scheduler(Box::new(LaPermScheduler::new(
-                LaPermPolicy::AdaptiveBind,
-                laperm_cfg,
-            )))
+            .with_scheduler(Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg)))
             .with_launch_model(LaunchModelKind::Dtbl.build_default());
         for hk in w.host_kernels() {
-            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
-                .expect("launch");
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
         }
         sim.run_to_completion().expect("ablation run").ipc()
     };
@@ -577,11 +542,7 @@ pub fn ablate(scale: Scale) -> String {
 
     let mut t = Table::new(vec!["steal min free slots", "adaptive-bind IPC"]);
     for slots in [0u32, 4, 8, 16] {
-        let ipc = run(
-            base_cfg.with_steal_min_free_slots(slots),
-            LaPermPolicy::AdaptiveBind,
-            None,
-        );
+        let ipc = run(base_cfg.with_steal_min_free_slots(slots), LaPermPolicy::AdaptiveBind, None);
         t.row(vec![slots.to_string(), format!("{ipc:.1}")]);
     }
     out.push('\n');
@@ -604,8 +565,7 @@ pub fn ablate(scale: Scale) -> String {
                 .with_scheduler(sched)
                 .with_launch_model(LaunchModelKind::Dtbl.build_default());
             for hk in w.host_kernels() {
-                sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
-                    .expect("launch");
+                sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
             }
             sim.run_to_completion().expect("decomposition run").ipc()
         };
@@ -634,11 +594,7 @@ pub fn ablate(scale: Scale) -> String {
     // combination with prior work): cap resident TBs per SMX.
     let mut t = Table::new(vec!["TB throttle / SMX", "adaptive-bind IPC"]);
     for throttle in [4u32, 8, 12, 16] {
-        let ipc = run(
-            base_cfg.with_throttle_tbs(throttle),
-            LaPermPolicy::AdaptiveBind,
-            None,
-        );
+        let ipc = run(base_cfg.with_throttle_tbs(throttle), LaPermPolicy::AdaptiveBind, None);
         let label = if throttle >= cfg.max_tbs_per_smx {
             format!("{throttle} (= hw limit)")
         } else {
@@ -669,4 +625,70 @@ pub fn ablate(scale: Scale) -> String {
     out.push('\n');
     out.push_str(&t.render());
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, model: &str, scheduler: &str, ipc: f64) -> RunRecord {
+        RunRecord {
+            workload: workload.to_string(),
+            launch_model: model.to_string(),
+            scheduler: scheduler.to_string(),
+            cycles: 1000,
+            ipc,
+            l1_hit_rate: 0.5,
+            l2_hit_rate: 0.5,
+            child_l1_hit_rate: 0.5,
+            mean_child_wait: 0.0,
+            parent_smx_affinity: 0.0,
+            smx_utilization: 0.5,
+            load_imbalance: 1.0,
+            dynamic_tbs: 0,
+            total_tbs: 1,
+            steals: 0,
+            queue_overflows: 0,
+            queue_pushes: 0,
+            max_queue_depth: 0,
+            queue_search_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn normalized_ipc_uses_rr_baseline() {
+        let rr_name = SchedulerKind::RoundRobin.name();
+        let m = MatrixRecords {
+            records: vec![
+                record("bfs", "dtbl", rr_name, 10.0),
+                record("bfs", "dtbl", "adaptive-bind", 25.0),
+            ],
+        };
+        let r = m.get("bfs", "dtbl", "adaptive-bind").unwrap();
+        assert_eq!(m.normalized_ipc(r), Some(2.5));
+        // The baseline normalizes to exactly 1.
+        let base = m.get("bfs", "dtbl", rr_name).unwrap();
+        assert_eq!(m.normalized_ipc(base), Some(1.0));
+    }
+
+    #[test]
+    fn normalized_ipc_without_baseline_is_none() {
+        // No round-robin record for this workload/model: the gap must be
+        // reported, not silently normalized to 1.0.
+        let m = MatrixRecords { records: vec![record("bfs", "dtbl", "adaptive-bind", 25.0)] };
+        let r = m.get("bfs", "dtbl", "adaptive-bind").unwrap();
+        assert_eq!(m.normalized_ipc(r), None);
+    }
+
+    #[test]
+    fn normalized_ipc_zero_baseline_is_zero() {
+        let m = MatrixRecords {
+            records: vec![
+                record("bfs", "cdp", SchedulerKind::RoundRobin.name(), 0.0),
+                record("bfs", "cdp", "tb-pri", 5.0),
+            ],
+        };
+        let r = m.get("bfs", "cdp", "tb-pri").unwrap();
+        assert_eq!(m.normalized_ipc(r), Some(0.0));
+    }
 }

@@ -52,15 +52,13 @@ fn run_policy(policy: Option<LaPermPolicy>) -> SimStats {
     let cfg = GpuConfig::figure4_toy();
     let mut sim = Simulator::new(cfg.clone(), Box::new(Figure4Source));
     sim = match policy {
-        Some(p) => sim.with_scheduler(Box::new(LaPermScheduler::new(
-            p,
-            LaPermConfig::for_gpu(&cfg),
-        ))),
+        Some(p) => {
+            sim.with_scheduler(Box::new(LaPermScheduler::new(p, LaPermConfig::for_gpu(&cfg))))
+        }
         None => sim.with_scheduler(Box::new(RoundRobinScheduler::new())),
     };
     sim = sim.with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
-    sim.launch_host_kernel(PARENT, 0, 8, ResourceReq::new(32, 8, 0))
-        .expect("toy kernel launches");
+    sim.launch_host_kernel(PARENT, 0, 8, ResourceReq::new(32, 8, 0)).expect("toy kernel launches");
     sim.run_to_completion().expect("toy run completes")
 }
 
@@ -70,10 +68,7 @@ fn label(stats: &SimStats, i: usize) -> String {
         // Children are numbered C0.. in dispatch order per parent, as in
         // the paper: C0-C1 from P2, C2-C5 from P4.
         let (_, parent_tb, _) = r.parent.expect("dynamic TB has a parent");
-        let earlier = stats.tb_records[..i]
-            .iter()
-            .filter(|x| x.is_dynamic)
-            .count();
+        let earlier = stats.tb_records[..i].iter().filter(|x| x.is_dynamic).count();
         let _ = parent_tb;
         format!("C{earlier}")
     } else {
@@ -104,10 +99,12 @@ pub fn figure4() -> String {
         let mut t = Table::new(vec!["SMX0", "SMX1", "SMX2", "SMX3"]);
         let depth = per_smx.iter().map(Vec::len).max().unwrap_or(0);
         for round in 0..depth {
-            t.row(per_smx
-                .iter()
-                .map(|col| col.get(round).cloned().unwrap_or_default())
-                .collect::<Vec<String>>());
+            t.row(
+                per_smx
+                    .iter()
+                    .map(|col| col.get(round).cloned().unwrap_or_default())
+                    .collect::<Vec<String>>(),
+            );
         }
         out.push_str(&format!("\n{name}\n{}", t.render()));
     }

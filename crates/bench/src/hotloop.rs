@@ -1,0 +1,227 @@
+//! Wall-clock throughput benchmark of the simulator's hot loop.
+//!
+//! Measures simulated cycles per wall-clock second on two fixed
+//! configurations:
+//!
+//! * `figure4-toy` — the paper's Figure 4 walk-through machine, looped
+//!   many times (dominated by per-cycle fixed costs);
+//! * `bfs-citation/kepler_k20c` — one real workload at `Scale::Small` on
+//!   the Table I machine (dominated by the dispatch/execute path).
+//!
+//! The `hotloop` binary runs both and emits `BENCH_hotloop.json` so the
+//! performance trajectory is tracked across PRs (see the "Performance"
+//! section of `docs/ARCHITECTURE.md`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::KernelKindId;
+use sim_metrics::harness::SchedulerKind;
+use workloads::{suite, Scale, SharedSource, Workload};
+
+use crate::fig4::Figure4Source;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct HotloopResult {
+    /// Case name (stable across PRs; used for baseline comparison).
+    pub name: String,
+    /// Scheduler under test.
+    pub scheduler: String,
+    /// Launch model under test.
+    pub launch_model: String,
+    /// Whether idle-cycle fast-forward was enabled.
+    pub fast_forward: bool,
+    /// Simulation repetitions measured.
+    pub iters: u32,
+    /// Total simulated cycles across all repetitions.
+    pub cycles: u64,
+    /// Total wall-clock seconds across all repetitions.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second (the tracked metric).
+    pub cycles_per_sec: f64,
+}
+
+impl HotloopResult {
+    fn from_run(
+        name: &str,
+        scheduler: &str,
+        launch_model: &str,
+        fast_forward: bool,
+        iters: u32,
+        cycles: u64,
+        wall_secs: f64,
+    ) -> Self {
+        HotloopResult {
+            name: name.to_string(),
+            scheduler: scheduler.to_string(),
+            launch_model: launch_model.to_string(),
+            fast_forward,
+            iters,
+            cycles,
+            wall_secs,
+            cycles_per_sec: if wall_secs > 0.0 { cycles as f64 / wall_secs } else { 0.0 },
+        }
+    }
+
+    /// Renders the result as a JSON object (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"scheduler\": \"{}\", \"launch_model\": \"{}\", \
+             \"fast_forward\": {}, \"iters\": {}, \"cycles\": {}, \
+             \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+            self.name,
+            self.scheduler,
+            self.launch_model,
+            self.fast_forward,
+            self.iters,
+            self.cycles,
+            self.wall_secs,
+            self.cycles_per_sec,
+        )
+    }
+}
+
+/// Runs the Figure-4 toy machine `iters` times and measures throughput.
+pub fn bench_figure4_toy(iters: u32) -> HotloopResult {
+    let cfg = GpuConfig::figure4_toy();
+    let mut cycles = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut sim = Simulator::new(cfg.clone(), Box::new(Figure4Source))
+            .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
+        sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0))
+            .expect("toy kernel launches");
+        let stats = sim.run_to_completion().expect("toy run completes");
+        cycles += stats.cycles;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    HotloopResult::from_run("figure4-toy", "rr", "dtbl", cfg.fast_forward, iters, cycles, wall)
+}
+
+/// Runs `bfs-citation` at [`Scale::Small`] on the Table I Kepler machine
+/// and measures throughput. This is the reference workload for the
+/// acceptance threshold tracked across PRs.
+pub fn bench_kepler_reference(iters: u32) -> HotloopResult {
+    let cfg = GpuConfig::kepler_k20c();
+    let workload: Arc<dyn Workload> = suite(Scale::Small)
+        .into_iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let sched = SchedulerKind::AdaptiveBind;
+    let model = LaunchModelKind::Dtbl;
+    let mut cycles = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
+            .with_scheduler(sched.build(&cfg))
+            .with_launch_model(model.build(LaunchLatency::default_for(model)));
+        for hk in workload.host_kernels() {
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
+                .expect("host kernel launches");
+        }
+        let stats = sim.run_to_completion().expect("reference run completes");
+        cycles += stats.cycles;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    HotloopResult::from_run(
+        "bfs-citation/kepler_k20c",
+        sched.name(),
+        model.name(),
+        cfg.fast_forward,
+        iters,
+        cycles,
+        wall,
+    )
+}
+
+/// Runs the full hotloop suite.
+pub fn run_hotloop() -> Vec<HotloopResult> {
+    vec![bench_figure4_toy(5000), bench_kepler_reference(15)]
+}
+
+/// Renders results (plus optional per-case baseline throughput from a
+/// previous run) as the `BENCH_hotloop.json` document.
+pub fn render_json(results: &[HotloopResult], baseline: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"hotloop\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    ");
+        let mut obj = r.to_json();
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| *n == r.name) {
+            let speedup = if *base > 0.0 { r.cycles_per_sec / base } else { 0.0 };
+            obj.truncate(obj.len() - 1);
+            obj.push_str(&format!(
+                ", \"baseline_cycles_per_sec\": {base:.1}, \"speedup\": {speedup:.2}}}"
+            ));
+        }
+        out.push_str(&obj);
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, cycles_per_sec)` pairs from a previously written
+/// `BENCH_hotloop.json` (minimal parser for our own fixed format).
+pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else { continue };
+        let Some(cps) = field_num(line, "cycles_per_sec") else { continue };
+        out.push((name, cps));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_toy_measures_throughput() {
+        let r = bench_figure4_toy(2);
+        assert_eq!(r.iters, 2);
+        assert!(r.cycles > 0);
+        assert!(r.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip_recovers_throughput() {
+        let r = HotloopResult::from_run("case-a", "rr", "dtbl", true, 3, 1000, 0.5);
+        let json = render_json(std::slice::from_ref(&r), &[]);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "case-a");
+        assert!((parsed[0].1 - 2000.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn render_includes_speedup_against_baseline() {
+        let r = HotloopResult::from_run("case-a", "rr", "dtbl", true, 1, 3000, 1.0);
+        let json = render_json(&[r], &[("case-a".to_string(), 1000.0)]);
+        assert!(json.contains("\"speedup\": 3.00"), "{json}");
+        assert!(json.contains("\"baseline_cycles_per_sec\": 1000.0"), "{json}");
+    }
+}

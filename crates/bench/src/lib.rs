@@ -2,14 +2,15 @@
 //!
 //! Each function regenerates one table or figure of the paper as a
 //! formatted text report (see DESIGN.md for the experiment index). The
-//! `repro` binary exposes them as subcommands; the Criterion benches call
-//! the same entry points.
+//! `repro` binary exposes them as subcommands; the `hotloop` binary
+//! measures wall-clock simulation throughput (see [`hotloop`]).
 
 pub mod experiments;
 pub mod fig4;
+pub mod hotloop;
 
 pub use experiments::{
-    ablate, fig2, fig7, fig8, fig9, generality, latency_sweep, overhead, run_matrix,
-    sweep_cache, table1, table2, timeline, variance, MatrixRecords,
+    ablate, fig2, fig7, fig8, fig9, generality, latency_sweep, overhead, run_matrix, sweep_cache,
+    table1, table2, timeline, variance, MatrixRecords,
 };
 pub use fig4::figure4;

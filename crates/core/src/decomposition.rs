@@ -98,7 +98,7 @@ mod tests {
         fn tb_program(&self, kind: KernelKindId, _p: u64, tb: u32) -> TbProgram {
             if kind.0 == 0 {
                 let mut ops = vec![TbOp::Compute(10)];
-                if tb % 2 == 0 {
+                if tb.is_multiple_of(2) {
                     ops.push(TbOp::Launch(LaunchSpec {
                         kind: KernelKindId(1),
                         param: u64::from(tb),
@@ -137,10 +137,8 @@ mod tests {
         // the toy machine), so FCFS puts all parents first — unlike
         // TB-Pri, which would jump children ahead.
         let first_child = stats.tb_records.iter().position(|r| r.is_dynamic).unwrap();
-        let parents_before = stats.tb_records[..first_child]
-            .iter()
-            .filter(|r| !r.is_dynamic)
-            .count();
+        let parents_before =
+            stats.tb_records[..first_child].iter().filter(|r| !r.is_dynamic).count();
         assert_eq!(parents_before, 8);
     }
 

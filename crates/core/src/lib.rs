@@ -56,7 +56,7 @@ pub mod policy;
 pub mod queues;
 pub mod scheduler;
 
+pub use decomposition::BindOnlyScheduler;
 pub use policy::LaPermPolicy;
 pub use queues::{PriorityQueues, QueueStats};
-pub use decomposition::BindOnlyScheduler;
 pub use scheduler::{LaPermConfig, LaPermScheduler};

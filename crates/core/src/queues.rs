@@ -56,9 +56,7 @@ impl PriorityQueues {
         assert!(num_sets > 0, "need at least one queue set");
         assert!(levels > 0, "need at least one priority level");
         PriorityQueues {
-            sets: (0..num_sets)
-                .map(|_| (0..levels).map(|_| VecDeque::new()).collect())
-                .collect(),
+            sets: (0..num_sets).map(|_| (0..levels).map(|_| VecDeque::new()).collect()).collect(),
             global: VecDeque::new(),
             levels,
             onchip_capacity,
@@ -86,8 +84,9 @@ impl PriorityQueues {
         let level = level.clamp(1, self.levels);
         let occupancy = self.occupancy(set);
         // Inserting searches the set's entries for the position matching
-        // the batch's priority (worst case the whole on-chip queue).
-        self.stats.search_cycles += occupancy.min(Self::ONCHIP_ENTRIES) as u64;
+        // the batch's priority (worst case the whole on-chip queue, which
+        // is whatever capacity this instance was configured with).
+        self.stats.search_cycles += occupancy.min(self.onchip_capacity) as u64;
         if occupancy >= self.onchip_capacity {
             self.stats.onchip_overflows += 1;
         }
@@ -108,7 +107,11 @@ impl PriorityQueues {
 
     /// Front batch of the highest non-empty priority queue of `set`,
     /// pruning entries for which `is_live` is false (exhausted batches).
-    pub fn highest(&mut self, set: usize, mut is_live: impl FnMut(BatchId) -> bool) -> Option<BatchId> {
+    pub fn highest(
+        &mut self,
+        set: usize,
+        mut is_live: impl FnMut(BatchId) -> bool,
+    ) -> Option<BatchId> {
         for level in (0..usize::from(self.levels)).rev() {
             let q = &mut self.sets[set][level];
             while let Some(&front) = q.front() {
@@ -222,6 +225,29 @@ mod tests {
         assert_eq!(q.stats().onchip_overflows, 1);
         assert_eq!(q.stats().pushes, 3);
         assert_eq!(q.stats().max_depth, 3);
+    }
+
+    #[test]
+    fn search_cost_clamps_to_configured_capacity() {
+        // A non-default (smaller) on-chip capacity must bound the modeled
+        // search work, not the hard-coded 128-entry default.
+        let cap = 4;
+        let mut q = PriorityQueues::new(1, 1, cap);
+        for i in 0..10 {
+            q.push(0, 1, BatchId(i));
+        }
+        // Pushes see occupancies 0,1,2,3 then saturate at `cap`.
+        let expected: u64 = (0..10).map(|occ: u64| occ.min(cap as u64)).sum();
+        assert_eq!(q.stats().search_cycles, expected);
+
+        // A capacity above the default constant is honored too.
+        let big = PriorityQueues::ONCHIP_ENTRIES * 2;
+        let mut q = PriorityQueues::new(1, 1, big);
+        for i in 0..(big as u32 + 8) {
+            q.push(0, 1, BatchId(i));
+        }
+        let expected: u64 = (0..big as u64 + 8).map(|occ| occ.min(big as u64)).sum();
+        assert_eq!(q.stats().search_cycles, expected);
     }
 
     #[test]

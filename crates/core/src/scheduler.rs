@@ -2,7 +2,7 @@
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::kernel::Batch;
-use gpu_sim::tb_sched::{DispatchDecision, DispatchView, TbScheduler};
+use gpu_sim::tb_sched::{DispatchDecision, DispatchView, KmuView, TbScheduler};
 use gpu_sim::types::{BatchId, Cycle, SmxId, TbRef};
 
 use crate::policy::LaPermPolicy;
@@ -217,8 +217,7 @@ impl LaPermScheduler {
         if view.smx_free[smx.index()].tb_slots < self.cfg.steal_min_free_slots {
             return None;
         }
-        let backup = self
-            .backup[set]
+        let backup = self.backup[set]
             .filter(|&b| self.queues.highest(b, live).is_some())
             .or_else(|| self.queues.find_nonempty_set(set + 1, set, live));
         self.backup[set] = backup;
@@ -264,21 +263,24 @@ impl TbScheduler for LaPermScheduler {
         }
     }
 
-    fn kmu_pick(&mut self, pending: &[&Batch]) -> usize {
+    fn kmu_pick(&mut self, view: &KmuView<'_>) -> usize {
         // The KMU extension searches its priority queues highest-first;
         // worst case it scans all L levels (Section IV-E).
         self.kmu_search_cycles += u64::from(self.cfg.max_level);
+        let level = |batch: &Batch| {
+            if batch.origin.is_some() {
+                self.clamped_level(batch)
+            } else {
+                0
+            }
+        };
         let mut best = 0;
-        for (i, b) in pending.iter().enumerate().skip(1) {
-            let level = |batch: &Batch| {
-                if batch.origin.is_some() {
-                    self.clamped_level(batch)
-                } else {
-                    0
-                }
-            };
-            if level(b) > level(pending[best]) {
+        let mut best_level = level(view.batch(0));
+        for i in 1..view.len() {
+            let l = level(view.batch(i));
+            if l > best_level {
                 best = i;
+                best_level = l;
             }
         }
         best
@@ -306,9 +308,7 @@ mod tests {
     use gpu_sim::config::GpuConfig;
     use gpu_sim::engine::Simulator;
     use gpu_sim::kernel::ResourceReq;
-    use gpu_sim::program::{
-        KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram,
-    };
+    use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
     use gpu_sim::stats::SimStats;
     use gpu_sim::tb_sched::RoundRobinScheduler;
 
@@ -349,10 +349,9 @@ mod tests {
         let cfg = GpuConfig::figure4_toy();
         let mut sim = Simulator::new(cfg.clone(), Box::new(Figure4Source));
         sim = match policy {
-            Some(p) => sim.with_scheduler(Box::new(LaPermScheduler::new(
-                p,
-                LaPermConfig::for_gpu(&cfg),
-            ))),
+            Some(p) => {
+                sim.with_scheduler(Box::new(LaPermScheduler::new(p, LaPermConfig::for_gpu(&cfg))))
+            }
             None => sim.with_scheduler(Box::new(RoundRobinScheduler::new())),
         };
         sim = sim.with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
@@ -387,11 +386,7 @@ mod tests {
         // Find the dispatch position of the first child and the last
         // parent; with prioritization some child must jump the queue.
         let first_child = stats.tb_records.iter().position(|r| r.is_dynamic).unwrap();
-        let last_parent = stats
-            .tb_records
-            .iter()
-            .rposition(|r| !r.is_dynamic)
-            .unwrap();
+        let last_parent = stats.tb_records.iter().rposition(|r| !r.is_dynamic).unwrap();
         assert!(
             first_child < last_parent,
             "child at {first_child} should dispatch before parent at {last_parent}"
@@ -453,11 +448,7 @@ mod tests {
 
         let make = |id: u32, depth: u8| Batch {
             id: BatchId(id),
-            batch_kind: if depth == 0 {
-                BatchKind::HostKernel
-            } else {
-                BatchKind::DeviceKernel
-            },
+            batch_kind: if depth == 0 { BatchKind::HostKernel } else { BatchKind::DeviceKernel },
             kind: KernelKindId(0),
             param: 0,
             num_tbs: 1,
@@ -479,17 +470,23 @@ mod tests {
 
         let cfg = LaPermConfig::for_gpu(&GpuConfig::small_test()).with_max_level(2);
         let mut sched = LaPermScheduler::new(LaPermPolicy::TbPri, cfg);
-        let host = make(0, 0);
-        let child = make(1, 1);
-        let deep = make(2, 7); // clamps to 2
-        let deeper = make(3, 9); // also clamps to 2 — FCFS tie
+        let batches = vec![
+            make(0, 0), // host
+            make(1, 1), // child
+            make(2, 7), // clamps to 2
+            make(3, 9), // also clamps to 2 — FCFS tie
+        ];
+        let pick = |sched: &mut LaPermScheduler, ids: &[u32]| {
+            let pending: Vec<BatchId> = ids.iter().map(|&i| BatchId(i)).collect();
+            sched.kmu_pick(&gpu_sim::tb_sched::KmuView { pending: &pending, batches: &batches })
+        };
 
         // Highest clamped priority wins.
-        assert_eq!(sched.kmu_pick(&[&host, &child]), 1);
+        assert_eq!(pick(&mut sched, &[0, 1]), 1);
         // Clamped ties resolve FCFS (earlier index).
-        assert_eq!(sched.kmu_pick(&[&host, &deep, &deeper]), 1);
+        assert_eq!(pick(&mut sched, &[0, 2, 3]), 1);
         // Host-only stays FCFS.
-        assert_eq!(sched.kmu_pick(&[&host]), 0);
+        assert_eq!(pick(&mut sched, &[0]), 0);
         // The search cost is accounted (L cycles per pick).
         let kmu_cycles = sched
             .counters()
@@ -505,13 +502,8 @@ mod tests {
         // Under SMX-Bind, stage 2 considers exactly one SMX per cycle, so
         // parent TBs fill SMX0, SMX1, SMX2, SMX3 in cursor order.
         let stats = run(Some(LaPermPolicy::SmxBind));
-        let first_four: Vec<u16> = stats
-            .tb_records
-            .iter()
-            .filter(|r| !r.is_dynamic)
-            .take(4)
-            .map(|r| r.smx.0)
-            .collect();
+        let first_four: Vec<u16> =
+            stats.tb_records.iter().filter(|r| !r.is_dynamic).take(4).map(|r| r.smx.0).collect();
         assert_eq!(first_four, vec![0, 1, 2, 3]);
     }
 
@@ -527,10 +519,7 @@ mod tests {
     fn scheduler_names_match_policy() {
         let cfg = LaPermConfig::for_gpu(&GpuConfig::small_test());
         assert_eq!(LaPermScheduler::new(LaPermPolicy::TbPri, cfg).name(), "laperm-tb-pri");
-        assert_eq!(
-            LaPermScheduler::new(LaPermPolicy::SmxBind, cfg).name(),
-            "laperm-smx-bind"
-        );
+        assert_eq!(LaPermScheduler::new(LaPermPolicy::SmxBind, cfg).name(), "laperm-smx-bind");
         assert_eq!(
             LaPermScheduler::new(LaPermPolicy::AdaptiveBind, cfg).name(),
             "laperm-adaptive-bind"

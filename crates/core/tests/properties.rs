@@ -1,70 +1,91 @@
-//! Property-based tests of the LaPerm priority-queue hardware model.
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests of the LaPerm priority-queue
+//! hardware model. Formerly proptest properties; now driven by a local
+//! SplitMix64 so the suite has no external dependencies.
 
 use gpu_sim::types::BatchId;
 use laperm::PriorityQueues;
 
-proptest! {
-    /// `highest` always returns an entry from the highest non-empty
-    /// level, FCFS within the level.
-    #[test]
-    fn highest_respects_priority_then_fcfs(
-        pushes in prop::collection::vec((1u8..=4, 0u32..1000), 1..50),
-    ) {
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
+/// `highest` always returns an entry from the highest non-empty level,
+/// FCFS within the level.
+#[test]
+fn highest_respects_priority_then_fcfs() {
+    for seed in 0..64 {
+        let mut rng = Rng(seed);
+        let len = rng.range(1, 50) as usize;
+        let levels: Vec<u8> = (0..len).map(|_| rng.range(1, 5) as u8).collect();
         let mut q = PriorityQueues::new(1, 4, 1024);
-        for (i, &(level, _)) in pushes.iter().enumerate() {
-            let _ = level;
-            q.push(0, pushes[i].0, BatchId(i as u32));
+        for (i, &level) in levels.iter().enumerate() {
+            q.push(0, level, BatchId(i as u32));
         }
         let got = q.highest(0, |_| true).expect("non-empty");
         // Reference: first index among those with the max level.
-        let max_level = pushes.iter().map(|&(l, _)| l.clamp(1, 4)).max().unwrap();
-        let expected = pushes
-            .iter()
-            .position(|&(l, _)| l.clamp(1, 4) == max_level)
-            .unwrap() as u32;
-        prop_assert_eq!(got, BatchId(expected));
+        let max_level = levels.iter().map(|&l| l.clamp(1, 4)).max().unwrap();
+        let expected = levels.iter().position(|&l| l.clamp(1, 4) == max_level).unwrap() as u32;
+        assert_eq!(got, BatchId(expected), "seed {seed}");
     }
+}
 
-    /// Dead entries are pruned and never returned; occupancy shrinks
-    /// accordingly.
-    #[test]
-    fn dead_entries_are_pruned(
-        levels in prop::collection::vec(1u8..=4, 1..40),
-        dead_mask in prop::collection::vec(any::<bool>(), 40),
-    ) {
+/// Dead entries are pruned and never returned; occupancy shrinks
+/// accordingly.
+#[test]
+fn dead_entries_are_pruned() {
+    for seed in 0..64 {
+        let mut rng = Rng(1000 + seed);
+        let len = rng.range(1, 40) as usize;
+        let levels: Vec<u8> = (0..len).map(|_| rng.range(1, 5) as u8).collect();
+        let dead_mask: Vec<bool> = (0..40).map(|_| rng.below(2) == 0).collect();
         let mut q = PriorityQueues::new(1, 4, 1024);
         for (i, &level) in levels.iter().enumerate() {
             q.push(0, level, BatchId(i as u32));
         }
         let is_live = |b: BatchId| !dead_mask[b.0 as usize];
-        let got = q.highest(0, is_live);
-        match got {
-            Some(b) => prop_assert!(is_live(b)),
+        match q.highest(0, is_live) {
+            Some(b) => assert!(is_live(b)),
             None => {
                 // Everything reachable was dead; repeated calls agree.
-                prop_assert_eq!(q.highest(0, is_live), None);
+                assert_eq!(q.highest(0, is_live), None);
             }
         }
-        prop_assert!(q.occupancy(0) <= levels.len());
+        assert!(q.occupancy(0) <= levels.len());
     }
+}
 
-    /// Overflow accounting: pushes beyond on-chip capacity are counted,
-    /// never lost.
-    #[test]
-    fn overflow_counts_but_preserves_entries(
-        capacity in 1usize..16,
-        count in 1usize..64,
-    ) {
+/// Overflow accounting: pushes beyond on-chip capacity are counted,
+/// never lost.
+#[test]
+fn overflow_counts_but_preserves_entries() {
+    for seed in 0..64 {
+        let mut rng = Rng(2000 + seed);
+        let capacity = rng.range(1, 16) as usize;
+        let count = rng.range(1, 64) as usize;
         let mut q = PriorityQueues::new(1, 2, capacity);
         for i in 0..count {
             q.push(0, 1, BatchId(i as u32));
         }
         let expected_overflow = count.saturating_sub(capacity) as u64;
-        prop_assert_eq!(q.stats().onchip_overflows, expected_overflow);
-        prop_assert_eq!(q.stats().pushes, count as u64);
-        prop_assert_eq!(q.occupancy(0), count);
+        assert_eq!(q.stats().onchip_overflows, expected_overflow);
+        assert_eq!(q.stats().pushes, count as u64);
+        assert_eq!(q.occupancy(0), count);
         // All entries still retrievable in order.
         let mut drained = Vec::new();
         let mut consumed = std::collections::HashSet::new();
@@ -72,42 +93,47 @@ proptest! {
             consumed.insert(b);
             drained.push(b.0);
         }
-        prop_assert_eq!(drained.len(), count);
+        assert_eq!(drained.len(), count);
     }
+}
 
-    /// `find_nonempty_set` returns a set that actually holds a live entry
-    /// and never the excluded set.
-    #[test]
-    fn find_nonempty_is_correct(
-        sets in prop::collection::vec(0usize..8, 0..20),
-        start in 0usize..8,
-        exclude in 0usize..8,
-    ) {
+/// `find_nonempty_set` returns a set that actually holds a live entry
+/// and never the excluded set.
+#[test]
+fn find_nonempty_is_correct() {
+    for seed in 0..64 {
+        let mut rng = Rng(3000 + seed);
+        let len = rng.below(20) as usize;
+        let sets: Vec<usize> = (0..len).map(|_| rng.below(8) as usize).collect();
+        let start = rng.below(8) as usize;
+        let exclude = rng.below(8) as usize;
         let mut q = PriorityQueues::new(8, 2, 128);
         for (i, &s) in sets.iter().enumerate() {
             q.push(s, 1, BatchId(i as u32));
         }
         match q.find_nonempty_set(start, exclude, |_| true) {
             Some(found) => {
-                prop_assert_ne!(found, exclude);
-                prop_assert!(q.highest(found, |_| true).is_some());
+                assert_ne!(found, exclude);
+                assert!(q.highest(found, |_| true).is_some());
             }
             None => {
                 for s in 0..8 {
                     if s != exclude {
-                        prop_assert!(q.highest(s, |_| true).is_none());
+                        assert!(q.highest(s, |_| true).is_none());
                     }
                 }
             }
         }
     }
+}
 
-    /// Level clamping: any pushed level ends up retrievable, regardless
-    /// of how deep the nesting claims to be.
-    #[test]
-    fn levels_clamp_to_configured_max(level in 0u8..=255) {
+/// Level clamping: any pushed level ends up retrievable, regardless of
+/// how deep the nesting claims to be.
+#[test]
+fn levels_clamp_to_configured_max() {
+    for level in 0..=255u8 {
         let mut q = PriorityQueues::new(1, 3, 128);
         q.push(0, level, BatchId(7));
-        prop_assert_eq!(q.highest(0, |_| true), Some(BatchId(7)));
+        assert_eq!(q.highest(0, |_| true), Some(BatchId(7)));
     }
 }

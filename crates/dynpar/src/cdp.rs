@@ -48,12 +48,7 @@ pub struct CdpModel {
 impl CdpModel {
     /// Creates a CDP launch model.
     pub fn new(latency: LaunchLatency) -> Self {
-        CdpModel {
-            latency,
-            pending: BinaryHeap::new(),
-            next_seq: 0,
-            submitted: 0,
-        }
+        CdpModel { latency, pending: BinaryHeap::new(), next_seq: 0, submitted: 0 }
     }
 
     /// Total launches ever submitted.
@@ -79,8 +74,7 @@ impl DynamicLaunchModel for CdpModel {
         self.submitted += 1;
     }
 
-    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery> {
-        let mut out = Vec::new();
+    fn drain_ready(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         while let Some(Reverse(p)) = self.pending.peek() {
             if p.ready_at > now {
                 break;
@@ -88,11 +82,14 @@ impl DynamicLaunchModel for CdpModel {
             let Reverse(p) = self.pending.pop().expect("peeked");
             out.push(Delivery::DeviceKernel(p.req));
         }
-        out
     }
 
     fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    fn next_ready(&self) -> Option<Cycle> {
+        self.pending.peek().map(|Reverse(p)| p.ready_at)
     }
 
     fn name(&self) -> &'static str {
@@ -106,6 +103,12 @@ mod tests {
     use gpu_sim::kernel::{Origin, ResourceReq};
     use gpu_sim::program::KernelKindId;
     use gpu_sim::types::{BatchId, Priority, SmxId};
+
+    fn drain(m: &mut CdpModel, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        m.drain_ready(now, &mut out);
+        out
+    }
 
     fn req(param: u64, issued_at: Cycle, num_tbs: u32) -> LaunchRequest {
         LaunchRequest {
@@ -127,11 +130,13 @@ mod tests {
     fn launch_matures_after_latency() {
         let mut m = CdpModel::new(LaunchLatency::uniform(100));
         m.submit(req(1, 10, 1));
-        assert!(m.drain_ready(109).is_empty());
-        let out = m.drain_ready(110);
+        assert_eq!(m.next_ready(), Some(110));
+        assert!(drain(&mut m, 109).is_empty());
+        let out = drain(&mut m, 110);
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Delivery::DeviceKernel(_)));
         assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.next_ready(), None);
     }
 
     #[test]
@@ -139,7 +144,7 @@ mod tests {
         let mut m = CdpModel::new(LaunchLatency::zero());
         m.submit(req(1, 5, 1));
         m.submit(req(2, 5, 1));
-        let out = m.drain_ready(5);
+        let out = drain(&mut m, 5);
         let params: Vec<u64> = out.iter().map(|d| d.request().param).collect();
         assert_eq!(params, vec![1, 2]);
     }
@@ -149,17 +154,18 @@ mod tests {
         let mut m = CdpModel::new(LaunchLatency::new(100, 0, 50));
         m.submit(req(1, 0, 1)); // matures at 100
         m.submit(req(2, 0, 1)); // matures at 150
-        assert_eq!(m.drain_ready(100).len(), 1);
-        assert!(m.drain_ready(149).is_empty());
-        assert_eq!(m.drain_ready(150).len(), 1);
+        assert_eq!(drain(&mut m, 100).len(), 1);
+        assert_eq!(m.next_ready(), Some(150));
+        assert!(drain(&mut m, 149).is_empty());
+        assert_eq!(drain(&mut m, 150).len(), 1);
     }
 
     #[test]
     fn per_tb_cost_scales_with_grid() {
         let mut m = CdpModel::new(LaunchLatency::new(0, 10, 0));
         m.submit(req(1, 0, 8));
-        assert!(m.drain_ready(79).is_empty());
-        assert_eq!(m.drain_ready(80).len(), 1);
+        assert!(drain(&mut m, 79).is_empty());
+        assert_eq!(drain(&mut m, 80).len(), 1);
         assert_eq!(m.submitted(), 1);
     }
 }

@@ -64,11 +64,7 @@ impl DtblModel {
 
     /// Creates a DTBL launch model with default table parameters.
     pub fn new(latency: LaunchLatency) -> Self {
-        Self::with_table(
-            latency,
-            Self::DEFAULT_ONCHIP_CAPACITY,
-            Self::DEFAULT_OVERFLOW_PENALTY,
-        )
+        Self::with_table(latency, Self::DEFAULT_ONCHIP_CAPACITY, Self::DEFAULT_OVERFLOW_PENALTY)
     }
 
     /// Creates a DTBL launch model with an explicit on-chip table size and
@@ -121,8 +117,7 @@ impl DynamicLaunchModel for DtblModel {
         self.submitted += 1;
     }
 
-    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery> {
-        let mut out = Vec::new();
+    fn drain_ready(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         while let Some(Reverse(p)) = self.pending.peek() {
             if p.ready_at > now {
                 break;
@@ -130,11 +125,14 @@ impl DynamicLaunchModel for DtblModel {
             let Reverse(p) = self.pending.pop().expect("peeked");
             out.push(Delivery::TbGroup(p.req));
         }
-        out
     }
 
     fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    fn next_ready(&self) -> Option<Cycle> {
+        self.pending.peek().map(|Reverse(p)| p.ready_at)
     }
 
     fn name(&self) -> &'static str {
@@ -148,6 +146,12 @@ mod tests {
     use gpu_sim::kernel::{Origin, ResourceReq};
     use gpu_sim::program::KernelKindId;
     use gpu_sim::types::{BatchId, Priority, SmxId};
+
+    fn drain(m: &mut DtblModel, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        m.drain_ready(now, &mut out);
+        out
+    }
 
     fn req(param: u64, issued_at: Cycle) -> LaunchRequest {
         LaunchRequest {
@@ -169,9 +173,11 @@ mod tests {
     fn delivers_tb_groups() {
         let mut m = DtblModel::new(LaunchLatency::uniform(10));
         m.submit(req(1, 0));
-        let out = m.drain_ready(10);
+        assert_eq!(m.next_ready(), Some(10));
+        let out = drain(&mut m, 10);
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Delivery::TbGroup(_)));
+        assert_eq!(m.next_ready(), None);
     }
 
     #[test]
@@ -180,9 +186,10 @@ mod tests {
         m.submit(req(1, 0)); // on-chip, ready at 10
         m.submit(req(2, 0)); // overflow, ready at 1010
         assert_eq!(m.overflows(), 1);
-        assert_eq!(m.drain_ready(10).len(), 1);
-        assert!(m.drain_ready(1009).is_empty());
-        assert_eq!(m.drain_ready(1010).len(), 1);
+        assert_eq!(drain(&mut m, 10).len(), 1);
+        assert_eq!(m.next_ready(), Some(1010));
+        assert!(drain(&mut m, 1009).is_empty());
+        assert_eq!(drain(&mut m, 1010).len(), 1);
     }
 
     #[test]
@@ -192,7 +199,7 @@ mod tests {
             m.submit(req(i, 0));
         }
         assert_eq!(m.overflows(), 0);
-        assert_eq!(m.drain_ready(0).len(), 10);
+        assert_eq!(drain(&mut m, 0).len(), 10);
         assert_eq!(m.submitted(), 10);
     }
 }

@@ -23,10 +23,7 @@ impl FamilyTree {
         let mut tree = FamilyTree::default();
         for b in batches {
             if let Some(origin) = &b.origin {
-                let parent = TbRef {
-                    batch: origin.parent_batch,
-                    index: origin.parent_tb,
-                };
+                let parent = TbRef { batch: origin.parent_batch, index: origin.parent_tb };
                 tree.parent_of_batch.insert(b.id, parent);
                 tree.children_of_tb.entry(parent).or_default().push(b.id);
             }
@@ -133,11 +130,7 @@ mod tests {
 
     #[test]
     fn depth_counts_nesting() {
-        let batches = vec![
-            batch(0, None),
-            batch(1, Some((0, 0))),
-            batch(2, Some((1, 1))),
-        ];
+        let batches = vec![batch(0, None), batch(1, Some((0, 0))), batch(2, Some((1, 1)))];
         let tree = FamilyTree::from_batches(&batches);
         assert_eq!(tree.depth(BatchId(0), &batches), 0);
         assert_eq!(tree.depth(BatchId(1), &batches), 1);

@@ -138,7 +138,7 @@ impl Cache {
     pub fn new(bytes: u32, assoc: u32, line_bytes: u32) -> Self {
         let lines = (bytes / line_bytes) as usize;
         let assoc = assoc as usize;
-        assert!(lines > 0 && assoc > 0 && lines % assoc == 0, "invalid cache geometry");
+        assert!(lines > 0 && assoc > 0 && lines.is_multiple_of(assoc), "invalid cache geometry");
         let num_sets = lines / assoc;
         Cache {
             ways: vec![Way { tag: 0, last_use: 0, valid: false, dirty: false }; lines],
@@ -218,9 +218,7 @@ impl Cache {
         let set = (line % self.num_sets as u64) as usize;
         let tag = line / self.num_sets as u64;
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.ways[base..base + self.assoc].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Accumulated statistics.

@@ -13,13 +13,20 @@ use crate::types::{Addr, LineAddr};
 /// deduplicated.
 pub fn coalesce(addrs: &[Addr], line_bits: u32) -> Vec<LineAddr> {
     let mut lines: Vec<LineAddr> = Vec::with_capacity(4);
+    coalesce_into(addrs, line_bits, &mut lines);
+    lines
+}
+
+/// [`coalesce`] into a caller-owned buffer (cleared first), so hot paths
+/// can reuse one allocation across warp accesses.
+pub fn coalesce_into(addrs: &[Addr], line_bits: u32, out: &mut Vec<LineAddr>) {
+    out.clear();
     for &a in addrs {
         let line = a >> line_bits;
-        if !lines.contains(&line) {
-            lines.push(line);
+        if !out.contains(&line) {
+            out.push(line);
         }
     }
-    lines
 }
 
 /// Number of transactions a warp access would generate, without

@@ -95,6 +95,14 @@ pub struct GpuConfig {
     ///
     /// [`run_to_completion`]: crate::engine::Simulator::run_to_completion
     pub max_cycles: u64,
+
+    /// Skip idle stretches: when no launch is in flight, the KMU is
+    /// empty, and no TB awaits dispatch, the engine advances the cycle
+    /// counter directly to the next SMX/launch event instead of stepping
+    /// through cycles in which nothing can happen. Statistics are
+    /// bit-identical either way (see `docs/ARCHITECTURE.md`,
+    /// "Performance"); disable only to cross-check that invariant.
+    pub fast_forward: bool,
 }
 
 impl GpuConfig {
@@ -131,6 +139,7 @@ impl GpuConfig {
             alu_latency: 6,
             launch_issue_cycles: 8,
             max_cycles: 500_000_000,
+            fast_forward: true,
         }
     }
 
@@ -163,6 +172,7 @@ impl GpuConfig {
             alu_latency: 4,
             launch_issue_cycles: 2,
             max_cycles: 50_000_000,
+            fast_forward: true,
         }
     }
 
@@ -219,12 +229,11 @@ impl GpuConfig {
         if self.warp_size == 0 || self.issue_width == 0 {
             return Err("warp_size and issue_width must be nonzero".into());
         }
-        for (name, bytes, assoc) in [
-            ("L1", self.l1_bytes, self.l1_assoc),
-            ("L2", self.l2_bytes, self.l2_assoc),
-        ] {
+        for (name, bytes, assoc) in
+            [("L1", self.l1_bytes, self.l1_assoc), ("L2", self.l2_bytes, self.l2_assoc)]
+        {
             let lines = bytes / self.line_bytes;
-            if lines == 0 || assoc == 0 || lines % assoc != 0 {
+            if lines == 0 || assoc == 0 || !lines.is_multiple_of(assoc) {
                 return Err(format!(
                     "{name} geometry invalid: {bytes} bytes, {assoc}-way, {} lines",
                     lines

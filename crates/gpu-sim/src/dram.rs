@@ -170,7 +170,7 @@ mod tests {
         let mut d = Dram::new(2, 100, 4);
         d.access(0, 0); // channel 0, row 0
         d.access(1, 0); // channel 1, row 0
-        // Both channels re-hit their rows.
+                        // Both channels re-hit their rows.
         assert_eq!(d.access(2, 1000), 100);
         assert_eq!(d.access(3, 1000), 100);
     }

@@ -14,10 +14,14 @@ use crate::mem::MemorySystem;
 use crate::program::{KernelKindId, ProgramSource};
 use crate::smx::{Smx, SmxResources, TbCompletion};
 use crate::stats::{SimStats, TbRecord};
-use crate::tb_sched::{DispatchDecision, DispatchView, RoundRobinScheduler, TbScheduler};
+use crate::tb_sched::{DispatchDecision, DispatchView, KmuView, RoundRobinScheduler, TbScheduler};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
 use crate::warp_sched::{GreedyThenOldest, LooseRoundRobin, WarpScheduler};
+
+/// Compact `sched_list`/`sched_seq` once the exhausted prefix exceeds this
+/// many entries, amortizing the two `drain`s over thousands of dispatches.
+const SCHED_PRUNE_THRESHOLD: usize = 4096;
 
 /// A complete GPU simulation.
 ///
@@ -45,7 +49,11 @@ pub struct Simulator {
     dispatch_seq: u64,
     tb_records: Vec<TbRecord>,
     record_index: HashMap<TbRef, usize>,
-    dispatches_since_prune: u64,
+    fast_forwarded_cycles: u64,
+    // Scratch buffers reused every cycle so the hot loop allocates
+    // nothing in steady state.
+    delivery_scratch: Vec<Delivery>,
+    smx_free_scratch: Vec<SmxResources>,
     trace: Option<Box<dyn TraceSink>>,
 }
 
@@ -76,9 +84,7 @@ impl Simulator {
                 crate::config::WarpSchedPolicy::Lrr => Box::new(LooseRoundRobin::new()),
             }
         };
-        let smxs = (0..cfg.num_smxs)
-            .map(|i| Smx::new(SmxId(i), &cfg, make_warp_sched()))
-            .collect();
+        let smxs = (0..cfg.num_smxs).map(|i| Smx::new(SmxId(i), &cfg, make_warp_sched())).collect();
         let mem = MemorySystem::new(&cfg);
         let kdu = Kdu::new(cfg.max_concurrent_kernels);
         Simulator {
@@ -98,7 +104,9 @@ impl Simulator {
             dispatch_seq: 0,
             tb_records: Vec::new(),
             record_index: HashMap::new(),
-            dispatches_since_prune: 0,
+            fast_forwarded_cycles: 0,
+            delivery_scratch: Vec::new(),
+            smx_free_scratch: Vec::new(),
             trace: None,
             cfg,
         }
@@ -156,6 +164,13 @@ impl Simulator {
     /// Kernels waiting in the KMU for a free KDU entry.
     pub fn kmu_pending(&self) -> usize {
         self.kmu.len()
+    }
+
+    /// Idle cycles skipped by the fast-forward path (0 when
+    /// `cfg.fast_forward` is off). These cycles are still counted in
+    /// [`cycle`](Self::cycle); they just were not stepped one by one.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.fast_forwarded_cycles
     }
 
     /// A cheap counter snapshot for windowed time-series analysis (see
@@ -261,8 +276,13 @@ impl Simulator {
         let now = self.cycle;
 
         // 1. Matured device-side launches enter the scheduling hardware.
-        for delivery in self.launch_model.drain_ready(now) {
-            self.deliver_launch(delivery, now)?;
+        if self.launch_model.in_flight() > 0 {
+            let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+            self.launch_model.drain_ready(now, &mut deliveries);
+            for delivery in deliveries.drain(..) {
+                self.deliver_launch(delivery, now)?;
+            }
+            self.delivery_scratch = deliveries;
         }
 
         // 2. KMU moves pending kernels into free KDU entries.
@@ -270,10 +290,11 @@ impl Simulator {
             if self.kmu.is_empty() || !self.kdu.has_free_entry() {
                 break;
             }
-            let pending_ids: Vec<BatchId> = self.kmu.pending().collect();
-            let pending_refs: Vec<&Batch> =
-                pending_ids.iter().map(|id| &self.batches[id.index()]).collect();
-            let idx = self.scheduler.kmu_pick(&pending_refs).min(pending_ids.len() - 1);
+            let idx = {
+                let view = KmuView { pending: self.kmu.make_contiguous(), batches: &self.batches };
+                let len = view.len();
+                self.scheduler.kmu_pick(&view).min(len - 1)
+            };
             let id = self.kmu.take(idx);
             let entry = self.kdu.insert(id).expect("KDU entry checked free");
             self.emit(now, TraceEvent::KernelToKdu { batch: id, entry });
@@ -283,12 +304,13 @@ impl Simulator {
         // 3. The SMX scheduler dispatches at most one TB.
         if self.undispatched > 0 {
             self.prune_sched_list();
-            let smx_free: Vec<SmxResources> = self.smxs.iter().map(|s| s.free()).collect();
+            self.smx_free_scratch.clear();
+            self.smx_free_scratch.extend(self.smxs.iter().map(Smx::free));
             let decision = self.scheduler.pick(&DispatchView {
                 cycle: now,
                 schedulable: &self.sched_list[self.sched_head..],
                 batches: &self.batches,
-                smx_free: &smx_free,
+                smx_free: &self.smx_free_scratch,
             });
             if let Some(d) = decision {
                 self.place(d, now)?;
@@ -333,7 +355,47 @@ impl Simulator {
         }
 
         self.cycle += 1;
+        if self.cfg.fast_forward {
+            self.fast_forward();
+        }
         Ok(())
+    }
+
+    /// Jumps `cycle` over a provably idle stretch.
+    ///
+    /// Safe because idle cycles mutate nothing: SMX `step` early-returns
+    /// before [`Smx::next_event`], launch models only act when a launch
+    /// matures, and memory latencies are computed lazily at access time.
+    /// The jump is therefore bit-identical to stepping each skipped cycle
+    /// (asserted by `tests/determinism.rs`). We only jump when no KMU
+    /// kernel is pending and no TB is undispatched, since those stages
+    /// (and their scheduler cost counters) can act on any cycle.
+    fn fast_forward(&mut self) {
+        if !self.kmu.is_empty() || self.undispatched > 0 {
+            return;
+        }
+        let mut target = match self.launch_model.next_ready() {
+            Some(ready) => ready,
+            None => Cycle::MAX,
+        };
+        let mut any_resident = false;
+        for s in &self.smxs {
+            if s.resident_tbs() > 0 {
+                any_resident = true;
+                target = target.min(s.next_event());
+            }
+        }
+        if target == Cycle::MAX && !any_resident {
+            // Machine is done; leave `cycle` where the last event put it.
+            return;
+        }
+        // Clamp so `run_to_completion` reports CycleLimitExceeded at the
+        // same cycle count as single-stepping would.
+        let target = target.min(self.cfg.max_cycles.saturating_add(1));
+        if target > self.cycle {
+            self.fast_forwarded_cycles += target - self.cycle;
+            self.cycle = target;
+        }
     }
 
     /// Runs until [`is_done`](Self::is_done) or the cycle limit.
@@ -458,7 +520,7 @@ impl Simulator {
             }
             self.sched_head += 1;
         }
-        if self.sched_head > 4096 {
+        if self.sched_head > SCHED_PRUNE_THRESHOLD {
             self.sched_list.drain(..self.sched_head);
             self.sched_seq.drain(..self.sched_head);
             self.sched_head = 0;
@@ -495,7 +557,6 @@ impl Simulator {
             (tb_index, b.kind, b.param, b.req, b.origin, b.priority, b.created_at)
         };
         self.undispatched -= 1;
-        self.dispatches_since_prune += 1;
 
         let tb = TbRef { batch: d.batch, index: tb_index };
         let program = self.source.tb_program(kind, param, tb_index);
@@ -546,9 +607,7 @@ impl Simulator {
         if complete {
             if let Some(e) = entry {
                 let all_done = self.kdu.entry(e).is_some_and(|entry| {
-                    let done = |id: BatchId| {
-                        self.batches[id.index()].state == BatchState::Complete
-                    };
+                    let done = |id: BatchId| self.batches[id.index()].state == BatchState::Complete;
                     done(entry.base) && entry.groups.iter().all(|&g| done(g))
                 });
                 if all_done {
@@ -597,10 +656,7 @@ mod tests {
                     TbProgram::new(ops)
                 }
                 _ => TbProgram::new(vec![
-                    TbOp::Mem(MemOp::load(AddrPattern::Strided {
-                        base: param * 4096,
-                        stride: 4,
-                    })),
+                    TbOp::Mem(MemOp::load(AddrPattern::Strided { base: param * 4096, stride: 4 })),
                     TbOp::Compute(4),
                 ]),
             }
@@ -608,10 +664,7 @@ mod tests {
     }
 
     fn simple_sim() -> Simulator {
-        Simulator::new(
-            GpuConfig::small_test(),
-            Box::new(NestedSource { launcher: 1, children: 3 }),
-        )
+        Simulator::new(GpuConfig::small_test(), Box::new(NestedSource { launcher: 1, children: 3 }))
     }
 
     #[test]
@@ -655,9 +708,8 @@ mod tests {
     #[test]
     fn zero_tb_host_kernel_rejected() {
         let mut sim = simple_sim();
-        let err = sim
-            .launch_host_kernel(KernelKindId(0), 0, 0, ResourceReq::new(64, 8, 0))
-            .unwrap_err();
+        let err =
+            sim.launch_host_kernel(KernelKindId(0), 0, 0, ResourceReq::new(64, 8, 0)).unwrap_err();
         assert!(matches!(err, SimError::KernelTooLarge { .. }));
     }
 
@@ -712,6 +764,36 @@ mod tests {
         // Every L2 access stems from an L1 miss or store.
         assert!(stats.l2.accesses() <= stats.l1.accesses());
         assert!(stats.dram_accesses <= stats.l2.accesses());
+    }
+
+    #[test]
+    fn sched_list_compacts_after_many_exhausted_batches() {
+        // Thousands of single-TB kernels leave behind thousands of
+        // exhausted sched-list entries; the prune must compact them
+        // instead of letting the cursor (and the backing Vecs) grow
+        // without bound.
+        let mut cfg = GpuConfig::small_test();
+        cfg.max_cycles = 10_000_000;
+        let mut sim =
+            Simulator::new(cfg, Box::new(NestedSource { launcher: u32::MAX, children: 0 }));
+        let total = SCHED_PRUNE_THRESHOLD as u32 + 128;
+        for i in 0..total {
+            sim.launch_host_kernel(KernelKindId(0), u64::from(i), 1, ResourceReq::new(32, 8, 0))
+                .unwrap();
+        }
+        let stats = sim.run_to_completion().unwrap();
+        assert_eq!(stats.tb_records.len(), total as usize);
+        assert!(
+            sim.sched_head <= SCHED_PRUNE_THRESHOLD,
+            "cursor never compacted: sched_head = {}",
+            sim.sched_head
+        );
+        assert!(
+            sim.sched_list.len() < total as usize,
+            "sched_list still holds all {} exhausted entries",
+            sim.sched_list.len()
+        );
+        assert_eq!(sim.sched_list.len(), sim.sched_seq.len());
     }
 
     #[test]

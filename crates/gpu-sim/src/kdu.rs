@@ -31,11 +31,7 @@ pub struct Kdu {
 impl Kdu {
     /// Creates a KDU with `capacity` entries.
     pub fn new(capacity: u32) -> Self {
-        Kdu {
-            entries: (0..capacity).map(|_| None).collect(),
-            occupied: 0,
-            next_seq: 0,
-        }
+        Kdu { entries: (0..capacity).map(|_| None).collect(), occupied: 0, next_seq: 0 }
     }
 
     /// `true` if a new kernel can be inserted.
@@ -68,11 +64,7 @@ impl Kdu {
     ///
     /// Panics if the entry is vacant.
     pub fn attach_group(&mut self, entry: usize, group: BatchId) {
-        self.entries[entry]
-            .as_mut()
-            .expect("attach_group on vacant KDU entry")
-            .groups
-            .push(group);
+        self.entries[entry].as_mut().expect("attach_group on vacant KDU entry").groups.push(group);
     }
 
     /// Frees an entry.

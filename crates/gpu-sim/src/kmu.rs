@@ -41,6 +41,16 @@ impl Kmu {
         self.pending.is_empty()
     }
 
+    /// The pending kernels as one contiguous FCFS slice, rearranging the
+    /// ring buffer's two halves in place if needed (amortized cheap: the
+    /// queue is contiguous again until a wrap-around occurs).
+    ///
+    /// Lets the engine hand the TB scheduler a borrowed view of the
+    /// queue without collecting it into a fresh `Vec` every cycle.
+    pub fn make_contiguous(&mut self) -> &[BatchId] {
+        self.pending.make_contiguous()
+    }
+
     /// Removes and returns the pending kernel at `index` (0 = oldest).
     ///
     /// # Panics
@@ -75,6 +85,23 @@ mod tests {
         assert_eq!(kmu.take(0), BatchId(0));
         assert_eq!(kmu.take(0), BatchId(2));
         assert!(kmu.is_empty());
+    }
+
+    #[test]
+    fn make_contiguous_preserves_fcfs_across_wraparound() {
+        let mut kmu = Kmu::new();
+        // Force the VecDeque to wrap: push, pop from the front, push more.
+        for i in 0..8 {
+            kmu.push(BatchId(i));
+        }
+        for _ in 0..5 {
+            kmu.take(0);
+        }
+        for i in 8..16 {
+            kmu.push(BatchId(i));
+        }
+        let expected: Vec<BatchId> = kmu.pending().collect();
+        assert_eq!(kmu.make_contiguous(), &expected[..]);
     }
 
     #[test]

@@ -57,11 +57,28 @@ pub trait DynamicLaunchModel: Send {
     /// Accepts a launch issued by a running TB.
     fn submit(&mut self, req: LaunchRequest);
 
-    /// Returns every launch that has matured by cycle `now`.
-    fn drain_ready(&mut self, now: Cycle) -> Vec<Delivery>;
+    /// Appends every launch that has matured by cycle `now` to `out`.
+    ///
+    /// The engine passes a reused scratch buffer (cleared by the caller)
+    /// so the per-cycle hot path allocates nothing.
+    fn drain_ready(&mut self, now: Cycle, out: &mut Vec<Delivery>);
 
     /// Number of launches still in flight.
     fn in_flight(&self) -> usize;
+
+    /// The earliest cycle at which an in-flight launch matures, or
+    /// `None` when nothing is in flight.
+    ///
+    /// Used by the engine's idle-cycle fast-forward; the conservative
+    /// default (`Some(0)` whenever anything is in flight) merely
+    /// disables fast-forwarding while launches are pending.
+    fn next_ready(&self) -> Option<Cycle> {
+        if self.in_flight() == 0 {
+            None
+        } else {
+            Some(0)
+        }
+    }
 
     /// Model name for reports.
     fn name(&self) -> &'static str;
@@ -93,8 +110,8 @@ impl DynamicLaunchModel for ImmediateLaunchModel {
         self.queue.push_back(req);
     }
 
-    fn drain_ready(&mut self, _now: Cycle) -> Vec<Delivery> {
-        self.queue.drain(..).map(Delivery::DeviceKernel).collect()
+    fn drain_ready(&mut self, _now: Cycle, out: &mut Vec<Delivery>) {
+        out.extend(self.queue.drain(..).map(Delivery::DeviceKernel));
     }
 
     fn in_flight(&self) -> usize {
@@ -133,11 +150,24 @@ mod tests {
         m.submit(request(1));
         m.submit(request(2));
         assert_eq!(m.in_flight(), 2);
-        let out = m.drain_ready(10);
+        assert_eq!(m.next_ready(), Some(0));
+        let mut out = Vec::new();
+        m.drain_ready(10, &mut out);
         assert_eq!(out.len(), 2);
         assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.next_ready(), None);
         assert!(matches!(out[0], Delivery::DeviceKernel(_)));
         assert_eq!(out[1].request().param, 2);
+    }
+
+    #[test]
+    fn drain_appends_to_existing_buffer() {
+        let mut m = ImmediateLaunchModel::new();
+        m.submit(request(1));
+        let mut out = vec![Delivery::TbGroup(request(0))];
+        m.drain_ready(0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].request().param, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! far-apart ones.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::cache::{AccessClass, Cache, CacheStats, ProbeResult};
 use crate::config::GpuConfig;
@@ -19,6 +20,33 @@ use crate::types::{Cycle, LineAddr, SmxId};
 /// Maximum in-flight L2 misses tracked by the MSHR file.
 const MSHR_ENTRIES: usize = 1024;
 
+/// Multiply-mix hasher for `u64` line addresses. The MSHR map is probed
+/// on every transaction that reaches L2, where SipHash shows up in
+/// profiles; a fixed-key mix is plenty for cache-line keys and, unlike
+/// `RandomState`, is deterministic across processes.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type LineMap = HashMap<LineAddr, Cycle, BuildHasherDefault<LineHasher>>;
+
 /// The full memory system below the SMX load/store units.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -26,7 +54,7 @@ pub struct MemorySystem {
     l2: Cache,
     dram: Dram,
     /// In-flight L2 fills: line → cycle the data arrives.
-    outstanding: HashMap<LineAddr, Cycle>,
+    outstanding: LineMap,
     l1_hit_latency: u32,
     l2_hit_latency: u32,
     transaction_issue_cycles: u32,
@@ -44,7 +72,7 @@ impl MemorySystem {
                 .collect(),
             l2: Cache::new(cfg.l2_bytes, cfg.l2_assoc, cfg.line_bytes),
             dram: Dram::new(cfg.dram_channels, cfg.dram_latency, cfg.dram_service_cycles),
-            outstanding: HashMap::new(),
+            outstanding: LineMap::default(),
             l1_hit_latency: cfg.l1_hit_latency,
             l2_hit_latency: cfg.l2_hit_latency,
             transaction_issue_cycles: cfg.transaction_issue_cycles,
@@ -278,7 +306,7 @@ mod tests {
         // Dirty one line, then stream enough lines through L2 to evict it.
         m.warp_access(SmxId(0), &[0], true, AccessClass::Parent, 0);
         for i in 0..l2_lines + cfg.l2_assoc as u64 {
-            m.warp_access(SmxId(0), &[(i + 1) * 1], false, AccessClass::Parent, 1000 + i);
+            m.warp_access(SmxId(0), &[i + 1], false, AccessClass::Parent, 1000 + i);
         }
         assert!(m.l2_writebacks() >= 1, "dirty line should be written back");
         assert!(m.dram_accesses() > l2_lines, "write-back adds DRAM traffic");
@@ -291,10 +319,7 @@ mod tests {
         m.warp_access(SmxId(0), &[10], false, AccessClass::Parent, 0);
         m.warp_access(SmxId(0), &[11], false, AccessClass::Parent, 0);
         let lat = m.warp_access(SmxId(0), &[10, 11], false, AccessClass::Parent, 10_000);
-        assert_eq!(
-            lat,
-            u64::from(cfg.l1_hit_latency) + u64::from(cfg.transaction_issue_cycles)
-        );
+        assert_eq!(lat, u64::from(cfg.l1_hit_latency) + u64::from(cfg.transaction_issue_cycles));
     }
 
     #[test]

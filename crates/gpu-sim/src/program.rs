@@ -52,37 +52,45 @@ impl AddrPattern {
     /// Returns the addresses touched by warp `warp` (threads
     /// `warp*warp_size ..` up to `threads` total), in thread order.
     pub fn warp_addrs(&self, warp: u32, warp_size: u32, threads: u32) -> Vec<Addr> {
+        let mut out = Vec::new();
+        self.warp_addrs_into(warp, warp_size, threads, &mut out);
+        out
+    }
+
+    /// [`warp_addrs`](Self::warp_addrs) into a caller-owned buffer
+    /// (cleared first), so hot paths can reuse one allocation per warp
+    /// instruction instead of building a fresh `Vec`.
+    pub fn warp_addrs_into(&self, warp: u32, warp_size: u32, threads: u32, out: &mut Vec<Addr>) {
+        out.clear();
         let first = warp * warp_size;
         if first >= threads {
-            return Vec::new();
+            return;
         }
         let count = warp_size.min(threads - first);
         match self {
-            AddrPattern::Strided { base, stride } => (0..count)
-                .map(|l| base + u64::from(first + l) * u64::from(*stride))
-                .collect(),
+            AddrPattern::Strided { base, stride } => {
+                out.extend((0..count).map(|l| base + u64::from(first + l) * u64::from(*stride)));
+            }
             AddrPattern::Gather(addrs) => {
                 let lo = first as usize;
                 let hi = (first + count) as usize;
-                if lo >= addrs.len() {
-                    Vec::new()
-                } else {
-                    addrs[lo..hi.min(addrs.len())].to_vec()
+                if lo < addrs.len() {
+                    out.extend_from_slice(&addrs[lo..hi.min(addrs.len())]);
                 }
             }
-            AddrPattern::Broadcast(a) => vec![*a; count as usize],
+            AddrPattern::Broadcast(a) => {
+                out.extend(std::iter::repeat_n(*a, count as usize));
+            }
         }
     }
 
     /// Iterates over every address the whole TB touches (all threads).
     pub fn tb_addrs(&self, threads: u32) -> Vec<Addr> {
         match self {
-            AddrPattern::Strided { base, stride } => (0..threads)
-                .map(|t| base + u64::from(t) * u64::from(*stride))
-                .collect(),
-            AddrPattern::Gather(addrs) => {
-                addrs.iter().copied().take(threads as usize).collect()
+            AddrPattern::Strided { base, stride } => {
+                (0..threads).map(|t| base + u64::from(t) * u64::from(*stride)).collect()
             }
+            AddrPattern::Gather(addrs) => addrs.iter().copied().take(threads as usize).collect(),
             AddrPattern::Broadcast(a) => vec![*a; threads.min(1) as usize],
         }
     }
@@ -271,11 +279,7 @@ mod tests {
             num_tbs: 2,
             req: ResourceReq::new(32, 16, 0),
         };
-        let prog = TbProgram::new(vec![
-            TbOp::Compute(4),
-            TbOp::Launch(spec.clone()),
-            TbOp::Sync,
-        ]);
+        let prog = TbProgram::new(vec![TbOp::Compute(4), TbOp::Launch(spec.clone()), TbOp::Sync]);
         let launches: Vec<_> = prog.launches().collect();
         assert_eq!(launches, vec![&spec]);
         assert_eq!(prog.len(), 3);

@@ -7,13 +7,13 @@
 //! issuing warp blocks until the data returns.
 
 use crate::cache::AccessClass;
-use crate::coalesce::coalesce;
+use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::kernel::ResourceReq;
 use crate::mem::MemorySystem;
 use crate::program::{MemSpace, TbOp, TbProgram};
 use crate::smem::conflict_passes;
-use crate::types::{Cycle, SmxId, TbRef};
+use crate::types::{Addr, Cycle, LineAddr, SmxId, TbRef};
 use crate::warp::Warp;
 use crate::warp_sched::{WarpCandidate, WarpScheduler};
 
@@ -84,6 +84,11 @@ pub struct ResidentTb {
     pub dispatch_seq: u64,
     /// Cycle the TB started executing.
     pub started_at: Cycle,
+    /// Earliest cycle any of this TB's warps can act (issue, finalize,
+    /// or leave a barrier). Recomputed by the post-issue pass and reset
+    /// whenever one of the TB's warps issues; lets both scan loops skip
+    /// TBs that are provably asleep.
+    next_ready: Cycle,
 }
 
 /// A retired thread block.
@@ -127,6 +132,12 @@ pub struct Smx {
     resident: Vec<ResidentTb>,
     warp_sched: Box<dyn WarpScheduler>,
     next_event: Cycle,
+    // Scratch buffers reused across cycles so the issue loop and the
+    // memory path allocate nothing in steady state.
+    cand_scratch: Vec<WarpCandidate>,
+    loc_scratch: Vec<(usize, usize)>,
+    addr_scratch: Vec<Addr>,
+    line_scratch: Vec<LineAddr>,
     /// Cycles in which at least one warp instruction issued.
     pub busy_cycles: u64,
     /// Warp instructions issued.
@@ -154,6 +165,10 @@ impl Smx {
             resident: Vec::new(),
             warp_sched,
             next_event: 0,
+            cand_scratch: Vec::new(),
+            loc_scratch: Vec::new(),
+            addr_scratch: Vec::new(),
+            line_scratch: Vec::new(),
             busy_cycles: 0,
             warp_instructions: 0,
             thread_instructions: 0,
@@ -177,6 +192,15 @@ impl Smx {
         self.resident.len()
     }
 
+    /// The earliest cycle at which this SMX can next make progress.
+    ///
+    /// [`step`](Self::step) is a no-op for any `now` strictly before this
+    /// (and for an empty SMX), which is what lets the engine fast-forward
+    /// over idle stretches without changing any statistics.
+    pub fn next_event(&self) -> Cycle {
+        self.next_event
+    }
+
     /// `true` if a TB with requirement `req` can be placed now.
     pub fn fits(&self, req: &ResourceReq) -> bool {
         self.free.fits(req)
@@ -188,6 +212,7 @@ impl Smx {
     ///
     /// Panics (in debug builds) if the TB does not fit; the engine
     /// validates dispatch decisions before placing.
+    #[allow(clippy::too_many_arguments)]
     pub fn place(
         &mut self,
         tb: TbRef,
@@ -217,6 +242,7 @@ impl Smx {
             req,
             dispatch_seq,
             started_at: now,
+            next_ready: now,
         });
         self.tbs_executed += 1;
         self.next_event = self.next_event.min(now);
@@ -229,22 +255,35 @@ impl Smx {
             return events;
         }
 
+        // The ready set is computed once per cycle: nothing issued within
+        // a cycle can wake another warp (every op costs >= 1 cycle, a
+        // `Sync` parks the issuer, and barriers release only after the
+        // issue loop), so each slot's fresh rescan would yield exactly
+        // the previous set minus the issued warp. `Vec::remove` keeps the
+        // scan order, so the warp scheduler sees identical candidates.
         let mut issued_any = false;
-        for _slot in 0..cfg.issue_width {
-            let mut candidates = Vec::new();
-            let mut locations = Vec::new();
-            for (ti, tb) in self.resident.iter().enumerate() {
-                for (wi, warp) in tb.warps.iter().enumerate() {
-                    if warp.is_ready(now) && warp.pc < tb.program.len() {
-                        candidates.push(WarpCandidate {
-                            tb: tb.tb,
-                            warp: warp.index,
-                            tb_dispatch_seq: tb.dispatch_seq,
-                        });
-                        locations.push((ti, wi));
-                    }
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        let mut locations = std::mem::take(&mut self.loc_scratch);
+        candidates.clear();
+        locations.clear();
+        for (ti, tb) in self.resident.iter().enumerate() {
+            if tb.next_ready > now {
+                // No warp of this TB can be ready before `next_ready`;
+                // skipping it leaves the candidate order unchanged.
+                continue;
+            }
+            for (wi, warp) in tb.warps.iter().enumerate() {
+                if warp.is_ready(now) && warp.pc < tb.program.len() {
+                    candidates.push(WarpCandidate {
+                        tb: tb.tb,
+                        warp: warp.index,
+                        tb_dispatch_seq: tb.dispatch_seq,
+                    });
+                    locations.push((ti, wi));
                 }
             }
+        }
+        for _slot in 0..cfg.issue_width {
             if candidates.is_empty() {
                 break;
             }
@@ -252,14 +291,15 @@ impl Smx {
                 break;
             };
             let (ti, wi) = locations[choice];
+            candidates.remove(choice);
+            locations.remove(choice);
             self.execute_warp_op(ti, wi, now, mem, cfg, &mut events);
             issued_any = true;
         }
+        self.cand_scratch = candidates;
+        self.loc_scratch = locations;
 
-        self.finalize_done_warps(now);
-        self.release_barriers(now);
-        self.retire_done_tbs(now, &mut events);
-        self.recompute_next_event(now);
+        self.finalize_retire_recompute(now, &mut events);
 
         if issued_any {
             self.busy_cycles += 1;
@@ -276,8 +316,17 @@ impl Smx {
         cfg: &GpuConfig,
         events: &mut SmxEvents,
     ) {
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        let mut lines = std::mem::take(&mut self.line_scratch);
+        let smx_id = self.id;
         let tb = &mut self.resident[ti];
-        let op = tb.program.ops()[tb.warps[wi].pc].clone();
+        // Issuing changes this TB's warp state; force the post-issue pass
+        // to rescan it and recompute its `next_ready`.
+        tb.next_ready = now;
+        // Borrow the op in place (cloning a `Gather` would copy nothing,
+        // but the enum move still showed up in profiles); only a rare
+        // `Launch` clones its spec below.
+        let op = &tb.program.ops()[tb.warps[wi].pc];
         let warp_index = tb.warps[wi].index;
         let active_threads =
             cfg.warp_size.min(tb.threads.saturating_sub(warp_index * cfg.warp_size));
@@ -286,14 +335,14 @@ impl Smx {
         match op {
             TbOp::Compute(c) => {
                 self.instruction_mix.compute += 1;
-                let cost = u64::from(c.max(1)) + u64::from(cfg.alu_latency);
+                let cost = u64::from((*c).max(1)) + u64::from(cfg.alu_latency);
                 tb.warps[wi].ready_at = now + cost;
                 tb.warps[wi].pc += 1;
             }
             TbOp::ComputeMasked { cycles, active } => {
                 self.instruction_mix.compute += 1;
-                counted_threads = active.min(active_threads);
-                let cost = u64::from(cycles.max(1)) + u64::from(cfg.alu_latency);
+                counted_threads = (*active).min(active_threads);
+                let cost = u64::from((*cycles).max(1)) + u64::from(cfg.alu_latency);
                 tb.warps[wi].ready_at = now + cost;
                 tb.warps[wi].pc += 1;
             }
@@ -305,16 +354,26 @@ impl Smx {
                 }
                 let latency = match m.space {
                     MemSpace::Shared => {
-                        let addrs = m.pattern.warp_addrs(warp_index, cfg.warp_size, tb.threads);
+                        m.pattern.warp_addrs_into(
+                            warp_index,
+                            cfg.warp_size,
+                            tb.threads,
+                            &mut addrs,
+                        );
                         u64::from(cfg.smem_latency) * u64::from(conflict_passes(&addrs))
                     }
                     MemSpace::Global => {
-                        let addrs = m.pattern.warp_addrs(warp_index, cfg.warp_size, tb.threads);
+                        m.pattern.warp_addrs_into(
+                            warp_index,
+                            cfg.warp_size,
+                            tb.threads,
+                            &mut addrs,
+                        );
                         if addrs.is_empty() {
                             1
                         } else {
-                            let lines = coalesce(&addrs, cfg.line_bits());
-                            mem.warp_access(self.id, &lines, m.is_store, tb.class, now).max(1)
+                            coalesce_into(&addrs, cfg.line_bits(), &mut lines);
+                            mem.warp_access(smx_id, &lines, m.is_store, tb.class, now).max(1)
                         }
                     }
                 };
@@ -324,7 +383,11 @@ impl Smx {
             TbOp::Launch(spec) => {
                 self.instruction_mix.launches += 1;
                 if warp_index == 0 {
-                    events.launches.push(IssuedLaunch { spec, by: tb.tb, smx: self.id });
+                    events.launches.push(IssuedLaunch {
+                        spec: spec.clone(),
+                        by: tb.tb,
+                        smx: smx_id,
+                    });
                     tb.warps[wi].ready_at = now + u64::from(cfg.launch_issue_cycles);
                 } else {
                     tb.warps[wi].ready_at = now + 1;
@@ -340,26 +403,45 @@ impl Smx {
 
         self.warp_instructions += 1;
         self.thread_instructions += u64::from(counted_threads);
+        self.addr_scratch = addrs;
+        self.line_scratch = lines;
     }
 
-    /// A warp is *done* once it has executed every op and its final op's
-    /// latency has elapsed.
-    fn finalize_done_warps(&mut self, now: Cycle) {
-        for tb in &mut self.resident {
+    /// The single post-issue pass over the resident TBs: marks warps
+    /// *done* (every op executed and the final op's latency elapsed),
+    /// releases barriers where every live warp has arrived, retires TBs
+    /// whose warps are all done, and recomputes `next_event` — each step
+    /// is per-TB-local, so one interleaved pass is equivalent to running
+    /// them as four separate sweeps.
+    fn finalize_retire_recompute(&mut self, now: Cycle, events: &mut SmxEvents) {
+        let mut next = Cycle::MAX;
+        let mut i = 0;
+        while i < self.resident.len() {
+            let tb = &mut self.resident[i];
+            if tb.next_ready > now {
+                // Asleep: no warp issued this cycle and none can finalize
+                // or leave a barrier before `next_ready`, so the TB's
+                // state is exactly as the pass that computed it left it.
+                next = next.min(tb.next_ready);
+                i += 1;
+                continue;
+            }
             let len = tb.program.len();
+            let mut all_arrived = !tb.warps.is_empty();
+            let mut any_waiting = false;
+            let mut all_done = true;
+            let mut tb_next = Cycle::MAX;
             for w in &mut tb.warps {
                 if !w.done && !w.at_barrier && w.pc >= len && w.ready_at <= now {
                     w.done = true;
                 }
+                any_waiting |= w.at_barrier;
+                all_arrived &= w.at_barrier || w.done;
+                all_done &= w.done;
+                if !w.done && !w.at_barrier {
+                    tb_next = tb_next.min(w.ready_at);
+                }
             }
-        }
-    }
-
-    fn release_barriers(&mut self, now: Cycle) {
-        for tb in &mut self.resident {
-            let all_arrived =
-                !tb.warps.is_empty() && tb.warps.iter().all(|w| w.at_barrier || w.done);
-            let any_waiting = tb.warps.iter().any(|w| w.at_barrier);
             if all_arrived && any_waiting {
                 for w in &mut tb.warps {
                     if w.at_barrier {
@@ -368,16 +450,12 @@ impl Smx {
                         w.ready_at = now + 1;
                     }
                 }
+                // Released warps become ready at `now + 1`, which is
+                // already the floor `next_event` is clamped to.
+                all_done = false;
+                tb_next = now + 1;
             }
-        }
-    }
-
-    fn retire_done_tbs(&mut self, now: Cycle, events: &mut SmxEvents) {
-        let mut i = 0;
-        while i < self.resident.len() {
-            let done = self.resident[i].warps.iter().all(|w| w.done)
-                || self.resident[i].program.is_empty();
-            if done {
+            if all_done || tb.program.is_empty() {
                 let tb = self.resident.remove(i);
                 self.free.release(&tb.req);
                 events.completions.push(TbCompletion {
@@ -387,18 +465,9 @@ impl Smx {
                     finished_at: now,
                 });
             } else {
+                self.resident[i].next_ready = tb_next;
+                next = next.min(tb_next);
                 i += 1;
-            }
-        }
-    }
-
-    fn recompute_next_event(&mut self, now: Cycle) {
-        let mut next = Cycle::MAX;
-        for tb in &self.resident {
-            for w in &tb.warps {
-                if !w.done && !w.at_barrier {
-                    next = next.min(w.ready_at);
-                }
             }
         }
         // A TB whose warps are all at a barrier is released within the same
@@ -566,10 +635,7 @@ mod tests {
         s.place(
             tb_ref(0),
             AccessClass::Parent,
-            TbProgram::new(vec![
-                TbOp::Compute(1),
-                TbOp::ComputeMasked { cycles: 1, active: 5 },
-            ]),
+            TbProgram::new(vec![TbOp::Compute(1), TbOp::ComputeMasked { cycles: 1, active: 5 }]),
             ResourceReq::new(32, 8, 0),
             0,
             0,

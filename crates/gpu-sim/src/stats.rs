@@ -129,7 +129,11 @@ impl InstructionMix {
 }
 
 /// Aggregate results of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter and per-TB record, which is what
+/// the determinism tests lean on: two runs are "the same" only if every
+/// observable statistic is bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -194,8 +198,8 @@ impl SimStats {
             return 1.0;
         }
         let max = *self.smx_busy_cycles.iter().max().unwrap() as f64;
-        let mean = self.smx_busy_cycles.iter().sum::<u64>() as f64
-            / self.smx_busy_cycles.len() as f64;
+        let mean =
+            self.smx_busy_cycles.iter().sum::<u64>() as f64 / self.smx_busy_cycles.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -260,15 +264,9 @@ impl SimStats {
         line("DRAM row hits", format!("{:.1}%", self.dram_row_hit_rate * 100.0));
         line("MSHR merges", self.mshr_merges.to_string());
         line("L2 write-backs", self.l2_writebacks.to_string());
-        line(
-            "TBs (total/child)",
-            format!("{}/{}", self.tb_records.len(), self.dynamic_tbs()),
-        );
+        line("TBs (total/child)", format!("{}/{}", self.tb_records.len(), self.dynamic_tbs()));
         line("mean child wait", format!("{:.0} cycles", self.mean_child_wait()));
-        line(
-            "parent-SMX affinity",
-            format!("{:.1}%", self.parent_smx_affinity() * 100.0),
-        );
+        line("parent-SMX affinity", format!("{:.1}%", self.parent_smx_affinity() * 100.0));
         line("SMX utilization", format!("{:.1}%", self.smx_utilization() * 100.0));
         line("load imbalance", format!("{:.2}", self.load_imbalance()));
         line(
@@ -336,11 +334,8 @@ mod tests {
 
     #[test]
     fn utilization_and_imbalance() {
-        let stats = SimStats {
-            cycles: 100,
-            smx_busy_cycles: vec![100, 50, 50],
-            ..Default::default()
-        };
+        let stats =
+            SimStats { cycles: 100, smx_busy_cycles: vec![100, 50, 50], ..Default::default() };
         assert!((stats.smx_utilization() - (200.0 / 300.0)).abs() < 1e-12);
         assert!((stats.load_imbalance() - 1.5).abs() < 1e-12);
     }
@@ -363,14 +358,8 @@ mod tests {
 
     #[test]
     fn instruction_mix_totals_and_fractions() {
-        let mut mix = InstructionMix {
-            compute: 4,
-            loads: 3,
-            stores: 1,
-            shared: 1,
-            launches: 1,
-            barriers: 2,
-        };
+        let mut mix =
+            InstructionMix { compute: 4, loads: 3, stores: 1, shared: 1, launches: 1, barriers: 2 };
         assert_eq!(mix.total(), 12);
         assert!((mix.memory_fraction() - 4.0 / 12.0).abs() < 1e-12);
         mix.merge(&InstructionMix { compute: 1, ..Default::default() });

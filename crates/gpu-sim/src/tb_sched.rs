@@ -44,9 +44,38 @@ impl DispatchView<'_> {
     /// The first SMX at or after `start` (wrapping) where `req` fits.
     pub fn first_fit_from(&self, start: usize, req: &ResourceReq) -> Option<SmxId> {
         let n = self.num_smxs();
-        (0..n)
-            .map(|i| SmxId(((start + i) % n) as u16))
-            .find(|&smx| self.fits(smx, req))
+        (0..n).map(|i| SmxId(((start + i) % n) as u16)).find(|&smx| self.fits(smx, req))
+    }
+}
+
+/// A read-only, allocation-free view of the KMU's pending-kernel queue,
+/// used for one [`kmu_pick`](TbScheduler::kmu_pick) decision.
+///
+/// `pending` is a slice over the KMU's own storage (FCFS order) and
+/// `batches` the engine's batch table, so building the view copies
+/// nothing per cycle.
+#[derive(Debug)]
+pub struct KmuView<'a> {
+    /// Pending kernels, FCFS order (oldest first). Non-empty.
+    pub pending: &'a [BatchId],
+    /// All batches ever created, indexed by [`BatchId`].
+    pub batches: &'a [Batch],
+}
+
+impl KmuView<'_> {
+    /// Number of pending kernels.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is pending (the engine never asks then).
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The batch of the `i`-th pending kernel.
+    pub fn batch(&self, i: usize) -> &Batch {
+        &self.batches[self.pending[i].index()]
     }
 }
 
@@ -81,9 +110,9 @@ pub trait TbScheduler: Send {
 
     /// Chooses which pending KMU kernel to move into the KDU next.
     ///
-    /// `pending` is FCFS-ordered and non-empty; the returned index selects
+    /// The view is FCFS-ordered and non-empty; the returned index selects
     /// from it. The baseline takes the oldest.
-    fn kmu_pick(&mut self, _pending: &[&Batch]) -> usize {
+    fn kmu_pick(&mut self, _view: &KmuView<'_>) -> usize {
         0
     }
 
@@ -124,11 +153,8 @@ impl TbScheduler for RoundRobinScheduler {
     }
 
     fn pick(&mut self, view: &DispatchView<'_>) -> Option<DispatchDecision> {
-        let batch_id = view
-            .schedulable
-            .iter()
-            .copied()
-            .find(|&b| view.batch(b).has_undispatched_tbs())?;
+        let batch_id =
+            view.schedulable.iter().copied().find(|&b| view.batch(b).has_undispatched_tbs())?;
         let req = view.batch(batch_id).req;
         let smx = view.first_fit_from(self.cursor, &req)?;
         self.cursor = (smx.index() + 1) % view.num_smxs();
@@ -331,9 +357,13 @@ mod tests {
     #[test]
     fn default_kmu_pick_is_fcfs() {
         let mut sched = RoundRobinScheduler::new();
-        let b0 = batch(0, 1, 0);
-        let b1 = batch(1, 1, 0);
-        assert_eq!(sched.kmu_pick(&[&b0, &b1]), 0);
+        let batches = vec![batch(0, 1, 0), batch(1, 1, 0)];
+        let pending = vec![BatchId(0), BatchId(1)];
+        let view = KmuView { pending: &pending, batches: &batches };
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.batch(1).id, BatchId(1));
+        assert_eq!(sched.kmu_pick(&view), 0);
     }
 
     #[test]

@@ -109,10 +109,7 @@ impl VecSink {
 
 impl TraceSink for VecSink {
     fn record(&mut self, cycle: Cycle, event: TraceEvent) {
-        self.records
-            .lock()
-            .expect("trace sink poisoned")
-            .push(TraceRecord { cycle, event });
+        self.records.lock().expect("trace sink poisoned").push(TraceRecord { cycle, event });
     }
 }
 

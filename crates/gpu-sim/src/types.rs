@@ -119,10 +119,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(SmxId(3).to_string(), "SMX3");
         assert_eq!(BatchId(7).to_string(), "B7");
-        assert_eq!(
-            TbRef { batch: BatchId(2), index: 9 }.to_string(),
-            "B2/TB9"
-        );
+        assert_eq!(TbRef { batch: BatchId(2), index: 9 }.to_string(), "B2/TB9");
         assert_eq!(Priority(1).to_string(), "P1");
     }
 

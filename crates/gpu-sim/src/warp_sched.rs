@@ -103,11 +103,7 @@ mod tests {
     use crate::types::BatchId;
 
     fn cand(batch: u32, index: u32, warp: u32, seq: u64) -> WarpCandidate {
-        WarpCandidate {
-            tb: TbRef { batch: BatchId(batch), index },
-            warp,
-            tb_dispatch_seq: seq,
-        }
+        WarpCandidate { tb: TbRef { batch: BatchId(batch), index }, warp, tb_dispatch_seq: seq }
     }
 
     #[test]

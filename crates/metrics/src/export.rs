@@ -45,9 +45,7 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
 
 /// Renders a timeline as CSV with a header row.
 pub fn timeline_to_csv(points: &[TimelinePoint]) -> String {
-    let mut out = String::from(
-        "cycle,ipc,l1_hit_rate,l2_hit_rate,resident_tbs,undispatched_tbs\n",
-    );
+    let mut out = String::from("cycle,ipc,l1_hit_rate,l2_hit_rate,resident_tbs,undispatched_tbs\n");
     for p in points {
         out.push_str(&format!(
             "{},{:.6},{:.6},{:.6},{},{}\n",

@@ -71,11 +71,8 @@ impl FootprintAnalysis {
             if !node.children.is_empty() {
                 launching += 1;
                 child_count += node.children.len();
-                let child_union: HashSet<LineAddr> = node
-                    .children
-                    .iter()
-                    .flat_map(|c| c.lines.iter().copied())
-                    .collect();
+                let child_union: HashSet<LineAddr> =
+                    node.children.iter().flat_map(|c| c.lines.iter().copied()).collect();
                 if !child_union.is_empty() {
                     let shared = child_union.intersection(&node.lines).count();
                     pc_ratios.push(shared as f64 / child_union.len() as f64);
@@ -90,8 +87,7 @@ impl FootprintAnalysis {
                             .flat_map(|(_, s)| s.lines.iter().copied())
                             .collect();
                         if !sibling_union.is_empty() {
-                            let shared =
-                                sibling_union.intersection(&child.lines).count();
+                            let shared = sibling_union.intersection(&child.lines).count();
                             cs_ratios.push(shared as f64 / sibling_union.len() as f64);
                         }
                     }
@@ -195,9 +191,9 @@ impl FootprintSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::apps::amr::Amr;
     use workloads::apps::bfs::Bfs;
     use workloads::apps::join::{Join, JoinInput};
-    use workloads::apps::amr::Amr;
     use workloads::graph::GraphKind;
     use workloads::Scale;
 

@@ -51,9 +51,7 @@ impl SchedulerKind {
         let laperm_cfg = LaPermConfig::for_gpu(cfg);
         match self {
             SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
-            SchedulerKind::TbPri => {
-                Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg))
-            }
+            SchedulerKind::TbPri => Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg)),
             SchedulerKind::SmxBind => {
                 Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg))
             }
@@ -116,12 +114,7 @@ pub struct RunRecord {
 impl RunRecord {
     fn from_stats(workload: &str, stats: &SimStats) -> Self {
         let counter = |name: &str| {
-            stats
-                .scheduler_counters
-                .iter()
-                .find(|(k, _)| *k == name)
-                .map(|(_, v)| *v)
-                .unwrap_or(0)
+            stats.scheduler_counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v).unwrap_or(0)
         };
         RunRecord {
             workload: workload.to_string(),

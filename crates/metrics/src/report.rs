@@ -33,10 +33,7 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row; short rows are padded with empty cells.
@@ -109,15 +106,8 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
-        let bars = if max > 0.0 {
-            ((value / max) * width as f64).round() as usize
-        } else {
-            0
-        };
-        out.push_str(&format!(
-            "{label:<label_width$}  {:<width$}  {value:.2}\n",
-            "#".repeat(bars)
-        ));
+        let bars = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+        out.push_str(&format!("{label:<label_width$}  {:<width$}  {value:.2}\n", "#".repeat(bars)));
     }
     out
 }

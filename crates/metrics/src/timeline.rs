@@ -48,6 +48,13 @@ pub fn run_timeline(
     window: u64,
 ) -> Result<Vec<TimelinePoint>, SimError> {
     let window = window.max(1);
+    // Step cycle by cycle: fast-forward would jump over window
+    // boundaries and make the sampling grid depend on the workload's
+    // idle structure. Statistics are identical either way; only the
+    // sample spacing is at stake.
+    let mut cfg = cfg.clone();
+    cfg.fast_forward = false;
+    let cfg = &cfg;
     let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
         .with_scheduler(scheduler.build(cfg))
         .with_launch_model(model.build(LaunchLatency::default_for(model)));
@@ -134,13 +141,9 @@ mod tests {
         let points =
             run_timeline(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg, 1000)
                 .expect("timeline");
-        let rec = crate::harness::run_once(
-            w,
-            LaunchModelKind::Dtbl,
-            SchedulerKind::AdaptiveBind,
-            &cfg,
-        )
-        .expect("run");
+        let rec =
+            crate::harness::run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+                .expect("run");
         // Total cycles agree (same deterministic simulation).
         assert_eq!(points.last().unwrap().cycle, rec.cycles);
     }

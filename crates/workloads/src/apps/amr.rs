@@ -67,8 +67,7 @@ impl Amr {
         let deep_refine: Vec<bool> = (0..num_cells)
             .map(|c| {
                 refine[c as usize]
-                    && SplitMix64::stream(seed ^ 0xDEEF, u64::from(c)).unit_f64()
-                        < Self::DEEP_RATE
+                    && SplitMix64::stream(seed ^ 0xDEEF, u64::from(c)).unit_f64() < Self::DEEP_RATE
             })
             .collect();
         Amr { num_cells, chunk: Self::CHUNK, refine, deep_refine, coarse, refined, refined2 }
@@ -198,9 +197,7 @@ mod tests {
     fn some_cells_refine_twice() {
         let a = Amr::new(Scale::Small);
         let deep = (0..a.num_cells())
-            .filter(|&c| {
-                a.tb_program(CHILD, u64::from(c), 0).launches().count() > 0
-            })
+            .filter(|&c| a.tb_program(CHILD, u64::from(c), 0).launches().count() > 0)
             .count();
         assert!(deep > 0, "no second-level refinement");
         assert!(deep < a.refined_cells());

@@ -58,10 +58,8 @@ impl Bht {
         let points = layout.alloc(u64::from(num_points), 8);
         let root_nodes = layout.alloc(64, 16);
         let chunks = num_chunks(num_points, Self::CHUNK);
-        let subtrees = layout.alloc(
-            u64::from(chunks) * u64::from(QUADRANTS) * Self::SUBTREE_NODES,
-            16,
-        );
+        let subtrees =
+            layout.alloc(u64::from(chunks) * u64::from(QUADRANTS) * Self::SUBTREE_NODES, 16);
         // Skew the quadrant distribution so some quadrants of some chunks
         // are heavy: Gaussian clustering of the underlying points.
         let quadrant: Vec<u8> = (0..num_points)
@@ -94,9 +92,7 @@ impl Bht {
     /// Points of chunk `tb` that fall into `quadrant`.
     fn members(&self, tb: u32, quadrant: u32) -> Vec<u32> {
         let (a, cnt) = chunk_range(self.num_points, self.chunk, tb);
-        (a..a + cnt)
-            .filter(|&p| u32::from(self.quadrant[p as usize]) == quadrant)
-            .collect()
+        (a..a + cnt).filter(|&p| u32::from(self.quadrant[p as usize]) == quadrant).collect()
     }
 
     fn parent_program(&self, tb: u32) -> TbProgram {
@@ -142,10 +138,7 @@ impl Bht {
             return b.compute(1).build();
         }
         // Re-read the parent's points that fall in this quadrant.
-        let addrs: Vec<Addr> = members
-            .iter()
-            .map(|&p| self.points.addr(u64::from(p)))
-            .collect();
+        let addrs: Vec<Addr> = members.iter().map(|&p| self.points.addr(u64::from(p))).collect();
         b.gather(addrs);
         // Root path again (globally shared).
         b.load_bcast(self.root_nodes, 0);

@@ -70,8 +70,7 @@ mod tests {
     fn all_inputs_validate() {
         for kind in GraphKind::all() {
             let c = Clr::new(kind, Scale::Tiny);
-            crate::validate_workload(&c)
-                .unwrap_or_else(|e| panic!("{}: {e}", c.full_name()));
+            crate::validate_workload(&c).unwrap_or_else(|e| panic!("{}: {e}", c.full_name()));
         }
     }
 
@@ -79,10 +78,7 @@ mod tests {
     fn seeded_instances_share_structure_not_edges() {
         let a = Clr::new_seeded(GraphKind::Citation, Scale::Tiny, 1);
         let b = Clr::new_seeded(GraphKind::Citation, Scale::Tiny, 2);
-        assert_eq!(
-            a.app().graph().num_vertices(),
-            b.app().graph().num_vertices()
-        );
+        assert_eq!(a.app().graph().num_vertices(), b.app().graph().num_vertices());
         assert_ne!(a.app().graph(), b.app().graph());
     }
 }

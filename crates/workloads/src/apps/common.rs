@@ -1,9 +1,9 @@
 //! Shared helpers for building TB programs.
 
+use std::sync::Arc;
+
 use gpu_sim::kernel::ResourceReq;
-use gpu_sim::program::{
-    AddrPattern, KernelKindId, LaunchSpec, MemOp, TbOp, TbProgram,
-};
+use gpu_sim::program::{AddrPattern, KernelKindId, LaunchSpec, MemOp, TbOp, TbProgram};
 use gpu_sim::types::Addr;
 
 use crate::layout::Region;
@@ -27,7 +27,7 @@ pub struct OpBuilder {
 impl OpBuilder {
     /// Starts a program for a TB with `threads` threads.
     pub fn new(threads: u32) -> Self {
-        OpBuilder { threads, ops: Vec::new() }
+        OpBuilder { threads, ops: Vec::with_capacity(16) }
     }
 
     /// Finishes the program, leaving the builder empty for reuse.
@@ -61,14 +61,11 @@ impl OpBuilder {
             return None;
         }
         if n >= u64::from(self.threads) {
-            Some(AddrPattern::Strided {
-                base: region.addr(start),
-                stride: region.elem_bytes(),
-            })
+            Some(AddrPattern::Strided { base: region.addr(start), stride: region.elem_bytes() })
         } else {
-            Some(AddrPattern::Gather(
-                (0..n).map(|i| region.addr(start + i)).collect::<Vec<Addr>>().into(),
-            ))
+            // `Range` is `TrustedLen`, so this collects straight into the
+            // `Arc` slice with a single allocation.
+            Some(AddrPattern::Gather((0..n).map(|i| region.addr(start + i)).collect()))
         }
     }
 
@@ -102,18 +99,22 @@ impl OpBuilder {
     }
 
     /// Irregular per-thread load of explicit addresses (skipped when
-    /// empty).
-    pub fn gather(&mut self, addrs: Vec<Addr>) -> &mut Self {
+    /// empty). Accepts a `Vec` or a pre-built `Arc` slice — passing
+    /// `Arc` clones lets one address list feed several ops for the cost
+    /// of a refcount bump.
+    pub fn gather(&mut self, addrs: impl Into<Arc<[Addr]>>) -> &mut Self {
+        let addrs: Arc<[Addr]> = addrs.into();
         if !addrs.is_empty() {
-            self.ops.push(TbOp::Mem(MemOp::load(AddrPattern::Gather(addrs.into()))));
+            self.ops.push(TbOp::Mem(MemOp::load(AddrPattern::Gather(addrs))));
         }
         self
     }
 
     /// Irregular per-thread store of explicit addresses.
-    pub fn scatter(&mut self, addrs: Vec<Addr>) -> &mut Self {
+    pub fn scatter(&mut self, addrs: impl Into<Arc<[Addr]>>) -> &mut Self {
+        let addrs: Arc<[Addr]> = addrs.into();
         if !addrs.is_empty() {
-            self.ops.push(TbOp::Mem(MemOp::store(AddrPattern::Gather(addrs.into()))));
+            self.ops.push(TbOp::Mem(MemOp::store(AddrPattern::Gather(addrs))));
         }
         self
     }

@@ -102,8 +102,7 @@ impl GraphApp {
         let col_indices = layout.alloc(m.max(1), 4);
         let frontier = layout.alloc(u64::from(n), 4);
         let values = layout.alloc(u64::from(n), 4);
-        let weights = matches!(flavor, GraphFlavor::Sssp)
-            .then(|| layout.alloc(m.max(1), 4));
+        let weights = matches!(flavor, GraphFlavor::Sssp).then(|| layout.alloc(m.max(1), 4));
         let workbuf = layout.alloc(u64::from(n), 4);
         GraphApp {
             flavor,
@@ -171,17 +170,21 @@ impl GraphApp {
 
         // Peek each vertex's first neighbor and its value: the irregular
         // intra-thread accesses that motivate spawning children.
-        let firsts: Vec<Addr> = vertices
-            .clone()
-            .filter(|&v| self.graph.degree(v) > 0)
-            .map(|v| self.col_indices.addr(u64::from(self.graph.row_start(v))))
-            .collect();
+        let mut firsts: Vec<Addr> = Vec::with_capacity(cnt as usize);
+        firsts.extend(
+            vertices
+                .clone()
+                .filter(|&v| self.graph.degree(v) > 0)
+                .map(|v| self.col_indices.addr(u64::from(self.graph.row_start(v)))),
+        );
         b.gather(firsts);
-        let first_vals: Vec<Addr> = vertices
-            .clone()
-            .filter(|&v| self.graph.degree(v) > 0)
-            .map(|v| self.values.addr(u64::from(self.graph.neighbors(v)[0])))
-            .collect();
+        let mut first_vals: Vec<Addr> = Vec::with_capacity(cnt as usize);
+        first_vals.extend(
+            vertices
+                .clone()
+                .filter(|&v| self.graph.degree(v) > 0)
+                .map(|v| self.values.addr(u64::from(self.graph.neighbors(v)[0]))),
+        );
         b.gather(first_vals);
         b.compute(self.flavor.parent_compute());
 
@@ -194,12 +197,7 @@ impl GraphApp {
         for v in vertices.clone() {
             let d = self.graph.degree(v);
             if d >= self.heavy_threshold {
-                b.launch(
-                    CHILD,
-                    u64::from(v),
-                    d.div_ceil(self.child_threads),
-                    self.child_req(),
-                );
+                b.launch(CHILD, u64::from(v), d.div_ceil(self.child_threads), self.child_req());
             }
         }
         b.sync();
@@ -207,12 +205,14 @@ impl GraphApp {
         // Light vertices are expanded inline: several neighbor rounds of
         // irregular intra-thread accesses.
         for round in 1..5usize {
-            let addrs: Vec<Addr> = vertices
-                .clone()
-                .filter(|&v| self.graph.degree(v) < self.heavy_threshold)
-                .filter(|&v| self.graph.degree(v) as usize > round)
-                .map(|v| self.values.addr(u64::from(self.graph.neighbors(v)[round])))
-                .collect();
+            let mut addrs: Vec<Addr> = Vec::with_capacity(cnt as usize);
+            addrs.extend(
+                vertices
+                    .clone()
+                    .filter(|&v| self.graph.degree(v) < self.heavy_threshold)
+                    .filter(|&v| self.graph.degree(v) as usize > round)
+                    .map(|v| self.values.addr(u64::from(self.graph.neighbors(v)[round]))),
+            );
             b.gather(addrs);
             b.compute(4);
         }
@@ -242,9 +242,10 @@ impl GraphApp {
         b.compute(4);
 
         // Visit neighbor values: the sibling-locality-bearing accesses.
-        let neighbors =
-            &self.graph.neighbors(v)[start as usize..(start + cnt) as usize];
-        let value_addrs: Vec<Addr> =
+        let neighbors = &self.graph.neighbors(v)[start as usize..(start + cnt) as usize];
+        // One allocation, shared by the load below and the store in the
+        // relaxation flavors (an `Arc` clone is a refcount bump).
+        let value_addrs: std::sync::Arc<[Addr]> =
             neighbors.iter().map(|&t| self.values.addr(u64::from(t))).collect();
         b.gather(value_addrs.clone());
 
@@ -303,10 +304,7 @@ mod tests {
         let a = app();
         let hk = a.host_kernels();
         assert_eq!(hk.len(), 1);
-        assert_eq!(
-            hk[0].num_tbs * GraphApp::CHUNK >= a.graph().num_vertices(),
-            true
-        );
+        assert!(hk[0].num_tbs * GraphApp::CHUNK >= a.graph().num_vertices());
     }
 
     #[test]
@@ -319,10 +317,7 @@ mod tests {
                 assert_eq!(l.kind, CHILD);
                 let v = l.param as u32;
                 assert!(a.graph().degree(v) >= a.heavy_threshold());
-                assert_eq!(
-                    l.num_tbs,
-                    a.graph().degree(v).div_ceil(GraphApp::CHILD_THREADS)
-                );
+                assert_eq!(l.num_tbs, a.graph().degree(v).div_ceil(GraphApp::CHILD_THREADS));
                 total_launches += 1;
             }
         }
@@ -355,15 +350,9 @@ mod tests {
                 .collect()
         };
         let parent_lines = lines(&a.tb_program(PARENT, 0, parent_tb), GraphApp::CHUNK);
-        let child_lines = lines(
-            &a.tb_program(CHILD, u64::from(heavy), 0),
-            GraphApp::CHILD_THREADS,
-        );
+        let child_lines = lines(&a.tb_program(CHILD, u64::from(heavy), 0), GraphApp::CHILD_THREADS);
         let shared = child_lines.intersection(&parent_lines).count();
-        assert!(
-            shared >= 2,
-            "child shares only {shared} lines with its parent TB"
-        );
+        assert!(shared >= 2, "child shares only {shared} lines with its parent TB");
     }
 
     #[test]
@@ -392,14 +381,8 @@ mod tests {
             .find(|&v| a.graph().degree(v) >= a.heavy_threshold())
             .unwrap();
         let prog = a.tb_program(CHILD, u64::from(heavy), 0);
-        let stores: Vec<_> = prog
-            .global_mem_ops()
-            .filter(|m| m.is_store)
-            .collect();
+        let stores: Vec<_> = prog.global_mem_ops().filter(|m| m.is_store).collect();
         assert_eq!(stores.len(), 1);
-        assert!(matches!(
-            stores[0].pattern,
-            gpu_sim::program::AddrPattern::Broadcast(_)
-        ));
+        assert!(matches!(stores[0].pattern, gpu_sim::program::AddrPattern::Broadcast(_)));
     }
 }

@@ -115,10 +115,8 @@ impl Join {
         let mut layout = Layout::new();
         let r_keys = layout.alloc(u64::from(r_size), 8);
         let s_tuples = layout.alloc(u64::from(*s_bounds.last().unwrap()).max(1), 8);
-        let buckets = layout.alloc(
-            u64::from(chunks) * u64::from(PARTITIONS) * Self::BUCKET_ELEMS,
-            4,
-        );
+        let buckets =
+            layout.alloc(u64::from(chunks) * u64::from(PARTITIONS) * Self::BUCKET_ELEMS, 4);
         let output = layout.alloc(u64::from(r_size), 8);
         Join {
             input,
@@ -142,9 +140,8 @@ impl Join {
     /// ascending by partition.
     fn chunk_partitions(&self, tb: u32) -> Vec<(u32, u32)> {
         let (a, cnt) = chunk_range(self.r_size, self.chunk, tb);
-        let mut parts: Vec<u32> = (a..a + cnt)
-            .map(|t| u32::from(self.partition_of[t as usize]))
-            .collect();
+        let mut parts: Vec<u32> =
+            (a..a + cnt).map(|t| u32::from(self.partition_of[t as usize])).collect();
         parts.sort_unstable();
         let mut out: Vec<(u32, u32)> = Vec::new();
         for p in parts {
@@ -210,8 +207,7 @@ impl Join {
         // parent's hash offsets the windows so different chunks probing
         // the same partition touch different (but partition-local) lines.
         let window = u64::from(Self::PROBE_ELEMS).min(part_len);
-        let probe_start =
-            (u64::from(parent_tb) * 131 + u64::from(tb_index) * window) % part_len;
+        let probe_start = (u64::from(parent_tb) * 131 + u64::from(tb_index) * window) % part_len;
         let probe_len = window.min(part_len - probe_start);
 
         // Re-read the parent's bucket for this partition.

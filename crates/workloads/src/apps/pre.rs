@@ -185,10 +185,8 @@ impl Pre {
         // Fetch the feature vectors: popular items repeat across
         // siblings. Two halves of the 64-byte vector.
         for half in 0..2u64 {
-            let addrs: Vec<Addr> = slice
-                .iter()
-                .map(|&item| self.features.addr(u64::from(item)) + half * 32)
-                .collect();
+            let addrs: Vec<Addr> =
+                slice.iter().map(|&item| self.features.addr(u64::from(item)) + half * 32).collect();
             b.gather(addrs);
             b.compute(8); // dot-product accumulation
         }
@@ -255,11 +253,7 @@ mod tests {
     #[test]
     fn popularity_is_skewed_to_low_ids() {
         let p = Pre::new(Scale::Small);
-        let below_quarter = p
-            .rated
-            .iter()
-            .filter(|&&i| i < p.num_items / 4)
-            .count();
+        let below_quarter = p.rated.iter().filter(|&&i| i < p.num_items / 4).count();
         let rate = below_quarter as f64 / p.rated.len() as f64;
         assert!(rate > 0.4, "only {rate} of ratings hit the popular quarter");
     }
@@ -286,9 +280,7 @@ mod tests {
                 .map(|a| a >> 7)
                 .collect()
         };
-        let shared = feature_lines(params[0])
-            .intersection(&feature_lines(params[1]))
-            .count();
+        let shared = feature_lines(params[0]).intersection(&feature_lines(params[1])).count();
         assert!(shared > 0, "siblings share no feature lines");
     }
 

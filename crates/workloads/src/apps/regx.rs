@@ -159,9 +159,8 @@ impl Regx {
         if !matched.is_empty() {
             b.launch(CHILD, u64::from(tb), matched.len() as u32, Self::child_req());
         }
-        let peek: Vec<gpu_sim::types::Addr> = (a..a + cnt)
-            .map(|p| self.payloads.addr(u64::from(p) * Self::PAYLOAD_ELEMS))
-            .collect();
+        let peek: Vec<gpu_sim::types::Addr> =
+            (a..a + cnt).map(|p| self.payloads.addr(u64::from(p) * Self::PAYLOAD_ELEMS)).collect();
         b.gather(peek);
         b.compute(10);
         b.store_slice(self.results, u64::from(a), u64::from(cnt));
@@ -266,9 +265,7 @@ mod tests {
         let d = Regx::new(RegxInput::Darpa, Scale::Tiny);
         let s = Regx::new(RegxInput::Strings, Scale::Tiny);
         let first_match = |r: &Regx| {
-            (0..r.matches_by_tb.len())
-                .find(|&tb| !r.matches_by_tb[tb].is_empty())
-                .unwrap() as u64
+            (0..r.matches_by_tb.len()).find(|&tb| !r.matches_by_tb[tb].is_empty()).unwrap() as u64
         };
         let dp = d.tb_program(CHILD, first_match(&d), 0);
         let sp = s.tb_program(CHILD, first_match(&s), 0);

@@ -257,8 +257,9 @@ mod tests {
         }
         // ...but different generated inputs for at least the graph apps.
         let hk = a[2].host_kernels()[0];
-        let differs = (0..hk.num_tbs)
-            .any(|tb| a[2].tb_program(hk.kind, hk.param, tb) != b[2].tb_program(hk.kind, hk.param, tb));
+        let differs = (0..hk.num_tbs).any(|tb| {
+            a[2].tb_program(hk.kind, hk.param, tb) != b[2].tb_program(hk.kind, hk.param, tb)
+        });
         assert!(differs, "seeds must change the generated inputs");
     }
 
@@ -267,9 +268,6 @@ mod tests {
         let w = suite(Scale::Tiny).remove(0);
         let hk = w.host_kernels()[0];
         let src = SharedSource(w.clone());
-        assert_eq!(
-            src.tb_program(hk.kind, hk.param, 0),
-            w.tb_program(hk.kind, hk.param, 0)
-        );
+        assert_eq!(src.tb_program(hk.kind, hk.param, 0), w.tb_program(hk.kind, hk.param, 0));
     }
 }

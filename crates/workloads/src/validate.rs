@@ -207,9 +207,6 @@ mod tests {
     #[test]
     fn launchless_workload_is_caught() {
         let e = validate_workload(&Broken { kind: 2 }).unwrap_err();
-        assert!(
-            e.message.contains("memory") || e.message.contains("launches"),
-            "{e}"
-        );
+        assert!(e.message.contains("memory") || e.message.contains("launches"), "{e}");
     }
 }

@@ -1,71 +1,91 @@
-//! Property-based tests of workload generation: all generated address
-//! streams stay inside their regions, graphs are well-formed, and
-//! generation is a pure function of its inputs.
-
-use proptest::prelude::*;
+//! Randomized (seeded, deterministic) tests of workload generation: all
+//! generated address streams stay inside their regions, graphs are
+//! well-formed, and generation is a pure function of its inputs.
+//! Formerly proptest properties; now driven by the crate's own
+//! SplitMix64 so the suite has no external dependencies.
 
 use workloads::graph::{banded, citation, rmat, GraphKind};
 use workloads::layout::Layout;
 use workloads::rng::SplitMix64;
 
-proptest! {
-    /// Graph generators produce edges strictly inside the vertex range
-    /// and monotone CSR offsets, for any size/seed.
-    #[test]
-    fn graphs_are_well_formed(
-        n in 2u32..400,
-        deg in 1u32..12,
-        seed in any::<u64>(),
-    ) {
+/// Graph generators produce edges strictly inside the vertex range and
+/// monotone CSR offsets, for any size/seed.
+#[test]
+fn graphs_are_well_formed() {
+    let mut rng = SplitMix64::new(0xFEED);
+    for _ in 0..24 {
+        let n = 2 + rng.below(398) as u32;
+        let deg = 1 + rng.below(11) as u32;
+        let seed = rng.next_u64();
         for g in [citation(n, deg, seed), rmat(n, deg, seed), banded(n, deg, seed)] {
-            prop_assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_vertices(), n);
             let mut total = 0u32;
             for v in 0..n {
-                prop_assert_eq!(g.row_start(v) , total);
+                assert_eq!(g.row_start(v), total);
                 total += g.degree(v);
                 for &t in g.neighbors(v) {
-                    prop_assert!(t < n);
+                    assert!(t < n);
                 }
             }
-            prop_assert_eq!(g.num_edges(), total);
+            assert_eq!(g.num_edges(), total);
         }
     }
+}
 
-    /// Generation is deterministic in (kind, n, deg, seed).
-    #[test]
-    fn graph_generation_is_pure(n in 2u32..200, seed in any::<u64>()) {
+/// Generation is deterministic in (kind, n, deg, seed).
+#[test]
+fn graph_generation_is_pure() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for _ in 0..16 {
+        let n = 2 + rng.below(198) as u32;
+        let seed = rng.next_u64();
         for kind in GraphKind::all() {
-            prop_assert_eq!(kind.generate(n, 4, seed), kind.generate(n, 4, seed));
+            assert_eq!(kind.generate(n, 4, seed), kind.generate(n, 4, seed));
         }
     }
+}
 
-    /// Layout regions never overlap, regardless of allocation sizes.
-    #[test]
-    fn layout_regions_are_disjoint(
-        sizes in prop::collection::vec((1u64..5000, prop::sample::select(vec![1u32, 4, 8, 16, 64, 128])), 1..20),
-    ) {
+/// Layout regions never overlap, regardless of allocation sizes.
+#[test]
+fn layout_regions_are_disjoint() {
+    let elems = [1u32, 4, 8, 16, 64, 128];
+    let mut rng = SplitMix64::new(0xCAFE);
+    for _ in 0..32 {
+        let count = 1 + rng.below(19) as usize;
         let mut layout = Layout::new();
-        let regions: Vec<_> = sizes.iter().map(|&(len, elem)| layout.alloc(len, elem)).collect();
+        let regions: Vec<_> = (0..count)
+            .map(|_| {
+                let len = 1 + rng.below(4999);
+                let elem = elems[rng.below(elems.len() as u64) as usize];
+                layout.alloc(len, elem)
+            })
+            .collect();
         for (i, a) in regions.iter().enumerate() {
             for b in regions.iter().skip(i + 1) {
                 let a_end = a.base() + a.bytes();
-                prop_assert!(a_end <= b.base(), "regions overlap: {:?} vs {:?}", a, b);
+                assert!(a_end <= b.base(), "regions overlap: {a:?} vs {b:?}");
                 // They also never share a 128-byte cache line.
-                prop_assert!((a_end - 1) >> 7 < b.base() >> 7 || a.bytes() == 0);
+                assert!((a_end - 1) >> 7 < b.base() >> 7 || a.bytes() == 0);
             }
         }
     }
+}
 
-    /// SplitMix64 streams keyed by tag are independent of generation
-    /// order and `below` stays in bounds.
-    #[test]
-    fn rng_streams_and_bounds(seed in any::<u64>(), tag in any::<u64>(), bound in 1u64..1_000_000) {
+/// SplitMix64 streams keyed by tag are independent of generation order
+/// and `below` stays in bounds.
+#[test]
+fn rng_streams_and_bounds() {
+    let mut meta = SplitMix64::new(0xD00D);
+    for _ in 0..32 {
+        let seed = meta.next_u64();
+        let tag = meta.next_u64();
+        let bound = 1 + meta.below(999_999);
         let a = SplitMix64::stream(seed, tag).next_u64();
         let b = SplitMix64::stream(seed, tag).next_u64();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         let mut rng = SplitMix64::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
 }
@@ -76,7 +96,7 @@ mod program_bounds {
 
     /// Every address any TB of a workload generates must fall inside the
     /// workload's allocated footprint. Checked exhaustively per workload
-    /// (deterministic, so a plain test rather than proptest).
+    /// (deterministic, so a plain test).
     #[test]
     fn all_generated_addresses_are_in_bounds() {
         for w in suite(Scale::Tiny) {

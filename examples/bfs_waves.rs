@@ -16,10 +16,7 @@ const WAVES: usize = 3;
 
 fn main() {
     let all = suite(Scale::Small);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let cfg = GpuConfig::kepler_k20c();
 
     let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
@@ -32,8 +29,7 @@ fn main() {
     let mut table = Table::new(vec!["wave", "cycles (cumulative)", "IPC so far", "L1 hit", "TBs"]);
     for wave in 0..WAVES {
         for hk in w.host_kernels() {
-            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
-                .expect("kernel fits");
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("kernel fits");
         }
         let stats = sim.run_to_completion().expect("wave completes");
         table.row(vec![

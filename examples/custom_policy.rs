@@ -52,10 +52,7 @@ impl TbScheduler for NewestFirst {
 
 fn main() {
     let all = suite(Scale::Small);
-    let w = all
-        .iter()
-        .find(|w| w.full_name() == "bfs-citation")
-        .expect("bfs-citation in suite");
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let cfg = GpuConfig::kepler_k20c();
 
     let schedulers: Vec<(&str, Box<dyn TbScheduler>)> = vec![
@@ -63,10 +60,7 @@ fn main() {
         ("newest-first", Box::new(NewestFirst::default())),
         (
             "adaptive-bind",
-            Box::new(LaPermScheduler::new(
-                LaPermPolicy::AdaptiveBind,
-                LaPermConfig::for_gpu(&cfg),
-            )),
+            Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, LaPermConfig::for_gpu(&cfg))),
         ),
     ];
 
@@ -76,8 +70,7 @@ fn main() {
             .with_scheduler(sched)
             .with_launch_model(LaunchModelKind::Dtbl.build_default());
         for hk in w.host_kernels() {
-            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
-                .expect("kernel fits");
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("kernel fits");
         }
         let stats = sim.run_to_completion().expect("run completes");
         table.row(vec![

@@ -29,8 +29,8 @@ fn main() {
     for kind in GraphKind::all() {
         let w: Arc<dyn Workload> = Arc::new(Bfs::new(kind, Scale::Small));
         let fp = FootprintAnalysis::analyze(w.as_ref());
-        let rr = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-            .expect("rr run");
+        let rr =
+            run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
         let ad = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
             .expect("adaptive run");
         t.row(vec![

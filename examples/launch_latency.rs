@@ -16,13 +16,10 @@ use workloads::{suite, Scale};
 fn main() {
     let target = std::env::args().nth(1).unwrap_or_else(|| "sssp-cage15".to_string());
     let all = suite(Scale::Small);
-    let workload = all
-        .iter()
-        .find(|w| w.full_name() == target)
-        .unwrap_or_else(|| {
-            eprintln!("unknown workload {target}");
-            std::process::exit(1);
-        });
+    let workload = all.iter().find(|w| w.full_name() == target).unwrap_or_else(|| {
+        eprintln!("unknown workload {target}");
+        std::process::exit(1);
+    });
     let cfg = GpuConfig::kepler_k20c();
 
     println!("workload: {}, DTBL delivery, small scale\n", workload.full_name());

@@ -58,8 +58,7 @@ fn run(use_laperm: bool) -> gpu_sim::stats::SimStats {
         )));
     }
     sim = sim.with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::uniform(300)));
-    sim.launch_host_kernel(PARENT, 0, 1024, ResourceReq::new(128, 16, 0))
-        .expect("kernel fits");
+    sim.launch_host_kernel(PARENT, 0, 1024, ResourceReq::new(128, 16, 0)).expect("kernel fits");
     sim.run_to_completion().expect("simulation completes")
 }
 

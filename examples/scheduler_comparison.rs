@@ -15,22 +15,25 @@ use workloads::{suite, Scale};
 fn main() {
     let target = std::env::args().nth(1).unwrap_or_else(|| "bfs-citation".to_string());
     let all = suite(Scale::Small);
-    let workload = all
-        .iter()
-        .find(|w| w.full_name() == target)
-        .unwrap_or_else(|| {
-            eprintln!("unknown workload {target}; available:");
-            for w in &all {
-                eprintln!("  {}", w.full_name());
-            }
-            std::process::exit(1);
-        });
+    let workload = all.iter().find(|w| w.full_name() == target).unwrap_or_else(|| {
+        eprintln!("unknown workload {target}; available:");
+        for w in &all {
+            eprintln!("  {}", w.full_name());
+        }
+        std::process::exit(1);
+    });
     let cfg = GpuConfig::kepler_k20c();
 
     println!("workload: {}  (GPU: {} SMXs)\n", workload.full_name(), cfg.num_smxs);
     for model in LaunchModelKind::all() {
         let mut table = Table::new(vec![
-            "scheduler", "L1 hit", "L2 hit", "IPC", "norm IPC", "child wait", "affinity",
+            "scheduler",
+            "L1 hit",
+            "L2 hit",
+            "IPC",
+            "norm IPC",
+            "child wait",
+            "affinity",
         ]);
         let mut base_ipc = None;
         for sched in SchedulerKind::all() {

@@ -1,0 +1,72 @@
+//! End-to-end determinism: the simulator is a pure function of its
+//! inputs, and the idle-cycle fast-forward optimization changes *no*
+//! observable statistic — it only skips cycles that would have been
+//! no-ops (see the "Performance" section of docs/ARCHITECTURE.md).
+
+use std::sync::Arc;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::stats::SimStats;
+use sim_metrics::harness::SchedulerKind;
+use workloads::{suite, Scale, SharedSource, Workload};
+
+/// Runs one workload to completion and returns its full statistics plus
+/// the number of cycles the engine fast-forwarded over.
+fn run(
+    w: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    sched: SchedulerKind,
+    fast_forward: bool,
+) -> (SimStats, u64) {
+    let mut cfg = GpuConfig::small_test();
+    cfg.num_smxs = 4;
+    cfg.fast_forward = fast_forward;
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+        .with_scheduler(sched.build(&cfg))
+        .with_launch_model(model.build(LaunchLatency::default_for(model)));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+    }
+    let stats = sim.run_to_completion().expect("run to completion");
+    (stats, sim.fast_forwarded_cycles())
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let all = suite(Scale::Tiny);
+    for w in all.iter().take(3) {
+        for sched in SchedulerKind::all() {
+            let (a, _) = run(w, LaunchModelKind::Dtbl, sched, true);
+            let (b, _) = run(w, LaunchModelKind::Dtbl, sched, true);
+            assert_eq!(a, b, "{} under {sched} diverged between runs", w.full_name());
+        }
+    }
+}
+
+#[test]
+fn fast_forward_changes_no_statistic() {
+    let all = suite(Scale::Tiny);
+    let mut total_skipped = 0;
+    for w in all.iter().take(3) {
+        for model in LaunchModelKind::all() {
+            for sched in SchedulerKind::all() {
+                let (on, skipped) = run(w, model, sched, true);
+                let (off, none_skipped) = run(w, model, sched, false);
+                assert_eq!(
+                    on,
+                    off,
+                    "{} under {model}/{sched}: fast-forward changed the statistics",
+                    w.full_name()
+                );
+                assert_eq!(none_skipped, 0, "fast-forward ran while disabled");
+                total_skipped += skipped;
+            }
+        }
+    }
+    // The invariant is only meaningful if the optimization actually
+    // engaged somewhere in the sweep (CDP launch latencies leave the
+    // machine idle while a child kernel matures).
+    assert!(total_skipped > 0, "fast-forward never skipped a cycle");
+}

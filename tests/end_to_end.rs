@@ -42,8 +42,8 @@ fn every_workload_completes_under_cdp() {
 fn cache_rates_are_sane_everywhere() {
     let cfg = small_gpu();
     for w in suite(Scale::Tiny) {
-        let rec = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-            .expect("run");
+        let rec =
+            run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("run");
         for (name, v) in [
             ("l1", rec.l1_hit_rate),
             ("l2", rec.l2_hit_rate),
@@ -51,11 +51,7 @@ fn cache_rates_are_sane_everywhere() {
             ("affinity", rec.parent_smx_affinity),
             ("utilization", rec.smx_utilization),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&v),
-                "{} {name} = {v} out of range",
-                w.full_name()
-            );
+            assert!((0.0..=1.0).contains(&v), "{} {name} = {v} out of range", w.full_name());
         }
         assert!(rec.load_imbalance >= 1.0, "{}", w.full_name());
     }
@@ -65,13 +61,8 @@ fn cache_rates_are_sane_everywhere() {
 fn smx_bind_keeps_every_child_on_its_parents_smx() {
     let cfg = small_gpu();
     for w in suite(Scale::Tiny) {
-        let rec = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, &cfg)
-            .expect("run");
-        assert_eq!(
-            rec.parent_smx_affinity, 1.0,
-            "{} violated SMX binding",
-            w.full_name()
-        );
+        let rec = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, &cfg).expect("run");
+        assert_eq!(rec.parent_smx_affinity, 1.0, "{} violated SMX binding", w.full_name());
         assert_eq!(rec.steals, 0, "{}", w.full_name());
     }
 }

@@ -1,8 +1,9 @@
-//! Property-based fuzzing of the whole engine: random program shapes,
-//! random launch structures, every scheduler — the machine must always
-//! drain completely, retire every TB exactly once, and leave no residue.
-
-use proptest::prelude::*;
+//! Randomized fuzzing of the whole engine: random program shapes, random
+//! launch structures, every scheduler — the machine must always drain
+//! completely, retire every TB exactly once, and leave no residue.
+//!
+//! Formerly a proptest property; now a seeded sweep using the workloads
+//! crate's SplitMix64 so the suite has no external dependencies.
 
 use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
@@ -12,6 +13,7 @@ use gpu_sim::program::{
     AddrPattern, KernelKindId, LaunchSpec, MemOp, ProgramSource, TbOp, TbProgram,
 };
 use sim_metrics::harness::SchedulerKind;
+use workloads::rng::SplitMix64;
 
 const PARENT: KernelKindId = KernelKindId(0);
 const CHILD: KernelKindId = KernelKindId(1);
@@ -30,14 +32,22 @@ impl OpSpec {
     fn to_op(&self) -> TbOp {
         match *self {
             OpSpec::Compute(c) => TbOp::Compute(c),
-            OpSpec::Load(base) => {
-                TbOp::Mem(MemOp::load(AddrPattern::Strided { base, stride: 4 }))
-            }
+            OpSpec::Load(base) => TbOp::Mem(MemOp::load(AddrPattern::Strided { base, stride: 4 })),
             OpSpec::Store(base) => {
                 TbOp::Mem(MemOp::store(AddrPattern::Strided { base, stride: 4 }))
             }
             OpSpec::Shared => TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))),
             OpSpec::Sync => TbOp::Sync,
+        }
+    }
+
+    fn random(rng: &mut SplitMix64) -> Self {
+        match rng.below(5) {
+            0 => OpSpec::Compute(1 + rng.below(31) as u32),
+            1 => OpSpec::Load(rng.below(100_000) & !3),
+            2 => OpSpec::Store(rng.below(100_000) & !3),
+            3 => OpSpec::Shared,
+            _ => OpSpec::Sync,
         }
     }
 }
@@ -51,6 +61,18 @@ struct FuzzSpec {
     launches: Vec<(u32, u32)>,
 }
 
+impl FuzzSpec {
+    fn random(rng: &mut SplitMix64) -> Self {
+        let parents = 1 + rng.below(11) as u32;
+        let parent_ops = (0..rng.below(12)).map(|_| OpSpec::random(rng)).collect();
+        let child_ops = (0..rng.below(8)).map(|_| OpSpec::random(rng)).collect();
+        let launches = (0..rng.below(6))
+            .map(|_| (rng.below(u64::from(parents)) as u32, 1 + rng.below(3) as u32))
+            .collect();
+        FuzzSpec { parent_ops, child_ops, parents, launches }
+    }
+}
+
 #[derive(Debug)]
 struct FuzzSource {
     spec: FuzzSpec,
@@ -60,8 +82,7 @@ impl ProgramSource for FuzzSource {
     fn tb_program(&self, kind: KernelKindId, _param: u64, tb_index: u32) -> TbProgram {
         match kind {
             PARENT => {
-                let mut ops: Vec<TbOp> =
-                    self.spec.parent_ops.iter().map(OpSpec::to_op).collect();
+                let mut ops: Vec<TbOp> = self.spec.parent_ops.iter().map(OpSpec::to_op).collect();
                 for &(launcher, num_tbs) in &self.spec.launches {
                     if launcher == tb_index {
                         ops.push(TbOp::Launch(LaunchSpec {
@@ -79,45 +100,16 @@ impl ProgramSource for FuzzSource {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = OpSpec> {
-    prop_oneof![
-        (1u32..32).prop_map(OpSpec::Compute),
-        (0u64..100_000).prop_map(|a| OpSpec::Load(a & !3)),
-        (0u64..100_000).prop_map(|a| OpSpec::Store(a & !3)),
-        Just(OpSpec::Shared),
-        Just(OpSpec::Sync),
-    ]
-}
+#[test]
+fn engine_always_drains() {
+    let schedulers = SchedulerKind::all();
+    let mut rng = SplitMix64::new(0x5EED_F00D);
+    for case in 0..64u64 {
+        let spec = FuzzSpec::random(&mut rng);
+        let sched = schedulers[rng.below(schedulers.len() as u64) as usize];
+        let dtbl = rng.below(2) == 1;
+        let latency = rng.below(2000) as u32;
 
-fn spec_strategy() -> impl Strategy<Value = FuzzSpec> {
-    (
-        prop::collection::vec(op_strategy(), 0..12),
-        prop::collection::vec(op_strategy(), 0..8),
-        1u32..12,
-        prop::collection::vec((0u32..12, 1u32..4), 0..6),
-    )
-        .prop_map(|(parent_ops, child_ops, parents, mut launches)| {
-            for l in &mut launches {
-                l.0 %= parents;
-            }
-            FuzzSpec { parent_ops, child_ops, parents, launches }
-        })
-}
-
-fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
-    prop::sample::select(SchedulerKind::all().to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn engine_always_drains(
-        spec in spec_strategy(),
-        sched in scheduler_strategy(),
-        dtbl in any::<bool>(),
-        latency in 0u32..2000,
-    ) {
         let mut cfg = GpuConfig::small_test();
         cfg.max_cycles = 5_000_000;
         let parents = spec.parents;
@@ -130,20 +122,20 @@ proptest! {
             .expect("host kernel valid");
         let stats = sim.run_to_completion().expect("simulation drains");
 
-        prop_assert!(sim.is_done());
-        prop_assert_eq!(sim.resident_tbs(), 0);
-        prop_assert_eq!(
+        assert!(sim.is_done());
+        assert_eq!(sim.resident_tbs(), 0);
+        assert_eq!(
             stats.tb_records.len() as u32,
             parents + expected_children,
-            "TB conservation violated"
+            "TB conservation violated (case {case})"
         );
         for r in &stats.tb_records {
-            prop_assert!(r.finished_at >= r.dispatched_at);
-            prop_assert!(r.dispatched_at >= r.created_at);
+            assert!(r.finished_at >= r.dispatched_at);
+            assert!(r.dispatched_at >= r.created_at);
         }
         // Batches fully accounted.
         for b in sim.batches() {
-            prop_assert_eq!(b.finished_tbs, b.num_tbs);
+            assert_eq!(b.finished_tbs, b.num_tbs);
         }
     }
 }

@@ -88,8 +88,8 @@ impl TbScheduler for OverDispatchScheduler {
 }
 
 fn run_with(scheduler: Box<dyn TbScheduler>) -> Result<(), SimError> {
-    let mut sim = Simulator::new(GpuConfig::small_test(), Box::new(Compute))
-        .with_scheduler(scheduler);
+    let mut sim =
+        Simulator::new(GpuConfig::small_test(), Box::new(Compute)).with_scheduler(scheduler);
     sim.launch_host_kernel(KernelKindId(0), 0, 1, ResourceReq::new(32, 8, 0))?;
     sim.run_to_completion().map(|_| ())
 }

@@ -112,8 +112,7 @@ fn join_gaussian_punishes_strict_binding() {
     let cfg = GpuConfig::kepler_k20c();
     let rr = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).unwrap();
     let bind = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, &cfg).unwrap();
-    let adaptive =
-        run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).unwrap();
+    let adaptive = run_once(&w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).unwrap();
     assert!(bind.ipc < rr.ipc, "binding should lose on the skewed join");
     assert!(adaptive.ipc > bind.ipc, "stealing should recover the loss");
 }

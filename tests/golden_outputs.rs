@@ -10,9 +10,5 @@ use laperm_bench::figure4;
 fn figure4_matches_golden() {
     let golden = include_str!("golden/fig4.txt");
     let current = figure4();
-    assert_eq!(
-        current.trim(),
-        golden.trim(),
-        "Figure 4 placements drifted from the golden file"
-    );
+    assert_eq!(current.trim(), golden.trim(), "Figure 4 placements drifted from the golden file");
 }

@@ -6,9 +6,7 @@ use dynpar::{DtblModel, LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::kernel::{BatchKind, ResourceReq};
-use gpu_sim::program::{
-    KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram,
-};
+use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
 use gpu_sim::types::Priority;
 
 const ROOT: KernelKindId = KernelKindId(0);
@@ -113,11 +111,7 @@ fn dtbl_uses_group_path_when_parent_kernel_is_alive() {
         .with_launch_model(Box::new(DtblModel::new(LaunchLatency::uniform(10))));
     sim.launch_host_kernel(ROOT, 1, 16, ResourceReq::new(32, 8, 0)).unwrap();
     sim.run_to_completion().unwrap();
-    let groups = sim
-        .batches()
-        .iter()
-        .filter(|b| b.batch_kind == BatchKind::TbGroup)
-        .count();
+    let groups = sim.batches().iter().filter(|b| b.batch_kind == BatchKind::TbGroup).count();
     assert!(groups > 0, "fast groups should coalesce onto the live kernel");
 }
 

@@ -38,7 +38,8 @@ fn bfs_citation() -> std::sync::Arc<dyn Workload> {
 
 #[test]
 fn every_launched_batch_retires_completely() {
-    let (stats, batches) = run(&bfs_citation(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
+    let (stats, batches) =
+        run(&bfs_citation(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
     let expected: u32 = batches.iter().map(|b| b.num_tbs).sum();
     assert_eq!(stats.tb_records.len() as u32, expected);
     for b in &batches {
@@ -80,18 +81,13 @@ fn child_priority_is_parent_plus_one() {
 fn amr_nests_at_least_two_levels() {
     let (_, batches) = run(&amr(), Some(LaPermPolicy::AdaptiveBind), LaunchModelKind::Dtbl);
     let tree = FamilyTree::from_batches(&batches);
-    let max_depth = batches
-        .iter()
-        .map(|b| tree.depth(b.id, &batches))
-        .max()
-        .unwrap_or(0);
+    let max_depth = batches.iter().map(|b| tree.depth(b.id, &batches)).max().unwrap_or(0);
     assert!(max_depth >= 2, "AMR should refine recursively, got depth {max_depth}");
 }
 
 #[test]
 fn family_tree_matches_engine_records() {
-    let (stats, batches) =
-        run(&bfs_citation(), Some(LaPermPolicy::SmxBind), LaunchModelKind::Dtbl);
+    let (stats, batches) = run(&bfs_citation(), Some(LaPermPolicy::SmxBind), LaunchModelKind::Dtbl);
     let tree = FamilyTree::from_batches(&batches);
     for r in stats.tb_records.iter().filter(|r| r.is_dynamic) {
         let parent = tree.direct_parent(r.tb.batch).expect("dynamic TB has parent");
@@ -113,16 +109,10 @@ fn cdp_respects_concurrent_kernel_limit_via_waits() {
 fn dtbl_children_share_parents_kdu_entry() {
     let (_, batches) = run(&bfs_citation(), None, LaunchModelKind::Dtbl);
     use gpu_sim::kernel::BatchKind;
-    let groups = batches
-        .iter()
-        .filter(|b| b.batch_kind == BatchKind::TbGroup)
-        .count();
+    let groups = batches.iter().filter(|b| b.batch_kind == BatchKind::TbGroup).count();
     assert!(groups > 0, "DTBL should coalesce most children as TB groups");
     // Under DTBL at most a handful fall back to the device-kernel path
     // (parent entry already retired).
-    let kernels = batches
-        .iter()
-        .filter(|b| b.batch_kind == BatchKind::DeviceKernel)
-        .count();
+    let kernels = batches.iter().filter(|b| b.batch_kind == BatchKind::DeviceKernel).count();
     assert!(kernels <= groups, "fallbacks ({kernels}) dominate groups ({groups})");
 }

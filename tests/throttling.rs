@@ -23,10 +23,7 @@ fn max_resident_per_smx(throttle: Option<u32>) -> (usize, usize) {
     let sink = VecSink::new();
     let handle = sink.clone();
     let mut sim = Simulator::new(cfg, Box::new(SharedSource(w.clone())))
-        .with_scheduler(Box::new(LaPermScheduler::new(
-            LaPermPolicy::AdaptiveBind,
-            laperm_cfg,
-        )))
+        .with_scheduler(Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg)))
         .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::uniform(100)))
         .with_trace(Box::new(sink));
     for hk in w.host_kernels() {
@@ -65,10 +62,7 @@ fn throttle_caps_resident_tbs() {
 #[test]
 fn unthrottled_run_exceeds_the_cap() {
     let (max_resident, _) = max_resident_per_smx(None);
-    assert!(
-        max_resident > 4,
-        "baseline should pack more than 4 TBs per SMX, got {max_resident}"
-    );
+    assert!(max_resident > 4, "baseline should pack more than 4 TBs per SMX, got {max_resident}");
 }
 
 #[test]

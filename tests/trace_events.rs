@@ -18,7 +18,7 @@ impl ProgramSource for TwoLevel {
         match kind {
             PARENT => {
                 let mut ops = vec![TbOp::Compute(10)];
-                if tb_index % 2 == 0 {
+                if tb_index.is_multiple_of(2) {
                     ops.push(TbOp::Launch(LaunchSpec {
                         kind: CHILD,
                         param: u64::from(tb_index),
@@ -90,10 +90,7 @@ fn completion_never_precedes_dispatch_per_tb() {
     for r in &records {
         match r.event {
             TraceEvent::TbDispatched { tb, .. } => {
-                assert!(
-                    dispatched_at.insert(tb, r.cycle).is_none(),
-                    "{tb} dispatched twice"
-                );
+                assert!(dispatched_at.insert(tb, r.cycle).is_none(), "{tb} dispatched twice");
             }
             TraceEvent::TbCompleted { tb, .. } => {
                 let d = dispatched_at.get(&tb).expect("completed TB was dispatched");
@@ -107,20 +104,13 @@ fn completion_never_precedes_dispatch_per_tb() {
 #[test]
 fn dtbl_traces_coalesced_groups_and_cdp_traces_kernels() {
     let (dtbl, _) = traced_run(LaunchModelKind::Dtbl);
-    assert!(dtbl
-        .iter()
-        .any(|r| matches!(r.event, TraceEvent::GroupCoalesced { .. })));
+    assert!(dtbl.iter().any(|r| matches!(r.event, TraceEvent::GroupCoalesced { .. })));
 
     let (cdp, _) = traced_run(LaunchModelKind::Cdp);
-    let queued = cdp
-        .iter()
-        .filter(|r| matches!(r.event, TraceEvent::KernelQueued { .. }))
-        .count();
+    let queued = cdp.iter().filter(|r| matches!(r.event, TraceEvent::KernelQueued { .. })).count();
     // 1 host kernel + 4 launching parents' device kernels.
     assert_eq!(queued, 5);
-    assert!(!cdp
-        .iter()
-        .any(|r| matches!(r.event, TraceEvent::GroupCoalesced { .. })));
+    assert!(!cdp.iter().any(|r| matches!(r.event, TraceEvent::GroupCoalesced { .. })));
 }
 
 #[test]
