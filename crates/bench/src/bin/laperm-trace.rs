@@ -1,0 +1,198 @@
+//! Perfetto trace exporter CLI: run one (workload × launch model ×
+//! scheduler) simulation with full tracing and write a Chrome
+//! `trace_event` JSON document loadable in <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! laperm-trace [options]
+//!   --workload <name>      suite workload (default bfs-citation); "list" to enumerate
+//!   --scheduler <name>     rr | tb-pri | smx-bind | adaptive-bind | random (default adaptive-bind)
+//!   --model <name>         cdp | dtbl (default dtbl)
+//!   --scale <name>         tiny | small | paper (default small)
+//!   --seed <n>             input seed (default 0)
+//!   --smxs <n>             override SMX count
+//!   --out <path>           output file (default trace.json)
+//!   --sample-every <n>     IPC counter sampling window in cycles (default 1000, 0 = off)
+//!   --check                validate the document and exit non-zero on violation
+//!   --metrics              also print the run's metrics registry
+//! ```
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::tb_sched::{RandomScheduler, RoundRobinScheduler, TbScheduler};
+use gpu_sim::trace::VecSink;
+use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
+use sim_metrics::{perfetto_json, registry_for_run, validate_trace};
+use workloads::{suite_seeded, Scale, SharedSource};
+
+struct Options {
+    workload: String,
+    scheduler: String,
+    model: LaunchModelKind,
+    scale: Scale,
+    seed: u64,
+    smxs: Option<u16>,
+    out: String,
+    sample_every: u64,
+    check: bool,
+    metrics: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let parse_num = |flag: &str| -> Option<u64> {
+        value(flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v}");
+                std::process::exit(2);
+            })
+        })
+    };
+    Options {
+        workload: value("--workload").unwrap_or_else(|| "bfs-citation".into()),
+        scheduler: value("--scheduler").unwrap_or_else(|| "adaptive-bind".into()),
+        model: match value("--model").as_deref() {
+            Some("cdp") => LaunchModelKind::Cdp,
+            Some("dtbl") | None => LaunchModelKind::Dtbl,
+            Some(other) => {
+                eprintln!("unknown launch model {other}");
+                std::process::exit(2);
+            }
+        },
+        scale: match value("--scale").as_deref() {
+            Some("tiny") => Scale::Tiny,
+            Some("small") | None => Scale::Small,
+            Some("paper") => Scale::Paper,
+            Some(other) => {
+                eprintln!("unknown scale {other}");
+                std::process::exit(2);
+            }
+        },
+        seed: parse_num("--seed").unwrap_or(0),
+        smxs: parse_num("--smxs").map(|n| n as u16),
+        out: value("--out").unwrap_or_else(|| "trace.json".into()),
+        sample_every: parse_num("--sample-every").unwrap_or(1000),
+        check: args.iter().any(|a| a == "--check"),
+        metrics: args.iter().any(|a| a == "--metrics"),
+    }
+}
+
+fn build_scheduler(name: &str, cfg: &GpuConfig) -> Box<dyn TbScheduler> {
+    let laperm_cfg = LaPermConfig::for_gpu(cfg);
+    match name {
+        "rr" => Box::new(RoundRobinScheduler::new()),
+        "random" => Box::new(RandomScheduler::new(1)),
+        "tb-pri" => Box::new(LaPermScheduler::new(LaPermPolicy::TbPri, laperm_cfg)),
+        "smx-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg)),
+        "adaptive-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg)),
+        other => {
+            eprintln!("unknown scheduler {other} (rr, tb-pri, smx-bind, adaptive-bind, random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = suite_seeded(opts.scale, opts.seed);
+    if opts.workload == "list" {
+        for w in &all {
+            println!("{}", w.full_name());
+        }
+        return;
+    }
+    let Some(workload) = all.iter().find(|w| w.full_name() == opts.workload) else {
+        eprintln!("unknown workload {}; try --workload list", opts.workload);
+        std::process::exit(2);
+    };
+
+    let mut cfg = GpuConfig::kepler_k20c();
+    if let Some(n) = opts.smxs {
+        cfg.num_smxs = n;
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
+    let sink = VecSink::new();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
+        .with_scheduler(build_scheduler(&opts.scheduler, &cfg))
+        .with_launch_model(opts.model.build(LaunchLatency::default_for(opts.model)))
+        .with_trace(Box::new(sink.clone()));
+    for hk in workload.host_kernels() {
+        if let Err(e) = sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req) {
+            eprintln!("launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Step manually so the machine can be sampled for the IPC counter
+    // track. Fast-forward stays on; a jump just lands past the next
+    // sampling boundary.
+    let mut samples = Vec::new();
+    if opts.sample_every > 0 {
+        samples.push(sim.sample());
+    }
+    let mut next_sample = opts.sample_every;
+    while !sim.is_done() {
+        if let Err(e) = sim.step() {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+        if opts.sample_every > 0 && sim.cycle() >= next_sample {
+            samples.push(sim.sample());
+            next_sample = sim.cycle() + opts.sample_every;
+        }
+        if sim.cycle() > cfg.max_cycles {
+            eprintln!("simulation exceeded {} cycles", cfg.max_cycles);
+            std::process::exit(1);
+        }
+    }
+    let stats = sim.stats();
+    let records = sink.records();
+
+    let json = perfetto_json(&records, &stats, &samples, cfg.num_smxs);
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+
+    println!(
+        "{} | {} | {} | {} SMXs | seed {}",
+        workload.full_name(),
+        opts.model,
+        stats.scheduler,
+        cfg.num_smxs,
+        opts.seed
+    );
+    println!(
+        "{} cycles, {} trace events, {} TB records -> {} ({} bytes)",
+        stats.cycles,
+        records.len(),
+        stats.tb_records.len(),
+        opts.out,
+        json.len()
+    );
+
+    match validate_trace(&json) {
+        Ok(check) => println!(
+            "validated: {} events, {} SMX tracks, {} spans, {} counter samples, {} instants",
+            check.events, check.smx_tracks, check.spans, check.counters, check.instants
+        ),
+        Err(e) => {
+            eprintln!("trace validation failed: {e}");
+            if opts.check {
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if opts.metrics {
+        let registry = registry_for_run(&stats, &records);
+        print!("\n{}", registry.render());
+    }
+}

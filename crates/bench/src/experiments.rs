@@ -652,6 +652,7 @@ mod tests {
             queue_pushes: 0,
             max_queue_depth: 0,
             queue_search_cycles: 0,
+            stalls: Default::default(),
         }
     }
 

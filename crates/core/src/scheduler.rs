@@ -3,7 +3,8 @@
 use gpu_sim::config::GpuConfig;
 use gpu_sim::kernel::Batch;
 use gpu_sim::tb_sched::{DispatchDecision, DispatchView, KmuView, TbScheduler};
-use gpu_sim::types::{BatchId, Cycle, SmxId, TbRef};
+use gpu_sim::trace::TraceEvent;
+use gpu_sim::types::{BatchId, Cycle, Priority, SmxId, TbRef};
 
 use crate::policy::LaPermPolicy;
 use crate::queues::PriorityQueues;
@@ -110,6 +111,11 @@ pub struct LaPermScheduler {
     stage2_dispatches: u64,
     stage3_steals: u64,
     kmu_search_cycles: u64,
+    /// Event reporting, off by default; the engine enables it when a
+    /// trace sink is attached (`TbScheduler::set_tracing`). While off the
+    /// buffer stays empty and untraced runs allocate nothing here.
+    tracing: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl LaPermScheduler {
@@ -125,6 +131,8 @@ impl LaPermScheduler {
             stage2_dispatches: 0,
             stage3_steals: 0,
             kmu_search_cycles: 0,
+            tracing: false,
+            trace_buf: Vec::new(),
             cfg,
         }
     }
@@ -146,6 +154,41 @@ impl LaPermScheduler {
 
     fn clamped_level(&self, batch: &Batch) -> u8 {
         batch.priority.0.clamp(1, self.cfg.max_level)
+    }
+
+    /// Buffers `event` for the engine to drain (no-op unless tracing).
+    fn trace(&mut self, event: TraceEvent) {
+        if self.tracing {
+            self.trace_buf.push(event);
+        }
+    }
+
+    /// Records a dispatch served from `set`'s dynamic queues.
+    fn trace_dequeue(&mut self, batch: &Batch, set: usize) {
+        if self.tracing {
+            let level = self.clamped_level(batch);
+            let depth = self.queues.occupancy(set) as u32;
+            self.trace_buf.push(TraceEvent::QueueDequeued {
+                batch: batch.id,
+                set: set as u16,
+                level,
+                depth,
+            });
+        }
+    }
+
+    /// Records a dispatch served from the shared level-0 queue, consulted
+    /// on behalf of queue set `set`.
+    fn trace_global_dequeue(&mut self, batch: BatchId, set: usize) {
+        if self.tracing {
+            let depth = self.queues.global_occupancy() as u32;
+            self.trace_buf.push(TraceEvent::QueueDequeued {
+                batch,
+                set: set as u16,
+                level: 0,
+                depth,
+            });
+        }
     }
 
     /// `true` if dispatching one more TB to `smx` respects the
@@ -175,8 +218,10 @@ impl LaPermScheduler {
         self.cursor = (smx.index() + 1) % n;
         if from_queue0 {
             self.stage2_dispatches += 1;
+            self.trace_global_dequeue(candidate, 0);
         } else {
             self.stage1_dispatches += 1;
+            self.trace_dequeue(view.batch(candidate), 0);
         }
         Some(DispatchDecision { batch: candidate, smx })
     }
@@ -196,6 +241,7 @@ impl LaPermScheduler {
         if let Some(candidate) = self.queues.highest(set, live) {
             if view.fits(smx, &view.batch(candidate).req) {
                 self.stage1_dispatches += 1;
+                self.trace_dequeue(view.batch(candidate), set);
                 return Some(DispatchDecision { batch: candidate, smx });
             }
             return None;
@@ -205,6 +251,7 @@ impl LaPermScheduler {
         if let Some(candidate) = self.queues.global_front(live) {
             if view.fits(smx, &view.batch(candidate).req) {
                 self.stage2_dispatches += 1;
+                self.trace_global_dequeue(candidate, set);
                 return Some(DispatchDecision { batch: candidate, smx });
             }
             return None;
@@ -217,13 +264,27 @@ impl LaPermScheduler {
         if view.smx_free[smx.index()].tb_slots < self.cfg.steal_min_free_slots {
             return None;
         }
+        let prev_backup = self.backup[set];
         let backup = self.backup[set]
             .filter(|&b| self.queues.highest(b, live).is_some())
             .or_else(|| self.queues.find_nonempty_set(set + 1, set, live));
         self.backup[set] = backup;
-        let candidate = self.queues.highest(backup?, live)?;
+        if let Some(b) = backup {
+            if prev_backup != Some(b) {
+                self.trace(TraceEvent::BackupAdopted { smx, backup_set: b as u16 });
+            }
+        }
+        let victim_set = backup?;
+        let candidate = self.queues.highest(victim_set, live)?;
         if view.fits(smx, &view.batch(candidate).req) {
             self.stage3_steals += 1;
+            self.trace_dequeue(view.batch(candidate), victim_set);
+            self.trace(TraceEvent::Stage3Steal {
+                thief: smx,
+                victim_set: victim_set as u16,
+                batch: candidate,
+                tbs_moved: 1,
+            });
             return Some(DispatchDecision { batch: candidate, smx });
         }
         None
@@ -241,7 +302,18 @@ impl TbScheduler for LaPermScheduler {
 
     fn on_batch_schedulable(&mut self, batch: &Batch, _cycle: Cycle) {
         match &batch.origin {
-            None => self.queues.push_global(batch.id),
+            None => {
+                self.queues.push_global(batch.id);
+                if self.tracing {
+                    let depth = self.queues.global_occupancy() as u32;
+                    self.trace_buf.push(TraceEvent::QueueEnqueued {
+                        batch: batch.id,
+                        set: 0,
+                        level: 0,
+                        depth,
+                    });
+                }
+            }
             Some(origin) => {
                 let level = self.clamped_level(batch);
                 let set = if self.policy.binds_to_smx() {
@@ -250,6 +322,20 @@ impl TbScheduler for LaPermScheduler {
                     0
                 };
                 self.queues.push(set, level, batch.id);
+                if self.tracing {
+                    self.trace_buf.push(TraceEvent::PriorityAssigned {
+                        batch: batch.id,
+                        raw: batch.priority,
+                        clamped: Priority(level),
+                    });
+                    let depth = self.queues.occupancy(set) as u32;
+                    self.trace_buf.push(TraceEvent::QueueEnqueued {
+                        batch: batch.id,
+                        set: set as u16,
+                        level,
+                        depth,
+                    });
+                }
             }
         }
     }
@@ -298,6 +384,14 @@ impl TbScheduler for LaPermScheduler {
             ("kmu_search_cycles", self.kmu_search_cycles),
             ("max_queue_depth", q.max_depth as u64),
         ]
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.trace_buf);
     }
 }
 
@@ -438,6 +532,91 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert_eq!(steals, 0);
+    }
+
+    #[test]
+    fn tracing_emits_queue_steal_and_priority_events() {
+        let cfg = GpuConfig::figure4_toy();
+        let sink = gpu_sim::trace::VecSink::new();
+        let mut sim = Simulator::new(cfg.clone(), Box::new(Figure4Source))
+            .with_trace(Box::new(sink.clone()))
+            .with_scheduler(Box::new(LaPermScheduler::new(
+                LaPermPolicy::AdaptiveBind,
+                LaPermConfig::for_gpu(&cfg),
+            )))
+            .with_launch_model(LaunchModelKind::Dtbl.build(LaunchLatency::zero()));
+        sim.launch_host_kernel(PARENT, 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+
+        let records = sink.records();
+        let count =
+            |f: &dyn Fn(&TraceEvent) -> bool| records.iter().filter(|r| f(&r.event)).count() as u64;
+        let steals_in_trace = count(&|e| matches!(e, TraceEvent::Stage3Steal { .. }));
+        let steals_counted = stats
+            .scheduler_counters
+            .iter()
+            .find(|(k, _)| *k == "stage3_steals")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(steals_in_trace > 0);
+        assert_eq!(steals_in_trace, steals_counted);
+        // 1 host + 2 dynamic batches enqueue; only dynamic ones get a
+        // priority assignment.
+        assert_eq!(count(&|e| matches!(e, TraceEvent::QueueEnqueued { .. })), 3);
+        assert_eq!(count(&|e| matches!(e, TraceEvent::PriorityAssigned { .. })), 2);
+        // Every dispatched TB was served from some queue.
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::QueueDequeued { .. })),
+            stats.tb_records.len() as u64
+        );
+    }
+
+    #[test]
+    fn untraced_scheduler_buffers_nothing() {
+        use gpu_sim::kernel::{BatchKind, BatchState, Origin};
+        use gpu_sim::types::Priority;
+
+        let cfg = LaPermConfig::for_gpu(&GpuConfig::small_test());
+        let mut sched = LaPermScheduler::new(LaPermPolicy::AdaptiveBind, cfg);
+        let batch = Batch {
+            id: BatchId(0),
+            batch_kind: BatchKind::TbGroup,
+            kind: gpu_sim::program::KernelKindId(1),
+            param: 0,
+            num_tbs: 4,
+            req: ResourceReq::new(32, 8, 0),
+            origin: Some(Origin {
+                parent_batch: BatchId(0),
+                parent_tb: 0,
+                parent_smx: SmxId(0),
+                parent_priority: Priority::HOST,
+            }),
+            priority: Priority(1),
+            created_at: 0,
+            schedulable_at: Some(0),
+            state: BatchState::Schedulable,
+            next_tb: 0,
+            finished_tbs: 0,
+            kdu_entry: Some(0),
+        };
+        // Tracing off (the default): enqueueing must leave nothing to
+        // drain, so untraced runs never grow the event buffer.
+        sched.on_batch_schedulable(&batch, 0);
+        let mut out = Vec::new();
+        sched.drain_trace(&mut out);
+        assert!(out.is_empty());
+
+        // Flipped on, the same notification produces events.
+        sched.set_tracing(true);
+        sched.on_batch_schedulable(&batch, 0);
+        sched.drain_trace(&mut out);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueueEnqueued { batch: BatchId(0), .. })));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            TraceEvent::PriorityAssigned { raw: Priority(1), clamped: Priority(1), .. }
+        )));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub struct Simulator {
     // nothing in steady state.
     delivery_scratch: Vec<Delivery>,
     smx_free_scratch: Vec<SmxResources>,
+    sched_trace_scratch: Vec<TraceEvent>,
     trace: Option<Box<dyn TraceSink>>,
 }
 
@@ -107,13 +108,15 @@ impl Simulator {
             fast_forwarded_cycles: 0,
             delivery_scratch: Vec::new(),
             smx_free_scratch: Vec::new(),
+            sched_trace_scratch: Vec::new(),
             trace: None,
             cfg,
         }
     }
 
     /// Replaces the TB scheduler (call before launching kernels).
-    pub fn with_scheduler(mut self, scheduler: Box<dyn TbScheduler>) -> Self {
+    pub fn with_scheduler(mut self, mut scheduler: Box<dyn TbScheduler>) -> Self {
+        scheduler.set_tracing(self.trace.is_some());
         self.scheduler = scheduler;
         self
     }
@@ -127,6 +130,7 @@ impl Simulator {
     /// Attaches a scheduling-event trace sink (see [`crate::trace`]).
     pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self.scheduler.set_tracing(true);
         self
     }
 
@@ -134,6 +138,21 @@ impl Simulator {
         if let Some(sink) = &mut self.trace {
             sink.record(cycle, event);
         }
+    }
+
+    /// Forwards events buffered inside the TB scheduler to the sink,
+    /// stamped with the current cycle. A branch and nothing else when no
+    /// sink is attached (schedulers only buffer while tracing is on).
+    fn drain_sched_trace(&mut self, now: Cycle) {
+        if self.trace.is_none() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.sched_trace_scratch);
+        self.scheduler.drain_trace(&mut buf);
+        for event in buf.drain(..) {
+            self.emit(now, event);
+        }
+        self.sched_trace_scratch = buf;
     }
 
     /// The hardware configuration.
@@ -312,6 +331,9 @@ impl Simulator {
                 batches: &self.batches,
                 smx_free: &self.smx_free_scratch,
             });
+            // Queue dequeues / steals / backup adoptions happen inside
+            // `pick`; surface them before the dispatch they produced.
+            self.drain_sched_trace(now);
             if let Some(d) = decision {
                 self.place(d, now)?;
             }
@@ -393,7 +415,12 @@ impl Simulator {
         // same cycle count as single-stepping would.
         let target = target.min(self.cfg.max_cycles.saturating_add(1));
         if target > self.cycle {
-            self.fast_forwarded_cycles += target - self.cycle;
+            let skipped = target - self.cycle;
+            self.fast_forwarded_cycles += skipped;
+            // No stall bookkeeping needed: SMX accounting is deferred,
+            // so skipped cycles are charged to each SMX's (unchanged)
+            // wait cause on its next active step or stats read.
+            self.emit(self.cycle, TraceEvent::FastForward { from: self.cycle, to: target });
             self.cycle = target;
         }
     }
@@ -435,6 +462,7 @@ impl Simulator {
             mshr_merges: self.mem.mshr_merges(),
             l2_writebacks: self.mem.l2_writebacks(),
             smx_busy_cycles: self.smxs.iter().map(|s| s.busy_cycles).collect(),
+            smx_stalls: self.smxs.iter().map(|s| s.stalls(self.cycle)).collect(),
             smx_tbs: self.smxs.iter().map(|s| s.tbs_executed).collect(),
             tb_records: self.tb_records.clone(),
             scheduler_counters: self.scheduler.counters(),
@@ -510,6 +538,7 @@ impl Simulator {
         self.sched_list.insert(pos, id);
         self.sched_seq.insert(pos, seq);
         self.scheduler.on_batch_schedulable(&self.batches[id.index()], now);
+        self.drain_sched_trace(now);
     }
 
     fn prune_sched_list(&mut self) {

@@ -13,6 +13,7 @@ use crate::kernel::ResourceReq;
 use crate::mem::MemorySystem;
 use crate::program::{MemSpace, TbOp, TbProgram};
 use crate::smem::conflict_passes;
+use crate::stats::{StallBreakdown, StallCause};
 use crate::types::{Addr, Cycle, LineAddr, SmxId, TbRef};
 use crate::warp::Warp;
 use crate::warp_sched::{WarpCandidate, WarpScheduler};
@@ -85,10 +86,20 @@ pub struct ResidentTb {
     /// Cycle the TB started executing.
     pub started_at: Cycle,
     /// Earliest cycle any of this TB's warps can act (issue, finalize,
-    /// or leave a barrier). Recomputed by the post-issue pass and reset
+    /// or leave a barrier), packed as in [`Warp::set_ready`]: cycle in
+    /// the high bits, the [`StallCause`] the wait is attributable to in
+    /// the low three. Recomputed by the post-issue pass and reset
     /// whenever one of the TB's warps issues; lets both scan loops skip
-    /// TBs that are provably asleep.
-    next_ready: Cycle,
+    /// TBs that are provably asleep with a single compare, and keeps the
+    /// cause across cycles the TB is skipped.
+    next_packed: u64,
+}
+
+impl ResidentTb {
+    /// Earliest cycle any of this TB's warps can act.
+    fn next_ready(&self) -> Cycle {
+        self.next_packed >> 3
+    }
 }
 
 /// A retired thread block.
@@ -140,6 +151,16 @@ pub struct Smx {
     line_scratch: Vec<LineAddr>,
     /// Cycles in which at least one warp instruction issued.
     pub busy_cycles: u64,
+    /// Stall cycles by cause; `busy_cycles + stall.total()` equals the
+    /// cycles this SMX was stepped (or fast-forward-credited) over.
+    stall: StallBreakdown,
+    /// Cause charged for cycles `step` skips before `next_event`
+    /// (recomputed by every full post-issue pass).
+    wait_cause: StallCause,
+    /// First cycle not yet accounted in `stall`/`busy_cycles`: skip
+    /// paths do no per-cycle work, and `[stall_anchor, now)` is charged
+    /// to `wait_cause` in bulk on the next active step (or read).
+    stall_anchor: Cycle,
     /// Warp instructions issued.
     pub warp_instructions: u64,
     /// Thread instructions issued (warp instructions × active threads).
@@ -170,6 +191,9 @@ impl Smx {
             addr_scratch: Vec::new(),
             line_scratch: Vec::new(),
             busy_cycles: 0,
+            stall: StallBreakdown::default(),
+            wait_cause: StallCause::NoTb,
+            stall_anchor: 0,
             warp_instructions: 0,
             thread_instructions: 0,
             instruction_mix: crate::stats::InstructionMix::default(),
@@ -204,6 +228,19 @@ impl Smx {
     /// `true` if a TB with requirement `req` can be placed now.
     pub fn fits(&self, req: &ResourceReq) -> bool {
         self.free.fits(req)
+    }
+
+    /// Stall-cycle breakdown accumulated up to cycle `now` (exclusive).
+    ///
+    /// Accounting is deferred: the skip paths of [`step`](Self::step) do
+    /// no bookkeeping, and the span since the last active step — during
+    /// which nothing mutated, so the cause cannot have changed — is
+    /// charged in bulk here and at the start of the next active step.
+    /// This also makes idle-cycle fast-forward accounting-free.
+    pub fn stalls(&self, now: Cycle) -> StallBreakdown {
+        let mut stalls = self.stall;
+        stalls.add(self.wait_cause, now.saturating_sub(self.stall_anchor));
+        stalls
     }
 
     /// Places a TB onto this SMX.
@@ -242,7 +279,7 @@ impl Smx {
             req,
             dispatch_seq,
             started_at: now,
-            next_ready: now,
+            next_packed: (now << 3) | StallCause::Scoreboard.code(),
         });
         self.tbs_executed += 1;
         self.next_event = self.next_event.min(now);
@@ -252,8 +289,20 @@ impl Smx {
     pub fn step(&mut self, now: Cycle, mem: &mut MemorySystem, cfg: &GpuConfig) -> SmxEvents {
         let mut events = SmxEvents::default();
         if self.resident.is_empty() || now < self.next_event {
+            // Skipped cycles are charged in bulk by the next active step
+            // (or by `stalls`): `wait_cause` cannot change while the SMX
+            // is skipping, and it is `NoTb` whenever nothing is resident.
             return events;
         }
+        // Charge the cycles skipped since the last active step, then
+        // account this cycle below (busy, or `entry_cause` if the full
+        // pass issues nothing — the cycle went to finalization or a
+        // barrier release).
+        let entry_cause = self.wait_cause;
+        if now > self.stall_anchor {
+            self.stall.add(entry_cause, now - self.stall_anchor);
+        }
+        self.stall_anchor = now + 1;
 
         // The ready set is computed once per cycle: nothing issued within
         // a cycle can wake another warp (every op costs >= 1 cycle, a
@@ -267,7 +316,7 @@ impl Smx {
         candidates.clear();
         locations.clear();
         for (ti, tb) in self.resident.iter().enumerate() {
-            if tb.next_ready > now {
+            if tb.next_ready() > now {
                 // No warp of this TB can be ready before `next_ready`;
                 // skipping it leaves the candidate order unchanged.
                 continue;
@@ -303,6 +352,8 @@ impl Smx {
 
         if issued_any {
             self.busy_cycles += 1;
+        } else {
+            self.stall.bump(entry_cause);
         }
         events
     }
@@ -321,8 +372,8 @@ impl Smx {
         let smx_id = self.id;
         let tb = &mut self.resident[ti];
         // Issuing changes this TB's warp state; force the post-issue pass
-        // to rescan it and recompute its `next_ready`.
-        tb.next_ready = now;
+        // to rescan it and recompute its `next_packed`.
+        tb.next_packed = now << 3;
         // Borrow the op in place (cloning a `Gather` would copy nothing,
         // but the enum move still showed up in profiles); only a rare
         // `Launch` clones its spec below.
@@ -336,14 +387,14 @@ impl Smx {
             TbOp::Compute(c) => {
                 self.instruction_mix.compute += 1;
                 let cost = u64::from((*c).max(1)) + u64::from(cfg.alu_latency);
-                tb.warps[wi].ready_at = now + cost;
+                tb.warps[wi].set_ready(now + cost, StallCause::Scoreboard);
                 tb.warps[wi].pc += 1;
             }
             TbOp::ComputeMasked { cycles, active } => {
                 self.instruction_mix.compute += 1;
                 counted_threads = (*active).min(active_threads);
                 let cost = u64::from((*cycles).max(1)) + u64::from(cfg.alu_latency);
-                tb.warps[wi].ready_at = now + cost;
+                tb.warps[wi].set_ready(now + cost, StallCause::Scoreboard);
                 tb.warps[wi].pc += 1;
             }
             TbOp::Mem(m) => {
@@ -352,7 +403,7 @@ impl Smx {
                     MemSpace::Global if m.is_store => self.instruction_mix.stores += 1,
                     MemSpace::Global => self.instruction_mix.loads += 1,
                 }
-                let latency = match m.space {
+                let (latency, wait) = match m.space {
                     MemSpace::Shared => {
                         m.pattern.warp_addrs_into(
                             warp_index,
@@ -360,7 +411,8 @@ impl Smx {
                             tb.threads,
                             &mut addrs,
                         );
-                        u64::from(cfg.smem_latency) * u64::from(conflict_passes(&addrs))
+                        let passes = u64::from(conflict_passes(&addrs));
+                        (u64::from(cfg.smem_latency) * passes, StallCause::Scoreboard)
                     }
                     MemSpace::Global => {
                         m.pattern.warp_addrs_into(
@@ -370,14 +422,22 @@ impl Smx {
                             &mut addrs,
                         );
                         if addrs.is_empty() {
-                            1
+                            (1, StallCause::Scoreboard)
                         } else {
                             coalesce_into(&addrs, cfg.line_bits(), &mut lines);
-                            mem.warp_access(smx_id, &lines, m.is_store, tb.class, now).max(1)
+                            let mshr_full_before = mem.mshr_full_events();
+                            let lat =
+                                mem.warp_access(smx_id, &lines, m.is_store, tb.class, now).max(1);
+                            let wait = if mem.mshr_full_events() > mshr_full_before {
+                                StallCause::MshrFull
+                            } else {
+                                StallCause::MemoryPending
+                            };
+                            (lat, wait)
                         }
                     }
                 };
-                tb.warps[wi].ready_at = now + latency;
+                tb.warps[wi].set_ready(now + latency, wait);
                 tb.warps[wi].pc += 1;
             }
             TbOp::Launch(spec) => {
@@ -388,9 +448,12 @@ impl Smx {
                         by: tb.tb,
                         smx: smx_id,
                     });
-                    tb.warps[wi].ready_at = now + u64::from(cfg.launch_issue_cycles);
+                    tb.warps[wi].set_ready(
+                        now + u64::from(cfg.launch_issue_cycles),
+                        StallCause::Scoreboard,
+                    );
                 } else {
-                    tb.warps[wi].ready_at = now + 1;
+                    tb.warps[wi].set_ready(now + 1, StallCause::Scoreboard);
                 }
                 tb.warps[wi].pc += 1;
             }
@@ -414,15 +477,15 @@ impl Smx {
     /// is per-TB-local, so one interleaved pass is equivalent to running
     /// them as four separate sweeps.
     fn finalize_retire_recompute(&mut self, now: Cycle, events: &mut SmxEvents) {
-        let mut next = Cycle::MAX;
+        let mut next_packed = u64::MAX;
         let mut i = 0;
         while i < self.resident.len() {
             let tb = &mut self.resident[i];
-            if tb.next_ready > now {
+            if tb.next_ready() > now {
                 // Asleep: no warp issued this cycle and none can finalize
                 // or leave a barrier before `next_ready`, so the TB's
                 // state is exactly as the pass that computed it left it.
-                next = next.min(tb.next_ready);
+                next_packed = next_packed.min(tb.next_packed);
                 i += 1;
                 continue;
             }
@@ -430,16 +493,20 @@ impl Smx {
             let mut all_arrived = !tb.warps.is_empty();
             let mut any_waiting = false;
             let mut all_done = true;
-            let mut tb_next = Cycle::MAX;
+            // Critical-path tracking stays branchless: the warps' packed
+            // `(ready_at, wait)` words keep the inner loop a plain `min`,
+            // exactly as hot as tracking the cycle alone. Ties on the
+            // cycle resolve to the smallest cause code — deterministic.
+            let mut tb_packed = u64::MAX;
             for w in &mut tb.warps {
-                if !w.done && !w.at_barrier && w.pc >= len && w.ready_at <= now {
+                if !w.done && !w.at_barrier && w.pc >= len && w.ready_at() <= now {
                     w.done = true;
                 }
                 any_waiting |= w.at_barrier;
                 all_arrived &= w.at_barrier || w.done;
                 all_done &= w.done;
                 if !w.done && !w.at_barrier {
-                    tb_next = tb_next.min(w.ready_at);
+                    tb_packed = tb_packed.min(w.ready_packed());
                 }
             }
             if all_arrived && any_waiting {
@@ -447,13 +514,13 @@ impl Smx {
                     if w.at_barrier {
                         w.at_barrier = false;
                         w.pc += 1;
-                        w.ready_at = now + 1;
+                        w.set_ready(now + 1, StallCause::Barrier);
                     }
                 }
                 // Released warps become ready at `now + 1`, which is
                 // already the floor `next_event` is clamped to.
                 all_done = false;
-                tb_next = now + 1;
+                tb_packed = ((now + 1) << 3) | StallCause::Barrier.code();
             }
             if all_done || tb.program.is_empty() {
                 let tb = self.resident.remove(i);
@@ -465,14 +532,22 @@ impl Smx {
                     finished_at: now,
                 });
             } else {
-                self.resident[i].next_ready = tb_next;
-                next = next.min(tb_next);
+                // A surviving awake TB has a live warp (else it retired
+                // or released a barrier above), so `tb_packed` is real.
+                self.resident[i].next_packed = tb_packed;
+                next_packed = next_packed.min(tb_packed);
                 i += 1;
             }
         }
         // A TB whose warps are all at a barrier is released within the same
-        // step, so `next` only stays MAX when nothing is resident.
-        self.next_event = if next == Cycle::MAX { now + 1 } else { next.max(now + 1) };
+        // step, so `next_packed` only stays MAX when nothing is resident.
+        if next_packed == u64::MAX {
+            self.next_event = now + 1;
+            self.wait_cause = StallCause::NoTb;
+        } else {
+            self.next_event = (next_packed >> 3).max(now + 1);
+            self.wait_cause = StallCause::from_code(next_packed & 7);
+        }
     }
 }
 

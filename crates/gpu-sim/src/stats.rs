@@ -4,6 +4,97 @@ use crate::cache::CacheStats;
 use crate::program::KernelKindId;
 use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
 
+/// Why an SMX failed to issue on a given cycle.
+///
+/// Exactly one cause is charged per SMX per non-issuing cycle, so per
+/// SMX `busy_cycles + StallBreakdown::total() == cycles` (asserted by
+/// `tests/stall_attribution.rs`). A stalled cycle is attributed to the
+/// wait of the *earliest-ready* warp of the earliest-ready resident TB
+/// — the critical path out of the stall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting on an ALU / shared-memory / launch-issue latency.
+    #[default]
+    Scoreboard,
+    /// Waiting on an in-flight global-memory access.
+    MemoryPending,
+    /// Waiting on a global-memory access that found the MSHR file full.
+    MshrFull,
+    /// Waiting for the TB's warps to arrive at a barrier.
+    Barrier,
+    /// No resident TB at all (starved by the TB scheduler or done).
+    NoTb,
+}
+
+impl StallCause {
+    /// Compact code (declaration order) for packing a cause next to a
+    /// cycle count in one word; inverse of [`from_code`](Self::from_code).
+    pub(crate) fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes [`code`](Self::code); values above the range map to
+    /// [`NoTb`](Self::NoTb).
+    pub(crate) fn from_code(code: u64) -> Self {
+        match code {
+            0 => StallCause::Scoreboard,
+            1 => StallCause::MemoryPending,
+            2 => StallCause::MshrFull,
+            3 => StallCause::Barrier,
+            _ => StallCause::NoTb,
+        }
+    }
+}
+
+/// Per-SMX stall-cycle histogram, one bucket per [`StallCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles stalled on scoreboard (ALU/shared/launch) latencies.
+    pub scoreboard: u64,
+    /// Cycles stalled on in-flight global-memory accesses.
+    pub memory_pending: u64,
+    /// Cycles stalled behind an MSHR-full global access.
+    pub mshr_full: u64,
+    /// Cycles stalled at barriers.
+    pub barrier: u64,
+    /// Cycles with no resident TB.
+    pub no_tb: u64,
+}
+
+impl StallBreakdown {
+    /// Charges `n` cycles to `cause`.
+    #[inline]
+    pub fn add(&mut self, cause: StallCause, n: u64) {
+        match cause {
+            StallCause::Scoreboard => self.scoreboard += n,
+            StallCause::MemoryPending => self.memory_pending += n,
+            StallCause::MshrFull => self.mshr_full += n,
+            StallCause::Barrier => self.barrier += n,
+            StallCause::NoTb => self.no_tb += n,
+        }
+    }
+
+    /// Charges one cycle to `cause`.
+    #[inline]
+    pub fn bump(&mut self, cause: StallCause) {
+        self.add(cause, 1);
+    }
+
+    /// Total stalled cycles across all causes.
+    pub fn total(&self) -> u64 {
+        self.scoreboard + self.memory_pending + self.mshr_full + self.barrier + self.no_tb
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.scoreboard += other.scoreboard;
+        self.memory_pending += other.memory_pending;
+        self.mshr_full += other.mshr_full;
+        self.barrier += other.barrier;
+        self.no_tb += other.no_tb;
+    }
+}
+
 /// Per-thread-block execution record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TbRecord {
@@ -159,6 +250,9 @@ pub struct SimStats {
     pub l2_writebacks: u64,
     /// Busy cycles per SMX.
     pub smx_busy_cycles: Vec<u64>,
+    /// Stall-cause breakdown per SMX. Per SMX,
+    /// `smx_busy_cycles[i] + smx_stalls[i].total() == cycles`.
+    pub smx_stalls: Vec<StallBreakdown>,
     /// TBs executed per SMX.
     pub smx_tbs: Vec<u64>,
     /// Per-TB records, in dispatch order.
@@ -205,6 +299,15 @@ impl SimStats {
         } else {
             max / mean
         }
+    }
+
+    /// Stall cycles summed over all SMXs, by cause.
+    pub fn total_stalls(&self) -> StallBreakdown {
+        let mut total = StallBreakdown::default();
+        for s in &self.smx_stalls {
+            total.merge(s);
+        }
+        total
     }
 
     /// Dynamic (child) TB count.
@@ -274,6 +377,18 @@ impl SimStats {
             format!(
                 "{} compute / {} load / {} store / {} shared / {} launch / {} barrier",
                 mix.compute, mix.loads, mix.stores, mix.shared, mix.launches, mix.barriers
+            ),
+        );
+        let stalls = self.total_stalls();
+        line(
+            "stall cycles",
+            format!(
+                "{} scoreboard / {} mem / {} mshr-full / {} barrier / {} no-TB",
+                stalls.scoreboard,
+                stalls.memory_pending,
+                stalls.mshr_full,
+                stalls.barrier,
+                stalls.no_tb
             ),
         );
         for (name, v) in &self.scheduler_counters {
@@ -365,6 +480,24 @@ mod tests {
         mix.merge(&InstructionMix { compute: 1, ..Default::default() });
         assert_eq!(mix.total(), 13);
         assert_eq!(InstructionMix::default().memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_breakdown_totals_and_merges() {
+        let mut b = StallBreakdown::default();
+        b.bump(StallCause::Scoreboard);
+        b.add(StallCause::MemoryPending, 3);
+        b.add(StallCause::MshrFull, 2);
+        b.bump(StallCause::Barrier);
+        b.add(StallCause::NoTb, 5);
+        assert_eq!(b.total(), 12);
+        let mut other = StallBreakdown::default();
+        other.merge(&b);
+        other.merge(&b);
+        assert_eq!(other.total(), 24);
+        assert_eq!(other.memory_pending, 6);
+        let stats = SimStats { smx_stalls: vec![b, b, b], ..Default::default() };
+        assert_eq!(stats.total_stalls().total(), 36);
     }
 
     #[test]

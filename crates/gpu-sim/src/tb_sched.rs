@@ -9,6 +9,7 @@
 
 use crate::kernel::{Batch, ResourceReq};
 use crate::smx::SmxResources;
+use crate::trace::TraceEvent;
 use crate::types::{BatchId, Cycle, SmxId, TbRef};
 
 /// A read-only snapshot the scheduler uses to make one dispatch decision.
@@ -120,6 +121,17 @@ pub trait TbScheduler: Send {
     fn counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Enables or disables event reporting. The engine turns this on when
+    /// a [`TraceSink`](crate::trace::TraceSink) is attached; while off (the
+    /// default), implementations must not buffer or allocate anything, so
+    /// untraced runs pay nothing.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Moves events buffered since the last drain into `out` (in the
+    /// order they happened). The engine drains after every call that can
+    /// produce events and timestamps them with the current cycle.
+    fn drain_trace(&mut self, _out: &mut Vec<TraceEvent>) {}
 }
 
 impl std::fmt::Debug for Box<dyn TbScheduler> {

@@ -1,5 +1,6 @@
 //! Warp execution state.
 
+use crate::stats::StallCause;
 use crate::types::Cycle;
 
 /// Execution state of one warp within a resident thread block.
@@ -9,8 +10,12 @@ pub struct Warp {
     pub index: u32,
     /// Program counter: index into the TB program's op list.
     pub pc: usize,
-    /// Cycle at which the warp may issue its next op.
-    pub ready_at: Cycle,
+    /// Packed readiness: the cycle at which the warp may issue its next
+    /// op, shifted left three bits, with the [`StallCause`] code of the
+    /// latency it is waiting on in the low bits. One word — ordered by
+    /// cycle first, cause code second — keeps the per-warp scans in
+    /// `Smx::step` single compares on the hot path.
+    ready: u64,
     /// The warp has arrived at a `Sync` op and waits for its TB.
     pub at_barrier: bool,
     /// The warp has executed every op of the program.
@@ -20,12 +25,37 @@ pub struct Warp {
 impl Warp {
     /// Creates a warp ready to issue at `start`.
     pub fn new(index: u32, start: Cycle) -> Self {
-        Warp { index, pc: 0, ready_at: start, at_barrier: false, done: false }
+        Warp { index, pc: 0, ready: start << 3, at_barrier: false, done: false }
+    }
+
+    /// Cycle at which the warp may issue its next op.
+    pub fn ready_at(&self) -> Cycle {
+        self.ready >> 3
+    }
+
+    /// What the wait until [`ready_at`](Self::ready_at) is attributable
+    /// to (set by the op that produced the latency; feeds stall-cause
+    /// accounting).
+    pub fn wait(&self) -> StallCause {
+        StallCause::from_code(self.ready & 7)
+    }
+
+    /// Sets the next issue cycle and the cause its wait is charged to
+    /// (cycle counts stay far below 2^61, so the shift is safe).
+    pub fn set_ready(&mut self, at: Cycle, wait: StallCause) {
+        self.ready = (at << 3) | wait.code();
+    }
+
+    /// The packed `(ready_at, wait)` word, ordered by cycle first; lets
+    /// `Smx` track the earliest-ready warp *and* its cause with a plain
+    /// integer `min`.
+    pub(crate) fn ready_packed(&self) -> u64 {
+        self.ready
     }
 
     /// `true` if the warp can issue an op at `now`.
     pub fn is_ready(&self, now: Cycle) -> bool {
-        !self.done && !self.at_barrier && self.ready_at <= now
+        !self.done && !self.at_barrier && self.ready_at() <= now
     }
 }
 
@@ -53,5 +83,15 @@ mod tests {
         let mut w = Warp::new(0, 0);
         w.done = true;
         assert!(!w.is_ready(u64::MAX));
+    }
+
+    #[test]
+    fn packed_ready_roundtrips_cycle_and_cause() {
+        let mut w = Warp::new(0, 0);
+        w.set_ready(1234, StallCause::MemoryPending);
+        assert_eq!(w.ready_at(), 1234);
+        assert_eq!(w.wait(), StallCause::MemoryPending);
+        assert!(!w.is_ready(1233));
+        assert!(w.is_ready(1234));
     }
 }

@@ -6,7 +6,7 @@ use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::error::SimError;
-use gpu_sim::stats::SimStats;
+use gpu_sim::stats::{SimStats, StallBreakdown};
 use gpu_sim::tb_sched::{RoundRobinScheduler, TbScheduler};
 use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
 use workloads::{SharedSource, Workload};
@@ -109,6 +109,8 @@ pub struct RunRecord {
     pub max_queue_depth: u64,
     /// Modeled queue entry-search work in cycles.
     pub queue_search_cycles: u64,
+    /// Stall cycles summed over all SMXs, by cause.
+    pub stalls: StallBreakdown,
 }
 
 impl RunRecord {
@@ -136,6 +138,7 @@ impl RunRecord {
             queue_pushes: counter("queue_pushes"),
             max_queue_depth: counter("max_queue_depth"),
             queue_search_cycles: counter("queue_search_cycles"),
+            stalls: stats.total_stalls(),
         }
     }
 }

@@ -11,13 +11,21 @@
 //!   simulation (when does the locality benefit materialize?).
 //! * [`export`] — CSV rendering of run records and timelines for
 //!   external plotting.
+//! * [`registry`] — counter/gauge/histogram registry with a standard
+//!   metric set derived from a run's stats and trace.
+//! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export of a
+//!   traced run, plus the validator the CI smoke step uses.
 
 pub mod export;
 pub mod footprint;
 pub mod harness;
+pub mod perfetto;
+pub mod registry;
 pub mod report;
 pub mod timeline;
 
 pub use footprint::{FootprintAnalysis, FootprintSummary};
 pub use harness::{run_once, RunRecord, SchedulerKind};
+pub use perfetto::{perfetto_json, validate_trace, TraceCheck};
+pub use registry::{registry_for_run, Histogram, MetricsRegistry};
 pub use timeline::{run_timeline, TimelinePoint};

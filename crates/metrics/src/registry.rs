@@ -1,0 +1,374 @@
+//! A lightweight counter/gauge/histogram registry.
+//!
+//! One [`MetricsRegistry`] collects everything a run wants to report:
+//! monotonically accumulated counters, point-in-time gauges, and
+//! [`Histogram`]s with fixed power-of-two buckets (so recording is two
+//! instructions and the memory footprint is constant, no matter how many
+//! samples go in). The harness, timeline, Perfetto exporter, and the
+//! `laperm-trace` CLI all speak this one vocabulary; [`registry_for_run`]
+//! builds the standard registry from a finished run's statistics and
+//! trace.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::stats::SimStats;
+use gpu_sim::trace::{TraceEvent, TraceRecord};
+
+/// A histogram with fixed power-of-two buckets.
+///
+/// Bucket 0 counts the value 0; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i)`. With 65 buckets every `u64` is representable, so
+/// [`record`](Self::record) never reallocates or saturates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        64 - value.leading_zeros() as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (its label).
+    fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i).wrapping_sub(1).max(1u64 << (i - 1))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the top of the
+    /// first bucket at which the cumulative count reaches `q * count`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                return Self::bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_hi(i), c))
+            .collect()
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The histogram `name`, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Reads a counter (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A human-readable dump: one metric per line, histograms with
+    /// count/mean/p50/p99/max.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<32}{v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<32}{v:.4}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<32}count {} / mean {:.1} / p50 <= {} / p99 <= {} / max {}\n",
+                h.count(),
+                h.mean(),
+                h.quantile_upper_bound(0.5),
+                h.quantile_upper_bound(0.99),
+                h.max(),
+            ));
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object (hand-rolled; the workspace
+    /// has no serde). Histograms serialize their summary plus the
+    /// non-empty `[bucket upper bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            out.push_str(if first { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{name}\": {v}"));
+            first = false;
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            out.push_str(if first { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{name}\": {v:.6}"));
+            first = false;
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            out.push_str(if first { "\n" } else { ",\n" });
+            let buckets: Vec<String> =
+                h.nonzero_buckets().iter().map(|(hi, c)| format!("[{hi}, {c}]")).collect();
+            out.push_str(&format!(
+                "    \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                h.count(),
+                h.sum(),
+                h.max(),
+                buckets.join(", ")
+            ));
+            first = false;
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Builds the standard registry for one finished run: headline counters
+/// and gauges from `stats`, plus child-wait, TB-residency, and
+/// queue-depth histograms (the latter sampled from the trace's
+/// enqueue/dequeue events, empty when no trace was collected).
+pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.count("cycles", stats.cycles);
+    reg.count("warp_instructions", stats.warp_instructions);
+    reg.count("thread_instructions", stats.thread_instructions);
+    reg.count("dram_accesses", stats.dram_accesses);
+    reg.count("tbs_total", stats.tb_records.len() as u64);
+    reg.count("tbs_dynamic", stats.dynamic_tbs() as u64);
+    for (name, v) in &stats.scheduler_counters {
+        reg.count(name, *v);
+    }
+    let stalls = stats.total_stalls();
+    reg.count("stall_scoreboard_cycles", stalls.scoreboard);
+    reg.count("stall_memory_pending_cycles", stalls.memory_pending);
+    reg.count("stall_mshr_full_cycles", stalls.mshr_full);
+    reg.count("stall_barrier_cycles", stalls.barrier);
+    reg.count("stall_no_tb_cycles", stalls.no_tb);
+
+    reg.gauge("ipc", stats.ipc());
+    reg.gauge("l1_hit_rate", stats.l1.hit_rate());
+    reg.gauge("l2_hit_rate", stats.l2.hit_rate());
+    reg.gauge("parent_smx_affinity", stats.parent_smx_affinity());
+    reg.gauge("smx_utilization", stats.smx_utilization());
+    reg.gauge("load_imbalance", stats.load_imbalance());
+    reg.gauge("mean_child_wait", stats.mean_child_wait());
+
+    for r in &stats.tb_records {
+        if r.is_dynamic {
+            reg.histogram("child_wait_cycles").record(r.dispatched_at.saturating_sub(r.created_at));
+        }
+        let name = if r.is_dynamic { "child_resident_cycles" } else { "parent_resident_cycles" };
+        reg.histogram(name).record(r.finished_at.saturating_sub(r.dispatched_at));
+    }
+    for r in records {
+        match r.event {
+            TraceEvent::QueueEnqueued { depth, .. } | TraceEvent::QueueDequeued { depth, .. } => {
+                reg.histogram("queue_depth").record(u64::from(depth));
+            }
+            _ => {}
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::types::BatchId;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.max(), 1024);
+        let buckets = h.nonzero_buckets();
+        // 0 | 1 | [2,3] | [4,7] | [8,15] | [1024,2047]
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (2047, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_from_above() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1000);
+        assert!(h.quantile_upper_bound(0.5) >= 4);
+        assert!(h.quantile_upper_bound(0.5) < 8);
+        assert_eq!(h.quantile_upper_bound(1.0), 1000);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+        assert!((h.mean() - (99.0 * 4.0 + 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_counts_gauges_and_renders() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("widgets", 2);
+        reg.count("widgets", 3);
+        reg.gauge("speed", 1.5);
+        reg.histogram("lat").record(7);
+        assert_eq!(reg.counter_value("widgets"), 5);
+        assert_eq!(reg.gauge_value("speed"), Some(1.5));
+        assert_eq!(reg.histogram_value("lat").unwrap().count(), 1);
+        let text = reg.render();
+        assert!(text.contains("widgets"));
+        assert!(text.contains("1.5000"));
+        assert!(text.contains("p99"));
+        let json = reg.to_json();
+        assert!(json.contains("\"widgets\": 5"));
+        assert!(json.contains("\"lat\": {\"count\": 1"));
+    }
+
+    #[test]
+    fn run_registry_builds_standard_metrics() {
+        use gpu_sim::program::KernelKindId;
+        use gpu_sim::stats::TbRecord;
+        use gpu_sim::types::{Priority, SmxId, TbRef};
+
+        let stats = SimStats {
+            cycles: 100,
+            tb_records: vec![
+                TbRecord {
+                    tb: TbRef { batch: BatchId(0), index: 0 },
+                    kind: KernelKindId(0),
+                    smx: SmxId(0),
+                    priority: Priority(0),
+                    is_dynamic: false,
+                    parent: None,
+                    created_at: 0,
+                    dispatched_at: 0,
+                    finished_at: 50,
+                },
+                TbRecord {
+                    tb: TbRef { batch: BatchId(1), index: 0 },
+                    kind: KernelKindId(1),
+                    smx: SmxId(0),
+                    priority: Priority(1),
+                    is_dynamic: true,
+                    parent: Some((BatchId(0), 0, SmxId(0))),
+                    created_at: 10,
+                    dispatched_at: 30,
+                    finished_at: 60,
+                },
+            ],
+            ..Default::default()
+        };
+        let trace = vec![
+            TraceRecord {
+                cycle: 5,
+                event: TraceEvent::QueueEnqueued { batch: BatchId(1), set: 0, level: 1, depth: 3 },
+            },
+            TraceRecord {
+                cycle: 9,
+                event: TraceEvent::QueueDequeued { batch: BatchId(1), set: 0, level: 1, depth: 2 },
+            },
+        ];
+        let reg = registry_for_run(&stats, &trace);
+        assert_eq!(reg.counter_value("cycles"), 100);
+        assert_eq!(reg.counter_value("tbs_dynamic"), 1);
+        let wait = reg.histogram_value("child_wait_cycles").unwrap();
+        assert_eq!(wait.count(), 1);
+        assert_eq!(wait.sum(), 20);
+        assert_eq!(reg.histogram_value("queue_depth").unwrap().count(), 2);
+        assert_eq!(reg.histogram_value("parent_resident_cycles").unwrap().sum(), 50);
+        assert_eq!(reg.histogram_value("child_resident_cycles").unwrap().sum(), 30);
+    }
+}

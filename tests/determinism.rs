@@ -9,6 +9,7 @@ use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::stats::SimStats;
+use gpu_sim::trace::{TraceEvent, TraceRecord, VecSink};
 use sim_metrics::harness::SchedulerKind;
 use workloads::{suite, Scale, SharedSource, Workload};
 
@@ -31,6 +32,28 @@ fn run(
     }
     let stats = sim.run_to_completion().expect("run to completion");
     (stats, sim.fast_forwarded_cycles())
+}
+
+/// [`run`] with a trace sink attached, returning the event stream too.
+fn run_traced(
+    w: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    sched: SchedulerKind,
+    fast_forward: bool,
+) -> (SimStats, Vec<TraceRecord>) {
+    let mut cfg = GpuConfig::small_test();
+    cfg.num_smxs = 4;
+    cfg.fast_forward = fast_forward;
+    let sink = VecSink::new();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+        .with_scheduler(sched.build(&cfg))
+        .with_launch_model(model.build(LaunchLatency::default_for(model)))
+        .with_trace(Box::new(sink.clone()));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+    }
+    let stats = sim.run_to_completion().expect("run to completion");
+    (stats, sink.records())
 }
 
 #[test]
@@ -69,4 +92,42 @@ fn fast_forward_changes_no_statistic() {
     // engaged somewhere in the sweep (CDP launch latencies leave the
     // machine idle while a child kernel matures).
     assert!(total_skipped > 0, "fast-forward never skipped a cycle");
+}
+
+#[test]
+fn fast_forward_preserves_trace_stream() {
+    // Beyond the aggregate statistics: the *event stream* is identical
+    // with fast-forward on and off, modulo the FastForward markers the
+    // optimization itself emits. Every other event lands on the same
+    // cycle with the same payload.
+    let all = suite(Scale::Tiny);
+    let mut jumps = 0;
+    for w in all.iter().take(3) {
+        for model in LaunchModelKind::all() {
+            for sched in [SchedulerKind::RoundRobin, SchedulerKind::AdaptiveBind] {
+                let (_, on) = run_traced(w, model, sched, true);
+                let (_, off) = run_traced(w, model, sched, false);
+                jumps +=
+                    on.iter().filter(|r| matches!(r.event, TraceEvent::FastForward { .. })).count();
+                let on_filtered: Vec<&TraceRecord> = on
+                    .iter()
+                    .filter(|r| !matches!(r.event, TraceEvent::FastForward { .. }))
+                    .collect();
+                assert!(
+                    !off.iter().any(|r| matches!(r.event, TraceEvent::FastForward { .. })),
+                    "FastForward emitted while disabled"
+                );
+                assert_eq!(on_filtered.len(), off.len());
+                for (a, b) in on_filtered.iter().zip(&off) {
+                    assert_eq!(
+                        **a,
+                        *b,
+                        "{} under {model}/{sched}: trace streams diverge",
+                        w.full_name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(jumps > 0, "no FastForward event was ever traced");
 }

@@ -1,0 +1,73 @@
+//! The stall-cause accounting invariant: every SMX cycle is attributed
+//! to exactly one bucket — busy, or one of the five `StallCause`s — so
+//! per SMX `busy + stalls.total() == cycles`, with or without idle-cycle
+//! fast-forward.
+
+use std::sync::Arc;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::stats::SimStats;
+use sim_metrics::harness::SchedulerKind;
+use workloads::{suite, Scale, SharedSource, Workload};
+
+fn run(
+    w: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    sched: SchedulerKind,
+    fast_forward: bool,
+) -> SimStats {
+    let mut cfg = GpuConfig::small_test();
+    cfg.num_smxs = 4;
+    cfg.fast_forward = fast_forward;
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+        .with_scheduler(sched.build(&cfg))
+        .with_launch_model(model.build(LaunchLatency::default_for(model)));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+    }
+    sim.run_to_completion().expect("run to completion")
+}
+
+#[test]
+fn every_smx_cycle_is_attributed() {
+    let all = suite(Scale::Tiny);
+    for w in all.iter().take(3) {
+        for model in LaunchModelKind::all() {
+            for sched in SchedulerKind::all() {
+                for ff in [true, false] {
+                    let stats = run(w, model, sched, ff);
+                    assert_eq!(stats.smx_stalls.len(), stats.smx_busy_cycles.len());
+                    for (i, (busy, stalls)) in
+                        stats.smx_busy_cycles.iter().zip(&stats.smx_stalls).enumerate()
+                    {
+                        assert_eq!(
+                            busy + stalls.total(),
+                            stats.cycles,
+                            "{} under {model}/{sched} (ff={ff}): SMX{i} attribution \
+                             {busy} busy + {} stalled != {} cycles ({stalls:?})",
+                            w.full_name(),
+                            stalls.total(),
+                            stats.cycles,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_mix_reflects_workload_behavior() {
+    let all = suite(Scale::Tiny);
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs in suite");
+    let stats = run(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, true);
+    let total = stats.total_stalls();
+    // A graph traversal with global-memory loads must stall on memory
+    // somewhere, and scoreboard waits (ALU latency) are unavoidable.
+    assert!(total.memory_pending > 0, "no memory stalls in a memory-bound workload: {total:?}");
+    assert!(total.scoreboard > 0, "no scoreboard stalls: {total:?}");
+    // Dead cycles between kernel phases are charged to NoTb, never lost.
+    assert!(total.no_tb > 0, "no idle (NoTb) cycles attributed: {total:?}");
+}

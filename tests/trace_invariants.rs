@@ -1,0 +1,162 @@
+//! Cross-layer invariants of the full trace stream: scheduler events,
+//! engine events, and final statistics all tell one consistent story,
+//! and the Perfetto export of a real run validates.
+
+use std::sync::Arc;
+
+use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::engine::Simulator;
+use gpu_sim::stats::SimStats;
+use gpu_sim::trace::{TraceEvent, TraceRecord, VecSink};
+use sim_metrics::harness::SchedulerKind;
+use sim_metrics::{perfetto_json, registry_for_run, validate_trace};
+use workloads::{suite, Scale, SharedSource, Workload};
+
+const NUM_SMXS: u16 = 4;
+
+fn traced(
+    w: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    sched: SchedulerKind,
+) -> (Vec<TraceRecord>, SimStats) {
+    let mut cfg = GpuConfig::small_test();
+    cfg.num_smxs = NUM_SMXS;
+    let sink = VecSink::new();
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+        .with_scheduler(sched.build(&cfg))
+        .with_launch_model(model.build(LaunchLatency::default_for(model)))
+        .with_trace(Box::new(sink.clone()));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+    }
+    let stats = sim.run_to_completion().expect("run to completion");
+    (sink.records(), stats)
+}
+
+#[test]
+fn tb_completes_on_its_dispatch_smx() {
+    let all = suite(Scale::Tiny);
+    for w in all.iter().take(3) {
+        for sched in SchedulerKind::all() {
+            let (records, _) = traced(w, LaunchModelKind::Dtbl, sched);
+            let mut dispatch_smx = std::collections::HashMap::new();
+            for r in &records {
+                match r.event {
+                    TraceEvent::TbDispatched { tb, smx } => {
+                        assert!(
+                            dispatch_smx.insert(tb, smx).is_none(),
+                            "{tb} dispatched twice under {sched}"
+                        );
+                    }
+                    TraceEvent::TbCompleted { tb, smx } => {
+                        assert_eq!(
+                            dispatch_smx.get(&tb),
+                            Some(&smx),
+                            "{tb} completed on a different SMX than it was dispatched to"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_cycles_never_decrease() {
+    let all = suite(Scale::Tiny);
+    for w in all.iter().take(3) {
+        let (records, _) = traced(w, LaunchModelKind::Cdp, SchedulerKind::AdaptiveBind);
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].cycle <= pair[1].cycle,
+                "trace went backwards: {} then {}",
+                pair[0].cycle,
+                pair[1].cycle
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_steals_match_scheduler_counter() {
+    let all = suite(Scale::Tiny);
+    let mut total_steals = 0;
+    for w in all.iter().take(3) {
+        let (records, stats) = traced(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind);
+        let traced_steals =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::Stage3Steal { .. })).count()
+                as u64;
+        let counted = stats
+            .scheduler_counters
+            .iter()
+            .find(|(k, _)| *k == "stage3_steals")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(
+            traced_steals,
+            counted,
+            "{}: trace shows {traced_steals} steals, counter says {counted}",
+            w.full_name()
+        );
+        total_steals += counted;
+    }
+    assert!(total_steals > 0, "no steal ever happened across the sweep");
+}
+
+#[test]
+fn every_laperm_dispatch_dequeues_exactly_once() {
+    let all = suite(Scale::Tiny);
+    for w in all.iter().take(3) {
+        let (records, stats) = traced(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind);
+        let dequeues =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::QueueDequeued { .. })).count();
+        assert_eq!(
+            dequeues,
+            stats.tb_records.len(),
+            "{}: every dispatched TB leaves a queue exactly once",
+            w.full_name()
+        );
+        let enqueues =
+            records.iter().filter(|r| matches!(r.event, TraceEvent::QueueEnqueued { .. })).count();
+        assert!(enqueues > 0, "no batch was ever enqueued");
+    }
+}
+
+#[test]
+fn perfetto_export_of_real_run_validates() {
+    let all = suite(Scale::Tiny);
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs in suite");
+    let (records, stats) = traced(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind);
+    let json = perfetto_json(&records, &stats, &[], NUM_SMXS);
+    let check = validate_trace(&json).expect("trace validates");
+    assert_eq!(check.smx_tracks, usize::from(NUM_SMXS));
+    assert_eq!(check.spans, stats.tb_records.len());
+    assert!(check.counters > 0, "no queue-depth counter samples");
+    assert!(check.instants > 0, "no instant events");
+}
+
+#[test]
+fn registry_of_real_run_is_consistent() {
+    let all = suite(Scale::Tiny);
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs in suite");
+    let (records, stats) = traced(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind);
+    let registry = registry_for_run(&stats, &records);
+    assert_eq!(registry.counter_value("cycles"), stats.cycles);
+    assert_eq!(registry.counter_value("tbs_total"), stats.tb_records.len() as u64);
+    let stall_sum: u64 = [
+        "stall_scoreboard_cycles",
+        "stall_memory_pending_cycles",
+        "stall_mshr_full_cycles",
+        "stall_barrier_cycles",
+        "stall_no_tb_cycles",
+    ]
+    .iter()
+    .map(|k| registry.counter_value(k))
+    .sum();
+    assert_eq!(stall_sum, stats.total_stalls().total());
+    let json = registry.to_json();
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"histograms\""));
+}
