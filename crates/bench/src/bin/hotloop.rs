@@ -1,17 +1,22 @@
 //! Hot-loop throughput benchmark; writes `BENCH_hotloop.json`.
 //!
 //! ```text
-//! cargo run --release -p laperm-bench --bin hotloop -- [--out FILE] [--baseline FILE]
+//! cargo run --release -p laperm-bench --bin hotloop -- \
+//!     [--out FILE] [--baseline FILE] [--max-regression PCT]
 //! ```
 //!
 //! `--baseline FILE` reads a previous `BENCH_hotloop.json` and records
 //! per-case `baseline_cycles_per_sec` and `speedup` fields in the output.
+//! `--max-regression PCT` additionally exits nonzero if any case's
+//! throughput drops more than PCT percent below its baseline — the CI
+//! bench-regression gate.
 
-use laperm_bench::hotloop::{parse_baseline, render_json, run_hotloop};
+use laperm_bench::hotloop::{check_regressions, parse_baseline, render_json, run_hotloop};
 
 fn main() {
     let mut out_path = String::from("BENCH_hotloop.json");
     let mut baseline: Vec<(String, f64)> = Vec::new();
+    let mut max_regression: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,8 +27,19 @@ fn main() {
                     .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
                 baseline = parse_baseline(&text);
             }
+            "--max-regression" => {
+                let pct = args.next().expect("--max-regression needs a percentage");
+                max_regression = Some(pct.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regression expects a percentage, got {pct}");
+                    std::process::exit(2);
+                }));
+            }
             other => panic!("unknown argument: {other}"),
         }
+    }
+    if max_regression.is_some() && baseline.is_empty() {
+        eprintln!("--max-regression needs --baseline FILE to compare against");
+        std::process::exit(2);
     }
 
     let results = run_hotloop();
@@ -36,4 +52,18 @@ fn main() {
     let json = render_json(&results, &baseline);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    if let Some(pct) = max_regression {
+        let (ok, report) = check_regressions(&results, &baseline, pct);
+        eprint!("{report}");
+        if !ok {
+            eprintln!(
+                "hot-loop throughput regressed more than {pct:.0}% below BENCH baseline; \
+                 if the slowdown is intentional, regenerate the baseline with \
+                 `cargo run --release -p laperm-bench --bin hotloop` and commit it"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("hot-loop throughput within {pct:.0}% of baseline");
+    }
 }

@@ -1,7 +1,8 @@
 //! Regenerates the LaPerm paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|paper]
+//! repro <experiment> [--scale tiny|ci|small|paper] [--jobs N] [--json FILE]
+//! repro check [--json FILE]
 //!
 //! experiments:
 //!   table1    GPU configuration (Table I)
@@ -19,75 +20,124 @@
 //!   generality Kepler vs Maxwell-like architecture
 //!   overhead  queue hardware overheads (Section IV-E)
 //!   ablate    design-choice ablations
-//!   all       everything above
+//!   all       everything above; also writes the repro.json artifact
+//!   check     evaluate the shape assertions against repro.json and
+//!             exit nonzero on any violation (the CI reproduction gate)
 //! ```
+//!
+//! `--jobs N` fans independent simulations over N worker threads
+//! (default: all cores). Output is bit-identical for any N; only the
+//! stderr progress interleaving differs.
 
 use laperm_bench::{
-    ablate, fig2, fig7, fig8, fig9, figure4, generality, latency_sweep, overhead, run_matrix,
-    sweep_cache, table1, table2, timeline, variance,
+    ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
+    generality, latency_sweep, overhead, render_shape_report, run_matrix_with_jobs, sweep_cache,
+    table1, table2, timeline, variance, MatrixRecords, SweepDoc,
 };
 use workloads::Scale;
 
-fn parse_scale(args: &[String]) -> Scale {
-    match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)
-    {
+struct Args {
+    experiment: String,
+    scale: Scale,
+    jobs: usize,
+    json_path: String,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let scale = match value_of("--scale") {
         Some("tiny") => Scale::Tiny,
+        Some("ci") => Scale::Ci,
         Some("small") => Scale::Small,
         Some("paper") | None => Scale::Paper,
         Some(other) => {
             eprintln!("unknown scale {other}; using paper");
             Scale::Paper
         }
+    };
+    let jobs = match value_of("--jobs") {
+        Some(n) => n.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a positive integer, got {n}");
+            std::process::exit(2);
+        }),
+        None => default_jobs(),
+    };
+    let json_path = value_of("--json").unwrap_or("repro.json").to_string();
+    Args { experiment, scale, jobs, json_path }
+}
+
+/// `repro all`: the full sweep. Writes `repro.json`, prints the text
+/// report, and exits nonzero if any matrix cell failed.
+fn run_all(args: &Args) {
+    let doc = SweepDoc::build(args.scale, 0, args.jobs);
+    std::fs::write(&args.json_path, doc.to_json())
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.json_path));
+    eprintln!("wrote {}", args.json_path);
+    let failed = !doc.failures.is_empty();
+    for f in &doc.failures {
+        eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
+    }
+    let m = MatrixRecords::from_records(doc.records);
+    print!("{}", full_report(args.scale, args.jobs, &m));
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// `repro check`: the reproduction gate. Reads `repro.json` and exits
+/// nonzero on any shape-assertion violation.
+fn run_check(args: &Args) {
+    let text = std::fs::read_to_string(&args.json_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {} (run `repro all` first): {e}", args.json_path);
+        std::process::exit(2);
+    });
+    let doc = SweepDoc::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{} is not a valid sweep document: {e}", args.json_path);
+        std::process::exit(2);
+    });
+    let outcomes = evaluate_shapes(&doc);
+    print!("{}", render_shape_report(&outcomes));
+    if outcomes.iter().any(|o| !o.passed) {
+        std::process::exit(1);
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let experiment = args.first().map(String::as_str).unwrap_or("all");
-    let scale = parse_scale(&args);
+    let args = parse_args();
+    let needs_matrix = matches!(args.experiment.as_str(), "fig7" | "fig8" | "fig9");
+    let matrix = needs_matrix.then(|| run_matrix_with_jobs(args.scale, args.jobs));
 
-    let needs_matrix = matches!(experiment, "fig7" | "fig8" | "fig9" | "all");
-    let matrix = needs_matrix.then(|| run_matrix(scale));
-
-    match experiment {
+    match args.experiment.as_str() {
         "table1" => println!("{}", table1()),
-        "table2" => println!("{}", table2(scale)),
-        "fig2" => println!("{}", fig2(scale)),
+        "table2" => println!("{}", table2(args.scale)),
+        "fig2" => println!("{}", fig2(args.scale, args.jobs)),
         "fig4" => println!("{}", figure4()),
         "fig7" => println!("{}", fig7(matrix.as_ref().unwrap())),
         "fig8" => println!("{}", fig8(matrix.as_ref().unwrap())),
         "fig9" => println!("{}", fig9(matrix.as_ref().unwrap())),
-        "latency" => println!("{}", latency_sweep(scale)),
-        "timeline" => println!("{}", timeline(scale)),
-        "variance" => println!("{}", variance(scale)),
+        "latency" => println!("{}", latency_sweep(args.scale, args.jobs)),
+        "timeline" => println!("{}", timeline(args.scale, args.jobs)),
+        "variance" => println!("{}", variance(args.scale, args.jobs)),
         "csv" => {
-            let m = run_matrix(scale);
+            let m = run_matrix_with_jobs(args.scale, args.jobs);
             print!("{}", sim_metrics::export::runs_to_csv(m.records()));
         }
-        "cache" => println!("{}", sweep_cache(scale)),
-        "generality" => println!("{}", generality(scale)),
-        "overhead" => println!("{}", overhead(scale)),
-        "ablate" => println!("{}", ablate(scale)),
-        "all" => {
-            let m = matrix.as_ref().unwrap();
-            println!("{}\n", table1());
-            println!("{}\n", table2(scale));
-            println!("{}\n", fig2(scale));
-            println!("{}\n", figure4());
-            println!("{}\n", fig7(m));
-            println!("{}\n", fig8(m));
-            println!("{}\n", fig9(m));
-            println!("{}\n", latency_sweep(scale));
-            println!("{}\n", timeline(scale));
-            println!("{}\n", variance(scale));
-            println!("{}\n", sweep_cache(scale));
-            println!("{}\n", generality(scale));
-            println!("{}\n", overhead(scale));
-            println!("{}\n", ablate(scale));
-        }
+        "cache" => println!("{}", sweep_cache(args.scale, args.jobs)),
+        "generality" => println!("{}", generality(args.scale, args.jobs)),
+        "overhead" => println!("{}", overhead(args.scale, args.jobs)),
+        "ablate" => println!("{}", ablate(args.scale, args.jobs)),
+        "all" => run_all(&args),
+        "check" => run_check(&args),
         other => {
             eprintln!("unknown experiment {other}");
-            eprintln!("choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 latency timeline variance cache generality overhead ablate all");
+            eprintln!(
+                "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 latency timeline \
+                 variance csv cache generality overhead ablate all check"
+            );
             std::process::exit(2);
         }
     }

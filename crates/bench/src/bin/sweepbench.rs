@@ -1,0 +1,84 @@
+//! Sweep-scaling benchmark; writes `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p laperm-bench --bin sweepbench -- \
+//!     [--scale tiny|ci|small|paper] [--jobs N,M,...] [--out FILE]
+//! ```
+//!
+//! Times the full evaluation matrix (the `repro all` sweep) at each
+//! requested worker count and records wall-clock seconds plus the
+//! speedup of every job count over `--jobs 1`. `host_cpus` is recorded
+//! alongside: speedups are bounded by the physical cores of the machine
+//! that produced the file, so a single-core CI runner legitimately
+//! reports ~1x while an 8-core workstation shows the parallel win.
+
+use std::time::Instant;
+
+use gpu_sim::config::GpuConfig;
+use laperm_bench::sweep::run_matrix_jobs;
+use workloads::Scale;
+
+fn main() {
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut scale = Scale::Paper;
+    let mut jobs_list: Vec<usize> = vec![1, 8];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("ci") => Scale::Ci,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("--scale expects tiny|ci|small|paper, got {other:?}"),
+                }
+            }
+            "--jobs" => {
+                let list = args.next().expect("--jobs needs a comma-separated list");
+                jobs_list = list
+                    .split(',')
+                    .map(|n| n.parse().unwrap_or_else(|_| panic!("bad job count {n}")))
+                    .collect();
+                assert!(!jobs_list.is_empty(), "--jobs list is empty");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let cfg = GpuConfig::kepler_k20c();
+    let host_cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let mut rows = Vec::new();
+    let mut serial_secs: Option<f64> = None;
+    for &jobs in &jobs_list {
+        let start = Instant::now();
+        let outcome = run_matrix_jobs(scale, 0, jobs, &cfg);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(outcome.failures.is_empty(), "sweep failures: {:?}", outcome.failures);
+        let runs = outcome.records.len();
+        if jobs == 1 {
+            serial_secs = Some(wall);
+        }
+        eprintln!("jobs {jobs:>2}: {runs} runs in {wall:.2}s");
+        rows.push((jobs, runs, wall));
+    }
+
+    let mut out = String::from("{\n  \"benchmark\": \"sweep\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, (jobs, runs, wall)) in rows.iter().enumerate() {
+        let speedup = match serial_secs {
+            Some(s) if *wall > 0.0 => format!(", \"speedup_vs_jobs1\": {:.2}", s / wall),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"runs\": {runs}, \"wall_secs\": {wall:.3}{speedup}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -17,6 +17,12 @@ pub struct MatrixRecords {
 }
 
 impl MatrixRecords {
+    /// Wraps records collected elsewhere (e.g. parsed from `repro.json`)
+    /// so the figure renderers and shape assertions can query them.
+    pub fn from_records(records: Vec<RunRecord>) -> Self {
+        MatrixRecords { records }
+    }
+
     /// The raw records.
     pub fn records(&self) -> &[RunRecord] {
         &self.records
@@ -56,63 +62,29 @@ impl MatrixRecords {
     }
 }
 
-/// Runs the full evaluation matrix at a scale, printing progress to
-/// stderr. Independent simulations run on all available cores; the
-/// result order (and every number) is deterministic regardless of
-/// thread scheduling.
+/// Runs the full evaluation matrix at a scale on all available cores.
+/// See [`run_matrix_with_jobs`].
 ///
 /// # Panics
 ///
 /// Panics if any simulation fails (the suite is validated by tests).
 pub fn run_matrix(scale: Scale) -> MatrixRecords {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    run_matrix_with_jobs(scale, crate::sweep::default_jobs())
+}
 
-    let cfg = GpuConfig::kepler_k20c();
-    let all = suite(scale);
-    let mut cells: Vec<(Arc<dyn Workload>, LaunchModelKind, SchedulerKind)> = Vec::new();
-    for w in &all {
-        for model in LaunchModelKind::all() {
-            for sched in SchedulerKind::all() {
-                cells.push((w.clone(), model, sched));
-            }
-        }
+/// Runs the full evaluation matrix at a scale on `jobs` workers,
+/// printing progress to stderr. The result order (and every number) is
+/// deterministic regardless of job count and thread scheduling.
+///
+/// # Panics
+///
+/// Panics if any simulation fails (the suite is validated by tests).
+pub fn run_matrix_with_jobs(scale: Scale, jobs: usize) -> MatrixRecords {
+    let outcome = crate::sweep::run_matrix_jobs(scale, 0, jobs, &GpuConfig::kepler_k20c());
+    if let Some(f) = outcome.failures.first() {
+        panic!("{} under {}/{} failed: {}", f.workload, f.launch_model, f.scheduler, f.error);
     }
-    let total = cells.len();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let done = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(total) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let (w, model, sched) = &cells[i];
-                let rec = run_once(w, *model, *sched, &cfg).unwrap_or_else(|e| {
-                    panic!("{} under {model}/{sched} failed: {e}", w.full_name())
-                });
-                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{n}/{total}] {} {model} {sched}: {} cycles, IPC {:.1}",
-                    w.full_name(),
-                    rec.cycles,
-                    rec.ipc
-                );
-                *results[i].lock().expect("result slot") = Some(rec);
-            });
-        }
-    });
-
-    MatrixRecords {
-        records: results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("slot").expect("cell ran"))
-            .collect(),
-    }
+    MatrixRecords { records: outcome.records }
 }
 
 /// Table I: the simulated GPU configuration.
@@ -149,10 +121,14 @@ pub fn table2(scale: Scale) -> String {
 }
 
 /// Figure 2: shared footprint ratios for parent-child and child-sibling
-/// TBs (plus the parent-parent baseline quoted in the text).
-pub fn fig2(scale: Scale) -> String {
+/// TBs (plus the parent-parent baseline quoted in the text). The
+/// per-workload analyses fan out over `jobs` workers.
+pub fn fig2(scale: Scale, jobs: usize) -> String {
+    use sim_metrics::FootprintAnalysis;
     let all = suite(scale);
-    let summary = FootprintSummary::analyze_suite(&all);
+    let summary = FootprintSummary {
+        rows: crate::sweep::parallel_map(&all, jobs, |w| FootprintAnalysis::analyze(w.as_ref())),
+    };
     let mut t = Table::new(vec![
         "workload",
         "parent-child",
@@ -281,15 +257,17 @@ pub fn fig9(m: &MatrixRecords) -> String {
 }
 
 /// Launch-latency sensitivity (Section IV-D): how the Adaptive-Bind gain
-/// decays as the device-launch latency grows.
-pub fn latency_sweep(scale: Scale) -> String {
+/// decays as the device-launch latency grows. Latency points fan out
+/// over `jobs` workers.
+pub fn latency_sweep(scale: Scale, jobs: usize) -> String {
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
     let w: &Arc<dyn Workload> =
         all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut t =
         Table::new(vec!["launch latency", "rr IPC", "adaptive IPC", "gain", "child wait (rr)"]);
-    for base in [0u32, 500, 1000, 2000, 4000, 8000, 16000] {
+    let bases = [0u32, 500, 1000, 2000, 4000, 8000, 16000];
+    let rows = crate::sweep::parallel_map(&bases, jobs, |&base| {
         let latency = LaunchLatency::uniform(base);
         let rr =
             run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::RoundRobin, &cfg)
@@ -297,6 +275,9 @@ pub fn latency_sweep(scale: Scale) -> String {
         let ad =
             run_with_latency(w, LaunchModelKind::Dtbl, latency, SchedulerKind::AdaptiveBind, &cfg)
                 .expect("adaptive run");
+        (rr, ad)
+    });
+    for (base, (rr, ad)) in bases.iter().zip(rows) {
         t.row(vec![
             base.to_string(),
             format!("{:.1}", rr.ipc),
@@ -313,8 +294,8 @@ pub fn latency_sweep(scale: Scale) -> String {
 }
 
 /// Overhead analysis (Section IV-E): queue hardware budget and observed
-/// dynamic overheads.
-pub fn overhead(scale: Scale) -> String {
+/// dynamic overheads. The per-workload runs fan out over `jobs` workers.
+pub fn overhead(scale: Scale, jobs: usize) -> String {
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
     let mut out = String::from(
@@ -330,12 +311,13 @@ pub fn overhead(scale: Scale) -> String {
         "search cycles",
         "steals",
     ]);
-    for name in ["bfs-citation", "amr", "join-gaussian", "regx-strings"] {
-        let Some(w) = all.iter().find(|w| w.full_name() == name) else {
-            continue;
-        };
-        let rec = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
-            .expect("overhead run");
+    let names = ["bfs-citation", "amr", "join-gaussian", "regx-strings"];
+    let heavy: Vec<&Arc<dyn Workload>> =
+        names.iter().filter_map(|name| all.iter().find(|w| w.full_name() == *name)).collect();
+    let recs = crate::sweep::parallel_map(&heavy, jobs, |w| {
+        run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg).expect("overhead run")
+    });
+    for rec in recs {
         t.row(vec![
             rec.workload.clone(),
             rec.queue_pushes.to_string(),
@@ -352,28 +334,30 @@ pub fn overhead(scale: Scale) -> String {
 /// Input-seed variance: the headline gain measured over several
 /// independently generated input instances (mean ± sample std), showing
 /// the result is a property of the input *structure*, not of one lucky
-/// instance.
-pub fn variance(scale: Scale) -> String {
+/// instance. The (workload, seed) grid fans out over `jobs` workers.
+pub fn variance(scale: Scale, jobs: usize) -> String {
     use sim_metrics::report::mean_std;
     use workloads::suite_seeded;
 
     let cfg = GpuConfig::kepler_k20c();
     let seeds: [u64; 5] = [0, 11, 2025, 424242, 7_777_777];
+    let names = ["bfs-citation", "bfs-graph500", "join-gaussian", "regx-strings"];
     let mut out =
         format!("Input-seed variance over {} instances, DTBL ({scale} scale)\n\n", seeds.len());
     let mut t = Table::new(vec!["workload", "adaptive gain over rr (mean ± std)"]);
-    for name in ["bfs-citation", "bfs-graph500", "join-gaussian", "regx-strings"] {
-        let mut gains = Vec::new();
-        for &seed in &seeds {
-            let all = suite_seeded(scale, seed);
-            let w = all.iter().find(|w| w.full_name() == name).expect("workload");
-            let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg)
-                .expect("rr run");
-            let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
-                .expect("adaptive run");
-            gains.push(ad.ipc / rr.ipc);
-        }
-        let (m, s) = mean_std(&gains);
+    let cells: Vec<(&str, u64)> =
+        names.iter().flat_map(|&name| seeds.iter().map(move |&seed| (name, seed))).collect();
+    let gains = crate::sweep::parallel_map(&cells, jobs, |&(name, seed)| {
+        let all = suite_seeded(scale, seed);
+        let w = all.iter().find(|w| w.full_name() == name).expect("workload");
+        let rr =
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            .expect("adaptive run");
+        ad.ipc / rr.ipc
+    });
+    for (i, name) in names.iter().enumerate() {
+        let (m, s) = mean_std(&gains[i * seeds.len()..(i + 1) * seeds.len()]);
         t.row(vec![name.to_string(), format!("{m:.2}x ± {s:.2}")]);
     }
     out.push_str(&t.render());
@@ -382,8 +366,9 @@ pub fn variance(scale: Scale) -> String {
 
 /// Cache-size sensitivity: how the LaPerm gain depends on L1 and L2
 /// capacity (the hardware-parameter study the paper's Section IV-F
-/// explicitly leaves to future work).
-pub fn sweep_cache(scale: Scale) -> String {
+/// explicitly leaves to future work). Capacity points fan out over
+/// `jobs` workers.
+pub fn sweep_cache(scale: Scale, jobs: usize) -> String {
     let all = suite(scale);
     let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut out = format!(
@@ -391,14 +376,22 @@ pub fn sweep_cache(scale: Scale) -> String {
          (Section IV-F: the paper leaves cache-size effects to future work)\n\n"
     );
 
+    let pair = |cfg: &GpuConfig| {
+        let rr =
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, cfg).expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, cfg)
+            .expect("adaptive run");
+        (rr, ad)
+    };
+
+    let l1_kbs = [16u32, 32, 48, 64];
     let mut t = Table::new(vec!["L1 per SMX", "rr IPC", "adaptive IPC", "gain"]);
-    for kb in [16u32, 32, 48, 64] {
+    let rows = crate::sweep::parallel_map(&l1_kbs, jobs, |&kb| {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.l1_bytes = kb * 1024;
-        let rr =
-            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
-        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
-            .expect("adaptive run");
+        pair(&cfg)
+    });
+    for (kb, (rr, ad)) in l1_kbs.iter().zip(rows) {
         t.row(vec![
             format!("{kb} KB"),
             format!("{:.1}", rr.ipc),
@@ -408,14 +401,14 @@ pub fn sweep_cache(scale: Scale) -> String {
     }
     out.push_str(&t.render());
 
+    let l2_kbs = [768u32, 1536, 3072, 6144];
     let mut t = Table::new(vec!["L2 total", "rr IPC", "adaptive IPC", "gain"]);
-    for kb in [768u32, 1536, 3072, 6144] {
+    let rows = crate::sweep::parallel_map(&l2_kbs, jobs, |&kb| {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.l2_bytes = kb * 1024;
-        let rr =
-            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
-        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
-            .expect("adaptive run");
+        pair(&cfg)
+    });
+    for (kb, (rr, ad)) in l2_kbs.iter().zip(rows) {
         t.row(vec![
             format!("{kb} KB"),
             format!("{:.1}", rr.ipc),
@@ -430,19 +423,22 @@ pub fn sweep_cache(scale: Scale) -> String {
 
 /// Architecture generality: the Kepler config of Table I vs a
 /// Maxwell-like machine (more, narrower SMs; bigger L2).
-pub fn generality(scale: Scale) -> String {
+pub fn generality(scale: Scale, jobs: usize) -> String {
     use sim_metrics::report::bar_chart;
     let all = suite(scale);
     let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut out = format!("Architecture generality on bfs-citation, DTBL ({scale} scale)\n\n");
-    let mut bars = Vec::new();
-    for (name, cfg) in
-        [("kepler-k20c", GpuConfig::kepler_k20c()), ("maxwell-like", GpuConfig::maxwell_like())]
-    {
+    let machines =
+        [("kepler-k20c", GpuConfig::kepler_k20c()), ("maxwell-like", GpuConfig::maxwell_like())];
+    let results = crate::sweep::parallel_map(&machines, jobs, |(_, cfg)| {
         let rr =
-            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &cfg).expect("rr run");
-        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &cfg)
+            run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, cfg).expect("rr run");
+        let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, cfg)
             .expect("adaptive run");
+        (rr, ad)
+    });
+    let mut bars = Vec::new();
+    for ((name, _), (rr, ad)) in machines.iter().zip(results) {
         bars.push((format!("{name} rr"), rr.ipc));
         bars.push((format!("{name} adaptive"), ad.ipc));
     }
@@ -454,16 +450,18 @@ pub fn generality(scale: Scale) -> String {
 /// Timeline: windowed IPC and L1 hit rate over the run, RR vs
 /// Adaptive-Bind, showing *when* the locality benefit materializes (the
 /// parent/child overlap phase).
-pub fn timeline(scale: Scale) -> String {
+pub fn timeline(scale: Scale, jobs: usize) -> String {
     use sim_metrics::timeline::{downsample, run_timeline};
     let cfg = GpuConfig::kepler_k20c();
     let all = suite(scale);
     let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
     let mut out =
         format!("Timeline: windowed IPC / L1 hit rate on bfs-citation, DTBL ({scale} scale)\n\n");
-    for sched in [SchedulerKind::RoundRobin, SchedulerKind::AdaptiveBind] {
-        let points =
-            run_timeline(w, LaunchModelKind::Dtbl, sched, &cfg, 2000).expect("timeline run");
+    let scheds = [SchedulerKind::RoundRobin, SchedulerKind::AdaptiveBind];
+    let traces = crate::sweep::parallel_map(&scheds, jobs, |&sched| {
+        run_timeline(w, LaunchModelKind::Dtbl, sched, &cfg, 2000).expect("timeline run")
+    });
+    for (sched, points) in scheds.iter().zip(traces) {
         let mut t = Table::new(vec!["cycle", "IPC", "L1 hit", "L2 hit", "resident", "queued"]);
         for p in downsample(&points, 16) {
             t.row(vec![
@@ -481,8 +479,9 @@ pub fn timeline(scale: Scale) -> String {
 }
 
 /// Design-choice ablations: nesting clamp `L`, SMX cluster size, steal
-/// hysteresis, and the DTBL on-chip table capacity.
-pub fn ablate(scale: Scale) -> String {
+/// hysteresis, and the DTBL on-chip table capacity. Each ablation's
+/// points fan out over `jobs` workers.
+pub fn ablate(scale: Scale, jobs: usize) -> String {
     use gpu_sim::engine::Simulator;
     use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
     use workloads::SharedSource;
@@ -525,32 +524,44 @@ pub fn ablate(scale: Scale) -> String {
         sim.run_to_completion().expect("ablation run").ipc()
     };
     let mut t = Table::new(vec!["max nesting level L (amr)", "adaptive-bind IPC"]);
-    for level in [1u8, 2, 4, 8] {
-        let ipc = run_on(amr, base_cfg.with_max_level(level));
+    let levels = [1u8, 2, 4, 8];
+    let ipcs = crate::sweep::parallel_map(&levels, jobs, |&level| {
+        run_on(amr, base_cfg.with_max_level(level))
+    });
+    for (level, ipc) in levels.iter().zip(ipcs) {
         t.row(vec![level.to_string(), format!("{ipc:.1}")]);
     }
     out.push_str(&t.render());
     out.push_str("\nbfs-citation sweeps:\n");
 
     let mut t = Table::new(vec!["SMX cluster size", "smx-bind IPC"]);
-    for cluster in [1u16, 2, 4] {
-        let ipc = run(base_cfg.with_cluster_size(cluster), LaPermPolicy::SmxBind, None);
+    let clusters = [1u16, 2, 4];
+    let ipcs = crate::sweep::parallel_map(&clusters, jobs, |&cluster| {
+        run(base_cfg.with_cluster_size(cluster), LaPermPolicy::SmxBind, None)
+    });
+    for (cluster, ipc) in clusters.iter().zip(ipcs) {
         t.row(vec![cluster.to_string(), format!("{ipc:.1}")]);
     }
     out.push('\n');
     out.push_str(&t.render());
 
     let mut t = Table::new(vec!["steal min free slots", "adaptive-bind IPC"]);
-    for slots in [0u32, 4, 8, 16] {
-        let ipc = run(base_cfg.with_steal_min_free_slots(slots), LaPermPolicy::AdaptiveBind, None);
+    let slot_counts = [0u32, 4, 8, 16];
+    let ipcs = crate::sweep::parallel_map(&slot_counts, jobs, |&slots| {
+        run(base_cfg.with_steal_min_free_slots(slots), LaPermPolicy::AdaptiveBind, None)
+    });
+    for (slots, ipc) in slot_counts.iter().zip(ipcs) {
         t.row(vec![slots.to_string(), format!("{ipc:.1}")]);
     }
     out.push('\n');
     out.push_str(&t.render());
 
     let mut t = Table::new(vec!["DTBL on-chip table entries", "adaptive-bind IPC"]);
-    for cap in [8usize, 32, 128, 512] {
-        let ipc = run(base_cfg, LaPermPolicy::AdaptiveBind, Some(cap));
+    let caps = [8usize, 32, 128, 512];
+    let ipcs = crate::sweep::parallel_map(&caps, jobs, |&cap| {
+        run(base_cfg, LaPermPolicy::AdaptiveBind, Some(cap))
+    });
+    for (cap, ipc) in caps.iter().zip(ipcs) {
         t.row(vec![cap.to_string(), format!("{ipc:.1}")]);
     }
     out.push('\n');
@@ -569,23 +580,18 @@ pub fn ablate(scale: Scale) -> String {
             }
             sim.run_to_completion().expect("decomposition run").ipc()
         };
+        let mechanisms =
+            ["neither (rr)", "priority only (tb-pri)", "binding only", "both (smx-bind)"];
+        let ipcs = crate::sweep::parallel_map(&[0usize, 1, 2, 3], jobs, |&i| match i {
+            0 => run_custom(Box::new(gpu_sim::tb_sched::RoundRobinScheduler::new())),
+            1 => run(base_cfg, LaPermPolicy::TbPri, None),
+            2 => run_custom(Box::new(BindOnlyScheduler::new())),
+            _ => run(base_cfg, LaPermPolicy::SmxBind, None),
+        });
         let mut t = Table::new(vec!["mechanisms", "IPC"]);
-        t.row(vec![
-            "neither (rr)".to_string(),
-            format!("{:.1}", run_custom(Box::new(gpu_sim::tb_sched::RoundRobinScheduler::new()))),
-        ]);
-        t.row(vec![
-            "priority only (tb-pri)".to_string(),
-            format!("{:.1}", run(base_cfg, LaPermPolicy::TbPri, None)),
-        ]);
-        t.row(vec![
-            "binding only".to_string(),
-            format!("{:.1}", run_custom(Box::new(BindOnlyScheduler::new()))),
-        ]);
-        t.row(vec![
-            "both (smx-bind)".to_string(),
-            format!("{:.1}", run(base_cfg, LaPermPolicy::SmxBind, None)),
-        ]);
+        for (label, ipc) in mechanisms.iter().zip(ipcs) {
+            t.row(vec![label.to_string(), format!("{ipc:.1}")]);
+        }
         out.push('\n');
         out.push_str(&t.render());
     }
@@ -593,8 +599,11 @@ pub fn ablate(scale: Scale) -> String {
     // Contention-aware TB throttling (Section IV-F's suggested
     // combination with prior work): cap resident TBs per SMX.
     let mut t = Table::new(vec!["TB throttle / SMX", "adaptive-bind IPC"]);
-    for throttle in [4u32, 8, 12, 16] {
-        let ipc = run(base_cfg.with_throttle_tbs(throttle), LaPermPolicy::AdaptiveBind, None);
+    let throttles = [4u32, 8, 12, 16];
+    let ipcs = crate::sweep::parallel_map(&throttles, jobs, |&throttle| {
+        run(base_cfg.with_throttle_tbs(throttle), LaPermPolicy::AdaptiveBind, None)
+    });
+    for (&throttle, ipc) in throttles.iter().zip(ipcs) {
         let label = if throttle >= cfg.max_tbs_per_smx {
             format!("{throttle} (= hw limit)")
         } else {
@@ -608,13 +617,17 @@ pub fn ablate(scale: Scale) -> String {
     // Orthogonality to the warp scheduler (paper Section IV-F): the
     // LaPerm gain should survive swapping GTO for loose round-robin.
     let mut t = Table::new(vec!["warp scheduler", "rr IPC", "adaptive IPC", "gain"]);
-    for policy in [gpu_sim::config::WarpSchedPolicy::Gto, gpu_sim::config::WarpSchedPolicy::Lrr] {
+    let policies = [gpu_sim::config::WarpSchedPolicy::Gto, gpu_sim::config::WarpSchedPolicy::Lrr];
+    let results = crate::sweep::parallel_map(&policies, jobs, |&policy| {
         let mut warp_cfg = cfg.clone();
         warp_cfg.warp_scheduler = policy;
         let rr = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::RoundRobin, &warp_cfg)
             .expect("rr run");
         let ad = run_once(w, LaunchModelKind::Dtbl, SchedulerKind::AdaptiveBind, &warp_cfg)
             .expect("adaptive run");
+        (rr, ad)
+    });
+    for (policy, (rr, ad)) in policies.iter().zip(results) {
         t.row(vec![
             policy.to_string(),
             format!("{:.1}", rr.ipc),
@@ -624,6 +637,35 @@ pub fn ablate(scale: Scale) -> String {
     }
     out.push('\n');
     out.push_str(&t.render());
+    out
+}
+
+/// The complete `repro all` text report: every section in order, each
+/// followed by a blank line. The `repro` binary prints exactly this
+/// string, and `tests/repro_snapshot.rs` diffs it byte-for-byte against
+/// the checked-in ci-scale golden — one definition, no drift.
+pub fn full_report(scale: Scale, jobs: usize, m: &MatrixRecords) -> String {
+    let sections = [
+        table1(),
+        table2(scale),
+        fig2(scale, jobs),
+        crate::figure4(),
+        fig7(m),
+        fig8(m),
+        fig9(m),
+        latency_sweep(scale, jobs),
+        timeline(scale, jobs),
+        variance(scale, jobs),
+        sweep_cache(scale, jobs),
+        generality(scale, jobs),
+        overhead(scale, jobs),
+        ablate(scale, jobs),
+    ];
+    let mut out = String::new();
+    for s in sections {
+        out.push_str(&s);
+        out.push_str("\n\n");
+    }
     out
 }
 

@@ -178,6 +178,53 @@ pub fn parse_baseline(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Compares measured throughput against a baseline with a tolerance.
+///
+/// A case regresses when its throughput drops more than
+/// `max_regression_pct` percent below the baseline's. Cases without a
+/// baseline entry (new benchmarks) are noted but never fail. Returns
+/// `(all cases within tolerance, human-readable report)`; the report
+/// names every failing case with both numbers so a CI failure is
+/// actionable without re-running locally.
+pub fn check_regressions(
+    results: &[HotloopResult],
+    baseline: &[(String, f64)],
+    max_regression_pct: f64,
+) -> (bool, String) {
+    let mut ok = true;
+    let mut report = String::new();
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| *n == r.name) else {
+            report.push_str(&format!(
+                "  NEW  {}: {:.0} cycles/sec (no baseline)\n",
+                r.name, r.cycles_per_sec
+            ));
+            continue;
+        };
+        let floor = base * (1.0 - max_regression_pct / 100.0);
+        if r.cycles_per_sec < floor {
+            ok = false;
+            report.push_str(&format!(
+                "  FAIL {}: {:.0} cycles/sec is {:.1}% below baseline {:.0} \
+                 (tolerance {max_regression_pct:.0}%)\n",
+                r.name,
+                r.cycles_per_sec,
+                (1.0 - r.cycles_per_sec / base) * 100.0,
+                base
+            ));
+        } else {
+            report.push_str(&format!(
+                "  OK   {}: {:.0} cycles/sec vs baseline {:.0} ({:+.1}%)\n",
+                r.name,
+                r.cycles_per_sec,
+                base,
+                (r.cycles_per_sec / base - 1.0) * 100.0
+            ));
+        }
+    }
+    (ok, report)
+}
+
 fn field_str(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\": \"");
     let start = line.find(&pat)? + pat.len();
@@ -223,5 +270,33 @@ mod tests {
         let json = render_json(&[r], &[("case-a".to_string(), 1000.0)]);
         assert!(json.contains("\"speedup\": 3.00"), "{json}");
         assert!(json.contains("\"baseline_cycles_per_sec\": 1000.0"), "{json}");
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        // 800 vs 1000 baseline = -20%, inside a 30% tolerance.
+        let r = HotloopResult::from_run("case-a", "rr", "dtbl", true, 1, 800, 1.0);
+        let (ok, report) = check_regressions(&[r], &[("case-a".to_string(), 1000.0)], 30.0);
+        assert!(ok, "{report}");
+        assert!(report.contains("OK   case-a"), "{report}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails_with_both_numbers() {
+        // 600 vs 1000 baseline = -40%, outside a 30% tolerance.
+        let r = HotloopResult::from_run("case-a", "rr", "dtbl", true, 1, 600, 1.0);
+        let (ok, report) = check_regressions(&[r], &[("case-a".to_string(), 1000.0)], 30.0);
+        assert!(!ok);
+        assert!(report.contains("FAIL case-a"), "{report}");
+        assert!(report.contains("600"), "{report}");
+        assert!(report.contains("1000"), "{report}");
+    }
+
+    #[test]
+    fn a_case_without_baseline_never_fails() {
+        let r = HotloopResult::from_run("brand-new", "rr", "dtbl", true, 1, 600, 1.0);
+        let (ok, report) = check_regressions(&[r], &[("case-a".to_string(), 1000.0)], 30.0);
+        assert!(ok, "{report}");
+        assert!(report.contains("NEW  brand-new"), "{report}");
     }
 }

@@ -3,14 +3,25 @@
 //! Each function regenerates one table or figure of the paper as a
 //! formatted text report (see DESIGN.md for the experiment index). The
 //! `repro` binary exposes them as subcommands; the `hotloop` binary
-//! measures wall-clock simulation throughput (see [`hotloop`]).
+//! measures wall-clock simulation throughput (see [`hotloop`]); the
+//! `sweepbench` binary measures sweep scaling over `--jobs` (see
+//! [`sweep`]).
+//!
+//! * [`sweep`] — work-queue executor fanning independent simulations
+//!   over cores, plus the `repro.json` document it emits.
+//! * [`shapes`] — EXPERIMENTS.md's qualitative claims as machine-checked
+//!   assertions over `repro.json` (the `repro check` reproduction gate).
 
 pub mod experiments;
 pub mod fig4;
 pub mod hotloop;
+pub mod shapes;
+pub mod sweep;
 
 pub use experiments::{
-    ablate, fig2, fig7, fig8, fig9, generality, latency_sweep, overhead, run_matrix, sweep_cache,
-    table1, table2, timeline, variance, MatrixRecords,
+    ablate, fig2, fig7, fig8, fig9, full_report, generality, latency_sweep, overhead, run_matrix,
+    run_matrix_with_jobs, sweep_cache, table1, table2, timeline, variance, MatrixRecords,
 };
 pub use fig4::figure4;
+pub use shapes::{evaluate_shapes, render_shape_report, ShapeOutcome};
+pub use sweep::{default_jobs, parallel_map, run_cells, SweepDoc, SweepFailure, SweepOutcome};

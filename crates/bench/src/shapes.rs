@@ -1,0 +1,437 @@
+//! Machine-checkable shape assertions over a sweep document.
+//!
+//! EXPERIMENTS.md argues that this reproduction validates the paper's
+//! *shapes* — orderings between schedulers, which benchmarks win and
+//! lose, where the outliers sit — rather than absolute numbers. Each
+//! assertion here encodes one of those qualitative claims as a predicate
+//! over `repro.json` ([`SweepDoc`]), with an ID that EXPERIMENTS.md
+//! cross-references, so `repro check` turns the repository's scientific
+//! claim into an enforced invariant instead of prose.
+//!
+//! Thresholds are deliberately looser than the measured paper-scale
+//! values: they must hold at every scale the CI gate runs (`ci` and
+//! up), not just at the scale the numbers in EXPERIMENTS.md were
+//! measured at. Claims that only fully develop at full input sizes
+//! (TB-Pri's L2 gain, the zero-overflow queue budget) check their
+//! strict form when the document was swept at paper scale and a
+//! relaxed form otherwise; the `detail` line records which form ran.
+
+use crate::experiments::MatrixRecords;
+use crate::sweep::SweepDoc;
+use sim_metrics::harness::{RunRecord, SchedulerKind};
+use sim_metrics::report::mean;
+
+/// The result of evaluating one shape assertion.
+#[derive(Debug, Clone)]
+pub struct ShapeOutcome {
+    /// Stable assertion ID (cross-referenced from EXPERIMENTS.md).
+    pub id: &'static str,
+    /// The qualitative claim being checked, in one sentence.
+    pub claim: &'static str,
+    /// Whether the sweep satisfies the claim.
+    pub passed: bool,
+    /// Measured values behind the verdict.
+    pub detail: String,
+}
+
+const RR: &str = "rr";
+const TBPRI: &str = "tb-pri";
+const SMX: &str = "smx-bind";
+const ADAPTIVE: &str = "adaptive-bind";
+const DTBL: &str = "dtbl";
+const CDP: &str = "cdp";
+
+struct Ctx<'a> {
+    doc: &'a SweepDoc,
+    matrix: MatrixRecords,
+}
+
+impl Ctx<'_> {
+    fn runs(&self, model: &str, sched: &str) -> Vec<&RunRecord> {
+        self.matrix
+            .records()
+            .iter()
+            .filter(|r| r.launch_model == model && r.scheduler == sched)
+            .collect()
+    }
+
+    /// Mean of a metric over all runs of one (model, scheduler) column.
+    fn mean_metric(&self, model: &str, sched: &str, f: impl Fn(&RunRecord) -> f64) -> f64 {
+        let vs: Vec<f64> = self.runs(model, sched).into_iter().map(f).collect();
+        mean(&vs)
+    }
+
+    /// IPC normalized to the same workload/model round-robin baseline.
+    fn norm_ipc(&self, workload: &str, model: &str, sched: &str) -> Option<f64> {
+        let r = self.matrix.get(workload, model, sched)?;
+        self.matrix.normalized_ipc(r)
+    }
+
+    /// Suite-mean normalized IPC of one (model, scheduler) column.
+    fn mean_norm_ipc(&self, model: &str, sched: &str) -> f64 {
+        let vs: Vec<f64> =
+            self.matrix.workloads().iter().filter_map(|w| self.norm_ipc(w, model, sched)).collect();
+        mean(&vs)
+    }
+
+    /// Whether the document was swept at full paper scale, where the
+    /// strict (EXPERIMENTS.md-measured) form of a claim is enforced.
+    fn paper_scale(&self) -> bool {
+        self.doc.scale == "paper"
+    }
+}
+
+type Check = fn(&Ctx) -> (bool, String);
+
+/// The assertion catalog: `(id, claim, check)`.
+const SHAPES: &[(&str, &str, Check)] = &[
+    (
+        "matrix-complete",
+        "The sweep ran every workload x launch model x scheduler cell without failures",
+        |ctx| {
+            let workloads = ctx.matrix.workloads().len();
+            let expected = workloads * 2 * SchedulerKind::all().len();
+            let got = ctx.matrix.records().len();
+            let ok = ctx.doc.failures.is_empty() && workloads == 16 && got == expected;
+            (
+                ok,
+                format!(
+                    "{got} records over {workloads} workloads (expected 16 x 2 x 4 = 128), \
+                     {} failures",
+                    ctx.doc.failures.len()
+                ),
+            )
+        },
+    ),
+    (
+        "fig9-dtbl-ordering",
+        "Under DTBL the suite-mean normalized IPC orders RR < TB-Pri < SMX-Bind <= Adaptive-Bind",
+        |ctx| {
+            let t = ctx.mean_norm_ipc(DTBL, TBPRI);
+            let s = ctx.mean_norm_ipc(DTBL, SMX);
+            let a = ctx.mean_norm_ipc(DTBL, ADAPTIVE);
+            // TB-Pri's gain is an L2-reuse effect that only develops at
+            // full input sizes; below paper scale the enforced shape is
+            // TB-Pri <= SMX-Bind <= Adaptive-Bind with a real Adaptive
+            // gain.
+            let ok = if ctx.paper_scale() {
+                t > 1.02 && s > t && a >= s - 0.02
+            } else {
+                s >= t && a >= s - 0.02 && a > 1.05
+            };
+            (
+                ok,
+                format!(
+                    "tb-pri {t:.3}x, smx-bind {s:.3}x, adaptive-bind {a:.3}x (rr = 1){}",
+                    if ctx.paper_scale() { "" } else { " [relaxed below paper scale]" }
+                ),
+            )
+        },
+    ),
+    (
+        "fig9-adaptive-ge-tbpri-dtbl",
+        "Adaptive-Bind IPC >= TB-Pri on at least 12 of the 16 DTBL benchmark pairs",
+        |ctx| {
+            let mut wins = 0usize;
+            let mut total = 0usize;
+            for w in ctx.matrix.workloads() {
+                let (Some(a), Some(t)) =
+                    (ctx.norm_ipc(&w, DTBL, ADAPTIVE), ctx.norm_ipc(&w, DTBL, TBPRI))
+                else {
+                    continue;
+                };
+                total += 1;
+                if a >= t - 0.01 {
+                    wins += 1;
+                }
+            }
+            (total == 16 && wins >= 12, format!("{wins} of {total} pairs"))
+        },
+    ),
+    (
+        "fig9-dtbl-headline",
+        "Adaptive-Bind delivers a double-digit suite-mean gain over RR under DTBL",
+        |ctx| {
+            let a = ctx.mean_norm_ipc(DTBL, ADAPTIVE);
+            // Measured 1.47x at paper scale, 1.14x at ci scale.
+            let floor = if ctx.paper_scale() { 1.15 } else { 1.10 };
+            (a >= floor, format!("adaptive-bind {a:.3}x (floor {floor:.2}x)"))
+        },
+    ),
+    (
+        "fig9-cdp-muted",
+        "CDP gains are smaller than DTBL gains (launch-bound; Section IV-C/D)",
+        |ctx| {
+            let a_cdp = ctx.mean_norm_ipc(CDP, ADAPTIVE);
+            let a_dtbl = ctx.mean_norm_ipc(DTBL, ADAPTIVE);
+            let t_cdp = ctx.mean_norm_ipc(CDP, TBPRI);
+            let t_dtbl = ctx.mean_norm_ipc(DTBL, TBPRI);
+            // The TB-Pri comparison needs TB-Pri's DTBL gain to exist,
+            // which only happens at paper scale (see fig9-dtbl-ordering).
+            let ok = a_cdp < a_dtbl && (!ctx.paper_scale() || t_cdp < t_dtbl);
+            (
+                ok,
+                format!(
+                    "adaptive {a_cdp:.3}x CDP vs {a_dtbl:.3}x DTBL; \
+                     tb-pri {t_cdp:.3}x CDP vs {t_dtbl:.3}x DTBL{}",
+                    if ctx.paper_scale() { "" } else { " [adaptive leg only below paper scale]" }
+                ),
+            )
+        },
+    ),
+    (
+        "fig9-smxbind-skew-pathology",
+        "Adaptive-Bind recovers the skewed join workloads where pure SMX binding load-imbalances",
+        |ctx| {
+            let mut ok = true;
+            let mut parts = Vec::new();
+            for w in ["join-uniform", "join-gaussian"] {
+                let (Some(a), Some(s)) =
+                    (ctx.norm_ipc(w, DTBL, ADAPTIVE), ctx.norm_ipc(w, DTBL, SMX))
+                else {
+                    ok = false;
+                    parts.push(format!("{w}: missing"));
+                    continue;
+                };
+                ok &= a > s;
+                parts.push(format!("{w}: adaptive {a:.3}x vs smx-bind {s:.3}x"));
+            }
+            (ok, parts.join("; "))
+        },
+    ),
+    ("fig7-tbpri-l2-dtbl", "TB-Pri raises the suite-mean L2 hit rate over RR under DTBL", |ctx| {
+        let rr = ctx.mean_metric(DTBL, RR, |r| r.l2_hit_rate);
+        let t = ctx.mean_metric(DTBL, TBPRI, |r| r.l2_hit_rate);
+        (t > rr, format!("tb-pri {:.1}% vs rr {:.1}%", t * 100.0, rr * 100.0))
+    }),
+    (
+        "fig7-binding-trades-l2-dtbl",
+        "SMX binding trades L2 hits for L1 hits: SMX-Bind's L2 hit rate sits below TB-Pri's",
+        |ctx| {
+            let t = ctx.mean_metric(DTBL, TBPRI, |r| r.l2_hit_rate);
+            let s = ctx.mean_metric(DTBL, SMX, |r| r.l2_hit_rate);
+            (s < t, format!("smx-bind {:.1}% vs tb-pri {:.1}%", s * 100.0, t * 100.0))
+        },
+    ),
+    (
+        "fig8-binding-l1-dtbl",
+        "The binding policies lift the suite-mean L1 hit rate well above RR under DTBL",
+        |ctx| {
+            let rr = ctx.mean_metric(DTBL, RR, |r| r.l1_hit_rate);
+            let s = ctx.mean_metric(DTBL, SMX, |r| r.l1_hit_rate);
+            let a = ctx.mean_metric(DTBL, ADAPTIVE, |r| r.l1_hit_rate);
+            let ok = s > rr + 0.03 && a > rr + 0.03;
+            (
+                ok,
+                format!(
+                    "rr {:.1}%, smx-bind {:.1}%, adaptive-bind {:.1}%",
+                    rr * 100.0,
+                    s * 100.0,
+                    a * 100.0
+                ),
+            )
+        },
+    ),
+    (
+        "fig8-tbpri-l1-flat-dtbl",
+        "TB-Pri's gain is an L2 effect: its L1 hit rate stays within 3pp of RR under DTBL",
+        |ctx| {
+            let rr = ctx.mean_metric(DTBL, RR, |r| r.l1_hit_rate);
+            let t = ctx.mean_metric(DTBL, TBPRI, |r| r.l1_hit_rate);
+            ((t - rr).abs() < 0.03, format!("tb-pri {:.1}% vs rr {:.1}%", t * 100.0, rr * 100.0))
+        },
+    ),
+    (
+        "fig2-parent-child-dominant",
+        "Parent-child sharing dominates adjacent parent-parent sharing: the suite average is \
+         at least 1.5x higher and nearly every workload follows (bht is Figure 2's outlier)",
+        |ctx| {
+            let n = ctx.doc.footprints.len();
+            let pc = mean(&ctx.doc.footprints.iter().map(|f| f.parent_child).collect::<Vec<_>>());
+            let pp = mean(&ctx.doc.footprints.iter().map(|f| f.parent_parent).collect::<Vec<_>>());
+            let wins =
+                ctx.doc.footprints.iter().filter(|f| f.parent_child > f.parent_parent).count();
+            let ok = n == 16 && pc > pp * 1.5 && wins >= 14;
+            (
+                ok,
+                format!(
+                    "avg parent-child {:.1}% vs parent-parent {:.1}%; holds on {wins} of {n} \
+                     workloads",
+                    pc * 100.0,
+                    pp * 100.0
+                ),
+            )
+        },
+    ),
+    (
+        "fig2-regx-sibling-outlier",
+        "regx is the child-sibling sharing outlier: every regx input outranks every other workload",
+        |ctx| {
+            let regx_min = ctx
+                .doc
+                .footprints
+                .iter()
+                .filter(|f| f.workload.starts_with("regx"))
+                .map(|f| f.child_sibling)
+                .fold(f64::INFINITY, f64::min);
+            let other_max = ctx
+                .doc
+                .footprints
+                .iter()
+                .filter(|f| !f.workload.starts_with("regx"))
+                .map(|f| f.child_sibling)
+                .fold(0.0f64, f64::max);
+            (
+                regx_min.is_finite() && regx_min > other_max,
+                format!(
+                    "regx min {:.1}% vs best non-regx {:.1}%",
+                    regx_min * 100.0,
+                    other_max * 100.0
+                ),
+            )
+        },
+    ),
+    (
+        "fig2-amr-join-sibling-low",
+        "amr and join children own private regions: child-sibling sharing below 10%",
+        |ctx| {
+            let mut ok = true;
+            let mut parts = Vec::new();
+            let mut seen = 0;
+            for f in &ctx.doc.footprints {
+                if f.workload == "amr" || f.workload.starts_with("join") {
+                    seen += 1;
+                    ok &= f.child_sibling < 0.10;
+                    parts.push(format!("{} {:.1}%", f.workload, f.child_sibling * 100.0));
+                }
+            }
+            (ok && seen == 3, parts.join(", "))
+        },
+    ),
+    (
+        "overhead-queue-budget",
+        "The Section IV-E benchmarks respect the 128-entry on-chip queue budget under \
+         Adaptive-Bind/DTBL: zero overflows at paper scale, spills under 5% of pushes otherwise",
+        |ctx| {
+            let names = ["bfs-citation", "amr", "join-gaussian", "regx-strings"];
+            let mut ok = true;
+            let mut parts = Vec::new();
+            let mut seen = 0usize;
+            for r in ctx.runs(DTBL, ADAPTIVE) {
+                if !names.contains(&r.workload.as_str()) {
+                    continue;
+                }
+                seen += 1;
+                if ctx.paper_scale() {
+                    ok &= r.max_queue_depth <= 128 && r.queue_overflows == 0;
+                } else {
+                    // Smaller inputs launch burstier relative to drain
+                    // rate; the spill path may fire but must stay rare.
+                    ok &= r.queue_overflows * 20 <= r.queue_pushes;
+                }
+                parts.push(format!(
+                    "{} depth {} ovf {}/{}",
+                    r.workload, r.max_queue_depth, r.queue_overflows, r.queue_pushes
+                ));
+            }
+            ok &= seen == names.len();
+            (ok, parts.join("; "))
+        },
+    ),
+    (
+        "sched-smxbind-binding-invariants",
+        "Pure SMX-Bind never steals and places every child on its parent's SMX",
+        |ctx| {
+            let mut ok = true;
+            let mut bad = Vec::new();
+            for model in [CDP, DTBL] {
+                for r in ctx.runs(model, SMX) {
+                    if r.parent_smx_affinity != 1.0 || r.steals != 0 {
+                        ok = false;
+                        bad.push(format!(
+                            "{}/{}: affinity {:.2}, steals {}",
+                            r.workload, r.launch_model, r.parent_smx_affinity, r.steals
+                        ));
+                    }
+                }
+            }
+            (
+                ok,
+                if bad.is_empty() {
+                    "all smx-bind runs fully bound".to_string()
+                } else {
+                    bad.join("; ")
+                },
+            )
+        },
+    ),
+    (
+        "sched-adaptive-steals-active",
+        "Adaptive-Bind's stage-3 stealing actually fires under DTBL",
+        |ctx| {
+            let total: u64 = ctx.runs(DTBL, ADAPTIVE).iter().map(|r| r.steals).sum();
+            (total > 0, format!("{total} steals across the DTBL suite"))
+        },
+    ),
+];
+
+/// Evaluates every shape assertion against a sweep document.
+pub fn evaluate_shapes(doc: &SweepDoc) -> Vec<ShapeOutcome> {
+    let ctx = Ctx { doc, matrix: MatrixRecords::from_records(doc.records.clone()) };
+    SHAPES
+        .iter()
+        .map(|(id, claim, check)| {
+            let (passed, detail) = check(&ctx);
+            ShapeOutcome { id, claim, passed, detail }
+        })
+        .collect()
+}
+
+/// Renders the `repro check` report: one PASS/FAIL line per assertion
+/// plus a summary line.
+pub fn render_shape_report(outcomes: &[ShapeOutcome]) -> String {
+    let mut out = String::from("Shape assertions (EXPERIMENTS.md claims as invariants)\n\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "{} {}\n    {}\n    measured: {}\n",
+            if o.passed { "PASS" } else { "FAIL" },
+            o.id,
+            o.claim,
+            o.detail
+        ));
+    }
+    let failed = outcomes.iter().filter(|o| !o.passed).count();
+    out.push_str(&format!(
+        "\n{} of {} assertions passed{}\n",
+        outcomes.len() - failed,
+        outcomes.len(),
+        if failed > 0 { format!(", {failed} FAILED") } else { String::new() }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assertion_ids_are_unique_and_plentiful() {
+        let mut ids: Vec<&str> = SHAPES.iter().map(|(id, _, _)| *id).collect();
+        assert!(ids.len() >= 10, "the reproduction gate needs at least 10 shape assertions");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), SHAPES.len(), "duplicate assertion IDs");
+    }
+
+    #[test]
+    fn report_marks_failures() {
+        let outcomes = vec![
+            ShapeOutcome { id: "a", claim: "c", passed: true, detail: "d".into() },
+            ShapeOutcome { id: "b", claim: "c", passed: false, detail: "d".into() },
+        ];
+        let report = render_shape_report(&outcomes);
+        assert!(report.contains("PASS a"));
+        assert!(report.contains("FAIL b"));
+        assert!(report.contains("1 of 2 assertions passed, 1 FAILED"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Parallel sweep executor and the `repro.json` sweep document.
+//!
+//! [`run_cells`] is a work-queue executor: `jobs` scoped worker threads
+//! pull cell indices from a shared atomic counter, run each cell inside
+//! `catch_unwind` (one panicking run cannot take down the sweep), and
+//! store results *by input index*, so the output order — and therefore
+//! every rendered report — is identical for any job count and any
+//! completion order. Determinism of the contents comes from the cells
+//! themselves: each cell fully describes its run (workload generated
+//! from a seed fixed at sweep-construction time, launch model,
+//! scheduler, GPU config), never from execution order.
+//!
+//! [`SweepDoc`] is the machine-readable artifact (`repro.json`) that
+//! `repro all` emits alongside the text report and that `repro check`
+//! evaluates shape assertions against (see [`crate::shapes`]).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dynpar::LaunchModelKind;
+use gpu_sim::config::GpuConfig;
+use sim_metrics::harness::{run_once, RunRecord, SchedulerKind};
+use sim_metrics::json::{parse, run_from_json, run_to_json, Json};
+use sim_metrics::FootprintAnalysis;
+use workloads::{suite_seeded, Scale, Workload};
+
+/// The default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Runs `run` over `cells` on up to `jobs` worker threads and returns
+/// one result per cell, in input order. A panicking cell yields
+/// `Err(message)` for that cell only; all other cells still run.
+pub fn run_cells<I, T, F>(cells: &[I], jobs: usize, run: F) -> Vec<Result<T, String>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| run(&cells[i])))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("slot lock").expect("cell ran")).collect()
+}
+
+/// [`run_cells`] for infallible work: unwraps every result, re-raising
+/// the first worker panic (with its message) on the caller's thread.
+pub fn parallel_map<I, T, F>(cells: &[I], jobs: usize, run: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_cells(cells, jobs, run)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("sweep worker panicked: {e}")))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Clone)]
+pub struct MatrixCell {
+    /// The workload (generated from the sweep's seed).
+    pub workload: Arc<dyn Workload>,
+    /// Launch model under test.
+    pub model: LaunchModelKind,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+}
+
+/// A per-cell failure: the configuration that failed and the error or
+/// panic message. Reported in `repro.json` so CI can attribute a broken
+/// run to its exact configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Workload display name.
+    pub workload: String,
+    /// Launch model name.
+    pub launch_model: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Error or panic message.
+    pub error: String,
+}
+
+/// The outcome of a matrix sweep: completed records in canonical cell
+/// order, plus any per-cell failures.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Completed runs, in canonical (workload × model × scheduler) order.
+    pub records: Vec<RunRecord>,
+    /// Failed cells, in canonical order.
+    pub failures: Vec<SweepFailure>,
+}
+
+/// The canonical cell list for the full evaluation matrix at a scale:
+/// every suite workload × both launch models × all four schedulers, in
+/// the paper's figure order.
+pub fn matrix_cells(scale: Scale, seed: u64) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for w in suite_seeded(scale, seed) {
+        for model in LaunchModelKind::all() {
+            for scheduler in SchedulerKind::all() {
+                cells.push(MatrixCell { workload: w.clone(), model, scheduler });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the full evaluation matrix on `jobs` workers, with progress to
+/// stderr. Every record (and the order of `records`) is deterministic
+/// for any `jobs`; only the stderr progress interleaving varies.
+pub fn run_matrix_jobs(scale: Scale, seed: u64, jobs: usize, cfg: &GpuConfig) -> SweepOutcome {
+    let cells = matrix_cells(scale, seed);
+    run_matrix_cells(&cells, jobs, cfg)
+}
+
+/// Runs an explicit cell list (the building block tests use to sweep
+/// subsets quickly).
+pub fn run_matrix_cells(cells: &[MatrixCell], jobs: usize, cfg: &GpuConfig) -> SweepOutcome {
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let results = run_cells(cells, jobs, |cell| {
+        let record =
+            run_once(&cell.workload, cell.model, cell.scheduler, cfg).unwrap_or_else(|e| {
+                panic!(
+                    "{} under {}/{} failed: {e}",
+                    cell.workload.full_name(),
+                    cell.model,
+                    cell.scheduler
+                )
+            });
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{n}/{total}] {} {} {}: {} cycles, IPC {:.1}",
+            cell.workload.full_name(),
+            cell.model,
+            cell.scheduler,
+            record.cycles,
+            record.ipc
+        );
+        record
+    });
+    let mut records = Vec::new();
+    let mut failures = Vec::new();
+    for (cell, result) in cells.iter().zip(results) {
+        match result {
+            Ok(record) => records.push(record),
+            Err(error) => failures.push(SweepFailure {
+                workload: cell.workload.full_name(),
+                launch_model: cell.model.name().to_string(),
+                scheduler: cell.scheduler.name().to_string(),
+                error,
+            }),
+        }
+    }
+    SweepOutcome { records, failures }
+}
+
+/// One workload's shared-footprint ratios in the sweep document
+/// (Figure 2's per-row content).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintRow {
+    /// Workload display name.
+    pub workload: String,
+    /// Parent-child shared footprint ratio.
+    pub parent_child: f64,
+    /// Child-sibling shared footprint ratio.
+    pub child_sibling: f64,
+    /// Adjacent parent-parent shared footprint ratio.
+    pub parent_parent: f64,
+}
+
+/// The `repro.json` document: everything the shape-assertion suite
+/// needs, keyed by configuration, in canonical order.
+#[derive(Debug, Clone)]
+pub struct SweepDoc {
+    /// Scale name ("tiny", "ci", "small", "paper").
+    pub scale: String,
+    /// Input seed the suite was generated with.
+    pub seed: u64,
+    /// Completed matrix runs in canonical order.
+    pub records: Vec<RunRecord>,
+    /// Failed cells (empty on a healthy sweep).
+    pub failures: Vec<SweepFailure>,
+    /// Per-workload shared-footprint ratios (Figure 2).
+    pub footprints: Vec<FootprintRow>,
+}
+
+/// Schema version written to and required from `repro.json`.
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+
+impl SweepDoc {
+    /// Runs the matrix and the static footprint analysis at a scale and
+    /// assembles the document. Both phases fan out over `jobs` workers.
+    pub fn build(scale: Scale, seed: u64, jobs: usize) -> SweepDoc {
+        let cfg = GpuConfig::kepler_k20c();
+        let outcome = run_matrix_jobs(scale, seed, jobs, &cfg);
+        let all = suite_seeded(scale, seed);
+        let footprints = parallel_map(&all, jobs, |w| {
+            let a = FootprintAnalysis::analyze(w.as_ref());
+            FootprintRow {
+                workload: a.workload,
+                parent_child: a.parent_child,
+                child_sibling: a.child_sibling,
+                parent_parent: a.parent_parent,
+            }
+        });
+        SweepDoc {
+            scale: scale.name().to_string(),
+            seed,
+            records: outcome.records,
+            failures: outcome.failures,
+            footprints,
+        }
+    }
+
+    /// Renders the document as `repro.json` (one run per line for
+    /// readable diffs; the content is still ordinary JSON).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SWEEP_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"scale\": {},\n", Json::Str(self.scale.clone()).render()));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", run_to_json(r).render()));
+        }
+        out.push_str("  ],\n  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            let obj = Json::Obj(vec![
+                ("workload".into(), Json::Str(f.workload.clone())),
+                ("launch_model".into(), Json::Str(f.launch_model.clone())),
+                ("scheduler".into(), Json::Str(f.scheduler.clone())),
+                ("error".into(), Json::Str(f.error.clone())),
+            ]);
+            let sep = if i + 1 < self.failures.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", obj.render()));
+        }
+        out.push_str("  ],\n  \"footprints\": [\n");
+        for (i, f) in self.footprints.iter().enumerate() {
+            let obj = Json::Obj(vec![
+                ("workload".into(), Json::Str(f.workload.clone())),
+                ("parent_child".into(), Json::from_f64(f.parent_child)),
+                ("child_sibling".into(), Json::from_f64(f.child_sibling)),
+                ("parent_parent".into(), Json::from_f64(f.parent_parent)),
+            ]);
+            let sep = if i + 1 < self.footprints.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", obj.render()));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a document written by [`SweepDoc::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors, a schema-version mismatch, or the
+    /// first missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<SweepDoc, String> {
+        let v = parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing integer field 'schema_version'")?;
+        if version != SWEEP_SCHEMA_VERSION {
+            return Err(format!(
+                "repro.json schema version {version} (this binary reads {SWEEP_SCHEMA_VERSION})"
+            ));
+        }
+        let scale = v.get("scale").and_then(Json::as_str).ok_or("missing 'scale'")?.to_string();
+        let seed = v.get("seed").and_then(Json::as_u64).ok_or("missing 'seed'")?;
+        let records = v
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or("missing array 'runs'")?
+            .iter()
+            .map(run_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let str_of = |o: &Json, key: &str| -> Result<String, String> {
+            o.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let failures = v
+            .get("failures")
+            .and_then(Json::as_arr)
+            .ok_or("missing array 'failures'")?
+            .iter()
+            .map(|o| {
+                Ok(SweepFailure {
+                    workload: str_of(o, "workload")?,
+                    launch_model: str_of(o, "launch_model")?,
+                    scheduler: str_of(o, "scheduler")?,
+                    error: str_of(o, "error")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let footprints = v
+            .get("footprints")
+            .and_then(Json::as_arr)
+            .ok_or("missing array 'footprints'")?
+            .iter()
+            .map(|o| {
+                let num = |key: &str| -> Result<f64, String> {
+                    o.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("missing number field '{key}'"))
+                };
+                Ok(FootprintRow {
+                    workload: str_of(o, "workload")?,
+                    parent_child: num("parent_child")?,
+                    child_sibling: num("child_sibling")?,
+                    parent_parent: num("parent_parent")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SweepDoc { scale, seed, records, failures, footprints })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_preserves_input_order_for_any_job_count() {
+        let cells: Vec<usize> = (0..40).collect();
+        for jobs in [1, 2, 8, 64] {
+            let out = run_cells(&cells, jobs, |&i| i * i);
+            let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+            assert_eq!(values, cells.iter().map(|&i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_is_isolated() {
+        let cells: Vec<usize> = (0..10).collect();
+        let out = run_cells(&cells, 4, |&i| {
+            assert!(i != 5, "cell five exploded");
+            i + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("cell five exploded"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_and_empty_input_is_fine() {
+        assert_eq!(run_cells(&[1, 2], 0, |&i: &i32| i).len(), 2);
+        assert!(run_cells::<i32, i32, _>(&[], 8, |&i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn parallel_map_reraises_panics() {
+        parallel_map(&[1], 1, |_| -> i32 { panic!("boom") });
+    }
+}

@@ -1,0 +1,491 @@
+//! Minimal JSON value type, writer, and parser (the workspace has no
+//! serde), plus [`RunRecord`] serialization for the `repro.json` sweep
+//! artifact.
+//!
+//! Numbers are kept as their raw JSON text ([`Json::Num`] stores a
+//! `String`), so integer fields round-trip exactly at any magnitude and
+//! floats round-trip through Rust's shortest-representation `{}`
+//! formatting. This is what makes the sweep harness's "bit-identical
+//! `repro.json` for any `--jobs N`" guarantee checkable by comparing
+//! document strings.
+
+use crate::harness::RunRecord;
+use gpu_sim::stats::StallBreakdown;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw JSON text (exact round-trip).
+    Num(String),
+    /// A string (unescaped content).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved by the writer.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number from an unsigned integer.
+    pub fn from_u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A number from a float (shortest round-trip representation).
+    /// Non-finite values have no JSON encoding and become `null`.
+    pub fn from_f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// The value under `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`; `null` reads as NaN (the writer encodes
+    /// non-finite floats as `null`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+            text.parse::<f64>().map_err(|_| format!("bad number at byte {start}"))?;
+            Ok(Json::Num(text.to_string()))
+        }
+        Some(c) => Err(format!("unexpected '{}' at byte {pos}", *c as char)),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (continuation bytes included).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad utf-8")?);
+            }
+        }
+    }
+}
+
+/// Serializes one [`RunRecord`] as a JSON object (the `runs[]` element
+/// of the `repro.json` schema; see `docs/ARCHITECTURE.md`).
+pub fn run_to_json(r: &RunRecord) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.workload.clone())),
+        ("launch_model".into(), Json::Str(r.launch_model.clone())),
+        ("scheduler".into(), Json::Str(r.scheduler.clone())),
+        ("cycles".into(), Json::from_u64(r.cycles)),
+        ("ipc".into(), Json::from_f64(r.ipc)),
+        ("l1_hit_rate".into(), Json::from_f64(r.l1_hit_rate)),
+        ("l2_hit_rate".into(), Json::from_f64(r.l2_hit_rate)),
+        ("child_l1_hit_rate".into(), Json::from_f64(r.child_l1_hit_rate)),
+        ("mean_child_wait".into(), Json::from_f64(r.mean_child_wait)),
+        ("parent_smx_affinity".into(), Json::from_f64(r.parent_smx_affinity)),
+        ("smx_utilization".into(), Json::from_f64(r.smx_utilization)),
+        ("load_imbalance".into(), Json::from_f64(r.load_imbalance)),
+        ("dynamic_tbs".into(), Json::from_u64(r.dynamic_tbs as u64)),
+        ("total_tbs".into(), Json::from_u64(r.total_tbs as u64)),
+        ("steals".into(), Json::from_u64(r.steals)),
+        ("queue_overflows".into(), Json::from_u64(r.queue_overflows)),
+        ("queue_pushes".into(), Json::from_u64(r.queue_pushes)),
+        ("max_queue_depth".into(), Json::from_u64(r.max_queue_depth)),
+        ("queue_search_cycles".into(), Json::from_u64(r.queue_search_cycles)),
+        (
+            "stalls".into(),
+            Json::Obj(vec![
+                ("scoreboard".into(), Json::from_u64(r.stalls.scoreboard)),
+                ("memory_pending".into(), Json::from_u64(r.stalls.memory_pending)),
+                ("mshr_full".into(), Json::from_u64(r.stalls.mshr_full)),
+                ("barrier".into(), Json::from_u64(r.stalls.barrier)),
+                ("no_tb".into(), Json::from_u64(r.stalls.no_tb)),
+            ]),
+        ),
+    ])
+}
+
+/// Deserializes a [`RunRecord`] from the object shape [`run_to_json`]
+/// writes.
+///
+/// # Errors
+///
+/// Names the first missing or mistyped field.
+pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("run record missing string field '{key}'"))
+    };
+    let f64_field = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("run record missing number field '{key}'"))
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("run record missing integer field '{key}'"))
+    };
+    let stalls = v.get("stalls").ok_or("run record missing 'stalls'")?;
+    let stall_field = |key: &str| -> Result<u64, String> {
+        stalls
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("stalls missing integer field '{key}'"))
+    };
+    Ok(RunRecord {
+        workload: str_field("workload")?,
+        launch_model: str_field("launch_model")?,
+        scheduler: str_field("scheduler")?,
+        cycles: u64_field("cycles")?,
+        ipc: f64_field("ipc")?,
+        l1_hit_rate: f64_field("l1_hit_rate")?,
+        l2_hit_rate: f64_field("l2_hit_rate")?,
+        child_l1_hit_rate: f64_field("child_l1_hit_rate")?,
+        mean_child_wait: f64_field("mean_child_wait")?,
+        parent_smx_affinity: f64_field("parent_smx_affinity")?,
+        smx_utilization: f64_field("smx_utilization")?,
+        load_imbalance: f64_field("load_imbalance")?,
+        dynamic_tbs: u64_field("dynamic_tbs")? as usize,
+        total_tbs: u64_field("total_tbs")? as usize,
+        steals: u64_field("steals")?,
+        queue_overflows: u64_field("queue_overflows")?,
+        queue_pushes: u64_field("queue_pushes")?,
+        max_queue_depth: u64_field("max_queue_depth")?,
+        queue_search_cycles: u64_field("queue_search_cycles")?,
+        stalls: StallBreakdown {
+            scoreboard: stall_field("scoreboard")?,
+            memory_pending: stall_field("memory_pending")?,
+            mshr_full: stall_field("mshr_full")?,
+            barrier: stall_field("barrier")?,
+            no_tb: stall_field("no_tb")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            workload: "bfs-citation".to_string(),
+            launch_model: "dtbl".to_string(),
+            scheduler: "adaptive-bind".to_string(),
+            cycles: 123_456_789_012,
+            ipc: 61.25,
+            l1_hit_rate: 0.5123456789,
+            l2_hit_rate: 0.75,
+            child_l1_hit_rate: 0.25,
+            mean_child_wait: 12.5,
+            parent_smx_affinity: 0.875,
+            smx_utilization: 0.9,
+            load_imbalance: 1.125,
+            dynamic_tbs: 331,
+            total_tbs: 843,
+            steals: 17,
+            queue_overflows: 0,
+            queue_pushes: 331,
+            max_queue_depth: 12,
+            queue_search_cycles: 400,
+            stalls: StallBreakdown {
+                scoreboard: 40,
+                memory_pending: 30,
+                mshr_full: 10,
+                barrier: 5,
+                no_tb: 15,
+            },
+        }
+    }
+
+    #[test]
+    fn run_record_roundtrips_exactly() {
+        let r = record();
+        let text = run_to_json(&r).render();
+        let parsed = run_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        // Re-rendering is byte-identical (the invariance tests rely on
+        // string comparison of whole documents).
+        assert_eq!(run_to_json(&parsed).render(), text);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let doc = r#"{"a": [1, -2.5, 1e3, "x\"\\\n\u0041"], "b": {"c": null, "d": true}}"#;
+        let v = parse(doc).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_f64(), Some(1000.0));
+        assert_eq!(arr[3].as_str(), Some("x\"\\\nA"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "{\"a\":1} x", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn writer_escapes_control_characters() {
+        let v = Json::Str("line\nbreak \"q\" \\ \u{1}".to_string());
+        let text = v.render();
+        assert_eq!(text, "\"line\\nbreak \\\"q\\\" \\\\ \\u0001\"");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from_f64(f64::NAN), Json::Null);
+        assert!(Json::Null.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn large_integers_roundtrip_exactly() {
+        let v = Json::from_u64(u64::MAX);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+}

@@ -11,6 +11,9 @@
 //!   simulation (when does the locality benefit materialize?).
 //! * [`export`] — CSV rendering of run records and timelines for
 //!   external plotting.
+//! * [`json`] — minimal JSON value/parser/writer plus exact-round-trip
+//!   [`harness::RunRecord`] serialization for the `repro.json` sweep
+//!   artifact.
 //! * [`registry`] — counter/gauge/histogram registry with a standard
 //!   metric set derived from a run's stats and trace.
 //! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export of a
@@ -19,6 +22,7 @@
 pub mod export;
 pub mod footprint;
 pub mod harness;
+pub mod json;
 pub mod perfetto;
 pub mod registry;
 pub mod report;
@@ -26,6 +30,7 @@ pub mod timeline;
 
 pub use footprint::{FootprintAnalysis, FootprintSummary};
 pub use harness::{run_once, RunRecord, SchedulerKind};
+pub use json::{run_from_json, run_to_json, Json};
 pub use perfetto::{perfetto_json, validate_trace, TraceCheck};
 pub use registry::{registry_for_run, Histogram, MetricsRegistry};
 pub use timeline::{run_timeline, TimelinePoint};

@@ -91,6 +91,7 @@ impl GraphApp {
         let n = scale.items() * 8;
         let avg_degree = match scale {
             Scale::Tiny => 6,
+            Scale::Ci => 8,
             Scale::Small => 8,
             Scale::Paper => 10,
         };

@@ -3,12 +3,16 @@
 /// How large the workload inputs are.
 ///
 /// The paper runs full-size inputs on GPGPU-Sim for hours; this
-/// reproduction exposes three presets so unit tests stay fast while the
+/// reproduction exposes four presets so unit tests stay fast while the
 /// benchmark harness exercises realistic pressure on the caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Minimal inputs for unit tests (hundreds of TBs).
     Tiny,
+    /// Inputs for the CI reproduction gate: large enough that the
+    /// paper's shape claims hold, small enough that the full `repro all`
+    /// sweep finishes in CI minutes.
+    Ci,
     /// Medium inputs for integration tests and quick runs.
     Small,
     /// Full-size inputs for the figure-regeneration harness.
@@ -21,6 +25,7 @@ impl Scale {
     pub fn items(self) -> u32 {
         match self {
             Scale::Tiny => 256,
+            Scale::Ci => 2048,
             Scale::Small => 4096,
             Scale::Paper => 8192,
         }
@@ -30,6 +35,7 @@ impl Scale {
     pub fn name(self) -> &'static str {
         match self {
             Scale::Tiny => "tiny",
+            Scale::Ci => "ci",
             Scale::Small => "small",
             Scale::Paper => "paper",
         }
@@ -48,7 +54,8 @@ mod tests {
 
     #[test]
     fn scales_are_ordered_by_size() {
-        assert!(Scale::Tiny.items() < Scale::Small.items());
+        assert!(Scale::Tiny.items() < Scale::Ci.items());
+        assert!(Scale::Ci.items() < Scale::Small.items());
         assert!(Scale::Small.items() < Scale::Paper.items());
     }
 

@@ -1,0 +1,40 @@
+//! Tier-2 snapshot test: the ci-scale reproduction report must match
+//! the checked-in golden byte-for-byte.
+//!
+//! This is the offline half of the CI reproduction gate: the `repro-gate`
+//! workflow job runs the same sweep through the `repro` binary and diffs
+//! against the same golden, so a drift fails both here and there. The
+//! test is `#[ignore]`d because the full ci-scale sweep takes tens of
+//! seconds — CI runs it explicitly with `cargo test -- --ignored`.
+//!
+//! If a deliberate model change alters the output, regenerate with
+//! `cargo run --release -p laperm-bench --bin repro -- all --scale ci \
+//!  --json /tmp/repro.json > tests/golden/repro_ci.txt`
+//! and review the diff like any other code change.
+
+use laperm_bench::{default_jobs, evaluate_shapes, full_report, MatrixRecords, SweepDoc};
+use workloads::Scale;
+
+#[test]
+#[ignore = "ci-scale sweep takes tens of seconds; run with --ignored"]
+fn ci_scale_report_matches_golden() {
+    let golden = include_str!("golden/repro_ci.txt");
+    let doc = SweepDoc::build(Scale::Ci, 0, default_jobs());
+    assert!(doc.failures.is_empty(), "sweep failures: {:?}", doc.failures);
+    let m = MatrixRecords::from_records(doc.records.clone());
+    let current = full_report(Scale::Ci, default_jobs(), &m);
+    assert_eq!(
+        current, golden,
+        "ci-scale reproduction report drifted from tests/golden/repro_ci.txt"
+    );
+}
+
+#[test]
+#[ignore = "ci-scale sweep takes tens of seconds; run with --ignored"]
+fn ci_scale_shapes_all_pass() {
+    let doc = SweepDoc::build(Scale::Ci, 0, default_jobs());
+    let outcomes = evaluate_shapes(&doc);
+    let failed: Vec<String> =
+        outcomes.iter().filter(|o| !o.passed).map(|o| format!("{}: {}", o.id, o.detail)).collect();
+    assert!(failed.is_empty(), "shape assertions failed at ci scale:\n{}", failed.join("\n"));
+}
