@@ -14,6 +14,7 @@
 //!   --sample-every <n>     IPC counter sampling window in cycles (default 1000, 0 = off)
 //!   --check                validate the document and exit non-zero on violation
 //!   --metrics              also print the run's metrics registry
+//!   --locality             profile cache-hit provenance; print the per-class reuse summary
 //! ```
 
 use dynpar::{LaunchLatency, LaunchModelKind};
@@ -36,6 +37,7 @@ struct Options {
     sample_every: u64,
     check: bool,
     metrics: bool,
+    locality: bool,
 }
 
 fn parse_args() -> Options {
@@ -77,6 +79,7 @@ fn parse_args() -> Options {
         sample_every: parse_num("--sample-every").unwrap_or(1000),
         check: args.iter().any(|a| a == "--check"),
         metrics: args.iter().any(|a| a == "--metrics"),
+        locality: args.iter().any(|a| a == "--locality"),
     }
 }
 
@@ -110,6 +113,7 @@ fn main() {
     };
 
     let mut cfg = GpuConfig::kepler_k20c();
+    cfg.profile_locality = opts.locality;
     if let Some(n) = opts.smxs {
         cfg.num_smxs = n;
     }
@@ -180,8 +184,14 @@ fn main() {
 
     match validate_trace(&json) {
         Ok(check) => println!(
-            "validated: {} events, {} SMX tracks, {} spans, {} counter samples, {} instants",
-            check.events, check.smx_tracks, check.spans, check.counters, check.instants
+            "validated: {} events, {} SMX tracks, {} spans, {} counter samples \
+             ({} provenance), {} instants",
+            check.events,
+            check.smx_tracks,
+            check.spans,
+            check.counters,
+            check.prov_counters,
+            check.instants
         ),
         Err(e) => {
             eprintln!("trace validation failed: {e}");
@@ -195,4 +205,52 @@ fn main() {
         let registry = registry_for_run(&stats, &records);
         print!("\n{}", registry.render());
     }
+
+    if opts.locality {
+        print!("\n{}", locality_summary(&stats));
+    }
+}
+
+/// Renders the per-class reuse summary for a profiled run: hit counts
+/// and shares per lineage class at each cache level, mean reuse
+/// distances, plus the L2 same/cross-SMX and bound/stolen splits.
+fn locality_summary(stats: &gpu_sim::stats::SimStats) -> String {
+    use gpu_sim::cache::ReuseClass;
+    use sim_metrics::report::Table;
+    let Some(loc) = &stats.locality else {
+        return "no locality data recorded\n".to_string();
+    };
+    let mut t = Table::new(vec![
+        "reuse class",
+        "l1 hits",
+        "l1 share",
+        "l1 dist",
+        "l2 hits",
+        "l2 share",
+        "l2 dist",
+    ]);
+    for class in ReuseClass::ALL {
+        let i = class.index();
+        t.row(vec![
+            class.name().to_string(),
+            stats.l1.prov.class(class).to_string(),
+            format!("{:.1}%", 100.0 * stats.l1.prov.share(class)),
+            format!("{:.0} cyc", loc.l1_reuse_dist[i].mean()),
+            stats.l2.prov.class(class).to_string(),
+            format!("{:.1}%", 100.0 * stats.l2.prov.share(class)),
+            format!("{:.0} cyc", loc.l2_reuse_dist[i].mean()),
+        ]);
+    }
+    format!(
+        "locality provenance\n{}\
+         L2 hits on installing SMX: {} same, {} cross\n\
+         child L1 hits: bound {} ({:.1}% parent-child), stolen {} ({:.1}% parent-child)\n",
+        t.render(),
+        stats.l2.prov.same_smx,
+        stats.l2.prov.cross_smx,
+        loc.bind.bound_hits,
+        100.0 * loc.bind.bound_share(),
+        loc.bind.stolen_hits,
+        100.0 * loc.bind.stolen_share(),
+    )
 }

@@ -12,6 +12,7 @@
 //!   fig7      L2 hit rates (Figure 7)     — runs the full matrix
 //!   fig8      L1 hit rates (Figure 8)     — runs the full matrix
 //!   fig9      normalized IPC (Figure 9)   — runs the full matrix
+//!   locality  cache-hit provenance by lineage class — runs the full matrix
 //!   latency   launch-latency sensitivity (Section IV-D)
 //!   timeline  windowed IPC/L1 over one run, RR vs Adaptive-Bind
 //!   variance  headline gain over several input seeds (mean ± std)
@@ -31,8 +32,8 @@
 
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
-    generality, latency_sweep, overhead, render_shape_report, run_matrix_with_jobs, sweep_cache,
-    table1, table2, timeline, variance, MatrixRecords, SweepDoc,
+    generality, latency_sweep, locality, overhead, render_shape_report, run_matrix_with_jobs,
+    sweep_cache, table1, table2, timeline, variance, MatrixRecords, SweepDoc,
 };
 use workloads::Scale;
 
@@ -108,7 +109,7 @@ fn run_check(args: &Args) {
 
 fn main() {
     let args = parse_args();
-    let needs_matrix = matches!(args.experiment.as_str(), "fig7" | "fig8" | "fig9");
+    let needs_matrix = matches!(args.experiment.as_str(), "fig7" | "fig8" | "fig9" | "locality");
     let matrix = needs_matrix.then(|| run_matrix_with_jobs(args.scale, args.jobs));
 
     match args.experiment.as_str() {
@@ -119,6 +120,7 @@ fn main() {
         "fig7" => println!("{}", fig7(matrix.as_ref().unwrap())),
         "fig8" => println!("{}", fig8(matrix.as_ref().unwrap())),
         "fig9" => println!("{}", fig9(matrix.as_ref().unwrap())),
+        "locality" => println!("{}", locality(matrix.as_ref().unwrap())),
         "latency" => println!("{}", latency_sweep(args.scale, args.jobs)),
         "timeline" => println!("{}", timeline(args.scale, args.jobs)),
         "variance" => println!("{}", variance(args.scale, args.jobs)),
@@ -135,8 +137,8 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other}");
             eprintln!(
-                "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 latency timeline \
-                 variance csv cache generality overhead ablate all check"
+                "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 locality latency \
+                 timeline variance csv cache generality overhead ablate all check"
             );
             std::process::exit(2);
         }

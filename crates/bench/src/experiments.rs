@@ -5,7 +5,7 @@ use std::sync::Arc;
 use dynpar::{DtblModel, LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
 use sim_metrics::footprint::FootprintSummary;
-use sim_metrics::harness::{run_once, run_with_latency, RunRecord, SchedulerKind};
+use sim_metrics::harness::{run_once, run_with_latency, LocalityRecord, RunRecord, SchedulerKind};
 use sim_metrics::report::{mean, pct, ratio, Table};
 use workloads::{suite, Scale, Workload};
 
@@ -80,7 +80,12 @@ pub fn run_matrix(scale: Scale) -> MatrixRecords {
 ///
 /// Panics if any simulation fails (the suite is validated by tests).
 pub fn run_matrix_with_jobs(scale: Scale, jobs: usize) -> MatrixRecords {
-    let outcome = crate::sweep::run_matrix_jobs(scale, 0, jobs, &GpuConfig::kepler_k20c());
+    // Locality provenance is observational (cycle counts are bit-identical
+    // either way), so the matrix always profiles: the figures stay the same
+    // and the locality section / shape assertions get their data.
+    let mut cfg = GpuConfig::kepler_k20c();
+    cfg.profile_locality = true;
+    let outcome = crate::sweep::run_matrix_jobs(scale, 0, jobs, &cfg);
     if let Some(f) = outcome.failures.first() {
         panic!("{} under {}/{} failed: {}", f.workload, f.launch_model, f.scheduler, f.error);
     }
@@ -210,6 +215,86 @@ pub fn fig8(m: &MatrixRecords) -> String {
         "(paper: TB-Pri +1.1% CDP / +2.1% DTBL; SMX binding gives the large L1 gains)",
         |r| r.l1_hit_rate,
     )
+}
+
+/// Locality provenance: attributes every cache hit to the lineage
+/// relation between the TB that installed the line and the TB that hit
+/// it. This is the mechanism behind Figures 7–9: the binding policies
+/// win *because* children reuse lines their parents installed, not
+/// merely alongside that effect.
+pub fn locality(m: &MatrixRecords) -> String {
+    use gpu_sim::cache::ReuseClass;
+    let mut out = String::from(
+        "Locality provenance: share of cache hits by installer lineage\n\
+         (mechanism behind Figs 7-9: binding raises the parent-child share of L1 hits)\n",
+    );
+    for model in LaunchModelKind::all() {
+        let mut header = vec!["scheduler".to_string()];
+        for class in ReuseClass::ALL {
+            header.push(format!("l1 {}", class.name()));
+        }
+        header.push("l2 parent_child".to_string());
+        header.push("l2 same-smx".to_string());
+        header.push("l1 pc dist".to_string());
+        let mut t = Table::new(header);
+        for sched in SchedulerKind::all() {
+            let locs: Vec<&LocalityRecord> = m
+                .records
+                .iter()
+                .filter(|r| r.launch_model == model.name() && r.scheduler == sched.name())
+                .filter_map(|r| r.locality.as_ref())
+                .collect();
+            let avg = |f: &dyn Fn(&LocalityRecord) -> f64| {
+                let vs: Vec<f64> = locs.iter().map(|l| f(l)).collect();
+                mean(&vs)
+            };
+            let mut row = vec![sched.name().to_string()];
+            for class in ReuseClass::ALL {
+                row.push(pct(avg(&|l| l.l1_share(class))));
+            }
+            row.push(pct(avg(&|l| l.l2_share(ReuseClass::ParentChild))));
+            row.push(pct(avg(&|l| {
+                let total = l.l2_same_smx + l.l2_cross_smx;
+                if total == 0 {
+                    0.0
+                } else {
+                    l.l2_same_smx as f64 / total as f64
+                }
+            })));
+            row.push(format!("{:.0} cyc", avg(&|l| l.l1_pc_mean_dist)));
+            t.row(row);
+        }
+        out.push_str(&format!("\nlaunch model: {model}\n{}", t.render()));
+        // Adaptive-Bind's bound-vs-stolen split: hits pooled over all
+        // workloads because single runs can have few stolen child hits.
+        let (mut bh, mut bpc, mut sh, mut spc) = (0u64, 0u64, 0u64, 0u64);
+        for r in &m.records {
+            if r.launch_model == model.name() && r.scheduler == SchedulerKind::AdaptiveBind.name() {
+                if let Some(l) = &r.locality {
+                    bh += l.bound_hits;
+                    bpc += l.bound_parent_child;
+                    sh += l.stolen_hits;
+                    spc += l.stolen_parent_child;
+                }
+            }
+        }
+        let share = |part: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                part as f64 / total as f64
+            }
+        };
+        out.push_str(&format!(
+            "adaptive-bind child L1 hits: bound TBs {} parent-child (of {}), \
+             stolen TBs {} parent-child (of {})\n",
+            pct(share(bpc, bh)),
+            bh,
+            pct(share(spc, sh)),
+            sh,
+        ));
+    }
+    out
 }
 
 /// Figure 9: IPC normalized to the round-robin baseline, CDP (a) and
@@ -653,6 +738,7 @@ pub fn full_report(scale: Scale, jobs: usize, m: &MatrixRecords) -> String {
         fig7(m),
         fig8(m),
         fig9(m),
+        locality(m),
         latency_sweep(scale, jobs),
         timeline(scale, jobs),
         variance(scale, jobs),
@@ -695,6 +781,7 @@ mod tests {
             max_queue_depth: 0,
             queue_search_cycles: 0,
             stalls: Default::default(),
+            locality: None,
         }
     }
 

@@ -18,7 +18,8 @@
 
 use crate::experiments::MatrixRecords;
 use crate::sweep::SweepDoc;
-use sim_metrics::harness::{RunRecord, SchedulerKind};
+use gpu_sim::cache::ReuseClass;
+use sim_metrics::harness::{LocalityRecord, RunRecord, SchedulerKind};
 use sim_metrics::report::mean;
 
 /// The result of evaluating one shape assertion.
@@ -78,6 +79,33 @@ impl Ctx<'_> {
     /// strict (EXPERIMENTS.md-measured) form of a claim is enforced.
     fn paper_scale(&self) -> bool {
         self.doc.scale == "paper"
+    }
+
+    /// Mean of a locality-provenance metric over the profiled runs of
+    /// one (model, scheduler) column. Runs without a locality record
+    /// (pre-v2 documents) are skipped; the mean of none is 0.
+    fn mean_loc(&self, model: &str, sched: &str, f: impl Fn(&LocalityRecord) -> f64) -> f64 {
+        let vs: Vec<f64> = self
+            .runs(model, sched)
+            .into_iter()
+            .filter_map(|r| r.locality.as_ref().map(&f))
+            .collect();
+        mean(&vs)
+    }
+
+    /// Bound/stolen child-hit counters pooled over the profiled runs of
+    /// one column (per-run shares are noisy when a run steals little).
+    fn pooled_bind(&self, model: &str, sched: &str) -> (u64, u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64, 0u64);
+        for r in self.runs(model, sched) {
+            if let Some(loc) = &r.locality {
+                t.0 += loc.bound_hits;
+                t.1 += loc.bound_parent_child;
+                t.2 += loc.stolen_hits;
+                t.3 += loc.stolen_parent_child;
+            }
+        }
+        t
     }
 }
 
@@ -371,6 +399,96 @@ const SHAPES: &[(&str, &str, Check)] = &[
         |ctx| {
             let total: u64 = ctx.runs(DTBL, ADAPTIVE).iter().map(|r| r.steals).sum();
             (total > 0, format!("{total} steals across the DTBL suite"))
+        },
+    ),
+    (
+        "loc-hits-partition",
+        "Provenance is total: in every profiled run the per-class hit counts sum exactly to \
+         the cache's hits, at both levels",
+        |ctx| {
+            let mut checked = 0usize;
+            let mut bad = Vec::new();
+            for r in ctx.matrix.records() {
+                let Some(loc) = &r.locality else { continue };
+                checked += 1;
+                let l1: u64 = loc.l1_class_hits.iter().sum();
+                let l2: u64 = loc.l2_class_hits.iter().sum();
+                if l1 != loc.l1_hits
+                    || l2 != loc.l2_hits
+                    || loc.l2_same_smx + loc.l2_cross_smx != loc.l2_hits
+                {
+                    bad.push(format!(
+                        "{}/{}/{}: L1 {l1}/{}, L2 {l2}/{}",
+                        r.workload, r.launch_model, r.scheduler, loc.l1_hits, loc.l2_hits
+                    ));
+                }
+            }
+            let ok = checked == ctx.matrix.records().len() && checked > 0 && bad.is_empty();
+            (
+                ok,
+                if bad.is_empty() {
+                    format!("{checked} profiled runs, all partitions exact")
+                } else {
+                    bad.join("; ")
+                },
+            )
+        },
+    ),
+    (
+        "loc-l1-parent-child-ordering",
+        "The binding policies convert L1 hits into parent-child reuse: SMX-Bind's \
+         parent-child share of L1 hits exceeds TB-Pri's, which is at least RR's, under DTBL",
+        |ctx| {
+            let pc = |loc: &LocalityRecord| loc.l1_share(ReuseClass::ParentChild);
+            let rr = ctx.mean_loc(DTBL, RR, pc);
+            let t = ctx.mean_loc(DTBL, TBPRI, pc);
+            let s = ctx.mean_loc(DTBL, SMX, pc);
+            let ok = s > t && t >= rr - 0.005 && s > rr + 0.02;
+            (
+                ok,
+                format!(
+                    "parent-child L1 share: rr {:.1}%, tb-pri {:.1}%, smx-bind {:.1}%",
+                    rr * 100.0,
+                    t * 100.0,
+                    s * 100.0
+                ),
+            )
+        },
+    ),
+    (
+        "loc-l2-tbpri-parent-child",
+        "TB-Pri's L2 gain is lineage reuse: its parent-child share of L2 hits exceeds RR's \
+         under DTBL",
+        |ctx| {
+            let pc = |loc: &LocalityRecord| loc.l2_share(ReuseClass::ParentChild);
+            let rr = ctx.mean_loc(DTBL, RR, pc);
+            let t = ctx.mean_loc(DTBL, TBPRI, pc);
+            (
+                t > rr,
+                format!("parent-child L2 share: tb-pri {:.1}% vs rr {:.1}%", t * 100.0, rr * 100.0),
+            )
+        },
+    ),
+    (
+        "loc-adaptive-stolen-reuse",
+        "Stealing costs locality: under Adaptive-Bind/DTBL, stolen child TBs hit their \
+         parent's lines at a lower rate than bound ones",
+        |ctx| {
+            let (bh, bpc, sh, spc) = ctx.pooled_bind(DTBL, ADAPTIVE);
+            let bound = if bh == 0 { 0.0 } else { bpc as f64 / bh as f64 };
+            let stolen = if sh == 0 { 0.0 } else { spc as f64 / sh as f64 };
+            // Stolen TBs exist whenever stage 3 fires (see
+            // sched-adaptive-steals-active); require real traffic so the
+            // comparison is meaningful.
+            let ok = bh > 0 && sh > 0 && bound > stolen;
+            (
+                ok,
+                format!(
+                    "bound parent-child rate {:.1}% ({bpc}/{bh}) vs stolen {:.1}% ({spc}/{sh})",
+                    bound * 100.0,
+                    stolen * 100.0
+                ),
+            )
         },
     ),
 ];

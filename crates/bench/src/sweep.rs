@@ -214,14 +214,22 @@ pub struct SweepDoc {
     pub footprints: Vec<FootprintRow>,
 }
 
-/// Schema version written to and required from `repro.json`.
-pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+/// Schema version written to and required from `repro.json`. Version 2
+/// added the optional per-run `locality` object (cache-hit provenance;
+/// sweeps always profile, so matrix runs carry it).
+pub const SWEEP_SCHEMA_VERSION: u64 = 2;
 
 impl SweepDoc {
     /// Runs the matrix and the static footprint analysis at a scale and
     /// assembles the document. Both phases fan out over `jobs` workers.
+    /// Locality provenance profiling is on: it is observational (cycle
+    /// counts are bit-identical with it off), and having the provenance
+    /// split in every `repro.json` is what lets `repro check` assert the
+    /// *mechanism* — which scheduling relation produced the hits — not
+    /// just the headline rates.
     pub fn build(scale: Scale, seed: u64, jobs: usize) -> SweepDoc {
-        let cfg = GpuConfig::kepler_k20c();
+        let mut cfg = GpuConfig::kepler_k20c();
+        cfg.profile_locality = true;
         let outcome = run_matrix_jobs(scale, seed, jobs, &cfg);
         let all = suite_seeded(scale, seed);
         let footprints = parallel_map(&all, jobs, |w| {

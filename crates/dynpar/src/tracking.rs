@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use gpu_sim::cache::ReuseClass;
 use gpu_sim::kernel::Batch;
 use gpu_sim::types::{BatchId, TbRef};
 
@@ -49,6 +50,45 @@ impl FamilyTree {
     /// Number of dynamic batches tracked.
     pub fn dynamic_batches(&self) -> usize {
         self.parent_of_batch.len()
+    }
+
+    /// Classifies the relation between two TBs, mirroring the rules the
+    /// simulator's provenance profiler applies per cache hit
+    /// ([`gpu_sim::cache::Lineage::classify`]): same TB is `SelfReuse`,
+    /// direct parent and child (either way) is `ParentChild`, same batch
+    /// or same launching TB is `Sibling`, a transitive ancestor relation
+    /// at distance >= 2 is `Ancestor`, anything else `Unrelated`. Used to
+    /// cross-check the in-cache classification from the batch table.
+    pub fn classify(&self, a: TbRef, b: TbRef) -> ReuseClass {
+        if a == b {
+            return ReuseClass::SelfReuse;
+        }
+        let pa = self.direct_parent(a.batch);
+        let pb = self.direct_parent(b.batch);
+        if pa == Some(b) || pb == Some(a) {
+            return ReuseClass::ParentChild;
+        }
+        if a.batch == b.batch || (pa.is_some() && pa == pb) {
+            return ReuseClass::Sibling;
+        }
+        let is_ancestor = |anc: TbRef, mut desc: TbRef, skip_direct: bool| {
+            let mut dist = 0u32;
+            while let Some(parent) = self.direct_parent(desc.batch) {
+                dist += 1;
+                if parent == anc {
+                    return !skip_direct || dist >= 2;
+                }
+                desc = parent;
+                if dist as usize > self.parent_of_batch.len() {
+                    break; // cycle guard
+                }
+            }
+            false
+        };
+        if is_ancestor(b, a, true) || is_ancestor(a, b, true) {
+            return ReuseClass::Ancestor;
+        }
+        ReuseClass::Unrelated
     }
 
     /// Nesting depth of a batch: 0 for host batches, 1 + parent's depth
@@ -142,5 +182,34 @@ mod tests {
         let batches = vec![batch(0, None), batch(1, Some((0, 1))), batch(2, Some((0, 3)))];
         let tree = FamilyTree::from_batches(&batches);
         assert_eq!(tree.launching_tbs().count(), 2);
+    }
+
+    #[test]
+    fn classify_matches_lineage_rules() {
+        // batch 0: host; batches 1, 2 launched by TB (0,1); batch 3
+        // launched by TB (0,2); batch 4 launched by TB (1,0).
+        let batches = vec![
+            batch(0, None),
+            batch(1, Some((0, 1))),
+            batch(2, Some((0, 1))),
+            batch(3, Some((0, 2))),
+            batch(4, Some((1, 0))),
+        ];
+        let tree = FamilyTree::from_batches(&batches);
+        let t = |b: u32, i: u32| TbRef { batch: BatchId(b), index: i };
+
+        assert_eq!(tree.classify(t(1, 0), t(1, 0)), ReuseClass::SelfReuse);
+        assert_eq!(tree.classify(t(1, 0), t(0, 1)), ReuseClass::ParentChild);
+        assert_eq!(tree.classify(t(0, 1), t(1, 0)), ReuseClass::ParentChild);
+        // Same batch, and same launching parent across batches.
+        assert_eq!(tree.classify(t(1, 0), t(1, 3)), ReuseClass::Sibling);
+        assert_eq!(tree.classify(t(1, 0), t(2, 0)), ReuseClass::Sibling);
+        // Grandparent relation at distance 2.
+        assert_eq!(tree.classify(t(4, 0), t(0, 1)), ReuseClass::Ancestor);
+        assert_eq!(tree.classify(t(0, 1), t(4, 0)), ReuseClass::Ancestor);
+        // Different parents, no shared ancestry path.
+        assert_eq!(tree.classify(t(1, 0), t(3, 0)), ReuseClass::Unrelated);
+        // Host TBs of different batches share nothing.
+        assert_eq!(tree.classify(t(0, 0), t(0, 3)), ReuseClass::Sibling);
     }
 }

@@ -6,7 +6,8 @@
 //! needs — reuse distances and eviction behavior — while keeping the
 //! simulator fast and deterministic.
 
-use crate::types::LineAddr;
+use crate::stats::Pow2Hist;
+use crate::types::{Cycle, LineAddr, SmxId, TbRef};
 
 /// Outcome of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,143 @@ pub enum ProbeResult {
     Miss,
 }
 
+/// How a hitting access relates to the TB that installed the line
+/// (paper Section III-A: the reuse the LaPerm schedulers create).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseClass {
+    /// The accessor installed the line itself.
+    SelfReuse,
+    /// Installer and accessor are direct parent and child (either way).
+    ParentChild,
+    /// Same launching parent TB (or TBs of the same kernel launch).
+    Sibling,
+    /// One is an ancestor of the other at nesting distance >= 2.
+    Ancestor,
+    /// No lineage relation.
+    Unrelated,
+}
+
+/// Number of [`ReuseClass`] variants (array sizing).
+pub const NUM_REUSE_CLASSES: usize = 5;
+
+impl ReuseClass {
+    /// All classes, indexable by [`ReuseClass::index`].
+    pub const ALL: [ReuseClass; NUM_REUSE_CLASSES] = [
+        ReuseClass::SelfReuse,
+        ReuseClass::ParentChild,
+        ReuseClass::Sibling,
+        ReuseClass::Ancestor,
+        ReuseClass::Unrelated,
+    ];
+
+    /// Stable array index of this class.
+    pub fn index(self) -> usize {
+        match self {
+            ReuseClass::SelfReuse => 0,
+            ReuseClass::ParentChild => 1,
+            ReuseClass::Sibling => 2,
+            ReuseClass::Ancestor => 3,
+            ReuseClass::Unrelated => 4,
+        }
+    }
+
+    /// Short metric-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReuseClass::SelfReuse => "self",
+            ReuseClass::ParentChild => "parent_child",
+            ReuseClass::Sibling => "sibling",
+            ReuseClass::Ancestor => "ancestor",
+            ReuseClass::Unrelated => "unrelated",
+        }
+    }
+}
+
+/// Maximum ancestor-chain length carried per TB. Deeper nesting is
+/// clamped (the LaPerm nesting clamp `L` never exceeds 8 in this repo).
+pub const MAX_ANCESTORS: usize = 8;
+
+/// The identity and ancestry of one resident TB, computed once at
+/// dispatch time and carried by every memory access the TB issues.
+/// `Copy` and fixed-size so the hot loop never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lineage {
+    /// The TB itself.
+    pub tb: TbRef,
+    /// The SMX the TB was dispatched to.
+    pub smx: SmxId,
+    /// Nesting depth (0 = host kernel TB).
+    pub depth: u32,
+    /// `ancestors[0]` is the direct parent, `ancestors[1]` the
+    /// grandparent, …; only the first `num_ancestors` entries are valid.
+    pub ancestors: [TbRef; MAX_ANCESTORS],
+    /// Valid prefix length of `ancestors`.
+    pub num_ancestors: u8,
+    /// The SMX the direct parent ran on (`None` for host TBs). Used to
+    /// attribute child reuse to bound vs stolen placements.
+    pub parent_smx: Option<SmxId>,
+}
+
+impl Lineage {
+    /// A lineage with no ancestry, for `tb` dispatched to `smx`.
+    pub fn new(tb: TbRef, smx: SmxId) -> Self {
+        Lineage {
+            tb,
+            smx,
+            depth: 0,
+            ancestors: [TbRef { batch: crate::types::BatchId(0), index: 0 }; MAX_ANCESTORS],
+            num_ancestors: 0,
+            parent_smx: None,
+        }
+    }
+
+    /// Appends the next ancestor (direct parent first). Silently clamps
+    /// beyond [`MAX_ANCESTORS`]; `depth` keeps counting regardless.
+    pub fn push_ancestor(&mut self, tb: TbRef) {
+        if (self.num_ancestors as usize) < MAX_ANCESTORS {
+            self.ancestors[self.num_ancestors as usize] = tb;
+            self.num_ancestors += 1;
+        }
+        self.depth += 1;
+    }
+
+    /// The direct parent TB, if any.
+    pub fn parent(&self) -> Option<TbRef> {
+        (self.num_ancestors > 0).then_some(self.ancestors[0])
+    }
+
+    /// The valid ancestor chain.
+    pub fn ancestors(&self) -> &[TbRef] {
+        &self.ancestors[..self.num_ancestors as usize]
+    }
+
+    /// Classifies a hit by `self` (the accessor) on a line installed by
+    /// `installer`. The relation is symmetric except for `SelfReuse`.
+    pub fn classify(&self, installer: &Lineage) -> ReuseClass {
+        if installer.tb == self.tb {
+            return ReuseClass::SelfReuse;
+        }
+        if self.parent() == Some(installer.tb) || installer.parent() == Some(self.tb) {
+            return ReuseClass::ParentChild;
+        }
+        // TBs of the same launch, or launched by the same parent TB.
+        if installer.tb.batch == self.tb.batch {
+            return ReuseClass::Sibling;
+        }
+        if let (Some(pa), Some(pi)) = (self.parent(), installer.parent()) {
+            if pa == pi {
+                return ReuseClass::Sibling;
+            }
+        }
+        if self.ancestors().iter().skip(1).any(|&a| a == installer.tb)
+            || installer.ancestors().iter().skip(1).any(|&a| a == self.tb)
+        {
+            return ReuseClass::Ancestor;
+        }
+        ReuseClass::Unrelated
+    }
+}
+
 /// Which class of thread block issued an access (for split statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessClass {
@@ -24,6 +162,53 @@ pub enum AccessClass {
     Parent,
     /// A TB of a device-launched kernel or TB group.
     Child,
+}
+
+/// Per-[`ReuseClass`] hit counters, plus the same-vs-cross-SMX split.
+/// Populated only while provenance profiling is enabled; all-zero
+/// otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvCounters {
+    /// Hits by reuse class, indexed by [`ReuseClass::index`].
+    pub by_class: [u64; NUM_REUSE_CLASSES],
+    /// Hits where the accessor runs on the installing SMX.
+    pub same_smx: u64,
+    /// Hits where the accessor runs on a different SMX (L2 only in
+    /// practice: an L1 is private to its SMX).
+    pub cross_smx: u64,
+}
+
+impl ProvCounters {
+    /// Total classified hits (equals the cache's `hits` when every
+    /// access carried a lineage).
+    pub fn total(&self) -> u64 {
+        self.by_class.iter().sum()
+    }
+
+    /// Hits of one class.
+    pub fn class(&self, class: ReuseClass) -> u64 {
+        self.by_class[class.index()]
+    }
+
+    /// Share of classified hits in `class`; zero when nothing was
+    /// classified.
+    pub fn share(&self, class: ReuseClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.class(class) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter block into this one.
+    pub fn merge(&mut self, other: &ProvCounters) {
+        for (a, b) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            *a += b;
+        }
+        self.same_smx += other.same_smx;
+        self.cross_smx += other.cross_smx;
+    }
 }
 
 /// Hit/miss counters, overall and split by [`AccessClass`].
@@ -41,6 +226,8 @@ pub struct CacheStats {
     pub child_hits: u64,
     /// Misses by child (dynamic) TBs.
     pub child_misses: u64,
+    /// Provenance split of the hits (zero unless profiling is enabled).
+    pub prov: ProvCounters,
 }
 
 impl CacheStats {
@@ -69,7 +256,8 @@ impl CacheStats {
         }
     }
 
-    /// Accumulates another stats block into this one.
+    /// Accumulates another stats block into this one, provenance
+    /// counters included.
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
@@ -77,6 +265,7 @@ impl CacheStats {
         self.parent_misses += other.parent_misses;
         self.child_hits += other.child_hits;
         self.child_misses += other.child_misses;
+        self.prov.merge(&other.prov);
     }
 
     fn record(&mut self, class: AccessClass, hit: bool) {
@@ -114,6 +303,23 @@ struct Way {
     dirty: bool,
 }
 
+/// The installer record of one cache line.
+#[derive(Debug, Clone, Copy)]
+struct LineTag {
+    lineage: Lineage,
+    installed_at: Cycle,
+    valid: bool,
+}
+
+/// Provenance profiling state: one installer tag per way plus the
+/// per-class reuse-distance histograms. Allocated only by
+/// [`Cache::enable_provenance`]; absent, the cache does no extra work.
+#[derive(Debug, Clone)]
+struct ProvState {
+    tags: Vec<LineTag>,
+    reuse_dist: [Pow2Hist; NUM_REUSE_CLASSES],
+}
+
 /// A set-associative, LRU, tag-only cache.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -122,6 +328,7 @@ pub struct Cache {
     assoc: usize,
     tick: u64,
     stats: CacheStats,
+    prov: Option<Box<ProvState>>,
 }
 
 impl Cache {
@@ -146,7 +353,35 @@ impl Cache {
             assoc,
             tick: 0,
             stats: CacheStats::default(),
+            prov: None,
         }
+    }
+
+    /// Allocates the provenance tag store and reuse-distance histograms.
+    /// Every subsequent access that carries a lineage (see
+    /// [`access_tagged`](Self::access_tagged)) classifies its hits; call
+    /// before the first access so all fills are tagged.
+    pub fn enable_provenance(&mut self) {
+        let untagged = LineTag {
+            lineage: Lineage::new(TbRef { batch: crate::types::BatchId(0), index: 0 }, SmxId(0)),
+            installed_at: 0,
+            valid: false,
+        };
+        self.prov = Some(Box::new(ProvState {
+            tags: vec![untagged; self.ways.len()],
+            reuse_dist: Default::default(),
+        }));
+    }
+
+    /// `true` once [`enable_provenance`](Self::enable_provenance) ran.
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Per-class reuse-distance histograms (cycles between a line's
+    /// install and each hit on it), or `None` when profiling is off.
+    pub fn reuse_dist(&self) -> Option<&[Pow2Hist; NUM_REUSE_CLASSES]> {
+        self.prov.as_ref().map(|p| &p.reuse_dist)
     }
 
     /// Number of sets.
@@ -176,6 +411,62 @@ impl Cache {
         class: AccessClass,
         mark_dirty: bool,
     ) -> (ProbeResult, Option<EvictedLine>) {
+        let (res, evicted, _) = self.access_indexed(line, allocate, class, mark_dirty);
+        (res, evicted)
+    }
+
+    /// Like [`access_full`](Self::access_full), additionally classifying
+    /// the access against the installer tags when `prov` carries the
+    /// accessor's lineage and the current cycle and profiling is
+    /// enabled: hits are recorded per [`ReuseClass`] (with reuse
+    /// distance `now - installed_at`), fills stamp the new tag. With
+    /// `prov == None` or profiling off this is exactly `access_full`.
+    pub fn access_tagged(
+        &mut self,
+        line: LineAddr,
+        allocate: bool,
+        class: AccessClass,
+        mark_dirty: bool,
+        prov: Option<(&Lineage, Cycle)>,
+    ) -> (ProbeResult, Option<EvictedLine>) {
+        let (res, evicted, way) = self.access_indexed(line, allocate, class, mark_dirty);
+        if let (Some((lineage, now)), Some(state)) = (prov, self.prov.as_mut()) {
+            if let Some(wi) = way {
+                match res {
+                    ProbeResult::Hit => {
+                        let tag = &state.tags[wi];
+                        if tag.valid {
+                            let reuse = lineage.classify(&tag.lineage);
+                            self.stats.prov.by_class[reuse.index()] += 1;
+                            if tag.lineage.smx == lineage.smx {
+                                self.stats.prov.same_smx += 1;
+                            } else {
+                                self.stats.prov.cross_smx += 1;
+                            }
+                            state.reuse_dist[reuse.index()]
+                                .record(now.saturating_sub(tag.installed_at));
+                        }
+                    }
+                    ProbeResult::Miss => {
+                        state.tags[wi] =
+                            LineTag { lineage: *lineage, installed_at: now, valid: true };
+                    }
+                }
+            }
+        }
+        (res, evicted)
+    }
+
+    /// The probe/fill core shared by the plain and provenance-tagged
+    /// paths. The third return is the global way index that was hit or
+    /// (on an allocating miss) filled.
+    fn access_indexed(
+        &mut self,
+        line: LineAddr,
+        allocate: bool,
+        class: AccessClass,
+        mark_dirty: bool,
+    ) -> (ProbeResult, Option<EvictedLine>, Option<usize>) {
         self.tick += 1;
         let set = (line % self.num_sets as u64) as usize;
         let tag = line / self.num_sets as u64;
@@ -183,20 +474,22 @@ impl Cache {
         let base = set * self.assoc;
         let ways = &mut self.ways[base..base + self.assoc];
 
-        for way in ways.iter_mut() {
+        for (i, way) in ways.iter_mut().enumerate() {
             if way.valid && way.tag == tag {
                 way.last_use = self.tick;
                 way.dirty |= mark_dirty;
                 self.stats.record(class, true);
-                return (ProbeResult::Hit, None);
+                return (ProbeResult::Hit, None, Some(base + i));
             }
         }
         self.stats.record(class, false);
         let mut evicted = None;
+        let mut filled = None;
         if allocate {
-            let victim = ways
+            let (vi, victim) = ways
                 .iter_mut()
-                .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+                .enumerate()
+                .min_by_key(|(_, w)| if w.valid { w.last_use } else { 0 })
                 .expect("assoc > 0");
             if victim.valid {
                 evicted = Some(EvictedLine {
@@ -208,8 +501,9 @@ impl Cache {
             victim.valid = true;
             victim.dirty = mark_dirty;
             victim.last_use = self.tick;
+            filled = Some(base + vi);
         }
-        (ProbeResult::Miss, evicted)
+        (ProbeResult::Miss, evicted, filled)
     }
 
     /// `true` if `line` is currently resident (no statistics recorded,
@@ -226,13 +520,20 @@ impl Cache {
         &self.stats
     }
 
-    /// Invalidates all lines and clears statistics.
+    /// Invalidates all lines and clears statistics (and, when profiling
+    /// is enabled, the installer tags and reuse histograms).
     pub fn reset(&mut self) {
         for w in &mut self.ways {
             w.valid = false;
         }
         self.tick = 0;
         self.stats = CacheStats::default();
+        if let Some(state) = self.prov.as_mut() {
+            for t in &mut state.tags {
+                t.valid = false;
+            }
+            state.reuse_dist = Default::default();
+        }
     }
 }
 
@@ -375,5 +676,187 @@ mod tests {
         for line in 0..4 {
             assert!(c.contains(line), "line {line} should still be resident");
         }
+    }
+
+    use crate::types::BatchId;
+
+    fn tbr(batch: u32, index: u32) -> TbRef {
+        TbRef { batch: BatchId(batch), index }
+    }
+
+    /// A depth-1 lineage: `tb` launched by `parent`, running on `smx`.
+    fn child_lineage(tb: TbRef, parent: TbRef, smx: u16) -> Lineage {
+        let mut l = Lineage::new(tb, SmxId(smx));
+        l.push_ancestor(parent);
+        l.parent_smx = Some(SmxId(0));
+        l
+    }
+
+    #[test]
+    fn zero_access_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.child_hit_rate(), 0.0);
+        assert_eq!(s.prov.share(ReuseClass::ParentChild), 0.0);
+        assert_eq!(s.prov.total(), 0);
+    }
+
+    #[test]
+    fn child_hit_rate_ignores_parent_traffic() {
+        let mut s = CacheStats::default();
+        s.record(AccessClass::Parent, true);
+        s.record(AccessClass::Parent, false);
+        assert_eq!(s.child_hit_rate(), 0.0, "no child accesses yet");
+        s.record(AccessClass::Child, true);
+        assert!((s.child_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_preserves_provenance_counters() {
+        let mut a = CacheStats { hits: 2, ..Default::default() };
+        a.prov.by_class[ReuseClass::SelfReuse.index()] = 1;
+        a.prov.same_smx = 1;
+        let mut b = CacheStats { hits: 3, ..Default::default() };
+        b.prov.by_class[ReuseClass::ParentChild.index()] = 2;
+        b.prov.cross_smx = 2;
+        a.merge(&b);
+        assert_eq!(a.prov.class(ReuseClass::SelfReuse), 1);
+        assert_eq!(a.prov.class(ReuseClass::ParentChild), 2);
+        assert_eq!(a.prov.same_smx, 1);
+        assert_eq!(a.prov.cross_smx, 2);
+        assert_eq!(a.prov.total(), 3);
+    }
+
+    #[test]
+    fn classify_covers_all_relations() {
+        let parent = Lineage::new(tbr(0, 1), SmxId(0));
+        let child_a = child_lineage(tbr(1, 0), tbr(0, 1), 0);
+        let child_b = child_lineage(tbr(1, 1), tbr(0, 1), 1);
+        let cousin = child_lineage(tbr(2, 0), tbr(0, 2), 1);
+        let mut grandchild = Lineage::new(tbr(3, 0), SmxId(2));
+        grandchild.push_ancestor(tbr(1, 0)); // direct parent: child_a
+        grandchild.push_ancestor(tbr(0, 1)); // grandparent: parent
+
+        assert_eq!(parent.classify(&parent), ReuseClass::SelfReuse);
+        assert_eq!(child_a.classify(&parent), ReuseClass::ParentChild);
+        assert_eq!(parent.classify(&child_a), ReuseClass::ParentChild);
+        assert_eq!(child_a.classify(&child_b), ReuseClass::Sibling);
+        assert_eq!(child_a.classify(&cousin), ReuseClass::Unrelated);
+        assert_eq!(grandchild.classify(&parent), ReuseClass::Ancestor);
+        assert_eq!(parent.classify(&grandchild), ReuseClass::Ancestor);
+        assert_eq!(grandchild.classify(&child_a), ReuseClass::ParentChild);
+    }
+
+    #[test]
+    fn same_batch_without_common_parent_is_sibling() {
+        let a = Lineage::new(tbr(0, 0), SmxId(0));
+        let b = Lineage::new(tbr(0, 5), SmxId(1));
+        assert_eq!(a.classify(&b), ReuseClass::Sibling);
+    }
+
+    #[test]
+    fn ancestor_chain_clamps_but_depth_counts() {
+        let mut l = Lineage::new(tbr(99, 0), SmxId(0));
+        for i in 0..(MAX_ANCESTORS as u32 + 3) {
+            l.push_ancestor(tbr(i, 0));
+        }
+        assert_eq!(l.num_ancestors as usize, MAX_ANCESTORS);
+        assert_eq!(l.depth, MAX_ANCESTORS as u32 + 3);
+        assert_eq!(l.parent(), Some(tbr(0, 0)));
+    }
+
+    #[test]
+    fn tagged_hits_classified_and_partition_holds() {
+        let mut c = tiny();
+        c.enable_provenance();
+        let parent = Lineage::new(tbr(0, 1), SmxId(0));
+        let child = child_lineage(tbr(1, 0), tbr(0, 1), 1);
+        // Parent installs at cycle 10, child hits at cycle 42, parent
+        // re-hits at cycle 50.
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&parent, 10)));
+        c.access_tagged(0, true, AccessClass::Child, false, Some((&child, 42)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&parent, 50)));
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.prov.class(ReuseClass::ParentChild), 1);
+        assert_eq!(s.prov.class(ReuseClass::SelfReuse), 1);
+        assert_eq!(s.prov.total(), s.hits, "every hit classified");
+        assert_eq!(s.prov.same_smx, 1);
+        assert_eq!(s.prov.cross_smx, 1);
+        let dist = c.reuse_dist().unwrap();
+        let pc = &dist[ReuseClass::ParentChild.index()];
+        assert_eq!(pc.count, 1);
+        assert_eq!(pc.sum, 32); // 42 - 10
+    }
+
+    #[test]
+    fn hit_rehit_measures_distance_from_install_not_last_hit() {
+        let mut c = tiny();
+        c.enable_provenance();
+        let l = Lineage::new(tbr(0, 0), SmxId(0));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 0)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 100)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 300)));
+        let dist = c.reuse_dist().unwrap();
+        let sr = &dist[ReuseClass::SelfReuse.index()];
+        assert_eq!(sr.count, 2);
+        assert_eq!(sr.sum, 400); // 100 + 300, both from install at 0
+    }
+
+    #[test]
+    fn refill_retags_the_line() {
+        let mut c = tiny();
+        c.enable_provenance();
+        let a = Lineage::new(tbr(0, 0), SmxId(0));
+        let b = Lineage::new(tbr(5, 0), SmxId(1));
+        // a installs 0; 4 and 8 (same set) evict it; b reinstalls 0;
+        // a's hit on it must classify against b, not the stale tag.
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&a, 0)));
+        c.access_tagged(4, true, AccessClass::Parent, false, Some((&a, 1)));
+        c.access_tagged(8, true, AccessClass::Parent, false, Some((&a, 2)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&b, 3)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&a, 4)));
+        assert_eq!(c.stats().prov.class(ReuseClass::Unrelated), 1);
+        assert_eq!(c.stats().prov.class(ReuseClass::SelfReuse), 0);
+    }
+
+    #[test]
+    fn untagged_access_neither_classifies_nor_stamps() {
+        let mut c = tiny();
+        c.enable_provenance();
+        let l = Lineage::new(tbr(0, 0), SmxId(0));
+        c.access_tagged(0, true, AccessClass::Parent, false, None); // untagged fill
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 5)));
+        // Hit on an untagged line: counted as a hit, not classified.
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().prov.total(), 0);
+    }
+
+    #[test]
+    fn disabled_provenance_is_plain_access() {
+        let mut c = tiny();
+        let l = Lineage::new(tbr(0, 0), SmxId(0));
+        assert!(!c.provenance_enabled());
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 0)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 1)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().prov.total(), 0);
+        assert!(c.reuse_dist().is_none());
+    }
+
+    #[test]
+    fn reset_clears_provenance_state() {
+        let mut c = tiny();
+        c.enable_provenance();
+        let l = Lineage::new(tbr(0, 0), SmxId(0));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 0)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 9)));
+        c.reset();
+        assert_eq!(c.stats().prov.total(), 0);
+        assert_eq!(c.reuse_dist().unwrap()[ReuseClass::SelfReuse.index()].count, 0);
+        // A post-reset hit on a refilled line classifies fresh.
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 20)));
+        c.access_tagged(0, true, AccessClass::Parent, false, Some((&l, 21)));
+        assert_eq!(c.stats().prov.class(ReuseClass::SelfReuse), 1);
     }
 }

@@ -103,6 +103,15 @@ pub struct GpuConfig {
     /// bit-identical either way (see `docs/ARCHITECTURE.md`,
     /// "Performance"); disable only to cross-check that invariant.
     pub fast_forward: bool,
+
+    /// Locality provenance profiling: tag every cache line with the TB
+    /// that installed it and classify each hit by its relation to the
+    /// accessor (self / parent-child / sibling / ancestor / unrelated).
+    /// Off by default; when off the simulator allocates no tag storage
+    /// and the memory path takes no extra work. Profiling is purely
+    /// observational — cycles and every other statistic are identical
+    /// with it on or off.
+    pub profile_locality: bool,
 }
 
 impl GpuConfig {
@@ -140,6 +149,7 @@ impl GpuConfig {
             launch_issue_cycles: 8,
             max_cycles: 500_000_000,
             fast_forward: true,
+            profile_locality: false,
         }
     }
 
@@ -173,6 +183,7 @@ impl GpuConfig {
             launch_issue_cycles: 2,
             max_cycles: 50_000_000,
             fast_forward: true,
+            profile_locality: false,
         }
     }
 

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use crate::cache::AccessClass;
+use crate::cache::{AccessClass, Lineage, ReuseClass};
 use crate::config::GpuConfig;
 use crate::error::SimError;
 use crate::kdu::Kdu;
@@ -13,7 +13,7 @@ use crate::launch::{Delivery, DynamicLaunchModel, ImmediateLaunchModel, LaunchRe
 use crate::mem::MemorySystem;
 use crate::program::{KernelKindId, ProgramSource};
 use crate::smx::{Smx, SmxResources, TbCompletion};
-use crate::stats::{SimStats, TbRecord};
+use crate::stats::{LocalityStats, SimStats, TbRecord};
 use crate::tb_sched::{DispatchDecision, DispatchView, KmuView, RoundRobinScheduler, TbScheduler};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
@@ -86,7 +86,10 @@ impl Simulator {
             }
         };
         let smxs = (0..cfg.num_smxs).map(|i| Smx::new(SmxId(i), &cfg, make_warp_sched())).collect();
-        let mem = MemorySystem::new(&cfg);
+        let mut mem = MemorySystem::new(&cfg);
+        if cfg.profile_locality {
+            mem.enable_provenance();
+        }
         let kdu = Kdu::new(cfg.max_concurrent_kernels);
         Simulator {
             cycle: 0,
@@ -206,6 +209,8 @@ impl Simulator {
             l2_misses: l2.misses,
             resident_tbs: self.resident_tbs(),
             undispatched_tbs: self.undispatched,
+            l1_parent_child_hits: l1.prov.class(ReuseClass::ParentChild),
+            l2_parent_child_hits: l2.prov.class(ReuseClass::ParentChild),
         }
     }
 
@@ -468,6 +473,17 @@ impl Simulator {
             scheduler_counters: self.scheduler.counters(),
             scheduler: self.scheduler.name().to_string(),
             launch_model: self.launch_model.name().to_string(),
+            locality: self.cfg.profile_locality.then(|| {
+                let mut bind = crate::stats::BindReuse::default();
+                for s in &self.smxs {
+                    bind.merge(&s.bind_reuse);
+                }
+                LocalityStats {
+                    l1_reuse_dist: self.mem.l1_reuse_dist_total(),
+                    l2_reuse_dist: self.mem.l2_reuse_dist(),
+                    bind,
+                }
+            }),
         }
     }
 
@@ -591,15 +607,29 @@ impl Simulator {
         let program = self.source.tb_program(kind, param, tb_index);
         let class = if origin.is_some() { AccessClass::Child } else { AccessClass::Parent };
         self.dispatch_seq += 1;
-        self.smxs[d.smx.index()].place(
-            tb,
-            class,
-            program,
-            req,
-            self.dispatch_seq,
-            now,
-            self.cfg.warp_size,
-        );
+        if self.cfg.profile_locality {
+            let lineage = self.lineage_of(tb, d.smx, origin);
+            self.smxs[d.smx.index()].place_traced(
+                tb,
+                class,
+                program,
+                req,
+                self.dispatch_seq,
+                now,
+                self.cfg.warp_size,
+                lineage,
+            );
+        } else {
+            self.smxs[d.smx.index()].place(
+                tb,
+                class,
+                program,
+                req,
+                self.dispatch_seq,
+                now,
+                self.cfg.warp_size,
+            );
+        }
 
         self.emit(now, TraceEvent::TbDispatched { tb, smx: d.smx });
         self.record_index.insert(tb, self.tb_records.len());
@@ -615,6 +645,21 @@ impl Simulator {
             finished_at: 0,
         });
         Ok(())
+    }
+
+    /// Resolves the full ancestry of `tb` (dispatched to `smx` with the
+    /// given launch `origin`) by walking the batch table's origin chain.
+    /// Only called when `cfg.profile_locality` is on, so plain runs never
+    /// pay for the walk.
+    fn lineage_of(&self, tb: TbRef, smx: SmxId, origin: Option<Origin>) -> Lineage {
+        let mut lineage = Lineage::new(tb, smx);
+        lineage.parent_smx = origin.as_ref().map(|o| o.parent_smx);
+        let mut cur = origin;
+        while let Some(o) = cur {
+            lineage.push_ancestor(TbRef { batch: o.parent_batch, index: o.parent_tb });
+            cur = self.batches[o.parent_batch.index()].origin;
+        }
+        lineage
     }
 
     fn finish_tb(&mut self, c: TbCompletion, now: Cycle) {

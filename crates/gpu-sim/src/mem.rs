@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::cache::{AccessClass, Cache, CacheStats, ProbeResult};
+use crate::cache::{AccessClass, Cache, CacheStats, Lineage, ProbeResult};
 use crate::config::GpuConfig;
 use crate::dram::Dram;
 use crate::types::{Cycle, LineAddr, SmxId};
@@ -82,6 +82,18 @@ impl MemorySystem {
         }
     }
 
+    /// Enables locality provenance profiling on every cache: installer
+    /// tags plus per-class reuse-distance histograms. Call before the
+    /// first access so all fills are tagged; accesses classify only when
+    /// they carry a lineage (see
+    /// [`warp_access_traced`](Self::warp_access_traced)).
+    pub fn enable_provenance(&mut self) {
+        for l1 in &mut self.l1s {
+            l1.enable_provenance();
+        }
+        self.l2.enable_provenance();
+    }
+
     /// Services one warp memory instruction made of the given coalesced
     /// line transactions, issued from `smx` at cycle `now`.
     ///
@@ -95,13 +107,29 @@ impl MemorySystem {
         class: AccessClass,
         now: Cycle,
     ) -> u64 {
+        self.warp_access_traced(smx, lines, is_store, class, now, None)
+    }
+
+    /// Like [`warp_access`](Self::warp_access), additionally carrying
+    /// the accessing TB's [`Lineage`] so hits are attributed to a
+    /// [`ReuseClass`](crate::cache::ReuseClass) when provenance
+    /// profiling is enabled. Timing is identical either way.
+    pub fn warp_access_traced(
+        &mut self,
+        smx: SmxId,
+        lines: &[LineAddr],
+        is_store: bool,
+        class: AccessClass,
+        now: Cycle,
+        lineage: Option<&Lineage>,
+    ) -> u64 {
         if lines.is_empty() {
             return 0;
         }
         let mut worst = 0u64;
         for (i, &line) in lines.iter().enumerate() {
             let serialization = u64::from(self.transaction_issue_cycles) * i as u64;
-            let lat = serialization + self.line_access(smx, line, is_store, class, now);
+            let lat = serialization + self.line_access(smx, line, is_store, class, now, lineage);
             worst = worst.max(lat);
         }
         worst
@@ -114,10 +142,12 @@ impl MemorySystem {
         is_store: bool,
         class: AccessClass,
         now: Cycle,
+        lineage: Option<&Lineage>,
     ) -> u64 {
+        let prov = lineage.map(|l| (l, now));
         let l1 = &mut self.l1s[smx.index()];
         // L1: loads allocate, stores are write-through no-allocate.
-        let l1_result = l1.access(line, !is_store, class);
+        let (l1_result, _) = l1.access_tagged(line, !is_store, class, false, prov);
         if l1_result == ProbeResult::Hit && !is_store {
             return u64::from(self.l1_hit_latency);
         }
@@ -125,7 +155,7 @@ impl MemorySystem {
         // Stores always propagate to L2 (write-through L1); load misses
         // fetch from L2. L2 is write-back: stores dirty the line and
         // dirty victims cost DRAM write-back bandwidth.
-        let (l2_result, evicted) = self.l2.access_full(line, true, class, is_store);
+        let (l2_result, evicted) = self.l2.access_tagged(line, true, class, is_store, prov);
         let base = u64::from(self.l1_hit_latency) + u64::from(self.l2_hit_latency);
         if let Some(victim) = evicted {
             if victim.dirty {
@@ -181,6 +211,30 @@ impl MemorySystem {
     /// Statistics of the shared L2 cache.
     pub fn l2_stats(&self) -> &CacheStats {
         self.l2.stats()
+    }
+
+    /// Per-class L1 reuse-distance histograms merged over all SMXs
+    /// (all-empty when profiling is off).
+    pub fn l1_reuse_dist_total(&self) -> [crate::stats::Pow2Hist; crate::cache::NUM_REUSE_CLASSES] {
+        let mut total: [crate::stats::Pow2Hist; crate::cache::NUM_REUSE_CLASSES] =
+            Default::default();
+        for c in &self.l1s {
+            if let Some(hists) = c.reuse_dist() {
+                for (t, h) in total.iter_mut().zip(hists.iter()) {
+                    t.merge(h);
+                }
+            }
+        }
+        total
+    }
+
+    /// Per-class L2 reuse-distance histograms (all-empty when profiling
+    /// is off).
+    pub fn l2_reuse_dist(&self) -> [crate::stats::Pow2Hist; crate::cache::NUM_REUSE_CLASSES] {
+        match self.l2.reuse_dist() {
+            Some(hists) => *hists,
+            None => Default::default(),
+        }
     }
 
     /// DRAM transaction count (fills plus write-backs).

@@ -6,14 +6,14 @@
 //! Memory instructions are coalesced and sent to the memory system; the
 //! issuing warp blocks until the data returns.
 
-use crate::cache::AccessClass;
+use crate::cache::{AccessClass, Lineage, ReuseClass};
 use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::kernel::ResourceReq;
 use crate::mem::MemorySystem;
 use crate::program::{MemSpace, TbOp, TbProgram};
 use crate::smem::conflict_passes;
-use crate::stats::{StallBreakdown, StallCause};
+use crate::stats::{BindReuse, StallBreakdown, StallCause};
 use crate::types::{Addr, Cycle, LineAddr, SmxId, TbRef};
 use crate::warp::Warp;
 use crate::warp_sched::{WarpCandidate, WarpScheduler};
@@ -85,6 +85,10 @@ pub struct ResidentTb {
     pub dispatch_seq: u64,
     /// Cycle the TB started executing.
     pub started_at: Cycle,
+    /// Identity and ancestry carried by every memory access this TB
+    /// issues (meaningful only when locality profiling is on; a default
+    /// ancestry-free lineage otherwise).
+    pub lineage: Lineage,
     /// Earliest cycle any of this TB's warps can act (issue, finalize,
     /// or leave a barrier), packed as in [`Warp::set_ready`]: cycle in
     /// the high bits, the [`StallCause`] the wait is attributable to in
@@ -169,6 +173,9 @@ pub struct Smx {
     pub instruction_mix: crate::stats::InstructionMix,
     /// TBs dispatched to this SMX over the whole run.
     pub tbs_executed: u64,
+    /// Child-TB L1 reuse split by bound vs stolen placement (only
+    /// accumulated while locality profiling is on).
+    pub bind_reuse: BindReuse,
 }
 
 impl std::fmt::Debug for Box<dyn WarpScheduler> {
@@ -198,6 +205,7 @@ impl Smx {
             thread_instructions: 0,
             instruction_mix: crate::stats::InstructionMix::default(),
             tbs_executed: 0,
+            bind_reuse: BindReuse::default(),
         }
     }
 
@@ -260,6 +268,25 @@ impl Smx {
         now: Cycle,
         warp_size: u32,
     ) {
+        let lineage = Lineage::new(tb, self.id);
+        self.place_traced(tb, class, program, req, dispatch_seq, now, warp_size, lineage);
+    }
+
+    /// [`place`](Self::place) with an explicit ancestry, for runs with
+    /// locality profiling on (the engine computes the lineage from its
+    /// batch table at dispatch time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_traced(
+        &mut self,
+        tb: TbRef,
+        class: AccessClass,
+        program: TbProgram,
+        req: ResourceReq,
+        dispatch_seq: u64,
+        now: Cycle,
+        warp_size: u32,
+        lineage: Lineage,
+    ) {
         self.free.take(&req);
         let num_warps = req.threads.div_ceil(warp_size).max(1);
         let mut warps: Vec<Warp> = (0..num_warps).map(|w| Warp::new(w, now)).collect();
@@ -279,6 +306,7 @@ impl Smx {
             req,
             dispatch_seq,
             started_at: now,
+            lineage,
             next_packed: (now << 3) | StallCause::Scoreboard.code(),
         });
         self.tbs_executed += 1;
@@ -370,6 +398,10 @@ impl Smx {
         let mut addrs = std::mem::take(&mut self.addr_scratch);
         let mut lines = std::mem::take(&mut self.line_scratch);
         let smx_id = self.id;
+        // (bound-to-parent-SMX, L1 hits, parent-child L1 hits) from a
+        // profiled child access; applied to `bind_reuse` after the TB
+        // borrow ends.
+        let mut bind_delta: Option<(bool, u64, u64)> = None;
         let tb = &mut self.resident[ti];
         // Issuing changes this TB's warp state; force the post-issue pass
         // to rescan it and recompute its `next_packed`.
@@ -426,8 +458,31 @@ impl Smx {
                         } else {
                             coalesce_into(&addrs, cfg.line_bits(), &mut lines);
                             let mshr_full_before = mem.mshr_full_events();
-                            let lat =
-                                mem.warp_access(smx_id, &lines, m.is_store, tb.class, now).max(1);
+                            let lat = if cfg.profile_locality {
+                                let before = *mem.l1_stats(smx_id);
+                                let lat = mem
+                                    .warp_access_traced(
+                                        smx_id,
+                                        &lines,
+                                        m.is_store,
+                                        tb.class,
+                                        now,
+                                        Some(&tb.lineage),
+                                    )
+                                    .max(1);
+                                if tb.class == AccessClass::Child {
+                                    let after = mem.l1_stats(smx_id);
+                                    let pc_idx = ReuseClass::ParentChild.index();
+                                    bind_delta = Some((
+                                        tb.lineage.parent_smx == Some(smx_id),
+                                        after.hits - before.hits,
+                                        after.prov.by_class[pc_idx] - before.prov.by_class[pc_idx],
+                                    ));
+                                }
+                                lat
+                            } else {
+                                mem.warp_access(smx_id, &lines, m.is_store, tb.class, now).max(1)
+                            };
                             let wait = if mem.mshr_full_events() > mshr_full_before {
                                 StallCause::MshrFull
                             } else {
@@ -466,6 +521,15 @@ impl Smx {
 
         self.warp_instructions += 1;
         self.thread_instructions += u64::from(counted_threads);
+        if let Some((bound, hits, parent_child)) = bind_delta {
+            if bound {
+                self.bind_reuse.bound_hits += hits;
+                self.bind_reuse.bound_parent_child += parent_child;
+            } else {
+                self.bind_reuse.stolen_hits += hits;
+                self.bind_reuse.stolen_parent_child += parent_child;
+            }
+        }
         self.addr_scratch = addrs;
         self.line_scratch = lines;
     }

@@ -1,8 +1,119 @@
 //! Simulation statistics.
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ReuseClass, NUM_REUSE_CLASSES};
 use crate::program::KernelKindId;
 use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
+
+/// A power-of-two-bucket histogram of `u64` values: bucket 0 holds the
+/// value 0, bucket `i` holds values in `[2^(i-1), 2^i)`. Fixed-size and
+/// allocation-free so it can live inside the simulator's hot state; the
+/// metrics registry converts it into its own `Histogram` for export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pow2Hist {
+    /// Bucket counts (see type docs for the bucket boundaries).
+    pub buckets: [u64; 65],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for Pow2Hist {
+    fn default() -> Self {
+        Pow2Hist { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Pow2Hist {
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let bucket = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Accumulates another histogram into this one.
+    pub fn merge(&mut self, other: &Pow2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Child-TB L1 reuse split by placement: *bound* children ran on their
+/// direct parent's SMX, *stolen* (or otherwise redirected) children did
+/// not. The contrast backs the Adaptive-Bind stolen-TB claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BindReuse {
+    /// L1 hits by children resident on their parent's SMX.
+    pub bound_hits: u64,
+    /// …of which classified parent-child reuse.
+    pub bound_parent_child: u64,
+    /// L1 hits by children resident away from their parent's SMX.
+    pub stolen_hits: u64,
+    /// …of which classified parent-child reuse.
+    pub stolen_parent_child: u64,
+}
+
+impl BindReuse {
+    /// Parent-child share of bound-child L1 hits.
+    pub fn bound_share(&self) -> f64 {
+        if self.bound_hits == 0 {
+            0.0
+        } else {
+            self.bound_parent_child as f64 / self.bound_hits as f64
+        }
+    }
+
+    /// Parent-child share of stolen-child L1 hits.
+    pub fn stolen_share(&self) -> f64 {
+        if self.stolen_hits == 0 {
+            0.0
+        } else {
+            self.stolen_parent_child as f64 / self.stolen_hits as f64
+        }
+    }
+
+    /// Accumulates another split into this one.
+    pub fn merge(&mut self, other: &BindReuse) {
+        self.bound_hits += other.bound_hits;
+        self.bound_parent_child += other.bound_parent_child;
+        self.stolen_hits += other.stolen_hits;
+        self.stolen_parent_child += other.stolen_parent_child;
+    }
+}
+
+/// Locality-provenance profile of one run: per-class reuse-distance
+/// histograms for both cache levels plus the bound/stolen child split.
+/// The per-class *hit counts* live in the caches' own stats
+/// (`SimStats::l1.prov` / `SimStats::l2.prov`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalityStats {
+    /// L1 reuse distance (cycles between install and hit) per class,
+    /// merged over all SMXs, indexed by [`ReuseClass::index`].
+    pub l1_reuse_dist: [Pow2Hist; NUM_REUSE_CLASSES],
+    /// L2 reuse distance per class.
+    pub l2_reuse_dist: [Pow2Hist; NUM_REUSE_CLASSES],
+    /// Bound vs stolen child L1 reuse split.
+    pub bind: BindReuse,
+}
 
 /// Why an SMX failed to issue on a given cycle.
 ///
@@ -139,6 +250,11 @@ pub struct MachineSample {
     pub resident_tbs: usize,
     /// TBs visible but not yet dispatched right now.
     pub undispatched_tbs: u64,
+    /// Cumulative L1 hits classified parent-child (zero unless locality
+    /// profiling is enabled).
+    pub l1_parent_child_hits: u64,
+    /// Cumulative L2 hits classified parent-child.
+    pub l2_parent_child_hits: u64,
 }
 
 impl MachineSample {
@@ -263,6 +379,9 @@ pub struct SimStats {
     pub scheduler: String,
     /// Launch model name.
     pub launch_model: String,
+    /// Locality provenance profile; `Some` only when the run had
+    /// `GpuConfig::profile_locality` set.
+    pub locality: Option<LocalityStats>,
 }
 
 impl SimStats {
@@ -391,6 +510,37 @@ impl SimStats {
                 stalls.no_tb
             ),
         );
+        if let Some(loc) = &self.locality {
+            let share = |c: ReuseClass| format!("{:.1}%", self.l1.prov.share(c) * 100.0);
+            line(
+                "L1 reuse classes",
+                format!(
+                    "{} self / {} parent-child / {} sibling / {} ancestor / {} unrelated",
+                    share(ReuseClass::SelfReuse),
+                    share(ReuseClass::ParentChild),
+                    share(ReuseClass::Sibling),
+                    share(ReuseClass::Ancestor),
+                    share(ReuseClass::Unrelated),
+                ),
+            );
+            line(
+                "L2 parent-child",
+                format!(
+                    "{:.1}% ({} same-SMX / {} cross-SMX hits)",
+                    self.l2.prov.share(ReuseClass::ParentChild) * 100.0,
+                    self.l2.prov.same_smx,
+                    self.l2.prov.cross_smx
+                ),
+            );
+            line(
+                "bound/stolen reuse",
+                format!(
+                    "{:.1}% / {:.1}% parent-child of child L1 hits",
+                    loc.bind.bound_share() * 100.0,
+                    loc.bind.stolen_share() * 100.0
+                ),
+            );
+        }
         for (name, v) in &self.scheduler_counters {
             line(name, v.to_string());
         }

@@ -6,6 +6,13 @@
 //! undispatched TB of a batch it names) to an SMX with room. The baseline
 //! [`RoundRobinScheduler`] reproduces Section II-B of the paper; the
 //! LaPerm policies in the `laperm` crate implement the same trait.
+//!
+//! Every dispatch decision made here is also a *provenance* decision:
+//! the chosen SMX fixes which L1 a TB fills and which installed lines it
+//! can reuse. When `GpuConfig::profile_locality` is set, the engine
+//! snapshots the TB's lineage at dispatch time and the caches attribute
+//! each later hit back to it (see `cache::ReuseClass`), which is how the
+//! `repro locality` report scores scheduling policies mechanistically.
 
 use crate::kernel::{Batch, ResourceReq};
 use crate::smx::SmxResources;

@@ -94,6 +94,7 @@ mod tests {
                 barrier: 5,
                 no_tb: 15,
             },
+            locality: None,
         }
     }
 

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use dynpar::{LaunchLatency, LaunchModelKind};
+use gpu_sim::cache::{ReuseClass, NUM_REUSE_CLASSES};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::error::SimError;
@@ -68,6 +69,67 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
+/// Provenance summary of one profiled run: which scheduling relation
+/// (see [`ReuseClass`]) produced each cache hit. Present only when the
+/// run's [`GpuConfig::profile_locality`] was on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityRecord {
+    /// Total L1 hits at profiling time (partition denominator).
+    pub l1_hits: u64,
+    /// Total L2 hits at profiling time.
+    pub l2_hits: u64,
+    /// L1 hits by reuse class, indexed by [`ReuseClass::index`].
+    pub l1_class_hits: [u64; NUM_REUSE_CLASSES],
+    /// L2 hits by reuse class.
+    pub l2_class_hits: [u64; NUM_REUSE_CLASSES],
+    /// L2 hits whose accessor ran on the installing SMX.
+    pub l2_same_smx: u64,
+    /// L2 hits crossing SMXs.
+    pub l2_cross_smx: u64,
+    /// L1 hits by child TBs placed on their parent's SMX (bound).
+    pub bound_hits: u64,
+    /// Of `bound_hits`, those on lines installed by the direct parent.
+    pub bound_parent_child: u64,
+    /// L1 hits by child TBs placed elsewhere (stolen / spilled).
+    pub stolen_hits: u64,
+    /// Of `stolen_hits`, those on lines installed by the direct parent.
+    pub stolen_parent_child: u64,
+    /// Mean install-to-hit distance of L1 parent-child hits, in cycles.
+    pub l1_pc_mean_dist: f64,
+    /// Mean install-to-hit distance of L2 parent-child hits, in cycles.
+    pub l2_pc_mean_dist: f64,
+}
+
+impl LocalityRecord {
+    /// Share of classified L1 hits in `class` (0 when none classified).
+    pub fn l1_share(&self, class: ReuseClass) -> f64 {
+        share(self.l1_class_hits[class.index()], self.l1_class_hits.iter().sum())
+    }
+
+    /// Share of classified L2 hits in `class`.
+    pub fn l2_share(&self, class: ReuseClass) -> f64 {
+        share(self.l2_class_hits[class.index()], self.l2_class_hits.iter().sum())
+    }
+
+    /// Parent-child fraction of bound child hits.
+    pub fn bound_share(&self) -> f64 {
+        share(self.bound_parent_child, self.bound_hits)
+    }
+
+    /// Parent-child fraction of stolen child hits.
+    pub fn stolen_share(&self) -> f64 {
+        share(self.stolen_parent_child, self.stolen_hits)
+    }
+}
+
+fn share(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 / total as f64
+    }
+}
+
 /// The measurements of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -111,6 +173,8 @@ pub struct RunRecord {
     pub queue_search_cycles: u64,
     /// Stall cycles summed over all SMXs, by cause.
     pub stalls: StallBreakdown,
+    /// Locality provenance summary (`None` unless the run profiled).
+    pub locality: Option<LocalityRecord>,
 }
 
 impl RunRecord {
@@ -139,6 +203,23 @@ impl RunRecord {
             max_queue_depth: counter("max_queue_depth"),
             queue_search_cycles: counter("queue_search_cycles"),
             stalls: stats.total_stalls(),
+            locality: stats.locality.as_ref().map(|loc| {
+                let pc = ReuseClass::ParentChild.index();
+                LocalityRecord {
+                    l1_hits: stats.l1.hits,
+                    l2_hits: stats.l2.hits,
+                    l1_class_hits: stats.l1.prov.by_class,
+                    l2_class_hits: stats.l2.prov.by_class,
+                    l2_same_smx: stats.l2.prov.same_smx,
+                    l2_cross_smx: stats.l2.prov.cross_smx,
+                    bound_hits: loc.bind.bound_hits,
+                    bound_parent_child: loc.bind.bound_parent_child,
+                    stolen_hits: loc.bind.stolen_hits,
+                    stolen_parent_child: loc.bind.stolen_parent_child,
+                    l1_pc_mean_dist: loc.l1_reuse_dist[pc].mean(),
+                    l2_pc_mean_dist: loc.l2_reuse_dist[pc].mean(),
+                }
+            }),
         }
     }
 }

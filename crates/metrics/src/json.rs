@@ -9,7 +9,8 @@
 //! `repro.json` for any `--jobs N`" guarantee checkable by comparing
 //! document strings.
 
-use crate::harness::RunRecord;
+use crate::harness::{LocalityRecord, RunRecord};
+use gpu_sim::cache::NUM_REUSE_CLASSES;
 use gpu_sim::stats::StallBreakdown;
 
 /// A parsed or constructed JSON value.
@@ -307,9 +308,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 }
 
 /// Serializes one [`RunRecord`] as a JSON object (the `runs[]` element
-/// of the `repro.json` schema; see `docs/ARCHITECTURE.md`).
+/// of the `repro.json` schema; see `docs/ARCHITECTURE.md`). The
+/// `locality` key is present only for profiled runs, so unprofiled
+/// records keep the schema-v1 byte layout.
 pub fn run_to_json(r: &RunRecord) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("workload".into(), Json::Str(r.workload.clone())),
         ("launch_model".into(), Json::Str(r.launch_model.clone())),
         ("scheduler".into(), Json::Str(r.scheduler.clone())),
@@ -339,7 +342,73 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ("no_tb".into(), Json::from_u64(r.stalls.no_tb)),
             ]),
         ),
+    ];
+    if let Some(loc) = &r.locality {
+        fields.push(("locality".into(), locality_to_json(loc)));
+    }
+    Json::Obj(fields)
+}
+
+fn class_array(hits: &[u64; NUM_REUSE_CLASSES]) -> Json {
+    Json::Arr(hits.iter().map(|&v| Json::from_u64(v)).collect())
+}
+
+fn locality_to_json(loc: &LocalityRecord) -> Json {
+    Json::Obj(vec![
+        ("l1_hits".into(), Json::from_u64(loc.l1_hits)),
+        ("l2_hits".into(), Json::from_u64(loc.l2_hits)),
+        ("l1_class_hits".into(), class_array(&loc.l1_class_hits)),
+        ("l2_class_hits".into(), class_array(&loc.l2_class_hits)),
+        ("l2_same_smx".into(), Json::from_u64(loc.l2_same_smx)),
+        ("l2_cross_smx".into(), Json::from_u64(loc.l2_cross_smx)),
+        ("bound_hits".into(), Json::from_u64(loc.bound_hits)),
+        ("bound_parent_child".into(), Json::from_u64(loc.bound_parent_child)),
+        ("stolen_hits".into(), Json::from_u64(loc.stolen_hits)),
+        ("stolen_parent_child".into(), Json::from_u64(loc.stolen_parent_child)),
+        ("l1_pc_mean_dist".into(), Json::from_f64(loc.l1_pc_mean_dist)),
+        ("l2_pc_mean_dist".into(), Json::from_f64(loc.l2_pc_mean_dist)),
     ])
+}
+
+fn locality_from_json(v: &Json) -> Result<LocalityRecord, String> {
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("locality missing integer field '{key}'"))
+    };
+    let f64_field = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("locality missing number field '{key}'"))
+    };
+    let class_field = |key: &str| -> Result<[u64; NUM_REUSE_CLASSES], String> {
+        let arr = v
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("locality missing array field '{key}'"))?;
+        if arr.len() != NUM_REUSE_CLASSES {
+            return Err(format!("locality '{key}' must have {NUM_REUSE_CLASSES} entries"));
+        }
+        let mut out = [0u64; NUM_REUSE_CLASSES];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = item.as_u64().ok_or_else(|| format!("locality '{key}' entry not integer"))?;
+        }
+        Ok(out)
+    };
+    Ok(LocalityRecord {
+        l1_hits: u64_field("l1_hits")?,
+        l2_hits: u64_field("l2_hits")?,
+        l1_class_hits: class_field("l1_class_hits")?,
+        l2_class_hits: class_field("l2_class_hits")?,
+        l2_same_smx: u64_field("l2_same_smx")?,
+        l2_cross_smx: u64_field("l2_cross_smx")?,
+        bound_hits: u64_field("bound_hits")?,
+        bound_parent_child: u64_field("bound_parent_child")?,
+        stolen_hits: u64_field("stolen_hits")?,
+        stolen_parent_child: u64_field("stolen_parent_child")?,
+        l1_pc_mean_dist: f64_field("l1_pc_mean_dist")?,
+        l2_pc_mean_dist: f64_field("l2_pc_mean_dist")?,
+    })
 }
 
 /// Deserializes a [`RunRecord`] from the object shape [`run_to_json`]
@@ -399,6 +468,7 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             barrier: stall_field("barrier")?,
             no_tb: stall_field("no_tb")?,
         },
+        locality: v.get("locality").map(locality_from_json).transpose()?,
     })
 }
 
@@ -434,6 +504,24 @@ mod tests {
                 barrier: 5,
                 no_tb: 15,
             },
+            locality: None,
+        }
+    }
+
+    fn locality() -> LocalityRecord {
+        LocalityRecord {
+            l1_hits: 1000,
+            l2_hits: 500,
+            l1_class_hits: [600, 250, 100, 30, 20],
+            l2_class_hits: [200, 150, 100, 25, 25],
+            l2_same_smx: 300,
+            l2_cross_smx: 200,
+            bound_hits: 400,
+            bound_parent_child: 240,
+            stolen_hits: 100,
+            stolen_parent_child: 20,
+            l1_pc_mean_dist: 384.5,
+            l2_pc_mean_dist: 2048.25,
         }
     }
 
@@ -446,6 +534,39 @@ mod tests {
         // Re-rendering is byte-identical (the invariance tests rely on
         // string comparison of whole documents).
         assert_eq!(run_to_json(&parsed).render(), text);
+    }
+
+    #[test]
+    fn locality_roundtrips_exactly() {
+        let mut r = record();
+        r.locality = Some(locality());
+        let text = run_to_json(&r).render();
+        let parsed = run_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(run_to_json(&parsed).render(), text);
+    }
+
+    #[test]
+    fn unprofiled_record_keeps_schema_v1_bytes() {
+        // An unprofiled record must serialize without any locality key,
+        // so pre-provenance consumers (and the golden diffs) see the
+        // exact schema-v1 byte layout.
+        let text = run_to_json(&record()).render();
+        assert!(!text.contains("locality"));
+        let mut profiled = record();
+        profiled.locality = Some(locality());
+        let profiled_text = run_to_json(&profiled).render();
+        assert!(profiled_text.starts_with(text.trim_end_matches('}')));
+        assert!(profiled_text.contains("\"locality\":{\"l1_hits\":1000"));
+    }
+
+    #[test]
+    fn locality_with_wrong_class_arity_rejected() {
+        let mut r = record();
+        r.locality = Some(locality());
+        let text = run_to_json(&r).render();
+        let broken = text.replace("[600,250,100,30,20]", "[600,250,100,30]");
+        assert!(run_from_json(&parse(&broken).unwrap()).is_err());
     }
 
     #[test]

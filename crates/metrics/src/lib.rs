@@ -29,7 +29,7 @@ pub mod report;
 pub mod timeline;
 
 pub use footprint::{FootprintAnalysis, FootprintSummary};
-pub use harness::{run_once, RunRecord, SchedulerKind};
+pub use harness::{run_once, LocalityRecord, RunRecord, SchedulerKind};
 pub use json::{run_from_json, run_to_json, Json};
 pub use perfetto::{perfetto_json, validate_trace, TraceCheck};
 pub use registry::{registry_for_run, Histogram, MetricsRegistry};

@@ -232,6 +232,34 @@ pub fn perfetto_json(
         );
     }
 
+    // Windowed parent-child reuse counters, only for profiled runs (the
+    // sample fields are all-zero otherwise and would draw flat tracks).
+    if stats.locality.is_some() {
+        for pair in samples.windows(2) {
+            let ts = pair[1].cycle;
+            let l1 = pair[1].l1_parent_child_hits.saturating_sub(pair[0].l1_parent_child_hits);
+            let l2 = pair[1].l2_parent_child_hits.saturating_sub(pair[0].l2_parent_child_hits);
+            push(
+                ts,
+                'C',
+                format!(
+                    "{{\"ph\": \"C\", \"pid\": {engine_pid}, \"tid\": 0, \
+                     \"name\": \"l1_parent_child_hits\", \"ts\": {ts}, \
+                     \"args\": {{\"hits\": {l1}}}}}"
+                ),
+            );
+            push(
+                ts,
+                'C',
+                format!(
+                    "{{\"ph\": \"C\", \"pid\": {engine_pid}, \"tid\": 0, \
+                     \"name\": \"l2_parent_child_hits\", \"ts\": {ts}, \
+                     \"args\": {{\"hits\": {l2}}}}}"
+                ),
+            );
+        }
+    }
+
     events.sort_by_key(|a| (a.0, a.1));
     let mut out = String::from("{\"traceEvents\": [\n");
     for (i, (_, _, line)) in events.iter().enumerate() {
@@ -253,6 +281,10 @@ pub struct TraceCheck {
     pub spans: usize,
     /// Counter samples (`ph: C`).
     pub counters: usize,
+    /// Of `counters`, locality provenance samples (the
+    /// `l1_parent_child_hits` / `l2_parent_child_hits` tracks emitted
+    /// for profiled runs).
+    pub prov_counters: usize,
     /// Instant events (`ph: i`).
     pub instants: usize,
 }
@@ -332,7 +364,15 @@ pub fn validate_trace(json: &str) -> Result<TraceCheck, String> {
                     check.spans += 1;
                 }
             }
-            "C" => check.counters += 1,
+            "C" => {
+                check.counters += 1;
+                if matches!(
+                    field_str(line, "name").as_deref(),
+                    Some("l1_parent_child_hits" | "l2_parent_child_hits")
+                ) {
+                    check.prov_counters += 1;
+                }
+            }
             "i" | "X" => check.instants += 1,
             other => return Err(format!("line {}: unknown ph {other}", lineno + 1)),
         }
@@ -428,6 +468,39 @@ mod tests {
         assert!(json.contains("\"ipc\": 2.0000"));
         assert!(json.contains("\"ipc\": 4.0000"));
         validate_trace(&json).expect("valid trace");
+    }
+
+    #[test]
+    fn prov_counters_emitted_only_for_profiled_runs() {
+        let samples = [
+            MachineSample { cycle: 0, ..Default::default() },
+            MachineSample {
+                cycle: 50,
+                thread_instructions: 100,
+                l1_parent_child_hits: 30,
+                l2_parent_child_hits: 10,
+                ..Default::default()
+            },
+            MachineSample {
+                cycle: 100,
+                thread_instructions: 200,
+                l1_parent_child_hits: 70,
+                l2_parent_child_hits: 15,
+                ..Default::default()
+            },
+        ];
+        let plain = perfetto_json(&[], &sample_stats(), &samples, 2);
+        assert_eq!(validate_trace(&plain).unwrap().prov_counters, 0);
+        assert!(!plain.contains("l1_parent_child_hits"));
+
+        let mut stats = sample_stats();
+        stats.locality = Some(Default::default());
+        let profiled = perfetto_json(&[], &stats, &samples, 2);
+        let check = validate_trace(&profiled).expect("valid trace");
+        assert_eq!(check.prov_counters, 4, "two windows x two levels");
+        assert!(profiled.contains("\"name\": \"l1_parent_child_hits\""));
+        assert!(profiled.contains("\"hits\": 40")); // 70 - 30 in window 2
+        assert!(profiled.contains("\"hits\": 5")); // 15 - 10 in window 2
     }
 
     #[test]

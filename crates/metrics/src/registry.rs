@@ -11,7 +11,8 @@
 
 use std::collections::BTreeMap;
 
-use gpu_sim::stats::SimStats;
+use gpu_sim::cache::ReuseClass;
+use gpu_sim::stats::{Pow2Hist, SimStats};
 use gpu_sim::trace::{TraceEvent, TraceRecord};
 
 /// A histogram with fixed power-of-two buckets.
@@ -37,6 +38,13 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Imports a simulator-side [`Pow2Hist`]. Both types use the same
+    /// bucket rule (bucket 0 holds the value 0, bucket `i >= 1` holds
+    /// `[2^(i-1), 2^i)`), so the copy is lossless.
+    pub fn from_pow2(h: &Pow2Hist) -> Self {
+        Histogram { buckets: h.buckets, count: h.count, sum: h.sum, max: h.max }
     }
 
     fn bucket_of(value: u64) -> usize {
@@ -262,6 +270,30 @@ pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsReg
             _ => {}
         }
     }
+    if let Some(loc) = &stats.locality {
+        for class in ReuseClass::ALL {
+            reg.count(&format!("l1_hits_{}", class.name()), stats.l1.prov.class(class));
+            reg.count(&format!("l2_hits_{}", class.name()), stats.l2.prov.class(class));
+            let l1h = &loc.l1_reuse_dist[class.index()];
+            if l1h.count > 0 {
+                *reg.histogram(&format!("l1_reuse_dist_{}", class.name())) =
+                    Histogram::from_pow2(l1h);
+            }
+            let l2h = &loc.l2_reuse_dist[class.index()];
+            if l2h.count > 0 {
+                *reg.histogram(&format!("l2_reuse_dist_{}", class.name())) =
+                    Histogram::from_pow2(l2h);
+            }
+        }
+        reg.count("l2_hits_same_smx", stats.l2.prov.same_smx);
+        reg.count("l2_hits_cross_smx", stats.l2.prov.cross_smx);
+        reg.count("bound_child_hits", loc.bind.bound_hits);
+        reg.count("bound_child_parent_child_hits", loc.bind.bound_parent_child);
+        reg.count("stolen_child_hits", loc.bind.stolen_hits);
+        reg.count("stolen_child_parent_child_hits", loc.bind.stolen_parent_child);
+        reg.gauge("l1_parent_child_share", stats.l1.prov.share(ReuseClass::ParentChild));
+        reg.gauge("l2_parent_child_share", stats.l2.prov.share(ReuseClass::ParentChild));
+    }
     reg
 }
 
@@ -370,5 +402,48 @@ mod tests {
         assert_eq!(reg.histogram_value("queue_depth").unwrap().count(), 2);
         assert_eq!(reg.histogram_value("parent_resident_cycles").unwrap().sum(), 50);
         assert_eq!(reg.histogram_value("child_resident_cycles").unwrap().sum(), 30);
+    }
+
+    #[test]
+    fn run_registry_includes_locality_when_profiled() {
+        use gpu_sim::stats::LocalityStats;
+
+        let mut stats = SimStats::default();
+        assert!(
+            !registry_for_run(&stats, &[]).render().contains("l1_hits_parent_child"),
+            "unprofiled runs carry no locality metrics"
+        );
+
+        stats.l1.prov.by_class[ReuseClass::ParentChild.index()] = 7;
+        stats.l2.prov.same_smx = 3;
+        stats.l2.prov.cross_smx = 1;
+        let mut loc = LocalityStats::default();
+        loc.l1_reuse_dist[ReuseClass::ParentChild.index()].record(100);
+        loc.l1_reuse_dist[ReuseClass::ParentChild.index()].record(300);
+        loc.bind.bound_hits = 5;
+        loc.bind.bound_parent_child = 4;
+        stats.locality = Some(loc);
+
+        let reg = registry_for_run(&stats, &[]);
+        assert_eq!(reg.counter_value("l1_hits_parent_child"), 7);
+        assert_eq!(reg.counter_value("l2_hits_same_smx"), 3);
+        assert_eq!(reg.counter_value("bound_child_parent_child_hits"), 4);
+        let h = reg.histogram_value("l1_reuse_dist_parent_child").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 400);
+        assert_eq!(reg.gauge_value("l1_parent_child_share"), Some(1.0));
+    }
+
+    #[test]
+    fn pow2_import_preserves_buckets() {
+        let mut p = Pow2Hist::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            p.record(v);
+        }
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(Histogram::from_pow2(&p), h);
     }
 }
