@@ -18,6 +18,7 @@
 //!   variance  headline gain over several input seeds (mean ± std)
 //!   csv       full run matrix as CSV on stdout (for plotting)
 //!   cache     L1/L2 capacity sensitivity (paper's future work)
+//!   saturation IPC vs DTBL aggregation-table size per scheduler
 //!   generality Kepler vs Maxwell-like architecture
 //!   overhead  queue hardware overheads (Section IV-E)
 //!   ablate    design-choice ablations
@@ -33,7 +34,7 @@
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
     generality, latency_sweep, locality, overhead, render_shape_report, run_matrix_with_jobs,
-    sweep_cache, table1, table2, timeline, variance, MatrixRecords, SweepDoc,
+    saturation, sweep_cache, table1, table2, timeline, variance, MatrixRecords, SweepDoc,
 };
 use workloads::Scale;
 
@@ -129,6 +130,7 @@ fn main() {
             print!("{}", sim_metrics::export::runs_to_csv(m.records()));
         }
         "cache" => println!("{}", sweep_cache(args.scale, args.jobs)),
+        "saturation" => println!("{}", saturation(args.scale, args.jobs)),
         "generality" => println!("{}", generality(args.scale, args.jobs)),
         "overhead" => println!("{}", overhead(args.scale, args.jobs)),
         "ablate" => println!("{}", ablate(args.scale, args.jobs)),
@@ -138,7 +140,7 @@ fn main() {
             eprintln!("unknown experiment {other}");
             eprintln!(
                 "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 locality latency \
-                 timeline variance csv cache generality overhead ablate all check"
+                 timeline variance csv cache saturation generality overhead ablate all check"
             );
             std::process::exit(2);
         }

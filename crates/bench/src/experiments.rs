@@ -725,6 +725,70 @@ pub fn ablate(scale: Scale, jobs: usize) -> String {
     out
 }
 
+/// Launch-path saturation sweep: IPC versus the DTBL aggregation-table
+/// size, per scheduler, on the launch-heaviest suite workload. Shrinking
+/// the table below the working set forces every extra launch through the
+/// overflow penalty, so this shows where each scheduler's gain survives a
+/// saturated launch path and where it collapses. Not part of the `all`
+/// report (the golden predates it); run `repro saturation`.
+pub fn saturation(scale: Scale, jobs: usize) -> String {
+    use gpu_sim::engine::Simulator;
+    use workloads::SharedSource;
+
+    let cfg = GpuConfig::kepler_k20c();
+    let all = suite(scale);
+    let w = all.iter().find(|w| w.full_name() == "bfs-citation").expect("bfs-citation in suite");
+
+    let caps = [8usize, 16, 32, 64, 128, 256];
+    let scheds = SchedulerKind::all();
+    let cells: Vec<(usize, SchedulerKind)> =
+        caps.iter().flat_map(|&cap| scheds.iter().map(move |&s| (cap, s))).collect();
+    let results = crate::sweep::parallel_map(&cells, jobs, |&(cap, sched)| {
+        let launch = Box::new(DtblModel::with_table(
+            LaunchLatency::default_for(LaunchModelKind::Dtbl),
+            cap,
+            DtblModel::DEFAULT_OVERFLOW_PENALTY,
+        ));
+        let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+            .with_scheduler(sched.build(&cfg))
+            .with_launch_model(launch);
+        for hk in w.host_kernels() {
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+        }
+        let stats = sim.run_to_completion().expect("saturation run");
+        let overflows = stats
+            .launch_counters
+            .iter()
+            .find(|(k, _)| *k == "dtbl_table_overflows")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        (stats.ipc(), overflows)
+    });
+
+    let mut out = format!(
+        "Launch-path saturation: IPC vs DTBL aggregation-table size on bfs-citation \
+         ({scale} scale)\n\n"
+    );
+    let mut t = Table::new(vec![
+        "table entries",
+        "rr IPC",
+        "tb-pri IPC",
+        "smx-bind IPC",
+        "adaptive IPC",
+        "overflows (adaptive)",
+    ]);
+    for (ci, &cap) in caps.iter().enumerate() {
+        let row = &results[ci * scheds.len()..(ci + 1) * scheds.len()];
+        let mut cells = vec![cap.to_string()];
+        cells.extend(row.iter().map(|(ipc, _)| format!("{ipc:.1}")));
+        let adaptive_ovf = row[scheds.len() - 1].1;
+        cells.push(adaptive_ovf.to_string());
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}
+
 /// The complete `repro all` text report: every section in order, each
 /// followed by a blank line. The `repro` binary prints exactly this
 /// string, and `tests/repro_snapshot.rs` diffs it byte-for-byte against
@@ -780,6 +844,7 @@ mod tests {
             queue_pushes: 0,
             max_queue_depth: 0,
             queue_search_cycles: 0,
+            table_overflows: 0,
             stalls: Default::default(),
             locality: None,
         }

@@ -20,7 +20,7 @@ pub mod sweep;
 
 pub use experiments::{
     ablate, fig2, fig7, fig8, fig9, full_report, generality, latency_sweep, locality, overhead,
-    run_matrix, run_matrix_with_jobs, sweep_cache, table1, table2, timeline, variance,
+    run_matrix, run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline, variance,
     MatrixRecords,
 };
 pub use fig4::figure4;

@@ -367,6 +367,40 @@ const SHAPES: &[(&str, &str, Check)] = &[
         },
     ),
     (
+        "launch-table-overflow-accounting",
+        "DTBL aggregation-table overflow accounting is sound: exactly zero overflows on the \
+         CDP path (which has no table), never more overflows than dynamic TBs under DTBL, \
+         and the binding schedulers accumulate no more overflows than RR (locality-aware \
+         scheduling relieves launch-path pressure, it never adds to it)",
+        |ctx| {
+            let cdp_ovf: u64 = ctx
+                .matrix
+                .records()
+                .iter()
+                .filter(|r| r.launch_model == CDP)
+                .map(|r| r.table_overflows)
+                .sum();
+            let mut bounded = true;
+            let mut per_sched = Vec::new();
+            for sched in [RR, TBPRI, SMX, ADAPTIVE] {
+                let mut ovf = 0u64;
+                for r in ctx.runs(DTBL, sched) {
+                    bounded &= r.table_overflows <= r.dynamic_tbs as u64;
+                    ovf += r.table_overflows;
+                }
+                per_sched.push((sched, ovf));
+            }
+            let rr_ovf = per_sched[0].1;
+            let relieved = per_sched[1..].iter().all(|&(_, ovf)| ovf <= rr_ovf);
+            let ok = cdp_ovf == 0 && bounded && relieved;
+            let detail = format!(
+                "cdp {cdp_ovf}; dtbl {}",
+                per_sched.iter().map(|(s, o)| format!("{s} {o}")).collect::<Vec<_>>().join(", ")
+            );
+            (ok, detail)
+        },
+    ),
+    (
         "sched-smxbind-binding-invariants",
         "Pure SMX-Bind never steals and places every child on its parent's SMX",
         |ctx| {

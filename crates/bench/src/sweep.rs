@@ -216,8 +216,10 @@ pub struct SweepDoc {
 
 /// Schema version written to and required from `repro.json`. Version 2
 /// added the optional per-run `locality` object (cache-hit provenance;
-/// sweeps always profile, so matrix runs carry it).
-pub const SWEEP_SCHEMA_VERSION: u64 = 2;
+/// sweeps always profile, so matrix runs carry it). Version 3 added the
+/// per-run `table_overflows` counter (DTBL aggregation-table overflows)
+/// and the `launch_path` stall cause.
+pub const SWEEP_SCHEMA_VERSION: u64 = 3;
 
 impl SweepDoc {
     /// Runs the matrix and the static footprint analysis at a scale and

@@ -31,6 +31,38 @@ fn sweep_doc_is_bit_identical_across_job_counts() {
     );
 }
 
+/// Backpressure determinism across workers: with finite launch-path
+/// capacities under either overflow policy, the sweep records are
+/// bit-identical for any `--jobs` count. Stalls and spills are decided
+/// by simulated cycles, never by wall-clock interleaving.
+#[test]
+fn finite_limit_sweeps_are_bit_identical_across_job_counts() {
+    use gpu_sim::config::{GpuConfig, LaunchLimits, OverflowPolicy};
+    use laperm_bench::sweep::{matrix_cells, run_matrix_cells};
+
+    let cells = matrix_cells(Scale::Tiny, 0);
+    let subset = &cells[..8.min(cells.len())];
+    for policy in [OverflowPolicy::StallParent, OverflowPolicy::SpillVirtual { extra_latency: 200 }]
+    {
+        let mut cfg = GpuConfig::kepler_k20c();
+        cfg.launch_limits = LaunchLimits {
+            kmu_capacity: Some(2),
+            pending_launch_capacity: Some(2),
+            smx_queue_capacity: Some(64),
+            policy,
+        };
+        let serial = run_matrix_cells(subset, 1, &cfg);
+        let parallel = run_matrix_cells(subset, 8, &cfg);
+        assert!(serial.failures.is_empty(), "{}: {:?}", policy.name(), serial.failures);
+        assert_eq!(
+            serial.records,
+            parallel.records,
+            "{}: finite-limit sweep differs between --jobs 1 and --jobs 8",
+            policy.name()
+        );
+    }
+}
+
 /// A panic in one run surfaces as that cell's error; every other cell
 /// still completes and results stay in input order.
 #[test]

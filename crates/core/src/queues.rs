@@ -105,6 +105,14 @@ impl PriorityQueues {
         self.global.len()
     }
 
+    /// Entries across every set and the shared level-0 queue — the
+    /// figure a hard queue-capacity bound compares against. Counts stale
+    /// (exhausted but not yet pruned) entries too: those still occupy
+    /// physical queue slots until a dispatch pass prunes them.
+    pub fn total_occupancy(&self) -> usize {
+        self.global.len() + (0..self.sets.len()).map(|s| self.occupancy(s)).sum::<usize>()
+    }
+
     /// Front batch of the highest non-empty priority queue of `set`,
     /// pruning entries for which `is_live` is false (exhausted batches).
     pub fn highest(
@@ -248,6 +256,16 @@ mod tests {
         }
         let expected: u64 = (0..big as u64 + 8).map(|occ| occ.min(big as u64)).sum();
         assert_eq!(q.stats().search_cycles, expected);
+    }
+
+    #[test]
+    fn total_occupancy_spans_sets_and_global() {
+        let mut q = PriorityQueues::new(2, 2, 128);
+        assert_eq!(q.total_occupancy(), 0);
+        q.push_global(BatchId(0));
+        q.push(0, 1, BatchId(1));
+        q.push(1, 2, BatchId(2));
+        assert_eq!(q.total_occupancy(), 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The LaPerm TB scheduler (paper Section IV, Figures 5 and 6).
 
-use gpu_sim::config::GpuConfig;
+use gpu_sim::config::{GpuConfig, OverflowPolicy};
 use gpu_sim::kernel::Batch;
 use gpu_sim::tb_sched::{DispatchDecision, DispatchView, KmuView, TbScheduler};
 use gpu_sim::trace::TraceEvent;
@@ -35,6 +35,15 @@ pub struct LaPermConfig {
     pub throttle_tbs: Option<u32>,
     /// The hardware TB-slot limit per SMX (for throttle accounting).
     pub hw_tbs_per_smx: u32,
+    /// Hard cap on batches resident across all priority-queue sets
+    /// (on-chip plus memory-backed spill); `None` = unbounded. Taken
+    /// from [`GpuConfig::launch_limits`]. When the cap is reached,
+    /// `queue_overflow_policy` decides what the KMU extension does.
+    pub queue_capacity: Option<usize>,
+    /// What happens at the queue cap: `StallParent` declines KMU
+    /// dispatch (kernels wait in the KMU), `SpillVirtual` admits the
+    /// kernel anyway and counts a virtual-queue spill.
+    pub queue_overflow_policy: OverflowPolicy,
 }
 
 impl LaPermConfig {
@@ -49,6 +58,8 @@ impl LaPermConfig {
             steal_min_free_slots: 0,
             throttle_tbs: None,
             hw_tbs_per_smx: cfg.max_tbs_per_smx,
+            queue_capacity: cfg.launch_limits.smx_queue_capacity,
+            queue_overflow_policy: cfg.launch_limits.policy,
         }
     }
 
@@ -111,6 +122,9 @@ pub struct LaPermScheduler {
     stage2_dispatches: u64,
     stage3_steals: u64,
     kmu_search_cycles: u64,
+    /// KMU dispatches admitted past the queue hard cap under
+    /// `SpillVirtual` (0 and unreported when the cap is unbounded).
+    queue_hard_spills: u64,
     /// Event reporting, off by default; the engine enables it when a
     /// trace sink is attached (`TbScheduler::set_tracing`). While off the
     /// buffer stays empty and untraced runs allocate nothing here.
@@ -131,6 +145,7 @@ impl LaPermScheduler {
             stage2_dispatches: 0,
             stage3_steals: 0,
             kmu_search_cycles: 0,
+            queue_hard_spills: 0,
             tracing: false,
             trace_buf: Vec::new(),
             cfg,
@@ -349,10 +364,21 @@ impl TbScheduler for LaPermScheduler {
         }
     }
 
-    fn kmu_pick(&mut self, view: &KmuView<'_>) -> usize {
+    fn kmu_pick(&mut self, view: &KmuView<'_>) -> Option<usize> {
         // The KMU extension searches its priority queues highest-first;
         // worst case it scans all L levels (Section IV-E).
         self.kmu_search_cycles += u64::from(self.cfg.max_level);
+        // Backpressure: with the scheduler's queues at their hard cap,
+        // StallParent declines dispatch (the kernel waits in the KMU);
+        // SpillVirtual admits it and charges a virtual-queue spill.
+        if let Some(cap) = self.cfg.queue_capacity {
+            if self.queues.total_occupancy() >= cap {
+                match self.cfg.queue_overflow_policy {
+                    OverflowPolicy::StallParent => return None,
+                    OverflowPolicy::SpillVirtual { .. } => self.queue_hard_spills += 1,
+                }
+            }
+        }
         let level = |batch: &Batch| {
             if batch.origin.is_some() {
                 self.clamped_level(batch)
@@ -369,12 +395,12 @@ impl TbScheduler for LaPermScheduler {
                 best_level = l;
             }
         }
-        best
+        Some(best)
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
         let q = self.queues.stats();
-        vec![
+        let mut counters = vec![
             ("stage1_dispatches", self.stage1_dispatches),
             ("stage2_dispatches", self.stage2_dispatches),
             ("stage3_steals", self.stage3_steals),
@@ -383,7 +409,13 @@ impl TbScheduler for LaPermScheduler {
             ("queue_search_cycles", q.search_cycles),
             ("kmu_search_cycles", self.kmu_search_cycles),
             ("max_queue_depth", q.max_depth as u64),
-        ]
+        ];
+        // Only surfaced when the cap exists, so default-run reports (and
+        // the goldens derived from them) are unchanged.
+        if self.cfg.queue_capacity.is_some() {
+            counters.push(("queue_hard_spills", self.queue_hard_spills));
+        }
+        counters
     }
 
     fn set_tracing(&mut self, enabled: bool) {
@@ -661,11 +693,11 @@ mod tests {
         };
 
         // Highest clamped priority wins.
-        assert_eq!(pick(&mut sched, &[0, 1]), 1);
+        assert_eq!(pick(&mut sched, &[0, 1]), Some(1));
         // Clamped ties resolve FCFS (earlier index).
-        assert_eq!(pick(&mut sched, &[0, 2, 3]), 1);
+        assert_eq!(pick(&mut sched, &[0, 2, 3]), Some(1));
         // Host-only stays FCFS.
-        assert_eq!(pick(&mut sched, &[0]), 0);
+        assert_eq!(pick(&mut sched, &[0]), Some(0));
         // The search cost is accounted (L cycles per pick).
         let kmu_cycles = sched
             .counters()
@@ -674,6 +706,55 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert_eq!(kmu_cycles, 3 * 2);
+    }
+
+    #[test]
+    fn kmu_pick_backpressure_at_queue_cap() {
+        use gpu_sim::kernel::{Batch, BatchKind, BatchState};
+        use gpu_sim::types::Priority;
+
+        let host = Batch {
+            id: BatchId(0),
+            batch_kind: BatchKind::HostKernel,
+            kind: KernelKindId(0),
+            param: 0,
+            num_tbs: 1,
+            req: ResourceReq::new(32, 8, 0),
+            origin: None,
+            priority: Priority::HOST,
+            created_at: 0,
+            schedulable_at: None,
+            state: BatchState::Pending,
+            next_tb: 0,
+            finished_tbs: 0,
+            kdu_entry: None,
+        };
+        let batches = vec![host.clone()];
+        let pending = vec![BatchId(0)];
+        let view = gpu_sim::tb_sched::KmuView { pending: &pending, batches: &batches };
+
+        // StallParent: at the cap the scheduler declines to dispatch.
+        let mut cfg = LaPermConfig::for_gpu(&GpuConfig::small_test());
+        cfg.queue_capacity = Some(1);
+        cfg.queue_overflow_policy = gpu_sim::config::OverflowPolicy::StallParent;
+        let mut sched = LaPermScheduler::new(LaPermPolicy::TbPri, cfg);
+        assert_eq!(sched.kmu_pick(&view), Some(0));
+        sched.on_batch_schedulable(&host, 0);
+        assert_eq!(sched.kmu_pick(&view), None);
+
+        // SpillVirtual: the pick proceeds, charged as a hard spill.
+        cfg.queue_overflow_policy =
+            gpu_sim::config::OverflowPolicy::SpillVirtual { extra_latency: 10 };
+        let mut sched = LaPermScheduler::new(LaPermPolicy::TbPri, cfg);
+        sched.on_batch_schedulable(&host, 0);
+        assert_eq!(sched.kmu_pick(&view), Some(0));
+        let spills = sched
+            .counters()
+            .iter()
+            .find(|(k, _)| *k == "queue_hard_spills")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(spills, 1);
     }
 
     #[test]
@@ -726,6 +807,8 @@ mod tests {
             steal_min_free_slots: 0,
             throttle_tbs: None,
             hw_tbs_per_smx: 16,
+            queue_capacity: None,
+            queue_overflow_policy: OverflowPolicy::StallParent,
         };
         assert_eq!(cfg.num_clusters(), 4);
         assert_eq!(cfg.cluster_of(SmxId(0)), 0);

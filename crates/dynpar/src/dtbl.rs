@@ -138,6 +138,10 @@ impl DynamicLaunchModel for DtblModel {
     fn name(&self) -> &'static str {
         "dtbl"
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("dtbl_table_overflows", self.overflows)]
+    }
 }
 
 #[cfg(test)]

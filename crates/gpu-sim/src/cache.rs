@@ -539,6 +539,8 @@ impl Cache {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn tiny() -> Cache {

@@ -37,6 +37,8 @@ pub fn transaction_count(addrs: &[Addr], line_bits: u32) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     const LINE_BITS: u32 = 7; // 128-byte lines

@@ -29,6 +29,73 @@ impl std::fmt::Display for WarpSchedPolicy {
     }
 }
 
+/// What happens when a finite launch-path resource is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Backpressure: the launching warp (or the upstream queue stage)
+    /// blocks until space frees. Stall cycles are attributed to
+    /// [`StallCause::LaunchPath`](crate::stats::StallCause::LaunchPath).
+    #[default]
+    StallParent,
+    /// Spill to a memory-backed virtual queue (CDP's software queue,
+    /// DTBL's global-memory overflow buffer): the launch proceeds but is
+    /// charged `extra_latency` additional cycles.
+    SpillVirtual {
+        /// Extra cycles charged to each spilled launch.
+        extra_latency: u32,
+    },
+}
+
+impl OverflowPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverflowPolicy::StallParent => "stall-parent",
+            OverflowPolicy::SpillVirtual { .. } => "spill-virtual",
+        }
+    }
+}
+
+/// Finite capacities along the device-launch path, with one shared
+/// [`OverflowPolicy`].
+///
+/// Every capacity defaults to `None` (unbounded), which reproduces the
+/// idealized machine bit-for-bit: no gate is evaluated, no launch is
+/// deferred, and no counter moves. Finite values model the real
+/// hardware's 32 HWQs, fixed pending-launch buffer, and bounded per-SMX
+/// scheduler queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LaunchLimits {
+    /// Maximum kernels the KMU pending queue holds. Matured launches that
+    /// find it full are deferred (StallParent) or spilled (SpillVirtual).
+    pub kmu_capacity: Option<usize>,
+    /// Maximum device launches the launch model may hold in flight; the
+    /// CDP pending-launch buffer. Past it, launching warps block
+    /// (StallParent) or the launch sits in a memory-virtualized queue for
+    /// `extra_latency` cycles before entering the buffer (SpillVirtual).
+    pub pending_launch_capacity: Option<usize>,
+    /// Hard cap on total entries across one scheduler's per-SMX priority
+    /// queues (LaPerm's on-chip SRAM plus bounded overflow). At the cap,
+    /// the scheduler declines to accept new kernels from the KMU.
+    pub smx_queue_capacity: Option<usize>,
+    /// What to do at each exhausted capacity.
+    pub policy: OverflowPolicy,
+}
+
+impl LaunchLimits {
+    /// Unbounded limits: today's idealized behavior.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// `true` when every capacity is `None` (no gate is ever evaluated).
+    pub fn is_unbounded(&self) -> bool {
+        self.kmu_capacity.is_none()
+            && self.pending_launch_capacity.is_none()
+            && self.smx_queue_capacity.is_none()
+    }
+}
+
 /// Complete hardware configuration for a simulated GPU.
 ///
 /// Construct with [`GpuConfig::kepler_k20c`] (the paper's Table I
@@ -112,6 +179,22 @@ pub struct GpuConfig {
     /// observational — cycles and every other statistic are identical
     /// with it on or off.
     pub profile_locality: bool,
+
+    /// Finite launch-path capacities and the overflow policy applied at
+    /// each. Defaults to unbounded, which is bit-identical to the
+    /// pre-limit engine.
+    pub launch_limits: LaunchLimits,
+
+    /// Forward-progress watchdog: every `Some(n)` cycles the engine
+    /// snapshots its progress counters (dispatches, retirements, created
+    /// batches, executed warp instructions) and returns
+    /// [`SimError::NoForwardProgress`](crate::error::SimError::NoForwardProgress)
+    /// if none moved across a full window — naming the stuck TBs instead
+    /// of spinning to `max_cycles`. The default window is far longer than
+    /// any legitimate quiet stretch (launch latencies are thousands of
+    /// cycles; memory latencies hundreds), so it cannot fire on healthy
+    /// runs. `None` disables the check.
+    pub watchdog_window: Option<u64>,
 }
 
 impl GpuConfig {
@@ -150,6 +233,8 @@ impl GpuConfig {
             max_cycles: 500_000_000,
             fast_forward: true,
             profile_locality: false,
+            launch_limits: LaunchLimits::unbounded(),
+            watchdog_window: Some(2_000_000),
         }
     }
 
@@ -184,6 +269,8 @@ impl GpuConfig {
             max_cycles: 50_000_000,
             fast_forward: true,
             profile_locality: false,
+            launch_limits: LaunchLimits::unbounded(),
+            watchdog_window: Some(500_000),
         }
     }
 
@@ -257,6 +344,18 @@ impl GpuConfig {
         if self.max_concurrent_kernels == 0 {
             return Err("max_concurrent_kernels must be nonzero".into());
         }
+        for (name, cap) in [
+            ("launch_limits.kmu_capacity", self.launch_limits.kmu_capacity),
+            ("launch_limits.pending_launch_capacity", self.launch_limits.pending_launch_capacity),
+            ("launch_limits.smx_queue_capacity", self.launch_limits.smx_queue_capacity),
+        ] {
+            if cap == Some(0) {
+                return Err(format!("{name} must be nonzero when finite"));
+            }
+        }
+        if self.watchdog_window == Some(0) {
+            return Err("watchdog_window must be nonzero when enabled".into());
+        }
         Ok(())
     }
 }
@@ -269,6 +368,8 @@ impl Default for GpuConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -349,5 +450,36 @@ mod tests {
     #[test]
     fn default_is_kepler() {
         assert_eq!(GpuConfig::default(), GpuConfig::kepler_k20c());
+    }
+
+    #[test]
+    fn default_limits_are_unbounded() {
+        let cfg = GpuConfig::kepler_k20c();
+        assert!(cfg.launch_limits.is_unbounded());
+        assert_eq!(cfg.launch_limits.policy, OverflowPolicy::StallParent);
+    }
+
+    #[test]
+    fn zero_finite_capacity_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.launch_limits.kmu_capacity = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.launch_limits.kmu_capacity = Some(1);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_watchdog_window_rejected() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.watchdog_window = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.watchdog_window = None;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn overflow_policy_names() {
+        assert_eq!(OverflowPolicy::StallParent.name(), "stall-parent");
+        assert_eq!(OverflowPolicy::SpillVirtual { extra_latency: 500 }.name(), "spill-virtual");
     }
 }

@@ -1,11 +1,12 @@
 //! The simulation engine: owns the SMXs, memory system, KMU/KDU, launch
 //! model, and TB scheduler, and advances them cycle by cycle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::cache::{AccessClass, Lineage, ReuseClass};
-use crate::config::GpuConfig;
-use crate::error::SimError;
+use crate::config::{GpuConfig, OverflowPolicy};
+use crate::error::{SimError, StuckTb};
+use crate::fault::{FaultPlan, LaunchDisposition};
 use crate::kdu::Kdu;
 use crate::kernel::{Batch, BatchKind, BatchState, Origin, ResourceReq};
 use crate::kmu::Kmu;
@@ -22,6 +23,14 @@ use crate::warp_sched::{GreedyThenOldest, LooseRoundRobin, WarpScheduler};
 /// Compact `sched_list`/`sched_seq` once the exhausted prefix exceeds this
 /// many entries, amortizing the two `drain`s over thousands of dispatches.
 const SCHED_PRUNE_THRESHOLD: usize = 4096;
+
+/// Most suspects named by a [`SimError::NoForwardProgress`] report.
+const MAX_WATCHDOG_SUSPECTS: usize = 8;
+
+/// Everything the watchdog considers "forward progress", snapshotted once
+/// per window: TB dispatches, TB retirements, batch creations, retired
+/// warp instructions, launch submissions, and launch deliveries.
+type ProgressSignature = (u64, u64, u64, u64, u64, u64);
 
 /// A complete GPU simulation.
 ///
@@ -50,6 +59,24 @@ pub struct Simulator {
     tb_records: Vec<TbRecord>,
     record_index: HashMap<TbRef, usize>,
     fast_forwarded_cycles: u64,
+    // Finite-launch-path state. All four queues stay empty under the
+    // default unbounded limits with no fault plan, so the default
+    // configuration takes none of these paths (goldens are bit-identical).
+    launch_backlog: VecDeque<(Cycle, Delivery)>,
+    spill_queue: VecDeque<(Cycle, LaunchRequest)>,
+    delayed_launches: Vec<(Cycle, LaunchRequest)>,
+    fault: Option<FaultPlan>,
+    launch_submitted_total: u64,
+    delivered_total: u64,
+    finished_tbs_total: u64,
+    kmu_overflows: u64,
+    backlog_hwm: u64,
+    spill_events: u64,
+    spill_hwm: u64,
+    // Forward-progress watchdog: the counter snapshot taken at the last
+    // window boundary, and the next cycle at which to compare.
+    watchdog_sig: ProgressSignature,
+    watchdog_deadline: Cycle,
     // Scratch buffers reused every cycle so the hot loop allocates
     // nothing in steady state.
     delivery_scratch: Vec<Delivery>,
@@ -109,6 +136,19 @@ impl Simulator {
             tb_records: Vec::new(),
             record_index: HashMap::new(),
             fast_forwarded_cycles: 0,
+            launch_backlog: VecDeque::new(),
+            spill_queue: VecDeque::new(),
+            delayed_launches: Vec::new(),
+            fault: None,
+            launch_submitted_total: 0,
+            delivered_total: 0,
+            finished_tbs_total: 0,
+            kmu_overflows: 0,
+            backlog_hwm: 0,
+            spill_events: 0,
+            spill_hwm: 0,
+            watchdog_sig: (0, 0, 0, 0, 0, 0),
+            watchdog_deadline: cfg.watchdog_window.unwrap_or(Cycle::MAX),
             delivery_scratch: Vec::new(),
             smx_free_scratch: Vec::new(),
             sched_trace_scratch: Vec::new(),
@@ -135,6 +175,22 @@ impl Simulator {
         self.trace = Some(sink);
         self.scheduler.set_tracing(true);
         self
+    }
+
+    /// Attaches a deterministic fault-injection plan (see [`crate::fault`]).
+    ///
+    /// Disables idle-cycle fast-forward: fault windows are defined in
+    /// absolute cycles, and jumping over one would change which cycles
+    /// the fault bites.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fast_forward = false;
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, with its fired-fault counters.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     fn emit(&mut self, cycle: Cycle, event: TraceEvent) {
@@ -286,6 +342,9 @@ impl Simulator {
     pub fn is_done(&self) -> bool {
         self.kmu.is_empty()
             && self.launch_model.in_flight() == 0
+            && self.launch_backlog.is_empty()
+            && self.spill_queue.is_empty()
+            && self.delayed_launches.is_empty()
             && self.undispatched == 0
             && self.smxs.iter().all(|s| s.resident_tbs() == 0)
     }
@@ -294,35 +353,105 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates scheduler misbehavior ([`SimError::BadDispatch`]) and
-    /// invalid device launches ([`SimError::KernelTooLarge`]).
+    /// Propagates scheduler misbehavior ([`SimError::BadDispatch`]),
+    /// invalid device launches ([`SimError::KernelTooLarge`]), a tripped
+    /// forward-progress watchdog ([`SimError::NoForwardProgress`]), and
+    /// violated engine invariants ([`SimError::EngineInvariant`]).
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
 
+        // 0. Forward-progress watchdog: once per window, compare the
+        // progress counters against the last snapshot.
+        if now >= self.watchdog_deadline {
+            let sig = self.progress_signature();
+            if sig == self.watchdog_sig {
+                return Err(self.no_forward_progress(now));
+            }
+            self.watchdog_sig = sig;
+            self.watchdog_deadline =
+                now.saturating_add(self.cfg.watchdog_window.unwrap_or(Cycle::MAX));
+        }
+
         // 1. Matured device-side launches enter the scheduling hardware.
+        // Held-back work first (fault delays, spilled launches, KMU
+        // backlog — all empty in the default unbounded configuration),
+        // then the launch model's own matured launches.
+        if !self.delayed_launches.is_empty() {
+            let mut i = 0;
+            while i < self.delayed_launches.len() {
+                if self.delayed_launches[i].0 <= now {
+                    let (_, req) = self.delayed_launches.remove(i);
+                    self.admit_to_launch_model(req, now);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        while let Some(&(ready, _)) = self.spill_queue.front() {
+            if ready > now || !self.launch_buffer_has_space() {
+                break;
+            }
+            if let Some((_, req)) = self.spill_queue.pop_front() {
+                self.launch_model.submit(req);
+            }
+        }
+        while let Some(&(ready, _)) = self.launch_backlog.front() {
+            if ready > now {
+                break;
+            }
+            let Some((_, delivery)) = self.launch_backlog.pop_front() else { break };
+            if let Some(rejected) = self.deliver_launch(delivery, now)? {
+                // The KMU is still full; everything behind this entry
+                // contends for the same queue, so stop for this cycle.
+                self.launch_backlog.push_front((self.backlog_retry_at(now), rejected));
+                break;
+            }
+        }
         if self.launch_model.in_flight() > 0 {
             let mut deliveries = std::mem::take(&mut self.delivery_scratch);
             self.launch_model.drain_ready(now, &mut deliveries);
             for delivery in deliveries.drain(..) {
-                self.deliver_launch(delivery, now)?;
+                if let Some(rejected) = self.deliver_launch(delivery, now)? {
+                    self.kmu_overflows += 1;
+                    self.launch_backlog.push_back((self.backlog_retry_at(now), rejected));
+                    self.backlog_hwm = self.backlog_hwm.max(self.launch_backlog.len() as u64);
+                }
             }
             self.delivery_scratch = deliveries;
         }
 
-        // 2. KMU moves pending kernels into free KDU entries.
-        for _ in 0..self.cfg.kmu_dispatch_per_cycle {
-            if self.kmu.is_empty() || !self.kdu.has_free_entry() {
-                break;
+        // 2. KMU moves pending kernels into free KDU entries (unless a
+        // fault window holds the dispatch path down).
+        let kmu_blocked = self.fault.as_ref().is_some_and(|p| p.queue_full_at(now));
+        if !kmu_blocked {
+            for _ in 0..self.cfg.kmu_dispatch_per_cycle {
+                if self.kmu.is_empty() || !self.kdu.has_free_entry() {
+                    break;
+                }
+                let picked = {
+                    let view =
+                        KmuView { pending: self.kmu.make_contiguous(), batches: &self.batches };
+                    let len = view.len();
+                    self.scheduler.kmu_pick(&view).map(|idx| idx.min(len - 1))
+                };
+                // A scheduler may decline to dispatch (backpressure on
+                // its internal queues); the kernel stays in the KMU.
+                let Some(idx) = picked else { break };
+                let Some(id) = self.kmu.take(idx) else {
+                    return Err(SimError::EngineInvariant {
+                        cycle: now,
+                        what: format!("KMU pick {idx} out of range"),
+                    });
+                };
+                let Some(entry) = self.kdu.insert(id) else {
+                    return Err(SimError::EngineInvariant {
+                        cycle: now,
+                        what: format!("KDU rejected {id} despite a checked-free entry"),
+                    });
+                };
+                self.emit(now, TraceEvent::KernelToKdu { batch: id, entry });
+                self.make_schedulable(id, entry, now)?;
             }
-            let idx = {
-                let view = KmuView { pending: self.kmu.make_contiguous(), batches: &self.batches };
-                let len = view.len();
-                self.scheduler.kmu_pick(&view).min(len - 1)
-            };
-            let id = self.kmu.take(idx);
-            let entry = self.kdu.insert(id).expect("KDU entry checked free");
-            self.emit(now, TraceEvent::KernelToKdu { batch: id, entry });
-            self.make_schedulable(id, entry, now);
         }
 
         // 3. The SMX scheduler dispatches at most one TB.
@@ -344,9 +473,26 @@ impl Simulator {
             }
         }
 
-        // 4. SMXs execute.
+        // 4. SMXs execute. Under a finite pending-launch buffer with the
+        // StallParent policy, the remaining buffer slots gate launch
+        // issue as a credit pool shared across SMXs this cycle; with
+        // unbounded limits the pool is infinite and the gate is inert.
+        let mut launch_credits =
+            match (self.cfg.launch_limits.pending_launch_capacity, self.cfg.launch_limits.policy) {
+                (Some(cap), OverflowPolicy::StallParent) => {
+                    (cap as u64).saturating_sub(self.launch_model.in_flight() as u64)
+                }
+                _ => u64::MAX,
+            };
         for i in 0..self.smxs.len() {
-            let events = self.smxs[i].step(now, &mut self.mem, &self.cfg);
+            if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(i as u16), now)) {
+                // A killed SMX issues nothing this cycle. Its deferred
+                // stall accounting charges the frozen span to whatever
+                // it was last waiting on.
+                continue;
+            }
+            let events =
+                self.smxs[i].step_gated(now, &mut self.mem, &self.cfg, &mut launch_credits);
             for launch in events.launches {
                 let parent_batch = launch.by.batch;
                 let parent_priority = self.batches[parent_batch.index()].priority;
@@ -362,22 +508,25 @@ impl Simulator {
                     now,
                     TraceEvent::LaunchIssued { by: launch.by, num_tbs: launch.spec.num_tbs },
                 );
-                self.launch_model.submit(LaunchRequest {
-                    kind: launch.spec.kind,
-                    param: launch.spec.param,
-                    num_tbs: launch.spec.num_tbs,
-                    req: launch.spec.req,
-                    origin: Origin {
-                        parent_batch,
-                        parent_tb: launch.by.index,
-                        parent_smx: launch.smx,
-                        parent_priority,
+                self.submit_launch(
+                    LaunchRequest {
+                        kind: launch.spec.kind,
+                        param: launch.spec.param,
+                        num_tbs: launch.spec.num_tbs,
+                        req: launch.spec.req,
+                        origin: Origin {
+                            parent_batch,
+                            parent_tb: launch.by.index,
+                            parent_smx: launch.smx,
+                            parent_priority,
+                        },
+                        issued_at: now,
                     },
-                    issued_at: now,
-                });
+                    now,
+                );
             }
             for completion in events.completions {
-                self.finish_tb(completion, now);
+                self.finish_tb(completion, now)?;
             }
         }
 
@@ -399,6 +548,15 @@ impl Simulator {
     /// (and their scheduler cost counters) can act on any cycle.
     fn fast_forward(&mut self) {
         if !self.kmu.is_empty() || self.undispatched > 0 {
+            return;
+        }
+        // Held-back launch-path work can act on any upcoming cycle
+        // (retries, spill releases); never jump over it. All three queues
+        // stay empty under unbounded limits.
+        if !self.launch_backlog.is_empty()
+            || !self.spill_queue.is_empty()
+            || !self.delayed_launches.is_empty()
+        {
             return;
         }
         let mut target = match self.launch_model.next_ready() {
@@ -427,7 +585,116 @@ impl Simulator {
             // wait cause on its next active step or stats read.
             self.emit(self.cycle, TraceEvent::FastForward { from: self.cycle, to: target });
             self.cycle = target;
+            // A jump lands exactly on the machine's next event, which is
+            // progress by construction; push the watchdog deadline past
+            // it so a long (legitimate) idle stretch cannot trip it.
+            // Stuck machines never reach this point: the gates above and
+            // the `target == Cycle::MAX` return keep them stepping.
+            if let Some(window) = self.cfg.watchdog_window {
+                self.watchdog_deadline = self.watchdog_deadline.max(target.saturating_add(window));
+            }
         }
+    }
+
+    /// The counter snapshot the watchdog compares across a window.
+    fn progress_signature(&self) -> ProgressSignature {
+        (
+            self.dispatch_seq,
+            self.finished_tbs_total,
+            self.batches.len() as u64,
+            self.smxs.iter().map(|s| s.warp_instructions).sum(),
+            self.launch_submitted_total,
+            self.delivered_total,
+        )
+    }
+
+    /// Builds the watchdog report: resident TBs first (with their SMX
+    /// and its current wait cause), then batches still awaiting dispatch.
+    fn no_forward_progress(&self, now: Cycle) -> SimError {
+        let mut suspects = Vec::new();
+        'resident: for smx in &self.smxs {
+            for tb in smx.resident_refs() {
+                if suspects.len() >= MAX_WATCHDOG_SUSPECTS {
+                    break 'resident;
+                }
+                suspects.push(StuckTb {
+                    tb,
+                    smx: Some(smx.id()),
+                    level: self.batches[tb.batch.index()].priority.0,
+                    cause: Some(smx.wait_cause()),
+                });
+            }
+        }
+        for b in &self.batches {
+            if suspects.len() >= MAX_WATCHDOG_SUSPECTS {
+                break;
+            }
+            if b.state != BatchState::Complete && b.has_undispatched_tbs() {
+                suspects.push(StuckTb {
+                    tb: TbRef { batch: b.id, index: b.next_tb },
+                    smx: None,
+                    level: b.priority.0,
+                    cause: None,
+                });
+            }
+        }
+        SimError::NoForwardProgress {
+            window: self.cfg.watchdog_window.unwrap_or(0),
+            cycle: now,
+            suspects,
+        }
+    }
+
+    /// When a KMU-rejected delivery retries: next cycle under
+    /// `StallParent` (the message waits at the queue head), after the
+    /// virtual-queue round trip under `SpillVirtual`.
+    fn backlog_retry_at(&self, now: Cycle) -> Cycle {
+        match self.cfg.launch_limits.policy {
+            OverflowPolicy::StallParent => now + 1,
+            OverflowPolicy::SpillVirtual { extra_latency } => now + 1 + u64::from(extra_latency),
+        }
+    }
+
+    /// `true` while the pending-launch buffer can take another launch.
+    fn launch_buffer_has_space(&self) -> bool {
+        self.cfg
+            .launch_limits
+            .pending_launch_capacity
+            .is_none_or(|cap| self.launch_model.in_flight() < cap)
+    }
+
+    /// Routes a launch that already passed fault disposition into the
+    /// launch model, spilling to the virtual queue when the pending
+    /// buffer is full under `SpillVirtual`. (Under `StallParent` the
+    /// credit gate in `step` prevents over-submission instead.)
+    fn admit_to_launch_model(&mut self, req: LaunchRequest, now: Cycle) {
+        if let OverflowPolicy::SpillVirtual { extra_latency } = self.cfg.launch_limits.policy {
+            if !self.launch_buffer_has_space() {
+                self.spill_events += 1;
+                self.spill_queue.push_back((now + u64::from(extra_latency), req));
+                self.spill_hwm = self.spill_hwm.max(self.spill_queue.len() as u64);
+                return;
+            }
+        }
+        self.launch_model.submit(req);
+    }
+
+    /// Accepts a launch issued by an SMX this cycle: counts it, applies
+    /// fault disposition (drop / delay), then admits it.
+    fn submit_launch(&mut self, req: LaunchRequest, now: Cycle) {
+        self.launch_submitted_total += 1;
+        let nth = self.launch_submitted_total;
+        if let Some(plan) = &mut self.fault {
+            match plan.launch_disposition(nth) {
+                LaunchDisposition::Pass => {}
+                LaunchDisposition::Drop => return,
+                LaunchDisposition::Delay(extra) => {
+                    self.delayed_launches.push((now.saturating_add(extra), req));
+                    return;
+                }
+            }
+        }
+        self.admit_to_launch_model(req, now);
     }
 
     /// Runs until [`is_done`](Self::is_done) or the cycle limit.
@@ -471,6 +738,25 @@ impl Simulator {
             smx_tbs: self.smxs.iter().map(|s| s.tbs_executed).collect(),
             tb_records: self.tb_records.clone(),
             scheduler_counters: self.scheduler.counters(),
+            launch_counters: {
+                // Engine-level overflow counters only appear when the
+                // launch path can actually overflow, keeping default-run
+                // reports (and goldens) unchanged; model counters (e.g.
+                // DTBL table overflows) are always surfaced.
+                let mut counters = Vec::new();
+                if !self.cfg.launch_limits.is_unbounded() {
+                    counters.push(("kmu_overflows", self.kmu_overflows));
+                    counters.push(("launch_backlog_hwm", self.backlog_hwm));
+                    counters.push(("spill_events", self.spill_events));
+                    counters.push(("spill_occupancy_hwm", self.spill_hwm));
+                }
+                if let Some(plan) = &self.fault {
+                    counters.push(("fault_dropped_launches", plan.dropped));
+                    counters.push(("fault_delayed_launches", plan.delayed));
+                }
+                counters.extend(self.launch_model.counters());
+                counters
+            },
             scheduler: self.scheduler.name().to_string(),
             launch_model: self.launch_model.name().to_string(),
             locality: self.cfg.profile_locality.then(|| {
@@ -487,9 +773,24 @@ impl Simulator {
         }
     }
 
-    fn deliver_launch(&mut self, delivery: Delivery, now: Cycle) -> Result<(), SimError> {
+    /// Admits a matured launch into the scheduling hardware.
+    ///
+    /// Returns `Ok(Some(delivery))` — handing the delivery back — when it
+    /// needs a KMU slot and the KMU is at its configured capacity; the
+    /// caller queues it in the launch backlog. The batch is only created
+    /// on admission, so batch IDs stay dense and in admission order.
+    fn deliver_launch(
+        &mut self,
+        delivery: Delivery,
+        now: Cycle,
+    ) -> Result<Option<Delivery>, SimError> {
+        let kmu_has_space =
+            self.cfg.launch_limits.kmu_capacity.is_none_or(|cap| self.kmu.len() < cap);
         match delivery {
             Delivery::DeviceKernel(req) => {
+                if !kmu_has_space {
+                    return Ok(Some(Delivery::DeviceKernel(req)));
+                }
                 let id = self.create_batch(
                     BatchKind::DeviceKernel,
                     req.kind,
@@ -499,6 +800,7 @@ impl Simulator {
                     Some(req.origin),
                 )?;
                 self.batches[id.index()].created_at = req.issued_at;
+                self.delivered_total += 1;
                 self.kmu.push(id);
                 self.emit(now, TraceEvent::KernelQueued { batch: id });
             }
@@ -506,6 +808,11 @@ impl Simulator {
                 let parent_entry = self.batches[req.origin.parent_batch.index()]
                     .kdu_entry
                     .filter(|&e| self.kdu.entry(e).is_some());
+                // A group whose parent entry is gone falls back to the
+                // KMU and therefore needs a slot there.
+                if parent_entry.is_none() && !kmu_has_space {
+                    return Ok(Some(Delivery::TbGroup(req)));
+                }
                 let id = self.create_batch(
                     BatchKind::TbGroup,
                     req.kind,
@@ -515,11 +822,17 @@ impl Simulator {
                     Some(req.origin),
                 )?;
                 self.batches[id.index()].created_at = req.issued_at;
+                self.delivered_total += 1;
                 match parent_entry {
                     Some(entry) => {
-                        self.kdu.attach_group(entry, id);
+                        if !self.kdu.attach_group(entry, id) {
+                            return Err(SimError::EngineInvariant {
+                                cycle: now,
+                                what: format!("KDU entry {entry} refused group {id}"),
+                            });
+                        }
                         self.emit(now, TraceEvent::GroupCoalesced { batch: id, entry });
-                        self.make_schedulable(id, entry, now);
+                        self.make_schedulable(id, entry, now)?;
                     }
                     None => {
                         // The parent kernel's entry is gone; fall back to a
@@ -531,11 +844,16 @@ impl Simulator {
                 }
             }
         }
-        Ok(())
+        Ok(None)
     }
 
-    fn make_schedulable(&mut self, id: BatchId, entry: usize, now: Cycle) {
-        let seq = self.kdu.entry(entry).expect("entry occupied").seq;
+    fn make_schedulable(&mut self, id: BatchId, entry: usize, now: Cycle) -> Result<(), SimError> {
+        let Some(seq) = self.kdu.entry(entry).map(|e| e.seq) else {
+            return Err(SimError::EngineInvariant {
+                cycle: now,
+                what: format!("KDU entry {entry} vacant while admitting {id}"),
+            });
+        };
         {
             let b = &mut self.batches[id.index()];
             b.state = BatchState::Schedulable;
@@ -555,6 +873,7 @@ impl Simulator {
         self.sched_seq.insert(pos, seq);
         self.scheduler.on_batch_schedulable(&self.batches[id.index()], now);
         self.drain_sched_trace(now);
+        Ok(())
     }
 
     fn prune_sched_list(&mut self) {
@@ -662,8 +981,9 @@ impl Simulator {
         lineage
     }
 
-    fn finish_tb(&mut self, c: TbCompletion, now: Cycle) {
+    fn finish_tb(&mut self, c: TbCompletion, now: Cycle) -> Result<(), SimError> {
         self.emit(now, TraceEvent::TbCompleted { tb: c.tb, smx: c.smx });
+        self.finished_tbs_total += 1;
         if let Some(&i) = self.record_index.get(&c.tb) {
             self.tb_records[i].finished_at = c.finished_at;
         }
@@ -685,7 +1005,12 @@ impl Simulator {
                     done(entry.base) && entry.groups.iter().all(|&g| done(g))
                 });
                 if all_done {
-                    let removed = self.kdu.remove(e);
+                    let Some(removed) = self.kdu.remove(e) else {
+                        return Err(SimError::EngineInvariant {
+                            cycle: now,
+                            what: format!("KDU entry {e} vanished during completion sweep"),
+                        });
+                    };
                     self.batches[removed.base.index()].kdu_entry = None;
                     for g in removed.groups {
                         self.batches[g.index()].kdu_entry = None;
@@ -693,11 +1018,14 @@ impl Simulator {
                 }
             }
         }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::program::{AddrPattern, LaunchSpec, MemOp, TbOp, TbProgram};
 
@@ -878,5 +1206,207 @@ mod tests {
         sim.launch_host_kernel(KernelKindId(0), 0, 64, ResourceReq::new(64, 8, 0)).unwrap();
         let err = sim.run_to_completion().unwrap_err();
         assert_eq!(err, SimError::CycleLimitExceeded { limit: 10 });
+    }
+
+    // ---- finite launch-path resources, faults, and the watchdog ----
+
+    use crate::config::{LaunchLimits, OverflowPolicy};
+    use crate::fault::{Fault, FaultPlan};
+
+    /// Every kind-0 TB immediately launches `children` kind-1 TBs from a
+    /// single warp — maximal pressure on the launch path.
+    struct LaunchStorm {
+        children: u32,
+    }
+
+    impl ProgramSource for LaunchStorm {
+        fn tb_program(&self, kind: KernelKindId, _param: u64, tb_index: u32) -> TbProgram {
+            match kind.0 {
+                0 => TbProgram::new(vec![
+                    TbOp::Launch(LaunchSpec {
+                        kind: KernelKindId(1),
+                        param: u64::from(tb_index),
+                        num_tbs: self.children,
+                        req: ResourceReq::new(32, 8, 0),
+                    }),
+                    TbOp::Compute(2),
+                ]),
+                _ => TbProgram::new(vec![TbOp::Compute(4)]),
+            }
+        }
+    }
+
+    /// A CDP-style launch model with a fixed maturation delay, so the
+    /// pending-launch buffer stays occupied long enough to contend over.
+    struct SlowLaunchModel {
+        delay: u64,
+        pending: Vec<(Cycle, LaunchRequest)>,
+    }
+
+    impl DynamicLaunchModel for SlowLaunchModel {
+        fn submit(&mut self, req: LaunchRequest) {
+            self.pending.push((req.issued_at + self.delay, req));
+        }
+
+        fn drain_ready(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.pending[i].0 <= now {
+                    out.push(Delivery::DeviceKernel(self.pending.remove(i).1));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        fn in_flight(&self) -> usize {
+            self.pending.len()
+        }
+
+        fn name(&self) -> &'static str {
+            "slow-test"
+        }
+    }
+
+    fn counter(stats: &SimStats, name: &str) -> u64 {
+        stats
+            .launch_counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    }
+
+    #[test]
+    fn stall_parent_backpressure_completes_with_launch_path_stalls() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.launch_limits.pending_launch_capacity = Some(1);
+        cfg.launch_limits.policy = OverflowPolicy::StallParent;
+        let mut sim = Simulator::new(cfg, Box::new(LaunchStorm { children: 1 }))
+            .with_launch_model(Box::new(SlowLaunchModel { delay: 50, pending: Vec::new() }));
+        sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        // Every parent and every child still retires.
+        assert_eq!(stats.tb_records.len(), 16);
+        // With one buffer slot held for 50 cycles, the other launchers
+        // must have blocked on the launch path at some point.
+        assert!(stats.total_stalls().launch_path > 0);
+        // StallParent never spills.
+        assert_eq!(counter(&stats, "spill_events"), 0);
+    }
+
+    #[test]
+    fn spill_virtual_spills_and_completes() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.launch_limits.pending_launch_capacity = Some(1);
+        cfg.launch_limits.policy = OverflowPolicy::SpillVirtual { extra_latency: 25 };
+        let mut sim = Simulator::new(cfg, Box::new(LaunchStorm { children: 1 }))
+            .with_launch_model(Box::new(SlowLaunchModel { delay: 50, pending: Vec::new() }));
+        sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        assert_eq!(stats.tb_records.len(), 16);
+        // Parents never block under SpillVirtual; the overflow goes to
+        // the memory-backed virtual queue instead.
+        assert!(counter(&stats, "spill_events") > 0);
+        assert!(counter(&stats, "spill_occupancy_hwm") >= 1);
+        assert_eq!(stats.total_stalls().launch_path, 0);
+    }
+
+    #[test]
+    fn kmu_capacity_overflow_backlogs_and_drains() {
+        let mut cfg = GpuConfig::small_test();
+        // One concurrent kernel: the host kernel pins the only KDU entry
+        // while child kernels pile into a one-slot KMU.
+        cfg.max_concurrent_kernels = 1;
+        cfg.launch_limits.kmu_capacity = Some(1);
+        let mut sim = Simulator::new(cfg, Box::new(LaunchStorm { children: 2 }));
+        sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        assert_eq!(stats.tb_records.len(), 24);
+        assert!(counter(&stats, "kmu_overflows") > 0);
+        assert!(counter(&stats, "launch_backlog_hwm") >= 1);
+    }
+
+    #[test]
+    fn large_finite_limits_match_unbounded_bit_for_bit() {
+        let run = |limits: LaunchLimits| {
+            let mut cfg = GpuConfig::small_test();
+            cfg.launch_limits = limits;
+            let mut sim = Simulator::new(cfg, Box::new(LaunchStorm { children: 2 }));
+            sim.launch_host_kernel(KernelKindId(0), 0, 8, ResourceReq::new(32, 8, 0)).unwrap();
+            let mut stats = sim.run_to_completion().unwrap();
+            // The counter lists differ by construction (finite limits
+            // surface extra zero counters); everything else must match.
+            stats.launch_counters.clear();
+            stats
+        };
+        let generous = LaunchLimits {
+            kmu_capacity: Some(10_000),
+            pending_launch_capacity: Some(10_000),
+            smx_queue_capacity: Some(10_000),
+            policy: OverflowPolicy::StallParent,
+        };
+        assert_eq!(run(LaunchLimits::unbounded()), run(generous));
+    }
+
+    #[test]
+    fn watchdog_names_stuck_tbs_when_all_smxs_die() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.watchdog_window = Some(1_000);
+        let faults =
+            (0..4).map(|i| Fault::KillSmx { smx: SmxId(i), from: 0, until: u64::MAX }).collect();
+        let mut sim =
+            Simulator::new(cfg, Box::new(NestedSource { launcher: u32::MAX, children: 0 }))
+                .with_fault_plan(FaultPlan::new(faults));
+        sim.launch_host_kernel(KernelKindId(0), 0, 4, ResourceReq::new(64, 8, 0)).unwrap();
+        let err = sim.run_to_completion().unwrap_err();
+        match err {
+            SimError::NoForwardProgress { window, suspects, .. } => {
+                assert_eq!(window, 1_000);
+                assert!(!suspects.is_empty());
+                assert!(suspects.iter().any(|s| s.smx.is_some()));
+            }
+            other => panic!("expected NoForwardProgress, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_drop_prunes_children_and_counts() {
+        let mut sim =
+            simple_sim().with_fault_plan(FaultPlan::new(vec![Fault::DropLaunch { nth: 1 }]));
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        // The single child launch was dropped: only the 6 parents ran.
+        assert_eq!(stats.tb_records.len(), 6);
+        assert_eq!(counter(&stats, "fault_dropped_launches"), 1);
+        assert_eq!(sim.fault_plan().map(|p| p.dropped), Some(1));
+    }
+
+    #[test]
+    fn fault_delay_preserves_the_outcome() {
+        let baseline = {
+            let mut sim = simple_sim();
+            sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+            sim.run_to_completion().unwrap()
+        };
+        let mut sim = simple_sim()
+            .with_fault_plan(FaultPlan::new(vec![Fault::DelayLaunch { nth: 1, extra: 500 }]));
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        // Same work happens, just later.
+        assert_eq!(stats.tb_records.len(), baseline.tb_records.len());
+        assert!(stats.cycles >= baseline.cycles);
+        assert_eq!(counter(&stats, "fault_delayed_launches"), 1);
+    }
+
+    #[test]
+    fn queue_full_window_holds_dispatch_down() {
+        let mut sim = simple_sim()
+            .with_fault_plan(FaultPlan::new(vec![Fault::QueueFull { from: 0, until: 200 }]));
+        sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+        let stats = sim.run_to_completion().unwrap();
+        // Nothing can reach the KDU before cycle 200.
+        assert!(stats.cycles >= 200);
+        assert_eq!(stats.tb_records.len(), 9);
     }
 }

@@ -3,7 +3,37 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::types::{BatchId, SmxId};
+use crate::stats::StallCause;
+use crate::types::{BatchId, Cycle, SmxId, TbRef};
+
+/// One thread block named as a suspect by the forward-progress watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckTb {
+    /// The stuck thread block. For a batch still awaiting dispatch this
+    /// is its next undispatched TB.
+    pub tb: TbRef,
+    /// The SMX the TB is resident on, or `None` if it was never
+    /// dispatched.
+    pub smx: Option<SmxId>,
+    /// The scheduling priority level (queue level) of the TB's batch.
+    pub level: u8,
+    /// What the owning SMX was last waiting on (resident TBs only).
+    pub cause: Option<StallCause>,
+}
+
+impl std::fmt::Display for StuckTb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} level {}", self.tb, self.level)?;
+        match self.smx {
+            Some(smx) => write!(f, " on {smx}")?,
+            None => write!(f, " undispatched")?,
+        }
+        if let Some(cause) = self.cause {
+            write!(f, " waiting on {}", cause.name())?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors produced by the simulation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +61,24 @@ pub enum SimError {
         /// The cycle budget that was exceeded.
         limit: u64,
     },
+    /// The forward-progress watchdog saw a full window elapse with no
+    /// dispatch, retirement, launch delivery, or retired instruction.
+    NoForwardProgress {
+        /// The watchdog window that elapsed without progress.
+        window: u64,
+        /// The cycle at which the watchdog fired.
+        cycle: Cycle,
+        /// Work items that appear stuck (truncated to the first few).
+        suspects: Vec<StuckTb>,
+    },
+    /// An internal engine invariant was violated (a bug in the engine or
+    /// a hardware-model component, not in the workload).
+    EngineInvariant {
+        /// The cycle at which the violation was detected.
+        cycle: Cycle,
+        /// Description of the violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +94,19 @@ impl fmt::Display for SimError {
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded cycle limit of {limit}")
             }
+            SimError::NoForwardProgress { window, cycle, suspects } => {
+                write!(f, "no forward progress for {window} cycles (at cycle {cycle})")?;
+                if !suspects.is_empty() {
+                    write!(f, "; suspects:")?;
+                    for s in suspects {
+                        write!(f, " [{s}]")?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::EngineInvariant { cycle, what } => {
+                write!(f, "engine invariant violated at cycle {cycle}: {what}")
+            }
         }
     }
 }
@@ -54,6 +115,8 @@ impl Error for SimError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -67,6 +130,17 @@ mod tests {
                 reason: "no resources".into(),
             },
             SimError::CycleLimitExceeded { limit: 100 },
+            SimError::NoForwardProgress {
+                window: 1000,
+                cycle: 5000,
+                suspects: vec![StuckTb {
+                    tb: TbRef { batch: BatchId(3), index: 7 },
+                    smx: Some(SmxId(1)),
+                    level: 2,
+                    cause: Some(StallCause::MemoryPending),
+                }],
+            },
+            SimError::EngineInvariant { cycle: 9, what: "KDU entry vanished".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

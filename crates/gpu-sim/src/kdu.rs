@@ -58,24 +58,26 @@ impl Kdu {
         Some(slot)
     }
 
-    /// Attaches a TB group to an existing entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the entry is vacant.
-    pub fn attach_group(&mut self, entry: usize, group: BatchId) {
-        self.entries[entry].as_mut().expect("attach_group on vacant KDU entry").groups.push(group);
+    /// Attaches a TB group to an existing entry. Returns `false` (and
+    /// attaches nothing) when the entry is vacant or out of range; the
+    /// engine converts that into a structured error instead of a panic.
+    #[must_use]
+    pub fn attach_group(&mut self, entry: usize, group: BatchId) -> bool {
+        match self.entries.get_mut(entry).and_then(|e| e.as_mut()) {
+            Some(e) => {
+                e.groups.push(group);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Frees an entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the entry is already vacant.
-    pub fn remove(&mut self, entry: usize) -> KduEntry {
-        let e = self.entries[entry].take().expect("remove on vacant KDU entry");
+    /// Frees an entry, returning it, or `None` when the entry is already
+    /// vacant or out of range.
+    pub fn remove(&mut self, entry: usize) -> Option<KduEntry> {
+        let e = self.entries.get_mut(entry)?.take()?;
         self.occupied -= 1;
-        e
+        Some(e)
     }
 
     /// The entry at `index`, if occupied.
@@ -101,6 +103,8 @@ impl Kdu {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -119,10 +123,11 @@ mod tests {
     fn remove_frees_entry() {
         let mut kdu = Kdu::new(1);
         let e = kdu.insert(BatchId(7)).unwrap();
-        let removed = kdu.remove(e);
+        let removed = kdu.remove(e).unwrap();
         assert_eq!(removed.base, BatchId(7));
         assert!(kdu.has_free_entry());
         assert!(kdu.entry(e).is_none());
+        assert!(kdu.remove(e).is_none());
     }
 
     #[test]
@@ -130,9 +135,9 @@ mod tests {
         let mut kdu = Kdu::new(4);
         let a = kdu.insert(BatchId(0)).unwrap();
         let b = kdu.insert(BatchId(1)).unwrap();
-        kdu.attach_group(a, BatchId(2));
-        kdu.attach_group(b, BatchId(3));
-        kdu.attach_group(a, BatchId(4));
+        assert!(kdu.attach_group(a, BatchId(2)));
+        assert!(kdu.attach_group(b, BatchId(3)));
+        assert!(kdu.attach_group(a, BatchId(4)));
         assert_eq!(
             kdu.schedulable_batches(),
             vec![BatchId(0), BatchId(2), BatchId(4), BatchId(1), BatchId(3)]
@@ -144,16 +149,17 @@ mod tests {
         let mut kdu = Kdu::new(2);
         let a = kdu.insert(BatchId(0)).unwrap();
         kdu.insert(BatchId(1)).unwrap();
-        kdu.remove(a);
+        kdu.remove(a).unwrap();
         kdu.insert(BatchId(2)).unwrap();
         // BatchId(2) reuses slot 0 but must sort after BatchId(1).
         assert_eq!(kdu.schedulable_batches(), vec![BatchId(1), BatchId(2)]);
     }
 
     #[test]
-    #[should_panic(expected = "vacant")]
-    fn attach_to_vacant_panics() {
+    fn attach_to_vacant_is_rejected() {
         let mut kdu = Kdu::new(1);
-        kdu.attach_group(0, BatchId(0));
+        assert!(!kdu.attach_group(0, BatchId(0)));
+        assert!(!kdu.attach_group(99, BatchId(0)));
+        assert_eq!(kdu.occupied(), 0);
     }
 }

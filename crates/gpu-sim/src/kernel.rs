@@ -127,6 +127,8 @@ impl Batch {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn sample_batch() -> Batch {

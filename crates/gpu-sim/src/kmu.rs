@@ -51,18 +51,21 @@ impl Kmu {
         self.pending.make_contiguous()
     }
 
-    /// Removes and returns the pending kernel at `index` (0 = oldest).
+    /// Removes and returns the pending kernel at `index` (0 = oldest), or
+    /// `None` when `index` is out of range. The engine converts `None`
+    /// into a structured [`SimError::EngineInvariant`] instead of
+    /// panicking on a racing retire.
     ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn take(&mut self, index: usize) -> BatchId {
-        self.pending.remove(index).expect("KMU take index out of range")
+    /// [`SimError::EngineInvariant`]: crate::error::SimError::EngineInvariant
+    pub fn take(&mut self, index: usize) -> Option<BatchId> {
+        self.pending.remove(index)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -80,10 +83,10 @@ mod tests {
         kmu.push(BatchId(0));
         kmu.push(BatchId(1));
         kmu.push(BatchId(2));
-        assert_eq!(kmu.take(1), BatchId(1));
+        assert_eq!(kmu.take(1), Some(BatchId(1)));
         assert_eq!(kmu.len(), 2);
-        assert_eq!(kmu.take(0), BatchId(0));
-        assert_eq!(kmu.take(0), BatchId(2));
+        assert_eq!(kmu.take(0), Some(BatchId(0)));
+        assert_eq!(kmu.take(0), Some(BatchId(2)));
         assert!(kmu.is_empty());
     }
 
@@ -105,9 +108,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn take_out_of_range_panics() {
+    fn take_out_of_range_returns_none() {
         let mut kmu = Kmu::new();
-        kmu.take(0);
+        assert_eq!(kmu.take(0), None);
+        kmu.push(BatchId(0));
+        assert_eq!(kmu.take(5), None);
+        assert_eq!(kmu.len(), 1);
     }
 }

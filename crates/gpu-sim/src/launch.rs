@@ -80,6 +80,14 @@ pub trait DynamicLaunchModel: Send {
         }
     }
 
+    /// Model-specific counters for reports (e.g. DTBL aggregation-table
+    /// overflows). Merged into [`SimStats::launch_counters`].
+    ///
+    /// [`SimStats::launch_counters`]: crate::stats::SimStats::launch_counters
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// Model name for reports.
     fn name(&self) -> &'static str;
 }
@@ -125,6 +133,8 @@ impl DynamicLaunchModel for ImmediateLaunchModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::types::{BatchId, Priority, SmxId};
 

@@ -34,12 +34,18 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+// The engine must degrade gracefully, not panic: every fallible lookup
+// returns an Option/Result that the engine converts into a structured
+// `SimError`. Tests opt back in locally.
+#![deny(clippy::unwrap_used)]
+
 pub mod cache;
 pub mod coalesce;
 pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod kdu;
 pub mod kernel;
 pub mod kmu;

@@ -270,6 +270,8 @@ impl MemorySystem {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn system() -> MemorySystem {

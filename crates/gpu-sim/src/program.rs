@@ -225,6 +225,8 @@ pub trait ProgramSource: Send + Sync {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

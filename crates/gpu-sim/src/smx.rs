@@ -238,6 +238,18 @@ impl Smx {
         self.free.fits(req)
     }
 
+    /// Identities of the TBs currently resident on this SMX, in placement
+    /// order. Used by the forward-progress watchdog to name suspects.
+    pub fn resident_refs(&self) -> impl Iterator<Item = TbRef> + '_ {
+        self.resident.iter().map(|t| t.tb)
+    }
+
+    /// What this SMX is currently waiting on (the cause skipped cycles
+    /// are charged to).
+    pub fn wait_cause(&self) -> StallCause {
+        self.wait_cause
+    }
+
     /// Stall-cycle breakdown accumulated up to cycle `now` (exclusive).
     ///
     /// Accounting is deferred: the skip paths of [`step`](Self::step) do
@@ -313,8 +325,28 @@ impl Smx {
         self.next_event = self.next_event.min(now);
     }
 
-    /// Advances the SMX by one cycle.
+    /// Advances the SMX by one cycle with an unbounded launch path.
     pub fn step(&mut self, now: Cycle, mem: &mut MemorySystem, cfg: &GpuConfig) -> SmxEvents {
+        let mut credits = u64::MAX;
+        self.step_gated(now, mem, cfg, &mut credits)
+    }
+
+    /// Advances the SMX by one cycle, drawing device launches from
+    /// `launch_credits` — the remaining pending-launch-buffer slots this
+    /// cycle, shared across SMXs by the engine. Each issued launch
+    /// consumes one credit; at zero credits a launching warp blocks and
+    /// retries next cycle, with the blocked cycles attributed to
+    /// [`StallCause::LaunchPath`]. Pass `u64::MAX` (what
+    /// [`step`](Self::step) does) for the unbounded machine — the gate is
+    /// then never taken and behavior is bit-identical to the ungated
+    /// path.
+    pub fn step_gated(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        cfg: &GpuConfig,
+        launch_credits: &mut u64,
+    ) -> SmxEvents {
         let mut events = SmxEvents::default();
         if self.resident.is_empty() || now < self.next_event {
             // Skipped cycles are charged in bulk by the next active step
@@ -370,8 +402,7 @@ impl Smx {
             let (ti, wi) = locations[choice];
             candidates.remove(choice);
             locations.remove(choice);
-            self.execute_warp_op(ti, wi, now, mem, cfg, &mut events);
-            issued_any = true;
+            issued_any |= self.execute_warp_op(ti, wi, now, mem, cfg, launch_credits, &mut events);
         }
         self.cand_scratch = candidates;
         self.loc_scratch = locations;
@@ -386,6 +417,10 @@ impl Smx {
         events
     }
 
+    /// Executes one warp op. Returns `true` if an instruction issued
+    /// (`false` only when a launching warp blocked on an exhausted
+    /// launch-path credit).
+    #[allow(clippy::too_many_arguments)]
     fn execute_warp_op(
         &mut self,
         ti: usize,
@@ -393,8 +428,9 @@ impl Smx {
         now: Cycle,
         mem: &mut MemorySystem,
         cfg: &GpuConfig,
+        launch_credits: &mut u64,
         events: &mut SmxEvents,
-    ) {
+    ) -> bool {
         let mut addrs = std::mem::take(&mut self.addr_scratch);
         let mut lines = std::mem::take(&mut self.line_scratch);
         let smx_id = self.id;
@@ -496,8 +532,19 @@ impl Smx {
                 tb.warps[wi].pc += 1;
             }
             TbOp::Launch(spec) => {
-                self.instruction_mix.launches += 1;
                 if warp_index == 0 {
+                    if *launch_credits == 0 {
+                        // Pending-launch buffer exhausted under the
+                        // StallParent policy: the warp holds its pc and
+                        // retries next cycle. No instruction issues; the
+                        // blocked cycle is charged to LaunchPath.
+                        tb.warps[wi].set_ready(now + 1, StallCause::LaunchPath);
+                        self.addr_scratch = addrs;
+                        self.line_scratch = lines;
+                        return false;
+                    }
+                    *launch_credits -= 1;
+                    self.instruction_mix.launches += 1;
                     events.launches.push(IssuedLaunch {
                         spec: spec.clone(),
                         by: tb.tb,
@@ -508,6 +555,7 @@ impl Smx {
                         StallCause::Scoreboard,
                     );
                 } else {
+                    self.instruction_mix.launches += 1;
                     tb.warps[wi].set_ready(now + 1, StallCause::Scoreboard);
                 }
                 tb.warps[wi].pc += 1;
@@ -532,6 +580,7 @@ impl Smx {
         }
         self.addr_scratch = addrs;
         self.line_scratch = lines;
+        true
     }
 
     /// The single post-issue pass over the resident TBs: marks warps
@@ -617,6 +666,8 @@ impl Smx {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::program::{AddrPattern, MemOp};
     use crate::types::BatchId;
@@ -726,6 +777,44 @@ mod tests {
         assert_eq!(launches.len(), 1);
         assert_eq!(launches[0].spec, spec);
         assert_eq!(launches[0].by, tb_ref(0));
+    }
+
+    #[test]
+    fn launch_blocks_at_zero_credits_and_retries() {
+        let cfg = GpuConfig::small_test();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut s = smx(&cfg);
+        let spec = crate::program::LaunchSpec {
+            kind: crate::program::KernelKindId(1),
+            param: 0,
+            num_tbs: 1,
+            req: ResourceReq::new(32, 8, 0),
+        };
+        s.place(
+            tb_ref(0),
+            AccessClass::Parent,
+            TbProgram::new(vec![TbOp::Launch(spec)]),
+            ResourceReq::new(32, 8, 0),
+            0,
+            0,
+            32,
+        );
+        // No credits: the warp blocks, nothing issues, cause is LaunchPath.
+        let mut credits = 0u64;
+        for now in 0..3 {
+            let ev = s.step_gated(now, &mut mem, &cfg, &mut credits);
+            assert!(ev.launches.is_empty());
+        }
+        assert_eq!(s.warp_instructions, 0);
+        assert_eq!(s.instruction_mix.launches, 0);
+        assert_eq!(s.wait_cause(), StallCause::LaunchPath);
+        assert!(s.stalls(3).launch_path >= 2);
+        // A credit frees the warp; the launch issues and consumes it.
+        let mut credits = 1u64;
+        let ev = s.step_gated(3, &mut mem, &cfg, &mut credits);
+        assert_eq!(ev.launches.len(), 1);
+        assert_eq!(credits, 0);
+        assert_eq!(s.instruction_mix.launches, 1);
     }
 
     #[test]

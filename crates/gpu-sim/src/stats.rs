@@ -135,6 +135,9 @@ pub enum StallCause {
     Barrier,
     /// No resident TB at all (starved by the TB scheduler or done).
     NoTb,
+    /// Blocked on an exhausted launch-path resource under the
+    /// `StallParent` overflow policy (pending-launch buffer full).
+    LaunchPath,
 }
 
 impl StallCause {
@@ -152,7 +155,20 @@ impl StallCause {
             1 => StallCause::MemoryPending,
             2 => StallCause::MshrFull,
             3 => StallCause::Barrier,
+            5 => StallCause::LaunchPath,
             _ => StallCause::NoTb,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::Scoreboard => "scoreboard",
+            StallCause::MemoryPending => "memory-pending",
+            StallCause::MshrFull => "mshr-full",
+            StallCause::Barrier => "barrier",
+            StallCause::NoTb => "no-tb",
+            StallCause::LaunchPath => "launch-path",
         }
     }
 }
@@ -170,6 +186,8 @@ pub struct StallBreakdown {
     pub barrier: u64,
     /// Cycles with no resident TB.
     pub no_tb: u64,
+    /// Cycles blocked on an exhausted launch-path resource.
+    pub launch_path: u64,
 }
 
 impl StallBreakdown {
@@ -182,6 +200,7 @@ impl StallBreakdown {
             StallCause::MshrFull => self.mshr_full += n,
             StallCause::Barrier => self.barrier += n,
             StallCause::NoTb => self.no_tb += n,
+            StallCause::LaunchPath => self.launch_path += n,
         }
     }
 
@@ -193,7 +212,12 @@ impl StallBreakdown {
 
     /// Total stalled cycles across all causes.
     pub fn total(&self) -> u64 {
-        self.scoreboard + self.memory_pending + self.mshr_full + self.barrier + self.no_tb
+        self.scoreboard
+            + self.memory_pending
+            + self.mshr_full
+            + self.barrier
+            + self.no_tb
+            + self.launch_path
     }
 
     /// Accumulates another breakdown into this one.
@@ -203,6 +227,7 @@ impl StallBreakdown {
         self.mshr_full += other.mshr_full;
         self.barrier += other.barrier;
         self.no_tb += other.no_tb;
+        self.launch_path += other.launch_path;
     }
 }
 
@@ -375,6 +400,11 @@ pub struct SimStats {
     pub tb_records: Vec<TbRecord>,
     /// Scheduler-specific counters.
     pub scheduler_counters: Vec<(&'static str, u64)>,
+    /// Launch-path counters: engine-side overflow/spill/backlog counts
+    /// plus model-specific counters (e.g. DTBL aggregation-table
+    /// overflows). Empty entries are elided, so unbounded default runs
+    /// carry only model counters.
+    pub launch_counters: Vec<(&'static str, u64)>,
     /// TB scheduler name.
     pub scheduler: String,
     /// Launch model name.
@@ -410,7 +440,7 @@ impl SimStats {
         if self.smx_busy_cycles.is_empty() {
             return 1.0;
         }
-        let max = *self.smx_busy_cycles.iter().max().unwrap() as f64;
+        let max = self.smx_busy_cycles.iter().max().copied().unwrap_or(0) as f64;
         let mean =
             self.smx_busy_cycles.iter().sum::<u64>() as f64 / self.smx_busy_cycles.len() as f64;
         if mean == 0.0 {
@@ -502,12 +532,13 @@ impl SimStats {
         line(
             "stall cycles",
             format!(
-                "{} scoreboard / {} mem / {} mshr-full / {} barrier / {} no-TB",
+                "{} scoreboard / {} mem / {} mshr-full / {} barrier / {} no-TB / {} launch-path",
                 stalls.scoreboard,
                 stalls.memory_pending,
                 stalls.mshr_full,
                 stalls.barrier,
-                stalls.no_tb
+                stalls.no_tb,
+                stalls.launch_path
             ),
         );
         if let Some(loc) = &self.locality {
@@ -544,6 +575,9 @@ impl SimStats {
         for (name, v) in &self.scheduler_counters {
             line(name, v.to_string());
         }
+        for (name, v) in &self.launch_counters {
+            line(name, v.to_string());
+        }
         out
     }
 
@@ -570,6 +604,8 @@ impl SimStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn record(dynamic: bool, smx: u16, parent_smx: Option<u16>) -> TbRecord {
@@ -641,6 +677,7 @@ mod tests {
         b.bump(StallCause::Barrier);
         b.add(StallCause::NoTb, 5);
         assert_eq!(b.total(), 12);
+        b.add(StallCause::LaunchPath, 0);
         let mut other = StallBreakdown::default();
         other.merge(&b);
         other.merge(&b);
@@ -651,6 +688,31 @@ mod tests {
     }
 
     #[test]
+    fn stall_cause_codes_round_trip() {
+        for cause in [
+            StallCause::Scoreboard,
+            StallCause::MemoryPending,
+            StallCause::MshrFull,
+            StallCause::Barrier,
+            StallCause::NoTb,
+            StallCause::LaunchPath,
+        ] {
+            assert_eq!(StallCause::from_code(cause.code()), cause);
+            assert!(!cause.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn launch_path_stalls_counted_in_total() {
+        let mut b = StallBreakdown::default();
+        b.add(StallCause::LaunchPath, 4);
+        assert_eq!(b.total(), 4);
+        let mut other = StallBreakdown::default();
+        other.merge(&b);
+        assert_eq!(other.launch_path, 4);
+    }
+
+    #[test]
     fn summary_mentions_every_headline_metric() {
         let stats = SimStats {
             cycles: 100,
@@ -658,10 +720,13 @@ mod tests {
             scheduler: "rr".to_string(),
             launch_model: "dtbl".to_string(),
             scheduler_counters: vec![("stage3_steals", 7)],
+            launch_counters: vec![("dtbl_table_overflows", 3)],
             ..Default::default()
         };
         let s = stats.summary();
-        for needle in ["cycles", "IPC", "L1 hit rate", "stage3_steals", "2.50", "rr", "dtbl"] {
+        for needle in
+            ["cycles", "IPC", "L1 hit rate", "stage3_steals", "dtbl_table_overflows", "2.50", "rr"]
+        {
             assert!(s.contains(needle), "summary missing {needle}:\n{s}");
         }
     }

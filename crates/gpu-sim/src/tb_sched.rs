@@ -116,12 +116,14 @@ pub trait TbScheduler: Send {
     /// Chooses at most one TB dispatch for this cycle.
     fn pick(&mut self, view: &DispatchView<'_>) -> Option<DispatchDecision>;
 
-    /// Chooses which pending KMU kernel to move into the KDU next.
+    /// Chooses which pending KMU kernel to move into the KDU next, or
+    /// `None` to decline this cycle (backpressure: a policy whose queues
+    /// are at a configured hard cap leaves the kernel in the KMU).
     ///
     /// The view is FCFS-ordered and non-empty; the returned index selects
-    /// from it. The baseline takes the oldest.
-    fn kmu_pick(&mut self, _view: &KmuView<'_>) -> usize {
-        0
+    /// from it. The baseline takes the oldest and never declines.
+    fn kmu_pick(&mut self, _view: &KmuView<'_>) -> Option<usize> {
+        Some(0)
     }
 
     /// Extra policy-specific counters for reports (steals, overflows, …).
@@ -239,6 +241,8 @@ impl TbScheduler for RandomScheduler {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::config::GpuConfig;
     use crate::kernel::{BatchKind, BatchState};
@@ -382,7 +386,7 @@ mod tests {
         assert_eq!(view.len(), 2);
         assert!(!view.is_empty());
         assert_eq!(view.batch(1).id, BatchId(1));
-        assert_eq!(sched.kmu_pick(&view), 0);
+        assert_eq!(sched.kmu_pick(&view), Some(0));
     }
 
     #[test]

@@ -252,6 +252,8 @@ pub fn render(records: &[TraceRecord]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -96,6 +96,8 @@ pub type LineAddr = u64;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

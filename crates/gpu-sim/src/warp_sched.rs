@@ -99,6 +99,8 @@ impl WarpScheduler for LooseRoundRobin {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::types::BatchId;
 

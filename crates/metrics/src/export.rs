@@ -17,13 +17,14 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
     let mut out = String::from(
         "workload,launch_model,scheduler,cycles,ipc,l1_hit_rate,l2_hit_rate,\
          child_l1_hit_rate,mean_child_wait,parent_smx_affinity,smx_utilization,\
-         load_imbalance,dynamic_tbs,total_tbs,steals,queue_overflows,\
-         stall_scoreboard,stall_memory_pending,stall_mshr_full,stall_barrier,stall_no_tb\n",
+         load_imbalance,dynamic_tbs,total_tbs,steals,queue_overflows,table_overflows,\
+         stall_scoreboard,stall_memory_pending,stall_mshr_full,stall_barrier,stall_no_tb,\
+         stall_launch_path\n",
     );
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.6},{:.6},{:.6},{},{},{},{},\
-             {},{},{},{},{}\n",
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.6},{:.6},{:.6},{},{},{},{},{},\
+             {},{},{},{},{},{}\n",
             field(&r.workload),
             field(&r.launch_model),
             field(&r.scheduler),
@@ -40,11 +41,13 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
             r.total_tbs,
             r.steals,
             r.queue_overflows,
+            r.table_overflows,
             r.stalls.scoreboard,
             r.stalls.memory_pending,
             r.stalls.mshr_full,
             r.stalls.barrier,
             r.stalls.no_tb,
+            r.stalls.launch_path,
         ));
     }
     out
@@ -87,12 +90,14 @@ mod tests {
             queue_pushes: 3,
             max_queue_depth: 2,
             queue_search_cycles: 9,
+            table_overflows: 0,
             stalls: gpu_sim::stats::StallBreakdown {
                 scoreboard: 40,
                 memory_pending: 30,
                 mshr_full: 10,
                 barrier: 5,
                 no_tb: 15,
+                launch_path: 0,
             },
             locality: None,
         }

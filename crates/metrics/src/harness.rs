@@ -171,6 +171,10 @@ pub struct RunRecord {
     pub max_queue_depth: u64,
     /// Modeled queue entry-search work in cycles.
     pub queue_search_cycles: u64,
+    /// DTBL aggregation-table overflows (0 under CDP, which has no
+    /// table). A non-zero value at paper scale means the 128-entry
+    /// on-chip table saturated and launches paid the overflow penalty.
+    pub table_overflows: u64,
     /// Stall cycles summed over all SMXs, by cause.
     pub stalls: StallBreakdown,
     /// Locality provenance summary (`None` unless the run profiled).
@@ -181,6 +185,9 @@ impl RunRecord {
     fn from_stats(workload: &str, stats: &SimStats) -> Self {
         let counter = |name: &str| {
             stats.scheduler_counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        let launch_counter = |name: &str| {
+            stats.launch_counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v).unwrap_or(0)
         };
         RunRecord {
             workload: workload.to_string(),
@@ -202,6 +209,7 @@ impl RunRecord {
             queue_pushes: counter("queue_pushes"),
             max_queue_depth: counter("max_queue_depth"),
             queue_search_cycles: counter("queue_search_cycles"),
+            table_overflows: launch_counter("dtbl_table_overflows"),
             stalls: stats.total_stalls(),
             locality: stats.locality.as_ref().map(|loc| {
                 let pc = ReuseClass::ParentChild.index();

@@ -332,6 +332,7 @@ pub fn run_to_json(r: &RunRecord) -> Json {
         ("queue_pushes".into(), Json::from_u64(r.queue_pushes)),
         ("max_queue_depth".into(), Json::from_u64(r.max_queue_depth)),
         ("queue_search_cycles".into(), Json::from_u64(r.queue_search_cycles)),
+        ("table_overflows".into(), Json::from_u64(r.table_overflows)),
         (
             "stalls".into(),
             Json::Obj(vec![
@@ -340,6 +341,7 @@ pub fn run_to_json(r: &RunRecord) -> Json {
                 ("mshr_full".into(), Json::from_u64(r.stalls.mshr_full)),
                 ("barrier".into(), Json::from_u64(r.stalls.barrier)),
                 ("no_tb".into(), Json::from_u64(r.stalls.no_tb)),
+                ("launch_path".into(), Json::from_u64(r.stalls.launch_path)),
             ]),
         ),
     ];
@@ -461,12 +463,14 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
         queue_pushes: u64_field("queue_pushes")?,
         max_queue_depth: u64_field("max_queue_depth")?,
         queue_search_cycles: u64_field("queue_search_cycles")?,
+        table_overflows: u64_field("table_overflows")?,
         stalls: StallBreakdown {
             scoreboard: stall_field("scoreboard")?,
             memory_pending: stall_field("memory_pending")?,
             mshr_full: stall_field("mshr_full")?,
             barrier: stall_field("barrier")?,
             no_tb: stall_field("no_tb")?,
+            launch_path: stall_field("launch_path")?,
         },
         locality: v.get("locality").map(locality_from_json).transpose()?,
     })
@@ -497,12 +501,14 @@ mod tests {
             queue_pushes: 331,
             max_queue_depth: 12,
             queue_search_cycles: 400,
+            table_overflows: 2,
             stalls: StallBreakdown {
                 scoreboard: 40,
                 memory_pending: 30,
                 mshr_full: 10,
                 barrier: 5,
                 no_tb: 15,
+                launch_path: 3,
             },
             locality: None,
         }

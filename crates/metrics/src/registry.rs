@@ -240,12 +240,16 @@ pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsReg
     for (name, v) in &stats.scheduler_counters {
         reg.count(name, *v);
     }
+    for (name, v) in &stats.launch_counters {
+        reg.count(name, *v);
+    }
     let stalls = stats.total_stalls();
     reg.count("stall_scoreboard_cycles", stalls.scoreboard);
     reg.count("stall_memory_pending_cycles", stalls.memory_pending);
     reg.count("stall_mshr_full_cycles", stalls.mshr_full);
     reg.count("stall_barrier_cycles", stalls.barrier);
     reg.count("stall_no_tb_cycles", stalls.no_tb);
+    reg.count("stall_launch_path_cycles", stalls.launch_path);
 
     reg.gauge("ipc", stats.ipc());
     reg.gauge("l1_hit_rate", stats.l1.hit_rate());

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use dynpar::{LaunchLatency, LaunchModelKind};
-use gpu_sim::config::GpuConfig;
+use gpu_sim::config::{GpuConfig, LaunchLimits, OverflowPolicy};
 use gpu_sim::engine::Simulator;
 use gpu_sim::stats::SimStats;
 use gpu_sim::trace::{TraceEvent, TraceRecord, VecSink};
@@ -92,6 +92,76 @@ fn fast_forward_changes_no_statistic() {
     // engaged somewhere in the sweep (CDP launch latencies leave the
     // machine idle while a child kernel matures).
     assert!(total_skipped > 0, "fast-forward never skipped a cycle");
+}
+
+/// [`run`] with finite launch-path limits under a chosen overflow
+/// policy.
+fn run_limited(
+    w: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    sched: SchedulerKind,
+    policy: OverflowPolicy,
+    fast_forward: bool,
+) -> (SimStats, u64) {
+    let mut cfg = GpuConfig::small_test();
+    cfg.num_smxs = 4;
+    cfg.fast_forward = fast_forward;
+    cfg.launch_limits = LaunchLimits {
+        kmu_capacity: Some(2),
+        pending_launch_capacity: Some(2),
+        smx_queue_capacity: Some(64),
+        policy,
+    };
+    let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+        .with_scheduler(sched.build(&cfg))
+        .with_launch_model(model.build(LaunchLatency::default_for(model)));
+    for hk in w.host_kernels() {
+        sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+    }
+    let stats = sim.run_to_completion().expect("run to completion");
+    (stats, sim.fast_forwarded_cycles())
+}
+
+/// Backpressure determinism: with finite launch-path capacities under
+/// either overflow policy, fast-forward still changes no statistic —
+/// stalled parents, spilled launches, and backlogged kernels all resolve
+/// on the same cycles whether idle gaps were stepped or jumped.
+#[test]
+fn finite_limits_are_fast_forward_invariant() {
+    let all = suite(Scale::Tiny);
+    let policies =
+        [OverflowPolicy::StallParent, OverflowPolicy::SpillVirtual { extra_latency: 200 }];
+    for w in all.iter().take(2) {
+        for model in LaunchModelKind::all() {
+            for policy in policies {
+                let (on, _) = run_limited(w, model, SchedulerKind::AdaptiveBind, policy, true);
+                let (off, skipped) =
+                    run_limited(w, model, SchedulerKind::AdaptiveBind, policy, false);
+                assert_eq!(
+                    on,
+                    off,
+                    "{} under {model}/{}: fast-forward changed statistics with finite limits",
+                    w.full_name(),
+                    policy.name()
+                );
+                assert_eq!(skipped, 0, "fast-forward ran while disabled");
+            }
+        }
+    }
+}
+
+/// Finite-limit runs are repeatable: the same configuration produces
+/// bit-identical statistics on every execution.
+#[test]
+fn finite_limit_runs_are_bit_identical() {
+    let all = suite(Scale::Tiny);
+    let w = all.first().expect("non-empty suite");
+    for policy in [OverflowPolicy::StallParent, OverflowPolicy::SpillVirtual { extra_latency: 200 }]
+    {
+        let (a, _) = run_limited(w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, policy, true);
+        let (b, _) = run_limited(w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, policy, true);
+        assert_eq!(a, b, "{} diverged between runs", policy.name());
+    }
 }
 
 #[test]
