@@ -9,13 +9,19 @@
 //! per-case `baseline_cycles_per_sec` and `speedup` fields in the output.
 //! `--max-regression PCT` additionally exits nonzero if any case's
 //! throughput drops more than PCT percent below its baseline — the CI
-//! bench-regression gate.
+//! bench-regression gate. When the baseline's recorded `host_cpus`
+//! differs from the current machine's, the two documents came from
+//! different host classes and wall-clock numbers are not comparable:
+//! misses are annotated in the report but do not fail the gate.
 
-use laperm_bench::hotloop::{check_regressions, parse_baseline, render_json, run_hotloop};
+use laperm_bench::hotloop::{
+    check_regressions, parse_baseline, parse_host_cpus, render_json, run_hotloop,
+};
 
 fn main() {
     let mut out_path = String::from("BENCH_hotloop.json");
     let mut baseline: Vec<(String, f64)> = Vec::new();
+    let mut baseline_host_cpus: Option<usize> = None;
     let mut max_regression: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,6 +32,7 @@ fn main() {
                 let text = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
                 baseline = parse_baseline(&text);
+                baseline_host_cpus = parse_host_cpus(&text);
             }
             "--max-regression" => {
                 let pct = args.next().expect("--max-regression needs a percentage");
@@ -42,19 +49,21 @@ fn main() {
         std::process::exit(2);
     }
 
+    let host_cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let results = run_hotloop();
     for r in &results {
         eprintln!(
-            "{:28} {:>14.0} cycles/sec  ({} cycles in {:.3}s over {} iters)",
+            "{:38} {:>14.0} cycles/sec  ({} cycles in {:.3}s over {} iters)",
             r.name, r.cycles_per_sec, r.cycles, r.wall_secs, r.iters
         );
     }
-    let json = render_json(&results, &baseline);
+    let json = render_json(&results, &baseline, host_cpus);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
     if let Some(pct) = max_regression {
-        let (ok, report) = check_regressions(&results, &baseline, pct);
+        let hosts = baseline_host_cpus.map(|b| (b, host_cpus));
+        let (ok, report) = check_regressions(&results, &baseline, pct, hosts);
         eprint!("{report}");
         if !ok {
             eprintln!(

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|ci|small|paper] [--jobs N] [--json FILE]
+//!                    [--engine event|cycle-stepped]
 //! repro check [--json FILE]
 //!
 //! experiments:
@@ -30,7 +31,14 @@
 //! `--jobs N` fans independent simulations over N worker threads
 //! (default: all cores). Output is bit-identical for any N; only the
 //! stderr progress interleaving differs.
+//!
+//! `--engine` selects the simulation engine for `all` (default:
+//! event). The CI `engine-equivalence` job runs `all` once per engine
+//! and diffs the two `repro.json` documents byte-for-byte.
 
+#![deny(clippy::unwrap_used)]
+
+use gpu_sim::config::EngineMode;
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
     generality, latency_sweep, locality, overhead, render_shape_report, run_matrix_with_jobs,
@@ -43,6 +51,7 @@ struct Args {
     scale: Scale,
     jobs: usize,
     json_path: String,
+    engine: EngineMode,
 }
 
 fn parse_args() -> Args {
@@ -69,13 +78,21 @@ fn parse_args() -> Args {
         None => default_jobs(),
     };
     let json_path = value_of("--json").unwrap_or("repro.json").to_string();
-    Args { experiment, scale, jobs, json_path }
+    let engine = match value_of("--engine") {
+        Some("cycle-stepped") => EngineMode::CycleStepped,
+        Some("event") | None => EngineMode::Event,
+        Some(other) => {
+            eprintln!("unknown engine {other}; choose event or cycle-stepped");
+            std::process::exit(2);
+        }
+    };
+    Args { experiment, scale, jobs, json_path, engine }
 }
 
 /// `repro all`: the full sweep. Writes `repro.json`, prints the text
 /// report, and exits nonzero if any matrix cell failed.
 fn run_all(args: &Args) {
-    let doc = SweepDoc::build(args.scale, 0, args.jobs);
+    let doc = SweepDoc::build_with_engine(args.scale, 0, args.jobs, args.engine);
     std::fs::write(&args.json_path, doc.to_json())
         .unwrap_or_else(|e| panic!("write {}: {e}", args.json_path));
     eprintln!("wrote {}", args.json_path);
@@ -110,18 +127,22 @@ fn run_check(args: &Args) {
 
 fn main() {
     let args = parse_args();
-    let needs_matrix = matches!(args.experiment.as_str(), "fig7" | "fig8" | "fig9" | "locality");
-    let matrix = needs_matrix.then(|| run_matrix_with_jobs(args.scale, args.jobs));
 
     match args.experiment.as_str() {
         "table1" => println!("{}", table1()),
         "table2" => println!("{}", table2(args.scale)),
         "fig2" => println!("{}", fig2(args.scale, args.jobs)),
         "fig4" => println!("{}", figure4()),
-        "fig7" => println!("{}", fig7(matrix.as_ref().unwrap())),
-        "fig8" => println!("{}", fig8(matrix.as_ref().unwrap())),
-        "fig9" => println!("{}", fig9(matrix.as_ref().unwrap())),
-        "locality" => println!("{}", locality(matrix.as_ref().unwrap())),
+        "fig7" | "fig8" | "fig9" | "locality" => {
+            let m = run_matrix_with_jobs(args.scale, args.jobs);
+            let report = match args.experiment.as_str() {
+                "fig7" => fig7(&m),
+                "fig8" => fig8(&m),
+                "fig9" => fig9(&m),
+                _ => locality(&m),
+            };
+            println!("{report}");
+        }
         "latency" => println!("{}", latency_sweep(args.scale, args.jobs)),
         "timeline" => println!("{}", timeline(args.scale, args.jobs)),
         "variance" => println!("{}", variance(args.scale, args.jobs)),

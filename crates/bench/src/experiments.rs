@@ -821,6 +821,8 @@ pub fn full_report(scale: Scale, jobs: usize, m: &MatrixRecords) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn record(workload: &str, model: &str, scheduler: &str, ipc: f64) -> RunRecord {

@@ -12,6 +12,10 @@
 //! * [`shapes`] — EXPERIMENTS.md's qualitative claims as machine-checked
 //!   assertions over `repro.json` (the `repro check` reproduction gate).
 
+// Library code must not panic on fallible lookups; tests opt back
+// in locally.
+#![deny(clippy::unwrap_used)]
+
 pub mod experiments;
 pub mod fig4;
 pub mod hotloop;

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dynpar::LaunchModelKind;
-use gpu_sim::config::GpuConfig;
+use gpu_sim::config::{EngineMode, GpuConfig};
 use sim_metrics::harness::{run_once, RunRecord, SchedulerKind};
 use sim_metrics::json::{parse, run_from_json, run_to_json, Json};
 use sim_metrics::FootprintAnalysis;
@@ -230,8 +230,23 @@ impl SweepDoc {
     /// *mechanism* — which scheduling relation produced the hits — not
     /// just the headline rates.
     pub fn build(scale: Scale, seed: u64, jobs: usize) -> SweepDoc {
+        Self::build_with_engine(scale, seed, jobs, EngineMode::Event)
+    }
+
+    /// [`SweepDoc::build`] on an explicit engine mode. The CI
+    /// `engine-equivalence` job builds the ci-scale document once per
+    /// mode and diffs the rendered JSON byte-for-byte: the document
+    /// carries no wall-clock fields, so any divergence is a real
+    /// statistics difference between the engines.
+    pub fn build_with_engine(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        engine_mode: EngineMode,
+    ) -> SweepDoc {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.profile_locality = true;
+        cfg.engine_mode = engine_mode;
         let outcome = run_matrix_jobs(scale, seed, jobs, &cfg);
         let all = suite_seeded(scale, seed);
         let footprints = parallel_map(&all, jobs, |w| {
@@ -361,6 +376,8 @@ impl SweepDoc {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

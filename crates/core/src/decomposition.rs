@@ -85,6 +85,8 @@ impl TbScheduler for BindOnlyScheduler {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use dynpar::{LaunchLatency, LaunchModelKind};
     use gpu_sim::config::GpuConfig;

@@ -50,6 +50,10 @@
 //! assert_eq!(stats.scheduler, "laperm-adaptive-bind");
 //! ```
 
+// Library code must not panic on fallible lookups; tests opt back
+// in locally.
+#![deny(clippy::unwrap_used)]
+
 pub mod decomposition;
 pub mod paper;
 pub mod policy;

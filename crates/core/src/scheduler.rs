@@ -429,6 +429,8 @@ impl TbScheduler for LaPermScheduler {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use dynpar::{LaunchLatency, LaunchModelKind};
     use gpu_sim::config::GpuConfig;

@@ -25,6 +25,10 @@
 //! assert_eq!(cdp.name(), "cdp");
 //! ```
 
+// Library code must not panic on fallible lookups; tests opt back
+// in locally.
+#![deny(clippy::unwrap_used)]
+
 pub mod cdp;
 pub mod dtbl;
 pub mod latency;

@@ -1,0 +1,132 @@
+//! The discrete-event component interface.
+//!
+//! Every hardware block the engine owns publishes when it next needs to
+//! run through [`Component::next_tick`]; the event engine keeps those
+//! wake-ups in a min-heap keyed `(cycle, component)` and advances the
+//! clock from one wake-up to the next instead of stepping every cycle
+//! (see `docs/ARCHITECTURE.md`, "Engine"). The contract:
+//!
+//! - `next_tick` returns the earliest future cycle at which ticking the
+//!   component could change observable state, or `None` when nothing
+//!   can happen until some *other* component hands it work. It must
+//!   never return a cycle later than the true next state change — early
+//!   wake-ups cost time but stay correct (a woken component that has
+//!   nothing to do is a no-op); late ones change statistics.
+//! - `tick` runs the component at `cycle`. Components whose stepping
+//!   needs shared context the trait cannot carry (the SMXs borrow the
+//!   memory system and a launch-credit pool) keep their richer stepping
+//!   entry point and implement `tick` as a bookkeeping no-op; the
+//!   engine drives them through that entry point at the cycles
+//!   `next_tick` publishes.
+//!
+//! Purely *reactive* components return `None` forever: the caches, the
+//! DRAM model, and the KDU have no clock of their own. Cache and DRAM
+//! latencies are computed lazily at access time (a probe at cycle `c`
+//! answers "when would this line have arrived"), so there is no
+//! residual event to wake up for; the KDU is a table mutated by the
+//! KMU and completion sweeps. Modeling them as components keeps the
+//! engine's inventory uniform and documents *why* they contribute no
+//! heap entries.
+
+use crate::cache::Cache;
+use crate::dram::Dram;
+use crate::kdu::Kdu;
+use crate::kmu::Kmu;
+use crate::mem::MemorySystem;
+use crate::smx::Smx;
+use crate::types::Cycle;
+
+/// A hardware block driven by the discrete-event engine.
+pub trait Component {
+    /// The earliest future cycle at which ticking this component could
+    /// change observable state, or `None` when it is idle until handed
+    /// work by another component.
+    fn next_tick(&self) -> Option<u64>;
+
+    /// Runs the component at `cycle`. The default is a no-op for
+    /// components that are either reactive (ticked implicitly by the
+    /// accesses of others) or stepped through a context-carrying entry
+    /// point the engine calls directly.
+    fn tick(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+}
+
+impl Component for Smx {
+    /// An SMX next acts at its resident TBs' earliest ready cycle
+    /// ([`Smx::next_event`]); with nothing resident it sleeps until a
+    /// TB is placed. The engine additionally clamps the published wake
+    /// past any `KillSmx` fault window before scheduling it.
+    fn next_tick(&self) -> Option<u64> {
+        (self.resident_tbs() > 0).then(|| self.next_event())
+    }
+
+    /// SMX stepping borrows the shared memory system and the per-cycle
+    /// launch-credit pool, so the engine drives it through
+    /// [`Smx::step_gated`] at the published cycle; `tick` itself has
+    /// nothing left to do.
+    fn tick(&mut self, _cycle: Cycle) {}
+}
+
+impl Component for Kmu {
+    /// A non-empty KMU can dispatch on any cycle a KDU entry is free,
+    /// so it publishes "immediately"; the engine intersects this with
+    /// KDU occupancy and `QueueFull` fault windows.
+    fn next_tick(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(0)
+    }
+}
+
+impl Component for Kdu {
+    /// Reactive: the KDU is a table the KMU inserts into and the
+    /// completion sweep removes from; it never acts on its own.
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl Component for Cache {
+    /// Reactive: hit/miss latencies are computed lazily at access time,
+    /// so a cache holds no future event of its own.
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl Component for Dram {
+    /// Reactive: channel queueing delay is folded into each access's
+    /// lazily computed latency.
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl Component for MemorySystem {
+    /// Reactive: the whole memory hierarchy (L1s, L2, DRAM) answers
+    /// accesses synchronously with lazily computed latencies.
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmu_publishes_only_when_pending() {
+        let mut kmu = Kmu::new();
+        assert_eq!(Component::next_tick(&kmu), None);
+        kmu.push(crate::types::BatchId(0));
+        assert_eq!(Component::next_tick(&kmu), Some(0));
+    }
+
+    #[test]
+    fn reactive_components_publish_nothing() {
+        let cfg = crate::config::GpuConfig::small_test();
+        let kdu = Kdu::new(cfg.max_concurrent_kernels);
+        assert_eq!(Component::next_tick(&kdu), None);
+        let mem = MemorySystem::new(&cfg);
+        assert_eq!(Component::next_tick(&mem), None);
+    }
+}

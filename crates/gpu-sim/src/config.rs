@@ -29,6 +29,39 @@ impl std::fmt::Display for WarpSchedPolicy {
     }
 }
 
+/// How the engine advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Discrete-event execution: components publish their next wake-up
+    /// cycle and the engine jumps between wake-ups via a min-heap,
+    /// touching only the components that are due. Statistics are
+    /// bit-identical to [`EngineMode::CycleStepped`]; the
+    /// `engine-equivalence` gate asserts this on the ci-scale matrix.
+    #[default]
+    Event,
+    /// Reference mode: step every cycle, iterating all components each
+    /// time (with the idle-cycle fast-forward optimization layered on
+    /// top when [`GpuConfig::fast_forward`] is set). Kept as the
+    /// oracle the event engine is diffed against.
+    CycleStepped,
+}
+
+impl EngineMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::Event => "event",
+            EngineMode::CycleStepped => "cycle-stepped",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What happens when a finite launch-path resource is exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OverflowPolicy {
@@ -163,6 +196,15 @@ pub struct GpuConfig {
     /// [`run_to_completion`]: crate::engine::Simulator::run_to_completion
     pub max_cycles: u64,
 
+    /// How [`run_to_completion`] advances time. [`EngineMode::Event`]
+    /// (the default) drives the machine from a min-heap of component
+    /// wake-ups; [`EngineMode::CycleStepped`] iterates every component
+    /// every cycle and is kept as the equivalence oracle. Both produce
+    /// bit-identical statistics and trace streams.
+    ///
+    /// [`run_to_completion`]: crate::engine::Simulator::run_to_completion
+    pub engine_mode: EngineMode,
+
     /// Skip idle stretches: when no launch is in flight, the KMU is
     /// empty, and no TB awaits dispatch, the engine advances the cycle
     /// counter directly to the next SMX/launch event instead of stepping
@@ -231,6 +273,7 @@ impl GpuConfig {
             alu_latency: 6,
             launch_issue_cycles: 8,
             max_cycles: 500_000_000,
+            engine_mode: EngineMode::Event,
             fast_forward: true,
             profile_locality: false,
             launch_limits: LaunchLimits::unbounded(),
@@ -267,6 +310,7 @@ impl GpuConfig {
             alu_latency: 4,
             launch_issue_cycles: 2,
             max_cycles: 50_000_000,
+            engine_mode: EngineMode::Event,
             fast_forward: true,
             profile_locality: false,
             launch_limits: LaunchLimits::unbounded(),
@@ -475,6 +519,15 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.watchdog_window = None;
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn engine_mode_defaults_to_event() {
+        assert_eq!(GpuConfig::kepler_k20c().engine_mode, EngineMode::Event);
+        assert_eq!(GpuConfig::small_test().engine_mode, EngineMode::Event);
+        assert_eq!(EngineMode::default(), EngineMode::Event);
+        assert_eq!(EngineMode::Event.name(), "event");
+        assert_eq!(EngineMode::CycleStepped.name(), "cycle-stepped");
     }
 
     #[test]

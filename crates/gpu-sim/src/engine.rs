@@ -1,10 +1,12 @@
 //! The simulation engine: owns the SMXs, memory system, KMU/KDU, launch
 //! model, and TB scheduler, and advances them cycle by cycle.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::cache::{AccessClass, Lineage, ReuseClass};
-use crate::config::{GpuConfig, OverflowPolicy};
+use crate::component::Component;
+use crate::config::{EngineMode, GpuConfig, OverflowPolicy};
 use crate::error::{SimError, StuckTb};
 use crate::fault::{FaultPlan, LaunchDisposition};
 use crate::kdu::Kdu;
@@ -77,6 +79,15 @@ pub struct Simulator {
     // window boundary, and the next cycle at which to compare.
     watchdog_sig: ProgressSignature,
     watchdog_deadline: Cycle,
+    // Event-engine state: a min-heap of SMX wake-ups keyed
+    // (cycle, smx index) and the authoritative wake per SMX. Heap
+    // entries whose cycle no longer matches `smx_wake` are stale and
+    // discarded on pop (lazy invalidation); `Cycle::MAX` means no wake
+    // is scheduled. Only maintained once the event loop arms
+    // `event_live`, so manual steppers pay nothing.
+    event_heap: BinaryHeap<Reverse<(Cycle, u16)>>,
+    smx_wake: Vec<Cycle>,
+    event_live: bool,
     // Scratch buffers reused every cycle so the hot loop allocates
     // nothing in steady state.
     delivery_scratch: Vec<Delivery>,
@@ -149,6 +160,9 @@ impl Simulator {
             spill_hwm: 0,
             watchdog_sig: (0, 0, 0, 0, 0, 0),
             watchdog_deadline: cfg.watchdog_window.unwrap_or(Cycle::MAX),
+            event_heap: BinaryHeap::new(),
+            smx_wake: Vec::new(),
+            event_live: false,
             delivery_scratch: Vec::new(),
             smx_free_scratch: Vec::new(),
             sched_trace_scratch: Vec::new(),
@@ -179,11 +193,13 @@ impl Simulator {
 
     /// Attaches a deterministic fault-injection plan (see [`crate::fault`]).
     ///
-    /// Disables idle-cycle fast-forward: fault windows are defined in
-    /// absolute cycles, and jumping over one would change which cycles
-    /// the fault bites.
+    /// Fault windows compose with idle-cycle skipping in both engine
+    /// modes: `KillSmx` release edges become wake-up sources
+    /// ([`FaultPlan::first_alive`]) and delayed launches contribute
+    /// their maturity cycles, so skips land exactly where the machine
+    /// next changes state. Statistics are bit-identical to stepping
+    /// every cycle (asserted by `tests/determinism.rs`).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.cfg.fast_forward = false;
         self.fault = Some(plan);
         self
     }
@@ -359,9 +375,34 @@ impl Simulator {
     /// violated engine invariants ([`SimError::EngineInvariant`]).
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        self.watchdog_check(now)?;
+        self.stage_launch_maturation(now)?;
+        self.stage_kmu_dispatch(now)?;
+        self.stage_tb_dispatch(now)?;
 
-        // 0. Forward-progress watchdog: once per window, compare the
-        // progress counters against the last snapshot.
+        // 4. SMXs execute, in ascending index order (the launch-credit
+        // pool and launch submission order depend on it).
+        let mut launch_credits = self.launch_credit_pool();
+        for i in 0..self.smxs.len() {
+            if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(i as u16), now)) {
+                // A killed SMX issues nothing this cycle. Its deferred
+                // stall accounting charges the frozen span to whatever
+                // it was last waiting on.
+                continue;
+            }
+            self.run_smx(i, now, &mut launch_credits)?;
+        }
+
+        self.cycle += 1;
+        if self.cfg.fast_forward {
+            self.fast_forward();
+        }
+        Ok(())
+    }
+
+    /// Stage 0: once per window, compare the progress counters against
+    /// the last snapshot and re-arm the deadline.
+    fn watchdog_check(&mut self, now: Cycle) -> Result<(), SimError> {
         if now >= self.watchdog_deadline {
             let sig = self.progress_signature();
             if sig == self.watchdog_sig {
@@ -371,8 +412,12 @@ impl Simulator {
             self.watchdog_deadline =
                 now.saturating_add(self.cfg.watchdog_window.unwrap_or(Cycle::MAX));
         }
+        Ok(())
+    }
 
-        // 1. Matured device-side launches enter the scheduling hardware.
+    /// Stage 1: matured device-side launches enter the scheduling
+    /// hardware.
+    fn stage_launch_maturation(&mut self, now: Cycle) -> Result<(), SimError> {
         // Held-back work first (fault delays, spilled launches, KMU
         // backlog — all empty in the default unbounded configuration),
         // then the launch model's own matured launches.
@@ -419,9 +464,12 @@ impl Simulator {
             }
             self.delivery_scratch = deliveries;
         }
+        Ok(())
+    }
 
-        // 2. KMU moves pending kernels into free KDU entries (unless a
-        // fault window holds the dispatch path down).
+    /// Stage 2: KMU moves pending kernels into free KDU entries (unless
+    /// a fault window holds the dispatch path down).
+    fn stage_kmu_dispatch(&mut self, now: Cycle) -> Result<(), SimError> {
         let kmu_blocked = self.fault.as_ref().is_some_and(|p| p.queue_full_at(now));
         if !kmu_blocked {
             for _ in 0..self.cfg.kmu_dispatch_per_cycle {
@@ -453,8 +501,14 @@ impl Simulator {
                 self.make_schedulable(id, entry, now)?;
             }
         }
+        Ok(())
+    }
 
-        // 3. The SMX scheduler dispatches at most one TB.
+    /// Stage 3: the SMX scheduler dispatches at most one TB. The
+    /// scheduler's `pick` runs (and may mutate its cost counters) on
+    /// every cycle with undispatched TBs, so neither engine mode may
+    /// skip such a cycle.
+    fn stage_tb_dispatch(&mut self, now: Cycle) -> Result<(), SimError> {
         if self.undispatched > 0 {
             self.prune_sched_list();
             self.smx_free_scratch.clear();
@@ -472,27 +526,27 @@ impl Simulator {
                 self.place(d, now)?;
             }
         }
+        Ok(())
+    }
 
-        // 4. SMXs execute. Under a finite pending-launch buffer with the
-        // StallParent policy, the remaining buffer slots gate launch
-        // issue as a credit pool shared across SMXs this cycle; with
-        // unbounded limits the pool is infinite and the gate is inert.
-        let mut launch_credits =
-            match (self.cfg.launch_limits.pending_launch_capacity, self.cfg.launch_limits.policy) {
-                (Some(cap), OverflowPolicy::StallParent) => {
-                    (cap as u64).saturating_sub(self.launch_model.in_flight() as u64)
-                }
-                _ => u64::MAX,
-            };
-        for i in 0..self.smxs.len() {
-            if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(i as u16), now)) {
-                // A killed SMX issues nothing this cycle. Its deferred
-                // stall accounting charges the frozen span to whatever
-                // it was last waiting on.
-                continue;
+    /// The stage-4 launch-credit pool. Under a finite pending-launch
+    /// buffer with the StallParent policy, the remaining buffer slots
+    /// gate launch issue as a credit pool shared across SMXs this
+    /// cycle; with unbounded limits the pool is infinite and the gate
+    /// is inert.
+    fn launch_credit_pool(&self) -> u64 {
+        match (self.cfg.launch_limits.pending_launch_capacity, self.cfg.launch_limits.policy) {
+            (Some(cap), OverflowPolicy::StallParent) => {
+                (cap as u64).saturating_sub(self.launch_model.in_flight() as u64)
             }
-            let events =
-                self.smxs[i].step_gated(now, &mut self.mem, &self.cfg, &mut launch_credits);
+            _ => u64::MAX,
+        }
+    }
+
+    /// Steps one (alive) SMX and absorbs its launches and completions.
+    fn run_smx(&mut self, i: usize, now: Cycle, launch_credits: &mut u64) -> Result<(), SimError> {
+        {
+            let events = self.smxs[i].step_gated(now, &mut self.mem, &self.cfg, launch_credits);
             for launch in events.launches {
                 let parent_batch = launch.by.batch;
                 let parent_priority = self.batches[parent_batch.index()].priority;
@@ -529,12 +583,182 @@ impl Simulator {
                 self.finish_tb(completion, now)?;
             }
         }
+        Ok(())
+    }
+
+    /// The cycle at which SMX `i` next does observable work, at or after
+    /// `floor`: its resident TBs' earliest ready time, pushed past any
+    /// `KillSmx` window covering it. `Cycle::MAX` when the SMX is empty
+    /// or a window holds it down forever.
+    fn smx_wake_for(&self, i: usize, floor: Cycle) -> Cycle {
+        if self.smxs[i].resident_tbs() == 0 {
+            return Cycle::MAX;
+        }
+        let wake = self.smxs[i].next_event().max(floor);
+        match &self.fault {
+            Some(p) => p.first_alive(SmxId(i as u16), wake).unwrap_or(Cycle::MAX),
+            None => wake,
+        }
+    }
+
+    /// Records `at` as SMX `i`'s next wake-up and schedules it in the
+    /// event heap. Superseded heap entries are left in place; they are
+    /// recognized (cycle no longer matches `smx_wake`) and discarded
+    /// when popped.
+    fn set_smx_wake(&mut self, i: usize, at: Cycle) {
+        if self.smx_wake[i] == at {
+            return;
+        }
+        self.smx_wake[i] = at;
+        if at != Cycle::MAX {
+            self.event_heap.push(Reverse((at, i as u16)));
+        }
+    }
+
+    /// One iteration of the event engine: the same stage pipeline as
+    /// [`step`](Self::step), but stage 4 visits only the SMXs whose
+    /// scheduled wake-up is due (popped from the min-heap in
+    /// (cycle, index) order, which preserves the launch-credit and
+    /// submission ordering of the linear scan), and the cycle counter
+    /// then jumps to the machine's next event instead of incrementing
+    /// blindly.
+    fn step_event(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+        self.watchdog_check(now)?;
+        self.stage_launch_maturation(now)?;
+        self.stage_kmu_dispatch(now)?;
+        self.stage_tb_dispatch(now)?;
+
+        let mut launch_credits = self.launch_credit_pool();
+        while let Some(&Reverse((wake, idx))) = self.event_heap.peek() {
+            if wake > now {
+                break;
+            }
+            self.event_heap.pop();
+            let i = idx as usize;
+            if self.smx_wake[i] != wake {
+                continue; // superseded entry
+            }
+            if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(idx), now)) {
+                let at = self.smx_wake_for(i, now.saturating_add(1));
+                self.set_smx_wake(i, at);
+                continue;
+            }
+            self.run_smx(i, now, &mut launch_credits)?;
+            let at = self.smx_wake_for(i, now.saturating_add(1));
+            self.set_smx_wake(i, at);
+        }
 
         self.cycle += 1;
-        if self.cfg.fast_forward {
-            self.fast_forward();
-        }
+        self.event_advance();
         Ok(())
+    }
+
+    /// Advances `cycle` to the next cycle on which any stage can act:
+    /// the earliest of TB dispatch (every cycle while TBs await
+    /// dispatch), KMU→KDU dispatch (every cycle the queue is open with
+    /// a free entry — the scheduler's `kmu_pick` may mutate counters
+    /// even when it declines), held-back launch-path work, launch-model
+    /// maturity, and the SMX wake heap. With no event pending on a
+    /// non-drained machine (every resident SMX killed forever), jumps
+    /// to the watchdog deadline *without* re-arming it, so the wedge is
+    /// diagnosed on the same cycle as single-stepping would.
+    ///
+    /// Disabled (the engine steps every cycle) when `cfg.fast_forward`
+    /// is off, which keeps the off-switch meaning "no cycle is ever
+    /// skipped" in both engine modes.
+    fn event_advance(&mut self) {
+        if !self.cfg.fast_forward {
+            return;
+        }
+        let c = self.cycle;
+        let mut target = Cycle::MAX;
+        if self.undispatched > 0 {
+            target = c;
+        } else {
+            if !self.kmu.is_empty() && self.kdu.has_free_entry() {
+                let open = match &self.fault {
+                    Some(p) => p.first_queue_open(c),
+                    None => Some(c),
+                };
+                if let Some(open) = open {
+                    target = target.min(open.max(c));
+                }
+            }
+            for &(ready, _) in &self.delayed_launches {
+                target = target.min(ready.max(c));
+            }
+            if let Some(&(ready, _)) = self.spill_queue.front() {
+                if self.launch_buffer_has_space() {
+                    target = target.min(ready.max(c));
+                }
+                // With the buffer full, the release is gated on a
+                // delivery maturing, which the in-flight arm below
+                // already wakes for.
+            }
+            if let Some(&(ready, _)) = self.launch_backlog.front() {
+                target = target.min(ready.max(c));
+            }
+            if self.launch_model.in_flight() > 0 {
+                let ready = self.launch_model.next_ready().unwrap_or(c);
+                target = target.min(ready.max(c));
+            }
+            while let Some(&Reverse((wake, idx))) = self.event_heap.peek() {
+                if self.smx_wake[idx as usize] == wake {
+                    target = target.min(wake);
+                    break;
+                }
+                self.event_heap.pop(); // superseded entry
+            }
+        }
+
+        let wedge = target == Cycle::MAX;
+        if wedge {
+            if self.is_done() {
+                return;
+            }
+            target = self.watchdog_deadline;
+        }
+        let target = target.min(self.cfg.max_cycles.saturating_add(1));
+        if target > c {
+            self.fast_forwarded_cycles += target - c;
+            self.emit(c, TraceEvent::FastForward { from: c, to: target });
+            self.cycle = target;
+            if !wedge {
+                // A jump lands exactly on the machine's next event,
+                // which is progress by construction; push the watchdog
+                // deadline past it so a long (legitimate) idle stretch
+                // cannot trip it. A wedge jump deliberately leaves the
+                // deadline alone so the stage-0 compare fires there.
+                if let Some(window) = self.cfg.watchdog_window {
+                    self.watchdog_deadline =
+                        self.watchdog_deadline.max(target.saturating_add(window));
+                }
+            }
+        }
+    }
+
+    /// Runs the machine on the discrete-event engine until
+    /// [`is_done`](Self::is_done) or the cycle limit.
+    fn run_event(&mut self) -> Result<SimStats, SimError> {
+        self.event_live = true;
+        self.event_heap.clear();
+        self.smx_wake.clear();
+        self.smx_wake.resize(self.smxs.len(), Cycle::MAX);
+        for i in 0..self.smxs.len() {
+            // Seed from each component's published wake-up.
+            if Component::next_tick(&self.smxs[i]).is_some() {
+                let at = self.smx_wake_for(i, self.cycle);
+                self.set_smx_wake(i, at);
+            }
+        }
+        while !self.is_done() {
+            self.step_event()?;
+            if self.cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+            }
+        }
+        Ok(self.stats())
     }
 
     /// Jumps `cycle` over a provably idle stretch.
@@ -546,33 +770,47 @@ impl Simulator {
     /// (asserted by `tests/determinism.rs`). We only jump when no KMU
     /// kernel is pending and no TB is undispatched, since those stages
     /// (and their scheduler cost counters) can act on any cycle.
+    ///
+    /// Fault windows clamp rather than disable the jump: a killed SMX
+    /// contributes its release edge ([`FaultPlan::first_alive`]) and a
+    /// fault-delayed launch its maturity cycle, so the skip lands
+    /// exactly where the machine next changes state.
     fn fast_forward(&mut self) {
         if !self.kmu.is_empty() || self.undispatched > 0 {
             return;
         }
-        // Held-back launch-path work can act on any upcoming cycle
-        // (retries, spill releases); never jump over it. All three queues
+        // KMU-backlog retries and spill releases can act on any upcoming
+        // cycle the buffer has space; never jump over them. Both queues
         // stay empty under unbounded limits.
-        if !self.launch_backlog.is_empty()
-            || !self.spill_queue.is_empty()
-            || !self.delayed_launches.is_empty()
-        {
+        if !self.launch_backlog.is_empty() || !self.spill_queue.is_empty() {
             return;
         }
         let mut target = match self.launch_model.next_ready() {
             Some(ready) => ready,
             None => Cycle::MAX,
         };
+        for &(ready, _) in &self.delayed_launches {
+            target = target.min(ready.max(self.cycle));
+        }
         let mut any_resident = false;
-        for s in &self.smxs {
-            if s.resident_tbs() > 0 {
+        for i in 0..self.smxs.len() {
+            if self.smxs[i].resident_tbs() > 0 {
                 any_resident = true;
-                target = target.min(s.next_event());
+                target = target.min(self.smx_wake_for(i, self.cycle));
             }
         }
-        if target == Cycle::MAX && !any_resident {
-            // Machine is done; leave `cycle` where the last event put it.
-            return;
+        let wedge = target == Cycle::MAX;
+        if wedge {
+            if !any_resident {
+                // Machine is done; leave `cycle` where the last event
+                // put it.
+                return;
+            }
+            // Every resident SMX is killed with no release edge and no
+            // launch can mature: jump to the watchdog deadline without
+            // re-arming it, so the stage-0 compare fires on the same
+            // cycle single-stepping would reach.
+            target = self.watchdog_deadline;
         }
         // Clamp so `run_to_completion` reports CycleLimitExceeded at the
         // same cycle count as single-stepping would.
@@ -587,11 +825,13 @@ impl Simulator {
             self.cycle = target;
             // A jump lands exactly on the machine's next event, which is
             // progress by construction; push the watchdog deadline past
-            // it so a long (legitimate) idle stretch cannot trip it.
-            // Stuck machines never reach this point: the gates above and
-            // the `target == Cycle::MAX` return keep them stepping.
-            if let Some(window) = self.cfg.watchdog_window {
-                self.watchdog_deadline = self.watchdog_deadline.max(target.saturating_add(window));
+            // it so a long (legitimate) idle stretch cannot trip it. A
+            // wedge jump deliberately leaves the deadline alone.
+            if !wedge {
+                if let Some(window) = self.cfg.watchdog_window {
+                    self.watchdog_deadline =
+                        self.watchdog_deadline.max(target.saturating_add(window));
+                }
             }
         }
     }
@@ -697,20 +937,29 @@ impl Simulator {
         self.admit_to_launch_model(req, now);
     }
 
-    /// Runs until [`is_done`](Self::is_done) or the cycle limit.
+    /// Runs until [`is_done`](Self::is_done) or the cycle limit, on the
+    /// engine selected by [`GpuConfig::engine_mode`]. Both engines
+    /// produce bit-identical statistics, trace streams (modulo
+    /// `FastForward` markers), and errors (asserted by
+    /// `tests/engine_equivalence.rs`).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimitExceeded`] past `cfg.max_cycles`, or
     /// any error from [`step`](Self::step).
     pub fn run_to_completion(&mut self) -> Result<SimStats, SimError> {
-        while !self.is_done() {
-            self.step()?;
-            if self.cycle > self.cfg.max_cycles {
-                return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+        match self.cfg.engine_mode {
+            EngineMode::Event => self.run_event(),
+            EngineMode::CycleStepped => {
+                while !self.is_done() {
+                    self.step()?;
+                    if self.cycle > self.cfg.max_cycles {
+                        return Err(SimError::CycleLimitExceeded { limit: self.cfg.max_cycles });
+                    }
+                }
+                Ok(self.stats())
             }
         }
-        Ok(self.stats())
     }
 
     /// A snapshot of the statistics so far.
@@ -950,6 +1199,12 @@ impl Simulator {
             );
         }
 
+        if self.event_live {
+            // The placed TB is runnable this very cycle; stage 4 of the
+            // event engine must see the SMX in its due set.
+            let at = self.smx_wake_for(d.smx.index(), now);
+            self.set_smx_wake(d.smx.index(), at);
+        }
         self.emit(now, TraceEvent::TbDispatched { tb, smx: d.smx });
         self.record_index.insert(tb, self.tb_records.len());
         self.tb_records.push(TbRecord {

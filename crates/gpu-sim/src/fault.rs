@@ -11,9 +11,13 @@
 //! with completed stats or a structured `SimError`, never a panic and
 //! never a silent spin to `max_cycles`.
 //!
-//! Attaching a plan disables idle-cycle fast-forward: fault windows are
-//! defined in absolute cycles, and skipping over one would change which
-//! cycles the fault bites.
+//! Fault windows are defined in absolute cycles, and they compose with
+//! idle-cycle skipping in both engine modes: window edges are treated as
+//! wake-up sources, so a skip is clamped to (or scheduled at) the next
+//! cycle where a window could change the machine's behavior. Skipping a
+//! stretch in which a window's gate would never have been evaluated is
+//! bit-identical to stepping through it — the gates only run on active
+//! pipeline stages.
 
 use crate::types::{Cycle, SmxId};
 
@@ -157,6 +161,57 @@ impl FaultPlan {
                 if s == smx && from <= now && now < until)
         })
     }
+
+    /// First cycle at or after `from` in which `smx` is *not* covered by
+    /// any `KillSmx` window, or `None` if the windows cover everything
+    /// from `from` onward (an `until == u64::MAX` window never releases
+    /// the SMX). Overlapping and abutting windows are handled by
+    /// iterating to a fixpoint: each pass jumps `from` past every window
+    /// that covers it.
+    pub(crate) fn first_alive(&self, smx: SmxId, from: Cycle) -> Option<Cycle> {
+        let mut at = from;
+        loop {
+            let mut moved = false;
+            for f in &self.faults {
+                if let Fault::KillSmx { smx: s, from: f0, until } = *f {
+                    if s == smx && f0 <= at && at < until {
+                        if until == Cycle::MAX {
+                            return None;
+                        }
+                        at = until;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                return Some(at);
+            }
+        }
+    }
+
+    /// First cycle at or after `from` in which no `QueueFull` window is
+    /// active, or `None` if a window holds the dispatch path closed
+    /// forever. Same fixpoint structure as [`FaultPlan::first_alive`].
+    pub(crate) fn first_queue_open(&self, from: Cycle) -> Option<Cycle> {
+        let mut at = from;
+        loop {
+            let mut moved = false;
+            for f in &self.faults {
+                if let Fault::QueueFull { from: f0, until } = *f {
+                    if f0 <= at && at < until {
+                        if until == Cycle::MAX {
+                            return None;
+                        }
+                        at = until;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                return Some(at);
+            }
+        }
+    }
 }
 
 /// What to do with one launch submission.
@@ -214,6 +269,34 @@ mod tests {
         assert!(plan.smx_killed_at(SmxId(1), 5));
         assert!(!plan.smx_killed_at(SmxId(1), 8));
         assert!(!plan.smx_killed_at(SmxId(0), 6));
+    }
+
+    #[test]
+    fn first_alive_steps_past_overlapping_windows() {
+        let plan = FaultPlan::new(vec![
+            Fault::KillSmx { smx: SmxId(0), from: 10, until: 20 },
+            Fault::KillSmx { smx: SmxId(0), from: 15, until: 30 },
+            Fault::KillSmx { smx: SmxId(1), from: 0, until: u64::MAX },
+        ]);
+        assert_eq!(plan.first_alive(SmxId(0), 5), Some(5));
+        assert_eq!(plan.first_alive(SmxId(0), 10), Some(30));
+        assert_eq!(plan.first_alive(SmxId(0), 25), Some(30));
+        assert_eq!(plan.first_alive(SmxId(0), 30), Some(30));
+        assert_eq!(plan.first_alive(SmxId(1), 0), None);
+        assert_eq!(plan.first_alive(SmxId(2), 7), Some(7));
+    }
+
+    #[test]
+    fn first_queue_open_steps_past_abutting_windows() {
+        let plan = FaultPlan::new(vec![
+            Fault::QueueFull { from: 100, until: 200 },
+            Fault::QueueFull { from: 200, until: 300 },
+        ]);
+        assert_eq!(plan.first_queue_open(50), Some(50));
+        assert_eq!(plan.first_queue_open(100), Some(300));
+        assert_eq!(plan.first_queue_open(250), Some(300));
+        let forever = FaultPlan::new(vec![Fault::QueueFull { from: 0, until: u64::MAX }]);
+        assert_eq!(forever.first_queue_open(0), None);
     }
 
     #[test]

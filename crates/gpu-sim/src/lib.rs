@@ -41,6 +41,7 @@
 
 pub mod cache;
 pub mod coalesce;
+pub mod component;
 pub mod config;
 pub mod dram;
 pub mod engine;

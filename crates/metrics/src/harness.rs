@@ -276,6 +276,8 @@ pub fn run_with_latency(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use workloads::apps::bfs::Bfs;
     use workloads::graph::GraphKind;

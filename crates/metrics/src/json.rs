@@ -478,6 +478,8 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn record() -> RunRecord {

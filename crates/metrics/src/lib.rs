@@ -19,6 +19,10 @@
 //! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export of a
 //!   traced run, plus the validator the CI smoke step uses.
 
+// Library code must not panic on fallible lookups; tests opt back
+// in locally.
+#![deny(clippy::unwrap_used)]
+
 pub mod export;
 pub mod footprint;
 pub mod harness;

@@ -388,6 +388,8 @@ pub fn validate_trace(json: &str) -> Result<TraceCheck, String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use gpu_sim::program::KernelKindId;
     use gpu_sim::stats::TbRecord;

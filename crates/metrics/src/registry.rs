@@ -303,6 +303,8 @@ pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsReg
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use gpu_sim::types::BatchId;
 

@@ -104,6 +104,8 @@ pub fn downsample(points: &[TimelinePoint], max_points: usize) -> Vec<TimelinePo
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use workloads::{suite, Scale};
 

@@ -6,10 +6,12 @@
 use std::sync::Arc;
 
 use dynpar::{LaunchLatency, LaunchModelKind};
-use gpu_sim::config::{GpuConfig, LaunchLimits, OverflowPolicy};
+use gpu_sim::config::{EngineMode, GpuConfig, LaunchLimits, OverflowPolicy};
 use gpu_sim::engine::Simulator;
+use gpu_sim::fault::{Fault, FaultPlan};
 use gpu_sim::stats::SimStats;
 use gpu_sim::trace::{TraceEvent, TraceRecord, VecSink};
+use gpu_sim::types::SmxId;
 use sim_metrics::harness::SchedulerKind;
 use workloads::{suite, Scale, SharedSource, Workload};
 
@@ -161,6 +163,45 @@ fn finite_limit_runs_are_bit_identical() {
         let (a, _) = run_limited(w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, policy, true);
         let (b, _) = run_limited(w, LaunchModelKind::Dtbl, SchedulerKind::SmxBind, policy, true);
         assert_eq!(a, b, "{} diverged between runs", policy.name());
+    }
+}
+
+/// Attaching a fault plan must not silently disable fast-forward: a
+/// faulted run whose launch latencies leave long idle stretches still
+/// skips them (the fault windows become wake-up edges, not an
+/// off-switch), and the skip changes no statistic — in either engine
+/// mode. Guards the regression where `with_fault_plan` cleared
+/// `cfg.fast_forward`.
+#[test]
+fn faulted_runs_keep_fast_forward_active() {
+    let all = suite(Scale::Tiny);
+    let w = all.first().expect("non-empty suite");
+    for engine in [EngineMode::Event, EngineMode::CycleStepped] {
+        let run = |fast_forward: bool| {
+            let mut cfg = GpuConfig::small_test();
+            cfg.num_smxs = 4;
+            cfg.engine_mode = engine;
+            cfg.fast_forward = fast_forward;
+            let model = LaunchModelKind::Cdp;
+            let plan = FaultPlan::new(vec![
+                Fault::QueueFull { from: 100, until: 3_000 },
+                Fault::KillSmx { smx: SmxId(1), from: 200, until: 9_000 },
+            ]);
+            let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(w.clone())))
+                .with_scheduler(SchedulerKind::AdaptiveBind.build(&cfg))
+                .with_launch_model(model.build(LaunchLatency::default_for(model)))
+                .with_fault_plan(plan);
+            for hk in w.host_kernels() {
+                sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req).expect("launch");
+            }
+            let stats = sim.run_to_completion().expect("faulted run completes");
+            (stats, sim.fast_forwarded_cycles())
+        };
+        let (on, skipped) = run(true);
+        let (off, none_skipped) = run(false);
+        assert_eq!(on, off, "{engine}: fast-forward changed the statistics of a faulted run");
+        assert!(skipped > 0, "{engine}: fault plan silently disabled fast-forward");
+        assert_eq!(none_skipped, 0, "{engine}: fast-forward ran while disabled");
     }
 }
 

@@ -10,10 +10,11 @@
 use std::sync::Arc;
 
 use dynpar::{LaunchLatency, LaunchModelKind};
-use gpu_sim::config::{GpuConfig, LaunchLimits, OverflowPolicy};
+use gpu_sim::config::{EngineMode, GpuConfig, LaunchLimits, OverflowPolicy};
 use gpu_sim::engine::Simulator;
 use gpu_sim::error::SimError;
 use gpu_sim::fault::{Fault, FaultPlan};
+use gpu_sim::program::{KernelKindId, ProgramSource, TbOp, TbProgram};
 use gpu_sim::stats::SimStats;
 use gpu_sim::types::SmxId;
 use sim_metrics::harness::SchedulerKind;
@@ -21,9 +22,10 @@ use workloads::{suite, Scale, SharedSource, Workload};
 
 fn base_cfg() -> GpuConfig {
     let mut cfg = GpuConfig::small_test();
-    // Fault plans disable fast-forward, so keep the watchdog window
-    // small enough that a genuinely wedged run fails fast rather than
-    // grinding toward max_cycles.
+    // Fault windows compose with fast-forward (their edges are wake-up
+    // sources), so faulted runs stay quick; keep the watchdog window
+    // small anyway so a genuinely wedged run fails fast — the wedge
+    // jump lands on the deadline instead of grinding toward max_cycles.
     cfg.watchdog_window = Some(100_000);
     cfg
 }
@@ -157,6 +159,77 @@ fn permanently_killed_smxs_trip_the_watchdog() {
         }
         other => panic!("expected NoForwardProgress, got {other:?}"),
     }
+}
+
+/// A legitimate idle stretch far longer than the watchdog window must
+/// not trip it: a fast-forward jump lands on real machine progress by
+/// construction, so it pushes the deadline past itself. CDP launch
+/// latencies (2500+ cycles) dwarf the 1000-cycle window here; the run
+/// must still complete, in both engine modes.
+#[test]
+fn legit_idle_longer_than_watchdog_window_completes() {
+    let all = suite(Scale::Tiny);
+    let w = all.first().expect("non-empty suite");
+    for engine in [EngineMode::Event, EngineMode::CycleStepped] {
+        let mut cfg = base_cfg();
+        cfg.engine_mode = engine;
+        cfg.watchdog_window = Some(1_000);
+        let mut sim = build_sim(w, LaunchModelKind::Cdp, SchedulerKind::RoundRobin, &cfg);
+        let stats = sim
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{engine}: legit idle tripped the engine: {e}"));
+        assert!(stats.cycles > 2_500, "{engine}: run never crossed a launch-latency window");
+        assert!(
+            sim.fast_forwarded_cycles() > 0,
+            "{engine}: the idle stretches were stepped, not skipped"
+        );
+    }
+}
+
+/// A genuine wedge arising mid-run — every SMX killed forever after the
+/// machine has fully dispatched its work — must trip the watchdog even
+/// though the engine is fully quiescent (no wake-up left anywhere, no
+/// TB awaiting dispatch): the wedge jump deliberately lands on the
+/// watchdog deadline, where the progress compare fires. Both engines
+/// must diagnose the identical wedge at the identical cycle, and
+/// neither may grind there cycle-by-cycle.
+#[test]
+fn wedge_during_quiescence_still_trips_watchdog() {
+    /// Four long-running compute TBs: all dispatched within a few
+    /// cycles, all still resident when the kill window opens.
+    struct FourLongTbs;
+    impl ProgramSource for FourLongTbs {
+        fn tb_program(&self, _kind: KernelKindId, _param: u64, _tb: u32) -> TbProgram {
+            TbProgram::new(vec![TbOp::Compute(500)])
+        }
+    }
+    let mut outcomes = Vec::new();
+    for engine in [EngineMode::Event, EngineMode::CycleStepped] {
+        let mut cfg = base_cfg();
+        cfg.engine_mode = engine;
+        cfg.watchdog_window = Some(20_000);
+        let faults = (0..cfg.num_smxs)
+            .map(|i| Fault::KillSmx { smx: SmxId(i), from: 20, until: u64::MAX })
+            .collect();
+        let mut sim = Simulator::new(cfg.clone(), Box::new(FourLongTbs))
+            .with_fault_plan(FaultPlan::new(faults));
+        sim.launch_host_kernel(KernelKindId(0), 0, 4, gpu_sim::kernel::ResourceReq::new(32, 8, 0))
+            .expect("host launch");
+        match sim.run_to_completion() {
+            Err(SimError::NoForwardProgress { window, cycle, suspects }) => {
+                assert_eq!(window, 20_000);
+                assert!(cycle >= window, "{engine}: watchdog fired before a full window");
+                assert!(!suspects.is_empty(), "{engine}: watchdog named no suspects");
+                outcomes.push((cycle, suspects.len()));
+            }
+            other => panic!("{engine}: expected NoForwardProgress, got {other:?}"),
+        }
+        assert!(
+            sim.fast_forwarded_cycles() > 0,
+            "{engine}: the wedge was ground out cycle-by-cycle instead of jumped"
+        );
+    }
+    assert_eq!(outcomes[0], outcomes[1], "engines diagnosed the wedge differently");
 }
 
 /// A transient full-dispatch-queue window only delays the run: the
