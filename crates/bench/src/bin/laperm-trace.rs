@@ -15,7 +15,13 @@
 //!   --check                validate the document and exit non-zero on violation
 //!   --metrics              also print the run's metrics registry
 //!   --locality             profile cache-hit provenance; print the per-class reuse summary
+//!   --engine-profile       profile the engine; print the two-clock self-profile summary
 //! ```
+//!
+//! Argument parsing is strict: any token that is not a recognized flag
+//! (or a recognized flag's value) is a hard error listing the valid
+//! flags and names. A typo'd or `--flag=value`-style argument therefore
+//! fails loudly instead of silently running with defaults.
 
 use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
@@ -38,10 +44,55 @@ struct Options {
     check: bool,
     metrics: bool,
     locality: bool,
+    engine_profile: bool,
+}
+
+/// Flags that consume the following token as their value.
+const VALUE_FLAGS: [&str; 8] = [
+    "--workload",
+    "--scheduler",
+    "--model",
+    "--scale",
+    "--seed",
+    "--smxs",
+    "--out",
+    "--sample-every",
+];
+
+/// Boolean flags.
+const BOOL_FLAGS: [&str; 4] = ["--check", "--metrics", "--locality", "--engine-profile"];
+
+/// Valid `--scheduler` names (must match [`build_scheduler`]).
+const SCHEDULER_NAMES: &str = "rr, tb-pri, smx-bind, adaptive-bind, random";
+
+fn reject_arg(arg: &str) -> ! {
+    eprintln!("unknown argument {arg}");
+    eprintln!("value flags: {} (each takes the next token)", VALUE_FLAGS.join(" "));
+    eprintln!("boolean flags: {}", BOOL_FLAGS.join(" "));
+    eprintln!("schedulers: {SCHEDULER_NAMES}; launch models: cdp, dtbl");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Strict pass: every token must be a known flag or the value of the
+    // known value-flag just before it. This turns `--scheduler=foo` and
+    // misspelled flags into hard errors instead of silent defaults.
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if BOOL_FLAGS.contains(&a) {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a) {
+            if args.get(i + 1).is_none() {
+                eprintln!("{a} expects a value");
+                std::process::exit(2);
+            }
+            i += 2;
+        } else {
+            reject_arg(a);
+        }
+    }
     let value = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
     };
@@ -60,7 +111,7 @@ fn parse_args() -> Options {
             Some("cdp") => LaunchModelKind::Cdp,
             Some("dtbl") | None => LaunchModelKind::Dtbl,
             Some(other) => {
-                eprintln!("unknown launch model {other}");
+                eprintln!("unknown launch model {other} (cdp, dtbl)");
                 std::process::exit(2);
             }
         },
@@ -69,7 +120,7 @@ fn parse_args() -> Options {
             Some("small") | None => Scale::Small,
             Some("paper") => Scale::Paper,
             Some(other) => {
-                eprintln!("unknown scale {other}");
+                eprintln!("unknown scale {other} (tiny, small, paper)");
                 std::process::exit(2);
             }
         },
@@ -80,6 +131,7 @@ fn parse_args() -> Options {
         check: args.iter().any(|a| a == "--check"),
         metrics: args.iter().any(|a| a == "--metrics"),
         locality: args.iter().any(|a| a == "--locality"),
+        engine_profile: args.iter().any(|a| a == "--engine-profile"),
     }
 }
 
@@ -92,7 +144,7 @@ fn build_scheduler(name: &str, cfg: &GpuConfig) -> Box<dyn TbScheduler> {
         "smx-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::SmxBind, laperm_cfg)),
         "adaptive-bind" => Box::new(LaPermScheduler::new(LaPermPolicy::AdaptiveBind, laperm_cfg)),
         other => {
-            eprintln!("unknown scheduler {other} (rr, tb-pri, smx-bind, adaptive-bind, random)");
+            eprintln!("unknown scheduler {other} ({SCHEDULER_NAMES})");
             std::process::exit(2);
         }
     }
@@ -114,6 +166,7 @@ fn main() {
 
     let mut cfg = GpuConfig::kepler_k20c();
     cfg.profile_locality = opts.locality;
+    cfg.profile_engine = opts.engine_profile;
     if let Some(n) = opts.smxs {
         cfg.num_smxs = n;
     }
@@ -209,6 +262,66 @@ fn main() {
     if opts.locality {
         print!("\n{}", locality_summary(&stats));
     }
+
+    if opts.engine_profile {
+        print!("\n{}", engine_summary(&stats));
+    }
+}
+
+/// Renders the two-clock engine self-profile: the simulated clock's
+/// wake-source decomposition and loop-shape histograms, then the host
+/// clock's sampled per-component wall time.
+fn engine_summary(stats: &gpu_sim::stats::SimStats) -> String {
+    use gpu_sim::stats::{WakeSource, ENGINE_HOST_COMPONENTS};
+    use sim_metrics::report::Table;
+    let Some(eng) = &stats.engine else {
+        return "no engine profile recorded\n".to_string();
+    };
+    let mut t = Table::new(vec!["wake source", "iterations", "share"]);
+    let total = eng.wake_total().max(1);
+    for src in WakeSource::ALL {
+        let c = eng.wake_count(src);
+        t.row(vec![
+            src.name().to_string(),
+            c.to_string(),
+            format!("{:.1}%", 100.0 * c as f64 / total as f64),
+        ]);
+    }
+    let mut out = format!(
+        "engine self-profile\n{}\
+         loop iterations: {} over {} cycles ({:.3} iters/cycle)\n\
+         fast-forward jumps: {} (mean {:.1} cycles, max {})\n\
+         event-heap depth: mean {:.1}, max {}\n",
+        t.render(),
+        eng.loop_iterations,
+        stats.cycles,
+        eng.loop_iterations as f64 / (stats.cycles.max(1)) as f64,
+        eng.jump_len.count,
+        eng.jump_len.mean(),
+        eng.jump_len.max,
+        eng.heap_depth.mean(),
+        eng.heap_depth.max,
+    );
+    let mut h = Table::new(vec!["component", "host time", "share"]);
+    let host_total = eng.host_total_ns().max(1);
+    for (i, comp) in ENGINE_HOST_COMPONENTS.iter().enumerate() {
+        let ns = eng.host_ns[i];
+        h.row(vec![
+            comp.to_string(),
+            format!("{:.3} ms", ns as f64 / 1e6),
+            format!("{:.1}%", 100.0 * ns as f64 / host_total as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nhost time by component ({} of {} iterations sampled, stride {})\n{}\
+         dominant component: {}\n",
+        eng.host_samples,
+        eng.loop_iterations,
+        eng.host_sampling,
+        h.render(),
+        eng.dominant_component().unwrap_or("-"),
+    ));
+    out
 }
 
 /// Renders the per-class reuse summary for a profiled run: hit counts

@@ -24,8 +24,12 @@
 //!   overhead  queue hardware overheads (Section IV-E)
 //!   ablate    design-choice ablations
 //!   all       everything above; also writes the repro.json artifact
+//!   profile   rerun the matrix with engine introspection on; prints the
+//!             wake-source decomposition and writes a profiled document
+//!             (default repro_profile.json, never clobbering repro.json)
 //!   check     evaluate the shape assertions against repro.json and
-//!             exit nonzero on any violation (the CI reproduction gate)
+//!             exit nonzero on any violation (the CI reproduction gate);
+//!             point it at repro_profile.json to bind the engine shapes
 //! ```
 //!
 //! `--jobs N` fans independent simulations over N worker threads
@@ -41,8 +45,9 @@
 use gpu_sim::config::EngineMode;
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
-    generality, latency_sweep, locality, overhead, render_shape_report, run_matrix_with_jobs,
-    saturation, sweep_cache, table1, table2, timeline, variance, MatrixRecords, SweepDoc,
+    generality, latency_sweep, locality, overhead, profile, render_shape_report,
+    run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline, variance,
+    MatrixRecords, SweepDoc,
 };
 use workloads::Scale;
 
@@ -50,7 +55,7 @@ struct Args {
     experiment: String,
     scale: Scale,
     jobs: usize,
-    json_path: String,
+    json_path: Option<String>,
     engine: EngineMode,
 }
 
@@ -77,7 +82,7 @@ fn parse_args() -> Args {
         }),
         None => default_jobs(),
     };
-    let json_path = value_of("--json").unwrap_or("repro.json").to_string();
+    let json_path = value_of("--json").map(String::from);
     let engine = match value_of("--engine") {
         Some("cycle-stepped") => EngineMode::CycleStepped,
         Some("event") | None => EngineMode::Event,
@@ -92,10 +97,10 @@ fn parse_args() -> Args {
 /// `repro all`: the full sweep. Writes `repro.json`, prints the text
 /// report, and exits nonzero if any matrix cell failed.
 fn run_all(args: &Args) {
+    let path = args.json_path.as_deref().unwrap_or("repro.json");
     let doc = SweepDoc::build_with_engine(args.scale, 0, args.jobs, args.engine);
-    std::fs::write(&args.json_path, doc.to_json())
-        .unwrap_or_else(|e| panic!("write {}: {e}", args.json_path));
-    eprintln!("wrote {}", args.json_path);
+    std::fs::write(path, doc.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
     let failed = !doc.failures.is_empty();
     for f in &doc.failures {
         eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
@@ -107,15 +112,38 @@ fn run_all(args: &Args) {
     }
 }
 
+/// `repro profile`: reruns the evaluation matrix with engine
+/// introspection on and prints the wake-source decomposition. The
+/// profiled document defaults to `repro_profile.json` so it never
+/// clobbers the `repro all` artifact (whose byte-identity the
+/// `engine-equivalence` CI job depends on); run `repro check --json
+/// repro_profile.json` afterwards to bind the engine shape assertions.
+fn run_profile(args: &Args) {
+    let path = args.json_path.as_deref().unwrap_or("repro_profile.json");
+    let doc = SweepDoc::build_profiled(args.scale, 0, args.jobs, args.engine);
+    std::fs::write(path, doc.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+    let failed = !doc.failures.is_empty();
+    for f in &doc.failures {
+        eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
+    }
+    let m = MatrixRecords::from_records(doc.records);
+    print!("{}", profile(&m));
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// `repro check`: the reproduction gate. Reads `repro.json` and exits
 /// nonzero on any shape-assertion violation.
 fn run_check(args: &Args) {
-    let text = std::fs::read_to_string(&args.json_path).unwrap_or_else(|e| {
-        eprintln!("cannot read {} (run `repro all` first): {e}", args.json_path);
+    let path = args.json_path.as_deref().unwrap_or("repro.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path} (run `repro all` first): {e}");
         std::process::exit(2);
     });
     let doc = SweepDoc::from_json(&text).unwrap_or_else(|e| {
-        eprintln!("{} is not a valid sweep document: {e}", args.json_path);
+        eprintln!("{path} is not a valid sweep document: {e}");
         std::process::exit(2);
     });
     let outcomes = evaluate_shapes(&doc);
@@ -156,12 +184,14 @@ fn main() {
         "overhead" => println!("{}", overhead(args.scale, args.jobs)),
         "ablate" => println!("{}", ablate(args.scale, args.jobs)),
         "all" => run_all(&args),
+        "profile" => run_profile(&args),
         "check" => run_check(&args),
         other => {
             eprintln!("unknown experiment {other}");
             eprintln!(
                 "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 locality latency \
-                 timeline variance csv cache saturation generality overhead ablate all check"
+                 timeline variance csv cache saturation generality overhead ablate all \
+                 profile check"
             );
             std::process::exit(2);
         }

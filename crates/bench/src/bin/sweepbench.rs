@@ -70,9 +70,44 @@ fn main() {
         rows.push((jobs, runs, wall));
     }
 
+    // Final human summary: one row per job count with the speedup and
+    // an explicit core-bound marker, so a scan of the tail of the log
+    // answers "did it scale, and was the host even big enough to tell".
+    eprintln!("\nsweep scaling summary (host_cpus {host_cpus})");
+    for (jobs, runs, wall) in &rows {
+        let speedup = match serial_secs {
+            Some(s) if *wall > 0.0 => format!("{:.2}x", s / wall),
+            _ => "-".to_string(),
+        };
+        let core_bound = if *jobs > host_cpus { "yes" } else { "no" };
+        eprintln!(
+            "  jobs {jobs:>2}  runs {runs:>3}  wall {wall:>8.2}s  speedup {speedup:>6}  \
+             core_bound {core_bound}"
+        );
+    }
+
+    // Machine-readable notes mirror the core-bound markers at the top
+    // level, so readers of BENCH_sweep.json see the caveat without
+    // scanning per-row flags.
+    let notes: Vec<String> = rows
+        .iter()
+        .filter(|(jobs, _, _)| *jobs > host_cpus)
+        .map(|(jobs, _, _)| {
+            format!(
+                "jobs {jobs} exceeds host_cpus {host_cpus}: \
+                 speedup measures oversubscription, not sweep scalability"
+            )
+        })
+        .collect();
+
     let mut out = String::from("{\n  \"benchmark\": \"sweep\",\n");
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"notes\": [");
+    for (i, n) in notes.iter().enumerate() {
+        out.push_str(&format!("{}\"{n}\"", if i == 0 { "" } else { ", " }));
+    }
+    out.push_str("],\n");
     out.push_str("  \"results\": [\n");
     for (i, (jobs, runs, wall)) in rows.iter().enumerate() {
         let speedup = match serial_secs {

@@ -789,6 +789,90 @@ pub fn saturation(scale: Scale, jobs: usize) -> String {
     out
 }
 
+/// Engine introspection: wake-source decomposition of the simulation
+/// loop, pooled per launch model and scheduler. Only simulated-side
+/// counters appear here — host wall time is nondeterministic, so it
+/// lives in `laperm-trace --engine-profile`, never in a golden-diffed
+/// report. Not part of the `all` report (the matrix does not profile
+/// the engine and the golden predates it); run `repro profile`.
+pub fn profile(m: &MatrixRecords) -> String {
+    use gpu_sim::stats::{Pow2Hist, WakeSource};
+
+    let mut out = String::from(
+        "Engine introspection: wake-source decomposition of the event loop\n\
+         (loop iterations partitioned by what woke the engine; jumps are cycles\n\
+         the event engine skipped without work; host time: laperm-trace --engine-profile)\n",
+    );
+    let profiled = m.records.iter().filter(|r| r.engine.is_some()).count();
+    if profiled == 0 {
+        out.push_str("\nno engine introspection in these records (run `repro profile`)\n");
+        return out;
+    }
+    for model in LaunchModelKind::all() {
+        let mut header = vec!["scheduler".to_string(), "iters".to_string(), "cycles".to_string()];
+        header.push("iters/cycle".to_string());
+        for src in WakeSource::ALL {
+            header.push(src.name().to_string());
+        }
+        header.push("mean jump".to_string());
+        header.push("max jump".to_string());
+        let mut t = Table::new(header);
+        for sched in SchedulerKind::all() {
+            let mut iters = 0u64;
+            let mut cycles = 0u64;
+            let mut wake = [0u64; gpu_sim::stats::NUM_WAKE_SOURCES];
+            let mut jump = Pow2Hist::default();
+            for r in &m.records {
+                if r.launch_model != model.name() || r.scheduler != sched.name() {
+                    continue;
+                }
+                if let Some(eng) = &r.engine {
+                    iters += eng.loop_iterations;
+                    cycles += r.cycles;
+                    for (w, c) in wake.iter_mut().zip(eng.wake_counts) {
+                        *w += c;
+                    }
+                    jump.merge(&eng.jump_len);
+                }
+            }
+            let mut row = vec![sched.name().to_string(), iters.to_string(), cycles.to_string()];
+            row.push(if cycles == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.3}", iters as f64 / cycles as f64)
+            });
+            for src in WakeSource::ALL {
+                let c = wake[src.index()];
+                row.push(if iters == 0 { "-".to_string() } else { pct(c as f64 / iters as f64) });
+            }
+            row.push(if jump.count == 0 { "-".to_string() } else { format!("{:.1}", jump.mean()) });
+            row.push(jump.max.to_string());
+            t.row(row);
+        }
+        out.push_str(&format!("\nlaunch model: {model}\n{}", t.render()));
+    }
+
+    // Pooled loop-shape histograms across the whole matrix: how deep the
+    // event heap runs and how many due events fire per serviced cycle.
+    let mut heap = Pow2Hist::default();
+    let mut events = Pow2Hist::default();
+    for eng in m.records.iter().filter_map(|r| r.engine.as_ref()) {
+        heap.merge(&eng.heap_depth);
+        events.merge(&eng.events_per_cycle);
+    }
+    let mut t = Table::new(vec!["distribution", "samples", "mean", "max"]);
+    for (name, h) in [("event-heap depth", &heap), ("due events/cycle", &events)] {
+        t.row(vec![
+            name.to_string(),
+            h.count.to_string(),
+            format!("{:.2}", h.mean()),
+            h.max.to_string(),
+        ]);
+    }
+    out.push_str(&format!("\npooled across {profiled} profiled runs\n{}", t.render()));
+    out
+}
+
 /// The complete `repro all` text report: every section in order, each
 /// followed by a blank line. The `repro` binary prints exactly this
 /// string, and `tests/repro_snapshot.rs` diffs it byte-for-byte against
@@ -849,6 +933,8 @@ mod tests {
             table_overflows: 0,
             stalls: Default::default(),
             locality: None,
+            engine: None,
+            host: Default::default(),
         }
     }
 

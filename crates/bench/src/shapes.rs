@@ -525,6 +525,93 @@ const SHAPES: &[(&str, &str, Check)] = &[
             )
         },
     ),
+    (
+        "engine-wake-partition",
+        "Engine introspection is total: in every engine-profiled run the per-source wake \
+         counts sum exactly to the loop-iteration count (vacuously true on unprofiled \
+         documents)",
+        |ctx| {
+            let mut checked = 0usize;
+            let mut bad = Vec::new();
+            for r in ctx.matrix.records() {
+                let Some(eng) = &r.engine else { continue };
+                checked += 1;
+                let total: u64 = eng.wake_counts.iter().sum();
+                if total != eng.loop_iterations || eng.loop_iterations == 0 {
+                    bad.push(format!(
+                        "{}/{}/{}: wake sum {total} vs {} iterations",
+                        r.workload, r.launch_model, r.scheduler, eng.loop_iterations
+                    ));
+                }
+            }
+            let ok = bad.is_empty();
+            (
+                ok,
+                if checked == 0 {
+                    "no engine introspection in this document (run `repro profile`)".to_string()
+                } else if ok {
+                    format!("{checked} profiled runs, all partitions exact")
+                } else {
+                    bad.join("; ")
+                },
+            )
+        },
+    ),
+    (
+        "engine-event-elides-idle",
+        "The event engine earns its keep: every engine-profiled run's loop iterations plus \
+         recorded jump lengths reconstruct its cycle count exactly, and across the matrix \
+         the engine elides a strictly positive share of all simulated cycles (vacuously \
+         true on unprofiled documents)",
+        |ctx| {
+            let mut checked = 0usize;
+            let mut bad = Vec::new();
+            let mut total_iters = 0u64;
+            let mut total_cycles = 0u64;
+            for r in ctx.matrix.records() {
+                let Some(eng) = &r.engine else { continue };
+                checked += 1;
+                total_iters += eng.loop_iterations;
+                total_cycles += r.cycles;
+                // Every iteration advances the clock by exactly one,
+                // plus its recorded jump; a completed run's cycle count
+                // is therefore reconstructible to the cycle.
+                let covered = eng.loop_iterations + eng.jump_len.sum;
+                if covered != r.cycles {
+                    bad.push(format!(
+                        "{}/{}/{}: {} iterations + {} jumped != {} cycles",
+                        r.workload,
+                        r.launch_model,
+                        r.scheduler,
+                        eng.loop_iterations,
+                        eng.jump_len.sum,
+                        r.cycles
+                    ));
+                }
+            }
+            let elided_ok = checked == 0 || total_iters < total_cycles;
+            let ok = bad.is_empty() && elided_ok;
+            (
+                ok,
+                if checked == 0 {
+                    "no engine introspection in this document (run `repro profile`)".to_string()
+                } else if ok {
+                    format!(
+                        "{checked} profiled runs; {total_iters} iterations over {total_cycles} \
+                         cycles ({:.1}% elided)",
+                        100.0 * (1.0 - total_iters as f64 / total_cycles.max(1) as f64)
+                    )
+                } else if bad.is_empty() {
+                    format!(
+                        "only {:.1}% of {total_cycles} cycles elided ({total_iters} iterations)",
+                        100.0 * (1.0 - total_iters as f64 / total_cycles.max(1) as f64)
+                    )
+                } else {
+                    bad.join("; ")
+                },
+            )
+        },
+    ),
 ];
 
 /// Evaluates every shape assertion against a sweep document.

@@ -218,8 +218,11 @@ pub struct SweepDoc {
 /// added the optional per-run `locality` object (cache-hit provenance;
 /// sweeps always profile, so matrix runs carry it). Version 3 added the
 /// per-run `table_overflows` counter (DTBL aggregation-table overflows)
-/// and the `launch_path` stall cause.
-pub const SWEEP_SCHEMA_VERSION: u64 = 3;
+/// and the `launch_path` stall cause. Version 4 added the optional
+/// per-run `engine` object (engine introspection; present only in
+/// documents built by [`SweepDoc::build_profiled`] — default sweeps
+/// keep it off so both engine modes render byte-identical documents).
+pub const SWEEP_SCHEMA_VERSION: u64 = 4;
 
 impl SweepDoc {
     /// Runs the matrix and the static footprint analysis at a scale and
@@ -244,9 +247,35 @@ impl SweepDoc {
         jobs: usize,
         engine_mode: EngineMode,
     ) -> SweepDoc {
+        Self::build_inner(scale, seed, jobs, engine_mode, false)
+    }
+
+    /// [`SweepDoc::build`] with engine introspection on: every run
+    /// carries the optional `engine` object (wake-source counts, heap
+    /// depth, jump lengths). Kept out of the default build because the
+    /// introspection legitimately differs between engine modes, which
+    /// would break the cross-engine byte-diff; `repro profile` is the
+    /// consumer.
+    pub fn build_profiled(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        engine_mode: EngineMode,
+    ) -> SweepDoc {
+        Self::build_inner(scale, seed, jobs, engine_mode, true)
+    }
+
+    fn build_inner(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        engine_mode: EngineMode,
+        profile_engine: bool,
+    ) -> SweepDoc {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.profile_locality = true;
         cfg.engine_mode = engine_mode;
+        cfg.profile_engine = profile_engine;
         let outcome = run_matrix_jobs(scale, seed, jobs, &cfg);
         let all = suite_seeded(scale, seed);
         let footprints = parallel_map(&all, jobs, |w| {

@@ -222,6 +222,24 @@ pub struct GpuConfig {
     /// with it on or off.
     pub profile_locality: bool,
 
+    /// Engine introspection profiling: tag every engine-loop iteration
+    /// with its [`WakeSource`](crate::stats::WakeSource), histogram
+    /// event-heap depth / due events per cycle / fast-forward jump
+    /// lengths, and sample host-time spans around each engine stage.
+    /// Off by default; when off the simulator allocates no profiling
+    /// state and the hot loop takes one `Option` branch per stage.
+    /// Profiling is purely observational — cycles and every other
+    /// statistic are identical with it on or off — but the resulting
+    /// [`EngineStats`](crate::stats::EngineStats) deliberately differs
+    /// between engine modes (it observes the engine, not the machine).
+    pub profile_engine: bool,
+
+    /// Host-time sampling stride for engine profiling: one in this many
+    /// loop iterations is timed with `Instant` spans, bounding the
+    /// profiling overhead. Must be nonzero; ignored unless
+    /// `profile_engine` is set.
+    pub engine_host_sampling: u64,
+
     /// Finite launch-path capacities and the overflow policy applied at
     /// each. Defaults to unbounded, which is bit-identical to the
     /// pre-limit engine.
@@ -276,6 +294,8 @@ impl GpuConfig {
             engine_mode: EngineMode::Event,
             fast_forward: true,
             profile_locality: false,
+            profile_engine: false,
+            engine_host_sampling: 64,
             launch_limits: LaunchLimits::unbounded(),
             watchdog_window: Some(2_000_000),
         }
@@ -313,6 +333,8 @@ impl GpuConfig {
             engine_mode: EngineMode::Event,
             fast_forward: true,
             profile_locality: false,
+            profile_engine: false,
+            engine_host_sampling: 64,
             launch_limits: LaunchLimits::unbounded(),
             watchdog_window: Some(500_000),
         }
@@ -399,6 +421,9 @@ impl GpuConfig {
         }
         if self.watchdog_window == Some(0) {
             return Err("watchdog_window must be nonzero when enabled".into());
+        }
+        if self.engine_host_sampling == 0 {
+            return Err("engine_host_sampling must be nonzero".into());
         }
         Ok(())
     }

@@ -3,6 +3,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
 
 use crate::cache::{AccessClass, Lineage, ReuseClass};
 use crate::component::Component;
@@ -16,7 +17,7 @@ use crate::launch::{Delivery, DynamicLaunchModel, ImmediateLaunchModel, LaunchRe
 use crate::mem::MemorySystem;
 use crate::program::{KernelKindId, ProgramSource};
 use crate::smx::{Smx, SmxResources, TbCompletion};
-use crate::stats::{LocalityStats, SimStats, TbRecord};
+use crate::stats::{EngineStats, LocalityStats, SimStats, TbRecord, WakeSource};
 use crate::tb_sched::{DispatchDecision, DispatchView, KmuView, RoundRobinScheduler, TbScheduler};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::types::{BatchId, Cycle, Priority, SmxId, TbRef};
@@ -33,6 +34,28 @@ const MAX_WATCHDOG_SUSPECTS: usize = 8;
 /// per window: TB dispatches, TB retirements, batch creations, retired
 /// warp instructions, launch submissions, and launch deliveries.
 type ProgressSignature = (u64, u64, u64, u64, u64, u64);
+
+/// Engine introspection state, boxed behind an `Option` so unprofiled
+/// runs allocate nothing and the loop pays one branch per stage (the
+/// locality profiler's zero-cost-when-off pattern).
+struct EngineProf {
+    /// The accumulating statistics surfaced as [`SimStats::engine`].
+    stats: EngineStats,
+    /// Why the *next* loop iteration will run — decided by the advance
+    /// step of the current iteration, charged at the start of the next.
+    next_wake: WakeSource,
+}
+
+impl EngineProf {
+    fn new(host_sampling: u64) -> Self {
+        EngineProf {
+            stats: EngineStats { host_sampling, ..EngineStats::default() },
+            // The first iteration runs because work was launched, which
+            // is a component (KMU) publishing.
+            next_wake: WakeSource::ComponentTick,
+        }
+    }
+}
 
 /// A complete GPU simulation.
 ///
@@ -88,6 +111,10 @@ pub struct Simulator {
     event_heap: BinaryHeap<Reverse<(Cycle, u16)>>,
     smx_wake: Vec<Cycle>,
     event_live: bool,
+    // Engine introspection (`cfg.profile_engine`): wake-source tagging,
+    // structural histograms, and sampled host-time spans. `None` (no
+    // allocation, no work) when profiling is off.
+    engine_prof: Option<Box<EngineProf>>,
     // Scratch buffers reused every cycle so the hot loop allocates
     // nothing in steady state.
     delivery_scratch: Vec<Delivery>,
@@ -163,6 +190,9 @@ impl Simulator {
             event_heap: BinaryHeap::new(),
             smx_wake: Vec::new(),
             event_live: false,
+            engine_prof: cfg
+                .profile_engine
+                .then(|| Box::new(EngineProf::new(cfg.engine_host_sampling))),
             delivery_scratch: Vec::new(),
             smx_free_scratch: Vec::new(),
             sched_trace_scratch: Vec::new(),
@@ -365,6 +395,45 @@ impl Simulator {
             && self.smxs.iter().all(|s| s.resident_tbs() == 0)
     }
 
+    /// Opens a profiled loop iteration: charges the pending wake-source
+    /// tag (set by the *previous* iteration's advance), counts the
+    /// iteration, records heap depth (event engine only), and decides
+    /// whether this iteration's host-time spans are sampled. Returns
+    /// `false` (never sample) when profiling is off, so the hot loop
+    /// pays one branch.
+    fn prof_begin(&mut self, heap_depth: Option<u64>) -> bool {
+        let Some(p) = &mut self.engine_prof else { return false };
+        p.stats.wake_counts[p.next_wake.index()] += 1;
+        p.stats.loop_iterations += 1;
+        if let Some(d) = heap_depth {
+            p.stats.heap_depth.record(d);
+        }
+        let sample = (p.stats.loop_iterations - 1) % p.stats.host_sampling == 0;
+        p.stats.host_samples += u64::from(sample);
+        sample
+    }
+
+    /// Closes a sampled host-time span around stage `stage`
+    /// (indexes [`crate::stats::ENGINE_HOST_COMPONENTS`]).
+    fn prof_add(&mut self, stage: usize, t0: Option<Instant>) {
+        if let (Some(t0), Some(p)) = (t0, &mut self.engine_prof) {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            p.stats.host_ns[stage] = p.stats.host_ns[stage].saturating_add(ns);
+        }
+    }
+
+    /// Tags what the *next* loop iteration will have been woken by, and
+    /// records the length of the cycle jump that reaches it (0 for a
+    /// consecutive cycle).
+    fn prof_set_wake(&mut self, source: WakeSource, jump: u64) {
+        if let Some(p) = &mut self.engine_prof {
+            if jump > 0 {
+                p.stats.jump_len.record(jump);
+            }
+            p.next_wake = source;
+        }
+    }
+
     /// Advances the simulation by one cycle.
     ///
     /// # Errors
@@ -375,13 +444,21 @@ impl Simulator {
     /// violated engine invariants ([`SimError::EngineInvariant`]).
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        let sample = self.prof_begin(None);
         self.watchdog_check(now)?;
+        let t = sample.then(Instant::now);
         self.stage_launch_maturation(now)?;
+        self.prof_add(0, t);
+        let t = sample.then(Instant::now);
         self.stage_kmu_dispatch(now)?;
+        self.prof_add(1, t);
+        let t = sample.then(Instant::now);
         self.stage_tb_dispatch(now)?;
+        self.prof_add(2, t);
 
         // 4. SMXs execute, in ascending index order (the launch-credit
         // pool and launch submission order depend on it).
+        let t = sample.then(Instant::now);
         let mut launch_credits = self.launch_credit_pool();
         for i in 0..self.smxs.len() {
             if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(i as u16), now)) {
@@ -392,10 +469,17 @@ impl Simulator {
             }
             self.run_smx(i, now, &mut launch_credits)?;
         }
+        self.prof_add(3, t);
 
         self.cycle += 1;
         if self.cfg.fast_forward {
+            let t = sample.then(Instant::now);
             self.fast_forward();
+            self.prof_add(4, t);
+        } else {
+            // Stepping every cycle: the next iteration is an ordinary
+            // per-component tick on the consecutive cycle.
+            self.prof_set_wake(WakeSource::ComponentTick, 0);
         }
         Ok(())
     }
@@ -624,12 +708,22 @@ impl Simulator {
     /// blindly.
     fn step_event(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        let heap_depth = self.event_heap.len() as u64;
+        let sample = self.prof_begin(Some(heap_depth));
         self.watchdog_check(now)?;
+        let t = sample.then(Instant::now);
         self.stage_launch_maturation(now)?;
+        self.prof_add(0, t);
+        let t = sample.then(Instant::now);
         self.stage_kmu_dispatch(now)?;
+        self.prof_add(1, t);
+        let t = sample.then(Instant::now);
         self.stage_tb_dispatch(now)?;
+        self.prof_add(2, t);
 
+        let t = sample.then(Instant::now);
         let mut launch_credits = self.launch_credit_pool();
+        let mut due: u64 = 0;
         while let Some(&Reverse((wake, idx))) = self.event_heap.peek() {
             if wake > now {
                 break;
@@ -639,6 +733,7 @@ impl Simulator {
             if self.smx_wake[i] != wake {
                 continue; // superseded entry
             }
+            due += 1;
             if self.fault.as_ref().is_some_and(|p| p.smx_killed_at(SmxId(idx), now)) {
                 let at = self.smx_wake_for(i, now.saturating_add(1));
                 self.set_smx_wake(i, at);
@@ -648,9 +743,15 @@ impl Simulator {
             let at = self.smx_wake_for(i, now.saturating_add(1));
             self.set_smx_wake(i, at);
         }
+        self.prof_add(3, t);
+        if let Some(p) = &mut self.engine_prof {
+            p.stats.events_per_cycle.record(due);
+        }
 
         self.cycle += 1;
+        let t = sample.then(Instant::now);
         self.event_advance();
+        self.prof_add(4, t);
         Ok(())
     }
 
@@ -669,10 +770,17 @@ impl Simulator {
     /// skipped" in both engine modes.
     fn event_advance(&mut self) {
         if !self.cfg.fast_forward {
+            // Stepping every cycle: every iteration is an ordinary
+            // consecutive-cycle tick.
+            self.prof_set_wake(WakeSource::ComponentTick, 0);
             return;
         }
         let c = self.cycle;
         let mut target = Cycle::MAX;
+        // Which candidate arm produced the winning (earliest) target.
+        // Ties keep the first winner, matching the original
+        // `target.min(at)` fold exactly (`at < target` strictly).
+        let mut source = WakeSource::ComponentTick;
         if self.undispatched > 0 {
             target = c;
         } else {
@@ -682,30 +790,60 @@ impl Simulator {
                     None => Some(c),
                 };
                 if let Some(open) = open {
-                    target = target.min(open.max(c));
+                    let at = open.max(c);
+                    if at < target {
+                        target = at;
+                        // Waiting on a QueueFull window to lift is a
+                        // fault edge; an already-open queue is a plain
+                        // dispatch tick.
+                        source = if open > c {
+                            WakeSource::FaultEdge
+                        } else {
+                            WakeSource::ComponentTick
+                        };
+                    }
                 }
             }
             for &(ready, _) in &self.delayed_launches {
-                target = target.min(ready.max(c));
+                let at = ready.max(c);
+                if at < target {
+                    target = at;
+                    source = WakeSource::FaultEdge;
+                }
             }
             if let Some(&(ready, _)) = self.spill_queue.front() {
                 if self.launch_buffer_has_space() {
-                    target = target.min(ready.max(c));
+                    let at = ready.max(c);
+                    if at < target {
+                        target = at;
+                        source = WakeSource::BackpressureRelease;
+                    }
                 }
                 // With the buffer full, the release is gated on a
                 // delivery maturing, which the in-flight arm below
                 // already wakes for.
             }
             if let Some(&(ready, _)) = self.launch_backlog.front() {
-                target = target.min(ready.max(c));
+                let at = ready.max(c);
+                if at < target {
+                    target = at;
+                    source = WakeSource::BackpressureRelease;
+                }
             }
             if self.launch_model.in_flight() > 0 {
                 let ready = self.launch_model.next_ready().unwrap_or(c);
-                target = target.min(ready.max(c));
+                let at = ready.max(c);
+                if at < target {
+                    target = at;
+                    source = WakeSource::ComponentTick;
+                }
             }
             while let Some(&Reverse((wake, idx))) = self.event_heap.peek() {
                 if self.smx_wake[idx as usize] == wake {
-                    target = target.min(wake);
+                    if wake < target {
+                        target = wake;
+                        source = WakeSource::ComponentTick;
+                    }
                     break;
                 }
                 self.event_heap.pop(); // superseded entry
@@ -720,6 +858,17 @@ impl Simulator {
             target = self.watchdog_deadline;
         }
         let target = target.min(self.cfg.max_cycles.saturating_add(1));
+        let jump = target.saturating_sub(c);
+        self.prof_set_wake(
+            if wedge {
+                WakeSource::WatchdogDeadline
+            } else if jump >= 1 {
+                WakeSource::FastForwardJump
+            } else {
+                source
+            },
+            jump,
+        );
         if target > c {
             self.fast_forwarded_cycles += target - c;
             self.emit(c, TraceEvent::FastForward { from: c, to: target });
@@ -777,12 +926,14 @@ impl Simulator {
     /// exactly where the machine next changes state.
     fn fast_forward(&mut self) {
         if !self.kmu.is_empty() || self.undispatched > 0 {
+            self.prof_set_wake(WakeSource::ComponentTick, 0);
             return;
         }
         // KMU-backlog retries and spill releases can act on any upcoming
         // cycle the buffer has space; never jump over them. Both queues
         // stay empty under unbounded limits.
         if !self.launch_backlog.is_empty() || !self.spill_queue.is_empty() {
+            self.prof_set_wake(WakeSource::BackpressureRelease, 0);
             return;
         }
         let mut target = match self.launch_model.next_ready() {
@@ -815,6 +966,17 @@ impl Simulator {
         // Clamp so `run_to_completion` reports CycleLimitExceeded at the
         // same cycle count as single-stepping would.
         let target = target.min(self.cfg.max_cycles.saturating_add(1));
+        let jump = target.saturating_sub(self.cycle);
+        self.prof_set_wake(
+            if wedge {
+                WakeSource::WatchdogDeadline
+            } else if jump >= 1 {
+                WakeSource::FastForwardJump
+            } else {
+                WakeSource::ComponentTick
+            },
+            jump,
+        );
         if target > self.cycle {
             let skipped = target - self.cycle;
             self.fast_forwarded_cycles += skipped;
@@ -1019,6 +1181,7 @@ impl Simulator {
                     bind,
                 }
             }),
+            engine: self.engine_prof.as_ref().map(|p| p.stats.clone()),
         }
     }
 
@@ -1410,6 +1573,48 @@ mod tests {
         // First kernel's TBs dispatch before the second kernel's.
         let order: Vec<u32> = stats.tb_records.iter().map(|r| r.tb.batch.0).collect();
         assert_eq!(order, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn engine_profile_partitions_loop_iterations() {
+        // Both engines: the wake-source counts must sum exactly to the
+        // total number of loop iterations, and iterations must be live.
+        for mode in [EngineMode::Event, EngineMode::CycleStepped] {
+            let mut cfg = GpuConfig::small_test();
+            cfg.engine_mode = mode;
+            cfg.profile_engine = true;
+            cfg.engine_host_sampling = 4;
+            let mut sim = Simulator::new(cfg, Box::new(NestedSource { launcher: 1, children: 3 }));
+            sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+            let stats = sim.run_to_completion().unwrap();
+            let eng = stats.engine.as_ref().expect("profiling on");
+            assert!(eng.loop_iterations > 0, "{mode:?}: no iterations recorded");
+            assert_eq!(
+                eng.wake_total(),
+                eng.loop_iterations,
+                "{mode:?}: wake sources must partition loop iterations exactly"
+            );
+            assert!(eng.host_samples > 0, "{mode:?}: sampling stride never fired");
+        }
+    }
+
+    #[test]
+    fn engine_profile_off_leaves_stats_unchanged() {
+        // Profiling is observational: SimStats (minus the engine field)
+        // must be bit-identical with it on and off.
+        let run = |profile: bool| {
+            let mut cfg = GpuConfig::small_test();
+            cfg.profile_engine = profile;
+            let mut sim = Simulator::new(cfg, Box::new(NestedSource { launcher: 1, children: 3 }));
+            sim.launch_host_kernel(KernelKindId(0), 0, 6, ResourceReq::new(64, 8, 0)).unwrap();
+            sim.run_to_completion().unwrap()
+        };
+        let off = run(false);
+        let mut on = run(true);
+        assert!(off.engine.is_none());
+        assert!(on.engine.is_some());
+        on.engine = None;
+        assert_eq!(off, on);
     }
 
     #[test]

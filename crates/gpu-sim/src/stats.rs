@@ -115,6 +115,168 @@ pub struct LocalityStats {
     pub bind: BindReuse,
 }
 
+/// Why the engine ran a loop iteration at the cycle it did.
+///
+/// Every iteration of either engine loop is tagged with exactly one
+/// source — the arm of the wake-up computation that put the clock on
+/// this cycle — so the per-source counts partition
+/// [`EngineStats::loop_iterations`] exactly (asserted by
+/// `tests/engine_introspection.rs` and the `engine-wake-partition`
+/// shape assertion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeSource {
+    /// A component published this cycle: an SMX wake-up from the event
+    /// heap, a ready KMU with a free KDU entry, a maturing launch in
+    /// the launch model, or the TB-dispatch stage (which must tick
+    /// every cycle while TBs await dispatch). Consecutive-cycle steps
+    /// land here.
+    ComponentTick,
+    /// A fault window's edge was the earliest event: a `QueueFull`
+    /// window opening the KMU dispatch path, or a fault-delayed launch
+    /// reaching maturity.
+    FaultEdge,
+    /// A finite-launch-path release was the earliest event: the spill
+    /// queue's round trip completing or a KMU-backlog retry coming due.
+    BackpressureRelease,
+    /// Quiescent-wedge jump: nothing can ever act again, so the engine
+    /// jumped straight to the watchdog deadline to diagnose the wedge.
+    WatchdogDeadline,
+    /// The engine fast-forwarded more than one cycle to reach this
+    /// iteration; the jump length is recorded in
+    /// [`EngineStats::jump_len`]. (The landing cycle's underlying cause
+    /// is one of the sources above; the jump tag records that the
+    /// iteration was *reached by skipping*, which is what the host-cost
+    /// decomposition cares about.)
+    FastForwardJump,
+}
+
+/// Number of [`WakeSource`] variants.
+pub const NUM_WAKE_SOURCES: usize = 5;
+
+impl WakeSource {
+    /// All sources, in [`index`](Self::index) order.
+    pub const ALL: [WakeSource; NUM_WAKE_SOURCES] = [
+        WakeSource::ComponentTick,
+        WakeSource::FaultEdge,
+        WakeSource::BackpressureRelease,
+        WakeSource::WatchdogDeadline,
+        WakeSource::FastForwardJump,
+    ];
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WakeSource::ComponentTick => 0,
+            WakeSource::FaultEdge => 1,
+            WakeSource::BackpressureRelease => 2,
+            WakeSource::WatchdogDeadline => 3,
+            WakeSource::FastForwardJump => 4,
+        }
+    }
+
+    /// Stable snake_case name for reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeSource::ComponentTick => "component_tick",
+            WakeSource::FaultEdge => "fault_edge",
+            WakeSource::BackpressureRelease => "backpressure_release",
+            WakeSource::WatchdogDeadline => "watchdog_deadline",
+            WakeSource::FastForwardJump => "fast_forward_jump",
+        }
+    }
+}
+
+/// Engine pipeline stages whose host time is sampled, in
+/// [`EngineStats::host_ns`] index order. "Components" here are the
+/// engine's units of host work: the three front-end stages, the SMX
+/// stepping loop (which includes the memory system — caches and DRAM
+/// answer inside SMX steps), and the wake-up/advance computation.
+pub const ENGINE_HOST_COMPONENTS: [&str; 5] =
+    ["launch_maturation", "kmu_dispatch", "tb_dispatch", "smx", "advance"];
+
+/// Engine introspection for one run: why the loop woke, how deep the
+/// event heap ran, how far fast-forward jumped, and where host
+/// nanoseconds went. `Some` in [`SimStats::engine`] only when the run
+/// had [`GpuConfig::profile_engine`](crate::config::GpuConfig) set.
+///
+/// Everything except the `host_*` fields is a deterministic function of
+/// the simulated machine (bit-identical across hosts and `--jobs`
+/// counts, but *not* across engine modes — the introspection observes
+/// the engine, not the simulation). The `host_*` fields are wall-clock
+/// measurements and are never serialized into `repro.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Total engine loop iterations (cycles actually stepped).
+    pub loop_iterations: u64,
+    /// Iterations per wake source, indexed by [`WakeSource::index`].
+    /// Sums exactly to `loop_iterations`.
+    pub wake_counts: [u64; NUM_WAKE_SOURCES],
+    /// Event-heap depth sampled at every event-loop iteration (empty in
+    /// cycle-stepped mode, which has no heap).
+    pub heap_depth: Pow2Hist,
+    /// Due SMX wake-ups processed per event-loop iteration (empty in
+    /// cycle-stepped mode).
+    pub events_per_cycle: Pow2Hist,
+    /// Lengths of multi-cycle jumps (fast-forward and wedge jumps).
+    pub jump_len: Pow2Hist,
+    /// Host-time sampling stride: one in `host_sampling` iterations is
+    /// timed with `Instant` spans.
+    pub host_sampling: u64,
+    /// Iterations that were host-timed.
+    pub host_samples: u64,
+    /// Sampled host nanoseconds per engine stage, indexed like
+    /// [`ENGINE_HOST_COMPONENTS`]. Nondeterministic; excluded from
+    /// `repro.json`.
+    pub host_ns: [u64; 5],
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            loop_iterations: 0,
+            wake_counts: [0; NUM_WAKE_SOURCES],
+            heap_depth: Pow2Hist::default(),
+            events_per_cycle: Pow2Hist::default(),
+            jump_len: Pow2Hist::default(),
+            host_sampling: 1,
+            host_samples: 0,
+            host_ns: [0; 5],
+        }
+    }
+}
+
+impl EngineStats {
+    /// Sum of the wake-source counts; always equals `loop_iterations`.
+    pub fn wake_total(&self) -> u64 {
+        self.wake_counts.iter().sum()
+    }
+
+    /// Iterations tagged with `source`.
+    pub fn wake_count(&self, source: WakeSource) -> u64 {
+        self.wake_counts[source.index()]
+    }
+
+    /// Total sampled host nanoseconds across all engine stages.
+    pub fn host_total_ns(&self) -> u64 {
+        self.host_ns.iter().sum()
+    }
+
+    /// The engine stage with the largest sampled host time, or `None`
+    /// when no span was sampled. Ties break toward the earlier stage.
+    pub fn dominant_component(&self) -> Option<&'static str> {
+        if self.host_total_ns() == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &ns) in self.host_ns.iter().enumerate() {
+            if ns > self.host_ns[best] {
+                best = i;
+            }
+        }
+        Some(ENGINE_HOST_COMPONENTS[best])
+    }
+}
+
 /// Why an SMX failed to issue on a given cycle.
 ///
 /// Exactly one cause is charged per SMX per non-issuing cycle, so per
@@ -412,6 +574,11 @@ pub struct SimStats {
     /// Locality provenance profile; `Some` only when the run had
     /// `GpuConfig::profile_locality` set.
     pub locality: Option<LocalityStats>,
+    /// Engine introspection; `Some` only when the run had
+    /// `GpuConfig::profile_engine` set. Unlike every other field, this
+    /// one observes the *engine*, not the machine: it legitimately
+    /// differs between [`EngineMode`](crate::config::EngineMode)s.
+    pub engine: Option<EngineStats>,
 }
 
 impl SimStats {
@@ -570,6 +737,29 @@ impl SimStats {
                     loc.bind.bound_share() * 100.0,
                     loc.bind.stolen_share() * 100.0
                 ),
+            );
+        }
+        if let Some(eng) = &self.engine {
+            line(
+                "engine iterations",
+                format!(
+                    "{} over {} cycles ({:.3} per cycle)",
+                    eng.loop_iterations,
+                    self.cycles,
+                    if self.cycles == 0 {
+                        0.0
+                    } else {
+                        eng.loop_iterations as f64 / self.cycles as f64
+                    }
+                ),
+            );
+            line(
+                "wake sources",
+                WakeSource::ALL
+                    .iter()
+                    .map(|s| format!("{} {}", eng.wake_count(*s), s.name()))
+                    .collect::<Vec<_>>()
+                    .join(" / "),
             );
         }
         for (name, v) in &self.scheduler_counters {

@@ -19,12 +19,12 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
          child_l1_hit_rate,mean_child_wait,parent_smx_affinity,smx_utilization,\
          load_imbalance,dynamic_tbs,total_tbs,steals,queue_overflows,table_overflows,\
          stall_scoreboard,stall_memory_pending,stall_mshr_full,stall_barrier,stall_no_tb,\
-         stall_launch_path\n",
+         stall_launch_path,host_ns,dominant_component\n",
     );
     for r in records {
         out.push_str(&format!(
             "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.6},{:.6},{:.6},{},{},{},{},{},\
-             {},{},{},{},{},{}\n",
+             {},{},{},{},{},{},{},{}\n",
             field(&r.workload),
             field(&r.launch_model),
             field(&r.scheduler),
@@ -48,6 +48,8 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
             r.stalls.barrier,
             r.stalls.no_tb,
             r.stalls.launch_path,
+            r.host.ns,
+            field(r.host.dominant_component.as_deref().unwrap_or("-")),
         ));
     }
     out
@@ -100,6 +102,8 @@ mod tests {
                 launch_path: 0,
             },
             locality: None,
+            engine: None,
+            host: crate::harness::HostCost { ns: 1_500_000, dominant_component: None },
         }
     }
 
@@ -109,7 +113,19 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("workload,launch_model,scheduler,cycles"));
+        assert!(lines[0].ends_with("host_ns,dominant_component"));
         assert!(lines[1].contains(",dtbl,rr,100,1.5"));
+        // Host cost lands in the last two columns; an unprofiled run's
+        // dominant component renders as "-".
+        assert!(lines[1].ends_with(",1500000,-"));
+    }
+
+    #[test]
+    fn dominant_component_column_carries_profiled_value() {
+        let mut r = record();
+        r.host.dominant_component = Some("smx".to_string());
+        let csv = runs_to_csv(&[r]);
+        assert!(csv.lines().nth(1).is_some_and(|l| l.ends_with(",1500000,smx")));
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! One-shot experiment runner: workload × launch model × TB scheduler.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::cache::{ReuseClass, NUM_REUSE_CLASSES};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::error::SimError;
-use gpu_sim::stats::{SimStats, StallBreakdown};
+use gpu_sim::stats::{Pow2Hist, SimStats, StallBreakdown, NUM_WAKE_SOURCES};
 use gpu_sim::tb_sched::{RoundRobinScheduler, TbScheduler};
 use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
 use workloads::{SharedSource, Workload};
@@ -130,6 +131,49 @@ fn share(part: u64, total: u64) -> f64 {
     }
 }
 
+/// Engine introspection summary of one profiled run: the deterministic,
+/// sim-side slice of [`gpu_sim::stats::EngineStats`] (wall-clock fields
+/// stay out so profiled documents remain bit-reproducible). Present only
+/// when the run's [`GpuConfig::profile_engine`] was on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRecord {
+    /// Total engine loop iterations (event-mode: ≪ `cycles`).
+    pub loop_iterations: u64,
+    /// Loop iterations by wake source, indexed by
+    /// [`gpu_sim::stats::WakeSource::index`]; sums to `loop_iterations`.
+    pub wake_counts: [u64; NUM_WAKE_SOURCES],
+    /// Event-heap depth at each event-mode iteration.
+    pub heap_depth: Pow2Hist,
+    /// Due SMX wake-ups serviced per event-mode iteration.
+    pub events_per_cycle: Pow2Hist,
+    /// Lengths of cycle jumps (fast-forward and watchdog).
+    pub jump_len: Pow2Hist,
+}
+
+/// Host-side cost of producing one sweep cell: wall time and (when
+/// engine profiling was on) the component that dominated it. This is
+/// telemetry, not a measurement of the simulated machine — it varies
+/// run to run, so it compares equal to everything: sweep results stay
+/// `==`-identical across job counts and hosts, and the repro.json
+/// document never carries it.
+#[derive(Debug, Clone, Default)]
+pub struct HostCost {
+    /// Wall nanoseconds spent simulating this cell.
+    pub ns: u64,
+    /// Stage with the largest sampled host-time share
+    /// (see [`gpu_sim::stats::ENGINE_HOST_COMPONENTS`]); `None` when the
+    /// run did not profile the engine.
+    pub dominant_component: Option<String>,
+}
+
+impl PartialEq for HostCost {
+    /// Always equal: host cost is nondeterministic telemetry and must
+    /// not break the sweep executor's bit-identity guarantees.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// The measurements of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -179,6 +223,12 @@ pub struct RunRecord {
     pub stalls: StallBreakdown,
     /// Locality provenance summary (`None` unless the run profiled).
     pub locality: Option<LocalityRecord>,
+    /// Engine introspection summary (`None` unless the run profiled
+    /// the engine).
+    pub engine: Option<EngineRecord>,
+    /// Host-side cost telemetry (always recorded; excluded from
+    /// equality and from repro.json).
+    pub host: HostCost,
 }
 
 impl RunRecord {
@@ -228,6 +278,21 @@ impl RunRecord {
                     l2_pc_mean_dist: loc.l2_reuse_dist[pc].mean(),
                 }
             }),
+            engine: stats.engine.as_ref().map(|eng| EngineRecord {
+                loop_iterations: eng.loop_iterations,
+                wake_counts: eng.wake_counts,
+                heap_depth: eng.heap_depth,
+                events_per_cycle: eng.events_per_cycle,
+                jump_len: eng.jump_len,
+            }),
+            host: HostCost {
+                ns: 0, // filled in by the runner, which owns the clock
+                dominant_component: stats
+                    .engine
+                    .as_ref()
+                    .and_then(|eng| eng.dominant_component())
+                    .map(str::to_string),
+            },
         }
     }
 }
@@ -266,11 +331,14 @@ pub fn run_with_latency(
     for hk in workload.host_kernels() {
         sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)?;
     }
+    let t0 = Instant::now();
     let stats = sim.run_to_completion()?;
+    let host_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let mut record = RunRecord::from_stats(&workload.full_name(), &stats);
     // Use the harness's short scheduler labels in figures ("tb-pri"
     // rather than the engine's "laperm-tb-pri").
     record.scheduler = scheduler.name().to_string();
+    record.host.ns = host_ns;
     Ok(record)
 }
 

@@ -9,9 +9,9 @@
 //! `repro.json` for any `--jobs N`" guarantee checkable by comparing
 //! document strings.
 
-use crate::harness::{LocalityRecord, RunRecord};
+use crate::harness::{EngineRecord, HostCost, LocalityRecord, RunRecord};
 use gpu_sim::cache::NUM_REUSE_CLASSES;
-use gpu_sim::stats::StallBreakdown;
+use gpu_sim::stats::{Pow2Hist, StallBreakdown, WakeSource, NUM_WAKE_SOURCES};
 
 /// A parsed or constructed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -348,6 +348,13 @@ pub fn run_to_json(r: &RunRecord) -> Json {
     if let Some(loc) = &r.locality {
         fields.push(("locality".into(), locality_to_json(loc)));
     }
+    // The engine key comes last so enabling profiling is a pure suffix
+    // extension of the unprofiled byte layout. Host-side cost
+    // (`RunRecord::host`) is deliberately absent: the document carries
+    // no wall-clock fields, keeping it bit-reproducible.
+    if let Some(eng) = &r.engine {
+        fields.push(("engine".into(), engine_to_json(eng)));
+    }
     Json::Obj(fields)
 }
 
@@ -370,6 +377,95 @@ fn locality_to_json(loc: &LocalityRecord) -> Json {
         ("l1_pc_mean_dist".into(), Json::from_f64(loc.l1_pc_mean_dist)),
         ("l2_pc_mean_dist".into(), Json::from_f64(loc.l2_pc_mean_dist)),
     ])
+}
+
+/// Encodes a [`Pow2Hist`] with its bucket array trimmed of trailing
+/// zeros (the decoder pads back to 65), so sparse histograms stay
+/// compact while round-tripping exactly.
+fn hist_to_json(h: &Pow2Hist) -> Json {
+    let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    Json::Obj(vec![
+        ("count".into(), Json::from_u64(h.count)),
+        ("sum".into(), Json::from_u64(h.sum)),
+        ("max".into(), Json::from_u64(h.max)),
+        (
+            "buckets".into(),
+            Json::Arr(h.buckets[..last].iter().map(|&b| Json::from_u64(b)).collect()),
+        ),
+    ])
+}
+
+fn hist_from_json(v: &Json, what: &str) -> Result<Pow2Hist, String> {
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{what} missing integer field '{key}'"))
+    };
+    let arr = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what} missing array field 'buckets'"))?;
+    let mut hist = Pow2Hist {
+        count: u64_field("count")?,
+        sum: u64_field("sum")?,
+        max: u64_field("max")?,
+        ..Pow2Hist::default()
+    };
+    if arr.len() > hist.buckets.len() {
+        return Err(format!("{what} has {} buckets (max 65)", arr.len()));
+    }
+    for (slot, item) in hist.buckets.iter_mut().zip(arr) {
+        *slot = item.as_u64().ok_or_else(|| format!("{what} bucket not integer"))?;
+    }
+    Ok(hist)
+}
+
+fn engine_to_json(eng: &EngineRecord) -> Json {
+    Json::Obj(vec![
+        ("loop_iterations".into(), Json::from_u64(eng.loop_iterations)),
+        (
+            "wake_counts".into(),
+            Json::Obj(
+                WakeSource::ALL
+                    .iter()
+                    .map(|s| (s.name().to_string(), Json::from_u64(eng.wake_counts[s.index()])))
+                    .collect(),
+            ),
+        ),
+        ("heap_depth".into(), hist_to_json(&eng.heap_depth)),
+        ("events_per_cycle".into(), hist_to_json(&eng.events_per_cycle)),
+        ("jump_len".into(), hist_to_json(&eng.jump_len)),
+    ])
+}
+
+fn engine_from_json(v: &Json) -> Result<EngineRecord, String> {
+    let wakes = v.get("wake_counts").ok_or("engine missing 'wake_counts'")?;
+    let mut wake_counts = [0u64; NUM_WAKE_SOURCES];
+    for s in WakeSource::ALL {
+        wake_counts[s.index()] = wakes
+            .get(s.name())
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("engine wake_counts missing '{}'", s.name()))?;
+    }
+    Ok(EngineRecord {
+        loop_iterations: v
+            .get("loop_iterations")
+            .and_then(Json::as_u64)
+            .ok_or("engine missing integer field 'loop_iterations'")?,
+        wake_counts,
+        heap_depth: hist_from_json(
+            v.get("heap_depth").ok_or("engine missing 'heap_depth'")?,
+            "engine heap_depth",
+        )?,
+        events_per_cycle: hist_from_json(
+            v.get("events_per_cycle").ok_or("engine missing 'events_per_cycle'")?,
+            "engine events_per_cycle",
+        )?,
+        jump_len: hist_from_json(
+            v.get("jump_len").ok_or("engine missing 'jump_len'")?,
+            "engine jump_len",
+        )?,
+    })
 }
 
 fn locality_from_json(v: &Json) -> Result<LocalityRecord, String> {
@@ -473,6 +569,10 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
             launch_path: stall_field("launch_path")?,
         },
         locality: v.get("locality").map(locality_from_json).transpose()?,
+        engine: v.get("engine").map(engine_from_json).transpose()?,
+        // Host cost never enters the document; a parsed record reports
+        // zero wall time and no dominant component.
+        host: HostCost::default(),
     })
 }
 
@@ -513,6 +613,27 @@ mod tests {
                 launch_path: 3,
             },
             locality: None,
+            engine: None,
+            host: HostCost::default(),
+        }
+    }
+
+    fn engine() -> EngineRecord {
+        let mut heap_depth = Pow2Hist::default();
+        let mut events_per_cycle = Pow2Hist::default();
+        let mut jump_len = Pow2Hist::default();
+        for v in [0, 1, 3, 9] {
+            heap_depth.record(v);
+            events_per_cycle.record(v);
+        }
+        jump_len.record(17);
+        jump_len.record(1024);
+        EngineRecord {
+            loop_iterations: 1200,
+            wake_counts: [1000, 50, 30, 20, 100],
+            heap_depth,
+            events_per_cycle,
+            jump_len,
         }
     }
 
@@ -566,6 +687,47 @@ mod tests {
         let profiled_text = run_to_json(&profiled).render();
         assert!(profiled_text.starts_with(text.trim_end_matches('}')));
         assert!(profiled_text.contains("\"locality\":{\"l1_hits\":1000"));
+    }
+
+    #[test]
+    fn engine_roundtrips_exactly() {
+        let mut r = record();
+        r.engine = Some(engine());
+        let text = run_to_json(&r).render();
+        let parsed = run_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(run_to_json(&parsed).render(), text);
+    }
+
+    #[test]
+    fn engine_key_is_a_pure_suffix_extension() {
+        // Enabling engine profiling appends one key: every byte of the
+        // unprofiled record is a prefix of the profiled one, and the
+        // host-cost telemetry never appears in either.
+        let plain = run_to_json(&record()).render();
+        assert!(!plain.contains("engine"));
+        assert!(!plain.contains("host"));
+        let mut profiled = record();
+        profiled.engine = Some(engine());
+        profiled.host = HostCost { ns: 987_654_321, dominant_component: Some("dram".into()) };
+        let profiled_text = run_to_json(&profiled).render();
+        assert!(profiled_text.starts_with(plain.trim_end_matches('}')));
+        assert!(profiled_text.contains("\"engine\":{\"loop_iterations\":1200"));
+        assert!(profiled_text.contains("\"wake_counts\":{\"component_tick\":1000"));
+        assert!(!profiled_text.contains("host"));
+        assert!(!profiled_text.contains("987654321"));
+        assert!(!profiled_text.contains("dram"));
+    }
+
+    #[test]
+    fn engine_with_oversized_bucket_array_rejected() {
+        let mut r = record();
+        r.engine = Some(engine());
+        let text = run_to_json(&r).render();
+        let too_many = format!("[{}]", vec!["1"; 66].join(","));
+        let broken = text.replace("\"jump_len\":{\"count\":2,\"sum\":1041,\"max\":1024,\"buckets\":[0,0,0,0,0,1,0,0,0,0,0,1]}", &format!("\"jump_len\":{{\"count\":2,\"sum\":1041,\"max\":1024,\"buckets\":{too_many}}}"));
+        assert_ne!(broken, text, "replacement must hit");
+        assert!(run_from_json(&parse(&broken).unwrap()).is_err());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   events on the SMX they happened on;
 //! * queue-set occupancies and windowed IPC are counter tracks;
 //! * KMU/KDU activity, priority assignment, and fast-forward jumps live
-//!   on a synthetic "Engine" track (pid = number of SMXs).
+//!   on a synthetic "Engine" track (pid = number of SMXs);
+//! * engine-profiled runs add a "Host" track (pid = number of SMXs + 1)
+//!   whose `host:<component>` spans lay the sampled host-nanosecond
+//!   cost of each pipeline stage end to end, so wall-time hot spots
+//!   render next to the sim-time story they explain.
 //!
 //! Timestamps are simulation cycles used directly as the format's
 //! microsecond `ts` field (1 cycle = 1 µs on screen). Everything is
@@ -21,7 +25,7 @@
 //! about: well-formed shape, non-decreasing `ts`, and matched `b`/`e`
 //! pairs.
 
-use gpu_sim::stats::{MachineSample, SimStats};
+use gpu_sim::stats::{MachineSample, SimStats, ENGINE_HOST_COMPONENTS};
 use gpu_sim::trace::{TraceEvent, TraceRecord};
 use std::collections::HashMap;
 
@@ -218,6 +222,41 @@ pub fn perfetto_json(
         }
     }
 
+    // Host-time track: one span per pipeline stage, durations in
+    // sampled host nanoseconds laid end to end from ts 0. Only emitted
+    // when a run profiled the engine and actually sampled something —
+    // the track is telemetry about the simulator process, not the
+    // simulated machine.
+    let host_pid = u64::from(num_smxs) + 1;
+    if let Some(eng) = stats.engine.as_ref().filter(|e| e.host_total_ns() > 0) {
+        push(
+            0,
+            'M',
+            format!(
+                "{{\"ph\": \"M\", \"pid\": {host_pid}, \"tid\": 0, \"name\": \"process_name\", \
+                 \"args\": {{\"name\": \"Host\"}}}}"
+            ),
+        );
+        let mut at = 0u64;
+        for (i, comp) in ENGINE_HOST_COMPONENTS.iter().enumerate() {
+            let ns = eng.host_ns[i];
+            if ns == 0 {
+                continue;
+            }
+            push(
+                at,
+                'X',
+                format!(
+                    "{{\"ph\": \"X\", \"pid\": {host_pid}, \"tid\": 0, \
+                     \"name\": \"host:{comp}\", \"ts\": {at}, \"dur\": {ns}, \
+                     \"args\": {{\"samples\": {}}}}}",
+                    eng.host_samples
+                ),
+            );
+            at += ns;
+        }
+    }
+
     // Windowed IPC counter on the engine track.
     for pair in samples.windows(2) {
         let ts = pair[1].cycle;
@@ -287,6 +326,9 @@ pub struct TraceCheck {
     pub prov_counters: usize,
     /// Instant events (`ph: i`).
     pub instants: usize,
+    /// Host-time stage spans (`ph: X` events named `host:*`, emitted
+    /// only for engine-profiled runs).
+    pub host_spans: usize,
 }
 
 fn field_str(line: &str, key: &str) -> Option<String> {
@@ -373,7 +415,12 @@ pub fn validate_trace(json: &str) -> Result<TraceCheck, String> {
                     check.prov_counters += 1;
                 }
             }
-            "i" | "X" => check.instants += 1,
+            "i" | "X" => {
+                check.instants += 1;
+                if ph == "X" && field_str(line, "name").is_some_and(|n| n.starts_with("host:")) {
+                    check.host_spans += 1;
+                }
+            }
             other => return Err(format!("line {}: unknown ph {other}", lineno + 1)),
         }
     }
@@ -503,6 +550,31 @@ mod tests {
         assert!(profiled.contains("\"name\": \"l1_parent_child_hits\""));
         assert!(profiled.contains("\"hits\": 40")); // 70 - 30 in window 2
         assert!(profiled.contains("\"hits\": 5")); // 15 - 10 in window 2
+    }
+
+    #[test]
+    fn host_track_emitted_only_for_engine_profiled_runs() {
+        use gpu_sim::stats::EngineStats;
+
+        let plain = perfetto_json(&sample_records(), &sample_stats(), &[], 4);
+        assert_eq!(validate_trace(&plain).unwrap().host_spans, 0);
+        assert!(!plain.contains("\"name\": \"Host\""));
+
+        let mut stats = sample_stats();
+        stats.engine = Some(EngineStats {
+            loop_iterations: 10,
+            host_samples: 2,
+            host_ns: [100, 0, 50, 900, 25],
+            ..EngineStats::default()
+        });
+        let profiled = perfetto_json(&sample_records(), &stats, &[], 4);
+        let check = validate_trace(&profiled).expect("valid trace");
+        assert_eq!(check.host_spans, 4, "four stages with nonzero host time");
+        assert!(profiled.contains("\"name\": \"Host\""));
+        // Spans lay end to end: tb_dispatch starts after the 150 ns of
+        // the two stages before it.
+        assert!(profiled.contains("\"name\": \"host:smx\", \"ts\": 150, \"dur\": 900"));
+        assert!(!profiled.contains("host:kmu_dispatch"), "zero-cost stage omitted");
     }
 
     #[test]

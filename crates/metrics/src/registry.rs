@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use gpu_sim::cache::ReuseClass;
-use gpu_sim::stats::{Pow2Hist, SimStats};
+use gpu_sim::stats::{Pow2Hist, SimStats, WakeSource, ENGINE_HOST_COMPONENTS};
 use gpu_sim::trace::{TraceEvent, TraceRecord};
 
 /// A histogram with fixed power-of-two buckets.
@@ -298,6 +298,28 @@ pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsReg
         reg.gauge("l1_parent_child_share", stats.l1.prov.share(ReuseClass::ParentChild));
         reg.gauge("l2_parent_child_share", stats.l2.prov.share(ReuseClass::ParentChild));
     }
+    if let Some(eng) = &stats.engine {
+        reg.count("engine_loop_iterations", eng.loop_iterations);
+        for source in WakeSource::ALL {
+            reg.count(&format!("engine_wake_{}", source.name()), eng.wake_count(source));
+        }
+        for (hist, name) in [
+            (&eng.heap_depth, "engine_heap_depth"),
+            (&eng.events_per_cycle, "engine_events_per_cycle"),
+            (&eng.jump_len, "engine_jump_len"),
+        ] {
+            if hist.count > 0 {
+                *reg.histogram(name) = Histogram::from_pow2(hist);
+            }
+        }
+        // Host-side wall time is telemetry, not simulation state: it
+        // lives here (and in the Perfetto host track) but never in
+        // repro.json.
+        reg.count("engine_host_samples", eng.host_samples);
+        for (i, comp) in ENGINE_HOST_COMPONENTS.iter().enumerate() {
+            reg.count(&format!("engine_host_{comp}_ns"), eng.host_ns[i]);
+        }
+    }
     reg
 }
 
@@ -438,6 +460,41 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 400);
         assert_eq!(reg.gauge_value("l1_parent_child_share"), Some(1.0));
+    }
+
+    #[test]
+    fn run_registry_includes_engine_when_profiled() {
+        use gpu_sim::stats::EngineStats;
+
+        let mut stats = SimStats::default();
+        assert!(
+            !registry_for_run(&stats, &[]).render().contains("engine_loop_iterations"),
+            "unprofiled runs carry no engine metrics"
+        );
+
+        let mut eng = EngineStats {
+            loop_iterations: 10,
+            wake_counts: [6, 1, 1, 0, 2],
+            host_samples: 3,
+            host_ns: [0, 0, 0, 9000, 0],
+            ..EngineStats::default()
+        };
+        eng.heap_depth.record(4);
+        eng.jump_len.record(128);
+        eng.jump_len.record(2);
+        stats.engine = Some(eng);
+
+        let reg = registry_for_run(&stats, &[]);
+        assert_eq!(reg.counter_value("engine_loop_iterations"), 10);
+        assert_eq!(reg.counter_value("engine_wake_component_tick"), 6);
+        assert_eq!(reg.counter_value("engine_wake_fast_forward_jump"), 2);
+        assert_eq!(reg.histogram_value("engine_heap_depth").unwrap().count(), 1);
+        let jumps = reg.histogram_value("engine_jump_len").unwrap();
+        assert_eq!(jumps.count(), 2);
+        assert_eq!(jumps.sum(), 130);
+        assert!(reg.histogram_value("engine_events_per_cycle").is_none());
+        assert_eq!(reg.counter_value("engine_host_smx_ns"), 9000);
+        assert_eq!(reg.counter_value("engine_host_samples"), 3);
     }
 
     #[test]

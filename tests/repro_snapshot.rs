@@ -38,3 +38,31 @@ fn ci_scale_shapes_all_pass() {
         outcomes.iter().filter(|o| !o.passed).map(|o| format!("{}: {}", o.id, o.detail)).collect();
     assert!(failed.is_empty(), "shape assertions failed at ci scale:\n{}", failed.join("\n"));
 }
+
+/// The engine-profiled twin of [`ci_scale_report_matches_golden`]: the
+/// `repro profile` section at ci scale is deterministic (simulated-side
+/// counters only, no wall clock) and must match its golden. Regenerate
+/// with `cargo run --release -p laperm-bench --bin repro -- profile \
+/// --scale ci --json /tmp/repro_profile.json \
+/// > tests/golden/repro_profile_ci.txt`
+#[test]
+#[ignore = "ci-scale sweep takes tens of seconds; run with --ignored"]
+fn ci_scale_profile_matches_golden() {
+    use gpu_sim::config::EngineMode;
+    let golden = include_str!("golden/repro_profile_ci.txt");
+    let doc = SweepDoc::build_profiled(Scale::Ci, 0, default_jobs(), EngineMode::Event);
+    assert!(doc.failures.is_empty(), "sweep failures: {:?}", doc.failures);
+
+    // The engine shape assertions bind on a profiled document.
+    let outcomes = evaluate_shapes(&doc);
+    let failed: Vec<String> =
+        outcomes.iter().filter(|o| !o.passed).map(|o| format!("{}: {}", o.id, o.detail)).collect();
+    assert!(failed.is_empty(), "shape assertions failed on profiled doc:\n{}", failed.join("\n"));
+
+    let m = MatrixRecords::from_records(doc.records);
+    let current = laperm_bench::profile(&m);
+    assert_eq!(
+        current, golden,
+        "ci-scale profile report drifted from tests/golden/repro_profile_ci.txt"
+    );
+}
