@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|ci|small|paper] [--jobs N] [--json FILE]
-//!                    [--engine event|cycle-stepped]
+//!                    [--engine event|cycle-stepped] [--programs generator|dsl]
 //! repro check [--json FILE]
+//! repro dsl FILE.dsl [--jobs N]
 //!
 //! experiments:
 //!   table1    GPU configuration (Table I)
@@ -30,6 +31,8 @@
 //!   check     evaluate the shape assertions against repro.json and
 //!             exit nonzero on any violation (the CI reproduction gate);
 //!             point it at repro_profile.json to bind the engine shapes
+//!   dsl       compile a workload-DSL file and run it under every
+//!             launch model × scheduler on the Table I machine
 //! ```
 //!
 //! `--jobs N` fans independent simulations over N worker threads
@@ -39,29 +42,43 @@
 //! `--engine` selects the simulation engine for `all` (default:
 //! event). The CI `engine-equivalence` job runs `all` once per engine
 //! and diffs the two `repro.json` documents byte-for-byte.
+//!
+//! `--programs` selects the program-generation path for `all` (default:
+//! generator). `dsl` serves every suite workload from its DSL port
+//! compiled to bytecode; programs are byte-identical across paths, so
+//! the CI `dsl-differential` job runs `all` once per path and diffs the
+//! two `repro.json` documents byte-for-byte.
 
 #![deny(clippy::unwrap_used)]
 
-use gpu_sim::config::EngineMode;
+use std::sync::Arc;
+
+use gpu_sim::config::{EngineMode, GpuConfig};
+use laperm_bench::sweep::{matrix_cells_for, run_matrix_cells};
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
     generality, latency_sweep, locality, overhead, profile, render_shape_report,
     run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline, variance,
-    MatrixRecords, SweepDoc,
+    MatrixRecords, ProgramPath, SweepDoc,
 };
-use workloads::Scale;
+use wdsl::{CompiledWorkload, ExecMode};
+use workloads::{Scale, Workload};
 
 struct Args {
     experiment: String,
+    /// Positional operand after the experiment (`repro dsl FILE`).
+    operand: Option<String>,
     scale: Scale,
     jobs: usize,
     json_path: Option<String>,
     engine: EngineMode,
+    programs: ProgramPath,
 }
 
 fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiment = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let operand = args.get(1).filter(|a| !a.starts_with('-')).cloned();
     let value_of = |flag: &str| {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
     };
@@ -91,14 +108,25 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     };
-    Args { experiment, scale, jobs, json_path, engine }
+    let programs = match value_of("--programs") {
+        None => ProgramPath::Generator,
+        Some(s) => ProgramPath::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown program path {s}; choose generator or dsl");
+            std::process::exit(2);
+        }),
+    };
+    Args { experiment, operand, scale, jobs, json_path, engine, programs }
 }
 
 /// `repro all`: the full sweep. Writes `repro.json`, prints the text
 /// report, and exits nonzero if any matrix cell failed.
 fn run_all(args: &Args) {
     let path = args.json_path.as_deref().unwrap_or("repro.json");
-    let doc = SweepDoc::build_with_engine(args.scale, 0, args.jobs, args.engine);
+    let doc = SweepDoc::build_with_programs(args.scale, 0, args.jobs, args.engine, args.programs)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
     std::fs::write(path, doc.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("wrote {path}");
     let failed = !doc.failures.is_empty();
@@ -153,6 +181,53 @@ fn run_check(args: &Args) {
     }
 }
 
+/// `repro dsl FILE.dsl`: compile a workload-DSL file end to end and run
+/// it under every launch model × scheduler on the Table I machine. This
+/// is the quickstart path for a hand-written `.dsl` program: the file
+/// becomes a full workload (host kernels included) without any Rust.
+fn run_dsl(args: &Args) {
+    let Some(file) = args.operand.as_deref() else {
+        eprintln!("usage: repro dsl FILE.dsl [--jobs N]");
+        std::process::exit(2);
+    };
+    let src = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let compiled = CompiledWorkload::from_source(&src, ExecMode::Vm).unwrap_or_else(|e| {
+        eprintln!("{file}: [{}] {e}", e.stage());
+        std::process::exit(2);
+    });
+    let workload: Arc<dyn Workload> = Arc::new(compiled);
+    let mut cfg = GpuConfig::kepler_k20c();
+    cfg.profile_locality = true;
+    let cells = matrix_cells_for(std::slice::from_ref(&workload));
+    let outcome = run_matrix_cells(&cells, args.jobs, &cfg);
+    println!("{} on kepler_k20c (compiled DSL, bytecode VM):", workload.full_name());
+    println!(
+        "{:<6} {:<14} {:>10} {:>6} {:>6} {:>6} {:>10}",
+        "model", "scheduler", "cycles", "IPC", "L1%", "L2%", "childwait"
+    );
+    for r in &outcome.records {
+        println!(
+            "{:<6} {:<14} {:>10} {:>6.1} {:>6.1} {:>6.1} {:>10.1}",
+            r.launch_model,
+            r.scheduler,
+            r.cycles,
+            r.ipc,
+            r.l1_hit_rate * 100.0,
+            r.l2_hit_rate * 100.0,
+            r.mean_child_wait,
+        );
+    }
+    for f in &outcome.failures {
+        eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
+    }
+    if !outcome.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -186,12 +261,13 @@ fn main() {
         "all" => run_all(&args),
         "profile" => run_profile(&args),
         "check" => run_check(&args),
+        "dsl" => run_dsl(&args),
         other => {
             eprintln!("unknown experiment {other}");
             eprintln!(
                 "choose from: table1 table2 fig2 fig4 fig7 fig8 fig9 locality latency \
                  timeline variance csv cache saturation generality overhead ablate all \
-                 profile check"
+                 profile check dsl"
             );
             std::process::exit(2);
         }

@@ -7,6 +7,10 @@
 //!   many times (dominated by per-cycle fixed costs);
 //! * `bfs-citation/kepler_k20c` — one real workload at `Scale::Small` on
 //!   the Table I machine (dominated by the dispatch/execute path);
+//! * `bfs-citation/kepler_k20c/dsl-vm` — the same workload served
+//!   through its compiled DSL port (the `wdsl` bytecode VM); the delta
+//!   against the plain case is the VM's program-generation overhead in
+//!   the hot path;
 //! * `launch-storm/kepler_k20c` — a CDP relay that bursts launches
 //!   through a finite two-slot pending-launch buffer on the Table I
 //!   machine, dominated by launch-path queueing (spill-queue release
@@ -29,6 +33,7 @@ use gpu_sim::engine::Simulator;
 use gpu_sim::kernel::ResourceReq;
 use gpu_sim::program::{KernelKindId, LaunchSpec, ProgramSource, TbOp, TbProgram};
 use sim_metrics::harness::SchedulerKind;
+use wdsl::{compile_workload, ExecMode};
 use workloads::{suite, Scale, SharedSource, Workload};
 
 use crate::fig4::Figure4Source;
@@ -164,6 +169,51 @@ pub fn bench_kepler_reference(iters: u32) -> HotloopResult {
     )
 }
 
+/// [`bench_kepler_reference`] with the workload served through its DSL
+/// port: compiled once up front, then every `tb_program` request during
+/// simulation runs the bytecode VM instead of the Rust generator. The
+/// simulated machine is identical (programs are byte-identical across
+/// paths), so the throughput delta against the plain reference case *is*
+/// the VM's program-generation overhead in the simulator's hot path —
+/// tracked across PRs like every other case.
+pub fn bench_kepler_reference_dsl(iters: u32) -> HotloopResult {
+    let cfg = GpuConfig::kepler_k20c();
+    let generator = suite(Scale::Small)
+        .into_iter()
+        .find(|w| w.full_name() == "bfs-citation")
+        .expect("bfs-citation in suite");
+    let compiled = compile_workload(generator.as_ref(), ExecMode::Vm)
+        .expect("bfs-citation DSL port compiles")
+        .expect("bfs-citation has a DSL port");
+    let workload: Arc<dyn Workload> = Arc::new(compiled);
+    let sched = SchedulerKind::AdaptiveBind;
+    let model = LaunchModelKind::Dtbl;
+    let mut cycles = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
+            .with_scheduler(sched.build(&cfg))
+            .with_launch_model(model.build(LaunchLatency::default_for(model)));
+        for hk in workload.host_kernels() {
+            sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)
+                .expect("host kernel launches");
+        }
+        let stats = sim.run_to_completion().expect("reference run completes");
+        cycles += stats.cycles;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    HotloopResult::from_run(
+        "bfs-citation/kepler_k20c/dsl-vm",
+        sched.name(),
+        model.name(),
+        cfg.engine_mode,
+        cfg.fast_forward,
+        iters,
+        cycles,
+        wall,
+    )
+}
+
 /// A CDP launch storm driven through a finite pending-launch buffer:
 /// generation `param` of kernel kind 0 is a single-TB kernel that
 /// computes briefly, then device-launches one chain continuation plus
@@ -255,6 +305,7 @@ pub fn run_hotloop() -> Vec<HotloopResult> {
     vec![
         bench_figure4_toy(5000),
         bench_kepler_reference(15),
+        bench_kepler_reference_dsl(15),
         bench_launch_storm(10, EngineMode::Event),
         bench_launch_storm(10, EngineMode::CycleStepped),
     ]

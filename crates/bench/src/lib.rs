@@ -29,4 +29,7 @@ pub use experiments::{
 };
 pub use fig4::figure4;
 pub use shapes::{evaluate_shapes, render_shape_report, ShapeOutcome};
-pub use sweep::{default_jobs, parallel_map, run_cells, SweepDoc, SweepFailure, SweepOutcome};
+pub use sweep::{
+    default_jobs, parallel_map, run_cells, suite_for_path, ProgramPath, SweepDoc, SweepFailure,
+    SweepOutcome,
+};

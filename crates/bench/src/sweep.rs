@@ -23,7 +23,60 @@ use gpu_sim::config::{EngineMode, GpuConfig};
 use sim_metrics::harness::{run_once, RunRecord, SchedulerKind};
 use sim_metrics::json::{parse, run_from_json, run_to_json, Json};
 use sim_metrics::FootprintAnalysis;
+use wdsl::{compiled_suite_seeded, ExecMode};
 use workloads::{suite_seeded, Scale, Workload};
+
+/// Which program-generation path serves `Workload → TbProgram` during a
+/// sweep: the legacy Rust generators, or each workload's DSL port
+/// compiled to bytecode and served by the `wdsl` VM. The two paths are
+/// program-byte-identical (the wdsl suite-equivalence tests enforce it),
+/// so a sweep document built under either must render the same bytes —
+/// the CI `dsl-differential` job diffs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgramPath {
+    /// The legacy Rust program generators (the oracle).
+    #[default]
+    Generator,
+    /// DSL ports compiled to bytecode, served by the verified VM.
+    Dsl,
+}
+
+impl ProgramPath {
+    /// Stable name for flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProgramPath::Generator => "generator",
+            ProgramPath::Dsl => "dsl",
+        }
+    }
+
+    /// Parses a `--programs` flag value.
+    pub fn parse(s: &str) -> Option<ProgramPath> {
+        match s {
+            "generator" => Some(ProgramPath::Generator),
+            "dsl" => Some(ProgramPath::Dsl),
+            _ => None,
+        }
+    }
+}
+
+/// The full Table II suite served through the chosen program path.
+///
+/// # Errors
+///
+/// The DSL path reports a workload whose port fails to compile (a repo
+/// bug the wdsl corpus tests catch first).
+pub fn suite_for_path(
+    scale: Scale,
+    seed: u64,
+    path: ProgramPath,
+) -> Result<Vec<Arc<dyn Workload>>, String> {
+    match path {
+        ProgramPath::Generator => Ok(suite_seeded(scale, seed)),
+        ProgramPath::Dsl => compiled_suite_seeded(scale, seed, ExecMode::Vm)
+            .map_err(|e| format!("DSL suite compilation failed: {e}")),
+    }
+}
 
 /// The default worker count: every available core.
 pub fn default_jobs() -> usize {
@@ -123,8 +176,14 @@ pub struct SweepOutcome {
 /// every suite workload × both launch models × all four schedulers, in
 /// the paper's figure order.
 pub fn matrix_cells(scale: Scale, seed: u64) -> Vec<MatrixCell> {
+    matrix_cells_for(&suite_seeded(scale, seed))
+}
+
+/// The canonical cell list over an explicit workload list (how the DSL
+/// program path reuses the same matrix shape).
+pub fn matrix_cells_for(workloads: &[Arc<dyn Workload>]) -> Vec<MatrixCell> {
     let mut cells = Vec::new();
-    for w in suite_seeded(scale, seed) {
+    for w in workloads {
         for model in LaunchModelKind::all() {
             for scheduler in SchedulerKind::all() {
                 cells.push(MatrixCell { workload: w.clone(), model, scheduler });
@@ -247,7 +306,37 @@ impl SweepDoc {
         jobs: usize,
         engine_mode: EngineMode,
     ) -> SweepDoc {
-        Self::build_inner(scale, seed, jobs, engine_mode, false)
+        match Self::build_with_programs(scale, seed, jobs, engine_mode, ProgramPath::Generator) {
+            Ok(doc) => doc,
+            // The generator path never fails to build its suite.
+            Err(e) => panic!("generator suite failed: {e}"),
+        }
+    }
+
+    /// [`SweepDoc::build_with_engine`] on an explicit program path. The
+    /// document carries no record of the path: programs are
+    /// byte-identical across paths, so the rendered JSON must be too —
+    /// the CI `dsl-differential` job builds the ci-scale document once
+    /// per path and diffs the bytes.
+    ///
+    /// # Errors
+    ///
+    /// The DSL path reports suite compilation failures.
+    pub fn build_with_programs(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        engine_mode: EngineMode,
+        path: ProgramPath,
+    ) -> Result<SweepDoc, String> {
+        Ok(Self::build_inner(
+            scale,
+            seed,
+            jobs,
+            engine_mode,
+            false,
+            suite_for_path(scale, seed, path)?,
+        ))
     }
 
     /// [`SweepDoc::build`] with engine introspection on: every run
@@ -262,7 +351,7 @@ impl SweepDoc {
         jobs: usize,
         engine_mode: EngineMode,
     ) -> SweepDoc {
-        Self::build_inner(scale, seed, jobs, engine_mode, true)
+        Self::build_inner(scale, seed, jobs, engine_mode, true, suite_seeded(scale, seed))
     }
 
     fn build_inner(
@@ -271,13 +360,14 @@ impl SweepDoc {
         jobs: usize,
         engine_mode: EngineMode,
         profile_engine: bool,
+        all: Vec<Arc<dyn Workload>>,
     ) -> SweepDoc {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.profile_locality = true;
         cfg.engine_mode = engine_mode;
         cfg.profile_engine = profile_engine;
-        let outcome = run_matrix_jobs(scale, seed, jobs, &cfg);
-        let all = suite_seeded(scale, seed);
+        let cells = matrix_cells_for(&all);
+        let outcome = run_matrix_cells(&cells, jobs, &cfg);
         let footprints = parallel_map(&all, jobs, |w| {
             let a = FootprintAnalysis::analyze(w.as_ref());
             FootprintRow {
@@ -446,5 +536,49 @@ mod tests {
     #[should_panic(expected = "sweep worker panicked")]
     fn parallel_map_reraises_panics() {
         parallel_map(&[1], 1, |_| -> i32 { panic!("boom") });
+    }
+
+    #[test]
+    fn program_path_flag_values_round_trip() {
+        for path in [ProgramPath::Generator, ProgramPath::Dsl] {
+            assert_eq!(ProgramPath::parse(path.name()), Some(path));
+        }
+        assert_eq!(ProgramPath::parse("vm"), None);
+        assert_eq!(ProgramPath::default(), ProgramPath::Generator);
+    }
+
+    #[test]
+    fn both_program_paths_list_the_same_suite() {
+        let gen = suite_for_path(Scale::Tiny, 0, ProgramPath::Generator).unwrap();
+        let dsl = suite_for_path(Scale::Tiny, 0, ProgramPath::Dsl).unwrap();
+        assert_eq!(gen.len(), dsl.len());
+        for (g, d) in gen.iter().zip(&dsl) {
+            assert_eq!(g.full_name(), d.full_name());
+        }
+    }
+
+    #[test]
+    fn dsl_path_records_match_generator_path_records() {
+        // One workload's full model × scheduler sub-matrix, run through
+        // both program paths, must produce identical run records —
+        // program byte-identity implies simulation-statistic identity.
+        let mut cfg = GpuConfig::kepler_k20c();
+        cfg.profile_locality = true;
+        let pick = |path| -> Vec<Arc<dyn Workload>> {
+            suite_for_path(Scale::Tiny, 0, path)
+                .unwrap()
+                .into_iter()
+                .filter(|w| w.full_name() == "join-uniform")
+                .collect()
+        };
+        let run = |path| {
+            let outcome = run_matrix_cells(&matrix_cells_for(&pick(path)), 2, &cfg);
+            assert!(outcome.failures.is_empty(), "{path:?}: {:?}", outcome.failures);
+            outcome.records
+        };
+        let gen = run(ProgramPath::Generator);
+        let dsl = run(ProgramPath::Dsl);
+        assert_eq!(gen.len(), 8);
+        assert_eq!(gen, dsl);
     }
 }

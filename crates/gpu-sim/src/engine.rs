@@ -225,7 +225,7 @@ impl Simulator {
     ///
     /// Fault windows compose with idle-cycle skipping in both engine
     /// modes: `KillSmx` release edges become wake-up sources
-    /// ([`FaultPlan::first_alive`]) and delayed launches contribute
+    /// (`FaultPlan::first_alive`) and delayed launches contribute
     /// their maturity cycles, so skips land exactly where the machine
     /// next changes state. Statistics are bit-identical to stepping
     /// every cycle (asserted by `tests/determinism.rs`).
@@ -921,7 +921,7 @@ impl Simulator {
     /// (and their scheduler cost counters) can act on any cycle.
     ///
     /// Fault windows clamp rather than disable the jump: a killed SMX
-    /// contributes its release edge ([`FaultPlan::first_alive`]) and a
+    /// contributes its release edge (`FaultPlan::first_alive`) and a
     /// fault-delayed launch its maturity cycle, so the skip lands
     /// exactly where the machine next changes state.
     fn fast_forward(&mut self) {

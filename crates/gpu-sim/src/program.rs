@@ -204,6 +204,69 @@ impl TbProgram {
             _ => None,
         })
     }
+
+    /// A canonical, self-delimiting byte encoding of the program.
+    ///
+    /// Two programs encode to the same bytes if and only if they are
+    /// equal — every field of every op is serialized (little-endian,
+    /// length-prefixed where variable). This is the comparison key for
+    /// the workload-DSL equivalence gates: "byte-identical program
+    /// streams" means equal `canonical_bytes`, checked across program
+    /// *sources* (DSL-compiled vs legacy generator) and across runs.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.ops.len() * 16);
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                TbOp::Compute(cycles) => {
+                    out.push(0);
+                    out.extend_from_slice(&cycles.to_le_bytes());
+                }
+                TbOp::ComputeMasked { cycles, active } => {
+                    out.push(1);
+                    out.extend_from_slice(&cycles.to_le_bytes());
+                    out.extend_from_slice(&active.to_le_bytes());
+                }
+                TbOp::Mem(m) => {
+                    out.push(2);
+                    out.push(match m.space {
+                        MemSpace::Global => 0,
+                        MemSpace::Shared => 1,
+                    });
+                    out.push(u8::from(m.is_store));
+                    match &m.pattern {
+                        AddrPattern::Strided { base, stride } => {
+                            out.push(0);
+                            out.extend_from_slice(&base.to_le_bytes());
+                            out.extend_from_slice(&stride.to_le_bytes());
+                        }
+                        AddrPattern::Gather(addrs) => {
+                            out.push(1);
+                            out.extend_from_slice(&(addrs.len() as u64).to_le_bytes());
+                            for a in addrs.iter() {
+                                out.extend_from_slice(&a.to_le_bytes());
+                            }
+                        }
+                        AddrPattern::Broadcast(a) => {
+                            out.push(2);
+                            out.extend_from_slice(&a.to_le_bytes());
+                        }
+                    }
+                }
+                TbOp::Launch(spec) => {
+                    out.push(3);
+                    out.extend_from_slice(&spec.kind.0.to_le_bytes());
+                    out.extend_from_slice(&spec.param.to_le_bytes());
+                    out.extend_from_slice(&spec.num_tbs.to_le_bytes());
+                    out.extend_from_slice(&spec.req.threads.to_le_bytes());
+                    out.extend_from_slice(&spec.req.regs_per_thread.to_le_bytes());
+                    out.extend_from_slice(&spec.req.smem_bytes.to_le_bytes());
+                }
+                TbOp::Sync => out.push(4),
+            }
+        }
+        out
+    }
 }
 
 /// Produces TB programs on demand.
@@ -295,5 +358,101 @@ mod tests {
             TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))),
         ]);
         assert_eq!(prog.global_mem_ops().count(), 1);
+    }
+
+    #[test]
+    fn empty_program_is_well_behaved() {
+        let prog = TbProgram::default();
+        assert!(prog.is_empty());
+        assert_eq!(prog.len(), 0);
+        assert_eq!(prog.ops(), &[]);
+        assert_eq!(prog.launches().count(), 0);
+        assert_eq!(prog.global_mem_ops().count(), 0);
+        // The encoding of an empty program is just its length prefix.
+        assert_eq!(prog.canonical_bytes(), 0u64.to_le_bytes());
+        assert_eq!(prog, TbProgram::new(Vec::new()));
+    }
+
+    #[test]
+    fn zero_thread_tb_yields_no_addresses() {
+        for p in [
+            AddrPattern::Strided { base: 64, stride: 4 },
+            AddrPattern::Gather(vec![1, 2, 3].into()),
+            AddrPattern::Broadcast(7),
+        ] {
+            assert!(p.warp_addrs(0, 32, 0).is_empty(), "{p:?}");
+            assert!(p.tb_addrs(0).is_empty(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_addresses_do_not_overflow_warp_iteration() {
+        // A strided access whose last lane lands exactly on u64::MAX.
+        let base = u64::MAX - 31 * 4;
+        let p = AddrPattern::Strided { base, stride: 4 };
+        let addrs = p.warp_addrs(0, 32, 32);
+        assert_eq!(addrs.len(), 32);
+        assert_eq!(addrs[0], base);
+        assert_eq!(addrs[31], u64::MAX);
+        // Gather and broadcast pass extreme addresses through verbatim.
+        let g = AddrPattern::Gather(vec![0, u64::MAX].into());
+        assert_eq!(g.warp_addrs(0, 32, 32), vec![0, u64::MAX]);
+        let b = AddrPattern::Broadcast(u64::MAX);
+        assert_eq!(b.tb_addrs(64), vec![u64::MAX]);
+    }
+
+    #[test]
+    fn launches_iterate_in_program_order() {
+        let spec = |param: u64| LaunchSpec {
+            kind: KernelKindId(1),
+            param,
+            num_tbs: 1,
+            req: ResourceReq::new(32, 16, 0),
+        };
+        let prog = TbProgram::new(vec![
+            TbOp::Launch(spec(3)),
+            TbOp::Compute(1),
+            TbOp::Launch(spec(1)),
+            TbOp::Sync,
+            TbOp::Launch(spec(2)),
+        ]);
+        let order: Vec<u64> = prog.launches().map(|s| s.param).collect();
+        assert_eq!(order, vec![3, 1, 2], "launches must keep program order, not sort");
+    }
+
+    #[test]
+    fn canonical_bytes_distinguishes_unequal_programs() {
+        let base = TbProgram::new(vec![
+            TbOp::Compute(4),
+            TbOp::Mem(MemOp::load(AddrPattern::Strided { base: 128, stride: 4 })),
+            TbOp::Mem(MemOp::store(AddrPattern::Gather(vec![8, 16].into()))),
+            TbOp::ComputeMasked { cycles: 6, active: 7 },
+            TbOp::Sync,
+        ]);
+        assert_eq!(base.canonical_bytes(), base.clone().canonical_bytes());
+        let variants = [
+            TbProgram::new(vec![TbOp::Compute(5)]),
+            TbProgram::new(vec![TbOp::ComputeMasked { cycles: 4, active: 32 }]),
+            TbProgram::new(vec![TbOp::Mem(MemOp::store(AddrPattern::Strided {
+                base: 128,
+                stride: 4,
+            }))]),
+            TbProgram::new(vec![TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(8)))]),
+            TbProgram::new(vec![TbOp::Mem(MemOp::load(AddrPattern::Gather(vec![8, 16].into())))]),
+        ];
+        let mut blobs: Vec<Vec<u8>> = variants.iter().map(TbProgram::canonical_bytes).collect();
+        blobs.push(base.canonical_bytes());
+        let unique: std::collections::HashSet<&[u8]> = blobs.iter().map(Vec::as_slice).collect();
+        assert_eq!(unique.len(), blobs.len(), "distinct programs must encode distinctly");
+    }
+
+    #[test]
+    fn canonical_bytes_is_self_delimiting_across_concatenation() {
+        // [Compute(1), Compute(2)] vs [Compute(1)] ++ [Compute(2)]:
+        // the length prefix keeps stream concatenations unambiguous.
+        let joined = TbProgram::new(vec![TbOp::Compute(1), TbOp::Compute(2)]);
+        let mut glued = TbProgram::new(vec![TbOp::Compute(1)]).canonical_bytes();
+        glued.extend(TbProgram::new(vec![TbOp::Compute(2)]).canonical_bytes());
+        assert_ne!(joined.canonical_bytes(), glued);
     }
 }

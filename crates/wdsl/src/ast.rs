@@ -1,0 +1,213 @@
+//! Abstract syntax tree produced by the parser.
+//!
+//! The AST stores raw identifier names; [`crate::resolve()`] turns it into
+//! the resolved form both execution back ends consume. Expression and
+//! statement nodes carry the source line they start on so resolution
+//! errors point back into the `.dsl` file.
+
+/// Binary operators, in DSL surface syntax order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (saturating: the DSL's arithmetic mirrors the generators'
+    /// `saturating_sub`-based tail math).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `/` (runtime error on zero divisor).
+    Div,
+    /// `%` (runtime error on zero divisor).
+    Mod,
+    /// `<<` (zero when the shift amount is 64 or more).
+    Shl,
+    /// `>>` (zero when the shift amount is 64 or more).
+    Shr,
+    /// `&` bitwise.
+    BitAnd,
+    /// `|` bitwise.
+    BitOr,
+    /// `==` (produces 0 or 1).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` short-circuit (produces 0 or 1).
+    And,
+    /// `||` short-circuit (produces 0 or 1).
+    Or,
+}
+
+/// Two-argument builtin functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `div_ceil(a, b)` (runtime error on zero divisor).
+    DivCeil,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64),
+    /// Variable, `param`, `tb`, or a named constant.
+    Var(String),
+    /// `name[index]`: element of a data array.
+    Index(String, Box<Expr>),
+    /// `len(name)`: length of a data array (resolved to a literal).
+    Len(String),
+    /// `addr(region, index)`: byte address of a region element.
+    Addr(String, Box<Expr>),
+    /// `min`/`max`/`div_ceil` call.
+    Call(Builtin, Box<Expr>, Box<Expr>),
+    /// `!expr` — logical not (0 becomes 1, nonzero becomes 0).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement, tagged with its starting source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let name = expr;` — declares a new variable.
+    Let(String, Expr),
+    /// `name = expr;` — assigns an existing variable.
+    Assign(String, Expr),
+    /// `if expr { … } [else { … }]`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for name in lo .. hi { … }` — `lo`/`hi` evaluated once.
+    For(String, Expr, Expr, Vec<Stmt>),
+    /// `while expr { … }`
+    While(Expr, Vec<Stmt>),
+    /// `return;` — ends the kernel program early.
+    Return,
+    /// `compute cycles;`
+    Compute(Expr),
+    /// `compute_masked cycles, active;`
+    ComputeMasked(Expr, Expr),
+    /// `sync;`
+    Sync,
+    /// `shared;`
+    Shared,
+    /// `load_slice region, start, count;` / `store_slice …` —
+    /// `store` distinguishes the two.
+    Slice {
+        /// `true` for `store_slice`.
+        store: bool,
+        /// Region name.
+        region: String,
+        /// First element index.
+        start: Expr,
+        /// Element count (clamped to the region like the generators).
+        count: Expr,
+    },
+    /// `load_bcast region, index;` / `store_bcast …`.
+    Bcast {
+        /// `true` for `store_bcast`.
+        store: bool,
+        /// Region name.
+        region: String,
+        /// Element index.
+        index: Expr,
+    },
+    /// `gather { … }` / `scatter { … }` — the body runs `yield addr;`
+    /// statements to collect per-thread addresses; an empty collection
+    /// emits nothing (like `OpBuilder::gather`).
+    Addrs {
+        /// `true` for `scatter`.
+        store: bool,
+        /// Block collecting addresses via `yield`.
+        body: Vec<Stmt>,
+    },
+    /// `yield expr;` — valid only inside a gather/scatter block.
+    Yield(Expr),
+    /// `launch kind, param, num_tbs, threads, regs, smem;`
+    Launch {
+        /// Kernel kind id.
+        kind: Expr,
+        /// Opaque parameter.
+        param: Expr,
+        /// Child grid size.
+        num_tbs: Expr,
+        /// Threads per child TB.
+        threads: Expr,
+        /// Registers per thread.
+        regs: Expr,
+        /// Shared memory bytes per TB.
+        smem: Expr,
+    },
+}
+
+/// A `host` declaration: one kernel the host launches, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostDecl {
+    /// Source line.
+    pub line: u32,
+    /// Kernel kind (const expression).
+    pub kind: Expr,
+    /// Parameter.
+    pub param: Expr,
+    /// Grid size in TBs.
+    pub tbs: Expr,
+    /// Threads per TB.
+    pub threads: Expr,
+    /// Registers per thread.
+    pub regs: Expr,
+    /// Shared memory bytes per TB.
+    pub smem: Expr,
+}
+
+/// A `kernel` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDecl {
+    /// Source line.
+    pub line: u32,
+    /// Kernel kind (const expression; must be unique per workload).
+    pub kind: Expr,
+    /// Kernel name for traces ("bfs-sweep").
+    pub name: String,
+    /// Threads per TB (const expression).
+    pub threads: Expr,
+    /// Program body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed `.dsl` workload file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkloadAst {
+    /// Application name ("bfs").
+    pub name: String,
+    /// Input name ("citation"; empty for single-input applications).
+    pub input: String,
+    /// `const name = expr;` declarations, in file order.
+    pub consts: Vec<(u32, String, Expr)>,
+    /// `region name[len, elem_bytes];` declarations, in file order —
+    /// the order *is* the memory layout (bump allocation).
+    pub regions: Vec<(u32, String, Expr, Expr)>,
+    /// `data name = [ … ];` declarations, in file order.
+    pub datas: Vec<(u32, String, Vec<u64>)>,
+    /// Host launch list, in order.
+    pub hosts: Vec<HostDecl>,
+    /// Kernel definitions.
+    pub kernels: Vec<KernelDecl>,
+}

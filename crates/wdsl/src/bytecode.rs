@@ -1,0 +1,510 @@
+//! Compact bytecode and its verifier.
+//!
+//! The VM executes this code with *no bounds checks* on the hot path:
+//! program counter, value stack, variable slots, literal pool, and
+//! region table are all accessed unchecked. That is sound because every
+//! [`CompiledKernel`] is validated by `verify` at compile time — an
+//! abstract interpretation that walks every reachable instruction,
+//! tracking the exact stack depth and gather state at each pc, and
+//! rejects anything that could read or write out of range:
+//!
+//! * every jump target is inside the code, and control can never fall
+//!   off the end (each reachable non-`Jump`/`Ret` pc has `pc + 1 < len`),
+//! * stack depth is a *function of pc* (join points must agree), never
+//!   underflows, and its maximum is recorded so the VM can preallocate,
+//! * literal, slot, data, and region ids are all in range,
+//! * `EmitYield` only executes between `BeginAddrs`/`EndAddrs`, gather
+//!   blocks never nest, and `Ret` only fires with an empty stack outside
+//!   a gather block.
+//!
+//! Only data-array indexing remains checked at runtime, because the
+//! index is a runtime value; it fails with a structured
+//! [`DslError::Runtime`], never a panic.
+//!
+//! The compiler always produces verifying code; running the verifier
+//! anyway turns any future compiler bug into a clean [`DslError`]
+//! instead of undefined behavior.
+
+use gpu_sim::program::KernelKindId;
+
+use crate::error::DslError;
+
+/// One VM instruction. 8 bytes; `Copy` so the dispatch loop reads it
+/// out of the code slice by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push literal-pool entry `id`.
+    Lit(u32),
+    /// Push variable slot `id`.
+    Slot(u32),
+    /// Pop into variable slot `id`.
+    SetSlot(u32),
+    /// Push the kernel `param`.
+    Param,
+    /// Push the TB index.
+    Tb,
+    /// Pop an index, push `data[id][index]` (bounds-checked at runtime).
+    Data(u32),
+    /// Pop an index, push the byte address of that element of region
+    /// `id` (`base + index * elem_bytes`, wrapping).
+    RegionAddr(u32),
+    /// Pop `b`, pop `a`, push `min(a, b)`.
+    Min,
+    /// Pop `b`, pop `a`, push `max(a, b)`.
+    Max,
+    /// Pop `b`, pop `a`, push `a.div_ceil(b)`; runtime error when `b == 0`.
+    DivCeil,
+    /// Pop `b`, pop `a`, push `a ⊕ b` for the corresponding
+    /// [`crate::ast::BinOp`] (same total semantics as
+    /// [`crate::resolve::eval_bin`]).
+    Add,
+    /// See [`Op::Add`].
+    Sub,
+    /// See [`Op::Add`].
+    Mul,
+    /// Pop `b`, pop `a`, push `a / b`; runtime error when `b == 0`.
+    Div,
+    /// Pop `b`, pop `a`, push `a % b`; runtime error when `b == 0`.
+    Mod,
+    /// See [`Op::Add`].
+    Shl,
+    /// See [`Op::Add`].
+    Shr,
+    /// See [`Op::Add`].
+    BitAnd,
+    /// See [`Op::Add`].
+    BitOr,
+    /// See [`Op::Add`].
+    Eq,
+    /// See [`Op::Add`].
+    Ne,
+    /// See [`Op::Add`].
+    Lt,
+    /// See [`Op::Add`].
+    Le,
+    /// See [`Op::Add`].
+    Gt,
+    /// See [`Op::Add`].
+    Ge,
+    /// Pop `x`, push `x == 0`.
+    Not,
+    /// Pop `x`, push `x != 0` (normalization for `&&`/`||` lowering).
+    Bool,
+    /// Unconditional jump to an absolute pc.
+    Jump(u32),
+    /// Pop a condition; jump when it is zero.
+    JumpIfZero(u32),
+    /// Pop a condition; jump when it is nonzero.
+    JumpIfNonZero(u32),
+    /// End the program.
+    Ret,
+    /// Pop cycles, emit `TbOp::Compute`.
+    Compute,
+    /// Pop `active`, pop `cycles`, emit `TbOp::ComputeMasked`.
+    ComputeMasked,
+    /// Emit `TbOp::Sync`.
+    Sync,
+    /// Emit a shared-memory staging access.
+    Shared,
+    /// Pop `count`, pop `start`, emit a clamped slice access of region
+    /// `region`.
+    Slice {
+        /// `true` for a store.
+        store: bool,
+        /// Region id.
+        region: u32,
+    },
+    /// Pop an index, emit a broadcast access of region `region`.
+    Bcast {
+        /// `true` for a store.
+        store: bool,
+        /// Region id.
+        region: u32,
+    },
+    /// Open a gather/scatter address collection.
+    BeginAddrs {
+        /// `true` for a scatter.
+        store: bool,
+    },
+    /// Close the collection and emit the op (none when empty).
+    EndAddrs,
+    /// Pop an address into the open collection.
+    EmitYield,
+    /// Pop `smem`, `regs`, `threads`, `num_tbs`, `param`, `kind` (in
+    /// that order) and emit `TbOp::Launch`.
+    Launch,
+}
+
+impl Op {
+    /// `(pops, pushes)` stack effect.
+    fn stack_effect(self) -> (u32, u32) {
+        match self {
+            Op::Lit(_) | Op::Slot(_) | Op::Param | Op::Tb => (0, 1),
+            Op::SetSlot(_) => (1, 0),
+            Op::Data(_) | Op::RegionAddr(_) | Op::Not | Op::Bool => (1, 1),
+            Op::Min
+            | Op::Max
+            | Op::DivCeil
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Mod
+            | Op::Shl
+            | Op::Shr
+            | Op::BitAnd
+            | Op::BitOr
+            | Op::Eq
+            | Op::Ne
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge => (2, 1),
+            Op::Jump(_)
+            | Op::Ret
+            | Op::Sync
+            | Op::Shared
+            | Op::BeginAddrs { .. }
+            | Op::EndAddrs => (0, 0),
+            Op::JumpIfZero(_)
+            | Op::JumpIfNonZero(_)
+            | Op::Compute
+            | Op::Bcast { .. }
+            | Op::EmitYield => (1, 0),
+            Op::ComputeMasked | Op::Slice { .. } => (2, 0),
+            Op::Launch => (6, 0),
+        }
+    }
+}
+
+/// A verified, executable kernel. Construction goes through
+/// [`crate::compile()`], which runs `verify`; the `pub(crate)` fields
+/// plus that invariant are what make the VM's unchecked accesses sound.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    pub(crate) kind: KernelKindId,
+    pub(crate) name: String,
+    pub(crate) threads: u32,
+    /// Total variable slots (resolver slots + compiler temporaries).
+    pub(crate) slots: u32,
+    pub(crate) code: Vec<Op>,
+    pub(crate) literals: Vec<u64>,
+    /// Maximum stack depth any reachable pc can observe (from [`verify`]).
+    pub(crate) max_stack: u32,
+    /// Size of the data-array table the code was verified against; the
+    /// VM checks the tables it is handed are at least this large before
+    /// switching to unchecked id lookups.
+    pub(crate) num_datas: u32,
+    /// Size of the region table the code was verified against.
+    pub(crate) num_regions: u32,
+}
+
+impl CompiledKernel {
+    /// Workload-local kernel kind.
+    pub fn kind(&self) -> KernelKindId {
+        self.kind
+    }
+
+    /// Kernel name for traces.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Threads per TB.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Number of bytecode instructions.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Size of the literal pool.
+    pub fn literals_len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Verified maximum operand-stack depth.
+    pub fn max_stack(&self) -> u32 {
+        self.max_stack
+    }
+}
+
+/// Static limits the verifier checks ids against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    pub(crate) literals: usize,
+    pub(crate) slots: u32,
+    pub(crate) datas: usize,
+    pub(crate) regions: usize,
+}
+
+/// Verifies `code` and returns the maximum stack depth.
+///
+/// # Errors
+///
+/// Returns [`DslError::Bytecode`] naming the first violated invariant
+/// and its pc.
+pub(crate) fn verify(kernel: &str, code: &[Op], limits: Limits) -> Result<u32, DslError> {
+    let fail = |pc: usize, message: String| -> DslError {
+        DslError::Bytecode { kernel: kernel.to_string(), message: format!("pc {pc}: {message}") }
+    };
+    if code.is_empty() {
+        return Err(DslError::Bytecode {
+            kernel: kernel.to_string(),
+            message: "empty code (must end in Ret)".to_string(),
+        });
+    }
+    // Abstract state per pc: stack depth and gather nesting (0 or 1),
+    // discovered by worklist traversal from pc 0.
+    let mut states: Vec<Option<(u32, u8)>> = vec![None; code.len()];
+    states[0] = Some((0, 0));
+    let mut worklist = vec![0usize];
+    let mut max_stack = 0u32;
+
+    // Records `state` for `target`, queueing it if new; errors if a
+    // previously recorded state disagrees (stack depth must be a
+    // function of pc for unchecked indexing to be sound).
+    let merge = |states: &mut Vec<Option<(u32, u8)>>,
+                 worklist: &mut Vec<usize>,
+                 from: usize,
+                 target: usize,
+                 state: (u32, u8)|
+     -> Result<(), DslError> {
+        match states[target] {
+            None => {
+                states[target] = Some(state);
+                worklist.push(target);
+                Ok(())
+            }
+            Some(existing) if existing == state => Ok(()),
+            Some(existing) => Err(fail(
+                target,
+                format!(
+                    "inconsistent state at join: ({}, {}) from pc {from} vs ({}, {})",
+                    state.0, state.1, existing.0, existing.1
+                ),
+            )),
+        }
+    };
+
+    while let Some(pc) = worklist.pop() {
+        let Some((depth, gather)) = states[pc] else { continue };
+        max_stack = max_stack.max(depth);
+        let op = code[pc];
+        let (pops, pushes) = op.stack_effect();
+        let after_depth = depth
+            .checked_sub(pops)
+            .ok_or_else(|| fail(pc, format!("stack underflow: {op:?} pops {pops}, depth {depth}")))?
+            .checked_add(pushes)
+            .ok_or_else(|| fail(pc, "stack depth overflow".to_string()))?;
+
+        // Static id ranges.
+        match op {
+            Op::Lit(id) if id as usize >= limits.literals => {
+                return Err(fail(pc, format!("literal id {id} out of range")));
+            }
+            Op::Slot(id) | Op::SetSlot(id) if id >= limits.slots => {
+                return Err(fail(pc, format!("slot id {id} out of range")));
+            }
+            Op::Data(id) if id as usize >= limits.datas => {
+                return Err(fail(pc, format!("data id {id} out of range")));
+            }
+            Op::RegionAddr(id) | Op::Slice { region: id, .. } | Op::Bcast { region: id, .. }
+                if id as usize >= limits.regions =>
+            {
+                return Err(fail(pc, format!("region id {id} out of range")));
+            }
+            _ => {}
+        }
+
+        // Gather-state transitions.
+        let after_gather = match op {
+            Op::BeginAddrs { .. } => {
+                if gather != 0 {
+                    return Err(fail(pc, "nested gather block".to_string()));
+                }
+                1
+            }
+            Op::EndAddrs => {
+                if gather != 1 {
+                    return Err(fail(pc, "EndAddrs outside a gather block".to_string()));
+                }
+                0
+            }
+            Op::EmitYield => {
+                if gather != 1 {
+                    return Err(fail(pc, "EmitYield outside a gather block".to_string()));
+                }
+                gather
+            }
+            // Ops that would interleave foreign TbOps into an open
+            // collection are compiler-unreachable inside blocks; the
+            // resolver enforces that, so the verifier only polices what
+            // soundness needs.
+            _ => gather,
+        };
+
+        // Successors.
+        let state = (after_depth, after_gather);
+        match op {
+            Op::Ret => {
+                if after_depth != 0 || after_gather != 0 {
+                    return Err(fail(
+                        pc,
+                        format!("Ret with stack depth {after_depth}, gather {after_gather}"),
+                    ));
+                }
+            }
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNonZero(t) => {
+                if t as usize >= code.len() {
+                    return Err(fail(pc, format!("jump target {t} out of range")));
+                }
+                merge(&mut states, &mut worklist, pc, t as usize, state)?;
+                if !matches!(op, Op::Jump(_)) {
+                    if pc + 1 >= code.len() {
+                        return Err(fail(pc, "fallthrough past end of code".to_string()));
+                    }
+                    merge(&mut states, &mut worklist, pc, pc + 1, state)?;
+                }
+            }
+            _ => {
+                if pc + 1 >= code.len() {
+                    return Err(fail(pc, "fallthrough past end of code".to_string()));
+                }
+                merge(&mut states, &mut worklist, pc, pc + 1, state)?;
+            }
+        }
+        max_stack = max_stack.max(after_depth);
+    }
+    Ok(max_stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMITS: Limits = Limits { literals: 2, slots: 2, datas: 1, regions: 1 };
+
+    fn check(code: &[Op]) -> Result<u32, DslError> {
+        verify("k", code, LIMITS)
+    }
+
+    #[test]
+    fn accepts_a_straight_line_program() {
+        let max =
+            check(&[Op::Lit(0), Op::Lit(1), Op::Add, Op::Compute, Op::Ret]).expect("verifies");
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        assert!(check(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let err = check(&[Op::Add, Op::Ret]).expect_err("must fail");
+        assert!(err.to_string().contains("stack underflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fallthrough_past_end() {
+        let err = check(&[Op::Lit(0), Op::Compute]).expect_err("must fail");
+        assert!(err.to_string().contains("fallthrough"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_jump() {
+        let err = check(&[Op::Jump(99)]).expect_err("must fail");
+        assert!(err.to_string().contains("jump target"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        for op in [Op::Lit(9), Op::Slot(9), Op::SetSlot(9)] {
+            let code = match op {
+                Op::Lit(_) | Op::Slot(_) => vec![op, Op::Compute, Op::Ret],
+                _ => vec![Op::Lit(0), op, Op::Ret],
+            };
+            let err = check(&code).expect_err("must fail");
+            assert!(err.to_string().contains("out of range"), "{op:?}: {err}");
+        }
+        let err = check(&[Op::Lit(0), Op::Data(4), Op::Compute, Op::Ret]).expect_err("fails");
+        assert!(err.to_string().contains("data id 4"), "{err}");
+        let err =
+            check(&[Op::Lit(0), Op::Bcast { store: false, region: 3 }, Op::Ret]).expect_err("f");
+        assert!(err.to_string().contains("region id 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ret_with_nonempty_stack() {
+        let err = check(&[Op::Lit(0), Op::Ret]).expect_err("must fail");
+        assert!(err.to_string().contains("Ret with stack depth 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_yield_outside_gather_and_nesting() {
+        let err = check(&[Op::Lit(0), Op::EmitYield, Op::Ret]).expect_err("must fail");
+        assert!(err.to_string().contains("EmitYield outside"), "{err}");
+        let err = check(&[
+            Op::BeginAddrs { store: false },
+            Op::BeginAddrs { store: false },
+            Op::EndAddrs,
+            Op::EndAddrs,
+            Op::Ret,
+        ])
+        .expect_err("must fail");
+        assert!(err.to_string().contains("nested gather"), "{err}");
+        let err = check(&[Op::EndAddrs, Op::Ret]).expect_err("must fail");
+        assert!(err.to_string().contains("EndAddrs outside"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ret_inside_gather() {
+        let err = check(&[Op::BeginAddrs { store: false }, Op::Ret]).expect_err("must fail");
+        assert!(err.to_string().contains("gather 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depths() {
+        // pc2 is reached with depth 1 (fallthrough) and depth 0 (jump).
+        let code = [
+            Op::Lit(0),        // 0: depth 0 -> 1
+            Op::JumpIfZero(3), // 1: pops -> depth 0; targets 3 and 2
+            Op::Lit(0),        // 2: depth 0 -> 1, falls to 3 with 1
+            Op::Compute,       // 3: joined with depth 0 and 1
+            Op::Ret,
+        ];
+        let err = check(&code).expect_err("must fail");
+        assert!(err.to_string().contains("inconsistent state"), "{err}");
+    }
+
+    #[test]
+    fn loop_shaped_code_verifies() {
+        // slot0 = 0; while slot0 < lit1 { slot0 = slot0 + lit0 } ret
+        let code = [
+            Op::Lit(0),         // 0
+            Op::SetSlot(0),     // 1
+            Op::Slot(0),        // 2: loop head
+            Op::Lit(1),         // 3
+            Op::Lt,             // 4
+            Op::JumpIfZero(11), // 5
+            Op::Slot(0),        // 6
+            Op::Lit(0),         // 7
+            Op::Add,            // 8
+            Op::SetSlot(0),     // 9
+            Op::Jump(2),        // 10
+            Op::Ret,            // 11
+        ];
+        assert_eq!(check(&code).expect("verifies"), 2);
+    }
+
+    #[test]
+    fn dead_code_after_ret_is_tolerated() {
+        // The compiler can emit unreachable tails (e.g. statements after
+        // `return;`); they never execute, so the verifier ignores them.
+        assert!(check(&[Op::Ret, Op::Add, Op::Add]).is_ok());
+    }
+}

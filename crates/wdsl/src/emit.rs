@@ -1,0 +1,203 @@
+//! Shared TB-op emission for both execution back ends.
+//!
+//! The reference interpreter and the bytecode VM compute values
+//! differently, but every [`gpu_sim::program::TbOp`] they append goes
+//! through this one context — including the u64→u32 narrowing of
+//! compute cycles and launch fields, the slice-clamping logic (reused
+//! from [`workloads::apps::common::OpBuilder`] verbatim), and the
+//! gather/scatter address collection. Identical inputs therefore yield
+//! bit-identical programs by construction; the differential tests only
+//! have to establish that the *inputs* (evaluated operand values) agree.
+
+use gpu_sim::kernel::ResourceReq;
+use gpu_sim::program::{KernelKindId, TbProgram};
+use gpu_sim::types::Addr;
+use workloads::apps::common::OpBuilder;
+use workloads::layout::Region;
+
+/// Narrows an operand to `u32` exactly the way every emission site does
+/// (wrapping truncation; corpus programs never exceed `u32`).
+fn narrow(v: u64) -> u32 {
+    v as u32
+}
+
+/// Op-emission state for one TB program.
+#[derive(Debug)]
+pub(crate) struct EmitCtx {
+    builder: OpBuilder,
+    /// `Some((is_store, addrs))` while inside a gather/scatter block.
+    gather: Option<(bool, Vec<Addr>)>,
+}
+
+impl EmitCtx {
+    pub(crate) fn new(threads: u32) -> Self {
+        EmitCtx { builder: OpBuilder::new(threads), gather: None }
+    }
+
+    pub(crate) fn compute(&mut self, cycles: u64) {
+        self.builder.compute(narrow(cycles));
+    }
+
+    pub(crate) fn compute_masked(&mut self, cycles: u64, active: u64) {
+        self.builder.compute_masked(narrow(cycles), narrow(active));
+    }
+
+    pub(crate) fn sync(&mut self) {
+        self.builder.sync();
+    }
+
+    pub(crate) fn shared(&mut self) {
+        self.builder.shared();
+    }
+
+    /// Slice access with `OpBuilder`'s clamp-and-skip semantics.
+    pub(crate) fn slice(&mut self, store: bool, region: Region, start: u64, count: u64) {
+        if store {
+            self.builder.store_slice(region, start, count);
+        } else {
+            self.builder.load_slice(region, start, count);
+        }
+    }
+
+    /// Broadcast access of one element. The address is computed directly
+    /// (`base + index * elem`, wrapping) rather than through
+    /// `Region::addr`, whose debug assertion would abort on the
+    /// out-of-bounds indices randomized fuzz programs can produce; for
+    /// in-bounds indices the two are identical.
+    pub(crate) fn bcast(&mut self, store: bool, region: Region, index: u64) {
+        use gpu_sim::program::{AddrPattern, MemOp, TbOp};
+        let pattern = AddrPattern::Broadcast(element_addr(region, index));
+        let op = if store { MemOp::store(pattern) } else { MemOp::load(pattern) };
+        self.builder.push_raw(TbOp::Mem(op));
+    }
+
+    /// Opens a gather (`store == false`) or scatter (`store == true`)
+    /// collection. The resolver guarantees blocks never nest.
+    pub(crate) fn begin_addrs(&mut self, store: bool) {
+        debug_assert!(self.gather.is_none(), "gather blocks cannot nest (resolver invariant)");
+        self.gather = Some((store, Vec::new()));
+    }
+
+    /// Appends one address to the open collection.
+    pub(crate) fn push_addr(&mut self, addr: u64) {
+        if let Some((_, addrs)) = self.gather.as_mut() {
+            addrs.push(addr);
+        } else {
+            debug_assert!(false, "push_addr outside gather (verifier invariant)");
+        }
+    }
+
+    /// Closes the collection, emitting one gather/scatter op (or none
+    /// when empty, like `OpBuilder::gather`).
+    pub(crate) fn end_addrs(&mut self) {
+        if let Some((store, addrs)) = self.gather.take() {
+            if store {
+                self.builder.scatter(addrs);
+            } else {
+                self.builder.gather(addrs);
+            }
+        }
+    }
+
+    pub(crate) fn launch(
+        &mut self,
+        kind: u64,
+        param: u64,
+        num_tbs: u64,
+        threads: u64,
+        regs: u64,
+        smem: u64,
+    ) {
+        self.builder.launch(
+            KernelKindId(kind as u16),
+            param,
+            narrow(num_tbs),
+            ResourceReq::new(narrow(threads), narrow(regs), narrow(smem)),
+        );
+    }
+
+    pub(crate) fn finish(mut self) -> TbProgram {
+        // An unterminated gather (program returned mid-block) still
+        // flushes, mirroring the interpreter's early-return path; the
+        // resolver forbids `return` inside blocks so this only matters
+        // for defense in depth.
+        self.end_addrs();
+        self.builder.build()
+    }
+}
+
+/// `base + index * elem_bytes` with wrapping arithmetic — the total
+/// version of `Region::addr`, shared by `bcast` and the `addr()`
+/// builtin in both back ends.
+pub(crate) fn element_addr(region: Region, index: u64) -> Addr {
+    region.base().wrapping_add(index.wrapping_mul(u64::from(region.elem_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::program::{AddrPattern, MemSpace, TbOp};
+    use workloads::layout::Layout;
+
+    fn region(len: u64) -> Region {
+        Layout::new().alloc(len, 4)
+    }
+
+    #[test]
+    fn matches_opbuilder_for_the_full_op_menu() {
+        let r = region(64);
+        let mut ctx = EmitCtx::new(32);
+        ctx.compute(4);
+        ctx.slice(false, r, 0, 32);
+        ctx.bcast(true, r, 5);
+        ctx.begin_addrs(false);
+        ctx.push_addr(r.base() + 4);
+        ctx.end_addrs();
+        ctx.shared();
+        ctx.sync();
+        ctx.launch(1, 7, 2, 32, 8, 0);
+        let got = ctx.finish();
+
+        let mut b = OpBuilder::new(32);
+        b.compute(4)
+            .load_slice(r, 0, 32)
+            .store_bcast(r, 5)
+            .gather(vec![r.base() + 4])
+            .shared()
+            .sync()
+            .launch(KernelKindId(1), 7, 2, ResourceReq::new(32, 8, 0));
+        assert_eq!(got, b.build());
+    }
+
+    #[test]
+    fn empty_gather_emits_nothing() {
+        let mut ctx = EmitCtx::new(32);
+        ctx.begin_addrs(true);
+        ctx.end_addrs();
+        assert!(ctx.finish().is_empty());
+    }
+
+    #[test]
+    fn bcast_is_broadcast_of_element_address() {
+        let r = region(8);
+        let mut ctx = EmitCtx::new(32);
+        ctx.bcast(false, r, 3);
+        let prog = ctx.finish();
+        match prog.ops() {
+            [TbOp::Mem(m)] => {
+                assert_eq!(m.space, MemSpace::Global);
+                assert_eq!(m.pattern, AddrPattern::Broadcast(r.addr(3)));
+                assert!(!m.is_store);
+            }
+            other => panic!("unexpected ops {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_bcast_is_total() {
+        let r = region(8);
+        let mut ctx = EmitCtx::new(32);
+        ctx.bcast(false, r, 1_000_000); // Region::addr would debug-assert
+        assert_eq!(ctx.finish().len(), 1);
+    }
+}

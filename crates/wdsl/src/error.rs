@@ -1,0 +1,155 @@
+//! Structured errors for every stage of the workload-compilation
+//! pipeline.
+//!
+//! Every fallible entry point of this crate returns [`DslError`] — the
+//! lexer, the parser, the resolver, the bytecode verifier, and both
+//! execution back ends (the reference interpreter and the VM). Nothing
+//! in the pipeline unwraps: a malformed `.dsl` file or a program that
+//! indexes a data array out of bounds surfaces as a value the caller can
+//! print, match on, or attach to a CI artifact.
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced by the DSL pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// The lexer met a character or literal it cannot tokenize.
+    Lex {
+        /// Where in the source text.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Where in the source text.
+        pos: Pos,
+        /// What went wrong.
+        message: String,
+    },
+    /// Name resolution or static validation failed (unknown identifier,
+    /// duplicate declaration, `yield` outside a gather block, …).
+    Resolve {
+        /// Source line of the offending construct (0 when structural).
+        line: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// The bytecode verifier rejected a compiled kernel. This is an
+    /// internal invariant failure — the compiler must only emit code the
+    /// verifier accepts — surfaced as an error instead of a panic so a
+    /// compiler bug can never take down a sweep.
+    Bytecode {
+        /// Kernel name.
+        kernel: String,
+        /// What the verifier rejected.
+        message: String,
+    },
+    /// Program execution failed (identically detectable in the
+    /// interpreter and the VM: out-of-bounds data index, division by
+    /// zero, or the fuel limit).
+    Runtime {
+        /// Kernel name.
+        kernel: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl DslError {
+    /// Short stage tag ("lex", "parse", "resolve", "bytecode",
+    /// "runtime") for log grepping.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            DslError::Lex { .. } => "lex",
+            DslError::Parse { .. } => "parse",
+            DslError::Resolve { .. } => "resolve",
+            DslError::Bytecode { .. } => "bytecode",
+            DslError::Runtime { .. } => "runtime",
+        }
+    }
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DslError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            DslError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            DslError::Resolve { line, message } => {
+                if *line == 0 {
+                    write!(f, "resolve error: {message}")
+                } else {
+                    write!(f, "resolve error at line {line}: {message}")
+                }
+            }
+            DslError::Bytecode { kernel, message } => {
+                write!(f, "bytecode verification failed in kernel '{kernel}': {message}")
+            }
+            DslError::Runtime { kernel, message } => {
+                write!(f, "runtime error in kernel '{kernel}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Constructors shared by the interpreter and the VM, so both back ends
+/// produce *identical* error values for the same fault — the property
+/// the differential fuzzer relies on when a randomized program happens
+/// to be faulty.
+pub(crate) mod runtime {
+    use super::DslError;
+
+    pub(crate) fn data_oob(kernel: &str, data: &str, index: u64, len: usize) -> DslError {
+        DslError::Runtime {
+            kernel: kernel.to_string(),
+            message: format!("data '{data}' index {index} out of bounds ({len} elements)"),
+        }
+    }
+
+    pub(crate) fn div_by_zero(kernel: &str) -> DslError {
+        DslError::Runtime { kernel: kernel.to_string(), message: "division by zero".to_string() }
+    }
+
+    pub(crate) fn fuel_exhausted(kernel: &str) -> DslError {
+        DslError::Runtime {
+            kernel: kernel.to_string(),
+            message: "fuel exhausted (runaway loop?)".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_position() {
+        let e =
+            DslError::Parse { pos: Pos { line: 3, col: 7 }, message: "expected ';'".to_string() };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+        assert_eq!(e.stage(), "parse");
+    }
+
+    #[test]
+    fn runtime_constructors_are_stable() {
+        let a = runtime::data_oob("k", "d", 9, 4);
+        let b = runtime::data_oob("k", "d", 9, 4);
+        assert_eq!(a, b);
+        assert!(a.to_string().contains("index 9 out of bounds (4 elements)"));
+    }
+}

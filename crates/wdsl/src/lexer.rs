@@ -1,0 +1,353 @@
+//! Tokenizer for the workload DSL.
+//!
+//! The lexer is a single forward pass producing a `Vec<Token>`; `#`
+//! starts a comment running to end of line. Integer literals are
+//! decimal `u64`. Identifiers and keywords share one token kind — the
+//! parser decides which identifiers are reserved, so the token stream
+//! stays simple.
+
+use crate::error::{DslError, Pos};
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Source position of the token's first character.
+    pub pos: Pos,
+}
+
+/// The token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `kernel`, `frontier`, …).
+    Ident(String),
+    /// Decimal integer literal.
+    Int(u64),
+    /// Double-quoted string literal (no escapes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(n) => format!("integer {n}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("'{}'", other.glyph()),
+        }
+    }
+
+    fn glyph(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Assign => "=",
+            TokenKind::DotDot => "..",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Amp => "&",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::Pipe => "|",
+            TokenKind::PipePipe => "||",
+            TokenKind::Bang => "!",
+            _ => "?",
+        }
+    }
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Reports the first unexpected character or an integer literal that
+/// overflows `u64`, with its position.
+pub fn lex(src: &str) -> Result<Vec<Token>, DslError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token { kind: $kind, pos: Pos { line, col } });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => push!(TokenKind::LParen, 1),
+            b')' => push!(TokenKind::RParen, 1),
+            b'{' => push!(TokenKind::LBrace, 1),
+            b'}' => push!(TokenKind::RBrace, 1),
+            b'[' => push!(TokenKind::LBracket, 1),
+            b']' => push!(TokenKind::RBracket, 1),
+            b',' => push!(TokenKind::Comma, 1),
+            b';' => push!(TokenKind::Semi, 1),
+            b'+' => push!(TokenKind::Plus, 1),
+            b'-' => push!(TokenKind::Minus, 1),
+            b'*' => push!(TokenKind::Star, 1),
+            b'/' => push!(TokenKind::Slash, 1),
+            b'%' => push!(TokenKind::Percent, 1),
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push!(TokenKind::DotDot, 2);
+                } else {
+                    return Err(unexpected(line, col, '.'));
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::EqEq, 2);
+                } else {
+                    push!(TokenKind::Assign, 1);
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(TokenKind::Ne, 2);
+                } else {
+                    push!(TokenKind::Bang, 1);
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'<') => push!(TokenKind::Shl, 2),
+                Some(&b'=') => push!(TokenKind::Le, 2),
+                _ => push!(TokenKind::Lt, 1),
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(&b'>') => push!(TokenKind::Shr, 2),
+                Some(&b'=') => push!(TokenKind::Ge, 2),
+                _ => push!(TokenKind::Gt, 1),
+            },
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(TokenKind::AmpAmp, 2);
+                } else {
+                    push!(TokenKind::Amp, 1);
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(TokenKind::PipePipe, 2);
+                } else {
+                    push!(TokenKind::Pipe, 1);
+                }
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                if end >= bytes.len() || bytes[end] != b'"' {
+                    return Err(DslError::Lex {
+                        pos: Pos { line, col },
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                let s = String::from_utf8_lossy(&bytes[start..end]).into_owned();
+                let len = end + 1 - i;
+                push!(TokenKind::Str(s), len);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..end]).unwrap_or("");
+                let value: u64 = text.parse().map_err(|_| DslError::Lex {
+                    pos: Pos { line, col },
+                    message: format!("integer literal '{text}' does not fit in u64"),
+                })?;
+                let len = end - start;
+                push!(TokenKind::Int(value), len);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let s = String::from_utf8_lossy(&bytes[start..end]).into_owned();
+                let len = end - start;
+                push!(TokenKind::Ident(s), len);
+            }
+            other => return Err(unexpected(line, col, other as char)),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: Pos { line, col } });
+    Ok(tokens)
+}
+
+fn unexpected(line: u32, col: u32, c: char) -> DslError {
+    DslError::Lex { pos: Pos { line, col }, message: format!("unexpected character '{c}'") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_program_fragment() {
+        let ks = kinds("let a = tb * 32; # chunk start\nif a <= 7 { yield addr(r, a); }");
+        assert!(ks.contains(&TokenKind::Ident("let".into())));
+        assert!(ks.contains(&TokenKind::Int(32)));
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "chunk")));
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            kinds("<< >> <= >= == != && || ..")[..9],
+            [
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::DotDot,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("a\n  bb").expect("lexes");
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("\"bfs-sweep\"")[0], TokenKind::Str("bfs-sweep".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("\"oops").expect_err("must fail");
+        assert!(err.to_string().contains("unterminated string"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_integer_is_an_error() {
+        let err = lex("99999999999999999999999").expect_err("must fail");
+        assert!(err.to_string().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let err = lex("a @ b").expect_err("must fail");
+        assert_eq!(err.stage(), "lex");
+        assert!(err.to_string().contains('@'), "{err}");
+    }
+
+    #[test]
+    fn lone_dot_is_an_error() {
+        assert!(lex("a . b").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! [`CompiledWorkload`]: a `.dsl` file as a drop-in [`Workload`].
+//!
+//! This is the seam that routes `Workload → TbProgram` through the
+//! compiled path: parse → resolve → compile once, then serve
+//! `tb_program` requests from the bytecode VM (or, in
+//! [`ExecMode::Interp`], from the reference interpreter — the
+//! cross-verification oracle). The legacy generators stay available
+//! behind the same trait, so benches and CI can diff the two paths.
+
+use std::sync::Arc;
+
+use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
+use workloads::layout::Region;
+use workloads::{HostKernel, Scale, Workload};
+
+use crate::bytecode::CompiledKernel;
+use crate::compile::compile;
+use crate::error::DslError;
+use crate::interp::interpret_tb;
+use crate::parser::parse;
+use crate::resolve::{resolve, ResolvedWorkload};
+use crate::vm::run_compiled;
+
+/// Which back end serves `tb_program` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The verified bytecode VM (the hot path).
+    #[default]
+    Vm,
+    /// The reference AST interpreter (the oracle; slower).
+    Interp,
+}
+
+impl ExecMode {
+    /// Short tag for reports ("vm" / "interp").
+    pub fn tag(self) -> &'static str {
+        match self {
+            ExecMode::Vm => "vm",
+            ExecMode::Interp => "interp",
+        }
+    }
+}
+
+/// A fully compiled workload: resolved tables plus verified bytecode,
+/// usable anywhere a [`Workload`] is.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    resolved: ResolvedWorkload,
+    /// Flattened region table for the VM.
+    regions: Vec<Region>,
+    kernels: Vec<CompiledKernel>,
+    mode: ExecMode,
+}
+
+impl CompiledWorkload {
+    /// Compiles `.dsl` source text end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any pipeline stage (lex, parse,
+    /// resolve, bytecode verification).
+    pub fn from_source(src: &str, mode: ExecMode) -> Result<Self, DslError> {
+        let ast = parse(src)?;
+        let resolved = resolve(&ast)?;
+        let kernels = compile(&resolved)?;
+        let regions = resolved.regions.iter().map(|r| r.region).collect();
+        Ok(CompiledWorkload { resolved, regions, kernels, mode })
+    }
+
+    /// The same workload served by the other/selected back end.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Which back end serves programs.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The resolved form (tables, host list, kernel trees).
+    pub fn resolved(&self) -> &ResolvedWorkload {
+        &self.resolved
+    }
+
+    /// The compiled kernels, in declaration order.
+    pub fn kernels(&self) -> &[CompiledKernel] {
+        &self.kernels
+    }
+
+    /// Fallible program generation — the structured-error twin of
+    /// [`ProgramSource::tb_program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::Runtime`] for unknown kernel kinds and for
+    /// program faults (out-of-bounds data index, division by zero, fuel
+    /// exhaustion), identically for both back ends.
+    pub fn try_tb_program(
+        &self,
+        kind: KernelKindId,
+        param: u64,
+        tb: u32,
+    ) -> Result<TbProgram, DslError> {
+        match self.mode {
+            ExecMode::Vm => {
+                let kernel = self
+                    .kernels
+                    .iter()
+                    .find(|k| k.kind == kind)
+                    .ok_or_else(|| unknown_kind(&self.resolved.name, kind))?;
+                run_compiled(&self.regions, &self.resolved.datas, kernel, param, tb)
+            }
+            ExecMode::Interp => {
+                let kernel = self
+                    .resolved
+                    .kernel(kind)
+                    .ok_or_else(|| unknown_kind(&self.resolved.name, kind))?;
+                interpret_tb(&self.resolved, kernel, param, tb)
+            }
+        }
+    }
+}
+
+fn unknown_kind(workload: &str, kind: KernelKindId) -> DslError {
+    DslError::Runtime {
+        kernel: workload.to_string(),
+        message: format!("no kernel with kind {}", kind.0),
+    }
+}
+
+impl ProgramSource for CompiledWorkload {
+    /// # Panics
+    ///
+    /// `ProgramSource` is infallible by contract (program generation is
+    /// a pure function the engine may call at any point), so a runtime
+    /// fault in a *checked-in* program — which the corpus tests and the
+    /// CI gate make unreachable — surfaces as a panic carrying the
+    /// structured error's message. The fallible entry point is
+    /// [`CompiledWorkload::try_tb_program`].
+    fn tb_program(&self, kind: KernelKindId, param: u64, tb_index: u32) -> TbProgram {
+        match self.try_tb_program(kind, param, tb_index) {
+            Ok(p) => p,
+            Err(e) => panic!("workload-DSL program failed: {e}"),
+        }
+    }
+
+    fn kind_name(&self, kind: KernelKindId) -> String {
+        self.resolved.kernel(kind).map_or_else(|| format!("kind-{}", kind.0), |k| k.name.clone())
+    }
+}
+
+impl Workload for CompiledWorkload {
+    fn name(&self) -> &str {
+        &self.resolved.name
+    }
+
+    fn input(&self) -> String {
+        self.resolved.input.clone()
+    }
+
+    fn host_kernels(&self) -> Vec<HostKernel> {
+        self.resolved.hosts.clone()
+    }
+}
+
+/// Compiles a generator workload's DSL port, if it provides one.
+///
+/// # Errors
+///
+/// Propagates compilation errors from the workload's `dsl_text`.
+pub fn compile_workload(
+    w: &dyn Workload,
+    mode: ExecMode,
+) -> Result<Option<CompiledWorkload>, DslError> {
+    match w.dsl_text() {
+        None => Ok(None),
+        Some(src) => CompiledWorkload::from_source(&src, mode).map(Some),
+    }
+}
+
+/// The full suite served through the compiled path: every workload of
+/// [`workloads::suite_seeded`] replaced by its compiled DSL port.
+///
+/// # Errors
+///
+/// Returns [`DslError`] if a suite workload lacks a DSL port or its
+/// port fails to compile — both are repo bugs the CI corpus gate
+/// catches.
+pub fn compiled_suite_seeded(
+    scale: Scale,
+    seed: u64,
+    mode: ExecMode,
+) -> Result<Vec<Arc<dyn Workload>>, DslError> {
+    let mut out: Vec<Arc<dyn Workload>> = Vec::new();
+    for w in workloads::suite_seeded(scale, seed) {
+        let compiled = compile_workload(w.as_ref(), mode)?.ok_or_else(|| DslError::Resolve {
+            line: 0,
+            message: format!("suite workload '{}' has no DSL port", w.full_name()),
+        })?;
+        out.push(Arc::new(compiled));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+workload "toy" input "x";
+region vals[64, 4];
+host kind = 0 param = 0 tbs = 2 threads = 32 regs = 8 smem = 0;
+kernel 0 "toy-sweep" threads = 32 {
+    let a = tb * 32;
+    load_slice vals, a, 32;
+    launch 1, a, 1, 32, 8, 0;
+}
+kernel 1 "toy-child" threads = 32 {
+    load_slice vals, param, 32;
+    compute 4;
+}
+"#;
+
+    #[test]
+    fn serves_programs_through_both_backends_identically() {
+        let vm = CompiledWorkload::from_source(TOY, ExecMode::Vm).expect("compiles");
+        let interp = vm.clone().with_mode(ExecMode::Interp);
+        assert_eq!(vm.full_name(), "toy-x");
+        for kind in [KernelKindId(0), KernelKindId(1)] {
+            for tb in 0..2 {
+                assert_eq!(vm.try_tb_program(kind, 0, tb), interp.try_tb_program(kind, 0, tb));
+            }
+        }
+    }
+
+    #[test]
+    fn child_kernels_are_reachable_via_launchspec() {
+        let w = CompiledWorkload::from_source(TOY, ExecMode::Vm).expect("compiles");
+        let hk = w.host_kernels()[0];
+        let parent = w.tb_program(hk.kind, hk.param, 0);
+        let launch = parent.launches().next().expect("parent launches");
+        let child = w.tb_program(launch.kind, launch.param, 0);
+        assert!(!child.is_empty());
+        assert_eq!(w.kind_name(launch.kind), "toy-child");
+    }
+
+    #[test]
+    fn unknown_kind_is_a_structured_error() {
+        let w = CompiledWorkload::from_source(TOY, ExecMode::Vm).expect("compiles");
+        let err = w.try_tb_program(KernelKindId(9), 0, 0).expect_err("must fail");
+        assert!(err.to_string().contains("no kernel with kind 9"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_errors_surface_per_stage() {
+        for (src, stage) in [
+            ("workload @", "lex"),
+            ("workload \"w\" kernel", "parse"),
+            ("workload \"w\"; kernel 0 \"k\" threads = 32 { compute x; }", "resolve"),
+        ] {
+            let err = CompiledWorkload::from_source(src, ExecMode::Vm).expect_err("must fail");
+            assert_eq!(err.stage(), stage, "{src}: {err}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The tentpole equivalence gate: every suite workload's DSL port must
+//! compile to TB programs *byte-identical* to the legacy generator's
+//! output, for every host TB and every transitively launched child TB —
+//! under both the bytecode VM and the reference interpreter.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::program::ProgramSource;
+use wdsl::{compile_workload, CompiledWorkload, ExecMode};
+use workloads::{suite, Scale, Workload};
+
+/// Walks the host kernels and all launches reachable from them (using
+/// the generator as the launch oracle) and asserts byte-identity of
+/// every program the compiled path produces.
+fn assert_equivalent(w: &dyn Workload, compiled: &CompiledWorkload) {
+    let name = w.full_name();
+    let interp = compiled.clone().with_mode(ExecMode::Interp);
+    // (kind, param) -> grid size; grids for the same key are identical
+    // by construction (the launch spec is data-derived), but keep the
+    // max to be safe.
+    let mut frontier: BTreeMap<(u16, u64), u32> = BTreeMap::new();
+    for hk in w.host_kernels() {
+        let entry = frontier.entry((hk.kind.0, hk.param)).or_insert(0);
+        *entry = (*entry).max(hk.num_tbs);
+    }
+    let mut done: BTreeMap<(u16, u64), u32> = BTreeMap::new();
+    let mut programs = 0usize;
+    while let Some((&(kind, param), &num_tbs)) = frontier.iter().next() {
+        frontier.remove(&(kind, param));
+        let seen = done.entry((kind, param)).or_insert(0);
+        if *seen >= num_tbs {
+            continue;
+        }
+        let from = *seen;
+        *seen = num_tbs;
+        for tb in from..num_tbs {
+            let reference = w.tb_program(gpu_sim::program::KernelKindId(kind), param, tb);
+            for (mode, cw) in [("vm", compiled), ("interp", &interp)] {
+                let got = cw
+                    .try_tb_program(gpu_sim::program::KernelKindId(kind), param, tb)
+                    .unwrap_or_else(|e| {
+                        panic!("{name}: {mode} failed on kind {kind} param {param} tb {tb}: {e}")
+                    });
+                assert_eq!(
+                    got.canonical_bytes(),
+                    reference.canonical_bytes(),
+                    "{name}: {mode} diverges from generator on kind {kind} param {param} tb {tb}"
+                );
+            }
+            programs += 1;
+            for l in reference.launches() {
+                let entry = frontier.entry((l.kind.0, l.param)).or_insert(0);
+                *entry = (*entry).max(l.num_tbs);
+            }
+        }
+    }
+    assert!(programs > 1, "{name}: walk covered only {programs} programs");
+}
+
+#[test]
+fn every_suite_workload_matches_its_generator() {
+    for w in suite(Scale::Tiny) {
+        let compiled = compile_workload(w.as_ref(), ExecMode::Vm)
+            .unwrap_or_else(|e| panic!("{}: DSL pipeline failed: {e}", w.full_name()))
+            .unwrap_or_else(|| panic!("{}: workload has no DSL port", w.full_name()));
+        assert_equivalent(w.as_ref(), &compiled);
+    }
+}
+
+#[test]
+fn seeded_suite_instances_also_match() {
+    // A different input seed regenerates every data-dependent part of
+    // the DSL text (graphs, match lists, partition tables).
+    for w in workloads::suite_seeded(Scale::Tiny, 7) {
+        let compiled = compile_workload(w.as_ref(), ExecMode::Vm)
+            .unwrap_or_else(|e| panic!("{}: DSL pipeline failed: {e}", w.full_name()))
+            .unwrap_or_else(|| panic!("{}: workload has no DSL port", w.full_name()));
+        assert_equivalent(w.as_ref(), &compiled);
+    }
+}
+
+#[test]
+fn checked_in_corpus_matches_freshly_emitted_text() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../workloads/dsl");
+    let mut seen = 0usize;
+    for w in suite(Scale::Tiny) {
+        let name = w.full_name();
+        let path = dir.join(format!("{name}.dsl"));
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — regenerate with `cargo run -p wdsl --bin dsl-corpus -- write \
+                 crates/workloads/dsl`",
+                path.display()
+            )
+        });
+        let fresh = w.dsl_text().unwrap_or_else(|| panic!("{name}: no DSL port"));
+        assert_eq!(
+            on_disk, fresh,
+            "{name}: checked-in corpus file is stale — regenerate with \
+             `cargo run -p wdsl --bin dsl-corpus -- write crates/workloads/dsl`"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 16);
+}
+
+#[test]
+fn compiled_names_match_generator_names() {
+    for w in suite(Scale::Tiny) {
+        let compiled =
+            compile_workload(w.as_ref(), ExecMode::Vm).expect("pipeline").expect("port exists");
+        assert_eq!(compiled.full_name(), w.full_name());
+        for hk in w.host_kernels() {
+            assert_eq!(compiled.kind_name(hk.kind), w.kind_name(hk.kind));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+workload "join" input "gaussian";
+# 512 R tuples over 16 partitions
+data pparts = [
+    3, 4, 5, 6, 7, 8, 9, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+    2, 3, 5, 6, 7, 8, 9, 10, 4, 5, 6, 7, 8, 9, 10, 11,
+    4, 5, 6, 7, 8, 9, 10, 11, 3, 4, 5, 6, 7, 8, 9, 10,
+    11, 4, 5, 6, 7, 8, 9, 10, 5, 6, 7, 8, 9, 10, 11, 4,
+    5, 6, 7, 8, 9, 11, 4, 5, 6, 7, 8, 9, 10, 11, 4, 6,
+    7, 8, 9, 10, 5, 6, 7, 8, 9, 10, 5, 6, 7, 8, 9, 10,
+    5, 6, 7, 8, 9, 10, 11, 5, 6, 7, 8, 9, 10, 5, 6, 7,
+    8, 9, 10,
+];
+data pcounts = [
+    1, 1, 4, 6, 6, 10, 4, 1, 2, 9, 4, 9, 3, 2, 1, 1,
+    1, 1, 2, 3, 9, 11, 1, 4, 2, 3, 6, 3, 8, 6, 2, 2,
+    2, 5, 6, 6, 5, 5, 1, 2, 2, 1, 2, 6, 7, 6, 3, 2,
+    3, 3, 3, 3, 4, 5, 8, 6, 3, 3, 8, 9, 6, 2, 1, 2,
+    3, 7, 5, 5, 8, 2, 1, 2, 6, 10, 8, 2, 2, 1, 2, 3,
+    10, 7, 9, 1, 2, 6, 6, 11, 4, 3, 3, 5, 8, 9, 6, 1,
+    3, 4, 8, 8, 5, 3, 1, 2, 8, 7, 8, 4, 3, 2, 3, 10,
+    5, 8, 4,
+];
+data poffsets = [
+    0, 7, 16, 24, 32, 40, 49, 56, 63, 70, 78, 84, 90, 96, 103, 109,
+    115,
+];
+data sbounds = [
+    0, 16, 32, 48, 80, 208, 480, 1104, 2112, 3104, 3760, 4080, 4192, 4208, 4224, 4240,
+    4256,
+];
+region r_keys[512, 8];
+region s_tuples[4256, 8];
+region buckets[8192, 4];
+region output[512, 8];
+host kind = 0 param = 0 tbs = 16 threads = 32 regs = 24 smem = 512;
+kernel 0 "join-build" threads = 32 {
+    let a = tb * 32;
+    let cnt = min(32, 512 - a);
+    if cnt == 0 {
+        compute 1;
+        return;
+    }
+    load_slice r_keys, a, cnt;
+    compute 8;
+    shared;
+    for i in poffsets[tb] .. poffsets[tb + 1] {
+        store_slice buckets, (tb * 16 + pparts[i]) * 32, 32;
+    }
+    compute 4;
+    for i in poffsets[tb] .. poffsets[tb + 1] {
+        launch 1, tb * 65536 + pparts[i], max(div_ceil(pcounts[i] * 32, 128), 1), 32, 24, 256;
+    }
+    load_slice r_keys, a, cnt;
+    compute 10;
+    store_slice output, a, cnt;
+}
+kernel 1 "join-probe" threads = 32 {
+    let ptb = param / 65536;
+    let p = param % 65536;
+    let ps = sbounds[p];
+    let pl = sbounds[p + 1] - ps;
+    if pl == 0 {
+        compute 1;
+        return;
+    }
+    let window = min(128, pl);
+    let pstart = (ptb * 131 + tb * window) % pl;
+    let plen = min(window, pl - pstart);
+    load_slice buckets, (ptb * 16 + p) * 32, 32;
+    let offset = 0;
+    while offset < plen {
+        let step = min(32, plen - offset);
+        load_slice s_tuples, ps + pstart + offset, step;
+        compute 6;
+        offset = offset + step;
+    }
+    let a = ptb * 32;
+    let ccnt = min(32, 512 - a);
+    store_slice output, a, min(ccnt, 32);
+}

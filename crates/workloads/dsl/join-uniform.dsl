@@ -1,0 +1,92 @@
+workload "join" input "uniform";
+# 512 R tuples over 16 partitions
+data pparts = [
+    0, 1, 2, 3, 4, 6, 7, 8, 9, 10, 11, 13, 14, 15, 0, 2,
+    3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 3, 7,
+    8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7,
+    8, 11, 12, 13, 14, 15, 0, 1, 2, 5, 6, 7, 8, 9, 10, 11,
+    12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7, 9, 11, 12, 13,
+    15, 0, 1, 2, 3, 4, 5, 6, 7, 9, 11, 12, 13, 14, 15, 1,
+    2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 1,
+    2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15, 0, 1, 2,
+    3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 4,
+    5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4,
+    6, 7, 8, 9, 10, 11, 12, 14, 15, 0, 1, 2, 3, 4, 5, 6,
+    8, 9, 10, 12, 13, 14, 15, 0, 1, 2, 3, 5, 6, 7, 8, 9,
+    10, 11, 12, 13, 14, 1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+    0, 1, 2, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14,
+];
+data pcounts = [
+    2, 2, 4, 2, 2, 1, 4, 2, 2, 2, 2, 4, 2, 1, 3, 4,
+    2, 1, 2, 2, 3, 1, 3, 3, 1, 4, 2, 1, 1, 4, 5, 1,
+    6, 1, 1, 1, 3, 2, 2, 5, 2, 2, 2, 2, 6, 1, 2, 1,
+    3, 2, 2, 2, 3, 2, 5, 2, 3, 2, 3, 3, 3, 2, 1, 1,
+    3, 1, 2, 1, 1, 5, 1, 3, 4, 3, 2, 2, 4, 1, 2, 2,
+    2, 1, 2, 4, 2, 1, 6, 2, 3, 3, 2, 2, 2, 1, 1, 4,
+    1, 3, 2, 4, 2, 1, 4, 1, 1, 1, 3, 2, 1, 2, 5, 2,
+    1, 2, 1, 1, 1, 2, 3, 2, 2, 1, 2, 4, 3, 3, 2, 2,
+    1, 1, 1, 4, 4, 4, 2, 4, 1, 1, 1, 1, 5, 4, 1, 1,
+    3, 1, 1, 1, 3, 1, 5, 2, 1, 2, 1, 1, 3, 1, 2, 1,
+    2, 2, 1, 2, 2, 4, 5, 5, 1, 2, 6, 2, 2, 1, 1, 1,
+    2, 1, 2, 1, 3, 5, 3, 3, 1, 2, 1, 3, 4, 2, 4, 1,
+    1, 4, 1, 1, 4, 5, 3, 2, 1, 3, 3, 2, 2, 5, 1, 5,
+    2, 1, 3, 4, 3, 1, 2, 3, 3, 2, 2, 1, 5,
+];
+data poffsets = [
+    0, 14, 28, 40, 54, 68, 81, 95, 110, 125, 140, 155, 169, 183, 197, 208,
+    221,
+];
+data sbounds = [
+    0, 256, 496, 768, 1040, 1296, 1552, 1824, 2096, 2368, 2640, 2896, 3168, 3424, 3680, 3936,
+    4224,
+];
+region r_keys[512, 8];
+region s_tuples[4224, 8];
+region buckets[8192, 4];
+region output[512, 8];
+host kind = 0 param = 0 tbs = 16 threads = 32 regs = 24 smem = 512;
+kernel 0 "join-build" threads = 32 {
+    let a = tb * 32;
+    let cnt = min(32, 512 - a);
+    if cnt == 0 {
+        compute 1;
+        return;
+    }
+    load_slice r_keys, a, cnt;
+    compute 8;
+    shared;
+    for i in poffsets[tb] .. poffsets[tb + 1] {
+        store_slice buckets, (tb * 16 + pparts[i]) * 32, 32;
+    }
+    compute 4;
+    for i in poffsets[tb] .. poffsets[tb + 1] {
+        launch 1, tb * 65536 + pparts[i], max(div_ceil(pcounts[i] * 32, 128), 1), 32, 24, 256;
+    }
+    load_slice r_keys, a, cnt;
+    compute 10;
+    store_slice output, a, cnt;
+}
+kernel 1 "join-probe" threads = 32 {
+    let ptb = param / 65536;
+    let p = param % 65536;
+    let ps = sbounds[p];
+    let pl = sbounds[p + 1] - ps;
+    if pl == 0 {
+        compute 1;
+        return;
+    }
+    let window = min(128, pl);
+    let pstart = (ptb * 131 + tb * window) % pl;
+    let plen = min(window, pl - pstart);
+    load_slice buckets, (ptb * 16 + p) * 32, 32;
+    let offset = 0;
+    while offset < plen {
+        let step = min(32, plen - offset);
+        load_slice s_tuples, ps + pstart + offset, step;
+        compute 6;
+        offset = offset + step;
+    }
+    let a = ptb * 32;
+    let ccnt = min(32, 512 - a);
+    store_slice output, a, min(ccnt, 32);
+}

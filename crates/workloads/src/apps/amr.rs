@@ -14,6 +14,7 @@ use gpu_sim::kernel::ResourceReq;
 use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, CHILD2, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::layout::{Layout, Region};
 use crate::rng::SplitMix64;
 use crate::{HostKernel, Scale, Workload};
@@ -133,6 +134,74 @@ impl Amr {
         }
         b.build()
     }
+
+    /// The workload-DSL port: refinement decisions become 0/1 `data`
+    /// arrays; both refinement levels share one kernel body shape.
+    fn dsl_source(&self) -> String {
+        let cells = self.num_cells;
+        let mut w = DslWriter::new("amr", "");
+        w.comment(&format!("{cells} coarse cells; refine/deep flags precomputed"));
+        w.data("refine", self.refine.iter().map(|&r| u64::from(r)));
+        w.data("deep", self.deep_refine.iter().map(|&r| u64::from(r)));
+        w.region("coarse", u64::from(cells), 128);
+        w.region("refined", u64::from(cells) * Self::REFINE_ELEMS, 4);
+        w.region("refined2", u64::from(cells) * Self::REFINE_ELEMS, 4);
+        w.host(0, 0, num_chunks(cells, self.chunk), self.chunk, 28, 1024);
+        w.kernel(
+            0,
+            "amr-sweep",
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {cells} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice coarse, a, cnt;
+    compute 10;
+    store_slice coarse, a, cnt;
+    for c in a .. a + cnt {{
+        if refine[c] {{
+            launch 1, c, 1, 64, 24, 512;
+        }}
+    }}
+    shared;
+    load_slice coarse, a, cnt;
+    compute 12;
+    store_slice coarse, a, cnt;
+"
+            ),
+        );
+        for (kind, name, region, tail) in [
+            (
+                1,
+                "amr-refine",
+                "refined",
+                "    if deep[param] {\n        launch 2, param, 1, 64, 24, 512;\n    }\n",
+            ),
+            (2, "amr-refine2", "refined2", ""),
+        ] {
+            w.kernel(
+                kind,
+                name,
+                Self::CHILD_THREADS,
+                &format!(
+                    "    let base = param * 128;
+    load_bcast coarse, param;
+    load_slice {region}, base, 128;
+    compute 12;
+    store_slice {region}, base, 128;
+    sync;
+    load_slice {region}, base, 128;
+    compute 12;
+    store_slice {region}, base, 128;
+{tail}"
+                ),
+            );
+        }
+        w.finish()
+    }
 }
 
 impl ProgramSource for Amr {
@@ -154,7 +223,7 @@ impl ProgramSource for Amr {
 }
 
 impl Workload for Amr {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "amr"
     }
 
@@ -169,6 +238,10 @@ impl Workload for Amr {
             num_tbs: num_chunks(self.num_cells, self.chunk),
             req: ResourceReq::new(self.chunk, 28, 1024),
         }]
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.dsl_source())
     }
 }
 

@@ -45,7 +45,7 @@ impl ProgramSource for Bfs {
 }
 
 impl Workload for Bfs {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "bfs"
     }
 
@@ -55,6 +55,10 @@ impl Workload for Bfs {
 
     fn host_kernels(&self) -> Vec<HostKernel> {
         self.app.host_kernels()
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.app.dsl_text())
     }
 }
 

@@ -12,6 +12,7 @@ use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
 use gpu_sim::types::Addr;
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::layout::{Layout, Region};
 use crate::rng::SplitMix64;
 use crate::{HostKernel, Scale, Workload};
@@ -153,6 +154,100 @@ impl Bht {
         b.store_slice(self.subtrees, base, Self::SUBTREE_NODES);
         b.build()
     }
+
+    /// The workload-DSL port: the quadrant of every point is a `data`
+    /// array; both kernels recount quadrant membership from it, so the
+    /// launch decisions and gather shapes match the generator's.
+    fn dsl_source(&self) -> String {
+        let npts = self.num_points;
+        let chunks = num_chunks(npts, self.chunk);
+        let mut w = DslWriter::new("bht", "");
+        w.comment(&format!("{npts} points; per-point quadrant at the split level"));
+        w.data("quadrant", self.quadrant.iter().map(|&q| u64::from(q)));
+        w.region("points", u64::from(npts), 8);
+        w.region("root_nodes", 64, 16);
+        w.region("subtrees", u64::from(chunks) * u64::from(QUADRANTS) * Self::SUBTREE_NODES, 16);
+        w.host(0, 0, chunks, self.chunk, 26, 512);
+        w.kernel(
+            0,
+            "bht-insert",
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {npts} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice points, a, cnt;
+    for level in 0 .. 3 {{
+        load_bcast root_nodes, level * 8;
+        compute 4;
+    }}
+    shared;
+    compute 8;
+    store_bcast root_nodes, 0;
+    for q in 0 .. 4 {{
+        let m = 0;
+        for p in a .. a + cnt {{
+            if quadrant[p] == q {{
+                m = m + 1;
+            }}
+        }}
+        if m >= 10 {{
+            launch 1, tb * 256 + q, 1, 32, 24, 256;
+        }}
+    }}
+    load_slice points, a, cnt;
+    compute 10;
+    for level in 0 .. 3 {{
+        load_bcast root_nodes, level * 8 + 1;
+        compute 4;
+    }}
+    store_bcast root_nodes, 1;
+"
+            ),
+        );
+        w.kernel(
+            1,
+            "bht-subtree",
+            Self::CHILD_THREADS,
+            &format!(
+                "    let ptb = param / 256;
+    let q = param % 256;
+    let a = ptb * 32;
+    let cnt = min(32, {npts} - a);
+    let m = 0;
+    for p in a .. a + cnt {{
+        if quadrant[p] == q {{
+            m = m + 1;
+        }}
+    }}
+    if m == 0 {{
+        compute 1;
+        return;
+    }}
+    gather {{
+        for p in a .. a + cnt {{
+            if quadrant[p] == q {{
+                yield addr(points, p);
+            }}
+        }}
+    }}
+    load_bcast root_nodes, 0;
+    let base = (ptb * 4 + q) * 64;
+    load_slice subtrees, base, 64;
+    compute 10;
+    store_slice subtrees, base, 64;
+    sync;
+    load_slice subtrees, base, 64;
+    compute 10;
+    store_slice subtrees, base, 64;
+"
+            ),
+        );
+        w.finish()
+    }
 }
 
 fn encode(tb: u32, quadrant: u32) -> u64 {
@@ -180,7 +275,7 @@ impl ProgramSource for Bht {
 }
 
 impl Workload for Bht {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "bht"
     }
 
@@ -195,6 +290,10 @@ impl Workload for Bht {
             num_tbs: num_chunks(self.num_points, self.chunk),
             req: ResourceReq::new(self.chunk, 26, 512),
         }]
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.dsl_source())
     }
 }
 

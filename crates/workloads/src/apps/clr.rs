@@ -43,7 +43,7 @@ impl ProgramSource for Clr {
 }
 
 impl Workload for Clr {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "clr"
     }
 
@@ -53,6 +53,10 @@ impl Workload for Clr {
 
     fn host_kernels(&self) -> Vec<HostKernel> {
         self.app.host_kernels()
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.app.dsl_text())
     }
 }
 

@@ -119,6 +119,15 @@ impl OpBuilder {
         self
     }
 
+    /// Appends an already-built op verbatim — the escape hatch for
+    /// callers that compute addresses themselves (e.g. the workload-DSL
+    /// back ends, whose `addr()` builtin must stay total on arbitrary
+    /// indices instead of asserting like [`Region::addr`]).
+    pub fn push_raw(&mut self, op: TbOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
     /// Shared-memory staging access.
     pub fn shared(&mut self) -> &mut Self {
         self.ops.push(TbOp::Mem(MemOp::shared(AddrPattern::Broadcast(0))));

@@ -14,6 +14,7 @@ use gpu_sim::program::{KernelKindId, TbProgram};
 use gpu_sim::types::Addr;
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::graph::{Csr, GraphKind};
 use crate::layout::{Layout, Region};
 use crate::{HostKernel, Scale};
@@ -289,6 +290,135 @@ impl GraphApp {
             PARENT => format!("{}-sweep", self.flavor.name()),
             _ => format!("{}-expand", self.flavor.name()),
         }
+    }
+
+    /// The workload-DSL port: the CSR structure becomes `data` arrays
+    /// (`rowstart` is `row_offsets` including the terminating edge
+    /// count), and the kernels recompute every degree test and neighbor
+    /// address from them exactly as the generator above does.
+    pub fn dsl_text(&self) -> String {
+        let n = self.graph.num_vertices();
+        let m = u64::from(self.graph.num_edges());
+        let flavor = self.flavor.name();
+        let mut w = DslWriter::new(flavor, self.kind.name());
+        w.comment(&format!("{n} vertices, {m} edges, CSR dumped as data arrays"));
+        w.data(
+            "rowstart",
+            (0..=n).map(|v| if v == n { m } else { u64::from(self.graph.row_start(v)) }),
+        );
+        w.data("cols", (0..n).flat_map(|v| self.graph.neighbors(v)).map(|&t| u64::from(t)));
+        w.region("row_offsets", u64::from(n) + 1, 4);
+        w.region("col_indices", m.max(1), 4);
+        w.region("frontier", u64::from(n), 4);
+        w.region("values", u64::from(n), 4);
+        if self.weights.is_some() {
+            w.region("weights", m.max(1), 4);
+        }
+        w.region("workbuf", u64::from(n), 4);
+        w.host(0, 0, num_chunks(n, self.chunk), self.chunk, 24, 256);
+
+        let heavy = self.heavy_threshold;
+        let pc = self.flavor.parent_compute();
+        w.kernel(
+            0,
+            &format!("{flavor}-sweep"),
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {n} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice frontier, a, cnt;
+    load_slice row_offsets, a, cnt + 1;
+    compute 4;
+    gather {{
+        for v in a .. a + cnt {{
+            if rowstart[v + 1] - rowstart[v] > 0 {{
+                yield addr(col_indices, rowstart[v]);
+            }}
+        }}
+    }}
+    gather {{
+        for v in a .. a + cnt {{
+            if rowstart[v + 1] - rowstart[v] > 0 {{
+                yield addr(values, cols[rowstart[v]]);
+            }}
+        }}
+    }}
+    compute {pc};
+    store_slice workbuf, a, cnt;
+    for v in a .. a + cnt {{
+        let d = rowstart[v + 1] - rowstart[v];
+        if d >= {heavy} {{
+            launch 1, v, div_ceil(d, 32), 32, 20, 0;
+        }}
+    }}
+    sync;
+    for round in 1 .. 5 {{
+        gather {{
+            for v in a .. a + cnt {{
+                let d = rowstart[v + 1] - rowstart[v];
+                if d < {heavy} && d > round {{
+                    yield addr(values, cols[rowstart[v] + round]);
+                }}
+            }}
+        }}
+        compute 4;
+    }}
+    store_slice values, a, cnt;
+"
+            ),
+        );
+
+        let cc = self.flavor.child_compute();
+        let weight_rounds = if self.weights.is_some() {
+            "    load_slice weights, row, cnt;\n    compute 6;\n"
+        } else {
+            ""
+        };
+        let writeback = match self.flavor {
+            GraphFlavor::Clr => "    store_bcast values, param;\n".to_string(),
+            GraphFlavor::Bfs | GraphFlavor::Sssp => "    scatter {
+        for i in 0 .. cnt {
+            yield addr(values, cols[row + i]);
+        }
+    }
+"
+            .to_string(),
+        };
+        w.kernel(
+            1,
+            &format!("{flavor}-expand"),
+            self.child_threads,
+            &format!(
+                "    let d = rowstart[param + 1] - rowstart[param];
+    let start = tb * 32;
+    let cnt = min(32, d - start);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    let row = rowstart[param] + start;
+    load_bcast row_offsets, param;
+    load_slice workbuf, (param / 32) * 32, 32;
+    load_slice col_indices, row, cnt;
+    compute 4;
+    gather {{
+        for i in 0 .. cnt {{
+            yield addr(values, cols[row + i]);
+        }}
+    }}
+{weight_rounds}    if cnt < 32 {{
+        compute_masked {cc}, cnt;
+    }} else {{
+        compute {cc};
+    }}
+{writeback}"
+            ),
+        );
+        w.finish()
     }
 }
 

@@ -16,6 +16,7 @@ use gpu_sim::kernel::ResourceReq;
 use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::layout::{Layout, Region};
 use crate::rng::SplitMix64;
 use crate::{HostKernel, Scale, Workload};
@@ -225,6 +226,92 @@ impl Join {
         b.store_slice(self.output, u64::from(a), u64::from(cnt.min(Self::CHILD_THREADS)));
         b.build()
     }
+
+    /// The workload-DSL port: each chunk's touched partitions (the
+    /// sorted run-length encoding the parent derives from the tuple
+    /// hashes) are flattened into `pparts`/`pcounts` indexed through
+    /// `poffsets`, and the S partition boundaries become `sbounds`.
+    fn dsl_source(&self) -> String {
+        let r = self.r_size;
+        let chunks = num_chunks(r, self.chunk);
+        let per_chunk: Vec<Vec<(u32, u32)>> =
+            (0..chunks).map(|tb| self.chunk_partitions(tb)).collect();
+        let mut w = DslWriter::new("join", self.input.name());
+        w.comment(&format!("{r} R tuples over {PARTITIONS} partitions"));
+        w.data("pparts", per_chunk.iter().flatten().map(|&(p, _)| u64::from(p)));
+        w.data("pcounts", per_chunk.iter().flatten().map(|&(_, c)| u64::from(c)));
+        let offsets = per_chunk.iter().scan(0u64, |acc, parts| {
+            let at = *acc;
+            *acc += parts.len() as u64;
+            Some(at)
+        });
+        let total: u64 = per_chunk.iter().map(|parts| parts.len() as u64).sum();
+        w.data("poffsets", offsets.chain([total]));
+        w.data("sbounds", self.s_bounds.iter().map(|&b| u64::from(b)));
+        w.region("r_keys", u64::from(r), 8);
+        w.region("s_tuples", u64::from(*self.s_bounds.last().unwrap_or(&0)).max(1), 8);
+        w.region("buckets", u64::from(chunks) * u64::from(PARTITIONS) * Self::BUCKET_ELEMS, 4);
+        w.region("output", u64::from(r), 8);
+        w.host(0, 0, chunks, self.chunk, 24, 512);
+        w.kernel(
+            0,
+            "join-build",
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {r} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice r_keys, a, cnt;
+    compute 8;
+    shared;
+    for i in poffsets[tb] .. poffsets[tb + 1] {{
+        store_slice buckets, (tb * 16 + pparts[i]) * 32, 32;
+    }}
+    compute 4;
+    for i in poffsets[tb] .. poffsets[tb + 1] {{
+        launch 1, tb * 65536 + pparts[i], max(div_ceil(pcounts[i] * 32, 128), 1), 32, 24, 256;
+    }}
+    load_slice r_keys, a, cnt;
+    compute 10;
+    store_slice output, a, cnt;
+"
+            ),
+        );
+        w.kernel(
+            1,
+            "join-probe",
+            Self::CHILD_THREADS,
+            &format!(
+                "    let ptb = param / 65536;
+    let p = param % 65536;
+    let ps = sbounds[p];
+    let pl = sbounds[p + 1] - ps;
+    if pl == 0 {{
+        compute 1;
+        return;
+    }}
+    let window = min(128, pl);
+    let pstart = (ptb * 131 + tb * window) % pl;
+    let plen = min(window, pl - pstart);
+    load_slice buckets, (ptb * 16 + p) * 32, 32;
+    let offset = 0;
+    while offset < plen {{
+        let step = min(32, plen - offset);
+        load_slice s_tuples, ps + pstart + offset, step;
+        compute 6;
+        offset = offset + step;
+    }}
+    let a = ptb * 32;
+    let ccnt = min(32, {r} - a);
+    store_slice output, a, min(ccnt, 32);
+"
+            ),
+        );
+        w.finish()
+    }
 }
 
 fn encode(tb: u32, partition: u32) -> u64 {
@@ -252,7 +339,7 @@ impl ProgramSource for Join {
 }
 
 impl Workload for Join {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "join"
     }
 
@@ -267,6 +354,10 @@ impl Workload for Join {
             num_tbs: num_chunks(self.r_size, self.chunk),
             req: ResourceReq::new(self.chunk, 24, 512),
         }]
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.dsl_source())
     }
 }
 

@@ -12,6 +12,7 @@ use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
 use gpu_sim::types::Addr;
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::layout::{Layout, Region};
 use crate::rng::SplitMix64;
 use crate::{HostKernel, Scale, Workload};
@@ -195,6 +196,105 @@ impl Pre {
         b.store_bcast(self.output, u64::from(u));
         b.build()
     }
+
+    /// The workload-DSL port: the ratings CSR (`offsets` + `rated`)
+    /// becomes two `data` arrays and every activity test recomputes the
+    /// per-user rating count from them.
+    fn dsl_source(&self) -> String {
+        let users = self.num_users;
+        let mut w = DslWriter::new("pre", "");
+        w.comment(&format!(
+            "{users} users, {} items, {} ratings (CSR as data arrays)",
+            self.num_items,
+            self.rated.len()
+        ));
+        w.data("offsets", self.offsets.iter().map(|&o| u64::from(o)));
+        w.data("rated", self.rated.iter().map(|&r| u64::from(r)));
+        w.region("user_offsets", u64::from(users) + 1, 4);
+        w.region("rated_items", self.rated.len().max(1) as u64, 4);
+        w.region("features", u64::from(self.num_items), 64);
+        w.region("output", u64::from(users), 4);
+        w.region("workbuf", u64::from(users), 4);
+        w.host(0, 0, num_chunks(users, self.chunk), self.chunk, 26, 512);
+        w.kernel(
+            0,
+            "pre-sweep",
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {users} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice user_offsets, a, cnt + 1;
+    gather {{
+        for u in a .. a + cnt {{
+            if offsets[u + 1] - offsets[u] > 0 {{
+                yield addr(rated_items, offsets[u]);
+            }}
+        }}
+    }}
+    gather {{
+        for u in a .. a + cnt {{
+            if offsets[u + 1] - offsets[u] > 0 {{
+                yield addr(features, rated[offsets[u]]);
+            }}
+        }}
+    }}
+    compute 10;
+    store_slice workbuf, a, cnt;
+    for u in a .. a + cnt {{
+        let c = offsets[u + 1] - offsets[u];
+        if c >= 16 {{
+            launch 1, u, div_ceil(c, 32), 32, 26, 512;
+        }}
+    }}
+    for round in 1 .. 3 {{
+        gather {{
+            for u in a .. a + cnt {{
+                let c = offsets[u + 1] - offsets[u];
+                if c < 16 && c > round {{
+                    yield addr(features, rated[offsets[u] + round]);
+                }}
+            }}
+        }}
+        compute 8;
+    }}
+    store_slice output, a, cnt;
+"
+            ),
+        );
+        w.kernel(
+            1,
+            "pre-similarity",
+            Self::CHILD_THREADS,
+            "    let lo = offsets[param];
+    let total = offsets[param + 1] - lo;
+    let start = tb * 32;
+    if start >= total {
+        compute 1;
+        return;
+    }
+    let cnt = min(32, total - start);
+    load_bcast user_offsets, param;
+    load_slice workbuf, (param / 32) * 32, 32;
+    load_slice rated_items, lo + start, cnt;
+    for half in 0 .. 2 {
+        gather {
+            for i in 0 .. cnt {
+                yield addr(features, rated[lo + start + i]) + half * 32;
+            }
+        }
+        compute 8;
+    }
+    shared;
+    compute 10;
+    store_bcast output, param;
+",
+        );
+        w.finish()
+    }
 }
 
 impl ProgramSource for Pre {
@@ -214,7 +314,7 @@ impl ProgramSource for Pre {
 }
 
 impl Workload for Pre {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "pre"
     }
 
@@ -229,6 +329,10 @@ impl Workload for Pre {
             num_tbs: num_chunks(self.num_users, self.chunk),
             req: ResourceReq::new(self.chunk, 26, 512),
         }]
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.dsl_source())
     }
 }
 

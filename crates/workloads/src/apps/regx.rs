@@ -13,6 +13,7 @@ use gpu_sim::program::{KernelKindId, ProgramSource, TbProgram};
 use gpu_sim::types::Addr;
 
 use crate::apps::common::{chunk_range, num_chunks, OpBuilder, CHILD, PARENT};
+use crate::dsl_emit::DslWriter;
 use crate::layout::{Layout, Region};
 use crate::rng::SplitMix64;
 use crate::{HostKernel, Scale, Workload};
@@ -195,6 +196,96 @@ impl Regx {
         b.store_bcast(self.results, u64::from(packet));
         b.build()
     }
+
+    /// The workload-DSL port. The filter results become per-chunk match
+    /// counts/offsets plus a flattened match list, and the child's NFA
+    /// transition-table lookups — drawn at program-generation time from
+    /// a per-packet RNG stream — are replayed into the `tbl` array in
+    /// global match order.
+    fn dsl_source(&self) -> String {
+        let npk = self.num_packets;
+        let rounds = u64::from(self.input.payload_rounds());
+        let slice = Self::PAYLOAD_ELEMS / rounds;
+        let mut w = DslWriter::new("regx", self.input.name());
+        w.comment(&format!(
+            "{npk} packets, {} matched; {rounds} NFA rounds per match",
+            self.total_matches()
+        ));
+        w.data("mcount", self.matches_by_tb.iter().map(|m| m.len() as u64));
+        let offsets = self.matches_by_tb.iter().scan(0u64, |acc, m| {
+            let at = *acc;
+            *acc += m.len() as u64;
+            Some(at)
+        });
+        w.data("moffsets", offsets.chain([self.total_matches() as u64]));
+        w.data("matches", self.matches_by_tb.iter().flatten().map(|&p| u64::from(p)));
+        w.data(
+            "tbl",
+            self.matches_by_tb.iter().flatten().flat_map(|&packet| {
+                let mut rng = SplitMix64::stream(SEED ^ 0x7AB1E, u64::from(packet));
+                (0..rounds * u64::from(Self::CHILD_THREADS))
+                    .map(move |_| rng.below(Self::TABLE_ENTRIES))
+            }),
+        );
+        w.region("headers", u64::from(npk), 16);
+        w.region("payloads", u64::from(npk) * Self::PAYLOAD_ELEMS, 4);
+        w.region("nfa_table", Self::TABLE_ENTRIES, 8);
+        w.region("results", u64::from(npk), 4);
+        w.host(0, 0, num_chunks(npk, self.chunk), self.chunk, 24, 256);
+        w.kernel(
+            0,
+            "regx-filter",
+            self.chunk,
+            &format!(
+                "    let a = tb * 32;
+    let cnt = min(32, {npk} - a);
+    if cnt == 0 {{
+        compute 1;
+        return;
+    }}
+    load_slice headers, a, cnt;
+    compute 8;
+    store_slice results, a, cnt;
+    if mcount[tb] > 0 {{
+        launch 1, tb, mcount[tb], 32, 22, 256;
+    }}
+    gather {{
+        for p in a .. a + cnt {{
+            yield addr(payloads, p * 64);
+        }}
+    }}
+    compute 10;
+    store_slice results, a, cnt;
+"
+            ),
+        );
+        w.kernel(
+            1,
+            "regx-nfa",
+            Self::CHILD_THREADS,
+            &format!(
+                "    if tb >= mcount[param] {{
+        compute 1;
+        return;
+    }}
+    let mi = moffsets[param] + tb;
+    let packet = matches[mi];
+    load_bcast headers, packet;
+    for round in 0 .. {rounds} {{
+        load_slice payloads, packet * 64 + round * {slice}, {slice};
+        gather {{
+            for i in 0 .. 32 {{
+                yield addr(nfa_table, tbl[(mi * {rounds} + round) * 32 + i]);
+            }}
+        }}
+        compute_masked 6, max(32 >> round, 4);
+    }}
+    store_bcast results, packet;
+"
+            ),
+        );
+        w.finish()
+    }
 }
 
 impl ProgramSource for Regx {
@@ -214,7 +305,7 @@ impl ProgramSource for Regx {
 }
 
 impl Workload for Regx {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "regx"
     }
 
@@ -229,6 +320,10 @@ impl Workload for Regx {
             num_tbs: num_chunks(self.num_packets, self.chunk),
             req: ResourceReq::new(self.chunk, 24, 256),
         }]
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.dsl_source())
     }
 }
 

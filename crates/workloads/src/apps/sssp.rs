@@ -44,7 +44,7 @@ impl ProgramSource for Sssp {
 }
 
 impl Workload for Sssp {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "sssp"
     }
 
@@ -54,6 +54,10 @@ impl Workload for Sssp {
 
     fn host_kernels(&self) -> Vec<HostKernel> {
         self.app.host_kernels()
+    }
+
+    fn dsl_text(&self) -> Option<String> {
+        Some(self.app.dsl_text())
     }
 }
 

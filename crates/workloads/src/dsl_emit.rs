@@ -1,0 +1,124 @@
+//! Helpers for emitting workload-DSL source text.
+//!
+//! Each application's [`Workload::dsl_text`](crate::Workload::dsl_text)
+//! builds its DSL port with a [`DslWriter`]: input-dependent values
+//! (graph structure, match lists, partition tables) are dumped as `data`
+//! arrays, so the program logic in the emitted kernels is pure
+//! arithmetic over them. The `wdsl` crate compiles the result and must
+//! reproduce the generator's TB programs byte for byte.
+
+use std::fmt::Write as _;
+
+/// Incremental writer for one `.dsl` file.
+#[derive(Debug)]
+pub struct DslWriter {
+    out: String,
+}
+
+impl DslWriter {
+    /// Starts a workload with the given `name` and `input` (the input
+    /// clause is omitted when empty, matching
+    /// [`Workload::input`](crate::Workload::input)).
+    pub fn new(name: &str, input: &str) -> Self {
+        let mut out = String::new();
+        if input.is_empty() {
+            let _ = writeln!(out, "workload \"{name}\";");
+        } else {
+            let _ = writeln!(out, "workload \"{name}\" input \"{input}\";");
+        }
+        DslWriter { out }
+    }
+
+    /// Emits a `#` comment line.
+    pub fn comment(&mut self, text: &str) {
+        let _ = writeln!(self.out, "# {text}");
+    }
+
+    /// Declares a region. Declaration order is allocation order, so
+    /// calls must mirror the generator's `Layout::alloc` sequence.
+    pub fn region(&mut self, name: &str, len: u64, elem_bytes: u32) {
+        let _ = writeln!(self.out, "region {name}[{len}, {elem_bytes}];");
+    }
+
+    /// Declares a data array. An empty iterator emits a single `0`
+    /// placeholder (the grammar has no empty arrays; programs guarded by
+    /// other data never index it).
+    pub fn data(&mut self, name: &str, values: impl IntoIterator<Item = u64>) {
+        let _ = write!(self.out, "data {name} = [");
+        let mut any = false;
+        for (i, v) in values.into_iter().enumerate() {
+            if i % 16 == 0 {
+                let _ = write!(self.out, "\n    ");
+            } else {
+                let _ = write!(self.out, " ");
+            }
+            let _ = write!(self.out, "{v},");
+            any = true;
+        }
+        if !any {
+            let _ = write!(self.out, "0");
+        }
+        let _ = writeln!(self.out, "\n];");
+    }
+
+    /// Declares a host kernel launch.
+    pub fn host(&mut self, kind: u16, param: u64, tbs: u32, threads: u32, regs: u32, smem: u32) {
+        let _ = writeln!(
+            self.out,
+            "host kind = {kind} param = {param} tbs = {tbs} \
+             threads = {threads} regs = {regs} smem = {smem};"
+        );
+    }
+
+    /// Emits a kernel with a pre-indented body (one statement per line,
+    /// four-space indent, trailing newline).
+    pub fn kernel(&mut self, kind: u16, name: &str, threads: u32, body: &str) {
+        let _ = writeln!(self.out, "kernel {kind} \"{name}\" threads = {threads} {{");
+        self.out.push_str(body);
+        let _ = writeln!(self.out, "}}");
+    }
+
+    /// The finished source text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_declaration_forms() {
+        let mut w = DslWriter::new("t", "x");
+        w.comment("hello");
+        w.region("r", 64, 4);
+        w.data("d", [1, 2, 3]);
+        w.data("empty", []);
+        w.host(0, 0, 8, 32, 24, 256);
+        w.kernel(0, "t-k", 32, "    compute 1;\n");
+        let src = w.finish();
+        assert!(src.starts_with("workload \"t\" input \"x\";\n"));
+        assert!(src.contains("# hello\n"));
+        assert!(src.contains("region r[64, 4];\n"));
+        assert!(src.contains("1, 2, 3,"));
+        assert!(src.contains("data empty = [0\n];"));
+        assert!(src.contains("host kind = 0 param = 0 tbs = 8 threads = 32 regs = 24 smem = 256;"));
+        assert!(src.ends_with("kernel 0 \"t-k\" threads = 32 {\n    compute 1;\n}\n"));
+    }
+
+    #[test]
+    fn input_clause_is_omitted_when_empty() {
+        let src = DslWriter::new("solo", "").finish();
+        assert_eq!(src, "workload \"solo\";\n");
+    }
+
+    #[test]
+    fn long_data_arrays_wrap() {
+        let mut w = DslWriter::new("t", "");
+        w.data("d", 0..40);
+        let src = w.finish();
+        assert_eq!(src.matches("\n    0,").count() + src.matches("\n    16,").count(), 2);
+        assert!(src.contains("\n    32,"));
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod apps;
+pub mod dsl_emit;
 pub mod graph;
 pub mod layout;
 pub mod rng;
@@ -100,7 +101,7 @@ pub struct HostKernel {
 /// }
 ///
 /// impl Workload for Scan {
-///     fn name(&self) -> &'static str { "scan" }
+///     fn name(&self) -> &str { "scan" }
 ///     fn input(&self) -> String { String::new() }
 ///     fn host_kernels(&self) -> Vec<HostKernel> {
 ///         vec![HostKernel {
@@ -123,7 +124,7 @@ pub struct HostKernel {
 /// ```
 pub trait Workload: ProgramSource {
     /// Application name ("bfs", "amr", …).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &str;
 
     /// Input data-set name ("citation", "uniform", …); empty when the
     /// application has a single canonical input.
@@ -140,6 +141,15 @@ pub trait Workload: ProgramSource {
         } else {
             format!("{}-{}", self.name(), input)
         }
+    }
+
+    /// The workload's programs expressed as workload-DSL source text,
+    /// when the application provides a port (every suite workload does).
+    /// The compiled program stream must be byte-identical to this
+    /// generator's — the `wdsl` crate's suite-equivalence tests and the
+    /// CI corpus gate enforce that. `None` means generator-only.
+    fn dsl_text(&self) -> Option<String> {
+        None
     }
 }
 

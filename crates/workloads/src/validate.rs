@@ -174,7 +174,7 @@ mod tests {
     }
 
     impl crate::Workload for Broken {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "broken"
         }
 
