@@ -16,12 +16,18 @@
 //!   --metrics              also print the run's metrics registry
 //!   --locality             profile cache-hit provenance; print the per-class reuse summary
 //!   --engine-profile       profile the engine; print the two-clock self-profile summary
+//!   --latency              profile TB lifecycle latency; print the attribution summary and
+//!                          draw the launch-DAG critical path as flow arrows in the trace
 //! ```
 //!
 //! Argument parsing is strict: any token that is not a recognized flag
 //! (or a recognized flag's value) is a hard error listing the valid
 //! flags and names. A typo'd or `--flag=value`-style argument therefore
 //! fails loudly instead of silently running with defaults.
+//!
+//! A profiler summary whose statistics are missing from the finished
+//! run is likewise a hard error, never an empty table: an empty table
+//! is indistinguishable from a measured zero.
 
 use dynpar::{LaunchLatency, LaunchModelKind};
 use gpu_sim::config::GpuConfig;
@@ -45,6 +51,7 @@ struct Options {
     metrics: bool,
     locality: bool,
     engine_profile: bool,
+    latency: bool,
 }
 
 /// Flags that consume the following token as their value.
@@ -60,7 +67,8 @@ const VALUE_FLAGS: [&str; 8] = [
 ];
 
 /// Boolean flags.
-const BOOL_FLAGS: [&str; 4] = ["--check", "--metrics", "--locality", "--engine-profile"];
+const BOOL_FLAGS: [&str; 5] =
+    ["--check", "--metrics", "--locality", "--engine-profile", "--latency"];
 
 /// Valid `--scheduler` names (must match [`build_scheduler`]).
 const SCHEDULER_NAMES: &str = "rr, tb-pri, smx-bind, adaptive-bind, random";
@@ -132,6 +140,7 @@ fn parse_args() -> Options {
         metrics: args.iter().any(|a| a == "--metrics"),
         locality: args.iter().any(|a| a == "--locality"),
         engine_profile: args.iter().any(|a| a == "--engine-profile"),
+        latency: args.iter().any(|a| a == "--latency"),
     }
 }
 
@@ -167,6 +176,7 @@ fn main() {
     let mut cfg = GpuConfig::kepler_k20c();
     cfg.profile_locality = opts.locality;
     cfg.profile_engine = opts.engine_profile;
+    cfg.profile_latency = opts.latency;
     if let Some(n) = opts.smxs {
         cfg.num_smxs = n;
     }
@@ -238,13 +248,14 @@ fn main() {
     match validate_trace(&json) {
         Ok(check) => println!(
             "validated: {} events, {} SMX tracks, {} spans, {} counter samples \
-             ({} provenance), {} instants",
+             ({} provenance), {} instants, {} critical-path flows",
             check.events,
             check.smx_tracks,
             check.spans,
             check.counters,
             check.prov_counters,
-            check.instants
+            check.instants,
+            check.flows
         ),
         Err(e) => {
             eprintln!("trace validation failed: {e}");
@@ -260,23 +271,50 @@ fn main() {
     }
 
     if opts.locality {
-        print!("\n{}", locality_summary(&stats));
+        match locality_summary(&stats) {
+            Some(s) => print!("\n{s}"),
+            None => missing_profile("--locality", "locality"),
+        }
     }
 
     if opts.engine_profile {
-        print!("\n{}", engine_summary(&stats));
+        match engine_summary(&stats) {
+            Some(s) => print!("\n{s}"),
+            None => missing_profile("--engine-profile", "engine"),
+        }
     }
+
+    if opts.latency {
+        match latency_summary(&stats) {
+            Some(s) => print!("\n{s}"),
+            None => missing_profile("--latency", "latency"),
+        }
+    }
+}
+
+/// A profiler summary was requested but the finished run carries no
+/// such statistics. Hard-error instead of printing an empty table: an
+/// empty table reads as a measured zero, and profiling cannot be
+/// recovered after the run — it must be enabled on the simulation
+/// config before it executes.
+fn missing_profile(flag: &str, what: &str) -> ! {
+    eprintln!(
+        "{flag} was given but the run produced no {what} statistics; \
+         the simulation config did not enable the {what} profiler. \
+         Rerun with {flag} on a build whose config honors it \
+         (profiling cannot be reconstructed from a finished run)."
+    );
+    std::process::exit(1);
 }
 
 /// Renders the two-clock engine self-profile: the simulated clock's
 /// wake-source decomposition and loop-shape histograms, then the host
-/// clock's sampled per-component wall time.
-fn engine_summary(stats: &gpu_sim::stats::SimStats) -> String {
+/// clock's sampled per-component wall time. `None` when the run did
+/// not profile the engine (the caller hard-errors).
+fn engine_summary(stats: &gpu_sim::stats::SimStats) -> Option<String> {
     use gpu_sim::stats::{WakeSource, ENGINE_HOST_COMPONENTS};
     use sim_metrics::report::Table;
-    let Some(eng) = &stats.engine else {
-        return "no engine profile recorded\n".to_string();
-    };
+    let eng = stats.engine.as_ref()?;
     let mut t = Table::new(vec!["wake source", "iterations", "share"]);
     let total = eng.wake_total().max(1);
     for src in WakeSource::ALL {
@@ -321,18 +359,62 @@ fn engine_summary(stats: &gpu_sim::stats::SimStats) -> String {
         h.render(),
         eng.dominant_component().unwrap_or("-"),
     ));
-    out
+    Some(out)
+}
+
+/// Renders the TB lifecycle attribution summary: the four-way lifetime
+/// decomposition, the bound/stolen child queue-wait split, queue wait
+/// by nesting depth, and the launch-DAG critical path. `None` when the
+/// run did not profile latency (the caller hard-errors).
+fn latency_summary(stats: &gpu_sim::stats::SimStats) -> Option<String> {
+    use gpu_sim::stats::LatencyStats;
+    use sim_metrics::report::Table;
+    let lat = stats.latency.as_ref()?;
+    let mut t = Table::new(vec!["component", "quantiles"]);
+    for (name, h) in [
+        ("lifetime", &lat.lifetime),
+        ("launch path", &lat.launch_path),
+        ("  of which KMU wait", &lat.kmu_wait),
+        ("queue wait", &lat.queue_wait),
+        ("dispatch gap", &lat.dispatch_gap),
+        ("exec", &lat.exec),
+        ("child queue wait", &lat.child_queue_wait),
+        ("  bound children", &lat.bound_queue_wait),
+        ("  stolen children", &lat.stolen_queue_wait),
+    ] {
+        t.row(vec![name.to_string(), LatencyStats::quantile_line(h)]);
+    }
+    let mut d = Table::new(vec!["nesting depth", "TBs", "queue wait"]);
+    for (depth, h) in &lat.depth_queue_wait {
+        d.row(vec![depth.to_string(), h.count.to_string(), LatencyStats::quantile_line(h)]);
+    }
+    let cp = &lat.critical_path;
+    Some(format!(
+        "latency attribution ({} TBs, {} partition violations, KMU depth high-water {})\n{}\
+         \nqueue wait by nesting depth\n{}\
+         \ncritical path: {} TBs, {} cycles ({} queue / {} exec, {:.1}% scheduling-induced)\n",
+        lat.tbs,
+        lat.partition_violations,
+        lat.kmu_depth_hwm,
+        t.render(),
+        d.render(),
+        cp.len,
+        cp.cycles,
+        cp.queue_cycles,
+        cp.exec_cycles,
+        100.0 * cp.queue_cycles as f64 / (cp.queue_cycles + cp.exec_cycles).max(1) as f64,
+    ))
 }
 
 /// Renders the per-class reuse summary for a profiled run: hit counts
 /// and shares per lineage class at each cache level, mean reuse
 /// distances, plus the L2 same/cross-SMX and bound/stolen splits.
-fn locality_summary(stats: &gpu_sim::stats::SimStats) -> String {
+/// `None` when the run did not profile locality (the caller
+/// hard-errors).
+fn locality_summary(stats: &gpu_sim::stats::SimStats) -> Option<String> {
     use gpu_sim::cache::ReuseClass;
     use sim_metrics::report::Table;
-    let Some(loc) = &stats.locality else {
-        return "no locality data recorded\n".to_string();
-    };
+    let loc = stats.locality.as_ref()?;
     let mut t = Table::new(vec![
         "reuse class",
         "l1 hits",
@@ -354,7 +436,7 @@ fn locality_summary(stats: &gpu_sim::stats::SimStats) -> String {
             format!("{:.0} cyc", loc.l2_reuse_dist[i].mean()),
         ]);
     }
-    format!(
+    Some(format!(
         "locality provenance\n{}\
          L2 hits on installing SMX: {} same, {} cross\n\
          child L1 hits: bound {} ({:.1}% parent-child), stolen {} ({:.1}% parent-child)\n",
@@ -365,5 +447,5 @@ fn locality_summary(stats: &gpu_sim::stats::SimStats) -> String {
         100.0 * loc.bind.bound_share(),
         loc.bind.stolen_hits,
         100.0 * loc.bind.stolen_share(),
-    )
+    ))
 }

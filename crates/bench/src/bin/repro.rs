@@ -15,7 +15,9 @@
 //!   fig8      L1 hit rates (Figure 8)     — runs the full matrix
 //!   fig9      normalized IPC (Figure 9)   — runs the full matrix
 //!   locality  cache-hit provenance by lineage class — runs the full matrix
-//!   latency   launch-latency sensitivity (Section IV-D)
+//!   latency   launch-latency sensitivity (Section IV-D), then TB
+//!             lifecycle attribution and the launch-DAG critical path
+//!             over a latency-profiled rerun of the matrix
 //!   timeline  windowed IPC/L1 over one run, RR vs Adaptive-Bind
 //!   variance  headline gain over several input seeds (mean ± std)
 //!   csv       full run matrix as CSV on stdout (for plotting)
@@ -57,7 +59,7 @@ use gpu_sim::config::{EngineMode, GpuConfig};
 use laperm_bench::sweep::{matrix_cells_for, run_matrix_cells};
 use laperm_bench::{
     ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
-    generality, latency_sweep, locality, overhead, profile, render_shape_report,
+    generality, latency_report, locality, overhead, profile, render_shape_report,
     run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline, variance,
     MatrixRecords, ProgramPath, SweepDoc,
 };
@@ -162,6 +164,24 @@ fn run_profile(args: &Args) {
     }
 }
 
+/// `repro latency`: the Section IV-D launch-latency sensitivity sweep
+/// followed by the TB lifecycle attribution and critical-path tables,
+/// which rerun the matrix with latency profiling on. Nothing is written
+/// to disk — the profiled `repro.json` artifact comes from `repro
+/// profile`, whose document now also carries the latency objects.
+fn run_latency(args: &Args) {
+    let doc = SweepDoc::build_profiled(args.scale, 0, args.jobs, args.engine);
+    let failed = !doc.failures.is_empty();
+    for f in &doc.failures {
+        eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
+    }
+    let m = MatrixRecords::from_records(doc.records);
+    print!("{}", latency_report(args.scale, args.jobs, &m));
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// `repro check`: the reproduction gate. Reads `repro.json` and exits
 /// nonzero on any shape-assertion violation.
 fn run_check(args: &Args) {
@@ -246,7 +266,7 @@ fn main() {
             };
             println!("{report}");
         }
-        "latency" => println!("{}", latency_sweep(args.scale, args.jobs)),
+        "latency" => run_latency(&args),
         "timeline" => println!("{}", timeline(args.scale, args.jobs)),
         "variance" => println!("{}", variance(args.scale, args.jobs)),
         "csv" => {

@@ -873,6 +873,164 @@ pub fn profile(m: &MatrixRecords) -> String {
     out
 }
 
+/// Latency attribution: TB lifecycle decomposition, child queue-wait
+/// split by binding outcome and nesting depth, and the launch-DAG
+/// critical path — pooled per launch model and scheduler. Not part of
+/// the `all` report (the matrix does not profile latency and the golden
+/// predates it); run `repro latency`.
+pub fn latency_attribution(m: &MatrixRecords) -> String {
+    use gpu_sim::stats::Pow2Hist;
+
+    let mut out = String::from(
+        "Latency attribution: TB lifecycle decomposition and launch-DAG critical path\n\
+         (lifetime = launch path + queue wait + dispatch gap + exec, exact per TB;\n\
+         quantiles are pow2-bucket upper bounds clamped to the observed max)\n",
+    );
+    let profiled = m.records.iter().filter(|r| r.latency.is_some()).count();
+    if profiled == 0 {
+        out.push_str("\nno latency attribution in these records (run `repro latency`)\n");
+        return out;
+    }
+    let q3 = |h: &Pow2Hist| {
+        if h.count == 0 {
+            "-".to_string()
+        } else {
+            format!("{}/{}/{}", h.percentile(0.50), h.percentile(0.95), h.percentile(0.99))
+        }
+    };
+    let q1 = |h: &Pow2Hist| {
+        if h.count == 0 {
+            "-".to_string()
+        } else {
+            h.percentile(0.95).to_string()
+        }
+    };
+    for model in LaunchModelKind::all() {
+        let mut t = Table::new(vec![
+            "scheduler",
+            "TBs",
+            "lifetime p50/p95/p99",
+            "launch p95",
+            "queue p95",
+            "gap p95",
+            "exec p95",
+            "child queue p50/p95/p99",
+            "bound p95",
+            "stolen p95",
+        ]);
+        for sched in SchedulerKind::all() {
+            let mut tbs = 0u64;
+            let mut pooled: [Pow2Hist; 8] = Default::default();
+            for r in &m.records {
+                if r.launch_model != model.name() || r.scheduler != sched.name() {
+                    continue;
+                }
+                if let Some(lat) = &r.latency {
+                    tbs += lat.tbs;
+                    for (acc, h) in pooled.iter_mut().zip([
+                        &lat.lifetime,
+                        &lat.launch_path,
+                        &lat.queue_wait,
+                        &lat.dispatch_gap,
+                        &lat.exec,
+                        &lat.child_queue_wait,
+                        &lat.bound_queue_wait,
+                        &lat.stolen_queue_wait,
+                    ]) {
+                        acc.merge(h);
+                    }
+                }
+            }
+            t.row(vec![
+                sched.name().to_string(),
+                tbs.to_string(),
+                q3(&pooled[0]),
+                q1(&pooled[1]),
+                q1(&pooled[2]),
+                q1(&pooled[3]),
+                q1(&pooled[4]),
+                q3(&pooled[5]),
+                q1(&pooled[6]),
+                q1(&pooled[7]),
+            ]);
+        }
+        out.push_str(&format!("\nlaunch model: {model}\n{}", t.render()));
+    }
+
+    // Queue wait by nesting depth, pooled across the whole matrix: the
+    // deeper a TB sits in the launch DAG, the later its batch matures
+    // and the longer it queues behind its ancestors' siblings.
+    let mut by_depth: std::collections::BTreeMap<u8, Pow2Hist> = std::collections::BTreeMap::new();
+    for lat in m.records.iter().filter_map(|r| r.latency.as_ref()) {
+        for (depth, h) in &lat.depth_queue_wait {
+            by_depth.entry(*depth).or_default().merge(h);
+        }
+    }
+    let mut t = Table::new(vec!["nesting depth", "TBs", "queue wait p50/p95/p99", "mean"]);
+    for (depth, h) in &by_depth {
+        t.row(vec![depth.to_string(), h.count.to_string(), q3(h), format!("{:.1}", h.mean())]);
+    }
+    out.push_str(&format!(
+        "\nqueue wait by nesting depth (pooled across the matrix)\n{}",
+        t.render()
+    ));
+
+    // Critical path: the longest parent->child launch chain by retire
+    // time, with its cycles split into queueing (creation to first
+    // issue) and execution. The queue share is the scheduling-induced
+    // critical-path inflation the tentpole claim is about.
+    let mut t = Table::new(vec![
+        "scheduler",
+        "mean len",
+        "mean cycles",
+        "queue cycles",
+        "exec cycles",
+        "queue share",
+    ]);
+    for sched in SchedulerKind::all() {
+        let mut n = 0u64;
+        let (mut len, mut cycles, mut queue, mut exec) = (0u64, 0u64, 0u64, 0u64);
+        for r in &m.records {
+            if r.scheduler != sched.name() {
+                continue;
+            }
+            if let Some(lat) = &r.latency {
+                n += 1;
+                len += u64::from(lat.critical_path_len);
+                cycles += lat.critical_path_cycles;
+                queue += lat.critical_path_queue;
+                exec += lat.critical_path_exec;
+            }
+        }
+        if n == 0 {
+            continue;
+        }
+        t.row(vec![
+            sched.name().to_string(),
+            format!("{:.1}", len as f64 / n as f64),
+            format!("{:.0}", cycles as f64 / n as f64),
+            queue.to_string(),
+            exec.to_string(),
+            pct(queue as f64 / (queue + exec).max(1) as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "\ncritical path (pooled over both launch models, {profiled} profiled runs)\n{}",
+        t.render()
+    ));
+    out
+}
+
+/// The complete `repro latency` text report: the Section IV-D
+/// launch-latency sensitivity sweep followed by the lifecycle
+/// attribution tables over a latency-profiled matrix (`m` must come
+/// from a profiled build, e.g. [`crate::sweep::SweepDoc::build_profiled`]).
+/// `tests/repro_snapshot.rs` diffs this byte-for-byte against the
+/// checked-in ci-scale golden.
+pub fn latency_report(scale: Scale, jobs: usize, m: &MatrixRecords) -> String {
+    format!("{}\n\n{}", latency_sweep(scale, jobs), latency_attribution(m))
+}
+
 /// The complete `repro all` text report: every section in order, each
 /// followed by a blank line. The `repro` binary prints exactly this
 /// string, and `tests/repro_snapshot.rs` diffs it byte-for-byte against
@@ -934,6 +1092,7 @@ mod tests {
             stalls: Default::default(),
             locality: None,
             engine: None,
+            latency: None,
             host: Default::default(),
         }
     }

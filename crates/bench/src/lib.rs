@@ -23,9 +23,9 @@ pub mod shapes;
 pub mod sweep;
 
 pub use experiments::{
-    ablate, fig2, fig7, fig8, fig9, full_report, generality, latency_sweep, locality, overhead,
-    profile, run_matrix, run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline,
-    variance, MatrixRecords,
+    ablate, fig2, fig7, fig8, fig9, full_report, generality, latency_attribution, latency_report,
+    latency_sweep, locality, overhead, profile, run_matrix, run_matrix_with_jobs, saturation,
+    sweep_cache, table1, table2, timeline, variance, MatrixRecords,
 };
 pub use fig4::figure4;
 pub use shapes::{evaluate_shapes, render_shape_report, ShapeOutcome};

@@ -19,6 +19,7 @@
 use crate::experiments::MatrixRecords;
 use crate::sweep::SweepDoc;
 use gpu_sim::cache::ReuseClass;
+use gpu_sim::stats::Pow2Hist;
 use sim_metrics::harness::{LocalityRecord, RunRecord, SchedulerKind};
 use sim_metrics::report::mean;
 
@@ -609,6 +610,94 @@ const SHAPES: &[(&str, &str, Check)] = &[
                 } else {
                     bad.join("; ")
                 },
+            )
+        },
+    ),
+    (
+        "lat-partition-exact",
+        "Latency attribution is total: in every latency-profiled run the lifecycle \
+         components (launch path, queue wait, dispatch gap, exec) partition each TB's \
+         lifetime exactly — zero ordering violations, every component histogram covers \
+         every dispatched TB, and the component sums telescope to the lifetime sum \
+         (vacuously true on unprofiled documents)",
+        |ctx| {
+            let mut checked = 0usize;
+            let mut bad = Vec::new();
+            for r in ctx.matrix.records() {
+                let Some(lat) = &r.latency else { continue };
+                checked += 1;
+                let counts_ok = [&lat.launch_path, &lat.queue_wait, &lat.dispatch_gap, &lat.exec]
+                    .iter()
+                    .all(|h| h.count == lat.lifetime.count);
+                let parts_sum =
+                    lat.launch_path.sum + lat.queue_wait.sum + lat.dispatch_gap.sum + lat.exec.sum;
+                let covered = lat.tbs == r.total_tbs as u64 && lat.lifetime.count == lat.tbs;
+                if lat.partition_violations != 0
+                    || !counts_ok
+                    || parts_sum != lat.lifetime.sum
+                    || !covered
+                {
+                    bad.push(format!(
+                        "{}/{}/{}: {} violations, {} of {} TBs, component sum {parts_sum} vs \
+                         lifetime {}",
+                        r.workload,
+                        r.launch_model,
+                        r.scheduler,
+                        lat.partition_violations,
+                        lat.lifetime.count,
+                        r.total_tbs,
+                        lat.lifetime.sum
+                    ));
+                }
+            }
+            let ok = bad.is_empty();
+            (
+                ok,
+                if checked == 0 {
+                    "no latency attribution in this document (run `repro latency`)".to_string()
+                } else if ok {
+                    format!("{checked} profiled runs, all partitions exact")
+                } else {
+                    bad.join("; ")
+                },
+            )
+        },
+    ),
+    (
+        "lat-child-queue-wait-ordering",
+        "Priority-aware dispatch shortens child queueing: pooled over the DTBL column, \
+         the child queue-wait p95 under TB-Pri sits below RR's (vacuously true on \
+         unprofiled documents)",
+        |ctx| {
+            // Pool each column's child queue-wait histograms: per-run
+            // quantiles are noisy for workloads that launch few children.
+            let pooled = |sched: &str| -> Pow2Hist {
+                let mut acc = Pow2Hist::default();
+                for r in ctx.runs(DTBL, sched) {
+                    if let Some(lat) = &r.latency {
+                        acc.merge(&lat.child_queue_wait);
+                    }
+                }
+                acc
+            };
+            let (t, rr) = (pooled(TBPRI), pooled(RR));
+            if t.count == 0 || rr.count == 0 {
+                return (
+                    true,
+                    "no latency attribution in this document (run `repro latency`)".to_string(),
+                );
+            }
+            let (tp, rp) = (t.percentile(0.95), rr.percentile(0.95));
+            (
+                tp < rp,
+                format!(
+                    "child queue-wait p95: tb-pri {tp} vs rr {rp} cycles \
+                     (means {:.0} vs {:.0}, n {} vs {})",
+                    t.sum as f64 / t.count as f64,
+                    rr.sum as f64 / rr.count as f64,
+                    t.count,
+                    rr.count
+                ),
             )
         },
     ),

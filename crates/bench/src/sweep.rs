@@ -281,7 +281,12 @@ pub struct SweepDoc {
 /// per-run `engine` object (engine introspection; present only in
 /// documents built by [`SweepDoc::build_profiled`] — default sweeps
 /// keep it off so both engine modes render byte-identical documents).
-pub const SWEEP_SCHEMA_VERSION: u64 = 4;
+/// Version 5 added the optional per-run `latency` object (TB lifecycle
+/// attribution and launch-DAG critical path; carried by
+/// [`SweepDoc::build_profiled`] documents only, for the same
+/// cross-engine byte-diff reason — latency stats ARE bit-identical
+/// across engine modes, but default sweeps stay minimal).
+pub const SWEEP_SCHEMA_VERSION: u64 = 5;
 
 impl SweepDoc {
     /// Runs the matrix and the static footprint analysis at a scale and
@@ -339,12 +344,14 @@ impl SweepDoc {
         ))
     }
 
-    /// [`SweepDoc::build`] with engine introspection on: every run
-    /// carries the optional `engine` object (wake-source counts, heap
-    /// depth, jump lengths). Kept out of the default build because the
-    /// introspection legitimately differs between engine modes, which
-    /// would break the cross-engine byte-diff; `repro profile` is the
-    /// consumer.
+    /// [`SweepDoc::build`] with engine introspection and latency
+    /// attribution on: every run carries the optional `engine` object
+    /// (wake-source counts, heap depth, jump lengths) and the optional
+    /// `latency` object (lifecycle histograms, critical path). Kept out
+    /// of the default build because the engine introspection
+    /// legitimately differs between engine modes, which would break the
+    /// cross-engine byte-diff; `repro profile` and `repro latency` are
+    /// the consumers.
     pub fn build_profiled(
         scale: Scale,
         seed: u64,
@@ -366,6 +373,7 @@ impl SweepDoc {
         cfg.profile_locality = true;
         cfg.engine_mode = engine_mode;
         cfg.profile_engine = profile_engine;
+        cfg.profile_latency = profile_engine;
         let cells = matrix_cells_for(&all);
         let outcome = run_matrix_cells(&cells, jobs, &cfg);
         let footprints = parallel_map(&all, jobs, |w| {

@@ -240,6 +240,20 @@ pub struct GpuConfig {
     /// `profile_engine` is set.
     pub engine_host_sampling: u64,
 
+    /// Per-TB lifecycle latency attribution: stamp every TB's lifecycle
+    /// edges (launch issued → KMU-matured → scheduler-enqueued →
+    /// dispatched → first issue → retired), decompose each lifetime into
+    /// the exactly-partitioning sum `launch_path + queue_wait +
+    /// dispatch_gap + exec`, and extract the parent→child critical path
+    /// of the run. Off by default; when off the simulator allocates no
+    /// lifecycle state and the dispatch/retire paths take one `Option`
+    /// branch each. Profiling is purely observational — cycles and every
+    /// other statistic are identical with it on or off, and the
+    /// resulting [`LatencyStats`](crate::stats::LatencyStats) observes
+    /// the simulated machine, so it is bit-identical across engine
+    /// modes and fast-forward settings.
+    pub profile_latency: bool,
+
     /// Finite launch-path capacities and the overflow policy applied at
     /// each. Defaults to unbounded, which is bit-identical to the
     /// pre-limit engine.
@@ -296,6 +310,7 @@ impl GpuConfig {
             profile_locality: false,
             profile_engine: false,
             engine_host_sampling: 64,
+            profile_latency: false,
             launch_limits: LaunchLimits::unbounded(),
             watchdog_window: Some(2_000_000),
         }
@@ -335,6 +350,7 @@ impl GpuConfig {
             profile_locality: false,
             profile_engine: false,
             engine_host_sampling: 64,
+            profile_latency: false,
             launch_limits: LaunchLimits::unbounded(),
             watchdog_window: Some(500_000),
         }

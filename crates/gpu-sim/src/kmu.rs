@@ -13,6 +13,7 @@ use crate::types::BatchId;
 #[derive(Debug, Default)]
 pub struct Kmu {
     pending: VecDeque<BatchId>,
+    depth_hwm: u64,
 }
 
 impl Kmu {
@@ -24,6 +25,15 @@ impl Kmu {
     /// Enqueues a kernel (host launch or matured device launch).
     pub fn push(&mut self, batch: BatchId) {
         self.pending.push_back(batch);
+        self.depth_hwm = self.depth_hwm.max(self.pending.len() as u64);
+    }
+
+    /// High-water mark of the pending-queue depth over the run — how
+    /// backed up the launch path got at its worst. Maintained
+    /// unconditionally (a max of an already-known length is free);
+    /// reported only under latency profiling.
+    pub fn depth_hwm(&self) -> u64 {
+        self.depth_hwm
     }
 
     /// Pending kernels, FCFS order.
@@ -105,6 +115,20 @@ mod tests {
         }
         let expected: Vec<BatchId> = kmu.pending().collect();
         assert_eq!(kmu.make_contiguous(), &expected[..]);
+    }
+
+    #[test]
+    fn depth_high_water_mark_survives_drains() {
+        let mut kmu = Kmu::new();
+        assert_eq!(kmu.depth_hwm(), 0);
+        for i in 0..4 {
+            kmu.push(BatchId(i));
+        }
+        for _ in 0..4 {
+            kmu.take(0);
+        }
+        kmu.push(BatchId(9));
+        assert_eq!(kmu.depth_hwm(), 4);
     }
 
     #[test]

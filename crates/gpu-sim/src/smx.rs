@@ -89,6 +89,12 @@ pub struct ResidentTb {
     /// issues (meaningful only when locality profiling is on; a default
     /// ancestry-free lineage otherwise).
     pub lineage: Lineage,
+    /// Cycle the TB's first instruction issued; `Cycle::MAX` until then.
+    /// Only stamped when `GpuConfig::profile_latency` is on — the
+    /// sentinel flows through [`TbCompletion`] and the engine falls back
+    /// to `finished_at` for TBs that retire without issuing (empty
+    /// programs).
+    pub first_issue_at: Cycle,
     /// Earliest cycle any of this TB's warps can act (issue, finalize,
     /// or leave a barrier), packed as in [`Warp::set_ready`]: cycle in
     /// the high bits, the [`StallCause`] the wait is attributable to in
@@ -115,6 +121,9 @@ pub struct TbCompletion {
     pub smx: SmxId,
     /// Cycle it started.
     pub started_at: Cycle,
+    /// Cycle its first instruction issued (`Cycle::MAX` when latency
+    /// profiling was off or the TB never issued).
+    pub first_issue_at: Cycle,
     /// Cycle it retired.
     pub finished_at: Cycle,
 }
@@ -319,6 +328,7 @@ impl Smx {
             dispatch_seq,
             started_at: now,
             lineage,
+            first_issue_at: Cycle::MAX,
             next_packed: (now << 3) | StallCause::Scoreboard.code(),
         });
         self.tbs_executed += 1;
@@ -567,6 +577,13 @@ impl Smx {
             }
         }
 
+        // Every path that reaches here issued an instruction (the
+        // credit-blocked launch returned above), so this is the TB's
+        // first issue iff the sentinel is still set.
+        if cfg.profile_latency && tb.first_issue_at == Cycle::MAX {
+            tb.first_issue_at = now;
+        }
+
         self.warp_instructions += 1;
         self.thread_instructions += u64::from(counted_threads);
         if let Some((bound, hits, parent_child)) = bind_delta {
@@ -642,6 +659,7 @@ impl Smx {
                     tb: tb.tb,
                     smx: self.id,
                     started_at: tb.started_at,
+                    first_issue_at: tb.first_issue_at,
                     finished_at: now,
                 });
             } else {

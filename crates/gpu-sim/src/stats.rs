@@ -46,6 +46,37 @@ impl Pow2Hist {
         }
     }
 
+    /// Inclusive upper bound of the bucket holding value 0 (`i == 0`) or
+    /// the range `[2^(i-1), 2^i)`.
+    fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Upper bound of the `q`-quantile (`0.0..=1.0`): the smallest
+    /// bucket boundary with at least `ceil(q * count)` recorded values
+    /// at or below it, clamped to the observed maximum. Returns 0 for an
+    /// empty histogram. With power-of-two buckets the bound is exact for
+    /// single-valued buckets and at most 2x the true quantile otherwise
+    /// — stable enough to compare policies against each other.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return Self::bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Accumulates another histogram into this one.
     pub fn merge(&mut self, other: &Pow2Hist) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -522,6 +553,107 @@ impl InstructionMix {
     }
 }
 
+/// The critical path through a run's launch DAG: the chain of TBs,
+/// root-first, whose back-to-back latencies bound the makespan. Each
+/// link's weight splits into *queueing* (launch issue to first
+/// instruction issue of the chain TB) and *execution* (first issue
+/// until the next chain TB's launch was issued, or retirement for the
+/// final TB), so `queue_cycles + exec_cycles == cycles` exactly and two
+/// policies can be compared by scheduling-induced critical-path
+/// inflation rather than IPC alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Number of TBs on the path (0 for a run with no TBs).
+    pub len: u32,
+    /// Total path weight: the final TB's retirement cycle minus the
+    /// root TB's launch-issue cycle.
+    pub cycles: u64,
+    /// Path cycles attributable to queueing (launch path + scheduler
+    /// queue + dispatch gap) summed over the chain.
+    pub queue_cycles: u64,
+    /// Path cycles attributable to execution, summed over the chain.
+    pub exec_cycles: u64,
+    /// The chain itself, root-first (parent before child).
+    pub chain: Vec<TbRef>,
+}
+
+/// Per-TB lifecycle latency attribution; `Some` on [`SimStats`] only
+/// when the run had [`GpuConfig::profile_latency`] set.
+///
+/// Every dispatched TB's lifetime (launch issue to retirement) is
+/// decomposed into an exactly-partitioning sum of four components, each
+/// aggregated into a [`Pow2Hist`]:
+///
+/// ```text
+/// launch_path  launch issued  -> scheduler-enqueued (KMU + maturation)
+/// queue_wait   enqueued       -> dispatched to an SMX
+/// dispatch_gap dispatched     -> first instruction issue
+/// exec         first issue    -> retired
+/// ```
+///
+/// `kmu_wait` (KMU maturation to enqueue) is a strict sub-interval of
+/// `launch_path`, recorded separately for diagnosis but excluded from
+/// the partition. TBs whose stamps are not monotonically ordered are
+/// counted in `partition_violations` and left out of every histogram;
+/// the `lat-partition-exact` shape assertion requires that count to be
+/// zero.
+///
+/// [`GpuConfig::profile_latency`]: crate::config::GpuConfig::profile_latency
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// TBs recorded into the histograms (== dispatched TBs minus
+    /// `partition_violations`).
+    pub tbs: u64,
+    /// TBs with out-of-order lifecycle stamps, excluded from the
+    /// histograms. Always 0 unless a stamping bug is introduced.
+    pub partition_violations: u64,
+    /// High-water mark of the KMU pending-kernel queue depth.
+    pub kmu_depth_hwm: u64,
+    /// Launch issue to scheduler enqueue, all TBs.
+    pub launch_path: Pow2Hist,
+    /// KMU maturation to scheduler enqueue (sub-interval of
+    /// `launch_path`, informational).
+    pub kmu_wait: Pow2Hist,
+    /// Scheduler enqueue to SMX dispatch, all TBs.
+    pub queue_wait: Pow2Hist,
+    /// SMX dispatch to first instruction issue, all TBs.
+    pub dispatch_gap: Pow2Hist,
+    /// First instruction issue to retirement, all TBs.
+    pub exec: Pow2Hist,
+    /// Full lifetime (launch issue to retirement), all TBs.
+    pub lifetime: Pow2Hist,
+    /// `queue_wait` restricted to dynamic (device-launched) TBs — the
+    /// latency LaPerm's reordering policies act on.
+    pub child_queue_wait: Pow2Hist,
+    /// `child_queue_wait` for children dispatched to their direct
+    /// parent's SMX.
+    pub bound_queue_wait: Pow2Hist,
+    /// `child_queue_wait` for children dispatched elsewhere.
+    pub stolen_queue_wait: Pow2Hist,
+    /// `queue_wait` split by batch nesting depth (priority 0 = host
+    /// kernels), sorted by depth, empty entries elided.
+    pub depth_queue_wait: Vec<(u8, Pow2Hist)>,
+    /// `lifetime` rolled up per kernel kind, sorted by kind id.
+    pub kind_lifetime: Vec<(u16, Pow2Hist)>,
+    /// Critical path through the launch DAG.
+    pub critical_path: CriticalPath,
+}
+
+impl LatencyStats {
+    /// `p50 / p95 / p99 (mean)` rendering of one histogram, shared by
+    /// the CLI summary tables.
+    pub fn quantile_line(h: &Pow2Hist) -> String {
+        format!(
+            "p50 {} / p95 {} / p99 {} (mean {:.0}, n={})",
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.mean(),
+            h.count
+        )
+    }
+}
+
 /// Aggregate results of one simulation run.
 ///
 /// `PartialEq` compares every counter and per-TB record, which is what
@@ -579,6 +711,10 @@ pub struct SimStats {
     /// one observes the *engine*, not the machine: it legitimately
     /// differs between [`EngineMode`](crate::config::EngineMode)s.
     pub engine: Option<EngineStats>,
+    /// Per-TB lifecycle latency attribution; `Some` only when the run
+    /// had `GpuConfig::profile_latency` set. Machine-observing, so it
+    /// is bit-identical across engine modes and fast-forward settings.
+    pub latency: Option<LatencyStats>,
 }
 
 impl SimStats {
@@ -762,6 +898,20 @@ impl SimStats {
                     .join(" / "),
             );
         }
+        if let Some(lat) = &self.latency {
+            line("TB lifetime", LatencyStats::quantile_line(&lat.lifetime));
+            line("launch path", LatencyStats::quantile_line(&lat.launch_path));
+            line("queue wait", LatencyStats::quantile_line(&lat.queue_wait));
+            line("child queue wait", LatencyStats::quantile_line(&lat.child_queue_wait));
+            let cp = &lat.critical_path;
+            line(
+                "critical path",
+                format!(
+                    "{} TBs, {} cycles ({} queue / {} exec)",
+                    cp.len, cp.cycles, cp.queue_cycles, cp.exec_cycles
+                ),
+            );
+        }
         for (name, v) in &self.scheduler_counters {
             line(name, v.to_string());
         }
@@ -936,6 +1086,90 @@ mod tests {
         assert!((summary[0].2 - 60.0).abs() < 1e-12);
         assert_eq!(summary[1].1, 1);
         assert!((summary[1].2 - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Pow2Hist::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0);
+        }
+    }
+
+    #[test]
+    fn percentile_with_all_mass_in_one_bucket() {
+        let mut h = Pow2Hist::default();
+        for _ in 0..1000 {
+            h.record(10); // bucket [8, 16), hi = 15
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 10, "q={q} must clamp to observed max");
+        }
+        // A single zero: bucket 0's upper bound is exactly 0.
+        let mut z = Pow2Hist::default();
+        z.record(0);
+        assert_eq!(z.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_with_saturated_top_bucket() {
+        let mut h = Pow2Hist::default();
+        h.record(1);
+        h.record(2);
+        h.record((1u64 << 63) + 9); // top bucket (nominal hi = u64::MAX)
+        assert_eq!(h.percentile(0.01), 1);
+        // The p99 lands in the top bucket, whose nominal upper bound is
+        // u64::MAX; the observed max clamps it to a finite answer.
+        assert_eq!(h.percentile(0.99), (1u64 << 63) + 9);
+        assert_eq!(h.percentile(1.0), (1u64 << 63) + 9);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_in_order() {
+        let mut h = Pow2Hist::default();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.10), 1);
+        // 5th of 10 values is 16, in bucket [16, 32) with hi 31.
+        assert_eq!(h.percentile(0.50), 31);
+        assert_eq!(h.percentile(1.0), 512);
+        // Out-of-range q clamps.
+        assert_eq!(h.percentile(-1.0), 1);
+        assert_eq!(h.percentile(2.0), 512);
+    }
+
+    #[test]
+    fn quantile_line_mentions_all_quantiles() {
+        let mut h = Pow2Hist::default();
+        h.record(100);
+        let s = LatencyStats::quantile_line(&h);
+        for needle in ["p50 100", "p95 100", "p99 100", "mean 100", "n=1"] {
+            assert!(s.contains(needle), "quantile line missing {needle}: {s}");
+        }
+    }
+
+    #[test]
+    fn summary_includes_latency_section_only_when_profiled() {
+        let mut stats = SimStats { cycles: 100, ..Default::default() };
+        assert!(!stats.summary().contains("critical path"));
+        let mut lifetime = Pow2Hist::default();
+        lifetime.record(64);
+        stats.latency = Some(LatencyStats {
+            lifetime,
+            critical_path: CriticalPath {
+                len: 2,
+                cycles: 90,
+                queue_cycles: 30,
+                exec_cycles: 60,
+                chain: vec![],
+            },
+            ..Default::default()
+        });
+        let s = stats.summary();
+        for needle in ["TB lifetime", "child queue wait", "2 TBs, 90 cycles (30 queue / 60 exec)"] {
+            assert!(s.contains(needle), "summary missing {needle}:\n{s}");
+        }
     }
 
     #[test]

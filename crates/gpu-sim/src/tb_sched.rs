@@ -13,6 +13,13 @@
 //! snapshots the TB's lineage at dispatch time and the caches attribute
 //! each later hit back to it (see `cache::ReuseClass`), which is how the
 //! `repro locality` report scores scheduling policies mechanistically.
+//!
+//! It is also a *latency* decision: the gap between a batch turning
+//! schedulable (`Batch::schedulable_at`) and each of its TBs
+//! dispatching is the queue-wait the policies reorder. When
+//! `GpuConfig::profile_latency` is set, the engine stamps both edges
+//! per TB and the `repro latency` report compares policies by
+//! queue-wait percentiles and critical-path inflation.
 
 use crate::kernel::{Batch, ResourceReq};
 use crate::smx::SmxResources;

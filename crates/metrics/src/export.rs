@@ -19,12 +19,27 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
          child_l1_hit_rate,mean_child_wait,parent_smx_affinity,smx_utilization,\
          load_imbalance,dynamic_tbs,total_tbs,steals,queue_overflows,table_overflows,\
          stall_scoreboard,stall_memory_pending,stall_mshr_full,stall_barrier,stall_no_tb,\
-         stall_launch_path,host_ns,dominant_component\n",
+         stall_launch_path,host_ns,dominant_component,\
+         child_queue_wait_p50,child_queue_wait_p99,critical_path_cycles\n",
     );
     for r in records {
+        // The latency columns stay empty when the run was not profiled,
+        // so unprofiled sweeps keep a stable shape without inventing
+        // zero quantiles.
+        let lat = r.latency.as_ref().map_or_else(
+            || ",,".to_string(),
+            |lat| {
+                format!(
+                    "{},{},{}",
+                    lat.child_queue_wait.percentile(0.50),
+                    lat.child_queue_wait.percentile(0.99),
+                    lat.critical_path_cycles,
+                )
+            },
+        );
         out.push_str(&format!(
             "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.2},{:.6},{:.6},{:.6},{},{},{},{},{},\
-             {},{},{},{},{},{},{},{}\n",
+             {},{},{},{},{},{},{},{},{}\n",
             field(&r.workload),
             field(&r.launch_model),
             field(&r.scheduler),
@@ -50,6 +65,7 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
             r.stalls.launch_path,
             r.host.ns,
             field(r.host.dominant_component.as_deref().unwrap_or("-")),
+            lat,
         ));
     }
     out
@@ -57,11 +73,19 @@ pub fn runs_to_csv(records: &[RunRecord]) -> String {
 
 /// Renders a timeline as CSV with a header row.
 pub fn timeline_to_csv(points: &[TimelinePoint]) -> String {
-    let mut out = String::from("cycle,ipc,l1_hit_rate,l2_hit_rate,resident_tbs,undispatched_tbs\n");
+    let mut out = String::from(
+        "cycle,ipc,instructions,l1_hit_rate,l2_hit_rate,resident_tbs,undispatched_tbs\n",
+    );
     for p in points {
         out.push_str(&format!(
-            "{},{:.6},{:.6},{:.6},{},{}\n",
-            p.cycle, p.ipc, p.l1_hit_rate, p.l2_hit_rate, p.resident_tbs, p.undispatched_tbs
+            "{},{:.6},{},{:.6},{:.6},{},{}\n",
+            p.cycle,
+            p.ipc,
+            p.instructions,
+            p.l1_hit_rate,
+            p.l2_hit_rate,
+            p.resident_tbs,
+            p.undispatched_tbs
         ));
     }
     out
@@ -103,6 +127,7 @@ mod tests {
             },
             locality: None,
             engine: None,
+            latency: None,
             host: crate::harness::HostCost { ns: 1_500_000, dominant_component: None },
         }
     }
@@ -113,11 +138,14 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("workload,launch_model,scheduler,cycles"));
-        assert!(lines[0].ends_with("host_ns,dominant_component"));
+        assert!(lines[0].ends_with(
+            "dominant_component,child_queue_wait_p50,child_queue_wait_p99,critical_path_cycles"
+        ));
         assert!(lines[1].contains(",dtbl,rr,100,1.5"));
-        // Host cost lands in the last two columns; an unprofiled run's
-        // dominant component renders as "-".
-        assert!(lines[1].ends_with(",1500000,-"));
+        // Host cost precedes the latency columns; an unprofiled run's
+        // dominant component renders as "-" and the latency columns
+        // stay empty.
+        assert!(lines[1].ends_with(",1500000,-,,,"));
     }
 
     #[test]
@@ -125,7 +153,25 @@ mod tests {
         let mut r = record();
         r.host.dominant_component = Some("smx".to_string());
         let csv = runs_to_csv(&[r]);
-        assert!(csv.lines().nth(1).is_some_and(|l| l.ends_with(",1500000,smx")));
+        assert!(csv.lines().nth(1).is_some_and(|l| l.ends_with(",1500000,smx,,,")));
+    }
+
+    #[test]
+    fn latency_columns_carry_quantiles_when_profiled() {
+        let mut r = record();
+        let mut child_queue_wait = gpu_sim::stats::Pow2Hist::default();
+        for v in [4, 5, 6, 200] {
+            child_queue_wait.record(v);
+        }
+        r.latency = Some(crate::harness::LatencyRecord {
+            child_queue_wait,
+            critical_path_cycles: 950,
+            ..Default::default()
+        });
+        let csv = runs_to_csv(&[r]);
+        let p50 = 7; // bucket [4,7] upper bound
+        let p99 = 200; // top bucket clamped to the observed max
+        assert!(csv.lines().nth(1).is_some_and(|l| l.ends_with(&format!(",{p50},{p99},950"))));
     }
 
     #[test]
@@ -139,13 +185,14 @@ mod tests {
         let p = TimelinePoint {
             cycle: 42,
             ipc: 3.25,
+            instructions: 130,
             l1_hit_rate: 0.5,
             l2_hit_rate: 0.25,
             resident_tbs: 7,
             undispatched_tbs: 9,
         };
         let csv = timeline_to_csv(&[p]);
-        assert!(csv.contains("42,3.250000,0.500000,0.250000,7,9"));
+        assert!(csv.contains("42,3.250000,130,0.500000,0.250000,7,9"));
         assert_eq!(csv.lines().count(), 2);
     }
 

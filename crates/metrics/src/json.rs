@@ -9,7 +9,7 @@
 //! `repro.json` for any `--jobs N`" guarantee checkable by comparing
 //! document strings.
 
-use crate::harness::{EngineRecord, HostCost, LocalityRecord, RunRecord};
+use crate::harness::{EngineRecord, HostCost, LatencyRecord, LocalityRecord, RunRecord};
 use gpu_sim::cache::NUM_REUSE_CLASSES;
 use gpu_sim::stats::{Pow2Hist, StallBreakdown, WakeSource, NUM_WAKE_SOURCES};
 
@@ -348,12 +348,16 @@ pub fn run_to_json(r: &RunRecord) -> Json {
     if let Some(loc) = &r.locality {
         fields.push(("locality".into(), locality_to_json(loc)));
     }
-    // The engine key comes last so enabling profiling is a pure suffix
-    // extension of the unprofiled byte layout. Host-side cost
-    // (`RunRecord::host`) is deliberately absent: the document carries
-    // no wall-clock fields, keeping it bit-reproducible.
+    // The profiling keys come last, newest-schema last, so enabling any
+    // profiler is a pure suffix extension of the unprofiled byte
+    // layout. Host-side cost (`RunRecord::host`) is deliberately
+    // absent: the document carries no wall-clock fields, keeping it
+    // bit-reproducible.
     if let Some(eng) = &r.engine {
         fields.push(("engine".into(), engine_to_json(eng)));
+    }
+    if let Some(lat) = &r.latency {
+        fields.push(("latency".into(), latency_to_json(lat)));
     }
     Json::Obj(fields)
 }
@@ -468,6 +472,116 @@ fn engine_from_json(v: &Json) -> Result<EngineRecord, String> {
     })
 }
 
+fn latency_to_json(lat: &LatencyRecord) -> Json {
+    let keyed = |key: &str, pairs: &[(u64, Pow2Hist)]| -> Json {
+        Json::Arr(
+            pairs
+                .iter()
+                .map(|(k, h)| {
+                    Json::Obj(vec![
+                        (key.to_string(), Json::from_u64(*k)),
+                        ("hist".into(), hist_to_json(h)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let depths: Vec<(u64, Pow2Hist)> =
+        lat.depth_queue_wait.iter().map(|&(d, h)| (u64::from(d), h)).collect();
+    let kinds: Vec<(u64, Pow2Hist)> =
+        lat.kind_lifetime.iter().map(|&(k, h)| (u64::from(k), h)).collect();
+    Json::Obj(vec![
+        ("tbs".into(), Json::from_u64(lat.tbs)),
+        ("partition_violations".into(), Json::from_u64(lat.partition_violations)),
+        ("kmu_depth_hwm".into(), Json::from_u64(lat.kmu_depth_hwm)),
+        ("launch_path".into(), hist_to_json(&lat.launch_path)),
+        ("kmu_wait".into(), hist_to_json(&lat.kmu_wait)),
+        ("queue_wait".into(), hist_to_json(&lat.queue_wait)),
+        ("dispatch_gap".into(), hist_to_json(&lat.dispatch_gap)),
+        ("exec".into(), hist_to_json(&lat.exec)),
+        ("lifetime".into(), hist_to_json(&lat.lifetime)),
+        ("child_queue_wait".into(), hist_to_json(&lat.child_queue_wait)),
+        ("bound_queue_wait".into(), hist_to_json(&lat.bound_queue_wait)),
+        ("stolen_queue_wait".into(), hist_to_json(&lat.stolen_queue_wait)),
+        ("depth_queue_wait".into(), keyed("depth", &depths)),
+        ("kind_lifetime".into(), keyed("kind", &kinds)),
+        ("critical_path_len".into(), Json::from_u64(u64::from(lat.critical_path_len))),
+        ("critical_path_cycles".into(), Json::from_u64(lat.critical_path_cycles)),
+        ("critical_path_queue".into(), Json::from_u64(lat.critical_path_queue)),
+        ("critical_path_exec".into(), Json::from_u64(lat.critical_path_exec)),
+    ])
+}
+
+fn latency_from_json(v: &Json) -> Result<LatencyRecord, String> {
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("latency missing integer field '{key}'"))
+    };
+    let hist_field = |key: &str| -> Result<Pow2Hist, String> {
+        hist_from_json(
+            v.get(key).ok_or_else(|| format!("latency missing '{key}'"))?,
+            &format!("latency {key}"),
+        )
+    };
+    let keyed_field = |field: &str, key: &str| -> Result<Vec<(u64, Pow2Hist)>, String> {
+        let arr = v
+            .get(field)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("latency missing array field '{field}'"))?;
+        arr.iter()
+            .map(|item| {
+                let k = item
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("latency {field} entry missing '{key}'"))?;
+                let h = hist_from_json(
+                    item.get("hist")
+                        .ok_or_else(|| format!("latency {field} entry missing 'hist'"))?,
+                    &format!("latency {field}"),
+                )?;
+                Ok((k, h))
+            })
+            .collect()
+    };
+    let narrow = |what: &str, v: u64, max: u64| -> Result<u64, String> {
+        if v > max {
+            Err(format!("latency {what} {v} out of range"))
+        } else {
+            Ok(v)
+        }
+    };
+    let depth_queue_wait = keyed_field("depth_queue_wait", "depth")?
+        .into_iter()
+        .map(|(d, h)| Ok((narrow("depth", d, u64::from(u8::MAX))? as u8, h)))
+        .collect::<Result<Vec<_>, String>>()?;
+    let kind_lifetime = keyed_field("kind_lifetime", "kind")?
+        .into_iter()
+        .map(|(k, h)| Ok((narrow("kind", k, u64::from(u16::MAX))? as u16, h)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LatencyRecord {
+        tbs: u64_field("tbs")?,
+        partition_violations: u64_field("partition_violations")?,
+        kmu_depth_hwm: u64_field("kmu_depth_hwm")?,
+        launch_path: hist_field("launch_path")?,
+        kmu_wait: hist_field("kmu_wait")?,
+        queue_wait: hist_field("queue_wait")?,
+        dispatch_gap: hist_field("dispatch_gap")?,
+        exec: hist_field("exec")?,
+        lifetime: hist_field("lifetime")?,
+        child_queue_wait: hist_field("child_queue_wait")?,
+        bound_queue_wait: hist_field("bound_queue_wait")?,
+        stolen_queue_wait: hist_field("stolen_queue_wait")?,
+        depth_queue_wait,
+        kind_lifetime,
+        critical_path_len: u32::try_from(u64_field("critical_path_len")?)
+            .map_err(|_| "latency critical_path_len out of range".to_string())?,
+        critical_path_cycles: u64_field("critical_path_cycles")?,
+        critical_path_queue: u64_field("critical_path_queue")?,
+        critical_path_exec: u64_field("critical_path_exec")?,
+    })
+}
+
 fn locality_from_json(v: &Json) -> Result<LocalityRecord, String> {
     let u64_field = |key: &str| -> Result<u64, String> {
         v.get(key)
@@ -570,6 +684,7 @@ pub fn run_from_json(v: &Json) -> Result<RunRecord, String> {
         },
         locality: v.get("locality").map(locality_from_json).transpose()?,
         engine: v.get("engine").map(engine_from_json).transpose()?,
+        latency: v.get("latency").map(latency_from_json).transpose()?,
         // Host cost never enters the document; a parsed record reports
         // zero wall time and no dominant component.
         host: HostCost::default(),
@@ -614,6 +729,7 @@ mod tests {
             },
             locality: None,
             engine: None,
+            latency: None,
             host: HostCost::default(),
         }
     }
@@ -717,6 +833,73 @@ mod tests {
         assert!(!profiled_text.contains("host"));
         assert!(!profiled_text.contains("987654321"));
         assert!(!profiled_text.contains("dram"));
+    }
+
+    fn latency() -> LatencyRecord {
+        let hist = |vals: &[u64]| {
+            let mut h = Pow2Hist::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        LatencyRecord {
+            tbs: 12,
+            partition_violations: 0,
+            kmu_depth_hwm: 4,
+            launch_path: hist(&[3, 9, 17]),
+            kmu_wait: hist(&[1, 2]),
+            queue_wait: hist(&[0, 5, 130]),
+            dispatch_gap: hist(&[1, 1, 1]),
+            exec: hist(&[64, 300]),
+            lifetime: hist(&[70, 400, 900]),
+            child_queue_wait: hist(&[5, 130]),
+            bound_queue_wait: hist(&[5]),
+            stolen_queue_wait: hist(&[130]),
+            depth_queue_wait: vec![(0, hist(&[0])), (1, hist(&[5, 130]))],
+            kind_lifetime: vec![(0, hist(&[70])), (3, hist(&[400, 900]))],
+            critical_path_len: 3,
+            critical_path_cycles: 950,
+            critical_path_queue: 200,
+            critical_path_exec: 750,
+        }
+    }
+
+    #[test]
+    fn latency_roundtrips_exactly() {
+        let mut r = record();
+        r.latency = Some(latency());
+        let text = run_to_json(&r).render();
+        let parsed = run_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(run_to_json(&parsed).render(), text);
+    }
+
+    #[test]
+    fn latency_key_is_a_pure_suffix_extension() {
+        // The latency key appends after every earlier profiling key, so
+        // an engine-profiled document stays a byte prefix of the same
+        // run with latency profiling also enabled.
+        let mut engine_only = record();
+        engine_only.engine = Some(engine());
+        let plain = run_to_json(&engine_only).render();
+        assert!(!plain.contains("latency"));
+        let mut profiled = engine_only.clone();
+        profiled.latency = Some(latency());
+        let profiled_text = run_to_json(&profiled).render();
+        assert!(profiled_text.starts_with(plain.trim_end_matches('}')));
+        assert!(profiled_text.contains("\"latency\":{\"tbs\":12"));
+        assert!(profiled_text.contains("\"critical_path_cycles\":950"));
+    }
+
+    #[test]
+    fn latency_with_out_of_range_depth_rejected() {
+        let mut r = record();
+        r.latency = Some(latency());
+        let text = run_to_json(&r).render();
+        let broken = text.replace("{\"depth\":1,", "{\"depth\":300,");
+        assert_ne!(broken, text, "replacement must hit");
+        assert!(run_from_json(&parse(&broken).unwrap()).is_err());
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! * engine-profiled runs add a "Host" track (pid = number of SMXs + 1)
 //!   whose `host:<component>` spans lay the sampled host-nanosecond
 //!   cost of each pipeline stage end to end, so wall-time hot spots
-//!   render next to the sim-time story they explain.
+//!   render next to the sim-time story they explain;
+//! * latency-profiled runs draw the launch-DAG critical path as flow
+//!   arrows (`s`/`f` pairs): one arrow per parent→child edge on the
+//!   chain, leaving the parent's track when the child is created and
+//!   landing on the child's track when it dispatches, so the
+//!   scheduling-induced inflation is visible as arrow length.
 //!
 //! Timestamps are simulation cycles used directly as the format's
 //! microsecond `ts` field (1 cycle = 1 µs on screen). Everything is
@@ -35,7 +40,9 @@ fn rank(ph: char) -> u8 {
     match ph {
         'M' => 0,
         'b' => 1,
-        'C' | 'i' | 'X' => 2,
+        // Flow points sort with counters/instants: an `f` landing at a
+        // child's dispatch cycle must follow the `b` that opens its span.
+        'C' | 'i' | 'X' | 's' | 'f' => 2,
         _ => 3,
     }
 }
@@ -117,6 +124,55 @@ pub fn perfetto_json(
                  \"tid\": 0, \"name\": \"{name}\", \"ts\": {end}}}"
             ),
         );
+    }
+
+    // Launch-DAG critical path: one flow arrow per edge of the chain,
+    // from the parent's track at the child's creation cycle to the
+    // child's track at its dispatch cycle. The arrow's length on screen
+    // IS the child's launch-path + queue-wait — the scheduling-induced
+    // part of the critical path.
+    if let Some(lat) = &stats.latency {
+        let mut index_of: HashMap<(u32, u32), usize> = HashMap::new();
+        for (i, r) in stats.tb_records.iter().enumerate() {
+            index_of.insert((r.tb.batch.0, r.tb.index), i);
+        }
+        for (edge, pair) in lat.critical_path.chain.windows(2).enumerate() {
+            let (Some(&pi), Some(&ci)) = (
+                index_of.get(&(pair[0].batch.0, pair[0].index)),
+                index_of.get(&(pair[1].batch.0, pair[1].index)),
+            ) else {
+                continue;
+            };
+            let (parent, child) = (&stats.tb_records[pi], &stats.tb_records[ci]);
+            let queue_wait = child.dispatched_at.saturating_sub(child.created_at);
+            push(
+                child.created_at,
+                's',
+                format!(
+                    "{{\"ph\": \"s\", \"cat\": \"critical_path\", \"id\": \"0xcp{edge:x}\", \
+                     \"pid\": {}, \"tid\": 0, \"name\": \"critical-path\", \"ts\": {}, \
+                     \"args\": {{\"from\": \"B{}.{}\", \"to\": \"B{}.{}\"}}}}",
+                    u64::from(parent.smx.0),
+                    child.created_at,
+                    parent.tb.batch.0,
+                    parent.tb.index,
+                    child.tb.batch.0,
+                    child.tb.index
+                ),
+            );
+            push(
+                child.dispatched_at,
+                'f',
+                format!(
+                    "{{\"ph\": \"f\", \"bp\": \"e\", \"cat\": \"critical_path\", \
+                     \"id\": \"0xcp{edge:x}\", \"pid\": {}, \"tid\": 0, \
+                     \"name\": \"critical-path\", \"ts\": {}, \
+                     \"args\": {{\"queue_wait\": {queue_wait}}}}}",
+                    u64::from(child.smx.0),
+                    child.dispatched_at
+                ),
+            );
+        }
     }
 
     // Engine events, queue counters, and SMX instants from the trace.
@@ -329,6 +385,9 @@ pub struct TraceCheck {
     /// Host-time stage spans (`ph: X` events named `host:*`, emitted
     /// only for engine-profiled runs).
     pub host_spans: usize,
+    /// Completed `s`/`f` flow pairs (critical-path edges, emitted only
+    /// for latency-profiled runs).
+    pub flows: usize,
 }
 
 fn field_str(line: &str, key: &str) -> Option<String> {
@@ -348,8 +407,9 @@ fn field_num(line: &str, key: &str) -> Option<u64> {
 
 /// Re-parses a [`perfetto_json`] document and checks the invariants the
 /// CI smoke step enforces: the object wrapper is well formed, braces
-/// balance on every event line, `ts` never decreases, and every async
-/// span open has exactly one matching close (by category + id).
+/// balance on every event line, `ts` never decreases, every async
+/// span open has exactly one matching close (by category + id), and
+/// every flow start (`s`) has exactly one finish (`f`).
 ///
 /// # Errors
 ///
@@ -362,6 +422,7 @@ pub fn validate_trace(json: &str) -> Result<TraceCheck, String> {
     let mut check = TraceCheck::default();
     let mut last_ts = 0u64;
     let mut open_spans: HashMap<(String, String), usize> = HashMap::new();
+    let mut open_flows: HashMap<(String, String), usize> = HashMap::new();
     for (lineno, raw) in json.lines().enumerate() {
         let line = raw.trim().trim_end_matches(',');
         if !line.starts_with('{') || !line.contains("\"ph\"") {
@@ -421,11 +482,36 @@ pub fn validate_trace(json: &str) -> Result<TraceCheck, String> {
                     check.host_spans += 1;
                 }
             }
+            "s" | "t" | "f" => {
+                let cat = field_str(line, "cat")
+                    .ok_or_else(|| format!("line {}: flow without cat", lineno + 1))?;
+                let id = field_str(line, "id")
+                    .ok_or_else(|| format!("line {}: flow without id", lineno + 1))?;
+                let entry = open_flows.entry((cat, id)).or_insert(0);
+                match ph.as_str() {
+                    "s" => *entry += 1,
+                    "t" => {
+                        if *entry == 0 {
+                            return Err(format!("line {}: t without matching s", lineno + 1));
+                        }
+                    }
+                    _ => {
+                        if *entry == 0 {
+                            return Err(format!("line {}: f without matching s", lineno + 1));
+                        }
+                        *entry -= 1;
+                        check.flows += 1;
+                    }
+                }
+            }
             other => return Err(format!("line {}: unknown ph {other}", lineno + 1)),
         }
     }
     if let Some(((cat, id), _)) = open_spans.iter().find(|(_, &n)| n > 0) {
         return Err(format!("unclosed span {cat}/{id}"));
+    }
+    if let Some(((cat, id), _)) = open_flows.iter().find(|(_, &n)| n > 0) {
+        return Err(format!("unfinished flow {cat}/{id}"));
     }
     if check.events == 0 {
         return Err("empty trace".to_string());
@@ -575,6 +661,58 @@ mod tests {
         // the two stages before it.
         assert!(profiled.contains("\"name\": \"host:smx\", \"ts\": 150, \"dur\": 900"));
         assert!(!profiled.contains("host:kmu_dispatch"), "zero-cost stage omitted");
+    }
+
+    #[test]
+    fn critical_path_flows_emitted_only_for_latency_profiled_runs() {
+        use gpu_sim::stats::{CriticalPath, LatencyStats};
+
+        let plain = perfetto_json(&[], &sample_stats(), &[], 4);
+        assert_eq!(validate_trace(&plain).unwrap().flows, 0);
+        assert!(!plain.contains("critical_path"));
+
+        let mut stats = sample_stats();
+        stats.latency = Some(LatencyStats {
+            critical_path: CriticalPath {
+                len: 2,
+                cycles: 70,
+                queue_cycles: 20,
+                exec_cycles: 50,
+                chain: vec![
+                    TbRef { batch: BatchId(0), index: 0 },
+                    TbRef { batch: BatchId(1), index: 0 },
+                ],
+            },
+            ..LatencyStats::default()
+        });
+        let profiled = perfetto_json(&[], &stats, &[], 4);
+        let check = validate_trace(&profiled).expect("valid trace");
+        assert_eq!(check.flows, 1, "one edge in a two-TB chain");
+        // The arrow leaves SMX0 (parent) when the child is created at
+        // cycle 18 and lands on SMX1 (child) at its dispatch, cycle 20.
+        assert!(profiled.contains("\"ph\": \"s\", \"cat\": \"critical_path\""));
+        assert!(
+            profiled.contains("\"pid\": 0, \"tid\": 0, \"name\": \"critical-path\", \"ts\": 18")
+        );
+        assert!(profiled.contains("\"ph\": \"f\", \"bp\": \"e\""));
+        assert!(profiled.contains("\"queue_wait\": 2"));
+    }
+
+    #[test]
+    fn validator_rejects_unmatched_flows() {
+        let json = "{\"traceEvents\": [\n\
+            {\"ph\": \"s\", \"cat\": \"critical_path\", \"id\": \"0xcp0\", \"pid\": 0, \
+             \"tid\": 0, \"name\": \"critical-path\", \"ts\": 1}\n\
+            ]}";
+        let err = validate_trace(json).unwrap_err();
+        assert!(err.contains("unfinished flow"), "{err}");
+
+        let json = "{\"traceEvents\": [\n\
+            {\"ph\": \"f\", \"bp\": \"e\", \"cat\": \"critical_path\", \"id\": \"0xcp0\", \
+             \"pid\": 0, \"tid\": 0, \"name\": \"critical-path\", \"ts\": 1}\n\
+            ]}";
+        let err = validate_trace(json).unwrap_err();
+        assert!(err.contains("f without matching s"), "{err}");
     }
 
     #[test]

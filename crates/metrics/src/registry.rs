@@ -320,6 +320,34 @@ pub fn registry_for_run(stats: &SimStats, records: &[TraceRecord]) -> MetricsReg
             reg.count(&format!("engine_host_{comp}_ns"), eng.host_ns[i]);
         }
     }
+    if let Some(lat) = &stats.latency {
+        reg.count("latency_tbs", lat.tbs);
+        reg.count("latency_partition_violations", lat.partition_violations);
+        reg.count("latency_kmu_depth_hwm", lat.kmu_depth_hwm);
+        for (hist, name) in [
+            (&lat.launch_path, "latency_launch_path"),
+            (&lat.kmu_wait, "latency_kmu_wait"),
+            (&lat.queue_wait, "latency_queue_wait"),
+            (&lat.dispatch_gap, "latency_dispatch_gap"),
+            (&lat.exec, "latency_exec"),
+            (&lat.lifetime, "latency_lifetime"),
+            (&lat.child_queue_wait, "latency_child_queue_wait"),
+            (&lat.bound_queue_wait, "latency_bound_queue_wait"),
+            (&lat.stolen_queue_wait, "latency_stolen_queue_wait"),
+        ] {
+            if hist.count > 0 {
+                *reg.histogram(name) = Histogram::from_pow2(hist);
+            }
+        }
+        for (depth, hist) in &lat.depth_queue_wait {
+            *reg.histogram(&format!("latency_queue_wait_depth{depth}")) =
+                Histogram::from_pow2(hist);
+        }
+        reg.count("critical_path_len", u64::from(lat.critical_path.len));
+        reg.count("critical_path_cycles", lat.critical_path.cycles);
+        reg.count("critical_path_queue_cycles", lat.critical_path.queue_cycles);
+        reg.count("critical_path_exec_cycles", lat.critical_path.exec_cycles);
+    }
     reg
 }
 
@@ -495,6 +523,46 @@ mod tests {
         assert!(reg.histogram_value("engine_events_per_cycle").is_none());
         assert_eq!(reg.counter_value("engine_host_smx_ns"), 9000);
         assert_eq!(reg.counter_value("engine_host_samples"), 3);
+    }
+
+    #[test]
+    fn run_registry_includes_latency_when_profiled() {
+        use gpu_sim::stats::{CriticalPath, LatencyStats};
+
+        let mut stats = SimStats::default();
+        assert!(
+            !registry_for_run(&stats, &[]).render().contains("latency_tbs"),
+            "unprofiled runs carry no latency metrics"
+        );
+
+        let mut lat = LatencyStats {
+            tbs: 4,
+            kmu_depth_hwm: 2,
+            critical_path: CriticalPath {
+                len: 2,
+                cycles: 900,
+                queue_cycles: 300,
+                exec_cycles: 600,
+                ..CriticalPath::default()
+            },
+            ..LatencyStats::default()
+        };
+        lat.queue_wait.record(10);
+        lat.queue_wait.record(600);
+        lat.depth_queue_wait.push((1, lat.child_queue_wait));
+        lat.depth_queue_wait[0].1.record(600);
+        stats.latency = Some(lat);
+
+        let reg = registry_for_run(&stats, &[]);
+        assert_eq!(reg.counter_value("latency_tbs"), 4);
+        assert_eq!(reg.counter_value("latency_kmu_depth_hwm"), 2);
+        assert_eq!(reg.counter_value("critical_path_cycles"), 900);
+        assert_eq!(reg.counter_value("critical_path_queue_cycles"), 300);
+        let qw = reg.histogram_value("latency_queue_wait").unwrap();
+        assert_eq!(qw.count(), 2);
+        assert_eq!(qw.sum(), 610);
+        assert_eq!(reg.histogram_value("latency_queue_wait_depth1").unwrap().count(), 1);
+        assert!(reg.histogram_value("latency_exec").is_none(), "empty hists are omitted");
     }
 
     #[test]

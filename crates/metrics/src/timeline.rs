@@ -25,6 +25,9 @@ pub struct TimelinePoint {
     pub cycle: u64,
     /// IPC within the window.
     pub ipc: f64,
+    /// Thread instructions retired within the window. Windows tile the
+    /// run exactly, so these sum to the run's total instruction count.
+    pub instructions: u64,
     /// L1 hit rate within the window.
     pub l1_hit_rate: f64,
     /// L2 hit rate within the window.
@@ -85,6 +88,7 @@ fn point_between(earlier: &MachineSample, later: &MachineSample) -> TimelinePoin
     TimelinePoint {
         cycle: later.cycle,
         ipc: later.ipc_since(earlier),
+        instructions: later.thread_instructions.saturating_sub(earlier.thread_instructions),
         l1_hit_rate: later.l1_rate_since(earlier),
         l2_hit_rate: later.l2_rate_since(earlier),
         resident_tbs: later.resident_tbs,
@@ -148,6 +152,11 @@ mod tests {
                 .expect("run");
         // Total cycles agree (same deterministic simulation).
         assert_eq!(points.last().unwrap().cycle, rec.cycles);
+        // Windows tile the run: per-window instruction counts sum to
+        // the run's total (RunRecord stores it as ipc = total / cycles).
+        let total: u64 = points.iter().map(|p| p.instructions).sum();
+        assert!(total > 0);
+        assert!((total as f64 - rec.ipc * rec.cycles as f64).abs() < 0.5, "{total} vs {}", rec.ipc);
     }
 
     #[test]
@@ -155,6 +164,7 @@ mod tests {
         let p = TimelinePoint {
             cycle: 0,
             ipc: 0.0,
+            instructions: 0,
             l1_hit_rate: 0.0,
             l2_hit_rate: 0.0,
             resident_tbs: 0,

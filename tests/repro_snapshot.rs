@@ -66,3 +66,30 @@ fn ci_scale_profile_matches_golden() {
         "ci-scale profile report drifted from tests/golden/repro_profile_ci.txt"
     );
 }
+
+/// The latency-attribution twin: `repro latency` at ci scale is
+/// deterministic (lifecycle edges are simulated-cycle stamps, never wall
+/// clock) and must match its golden byte-for-byte regardless of `--jobs`.
+/// Regenerate with `cargo run --release -p laperm-bench --bin repro -- \
+/// latency --scale ci > tests/golden/repro_latency_ci.txt`
+#[test]
+#[ignore = "ci-scale sweep takes tens of seconds; run with --ignored"]
+fn ci_scale_latency_matches_golden() {
+    use gpu_sim::config::EngineMode;
+    let golden = include_str!("golden/repro_latency_ci.txt");
+    let doc = SweepDoc::build_profiled(Scale::Ci, 0, default_jobs(), EngineMode::Event);
+    assert!(doc.failures.is_empty(), "sweep failures: {:?}", doc.failures);
+
+    // The latency shape assertions bind on a profiled document.
+    let outcomes = evaluate_shapes(&doc);
+    let failed: Vec<String> =
+        outcomes.iter().filter(|o| !o.passed).map(|o| format!("{}: {}", o.id, o.detail)).collect();
+    assert!(failed.is_empty(), "shape assertions failed on profiled doc:\n{}", failed.join("\n"));
+
+    let m = MatrixRecords::from_records(doc.records);
+    let current = laperm_bench::latency_report(Scale::Ci, default_jobs(), &m);
+    assert_eq!(
+        current, golden,
+        "ci-scale latency report drifted from tests/golden/repro_latency_ci.txt"
+    );
+}
