@@ -3,6 +3,8 @@
 //! ```text
 //! repro <experiment> [--scale tiny|ci|small|paper] [--jobs N] [--json FILE]
 //!                    [--engine event|cycle-stepped] [--programs generator|dsl]
+//!                    [--cache-dir DIR] [--retries N] [--cell-deadline CYCLES]
+//!                    [--retry-backoff-ms MS]
 //! repro check [--json FILE]
 //! repro dsl FILE.dsl [--jobs N]
 //!
@@ -50,6 +52,26 @@
 //! compiled to bytecode; programs are byte-identical across paths, so
 //! the CI `dsl-differential` job runs `all` once per path and diffs the
 //! two `repro.json` documents byte-for-byte.
+//!
+//! Resilience flags for `all` (see docs/ARCHITECTURE.md, "Resilient
+//! sweeps"): `--cache-dir DIR` persists every completed cell to a
+//! checksummed journal and resumes from it (a crashed sweep recomputes
+//! only what it lost; corrupt or torn records are detected and
+//! recomputed, never served); `--retries N` retries a failed cell with
+//! deterministic exponential backoff (`--retry-backoff-ms`, default
+//! 100) before recording a permanent failure; `--cell-deadline CYCLES`
+//! caps each cell's forward-progress watchdog window. A partial sweep
+//! renders a `DEGRADED (k/N cells failed)` banner and failures table
+//! instead of aborting. Without `--cache-dir`, output is byte-identical
+//! to the resilience-free executor. The undocumented
+//! `--kill-after-cells N` hard-kills the process after N cells are
+//! committed to the cache — the CI `sweep-resilience` job's crash
+//! injection.
+//!
+//! `repro check` exit codes: 0 every assertion passed; 1 assertion
+//! violation(s) on a healthy document; 2 degraded input (the document
+//! carries failed cells — assertions ran over survivors only); 3 the
+//! document is unreadable, corrupt, or schema-incompatible.
 
 #![deny(clippy::unwrap_used)]
 
@@ -58,10 +80,10 @@ use std::sync::Arc;
 use gpu_sim::config::{EngineMode, GpuConfig};
 use laperm_bench::sweep::{matrix_cells_for, run_matrix_cells};
 use laperm_bench::{
-    ablate, default_jobs, evaluate_shapes, fig2, fig7, fig8, fig9, figure4, full_report,
-    generality, latency_report, locality, overhead, profile, render_shape_report,
-    run_matrix_with_jobs, saturation, sweep_cache, table1, table2, timeline, variance,
-    MatrixRecords, ProgramPath, SweepDoc,
+    ablate, check_document, default_jobs, fig2, fig7, fig8, fig9, figure4, full_report, generality,
+    latency_report, locality, overhead, profile, render_check_report, run_matrix_with_jobs,
+    saturation, sweep_cache, table1, table2, timeline, variance, CheckVerdict, MatrixRecords,
+    ProgramPath, Resilience, SweepDoc,
 };
 use wdsl::{CompiledWorkload, ExecMode};
 use workloads::{Scale, Workload};
@@ -75,6 +97,7 @@ struct Args {
     json_path: Option<String>,
     engine: EngineMode,
     programs: ProgramPath,
+    resilience: Resilience,
 }
 
 fn parse_args() -> Args {
@@ -117,23 +140,61 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }),
     };
-    Args { experiment, operand, scale, jobs, json_path, engine, programs }
+    let int_flag = |flag: &str| -> Option<u64> {
+        value_of(flag).map(|n| {
+            n.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a non-negative integer, got {n}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let resilience = Resilience {
+        cache_dir: value_of("--cache-dir").map(std::path::PathBuf::from),
+        retries: int_flag("--retries").map(|n| n as u32).unwrap_or(0),
+        backoff_ms: int_flag("--retry-backoff-ms").unwrap_or(100),
+        cell_deadline: int_flag("--cell-deadline"),
+        kill_after_cells: int_flag("--kill-after-cells"),
+        faults: None,
+        sim_fault_seed: None,
+    };
+    Args { experiment, operand, scale, jobs, json_path, engine, programs, resilience }
 }
 
 /// `repro all`: the full sweep. Writes `repro.json`, prints the text
 /// report, and exits nonzero if any matrix cell failed.
 fn run_all(args: &Args) {
     let path = args.json_path.as_deref().unwrap_or("repro.json");
-    let doc = SweepDoc::build_with_programs(args.scale, 0, args.jobs, args.engine, args.programs)
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let (doc, report) = SweepDoc::build_resilient(
+        args.scale,
+        0,
+        args.jobs,
+        args.engine,
+        args.programs,
+        &args.resilience,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     std::fs::write(path, doc.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     eprintln!("wrote {path}");
+    if args.resilience.cache_dir.is_some() {
+        if let Some(damage) = &report.journal_damage {
+            eprintln!("cell journal damage repaired: {damage}; dropped records were recomputed");
+        }
+        eprintln!(
+            "cell cache: {} hits, {} misses, {} committed this run",
+            report.cache_hits, report.cache_misses, report.committed
+        );
+    }
     let failed = !doc.failures.is_empty();
     for f in &doc.failures {
         eprintln!("FAILED {}/{}/{}: {}", f.workload, f.launch_model, f.scheduler, f.error);
+    }
+    // A partial sweep degrades instead of aborting: the banner and
+    // failures table lead the report, the surviving cells still render.
+    if let Some(banner) = doc.degraded_banner() {
+        print!("{banner}");
     }
     let m = MatrixRecords::from_records(doc.records);
     print!("{}", full_report(args.scale, args.jobs, &m));
@@ -182,22 +243,36 @@ fn run_latency(args: &Args) {
     }
 }
 
-/// `repro check`: the reproduction gate. Reads `repro.json` and exits
-/// nonzero on any shape-assertion violation.
+/// `repro check`: the reproduction gate. Reads `repro.json`, evaluates
+/// the shape assertions, and exits by case: 0 all passed, 1 assertion
+/// violation, 2 degraded input (failed cells; survivors evaluated), 3
+/// unreadable or corrupt document. Each nonzero case says which it is.
 fn run_check(args: &Args) {
     let path = args.json_path.as_deref().unwrap_or("repro.json");
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path} (run `repro all` first): {e}");
-        std::process::exit(2);
+        eprintln!("I/O error: cannot read {path} (run `repro all` first): {e}");
+        std::process::exit(3);
     });
     let doc = SweepDoc::from_json(&text).unwrap_or_else(|e| {
-        eprintln!("{path} is not a valid sweep document: {e}");
-        std::process::exit(2);
+        eprintln!("corrupt or incompatible sweep document {path}: {e}");
+        std::process::exit(3);
     });
-    let outcomes = evaluate_shapes(&doc);
-    print!("{}", render_shape_report(&outcomes));
-    if outcomes.iter().any(|o| !o.passed) {
-        std::process::exit(1);
+    let (outcomes, verdict) = check_document(&doc);
+    print!("{}", render_check_report(&doc, &outcomes));
+    match verdict {
+        CheckVerdict::Pass => {}
+        CheckVerdict::Violation => {
+            eprintln!("assertion violation(s) on a complete document");
+            std::process::exit(1);
+        }
+        CheckVerdict::Degraded => {
+            eprintln!(
+                "degraded input: {}/{} cells failed; assertions evaluated over survivors only",
+                doc.failures.len(),
+                doc.total_cells()
+            );
+            std::process::exit(2);
+        }
     }
 }
 

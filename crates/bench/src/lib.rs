@@ -9,6 +9,9 @@
 //!
 //! * [`sweep`] — work-queue executor fanning independent simulations
 //!   over cores, plus the `repro.json` document it emits.
+//! * [`resilience`] — crash-safe sweep execution: content-addressed cell
+//!   cache over an append-only journal, per-cell supervision
+//!   (deadline/retry/backoff), and harness-level fault injection.
 //! * [`shapes`] — EXPERIMENTS.md's qualitative claims as machine-checked
 //!   assertions over `repro.json` (the `repro check` reproduction gate).
 
@@ -19,6 +22,7 @@
 pub mod experiments;
 pub mod fig4;
 pub mod hotloop;
+pub mod resilience;
 pub mod shapes;
 pub mod sweep;
 
@@ -28,7 +32,14 @@ pub use experiments::{
     sweep_cache, table1, table2, timeline, variance, MatrixRecords,
 };
 pub use fig4::figure4;
-pub use shapes::{evaluate_shapes, render_shape_report, ShapeOutcome};
+pub use resilience::{
+    cell_key, cell_key_with_fingerprint, run_matrix_cells_resilient, CellCache, CellFailure,
+    FailureCause, HarnessFault, HarnessFaultPlan, Resilience, ResilienceReport, CODE_FINGERPRINT,
+};
+pub use shapes::{
+    check_document, evaluate_shapes, render_check_report, render_shape_report, CheckVerdict,
+    ShapeOutcome,
+};
 pub use sweep::{
     default_jobs, parallel_map, run_cells, suite_for_path, ProgramPath, SweepDoc, SweepFailure,
     SweepOutcome,

@@ -20,11 +20,13 @@ use std::sync::{Arc, Mutex};
 
 use dynpar::LaunchModelKind;
 use gpu_sim::config::{EngineMode, GpuConfig};
-use sim_metrics::harness::{run_once, RunRecord, SchedulerKind};
+use sim_metrics::harness::{RunRecord, SchedulerKind};
 use sim_metrics::json::{parse, run_from_json, run_to_json, Json};
 use sim_metrics::FootprintAnalysis;
 use wdsl::{compiled_suite_seeded, ExecMode};
 use workloads::{suite_seeded, Scale, Workload};
+
+use crate::resilience::{run_matrix_cells_resilient, Resilience, ResilienceReport};
 
 /// Which program-generation path serves `Workload → TbProgram` during a
 /// sweep: the legacy Rust generators, or each workload's DSL port
@@ -126,7 +128,7 @@ where
         .collect()
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -147,18 +149,23 @@ pub struct MatrixCell {
     pub scheduler: SchedulerKind,
 }
 
-/// A per-cell failure: the configuration that failed and the error or
-/// panic message. Reported in `repro.json` so CI can attribute a broken
-/// run to its exact configuration.
+/// A per-cell failure: which cell (by canonical matrix index), the
+/// configuration that failed, how many supervised attempts were spent,
+/// and the error or panic message. Reported in `repro.json` so CI can
+/// attribute a broken run to its exact configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepFailure {
+    /// Index of the failed cell in canonical matrix order.
+    pub cell_index: usize,
     /// Workload display name.
     pub workload: String,
     /// Launch model name.
     pub launch_model: String,
     /// Scheduler name.
     pub scheduler: String,
-    /// Error or panic message.
+    /// Supervised attempts spent before giving up (1 = no retries).
+    pub attempts: u32,
+    /// Error or panic message from the final attempt.
     pub error: String,
 }
 
@@ -202,45 +209,17 @@ pub fn run_matrix_jobs(scale: Scale, seed: u64, jobs: usize, cfg: &GpuConfig) ->
 }
 
 /// Runs an explicit cell list (the building block tests use to sweep
-/// subsets quickly).
+/// subsets quickly). This is the default-policy entry into the
+/// resilient executor: no cache, no retries, no deadline — behavior
+/// (records, failures, stderr progress) is identical to the
+/// pre-resilience executor.
 pub fn run_matrix_cells(cells: &[MatrixCell], jobs: usize, cfg: &GpuConfig) -> SweepOutcome {
-    let total = cells.len();
-    let done = AtomicUsize::new(0);
-    let results = run_cells(cells, jobs, |cell| {
-        let record =
-            run_once(&cell.workload, cell.model, cell.scheduler, cfg).unwrap_or_else(|e| {
-                panic!(
-                    "{} under {}/{} failed: {e}",
-                    cell.workload.full_name(),
-                    cell.model,
-                    cell.scheduler
-                )
-            });
-        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        eprintln!(
-            "[{n}/{total}] {} {} {}: {} cycles, IPC {:.1}",
-            cell.workload.full_name(),
-            cell.model,
-            cell.scheduler,
-            record.cycles,
-            record.ipc
-        );
-        record
-    });
-    let mut records = Vec::new();
-    let mut failures = Vec::new();
-    for (cell, result) in cells.iter().zip(results) {
-        match result {
-            Ok(record) => records.push(record),
-            Err(error) => failures.push(SweepFailure {
-                workload: cell.workload.full_name(),
-                launch_model: cell.model.name().to_string(),
-                scheduler: cell.scheduler.name().to_string(),
-                error,
-            }),
-        }
+    match run_matrix_cells_resilient(cells, jobs, cfg, "adhoc/0", &Resilience::default()) {
+        Ok((outcome, _)) => outcome,
+        // Setup can only fail when a cache directory is configured;
+        // the default policy has none.
+        Err(e) => panic!("sweep setup failed: {e}"),
     }
-    SweepOutcome { records, failures }
 }
 
 /// One workload's shared-footprint ratios in the sweep document
@@ -285,8 +264,11 @@ pub struct SweepDoc {
 /// attribution and launch-DAG critical path; carried by
 /// [`SweepDoc::build_profiled`] documents only, for the same
 /// cross-engine byte-diff reason — latency stats ARE bit-identical
-/// across engine modes, but default sweeps stay minimal).
-pub const SWEEP_SCHEMA_VERSION: u64 = 5;
+/// across engine modes, but default sweeps stay minimal). Version 6
+/// added the structured failure fields `cell_index` and `attempts`
+/// (which cell of the canonical matrix failed and how many supervised
+/// attempts the resilient executor spent on it).
+pub const SWEEP_SCHEMA_VERSION: u64 = 6;
 
 impl SweepDoc {
     /// Runs the matrix and the static footprint analysis at a scale and
@@ -334,14 +316,37 @@ impl SweepDoc {
         engine_mode: EngineMode,
         path: ProgramPath,
     ) -> Result<SweepDoc, String> {
-        Ok(Self::build_inner(
+        Self::build_resilient(scale, seed, jobs, engine_mode, path, &Resilience::default())
+            .map(|(doc, _)| doc)
+    }
+
+    /// [`SweepDoc::build_with_programs`] under an explicit resilience
+    /// policy: cell cache, retries, per-cell deadline, and (in tests)
+    /// harness-level fault injection. Also returns what the policy did
+    /// — cache hits/misses, journal damage repaired, retries spent.
+    ///
+    /// # Errors
+    ///
+    /// Reports DSL suite compilation failures and cache-directory or
+    /// journal I/O setup errors. Per-cell failures are NOT errors: they
+    /// degrade the document (see [`SweepDoc::degraded_banner`]).
+    pub fn build_resilient(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        engine_mode: EngineMode,
+        path: ProgramPath,
+        res: &Resilience,
+    ) -> Result<(SweepDoc, ResilienceReport), String> {
+        Self::build_inner(
             scale,
             seed,
             jobs,
             engine_mode,
             false,
             suite_for_path(scale, seed, path)?,
-        ))
+            res,
+        )
     }
 
     /// [`SweepDoc::build`] with engine introspection and latency
@@ -358,7 +363,20 @@ impl SweepDoc {
         jobs: usize,
         engine_mode: EngineMode,
     ) -> SweepDoc {
-        Self::build_inner(scale, seed, jobs, engine_mode, true, suite_seeded(scale, seed))
+        match Self::build_inner(
+            scale,
+            seed,
+            jobs,
+            engine_mode,
+            true,
+            suite_seeded(scale, seed),
+            &Resilience::default(),
+        ) {
+            Ok((doc, _)) => doc,
+            // The default policy configures no cache, so setup is
+            // infallible.
+            Err(e) => panic!("profiled sweep setup failed: {e}"),
+        }
     }
 
     fn build_inner(
@@ -368,14 +386,16 @@ impl SweepDoc {
         engine_mode: EngineMode,
         profile_engine: bool,
         all: Vec<Arc<dyn Workload>>,
-    ) -> SweepDoc {
+        res: &Resilience,
+    ) -> Result<(SweepDoc, ResilienceReport), String> {
         let mut cfg = GpuConfig::kepler_k20c();
         cfg.profile_locality = true;
         cfg.engine_mode = engine_mode;
         cfg.profile_engine = profile_engine;
         cfg.profile_latency = profile_engine;
         let cells = matrix_cells_for(&all);
-        let outcome = run_matrix_cells(&cells, jobs, &cfg);
+        let sweep_tag = format!("{}/{seed}", scale.name());
+        let (outcome, report) = run_matrix_cells_resilient(&cells, jobs, &cfg, &sweep_tag, res)?;
         let footprints = parallel_map(&all, jobs, |w| {
             let a = FootprintAnalysis::analyze(w.as_ref());
             FootprintRow {
@@ -385,13 +405,43 @@ impl SweepDoc {
                 parent_parent: a.parent_parent,
             }
         });
-        SweepDoc {
+        let doc = SweepDoc {
             scale: scale.name().to_string(),
             seed,
             records: outcome.records,
             failures: outcome.failures,
             footprints,
+        };
+        Ok((doc, report))
+    }
+
+    /// Total matrix cells the document describes (completed + failed).
+    pub fn total_cells(&self) -> usize {
+        self.records.len() + self.failures.len()
+    }
+
+    /// The `DEGRADED` banner and failures table for a partial sweep, or
+    /// `None` for a healthy one. `repro all` and `repro check` print
+    /// this ahead of their reports instead of aborting: the surviving
+    /// cells still carry evaluable signal.
+    pub fn degraded_banner(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
         }
+        let mut out =
+            format!("DEGRADED ({}/{} cells failed)\n\n", self.failures.len(), self.total_cells());
+        out.push_str(&format!(
+            "{:>5}  {:<18} {:<6} {:<14} {:>8}  error\n",
+            "cell", "workload", "model", "scheduler", "attempts"
+        ));
+        for f in &self.failures {
+            out.push_str(&format!(
+                "{:>5}  {:<18} {:<6} {:<14} {:>8}  {}\n",
+                f.cell_index, f.workload, f.launch_model, f.scheduler, f.attempts, f.error
+            ));
+        }
+        out.push('\n');
+        Some(out)
     }
 
     /// Renders the document as `repro.json` (one run per line for
@@ -409,9 +459,11 @@ impl SweepDoc {
         out.push_str("  ],\n  \"failures\": [\n");
         for (i, f) in self.failures.iter().enumerate() {
             let obj = Json::Obj(vec![
+                ("cell_index".into(), Json::Num(f.cell_index.to_string())),
                 ("workload".into(), Json::Str(f.workload.clone())),
                 ("launch_model".into(), Json::Str(f.launch_model.clone())),
                 ("scheduler".into(), Json::Str(f.scheduler.clone())),
+                ("attempts".into(), Json::Num(f.attempts.to_string())),
                 ("error".into(), Json::Str(f.error.clone())),
             ]);
             let sep = if i + 1 < self.failures.len() { "," } else { "" };
@@ -470,10 +522,19 @@ impl SweepDoc {
             .ok_or("missing array 'failures'")?
             .iter()
             .map(|o| {
+                let u64_of = |key: &str| -> Result<u64, String> {
+                    o.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("missing integer field '{key}'"))
+                };
                 Ok(SweepFailure {
+                    cell_index: usize::try_from(u64_of("cell_index")?)
+                        .map_err(|_| "cell_index out of range".to_string())?,
                     workload: str_of(o, "workload")?,
                     launch_model: str_of(o, "launch_model")?,
                     scheduler: str_of(o, "scheduler")?,
+                    attempts: u32::try_from(u64_of("attempts")?)
+                        .map_err(|_| "attempts out of range".to_string())?,
                     error: str_of(o, "error")?,
                 })
             })

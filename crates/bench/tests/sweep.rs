@@ -118,9 +118,11 @@ fn failures_are_attributed_and_fail_the_gate() {
 
     doc.records.pop();
     doc.failures.push(SweepFailure {
+        cell_index: 127,
         workload: "sssp-cage15".into(),
         launch_model: "dtbl".into(),
         scheduler: "adaptive-bind".into(),
+        attempts: 3,
         error: "simulated: queue wedged".into(),
     });
     let outcome = complete(&doc);
@@ -148,8 +150,45 @@ fn sweep_types_stay_thread_safe() {
     sendable::<SweepDoc>();
 }
 
+/// Degraded documents dominate the check verdict (missing cells make
+/// per-assertion FAILs indistinguishable from vacuity), and the
+/// degraded rendering leads with the banner and the survivors note.
+/// Healthy documents render byte-identically to the plain shape report
+/// — the CI goldens depend on that.
+#[test]
+fn check_verdicts_and_degraded_rendering() {
+    use laperm_bench::{check_document, render_check_report, render_shape_report, CheckVerdict};
+
+    let healthy = parallel_doc();
+    let (outcomes, verdict) = check_document(healthy);
+    assert_ne!(verdict, CheckVerdict::Degraded, "healthy doc misclassified");
+    assert_eq!(
+        render_check_report(healthy, &outcomes),
+        render_shape_report(&outcomes),
+        "healthy rendering must not gain a preamble"
+    );
+
+    let mut degraded = healthy.clone();
+    degraded.records.pop();
+    degraded.failures.push(SweepFailure {
+        cell_index: 127,
+        workload: "sssp-cage15".into(),
+        launch_model: "dtbl".into(),
+        scheduler: "adaptive-bind".into(),
+        attempts: 2,
+        error: "injected: cell wedged".into(),
+    });
+    let (outcomes, verdict) = check_document(&degraded);
+    assert_eq!(verdict, CheckVerdict::Degraded);
+    let report = render_check_report(&degraded, &outcomes);
+    assert!(report.starts_with("DEGRADED (1/128 cells failed)"), "banner missing: {report}");
+    assert!(report.contains("sssp-cage15"), "failures table missing the failed cell");
+    assert!(report.contains("vacuous"), "survivors note missing");
+}
+
 /// Corrupt or incompatible documents are rejected with a message, not a
-/// panic — `repro check` exits 2 on them.
+/// panic — `repro check` exits 3 on them (I/O-corruption, distinct from
+/// assertion violations and degraded input).
 #[test]
 fn malformed_documents_are_rejected() {
     assert!(SweepDoc::from_json("not json").is_err());

@@ -392,6 +392,22 @@ impl GpuConfig {
         self.line_bytes.trailing_zeros()
     }
 
+    /// Tightens the forward-progress watchdog to at most `deadline`
+    /// cycles, keeping an already-stricter window. This is how a
+    /// per-cell deadline reuses the watchdog machinery: the sweep
+    /// harness never weakens a configured window, it only caps it.
+    /// `deadline == 0` (which [`GpuConfig::validate`] would reject as a
+    /// window) is ignored.
+    pub fn tighten_watchdog(&mut self, deadline: u64) {
+        if deadline == 0 {
+            return;
+        }
+        self.watchdog_window = Some(match self.watchdog_window {
+            Some(current) => current.min(deadline),
+            None => deadline,
+        });
+    }
+
     /// Validates internal consistency of the configuration.
     ///
     /// # Errors
@@ -509,6 +525,22 @@ mod tests {
     fn line_bits_matches_line_size() {
         let cfg = GpuConfig::kepler_k20c();
         assert_eq!(cfg.line_bits(), 7);
+    }
+
+    #[test]
+    fn tighten_watchdog_only_ever_tightens() {
+        let mut cfg = GpuConfig::small_test();
+        cfg.watchdog_window = Some(100_000);
+        cfg.tighten_watchdog(500_000);
+        assert_eq!(cfg.watchdog_window, Some(100_000), "looser deadline must not widen");
+        cfg.tighten_watchdog(20_000);
+        assert_eq!(cfg.watchdog_window, Some(20_000));
+        cfg.tighten_watchdog(0);
+        assert_eq!(cfg.watchdog_window, Some(20_000), "zero deadline is ignored");
+        cfg.watchdog_window = None;
+        cfg.tighten_watchdog(30_000);
+        assert_eq!(cfg.watchdog_window, Some(30_000), "deadline enables a disabled watchdog");
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -8,6 +8,7 @@ use gpu_sim::cache::{ReuseClass, NUM_REUSE_CLASSES};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::engine::Simulator;
 use gpu_sim::error::SimError;
+use gpu_sim::fault::FaultPlan;
 use gpu_sim::stats::{Pow2Hist, SimStats, StallBreakdown, NUM_WAKE_SOURCES};
 use gpu_sim::tb_sched::{RoundRobinScheduler, TbScheduler};
 use laperm::{LaPermConfig, LaPermPolicy, LaPermScheduler};
@@ -395,9 +396,33 @@ pub fn run_with_latency(
     scheduler: SchedulerKind,
     cfg: &GpuConfig,
 ) -> Result<RunRecord, SimError> {
+    run_with_latency_faulted(workload, model, latency, scheduler, cfg, None)
+}
+
+/// [`run_with_latency`] with an optional simulator-level fault plan
+/// attached before the host kernels launch. This is how the resilient
+/// sweep layer composes the PR-5 in-simulator fault injection with its
+/// own harness-level plan: the simulator sees exactly the same faults
+/// it would in a standalone liveness run.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the engine (including the
+/// structured liveness errors a fault plan can force).
+pub fn run_with_latency_faulted(
+    workload: &Arc<dyn Workload>,
+    model: LaunchModelKind,
+    latency: LaunchLatency,
+    scheduler: SchedulerKind,
+    cfg: &GpuConfig,
+    fault_plan: Option<FaultPlan>,
+) -> Result<RunRecord, SimError> {
     let mut sim = Simulator::new(cfg.clone(), Box::new(SharedSource(workload.clone())))
         .with_scheduler(scheduler.build(cfg))
         .with_launch_model(model.build(latency));
+    if let Some(plan) = fault_plan {
+        sim = sim.with_fault_plan(plan);
+    }
     for hk in workload.host_kernels() {
         sim.launch_host_kernel(hk.kind, hk.param, hk.num_tbs, hk.req)?;
     }

@@ -1,0 +1,426 @@
+//! Append-only, checksummed record journal for the sweep cell cache.
+//!
+//! The resilient sweep layer (`laperm-bench`) persists every completed
+//! matrix cell to a journal file so a crashed-and-restarted `repro all`
+//! resumes from what it already computed instead of starting over. The
+//! format is deliberately minimal and self-healing:
+//!
+//! ```text
+//! magic   : 8 bytes, b"LPJRNL01"
+//! record  : [len: u32 LE] [checksum: u64 LE] [payload: len bytes]
+//! ...     : records repeat to end of file
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the payload bytes. A process killed
+//! mid-append leaves a truncated tail record; a disk flipping bits
+//! leaves a checksum mismatch. Both are *detected, reported, and
+//! dropped* by [`read_journal`] — a damaged record (and anything after
+//! it, since record boundaries can no longer be trusted) is never
+//! served. [`JournalWriter::open_repairing`] truncates the file back to
+//! its longest valid prefix before appending, so one crash cannot
+//! compound into permanent corruption.
+//!
+//! Payload contents are opaque here: the bench crate stores one JSON
+//! object per record (cache key + serialized run record). Duplicate
+//! keys are legal — append-only means a recomputed cell simply appends
+//! a fresh record, and the reader's last-writer-wins merge picks it up.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic: identifies a cell journal and its framing version.
+pub const MAGIC: &[u8; 8] = b"LPJRNL01";
+
+/// Bytes of framing per record before the payload (u32 length + u64
+/// checksum).
+pub const RECORD_HEADER_BYTES: u64 = 12;
+
+/// FNV-1a 64-bit hash (the journal checksum and the cache-key hash
+/// primitive). Dependency-free and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How a journal file deviated from its well-formed framing. At most
+/// one damage site is reported per read: everything at and after it is
+/// dropped, so later records never mask earlier corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalDamage {
+    /// The file does not start with [`MAGIC`] (wrong file, or a
+    /// framing-version bump). Nothing in it is trusted.
+    BadMagic,
+    /// The file ends mid-record (crash during append). `offset` is the
+    /// file position of the truncated record's header.
+    TruncatedRecord {
+        /// File offset of the incomplete record.
+        offset: u64,
+    },
+    /// A record's payload does not hash to its stored checksum.
+    /// `offset` is the file position of the damaged record's header.
+    ChecksumMismatch {
+        /// File offset of the damaged record.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for JournalDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalDamage::BadMagic => write!(f, "bad magic (not a cell journal)"),
+            JournalDamage::TruncatedRecord { offset } => {
+                write!(f, "truncated record at byte {offset}")
+            }
+            JournalDamage::ChecksumMismatch { offset } => {
+                write!(f, "checksum mismatch at byte {offset}")
+            }
+        }
+    }
+}
+
+/// The result of reading a journal: every intact payload in append
+/// order, plus where (if anywhere) the file stopped being trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRead {
+    /// Intact record payloads, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// First damage site, or `None` for a clean file.
+    pub damage: Option<JournalDamage>,
+    /// Length in bytes of the longest valid prefix (magic + intact
+    /// records). Repair truncates the file to this length.
+    pub valid_len: u64,
+}
+
+impl JournalRead {
+    /// A read of a journal that does not exist yet: no payloads, no
+    /// damage, and a zero valid length (the writer must emit magic).
+    fn fresh() -> JournalRead {
+        JournalRead { payloads: Vec::new(), damage: None, valid_len: 0 }
+    }
+}
+
+/// Reads a journal file, stopping at the first damaged or truncated
+/// record. A missing file reads as empty and undamaged.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "file not found".
+pub fn read_journal(path: &Path) -> io::Result<JournalRead> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalRead::fresh()),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() {
+        return Ok(JournalRead::fresh());
+    }
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Ok(JournalRead {
+            payloads: Vec::new(),
+            damage: Some(JournalDamage::BadMagic),
+            valid_len: 0,
+        });
+    }
+    let mut payloads = Vec::new();
+    let mut at = MAGIC.len();
+    loop {
+        if at == bytes.len() {
+            return Ok(JournalRead { payloads, damage: None, valid_len: at as u64 });
+        }
+        let header_end = at + RECORD_HEADER_BYTES as usize;
+        if header_end > bytes.len() {
+            return Ok(JournalRead {
+                payloads,
+                damage: Some(JournalDamage::TruncatedRecord { offset: at as u64 }),
+                valid_len: at as u64,
+            });
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&bytes[at..at + 4]);
+        let len = u32::from_le_bytes(len4) as usize;
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&bytes[at + 4..header_end]);
+        let stored = u64::from_le_bytes(sum8);
+        let payload_end = header_end + len;
+        if payload_end > bytes.len() {
+            return Ok(JournalRead {
+                payloads,
+                damage: Some(JournalDamage::TruncatedRecord { offset: at as u64 }),
+                valid_len: at as u64,
+            });
+        }
+        let payload = &bytes[header_end..payload_end];
+        if fnv1a64(payload) != stored {
+            return Ok(JournalRead {
+                payloads,
+                damage: Some(JournalDamage::ChecksumMismatch { offset: at as u64 }),
+                valid_len: at as u64,
+            });
+        }
+        payloads.push(payload.to_vec());
+        at = payload_end;
+    }
+}
+
+/// An append handle to a journal whose damaged tail (if any) has been
+/// truncated away. Every append is a single unbuffered `write_all`, so
+/// records committed before a SIGKILL survive it.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Opens (creating if necessary) the journal at `path`, reads its
+    /// intact records, truncates any damaged tail, and returns the
+    /// writer positioned for appending plus what was read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors (open, read, truncate, seek).
+    pub fn open_repairing(path: &Path) -> io::Result<(JournalWriter, JournalRead)> {
+        let read = read_journal(path)?;
+        // Deliberately not `truncate(true)`: the repair below keeps the
+        // valid prefix and cuts only the damaged tail.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        if read.valid_len == 0 {
+            // Fresh or fully untrusted file: start over with magic.
+            file.set_len(0)?;
+            file.write_all(MAGIC)?;
+        } else {
+            file.set_len(read.valid_len)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok((JournalWriter { file }, read))
+    }
+
+    /// Appends one record (length, checksum, payload) in a single
+    /// write. The payload length must fit in a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors, and rejects payloads over 4 GiB.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "journal payload exceeds u32 length")
+        })?;
+        let mut record = Vec::with_capacity(RECORD_HEADER_BYTES as usize + payload.len());
+        record.extend_from_slice(&len.to_le_bytes());
+        record.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        self.file.write_all(&record)
+    }
+}
+
+/// Byte offset of the `index`-th intact record's header, or `None` if
+/// the journal holds fewer records. Shared by the corruption helpers.
+fn record_offset(path: &Path, index: usize) -> io::Result<Option<(u64, u64)>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Ok(None);
+    }
+    let mut at = MAGIC.len();
+    let mut seen = 0usize;
+    while at + RECORD_HEADER_BYTES as usize <= bytes.len() {
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&bytes[at..at + 4]);
+        let len = u32::from_le_bytes(len4) as u64;
+        let total = RECORD_HEADER_BYTES + len;
+        if at as u64 + total > bytes.len() as u64 {
+            return Ok(None);
+        }
+        if seen == index {
+            return Ok(Some((at as u64, total)));
+        }
+        seen += 1;
+        at += total as usize;
+    }
+    Ok(None)
+}
+
+/// Test/fault-injection helper: flips one byte of the `index`-th
+/// record's stored checksum in place. Returns `false` when the journal
+/// has no such record.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn corrupt_record_checksum(path: &Path, index: usize) -> io::Result<bool> {
+    let Some((offset, _)) = record_offset(path, index)? else {
+        return Ok(false);
+    };
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.seek(SeekFrom::Start(offset + 4))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(offset + 4))?;
+    file.write_all(&byte)?;
+    Ok(true)
+}
+
+/// Test/fault-injection helper: truncates the file in the middle of
+/// the `index`-th record (half-way through its payload), simulating a
+/// crash during append. Returns `false` when the journal has no such
+/// record.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn truncate_mid_record(path: &Path, index: usize) -> io::Result<bool> {
+    let Some((offset, total)) = record_offset(path, index)? else {
+        return Ok(false);
+    };
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(offset + RECORD_HEADER_BYTES + (total - RECORD_HEADER_BYTES) / 2)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("laperm-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn payloads(read: &JournalRead) -> Vec<&str> {
+        read.payloads.iter().map(|p| std::str::from_utf8(p).unwrap()).collect()
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn missing_and_empty_files_read_as_fresh() {
+        let path = temp_path("fresh");
+        assert_eq!(read_journal(&path).unwrap(), JournalRead::fresh());
+        std::fs::write(&path, b"").unwrap();
+        assert_eq!(read_journal(&path).unwrap(), JournalRead::fresh());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut w, read) = JournalWriter::open_repairing(&path).unwrap();
+            assert!(read.payloads.is_empty());
+            w.append(b"one").unwrap();
+            w.append(b"two").unwrap();
+            w.append(b"").unwrap();
+        }
+        let read = read_journal(&path).unwrap();
+        assert_eq!(payloads(&read), ["one", "two", ""]);
+        assert_eq!(read.damage, None);
+        assert_eq!(read.valid_len, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_detected_and_repaired() {
+        let path = temp_path("truncate");
+        {
+            let (mut w, _) = JournalWriter::open_repairing(&path).unwrap();
+            w.append(b"keep-me").unwrap();
+            w.append(b"torn-record").unwrap();
+        }
+        assert!(truncate_mid_record(&path, 1).unwrap());
+        let read = read_journal(&path).unwrap();
+        assert_eq!(payloads(&read), ["keep-me"]);
+        assert!(matches!(read.damage, Some(JournalDamage::TruncatedRecord { .. })));
+
+        // Repairing reopen drops the torn tail; new appends land after
+        // the surviving record.
+        {
+            let (mut w, read) = JournalWriter::open_repairing(&path).unwrap();
+            assert_eq!(payloads(&read), ["keep-me"]);
+            w.append(b"after-repair").unwrap();
+        }
+        let read = read_journal(&path).unwrap();
+        assert_eq!(payloads(&read), ["keep-me", "after-repair"]);
+        assert_eq!(read.damage, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn single_truncated_record_reads_as_empty() {
+        let path = temp_path("truncate-first");
+        {
+            let (mut w, _) = JournalWriter::open_repairing(&path).unwrap();
+            w.append(b"only").unwrap();
+        }
+        assert!(truncate_mid_record(&path, 0).unwrap());
+        let read = read_journal(&path).unwrap();
+        assert!(read.payloads.is_empty());
+        assert!(matches!(read.damage, Some(JournalDamage::TruncatedRecord { .. })));
+        assert_eq!(read.valid_len, MAGIC.len() as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_mid_file_drops_the_suffix() {
+        let path = temp_path("checksum");
+        {
+            let (mut w, _) = JournalWriter::open_repairing(&path).unwrap();
+            w.append(b"alpha").unwrap();
+            w.append(b"beta").unwrap();
+            w.append(b"gamma").unwrap();
+        }
+        assert!(corrupt_record_checksum(&path, 1).unwrap());
+        let read = read_journal(&path).unwrap();
+        // Record boundaries after a damaged record are untrusted:
+        // "gamma" is dropped along with "beta" and must be recomputed.
+        assert_eq!(payloads(&read), ["alpha"]);
+        assert!(matches!(read.damage, Some(JournalDamage::ChecksumMismatch { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_trusts_nothing() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAJRNL-and-some-bytes").unwrap();
+        let read = read_journal(&path).unwrap();
+        assert!(read.payloads.is_empty());
+        assert_eq!(read.damage, Some(JournalDamage::BadMagic));
+        assert_eq!(read.valid_len, 0);
+        // Repairing open starts the journal over.
+        {
+            let (mut w, _) = JournalWriter::open_repairing(&path).unwrap();
+            w.append(b"fresh-start").unwrap();
+        }
+        let read = read_journal(&path).unwrap();
+        assert_eq!(payloads(&read), ["fresh-start"]);
+        assert_eq!(read.damage, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_helpers_report_missing_records() {
+        let path = temp_path("helpers");
+        {
+            let (mut w, _) = JournalWriter::open_repairing(&path).unwrap();
+            w.append(b"only").unwrap();
+        }
+        assert!(!corrupt_record_checksum(&path, 5).unwrap());
+        assert!(!truncate_mid_record(&path, 5).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`json`] — minimal JSON value/parser/writer plus exact-round-trip
 //!   [`harness::RunRecord`] serialization for the `repro.json` sweep
 //!   artifact.
+//! * [`journal`] — append-only, checksummed record journal backing the
+//!   resilient sweep's content-addressed cell cache (truncated or
+//!   corrupt tails are detected and dropped, never served).
 //! * [`registry`] — counter/gauge/histogram registry with a standard
 //!   metric set derived from a run's stats and trace.
 //! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export of a
@@ -26,6 +29,7 @@
 pub mod export;
 pub mod footprint;
 pub mod harness;
+pub mod journal;
 pub mod json;
 pub mod perfetto;
 pub mod registry;
@@ -34,6 +38,7 @@ pub mod timeline;
 
 pub use footprint::{FootprintAnalysis, FootprintSummary};
 pub use harness::{run_once, LocalityRecord, RunRecord, SchedulerKind};
+pub use journal::{fnv1a64, read_journal, JournalDamage, JournalRead, JournalWriter};
 pub use json::{run_from_json, run_to_json, Json};
 pub use perfetto::{perfetto_json, validate_trace, TraceCheck};
 pub use registry::{registry_for_run, Histogram, MetricsRegistry};

@@ -232,6 +232,65 @@ fn wedge_during_quiescence_still_trips_watchdog() {
     assert_eq!(outcomes[0], outcomes[1], "engines diagnosed the wedge differently");
 }
 
+/// Both fault layers at once: simulator-level fault plans (seed-derived
+/// per cell) composed with harness-level injections (a panicking cell,
+/// a wedged cell). The harness layer must recover independently — its
+/// transient faults retry away without disturbing what the simulator
+/// layer produces — so the composed sweep ends exactly like a sweep
+/// under simulator faults alone, at any `--jobs`.
+#[test]
+fn composed_sim_and_harness_faults_recover_independently() {
+    use laperm_bench::sweep::matrix_cells;
+    use laperm_bench::{run_matrix_cells_resilient, HarnessFault, HarnessFaultPlan, Resilience};
+
+    let cells = matrix_cells(Scale::Tiny, 0);
+    let subset = &cells[..8];
+    let cfg = base_cfg();
+    let sim_only =
+        Resilience { retries: 2, backoff_ms: 0, sim_fault_seed: Some(42), ..Resilience::default() };
+    let composed = Resilience {
+        faults: Some(HarnessFaultPlan::new(vec![
+            HarnessFault::PanicCell { cell: 1, attempts: 1 },
+            HarnessFault::WedgeCell { cell: 4, attempts: 2 },
+        ])),
+        ..sim_only.clone()
+    };
+
+    let baseline = run_matrix_cells_resilient(subset, 4, &cfg, "tiny/42", &sim_only)
+        .expect("sim-fault sweep")
+        .0;
+    // Every simulator-layer end is structured (the core liveness
+    // contract), and the attribution fields survive the sweep layer.
+    for f in &baseline.failures {
+        assert!(
+            f.error.contains("no forward progress") || f.error.contains("cycle limit"),
+            "unstructured sim-fault end: {}",
+            f.error
+        );
+        assert_eq!(f.attempts, 3, "deterministic sim fault must exhaust the retry budget");
+    }
+
+    for jobs in [1, 4] {
+        let (outcome, _) = run_matrix_cells_resilient(subset, jobs, &cfg, "tiny/42", &composed)
+            .expect("composed sweep");
+        for f in &outcome.failures {
+            assert!(
+                !f.error.contains("injected"),
+                "jobs {jobs}: transient harness fault leaked into the report: {}",
+                f.error
+            );
+        }
+        assert_eq!(
+            outcome.records, baseline.records,
+            "jobs {jobs}: harness faults disturbed simulator-layer records"
+        );
+        assert_eq!(
+            outcome.failures, baseline.failures,
+            "jobs {jobs}: harness faults disturbed simulator-layer failures"
+        );
+    }
+}
+
 /// A transient full-dispatch-queue window only delays the run: the
 /// machine drains the backlog afterwards and completes with the same
 /// work done.
